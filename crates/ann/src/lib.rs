@@ -1,0 +1,37 @@
+//! Backpropagation artificial neural network — the paper's baseline.
+//!
+//! The DSN'14 paper compares its CART models against the state of the art:
+//! the plain BP ANN drive-failure predictor of the authors' earlier MSST'13
+//! work. This crate implements that baseline from scratch: a dense
+//! feed-forward network with one hidden layer (topologies 19-30-1, 13-13-1
+//! and 12-20-1 in the paper's Table III), `tanh` activations, min–max
+//! input scaling, and plain stochastic-gradient backpropagation with
+//! learning rate 0.1 for up to 400 epochs.
+//!
+//! # Example
+//!
+//! ```
+//! use hdd_ann::{AnnConfig, BpAnn};
+//!
+//! // XOR-ish: the network must learn a non-linear boundary.
+//! let inputs: Vec<Vec<f64>> = vec![
+//!     vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0],
+//! ];
+//! let targets = vec![-1.0, 1.0, 1.0, -1.0];
+//! let mut config = AnnConfig::new(vec![2, 8, 1]);
+//! config.max_epochs = 3000;
+//! config.learning_rate = 0.3;
+//! let ann = BpAnn::train(&config, &inputs, &targets)?;
+//! assert!(ann.predict(&[0.0, 1.0]) > 0.0);
+//! assert!(ann.predict(&[1.0, 1.0]) < 0.0);
+//! # Ok::<(), hdd_ann::AnnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mlp;
+pub mod scale;
+
+pub use mlp::{Activation, AnnConfig, AnnError, BpAnn};
+pub use scale::MinMaxScaler;

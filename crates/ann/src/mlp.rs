@@ -1,0 +1,454 @@
+//! The multi-layer perceptron and its backpropagation trainer.
+
+use crate::scale::MinMaxScaler;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Hidden/output unit activation.
+///
+/// The paper's baseline is a 2013-era network: logistic sigmoid units with
+/// naive uniform weight initialization. That configuration learns large
+/// clean datasets adequately but is slow and unstable on small noisy ones
+/// — which is exactly the behaviour the paper reports for the BP ANN on
+/// family "Q" (§V-B1). `Tanh` with Xavier initialization is provided as a
+/// modern alternative for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Activation {
+    /// Logistic sigmoid, naive `U(-0.5, 0.5)` init (the paper's baseline).
+    #[default]
+    Sigmoid,
+    /// `tanh` with Xavier init (modern; ablation only).
+    Tanh,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative of the activation, given the activated output.
+    fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+
+    /// Map a `±1`-convention target to the activation's output range
+    /// (with the classic 0.1/0.9 margin that keeps sigmoid units out of
+    /// saturation).
+    fn encode_target(self, target: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => 0.5 + 0.4 * target.clamp(-1.0, 1.0),
+            Activation::Tanh => 0.9 * target.clamp(-1.0, 1.0),
+        }
+    }
+
+    /// Map a network output back to the `±1` convention (negative ⇒
+    /// failing).
+    fn decode_output(self, output: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => (output - 0.5) * 2.0,
+            Activation::Tanh => output,
+        }
+    }
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnConfig {
+    /// Layer sizes, input first, output last (e.g. `[13, 13, 1]`).
+    pub layers: Vec<usize>,
+    /// SGD learning rate (0.1 in the paper).
+    pub learning_rate: f64,
+    /// Maximum training epochs (400 in the paper).
+    pub max_epochs: usize,
+    /// Stop early when the epoch's mean squared error falls below this.
+    pub target_mse: f64,
+    /// Weight-initialization and shuffling seed.
+    pub seed: u64,
+    /// Unit activation and initialization style.
+    pub activation: Activation,
+}
+
+impl AnnConfig {
+    /// A configuration with the paper's training hyper-parameters
+    /// (`learning_rate = 0.1`, `max_epochs = 400`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layers are given, any layer is empty, or
+    /// the output layer is not a single unit.
+    #[must_use]
+    pub fn new(layers: Vec<usize>) -> Self {
+        assert!(layers.len() >= 2, "need at least input and output layers");
+        assert!(layers.iter().all(|&n| n > 0), "layers must be non-empty");
+        assert_eq!(
+            *layers.last().expect("non-empty"),
+            1,
+            "this baseline is a single-output regressor/classifier"
+        );
+        AnnConfig {
+            layers,
+            learning_rate: 0.1,
+            max_epochs: 400,
+            target_mse: 1e-4,
+            seed: 0xA22,
+            activation: Activation::default(),
+        }
+    }
+
+    /// The paper's topology for a given input dimensionality: 13 features
+    /// → 13-13-1, 12 → 12-20-1, 19 → 19-30-1, otherwise one hidden layer
+    /// of `max(in, 10)` units.
+    #[must_use]
+    pub fn for_input_dim(dim: usize) -> Self {
+        let hidden = match dim {
+            13 => 13,
+            12 => 20,
+            19 => 30,
+            d => d.max(10),
+        };
+        AnnConfig::new(vec![dim, hidden, 1])
+    }
+}
+
+/// Why ANN training failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnError {
+    /// No training rows were provided.
+    NoSamples,
+    /// Rows/targets disagree with the configuration or contain non-finite
+    /// values.
+    Invalid(String),
+}
+
+impl fmt::Display for AnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnError::NoSamples => f.write_str("training set is empty"),
+            AnnError::Invalid(reason) => write!(f, "invalid training data: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AnnError {}
+
+/// One dense layer: `out = tanh(W · in + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Layer {
+    /// `weights[j]` are unit `j`'s input weights.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng, activation: Activation) -> Self {
+        let bound = match activation {
+            // 2013-era naive init.
+            Activation::Sigmoid => 0.5,
+            // Xavier init.
+            Activation::Tanh => (6.0 / (inputs + outputs) as f64).sqrt(),
+        };
+        Layer {
+            weights: (0..outputs)
+                .map(|_| (0..inputs).map(|_| rng.random_range(-bound..bound)).collect())
+                .collect(),
+            biases: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, input: &[f64], out: &mut Vec<f64>, activation: Activation) {
+        out.clear();
+        for (w_row, b) in self.weights.iter().zip(&self.biases) {
+            let sum: f64 = w_row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + b;
+            out.push(activation.apply(sum));
+        }
+    }
+}
+
+/// A trained backpropagation network with its input scaler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BpAnn {
+    layers: Vec<Layer>,
+    scaler: MinMaxScaler,
+    activation: Activation,
+    trained_epochs: usize,
+    final_mse: f64,
+}
+
+impl BpAnn {
+    /// Train a network on `(inputs, targets)`; targets are `±1` for the
+    /// paper's good/failed encoding but any values in `(-1, 1)` work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError`] if the data is empty, dimensions disagree with
+    /// `config.layers[0]`, or any value is non-finite.
+    pub fn train(
+        config: &AnnConfig,
+        inputs: &[Vec<f64>],
+        targets: &[f64],
+    ) -> Result<BpAnn, AnnError> {
+        if inputs.is_empty() {
+            return Err(AnnError::NoSamples);
+        }
+        if inputs.len() != targets.len() {
+            return Err(AnnError::Invalid(format!(
+                "{} inputs but {} targets",
+                inputs.len(),
+                targets.len()
+            )));
+        }
+        let dim = config.layers[0];
+        for (i, row) in inputs.iter().enumerate() {
+            if row.len() != dim {
+                return Err(AnnError::Invalid(format!(
+                    "sample {i} has {} features, expected {dim}",
+                    row.len()
+                )));
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(AnnError::Invalid(format!("sample {i} is not finite")));
+            }
+        }
+        if targets.iter().any(|t| !t.is_finite()) {
+            return Err(AnnError::Invalid("non-finite target".to_string()));
+        }
+
+        let scaler = MinMaxScaler::fit(inputs.iter().map(Vec::as_slice));
+        let scaled: Vec<Vec<f64>> = inputs.iter().map(|r| scaler.transform(r)).collect();
+
+        let activation = config.activation;
+        let encoded: Vec<f64> = targets.iter().map(|&t| activation.encode_target(t)).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut layers: Vec<Layer> = config
+            .layers
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng, activation))
+            .collect();
+
+        let mut order: Vec<usize> = (0..scaled.len()).collect();
+        let mut activations: Vec<Vec<f64>> = vec![Vec::new(); layers.len() + 1];
+        let mut deltas: Vec<Vec<f64>> = vec![Vec::new(); layers.len()];
+        let mut trained_epochs = 0;
+        let mut final_mse = f64::INFINITY;
+
+        for epoch in 0..config.max_epochs {
+            order.shuffle(&mut rng);
+            let mut sse = 0.0;
+            for &i in &order {
+                // Forward pass.
+                activations[0].clear();
+                activations[0].extend_from_slice(&scaled[i]);
+                for (l, layer) in layers.iter().enumerate() {
+                    let (input, output) = split_two(&mut activations, l);
+                    layer.forward(input, output, activation);
+                }
+                let y = activations[layers.len()][0];
+                let err = y - encoded[i];
+                sse += err * err;
+
+                // Backward pass: delta = dE/d(preactivation).
+                for l in (0..layers.len()).rev() {
+                    let n_units = layers[l].biases.len();
+                    let mut layer_deltas = std::mem::take(&mut deltas[l]);
+                    layer_deltas.clear();
+                    for j in 0..n_units {
+                        let out = activations[l + 1][j];
+                        let dact = activation.derivative_from_output(out);
+                        let upstream = if l == layers.len() - 1 {
+                            err
+                        } else {
+                            layers[l + 1]
+                                .weights
+                                .iter()
+                                .zip(&deltas[l + 1])
+                                .map(|(w_row, d)| w_row[j] * d)
+                                .sum()
+                        };
+                        layer_deltas.push(upstream * dact);
+                    }
+                    deltas[l] = layer_deltas;
+                }
+                // Weight update.
+                for (l, layer) in layers.iter_mut().enumerate() {
+                    for (j, d) in deltas[l].iter().enumerate() {
+                        let step = config.learning_rate * d;
+                        for (w, x) in layer.weights[j].iter_mut().zip(&activations[l]) {
+                            *w -= step * x;
+                        }
+                        layer.biases[j] -= step;
+                    }
+                }
+            }
+            trained_epochs = epoch + 1;
+            final_mse = sse / scaled.len() as f64;
+            if final_mse < config.target_mse {
+                break;
+            }
+        }
+
+        Ok(BpAnn {
+            layers,
+            scaler,
+            activation,
+            trained_epochs,
+            final_mse,
+        })
+    }
+
+    /// Network output in `(-1, 1)`; positive means "good" under the
+    /// paper's encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimensionality.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let mut current = self.scaler.transform(features);
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.forward(&current, &mut next, self.activation);
+            std::mem::swap(&mut current, &mut next);
+        }
+        self.activation.decode_output(current[0])
+    }
+
+    /// `true` when the network classifies the sample as failed
+    /// (output below `threshold`, conventionally `0.0`).
+    #[must_use]
+    pub fn is_failed(&self, features: &[f64], threshold: f64) -> bool {
+        self.predict(features) < threshold
+    }
+
+    /// Epochs actually trained (may stop early on `target_mse`).
+    #[must_use]
+    pub fn trained_epochs(&self) -> usize {
+        self.trained_epochs
+    }
+
+    /// Final epoch's training MSE.
+    #[must_use]
+    pub fn final_mse(&self) -> f64 {
+        self.final_mse
+    }
+}
+
+/// Borrow `v[l]` immutably and `v[l+1]` mutably.
+fn split_two(v: &mut [Vec<f64>], l: usize) -> (&[f64], &mut Vec<f64>) {
+    let (a, b) = v.split_at_mut(l + 1);
+    (&a[l], &mut b[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_problem(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let inputs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![f64::from(i as u32 % 20), f64::from(i as u32 % 7)])
+            .collect();
+        let targets: Vec<f64> = inputs
+            .iter()
+            .map(|r| if r[0] < 10.0 { 1.0 } else { -1.0 })
+            .collect();
+        (inputs, targets)
+    }
+
+    #[test]
+    fn learns_linear_separation() {
+        let (inputs, targets) = linear_problem(200);
+        let mut config = AnnConfig::new(vec![2, 6, 1]);
+        config.max_epochs = 200;
+        let ann = BpAnn::train(&config, &inputs, &targets).unwrap();
+        assert!(ann.predict(&[2.0, 3.0]) > 0.5);
+        assert!(ann.predict(&[18.0, 3.0]) < -0.5);
+        assert!(!ann.is_failed(&[2.0, 3.0], 0.0));
+        assert!(ann.is_failed(&[18.0, 3.0], 0.0));
+    }
+
+    #[test]
+    fn early_stops_on_target_mse() {
+        let (inputs, targets) = linear_problem(100);
+        let mut config = AnnConfig::new(vec![2, 6, 1]);
+        config.max_epochs = 10_000;
+        config.target_mse = 0.5; // trivially reached
+        let ann = BpAnn::train(&config, &inputs, &targets).unwrap();
+        assert!(ann.trained_epochs() < 100, "{}", ann.trained_epochs());
+        assert!(ann.final_mse() < 0.5);
+    }
+
+    #[test]
+    fn training_is_deterministic_in_seed() {
+        let (inputs, targets) = linear_problem(50);
+        let config = AnnConfig::new(vec![2, 4, 1]);
+        let a = BpAnn::train(&config, &inputs, &targets).unwrap();
+        let b = BpAnn::train(&config, &inputs, &targets).unwrap();
+        assert_eq!(a, b);
+        let mut other = config.clone();
+        other.seed ^= 1;
+        let c = BpAnn::train(&other, &inputs, &targets).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        let config = AnnConfig::new(vec![2, 4, 1]);
+        assert_eq!(
+            BpAnn::train(&config, &[], &[]).unwrap_err(),
+            AnnError::NoSamples
+        );
+        let err =
+            BpAnn::train(&config, &[vec![1.0, 2.0]], &[1.0, -1.0]).unwrap_err();
+        assert!(matches!(err, AnnError::Invalid(_)), "{err}");
+        let err = BpAnn::train(&config, &[vec![1.0]], &[1.0]).unwrap_err();
+        assert!(err.to_string().contains("features"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let config = AnnConfig::new(vec![1, 2, 1]);
+        let err = BpAnn::train(&config, &[vec![f64::NAN]], &[1.0]).unwrap_err();
+        assert!(matches!(err, AnnError::Invalid(_)));
+        let err = BpAnn::train(&config, &[vec![1.0]], &[f64::INFINITY]).unwrap_err();
+        assert!(matches!(err, AnnError::Invalid(_)));
+    }
+
+    #[test]
+    fn paper_topologies() {
+        assert_eq!(AnnConfig::for_input_dim(13).layers, vec![13, 13, 1]);
+        assert_eq!(AnnConfig::for_input_dim(12).layers, vec![12, 20, 1]);
+        assert_eq!(AnnConfig::for_input_dim(19).layers, vec![19, 30, 1]);
+        assert_eq!(AnnConfig::for_input_dim(5).layers, vec![5, 10, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-output")]
+    fn config_rejects_multi_output() {
+        let _ = AnnConfig::new(vec![3, 4, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn config_rejects_single_layer() {
+        let _ = AnnConfig::new(vec![3]);
+    }
+
+    #[test]
+    fn output_is_bounded() {
+        let (inputs, targets) = linear_problem(50);
+        let config = AnnConfig::new(vec![2, 4, 1]);
+        let ann = BpAnn::train(&config, &inputs, &targets).unwrap();
+        for i in 0..50 {
+            let y = ann.predict(&[f64::from(i), 1.0]);
+            assert!((-1.0..=1.0).contains(&y));
+        }
+    }
+}

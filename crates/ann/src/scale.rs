@@ -1,0 +1,136 @@
+//! Min–max feature scaling.
+//!
+//! Neural networks need comparable input magnitudes; SMART features span
+//! anything from 1–253 normalized values to unbounded raw counters. The
+//! scaler maps each feature's training range to `[-1, 1]` and is stored
+//! inside the trained model so detection applies the identical transform.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-feature min–max scaler to `[-1, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fit on training rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows disagree on length.
+    #[must_use]
+    pub fn fit<'a, I: IntoIterator<Item = &'a [f64]>>(rows: I) -> Self {
+        let mut mins: Vec<f64> = Vec::new();
+        let mut maxs: Vec<f64> = Vec::new();
+        let mut any = false;
+        for row in rows {
+            if !any {
+                mins = row.to_vec();
+                maxs = row.to_vec();
+                any = true;
+                continue;
+            }
+            assert_eq!(row.len(), mins.len(), "inconsistent row length");
+            for (i, &v) in row.iter().enumerate() {
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+        assert!(any, "cannot fit a scaler on zero rows");
+        MinMaxScaler { mins, maxs }
+    }
+
+    /// Number of features.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// `true` if fitted on zero-width data (never: `fit` panics instead).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mins.is_empty()
+    }
+
+    /// Scale one row into `out` (constant features map to `0.0`; values
+    /// outside the training range extrapolate beyond `[-1, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree.
+    pub fn transform_into(&self, row: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(row.len(), self.mins.len(), "row length mismatch");
+        out.clear();
+        out.extend(row.iter().enumerate().map(|(i, &v)| {
+            let span = self.maxs[i] - self.mins[i];
+            if span <= 0.0 {
+                0.0
+            } else {
+                2.0 * (v - self.mins[i]) / span - 1.0
+            }
+        }));
+    }
+
+    /// Scale one row, allocating.
+    #[must_use]
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(row.len());
+        self.transform_into(row, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_training_range_to_unit_interval() {
+        let rows: Vec<Vec<f64>> = vec![vec![0.0, 10.0], vec![4.0, 20.0]];
+        let s = MinMaxScaler::fit(rows.iter().map(Vec::as_slice));
+        assert_eq!(s.transform(&[0.0, 10.0]), vec![-1.0, -1.0]);
+        assert_eq!(s.transform(&[4.0, 20.0]), vec![1.0, 1.0]);
+        assert_eq!(s.transform(&[2.0, 15.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_features_map_to_zero() {
+        let rows: Vec<Vec<f64>> = vec![vec![5.0], vec![5.0]];
+        let s = MinMaxScaler::fit(rows.iter().map(Vec::as_slice));
+        assert_eq!(s.transform(&[5.0]), vec![0.0]);
+        assert_eq!(s.transform(&[100.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn out_of_range_extrapolates() {
+        let rows: Vec<Vec<f64>> = vec![vec![0.0], vec![10.0]];
+        let s = MinMaxScaler::fit(rows.iter().map(Vec::as_slice));
+        assert!(s.transform(&[20.0])[0] > 1.0);
+        assert!(s.transform(&[-10.0])[0] < -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn rejects_empty() {
+        let rows: Vec<Vec<f64>> = vec![];
+        let _ = MinMaxScaler::fit(rows.iter().map(Vec::as_slice));
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn rejects_wrong_width() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, 2.0]];
+        let s = MinMaxScaler::fit(rows.iter().map(Vec::as_slice));
+        let _ = s.transform(&[1.0]);
+    }
+
+    #[test]
+    fn len_matches() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, 2.0, 3.0]];
+        let s = MinMaxScaler::fit(rows.iter().map(Vec::as_slice));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+}

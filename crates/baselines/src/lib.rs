@@ -1,0 +1,35 @@
+//! Related-work baselines (§II of the paper).
+//!
+//! The paper's introduction and related-work section trace a progression
+//! of SMART-based failure predictors; this crate implements the
+//! representative ones so the progression can be measured on the same
+//! dataset and protocol as the CT model:
+//!
+//! * [`ThresholdModel`] — the in-drive SMART threshold algorithm
+//!   (manufacturers set thresholds so conservatively that they detect only
+//!   3–10% of failures at ~0.1% FAR);
+//! * [`QuantileDetector`] — Hughes et al.'s non-parametric test, adapted
+//!   to the per-sample scoring interface: a sample votes *failed* when any
+//!   monitored attribute falls below the good population's α-quantile
+//!   (the OR-ed single-variate variant); the voting window supplies the
+//!   multi-sample aggregation of the original rank-sum formulation;
+//! * [`NaiveBayes`] — Hamerly & Elkan's supervised Gaussian naive Bayes
+//!   classifier;
+//! * [`Mahalanobis`] — Wang et al.'s anomaly detector: distance from a
+//!   baseline Mahalanobis space built on good-drive data only.
+//!
+//! All four implement [`hdd_eval::SampleScorer`], so they plug directly
+//! into the voting detector and the `Experiment` evaluation harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bayes;
+pub mod mahalanobis;
+pub mod quantile;
+pub mod threshold;
+
+pub use bayes::NaiveBayes;
+pub use mahalanobis::Mahalanobis;
+pub use quantile::QuantileDetector;
+pub use threshold::ThresholdModel;

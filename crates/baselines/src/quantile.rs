@@ -1,0 +1,126 @@
+//! Hughes et al.'s non-parametric test, adapted to per-sample scoring.
+//!
+//! The original method runs a Wilcoxon rank-sum test of a drive's recent
+//! samples against a stored reference set of good-drive values, OR-ed over
+//! attributes. Under the per-sample scoring interface the equivalent
+//! construction is: a sample votes *failed* when any monitored attribute
+//! falls below the reference distribution's α-quantile; the voting window
+//! then demands that a majority of recent samples agree — which is exactly
+//! what the rank-sum statistic of the window against the reference would
+//! conclude at the matching significance level.
+
+use hdd_eval::SampleScorer;
+use serde::{Deserialize, Serialize};
+
+/// OR-ed single-variate quantile test against a good-population reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileDetector {
+    cutoffs: Vec<f64>,
+}
+
+impl QuantileDetector {
+    /// Fit from good-drive reference samples: each feature's cutoff is the
+    /// empirical `alpha`-quantile of its reference values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `good` is empty, rows disagree on length, or `alpha` is
+    /// outside `(0, 0.5]`.
+    #[must_use]
+    pub fn fit(good: &[Vec<f64>], alpha: f64) -> Self {
+        assert!(!good.is_empty(), "need reference samples");
+        assert!(alpha > 0.0 && alpha <= 0.5, "alpha must be in (0, 0.5]");
+        let dim = good[0].len();
+        let mut cutoffs = Vec::with_capacity(dim);
+        let mut column = Vec::with_capacity(good.len());
+        for feature in 0..dim {
+            column.clear();
+            for row in good {
+                assert_eq!(row.len(), dim, "inconsistent row length");
+                column.push(row[feature]);
+            }
+            column.sort_by(f64::total_cmp);
+            let rank = ((good.len() as f64 - 1.0) * alpha).floor() as usize;
+            cutoffs.push(column[rank]);
+        }
+        QuantileDetector { cutoffs }
+    }
+
+    /// The per-feature cutoffs.
+    #[must_use]
+    pub fn cutoffs(&self) -> &[f64] {
+        &self.cutoffs
+    }
+
+    /// `true` when any feature is below its cutoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is shorter than the fitted dimensionality.
+    #[must_use]
+    pub fn is_anomalous(&self, features: &[f64]) -> bool {
+        self.cutoffs
+            .iter()
+            .enumerate()
+            .any(|(i, &c)| features[i] < c)
+    }
+}
+
+impl SampleScorer for QuantileDetector {
+    fn score(&self, features: &[f64]) -> f64 {
+        if self.is_anomalous(features) {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> Vec<Vec<f64>> {
+        (0..100).map(|i| vec![f64::from(i)]).collect()
+    }
+
+    #[test]
+    fn cutoff_is_the_alpha_quantile() {
+        let det = QuantileDetector::fit(&reference(), 0.05);
+        // 5th percentile of 0..99.
+        assert!((det.cutoffs()[0] - 4.0).abs() < 1.01);
+        assert!(det.is_anomalous(&[1.0]));
+        assert!(!det.is_anomalous(&[50.0]));
+    }
+
+    #[test]
+    fn or_semantics_across_features() {
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![f64::from(i), 1000.0 + f64::from(i)])
+            .collect();
+        let det = QuantileDetector::fit(&rows, 0.1);
+        assert!(det.is_anomalous(&[0.0, 1500.0]), "first feature low");
+        assert!(det.is_anomalous(&[50.0, 1000.5]), "second feature low");
+        assert!(!det.is_anomalous(&[50.0, 1500.0]));
+    }
+
+    #[test]
+    fn tighter_alpha_flags_less() {
+        let tight = QuantileDetector::fit(&reference(), 0.01);
+        let loose = QuantileDetector::fit(&reference(), 0.3);
+        assert!(tight.cutoffs()[0] < loose.cutoffs()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = QuantileDetector::fit(&reference(), 0.9);
+    }
+
+    #[test]
+    fn scorer_convention() {
+        let det = QuantileDetector::fit(&reference(), 0.05);
+        assert_eq!(det.score(&[90.0]), 1.0);
+        assert_eq!(det.score(&[0.0]), -1.0);
+    }
+}

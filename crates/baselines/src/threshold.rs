@@ -1,0 +1,128 @@
+//! The in-drive SMART threshold algorithm.
+//!
+//! Firmware compares each normalized attribute against a vendor threshold
+//! and trips when any crosses. "To avoid heavy false alarm cost, they set
+//! the thresholds conservatively to keep the FAR to a minimum at the
+//! expense of failure detection rate" (§II) — detecting only 3–10% of
+//! failures. We reproduce that behaviour by placing each threshold a
+//! safety margin below the *entire* good training population's minimum.
+
+use hdd_eval::SampleScorer;
+use serde::{Deserialize, Serialize};
+
+/// Per-feature static thresholds: a sample trips when any feature falls
+/// below its threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdModel {
+    thresholds: Vec<f64>,
+}
+
+impl ThresholdModel {
+    /// Fit vendor-style thresholds from good-drive samples only: each
+    /// feature's threshold is the observed minimum minus `margin` times
+    /// the observed spread (vendors never see the failed population when
+    /// they set these).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `good` is empty, rows disagree on length, or `margin` is
+    /// negative.
+    #[must_use]
+    pub fn fit(good: &[Vec<f64>], margin: f64) -> Self {
+        assert!(!good.is_empty(), "need good samples");
+        assert!(margin >= 0.0, "margin must be non-negative");
+        let dim = good[0].len();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in good {
+            assert_eq!(row.len(), dim, "inconsistent row length");
+            for (i, &v) in row.iter().enumerate() {
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+        let thresholds = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| lo - margin * (hi - lo).max(1.0))
+            .collect();
+        ThresholdModel { thresholds }
+    }
+
+    /// The fitted thresholds.
+    #[must_use]
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// `true` when any feature is below its threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is shorter than the fitted dimensionality.
+    #[must_use]
+    pub fn trips(&self, features: &[f64]) -> bool {
+        self.thresholds
+            .iter()
+            .enumerate()
+            .any(|(i, &t)| features[i] < t)
+    }
+}
+
+impl SampleScorer for ThresholdModel {
+    fn score(&self, features: &[f64]) -> f64 {
+        if self.trips(features) {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good() -> Vec<Vec<f64>> {
+        (0..50)
+            .map(|i| vec![100.0 + f64::from(i % 10), 50.0 + f64::from(i % 5)])
+            .collect()
+    }
+
+    #[test]
+    fn never_trips_on_training_range() {
+        let model = ThresholdModel::fit(&good(), 0.5);
+        for row in good() {
+            assert!(!model.trips(&row));
+        }
+    }
+
+    #[test]
+    fn trips_on_deep_excursions_only() {
+        let model = ThresholdModel::fit(&good(), 0.5);
+        // Mild dip below the observed min: still inside the margin.
+        assert!(!model.trips(&[98.0, 50.0]));
+        // Deep excursion: trips.
+        assert!(model.trips(&[40.0, 50.0]));
+        assert!(model.trips(&[105.0, 10.0]));
+    }
+
+    #[test]
+    fn zero_margin_trips_just_below_min() {
+        let model = ThresholdModel::fit(&good(), 0.0);
+        assert!(model.trips(&[99.9, 50.0]));
+    }
+
+    #[test]
+    fn scorer_convention() {
+        let model = ThresholdModel::fit(&good(), 0.5);
+        assert_eq!(model.score(&[100.0, 52.0]), 1.0);
+        assert_eq!(model.score(&[0.0, 0.0]), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need good samples")]
+    fn rejects_empty() {
+        let _ = ThresholdModel::fit(&[], 0.5);
+    }
+}

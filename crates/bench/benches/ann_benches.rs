@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for the BP ANN baseline: per-epoch training
+//! cost and prediction latency.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hdd_ann::{AnnConfig, BpAnn};
+use hdd_smart::rng::DeterministicRng;
+use std::hint::black_box;
+
+fn data(n: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let rng = DeterministicRng::new(3);
+    let inputs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|j| rng.gaussian(i as u64, j as u64) * 10.0 + 100.0)
+                .collect()
+        })
+        .collect();
+    let targets: Vec<f64> = (0..n).map(|i| if i % 5 == 0 { -1.0 } else { 1.0 }).collect();
+    (inputs, targets)
+}
+
+fn bench_training_epochs(c: &mut Criterion) {
+    let (inputs, targets) = data(5_000, 13);
+    let mut group = c.benchmark_group("ann_train");
+    group.sample_size(10);
+    for &epochs in &[10usize, 50] {
+        group.throughput(Throughput::Elements((epochs * inputs.len()) as u64));
+        group.bench_function(format!("5000x13_{epochs}epochs"), |b| {
+            b.iter(|| {
+                let mut config = AnnConfig::new(vec![13, 13, 1]);
+                config.max_epochs = epochs;
+                config.target_mse = 0.0;
+                BpAnn::train(&config, black_box(&inputs), black_box(&targets))
+                    .expect("trainable")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let (inputs, targets) = data(2_000, 13);
+    let mut config = AnnConfig::new(vec![13, 13, 1]);
+    config.max_epochs = 20;
+    let ann = BpAnn::train(&config, &inputs, &targets).expect("trainable");
+    c.bench_function("ann_predict/single_sample", |b| {
+        b.iter(|| ann.predict(black_box(&inputs[42])));
+    });
+}
+
+criterion_group!(benches, bench_training_epochs, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure 10 — ROC curves of the regression-tree models: the health-degree
+//! model (personalized deterioration windows) against the ±1-target
+//! classifier control, both detected by the mean-of-last-N rule (N = 11)
+//! while sweeping the detection threshold.
+
+use hdd_bench::{ct_experiment, pct, section, Options};
+use hdd_eval::{sweep_thresholds, HealthTargets};
+
+fn main() {
+    let options = Options::from_args();
+    let dataset = options.dataset_w();
+    let experiment = ct_experiment(11);
+    let split = experiment.split(&dataset);
+    section(&format!(
+        "Figure 10: RT health-degree model vs RT classifier (scale {}, seed {})",
+        options.scale, options.seed
+    ));
+
+    let health = experiment
+        .run_rt(&dataset, HealthTargets::Personalized)
+        .expect("trainable");
+    println!("health-degree model (personalized windows):");
+    println!("{:>10} {:>10} {:>10} {:>10}", "threshold", "FAR", "FDR", "TIA (h)");
+    let health_thresholds = [-0.5, -0.37, -0.3, -0.2, -0.1, -0.02, 0.0];
+    for p in sweep_thresholds(&experiment, &dataset, &split, &health.model, &health_thresholds)
+    {
+        println!(
+            "{:>10.2} {:>10} {:>10} {:>10.1}",
+            p.threshold,
+            pct(p.far()),
+            pct(p.fdr()),
+            p.metrics.mean_tia()
+        );
+    }
+
+    let control = experiment
+        .run_rt(&dataset, HealthTargets::BinaryControl)
+        .expect("trainable");
+    println!();
+    println!("classifier control (±1 targets):");
+    println!("{:>10} {:>10} {:>10} {:>10}", "threshold", "FAR", "FDR", "TIA (h)");
+    let control_thresholds = [-0.94, -0.86, -0.6, -0.4, -0.2, -0.05, 0.0];
+    for p in
+        sweep_thresholds(&experiment, &dataset, &split, &control.model, &control_thresholds)
+    {
+        println!(
+            "{:>10.2} {:>10} {:>10} {:>10.1}",
+            p.threshold,
+            pct(p.far()),
+            pct(p.fdr()),
+            p.metrics.mean_tia()
+        );
+    }
+
+    let global = experiment
+        .run_rt(&dataset, HealthTargets::Global { window_hours: 168 })
+        .expect("trainable");
+    println!();
+    println!(
+        "global-window (168 h) health model at threshold -0.2: {}",
+        global.metrics
+    );
+
+    println!();
+    println!("paper: the health-degree curve reaches a maximum FDR above 96% and");
+    println!("sits closer to the upper-left corner than the classifier control;");
+    println!("sweeping the threshold trades FDR against FAR finely");
+}

@@ -1,0 +1,52 @@
+//! Figure 2 — voting-based detection on family "W": ROC points for the CT
+//! model (168 h window) and the BP ANN baseline (12 h window) as the voter
+//! count N sweeps 1 … 27.
+
+use hdd_bench::{ann_experiment, ct_experiment, pct, section, Options};
+use hdd_eval::sweep_voters;
+
+const VOTERS: [usize; 9] = [1, 3, 5, 7, 9, 11, 15, 17, 27];
+
+fn main() {
+    let options = Options::from_args();
+    let dataset = options.dataset_w();
+    section(&format!(
+        "Figure 2: voting ROC on family W (scale {}, seed {})",
+        options.scale, options.seed
+    ));
+
+    let ct_exp = ct_experiment(1);
+    let split = ct_exp.split(&dataset);
+    let ct = ct_exp.run_ct(&dataset).expect("trainable");
+    println!("CT model (168 h window):");
+    println!("{:>4} {:>10} {:>10} {:>10}", "N", "FAR", "FDR", "TIA (h)");
+    for p in sweep_voters(&ct_exp, &dataset, &split, &ct.model, &VOTERS) {
+        println!(
+            "{:>4} {:>10} {:>10} {:>10.1}",
+            p.voters,
+            pct(p.far()),
+            pct(p.fdr()),
+            p.metrics.mean_tia()
+        );
+    }
+
+    let ann_exp = ann_experiment(1);
+    let ann = ann_exp.run_ann(&dataset).expect("trainable");
+    println!();
+    println!("BP ANN model (12 h window):");
+    println!("{:>4} {:>10} {:>10} {:>10}", "N", "FAR", "FDR", "TIA (h)");
+    for p in sweep_voters(&ann_exp, &dataset, &split, &ann.model, &VOTERS) {
+        println!(
+            "{:>4} {:>10} {:>10} {:>10.1}",
+            p.voters,
+            pct(p.far()),
+            pct(p.fdr()),
+            p.metrics.mean_tia()
+        );
+    }
+
+    println!();
+    println!("paper: CT spans (FAR 0.225%, FDR 96.5%) at N=1 down to");
+    println!("(FAR 0.009%, FDR 93.2%) at N=27 and dominates the BP ANN curve;");
+    println!("the ANN's FDR drops sharply once N exceeds 5");
+}

@@ -1,0 +1,40 @@
+//! Figures 3 & 4 — the distribution of detection lead times (TIA) for the
+//! BP ANN and CT models, in the paper's histogram buckets.
+
+use hdd_bench::{ann_experiment, ct_experiment, section, Options};
+use hdd_eval::TIA_BUCKETS;
+
+fn print_histogram(label: &str, metrics: &hdd_eval::PredictionMetrics) {
+    println!("{label}: {metrics}");
+    let hist = metrics.tia_histogram();
+    for ((lo, hi), count) in TIA_BUCKETS.iter().zip(hist) {
+        let range = if *hi == u32::MAX {
+            format!("{lo}+ h")
+        } else {
+            format!("{lo}-{hi} h")
+        };
+        let bar = "#".repeat(count.min(60));
+        println!("  {range:<12} {count:>4}  {bar}");
+    }
+}
+
+fn main() {
+    let options = Options::from_args();
+    let dataset = options.dataset_w();
+    section(&format!(
+        "Figures 3-4: time-in-advance distributions (scale {}, seed {})",
+        options.scale, options.seed
+    ));
+
+    // The paper plots BP ANN at (FDR 84.21%, FAR 0.07%) and CT at
+    // (FDR 93.23%, FAR 0.009%) — both heavy-voting operating points.
+    let ann = ann_experiment(11).run_ann(&dataset).expect("trainable");
+    print_histogram("Figure 3 (BP ANN, N = 11)", &ann.metrics);
+    println!();
+    let ct = ct_experiment(27).run_ct(&dataset).expect("trainable");
+    print_histogram("Figure 4 (CT, N = 27)", &ct.metrics);
+
+    println!();
+    println!("paper shape: almost all detections are >24 h before failure; the");
+    println!("337-450 h bucket is the largest for the CT model (73 of 124 drives)");
+}

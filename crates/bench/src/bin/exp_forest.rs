@@ -1,0 +1,77 @@
+//! Future work (§VII) — "we will try other statistical and machine
+//! learning methods, such as random forest, to boost the prediction
+//! performance": a bagged forest on the same protocol as the CT model.
+
+use hdd_bench::{ct_experiment, pct, section, Options};
+use hdd_cart::RandomForestBuilder;
+use hdd_eval::VotingRule;
+
+fn main() {
+    let options = Options::from_args();
+    let dataset = options.dataset_w();
+    section(&format!(
+        "Future work: random forest vs single CT (scale {}, seed {}, N = 11)",
+        options.scale, options.seed
+    ));
+
+    let experiment = ct_experiment(11);
+    let split = experiment.split(&dataset);
+    let ct = experiment.run_ct(&dataset).expect("trainable");
+    println!(
+        "{:<28} FAR {:>8}  FDR {:>8}  TIA {:>7.1} h",
+        "single CT (paper model)",
+        pct(ct.metrics.far()),
+        pct(ct.metrics.fdr()),
+        ct.metrics.mean_tia()
+    );
+
+    for (n_trees, fraction) in [(10usize, 0.6f64), (25, 0.6), (50, 0.4)] {
+        let mut forest_builder = RandomForestBuilder::new();
+        forest_builder.n_trees(n_trees).feature_fraction(fraction);
+        let exp = {
+            let mut b = hdd_eval::ExperimentBuilder::from(experiment.clone());
+            b.forest_builder(forest_builder);
+            b.build()
+        };
+        let forest = exp.run_forest(&dataset).expect("trainable");
+        println!(
+            "{:<28} FAR {:>8}  FDR {:>8}  TIA {:>7.1} h",
+            format!("forest ({n_trees} trees, {fraction} feats)"),
+            pct(forest.metrics.far()),
+            pct(forest.metrics.fdr()),
+            forest.metrics.mean_tia()
+        );
+        // The ensemble's vote fraction gives finer trade-off control, like
+        // the RT threshold: demonstrate one stricter operating point.
+        let strict = exp.evaluate(
+            &dataset,
+            &split,
+            &ForestAtThreshold {
+                forest: &forest.model,
+                threshold: 0.8,
+            },
+            VotingRule::Majority,
+        );
+        println!(
+            "{:<28} FAR {:>8}  FDR {:>8}  (80% of trees must agree)",
+            "  ... strict vote (>0.8)",
+            pct(strict.far()),
+            pct(strict.fdr()),
+        );
+    }
+    println!();
+    println!("expected: the forest matches or slightly beats the single tree on");
+    println!("FDR/FAR, at the cost of training time and interpretability");
+}
+
+/// A forest with a stricter vote threshold, as a scorer.
+struct ForestAtThreshold<'a> {
+    forest: &'a hdd_cart::RandomForest,
+    threshold: f64,
+}
+
+impl hdd_eval::SampleScorer for ForestAtThreshold<'_> {
+    fn score(&self, features: &[f64]) -> f64 {
+        self.threshold - self.forest.failed_vote_fraction(features)
+    }
+}

@@ -1,0 +1,57 @@
+//! Table I — dataset composition.
+//!
+//! Regenerates the dataset-details table for both families and compares
+//! against the paper's counts (scaled by `--scale` for family "W").
+
+use hdd_bench::{compare, section, Options};
+
+fn main() {
+    let options = Options::from_args();
+    section(&format!(
+        "Table I: dataset details (scale {}, seed {})",
+        options.scale, options.seed
+    ));
+
+    let w = options.dataset_w();
+    let w_stats = w.stats();
+    let q = options.dataset_q();
+    let q_stats = q.stats();
+
+    println!("{:<8} {:<8} {:>8} {:>10} {:>12}", "Family", "Class", "Disks", "Period", "Samples");
+    println!(
+        "{:<8} {:<8} {:>8} {:>10} {:>12}",
+        "W", "Good", w_stats.good_drives, "56 days", w_stats.good_samples
+    );
+    println!(
+        "{:<8} {:<8} {:>8} {:>10} {:>12}",
+        "W", "Failed", w_stats.failed_drives, "20 days", w_stats.failed_samples
+    );
+    println!(
+        "{:<8} {:<8} {:>8} {:>10} {:>12}",
+        "Q", "Good", q_stats.good_drives, "56 days", q_stats.good_samples
+    );
+    println!(
+        "{:<8} {:<8} {:>8} {:>10} {:>12}",
+        "Q", "Failed", q_stats.failed_drives, "20 days", q_stats.failed_samples
+    );
+
+    println!();
+    let scale = options.scale;
+    compare(
+        "W good drives",
+        &format!("22,790 (x{scale})"),
+        &w_stats.good_drives.to_string(),
+    );
+    compare(
+        "W failed drives",
+        &format!("434 (x{scale})"),
+        &w_stats.failed_drives.to_string(),
+    );
+    compare("Q good drives", "2,441", &q_stats.good_drives.to_string());
+    compare("Q failed drives", "127", &q_stats.failed_drives.to_string());
+    compare(
+        "W good samples",
+        &format!("30,631,028 (x{scale})"),
+        &w_stats.good_samples.to_string(),
+    );
+}

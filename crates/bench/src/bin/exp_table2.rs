@@ -1,0 +1,41 @@
+//! Table II — the preliminarily selected SMART attributes (basic features),
+//! plus the feature-selection scores that produce the paper's 13 critical
+//! features (§IV-B).
+
+use hdd_bench::{section, Options};
+use hdd_smart::BASIC_ATTRIBUTES;
+use hdd_stats::select::{select_features, SelectionConfig};
+
+fn main() {
+    let options = Options::from_args();
+    section("Table II: preliminarily selected SMART attributes (basic features)");
+    println!("{:<4} Attribute Name", "ID#");
+    for (i, attr) in BASIC_ATTRIBUTES.iter().enumerate() {
+        println!("{:<4} {}", i + 1, attr.name());
+    }
+
+    section("Statistical feature selection (rank-sum / z-score / trend)");
+    let dataset = options.dataset_w();
+    let (selected, scores) = select_features(&dataset, &SelectionConfig::default());
+    println!(
+        "{:<22} {:>10} {:>10} {:>8}  selected",
+        "Candidate", "rank-sum z", "z-score", "trend"
+    );
+    for s in &scores {
+        println!(
+            "{:<22} {:>10.2} {:>10.2} {:>8.2}  {}",
+            s.feature.to_string(),
+            s.rank_sum,
+            s.z_score,
+            s.trend,
+            if s.selected { "yes" } else { "-" }
+        );
+    }
+    println!();
+    println!(
+        "selected feature set ({} features): {}",
+        selected.len(),
+        selected.names().join(", ")
+    );
+    println!("paper: 13 critical features — 9 normalized + RSC raw + 3 six-hour change rates");
+}

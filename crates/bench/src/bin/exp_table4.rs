@@ -1,0 +1,44 @@
+//! Table IV — impact of the failed time window on the CT model
+//! (n ∈ {12, 24, 48, 96, 168, 240} hours, single-sample detection).
+
+use hdd_bench::{pct, section, Options};
+use hdd_eval::Experiment;
+
+fn main() {
+    let options = Options::from_args();
+    let dataset = options.dataset_w();
+    section(&format!(
+        "Table IV: impact of time window on the CT model (scale {}, seed {})",
+        options.scale, options.seed
+    ));
+    println!(
+        "{:<12} {:>9} {:>9} {:>12}   paper (FAR, FDR, TIA)",
+        "Window", "FAR", "FDR", "TIA (hours)"
+    );
+    let paper = [
+        (12, "0.31  93.98  354.4"),
+        (24, "0.33  93.98  355.3"),
+        (48, "0.39  95.49  350.6"),
+        (96, "0.21  96.24  351.7"),
+        (168, "0.09  95.49  354.6"),
+        (240, "0.11  93.23  361.4"),
+    ];
+    for (window, paper_row) in paper {
+        let experiment = Experiment::builder()
+            .time_window_hours(window)
+            .voters(1)
+            .build();
+        let outcome = experiment.run_ct(&dataset).expect("trainable");
+        println!(
+            "{:<12} {:>9} {:>9} {:>12.1}   {}",
+            format!("{window} hours"),
+            pct(outcome.metrics.far()),
+            pct(outcome.metrics.fdr()),
+            outcome.metrics.mean_tia(),
+            paper_row
+        );
+    }
+    println!();
+    println!("shape to check: FDR peaks in the 96-168 h region; FAR lowest there;");
+    println!("TIA stays around 350 h across windows");
+}

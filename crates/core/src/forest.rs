@@ -1,0 +1,290 @@
+//! Random forest — the paper's stated future work (§VII: "we will try
+//! other statistical and machine learning methods, such as random forest,
+//! to boost the prediction performance").
+//!
+//! A bagged ensemble of classification trees: each tree trains on a
+//! bootstrap resample of the training set and considers only a random
+//! subset of the features at each... no — for simplicity and determinism
+//! each tree here gets a random feature *subset* and a bootstrap sample;
+//! prediction is by majority vote, and the vote fraction is a usable
+//! failure score.
+
+use crate::classifier::{ClassificationTree, ClassificationTreeBuilder};
+use crate::sample::{Class, ClassSample, TrainError};
+use serde::{Deserialize, Serialize};
+
+/// Configures and trains [`RandomForest`]s.
+///
+/// ```
+/// use hdd_cart::{Class, ClassSample, RandomForestBuilder};
+///
+/// let samples: Vec<ClassSample> = (0..60)
+///     .map(|i| {
+///         let x = f64::from(i % 30);
+///         let class = if x < 15.0 { Class::Failed } else { Class::Good };
+///         ClassSample::new(vec![x, x * 0.5], class)
+///     })
+///     .collect();
+/// let forest = RandomForestBuilder::new().build(&samples)?;
+/// assert_eq!(forest.predict(&[5.0, 2.5]), Class::Failed);
+/// # Ok::<(), hdd_cart::TrainError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestBuilder {
+    n_trees: usize,
+    feature_fraction: f64,
+    base: ClassificationTreeBuilder,
+    seed: u64,
+}
+
+impl Default for RandomForestBuilder {
+    fn default() -> Self {
+        RandomForestBuilder {
+            n_trees: 25,
+            feature_fraction: 0.6,
+            base: ClassificationTreeBuilder::new(),
+            seed: 0xF0_4E57,
+        }
+    }
+}
+
+impl RandomForestBuilder {
+    /// A builder with sensible defaults (25 trees, 60% of features each).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of trees in the ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn n_trees(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "a forest needs at least one tree");
+        self.n_trees = n;
+        self
+    }
+
+    /// Fraction of features each tree sees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `(0, 1]`.
+    pub fn feature_fraction(&mut self, fraction: f64) -> &mut Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "feature fraction must be in (0, 1]"
+        );
+        self.feature_fraction = fraction;
+        self
+    }
+
+    /// Hyper-parameters of the member trees.
+    pub fn tree_builder(&mut self, base: ClassificationTreeBuilder) -> &mut Self {
+        self.base = base;
+        self
+    }
+
+    /// Bootstrap/feature-sampling seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Train a forest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] on degenerate inputs (empty set, one class,
+    /// malformed features).
+    pub fn build(&self, samples: &[ClassSample]) -> Result<RandomForest, TrainError> {
+        crate::sample::validate_features(samples.iter().map(|s| s.features.as_slice()))?;
+        let n_features = samples[0].features.len();
+        if !samples.iter().any(|s| s.class == Class::Failed)
+            || !samples.iter().any(|s| s.class == Class::Good)
+        {
+            return Err(TrainError::SingleClass);
+        }
+        let per_tree = ((n_features as f64 * self.feature_fraction).ceil() as usize)
+            .clamp(1, n_features);
+
+        let mut trees = Vec::with_capacity(self.n_trees);
+        for t in 0..self.n_trees {
+            let tree_seed = splitmix(self.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+            // Random feature subset (deterministic Fisher–Yates prefix).
+            let mut features: Vec<usize> = (0..n_features).collect();
+            for i in 0..per_tree.min(n_features - 1) {
+                let j = i + (splitmix(tree_seed ^ i as u64) as usize) % (n_features - i);
+                features.swap(i, j);
+            }
+            let mut chosen = features[..per_tree].to_vec();
+            chosen.sort_unstable();
+
+            // Bootstrap resample, projected onto the chosen features. Keep
+            // resampling until both classes are present (almost always the
+            // first draw).
+            let mut projected = Vec::with_capacity(samples.len());
+            let mut salt = 0u64;
+            loop {
+                projected.clear();
+                for i in 0..samples.len() {
+                    let pick = (splitmix(tree_seed ^ salt ^ (i as u64) << 20) as usize)
+                        % samples.len();
+                    let src = &samples[pick];
+                    let feats: Vec<f64> = chosen.iter().map(|&f| src.features[f]).collect();
+                    projected.push(ClassSample::new(feats, src.class));
+                }
+                let failed = projected.iter().filter(|s| s.class == Class::Failed).count();
+                if failed > 0 && failed < projected.len() {
+                    break;
+                }
+                salt += 1;
+            }
+            let tree = self.base.build(&projected)?;
+            trees.push(Member {
+                features: chosen,
+                tree,
+            });
+        }
+        Ok(RandomForest { trees })
+    }
+}
+
+/// One tree plus the feature subset it was trained on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Member {
+    features: Vec<usize>,
+    tree: ClassificationTree,
+}
+
+/// A trained bagged ensemble of classification trees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<Member>,
+}
+
+impl RandomForest {
+    /// Number of member trees.
+    #[must_use]
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The fraction of trees voting *failed* for this sample, in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is shorter than the training dimensionality.
+    #[must_use]
+    pub fn failed_vote_fraction(&self, features: &[f64]) -> f64 {
+        let mut buf = Vec::new();
+        let failed = self
+            .trees
+            .iter()
+            .filter(|member| {
+                buf.clear();
+                buf.extend(member.features.iter().map(|&f| features[f]));
+                member.tree.predict(&buf) == Class::Failed
+            })
+            .count();
+        failed as f64 / self.trees.len() as f64
+    }
+
+    /// Majority-vote class.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> Class {
+        if self.failed_vote_fraction(features) > 0.5 {
+            Class::Failed
+        } else {
+            Class::Good
+        }
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable(n: usize) -> Vec<ClassSample> {
+        (0..n)
+            .flat_map(|i| {
+                let x = (i % 23) as f64;
+                [
+                    ClassSample::new(vec![x, 0.0, x * 2.0], Class::Good),
+                    ClassSample::new(vec![x + 60.0, 1.0, x], Class::Failed),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_separable_problem() {
+        let forest = RandomForestBuilder::new().build(&separable(60)).unwrap();
+        assert_eq!(forest.n_trees(), 25);
+        assert_eq!(forest.predict(&[5.0, 0.0, 10.0]), Class::Good);
+        assert_eq!(forest.predict(&[70.0, 1.0, 10.0]), Class::Failed);
+    }
+
+    #[test]
+    fn vote_fraction_is_bounded_and_consistent() {
+        let forest = RandomForestBuilder::new().build(&separable(40)).unwrap();
+        for q in [[5.0, 0.0, 10.0], [70.0, 1.0, 10.0], [30.0, 0.5, 30.0]] {
+            let f = forest.failed_vote_fraction(&q);
+            assert!((0.0..=1.0).contains(&f));
+            assert_eq!(forest.predict(&q) == Class::Failed, f > 0.5);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let samples = separable(40);
+        let a = RandomForestBuilder::new().build(&samples).unwrap();
+        let b = RandomForestBuilder::new().build(&samples).unwrap();
+        assert_eq!(a, b);
+        let mut other = RandomForestBuilder::new();
+        other.seed(1234);
+        let c = other.build(&samples).unwrap();
+        assert_ne!(a, c, "different seed, different forest");
+    }
+
+    #[test]
+    fn respects_tree_count_and_feature_fraction() {
+        let mut builder = RandomForestBuilder::new();
+        builder.n_trees(7).feature_fraction(0.34);
+        let forest = builder.build(&separable(40)).unwrap();
+        assert_eq!(forest.n_trees(), 7);
+        // ceil(3 * 0.34) = 2 features per tree.
+        assert!(forest.trees.iter().all(|m| m.features.len() == 2));
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        let samples = vec![ClassSample::new(vec![1.0], Class::Good); 20];
+        assert_eq!(
+            RandomForestBuilder::new().build(&samples).unwrap_err(),
+            TrainError::SingleClass
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn rejects_zero_trees() {
+        let _ = RandomForestBuilder::new().n_trees(0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let forest = RandomForestBuilder::new().build(&separable(30)).unwrap();
+        let json = serde_json::to_string(&forest).unwrap();
+        let back: RandomForest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.predict(&[5.0, 0.0, 1.0]), forest.predict(&[5.0, 0.0, 1.0]));
+    }
+}

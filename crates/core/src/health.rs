@@ -1,0 +1,227 @@
+//! Health degrees and the regression-tree health model (§III-B, §V-C).
+//!
+//! Binary classifiers treat all warnings alike; the paper's health-degree
+//! model instead maps every sample to a real value in `[-1, +1]` — `+1`
+//! absolutely healthy, `-1` failed — so a storage system can process
+//! warnings *in order of urgency*. Targets for failed-drive training
+//! samples come from a *deterioration window*: all samples `w` hours
+//! before failure sit at the good/failed borderline (degree 0) and decay
+//! linearly to `-1` at the failure event.
+
+use crate::regressor::RegressionTree;
+use serde::{Deserialize, Serialize};
+
+/// The health degree of a failed-drive sample `hours_before_failure` hours
+/// before the failure event, with a *global* deterioration window of
+/// `window_hours` (eq. 5): `h(i) = -1 + i/w`.
+///
+/// ```
+/// use hdd_cart::global_health_degree;
+///
+/// assert_eq!(global_health_degree(0, 168), -1.0);   // at the failure event
+/// assert_eq!(global_health_degree(84, 168), -0.5);  // halfway through
+/// assert_eq!(global_health_degree(168, 168), 0.0);  // the borderline
+/// ```
+///
+/// Samples older than the window are clamped to `0.0` (the borderline);
+/// the paper only trains on samples inside the window.
+///
+/// # Panics
+///
+/// Panics if `window_hours` is zero.
+#[must_use]
+pub fn global_health_degree(hours_before_failure: u32, window_hours: u32) -> f64 {
+    assert!(window_hours > 0, "deterioration window must be positive");
+    (-1.0 + f64::from(hours_before_failure) / f64::from(window_hours)).min(0.0)
+}
+
+/// The health degree under a *personalized* deterioration window (eq. 6):
+/// identical formula, but `window_hours` is the drive's own window `w_d` —
+/// in the paper, the time-in-advance at which a classification-tree model
+/// first detects that drive. Personalized windows distinguish individual
+/// deterioration speeds and yield better prediction performance (§V-C).
+///
+/// # Panics
+///
+/// Panics if `window_hours` is zero (drives the CT model misses fall back
+/// to a global 24-hour window in the paper's procedure; callers implement
+/// that fallback).
+#[must_use]
+pub fn personalized_health_degree(hours_before_failure: u32, window_hours: u32) -> f64 {
+    global_health_degree(hours_before_failure, window_hours)
+}
+
+/// Choose `picks` indices evenly spaced over `0..available` (the paper
+/// trains the RT on 12 samples chosen evenly within each drive's window).
+///
+/// Returns all indices when `available <= picks`.
+#[must_use]
+pub fn evenly_spaced_indices(available: usize, picks: usize) -> Vec<usize> {
+    if available == 0 || picks == 0 {
+        return Vec::new();
+    }
+    if available <= picks {
+        return (0..available).collect();
+    }
+    (0..picks)
+        .map(|k| k * (available - 1) / (picks - 1).max(1))
+        .collect()
+}
+
+/// A regression tree plus a detection threshold: drives whose predicted
+/// health degree falls below the threshold are flagged, and flagged drives
+/// can be ranked by urgency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthModel {
+    tree: RegressionTree,
+    threshold: f64,
+}
+
+impl HealthModel {
+    /// Wrap a trained regression tree with a detection `threshold`
+    /// (the paper sweeps thresholds in `[-0.94, 0.0]` for Figure 10).
+    #[must_use]
+    pub fn new(tree: RegressionTree, threshold: f64) -> Self {
+        HealthModel { tree, threshold }
+    }
+
+    /// Predicted health degree of a sample (clamped to `[-1, +1]`).
+    #[must_use]
+    pub fn health(&self, features: &[f64]) -> f64 {
+        self.tree.predict(features).clamp(-1.0, 1.0)
+    }
+
+    /// `true` when the sample's health degree is below the threshold.
+    #[must_use]
+    pub fn is_warning(&self, features: &[f64]) -> bool {
+        self.health(features) < self.threshold
+    }
+
+    /// The detection threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Replace the threshold (this is the paper's "easy way to tune the
+    /// detection rate and the false alarm rate finely", §VII).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    /// The underlying regression tree.
+    #[must_use]
+    pub fn tree(&self) -> &RegressionTree {
+        &self.tree
+    }
+
+    /// Filter and sort warnings by urgency: items whose health degree is
+    /// below the threshold, most critical (lowest health) first.
+    ///
+    /// Takes `(item, health)` pairs — e.g. produced by
+    /// [`HealthModel::health`] on each drive's latest sample — and returns
+    /// the processing order for the warnings (§III-B: "deal with drives
+    /// closer to failure more priority than those more healthy").
+    #[must_use]
+    pub fn rank_warnings<T>(&self, warnings: Vec<(T, f64)>) -> Vec<(T, f64)> {
+        let mut out: Vec<(T, f64)> = warnings
+            .into_iter()
+            .filter(|(_, h)| *h < self.threshold)
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regressor::RegressionTreeBuilder;
+    use crate::sample::RegSample;
+
+    #[test]
+    fn global_degree_endpoints() {
+        assert_eq!(global_health_degree(0, 100), -1.0);
+        assert_eq!(global_health_degree(100, 100), 0.0);
+        assert_eq!(global_health_degree(50, 100), -0.5);
+    }
+
+    #[test]
+    fn global_degree_clamps_old_samples() {
+        assert_eq!(global_health_degree(500, 100), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = global_health_degree(5, 0);
+    }
+
+    #[test]
+    fn personalized_matches_global_formula() {
+        assert_eq!(
+            personalized_health_degree(30, 60),
+            global_health_degree(30, 60)
+        );
+    }
+
+    #[test]
+    fn evenly_spaced_covers_range() {
+        let idx = evenly_spaced_indices(100, 12);
+        assert_eq!(idx.len(), 12);
+        assert_eq!(idx[0], 0);
+        assert_eq!(*idx.last().unwrap(), 99);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn evenly_spaced_degenerate_cases() {
+        assert_eq!(evenly_spaced_indices(5, 12), vec![0, 1, 2, 3, 4]);
+        assert!(evenly_spaced_indices(0, 12).is_empty());
+        assert!(evenly_spaced_indices(10, 0).is_empty());
+        assert_eq!(evenly_spaced_indices(10, 1), vec![0]);
+    }
+
+    fn toy_model(threshold: f64) -> HealthModel {
+        // x < 10 -> health -1, else +1.
+        let samples: Vec<RegSample> = (0..100)
+            .map(|i| {
+                let x = f64::from(i % 20);
+                RegSample::new(vec![x], if x < 10.0 { -1.0 } else { 1.0 })
+            })
+            .collect();
+        let tree = RegressionTreeBuilder::new().build(&samples).unwrap();
+        HealthModel::new(tree, threshold)
+    }
+
+    #[test]
+    fn warning_threshold() {
+        let model = toy_model(-0.2);
+        assert!(model.is_warning(&[3.0]));
+        assert!(!model.is_warning(&[15.0]));
+        assert_eq!(model.threshold(), -0.2);
+    }
+
+    #[test]
+    fn set_threshold_changes_operating_point() {
+        let mut model = toy_model(-2.0);
+        assert!(!model.is_warning(&[3.0]), "threshold below every health");
+        model.set_threshold(0.5);
+        assert!(model.is_warning(&[3.0]));
+    }
+
+    #[test]
+    fn health_is_clamped() {
+        let model = toy_model(0.0);
+        let h = model.health(&[3.0]);
+        assert!((-1.0..=1.0).contains(&h));
+    }
+
+    #[test]
+    fn rank_warnings_orders_by_urgency() {
+        let model = toy_model(0.5);
+        let ranked = model.rank_warnings(vec![(1u32, 0.9), (2, -0.8), (3, -0.2), (4, 0.4)]);
+        let ids: Vec<u32> = ranked.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![2, 3, 4], "most urgent first; healthy excluded");
+    }
+}

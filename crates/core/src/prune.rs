@@ -1,0 +1,262 @@
+//! Complexity-parameter pruning (Algorithm 1, lines 18–22).
+//!
+//! After a tree is fully grown, every subtree whose root split achieved a
+//! scaled gain below the complexity parameter is pruned back to a leaf.
+//! Pruning rebuilds the arena so dead nodes do not linger.
+
+use crate::classifier::ClassLeaf;
+use crate::tree::{Node, NodeId, SplitNode, Tree};
+
+/// Prune `tree`: collapse every subtree whose split gain is below `cp`.
+#[must_use]
+pub(crate) fn prune<L: Clone>(tree: &Tree<L>, cp: f64) -> Tree<L> {
+    let mut nodes = Vec::with_capacity(tree.n_nodes());
+    copy_pruned(tree, NodeId::ROOT, cp, &mut nodes);
+    Tree::from_nodes(nodes, tree.n_features())
+}
+
+fn copy_pruned<L: Clone>(
+    tree: &Tree<L>,
+    id: NodeId,
+    cp: f64,
+    out: &mut Vec<Node<L>>,
+) -> NodeId {
+    let node = tree.node(id);
+    let new_id = NodeId(out.len() as u32);
+    out.push(Node {
+        prediction: node.prediction.clone(),
+        weight: node.weight,
+        fraction: node.fraction,
+        gain: 0.0,
+        split: None,
+    });
+    if let Some(split) = &node.split {
+        if node.gain >= cp {
+            let left = copy_pruned(tree, split.left, cp, out);
+            let right = copy_pruned(tree, split.right, cp, out);
+            let copied = &mut out[new_id.0 as usize];
+            copied.gain = node.gain;
+            copied.split = Some(SplitNode {
+                feature: split.feature,
+                threshold: split.threshold,
+                left,
+                right,
+            });
+        }
+    }
+    new_id
+}
+
+/// Weakest-link cost-complexity pruning (Breiman et al., ch. 3) for
+/// classification trees — the alternative to the paper's gain-threshold
+/// rule, provided for ablations.
+///
+/// Each internal node `t` has a link strength
+/// `g(t) = (R(t) − R(T_t)) / (|leaves(T_t)| − 1)` where `R` is the
+/// weighted misclassification cost; nodes with `g(t) <= alpha` are
+/// collapsed, weakest first, until none remain.
+#[must_use]
+pub fn cost_complexity_prune(tree: &Tree<ClassLeaf>, alpha: f64) -> Tree<ClassLeaf> {
+    // Work on a mutable copy of the node arena via rebuild-per-collapse;
+    // trees here are small (thousands of nodes at most).
+    let mut current = prune(tree, 0.0); // clean copy
+    loop {
+        let Some((weakest, g)) = weakest_link(&current) else {
+            return current;
+        };
+        if g > alpha {
+            return current;
+        }
+        current = collapse(&current, weakest);
+    }
+}
+
+/// Weighted misclassification cost of predicting this node's majority.
+fn node_risk(leaf: &ClassLeaf) -> f64 {
+    leaf.w_good.min(leaf.w_failed)
+}
+
+/// The internal node with the smallest link strength, if any.
+fn weakest_link(tree: &Tree<ClassLeaf>) -> Option<(NodeId, f64)> {
+    fn subtree(tree: &Tree<ClassLeaf>, id: NodeId) -> (f64, usize) {
+        let node = tree.node(id);
+        match &node.split {
+            None => (node_risk(&node.prediction), 1),
+            Some(s) => {
+                let (rl, nl) = subtree(tree, s.left);
+                let (rr, nr) = subtree(tree, s.right);
+                (rl + rr, nl + nr)
+            }
+        }
+    }
+    let mut best: Option<(NodeId, f64)> = None;
+    for i in 0..tree.n_nodes() {
+        let id = NodeId(i as u32);
+        let node = tree.node(id);
+        if node.split.is_none() {
+            continue;
+        }
+        let (r_sub, n_leaves) = subtree(tree, id);
+        let g = (node_risk(&node.prediction) - r_sub) / (n_leaves as f64 - 1.0).max(1.0);
+        if best.as_ref().is_none_or(|(_, bg)| g < *bg) {
+            best = Some((id, g));
+        }
+    }
+    best
+}
+
+/// Rebuild the tree with `target`'s subtree collapsed to a leaf.
+fn collapse(tree: &Tree<ClassLeaf>, target: NodeId) -> Tree<ClassLeaf> {
+    fn copy(
+        tree: &Tree<ClassLeaf>,
+        id: NodeId,
+        target: NodeId,
+        out: &mut Vec<Node<ClassLeaf>>,
+    ) -> NodeId {
+        let node = tree.node(id);
+        let new_id = NodeId(out.len() as u32);
+        out.push(Node {
+            prediction: node.prediction,
+            weight: node.weight,
+            fraction: node.fraction,
+            gain: 0.0,
+            split: None,
+        });
+        if id != target {
+            if let Some(split) = &node.split {
+                let left = copy(tree, split.left, target, out);
+                let right = copy(tree, split.right, target, out);
+                let copied = &mut out[new_id.0 as usize];
+                copied.gain = node.gain;
+                copied.split = Some(SplitNode {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                });
+            }
+        }
+        new_id
+    }
+    let mut nodes = Vec::with_capacity(tree.n_nodes());
+    copy(tree, NodeId::ROOT, target, &mut nodes);
+    Tree::from_nodes(nodes, tree.n_features())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root(gain .5) -> [leafL, inner(gain .01) -> [leafRL, leafRR]]
+    fn sample_tree() -> Tree<u8> {
+        let leaf = |p: u8, w: f64| Node {
+            prediction: p,
+            weight: w,
+            fraction: w / 10.0,
+            gain: 0.0,
+            split: None,
+        };
+        let mut root = leaf(0, 10.0);
+        root.gain = 0.5;
+        root.split = Some(SplitNode {
+            feature: 0,
+            threshold: 1.0,
+            left: NodeId(1),
+            right: NodeId(2),
+        });
+        let mut inner = leaf(2, 4.0);
+        inner.gain = 0.01;
+        inner.split = Some(SplitNode {
+            feature: 1,
+            threshold: 5.0,
+            left: NodeId(3),
+            right: NodeId(4),
+        });
+        Tree::from_nodes(vec![root, leaf(1, 6.0), inner, leaf(3, 2.0), leaf(4, 2.0)], 2)
+    }
+
+    #[test]
+    fn zero_cp_keeps_everything() {
+        let t = prune(&sample_tree(), 0.0);
+        assert_eq!(t.n_nodes(), 5);
+        assert_eq!(t.n_leaves(), 3);
+    }
+
+    #[test]
+    fn mid_cp_prunes_weak_subtree() {
+        let t = prune(&sample_tree(), 0.1);
+        assert_eq!(t.n_nodes(), 3, "inner split collapses");
+        // The collapsed node keeps its prediction.
+        assert_eq!(t.leaf_for(&[5.0, 0.0]).prediction, 2);
+    }
+
+    #[test]
+    fn huge_cp_prunes_to_root() {
+        let t = prune(&sample_tree(), 1.0);
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.leaf_for(&[0.0, 0.0]).prediction, 0);
+    }
+
+    mod cost_complexity {
+        use super::super::*;
+        use crate::sample::{Class, ClassSample};
+        use crate::classifier::ClassificationTreeBuilder;
+
+        fn noisy_tree() -> crate::classifier::ClassificationTree {
+            // Separable core plus label noise: the full tree overfits.
+            let samples: Vec<ClassSample> = (0..400)
+                .map(|i| {
+                    let x = (i % 40) as f64;
+                    let noise = i % 17 == 0;
+                    let class = if (x < 20.0) ^ noise { Class::Failed } else { Class::Good };
+                    ClassSample::new(vec![x, (i % 7) as f64], class)
+                })
+                .collect();
+            let mut b = ClassificationTreeBuilder::new();
+            b.complexity(0.0).min_split(2).min_bucket(1)
+                .failed_weight_fraction(None).false_alarm_loss(1.0);
+            b.build(&samples).unwrap()
+        }
+
+        #[test]
+        fn zero_alpha_collapses_only_useless_splits() {
+            let full = noisy_tree();
+            let pruned = cost_complexity_prune(full.tree(), 0.0);
+            assert!(pruned.n_leaves() <= full.tree().n_leaves());
+            assert!(pruned.n_leaves() >= 2, "the core split must survive");
+        }
+
+        #[test]
+        fn larger_alpha_prunes_more() {
+            let full = noisy_tree();
+            let mild = cost_complexity_prune(full.tree(), 1e-4);
+            let harsh = cost_complexity_prune(full.tree(), 1.0);
+            assert!(harsh.n_leaves() <= mild.n_leaves());
+            assert_eq!(harsh.n_leaves(), 1, "huge alpha prunes to the root");
+        }
+
+        #[test]
+        fn pruning_preserves_core_predictions() {
+            let full = noisy_tree();
+            let pruned = cost_complexity_prune(full.tree(), 1e-3);
+            // The main boundary at x = 20 must survive mild pruning.
+            assert_eq!(pruned.leaf_for(&[5.0, 0.0]).prediction.class, Class::Failed);
+            assert_eq!(pruned.leaf_for(&[35.0, 0.0]).prediction.class, Class::Good);
+        }
+    }
+
+    #[test]
+    fn pruned_tree_has_no_dead_nodes() {
+        let t = prune(&sample_tree(), 0.1);
+        // Every non-root node must be referenced by exactly one split.
+        let mut referenced = vec![false; t.n_nodes()];
+        referenced[0] = true;
+        for node in t.nodes() {
+            if let Some(s) = &node.split {
+                referenced[s.left.0 as usize] = true;
+                referenced[s.right.0 as usize] = true;
+            }
+        }
+        assert!(referenced.iter().all(|&r| r));
+    }
+}

@@ -1,0 +1,372 @@
+//! The Regression Tree model (Algorithm 2 of the paper).
+
+use crate::classifier::partition;
+use crate::sample::{validate_features, RegSample, TrainError};
+use crate::split::{best_regression_split, FeatureMatrix};
+use crate::tree::{Node, NodeId, SplitNode, Tree};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Leaf payload of a regression tree: the weighted mean target at the node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegLeaf {
+    /// Weighted mean of the target variable.
+    pub mean: f64,
+}
+
+impl fmt::Display for RegLeaf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.3}", self.mean)
+    }
+}
+
+/// Configures and trains [`RegressionTree`]s.
+///
+/// Split conditions and the pruning parameter default to the same values
+/// as the classification tree, as in §V-C of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTreeBuilder {
+    min_split: usize,
+    min_bucket: usize,
+    complexity: f64,
+    max_depth: Option<usize>,
+}
+
+impl Default for RegressionTreeBuilder {
+    fn default() -> Self {
+        RegressionTreeBuilder {
+            min_split: 20,
+            min_bucket: 7,
+            complexity: 0.001,
+            max_depth: None,
+        }
+    }
+}
+
+impl RegressionTreeBuilder {
+    /// A builder with the paper's default parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `Minsplit`: minimum samples at a node before it may be split.
+    pub fn min_split(&mut self, n: usize) -> &mut Self {
+        self.min_split = n.max(2);
+        self
+    }
+
+    /// `Minbucket`: minimum samples at any leaf.
+    pub fn min_bucket(&mut self, n: usize) -> &mut Self {
+        self.min_bucket = n.max(1);
+        self
+    }
+
+    /// Complexity parameter: subtrees whose relative sum-of-squares
+    /// reduction falls below `cp` are pruned (Algorithm 2, lines 19–23).
+    pub fn complexity(&mut self, cp: f64) -> &mut Self {
+        self.complexity = cp.max(0.0);
+        self
+    }
+
+    /// Optional hard depth cap (ablation aid; not in the paper).
+    pub fn max_depth(&mut self, depth: Option<usize>) -> &mut Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Train a tree on `samples` with unit weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] if `samples` is empty or malformed.
+    pub fn build(&self, samples: &[RegSample]) -> Result<RegressionTree, TrainError> {
+        let weights = vec![1.0; samples.len()];
+        self.build_weighted(samples, &weights)
+    }
+
+    /// Train with explicit per-sample weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] if `samples` is empty or malformed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != samples.len()` or any weight is not a
+    /// positive finite number.
+    pub fn build_weighted(
+        &self,
+        samples: &[RegSample],
+        weights: &[f64],
+    ) -> Result<RegressionTree, TrainError> {
+        assert_eq!(weights.len(), samples.len(), "one weight per sample");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive and finite"
+        );
+        let n_features = validate_features(samples.iter().map(|s| s.features.as_slice()))?;
+        if let Some(bad) = samples.iter().position(|s| !s.target.is_finite()) {
+            return Err(TrainError::InvalidFeatures {
+                sample: bad,
+                reason: "target is not finite".to_string(),
+            });
+        }
+        let targets: Vec<f64> = samples.iter().map(|s| s.target).collect();
+        let matrix = FeatureMatrix::from_rows(samples.iter().map(|s| s.features.as_slice()));
+        let tree = grow(
+            &matrix,
+            &targets,
+            weights,
+            self.min_split,
+            self.min_bucket,
+            self.max_depth,
+            n_features,
+        );
+        let tree = crate::prune::prune(&tree, self.complexity);
+        Ok(RegressionTree { tree })
+    }
+}
+
+/// A trained regression tree predicting a real-valued target (the health
+/// degree in the paper's usage).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    tree: Tree<RegLeaf>,
+}
+
+impl RegressionTree {
+    /// Predict the target value for a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is shorter than the training dimensionality.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.tree.leaf_for(features).prediction.mean
+    }
+
+    /// The underlying tree.
+    #[must_use]
+    pub fn tree(&self) -> &Tree<RegLeaf> {
+        &self.tree
+    }
+
+    /// Decision rules as text.
+    #[must_use]
+    pub fn rules(&self, feature_names: &[String]) -> String {
+        self.tree.rules(feature_names)
+    }
+
+    /// Normalized per-feature importance.
+    #[must_use]
+    pub fn feature_importance(&self) -> Vec<f64> {
+        self.tree.feature_importance()
+    }
+}
+
+/// Grow a full regression tree (stack-based, like Algorithm 2).
+fn grow(
+    matrix: &FeatureMatrix,
+    targets: &[f64],
+    weights: &[f64],
+    min_split: usize,
+    min_bucket: usize,
+    max_depth: Option<usize>,
+    n_features: usize,
+) -> Tree<RegLeaf> {
+    let mut indices: Vec<u32> = (0..matrix.n_rows() as u32).collect();
+    let root_weight: f64 = weights.iter().sum();
+
+    let node_stats = |idx: &[u32]| {
+        let mut sw = 0.0;
+        let mut swy = 0.0;
+        let mut swy2 = 0.0;
+        for &i in idx {
+            let (w, y) = (weights[i as usize], targets[i as usize]);
+            sw += w;
+            swy += w * y;
+            swy2 += w * y * y;
+        }
+        let mean = if sw > 0.0 { swy / sw } else { 0.0 };
+        let sq = (swy2 - swy * swy / sw.max(f64::MIN_POSITIVE)).max(0.0);
+        (mean, sq, sw)
+    };
+
+    let (root_mean, root_sq, _) = node_stats(&indices);
+    let mut nodes = vec![Node {
+        prediction: RegLeaf { mean: root_mean },
+        weight: root_weight,
+        fraction: 1.0,
+        gain: 0.0,
+        split: None,
+    }];
+    let mut stack = vec![(NodeId::ROOT, 0usize, indices.len(), 1usize)];
+
+    while let Some((id, start, end, depth)) = stack.pop() {
+        if end - start < min_split || max_depth.is_some_and(|d| depth >= d) {
+            continue;
+        }
+        let range = &indices[start..end];
+        let Some(split) = best_regression_split(matrix, range, targets, weights, min_bucket)
+        else {
+            continue;
+        };
+        let mid = partition(&mut indices[start..end], |i| {
+            matrix.value(i as usize, split.feature) < split.threshold
+        }) + start;
+        debug_assert!(mid > start && mid < end);
+
+        let left_id = NodeId(nodes.len() as u32);
+        let right_id = NodeId(nodes.len() as u32 + 1);
+        for range in [&indices[start..mid], &indices[mid..end]] {
+            let (mean, _, sw) = node_stats(range);
+            nodes.push(Node {
+                prediction: RegLeaf { mean },
+                weight: sw,
+                fraction: sw / root_weight,
+                gain: 0.0,
+                split: None,
+            });
+        }
+        let node = &mut nodes[id.0 as usize];
+        node.split = Some(SplitNode {
+            feature: split.feature,
+            threshold: split.threshold,
+            left: left_id,
+            right: right_id,
+        });
+        // Relative sum-of-squares reduction, comparable against CP.
+        node.gain = if root_sq > 0.0 { split.gain / root_sq } else { 0.0 };
+        stack.push((left_id, start, mid, depth + 1));
+        stack.push((right_id, mid, end, depth + 1));
+    }
+
+    Tree::from_nodes(nodes, n_features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_function(n: usize) -> Vec<RegSample> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 40) as f64;
+                let y = if x < 20.0 { -1.0 } else { 1.0 };
+                RegSample::new(vec![x, (i % 3) as f64], y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fits_a_step_function() {
+        let tree = RegressionTreeBuilder::new().build(&step_function(200)).unwrap();
+        assert!((tree.predict(&[5.0, 0.0]) - (-1.0)).abs() < 1e-9);
+        assert!((tree.predict(&[30.0, 0.0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_a_ramp_piecewise() {
+        let samples: Vec<RegSample> = (0..400)
+            .map(|i| {
+                let x = f64::from(i) / 400.0;
+                RegSample::new(vec![x], x)
+            })
+            .collect();
+        let mut b = RegressionTreeBuilder::new();
+        b.complexity(1e-6);
+        let tree = b.build(&samples).unwrap();
+        // Tree approximates the ramp: monotone-ish, small error.
+        let mse: f64 = (0..100)
+            .map(|i| {
+                let x = f64::from(i) / 100.0;
+                (tree.predict(&[x]) - x).powi(2)
+            })
+            .sum::<f64>()
+            / 100.0;
+        assert!(mse < 0.01, "mse {mse}");
+    }
+
+    #[test]
+    fn constant_targets_give_stump() {
+        let samples: Vec<RegSample> = (0..50)
+            .map(|i| RegSample::new(vec![f64::from(i)], 7.0))
+            .collect();
+        let tree = RegressionTreeBuilder::new().build(&samples).unwrap();
+        assert_eq!(tree.tree().n_nodes(), 1);
+        assert_eq!(tree.predict(&[99.0]), 7.0);
+    }
+
+    #[test]
+    fn weights_shift_leaf_means() {
+        let samples = vec![
+            RegSample::new(vec![0.0], 0.0),
+            RegSample::new(vec![0.1], 10.0),
+        ];
+        let mut b = RegressionTreeBuilder::new();
+        b.min_split(100); // force a stump: prediction is the weighted mean
+        let heavy_first = b.build_weighted(&samples, &[9.0, 1.0]).unwrap();
+        assert!((heavy_first.predict(&[0.0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_targets() {
+        let samples = vec![RegSample::new(vec![1.0], f64::INFINITY)];
+        assert!(matches!(
+            RegressionTreeBuilder::new().build(&samples).unwrap_err(),
+            TrainError::InvalidFeatures { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            RegressionTreeBuilder::new().build(&[]).unwrap_err(),
+            TrainError::NoSamples
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per sample")]
+    fn weight_length_mismatch_panics() {
+        let samples = step_function(10);
+        let _ = RegressionTreeBuilder::new().build_weighted(&samples, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn negative_weights_panic() {
+        let samples = step_function(10);
+        let weights = vec![-1.0; samples.len()];
+        let _ = RegressionTreeBuilder::new().build_weighted(&samples, &weights);
+    }
+
+    #[test]
+    fn pruning_shrinks_tree() {
+        let samples = step_function(400);
+        let mut loose = RegressionTreeBuilder::new();
+        loose.complexity(0.0).min_split(2).min_bucket(1);
+        let mut tight = RegressionTreeBuilder::new();
+        tight.complexity(0.5).min_split(2).min_bucket(1);
+        let big = loose.build(&samples).unwrap();
+        let small = tight.build(&samples).unwrap();
+        assert!(small.tree().n_nodes() <= big.tree().n_nodes());
+    }
+
+    #[test]
+    fn deterministic() {
+        let samples = step_function(100);
+        let a = RegressionTreeBuilder::new().build(&samples).unwrap();
+        let b = RegressionTreeBuilder::new().build(&samples).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let tree = RegressionTreeBuilder::new().build(&step_function(100)).unwrap();
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: RegressionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.predict(&[5.0, 0.0]), tree.predict(&[5.0, 0.0]));
+    }
+}

@@ -1,0 +1,187 @@
+//! Training samples and validation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary drive condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Class {
+    /// Healthy drive (target value `+1` in the paper).
+    Good,
+    /// Failing/failed drive (target value `-1`).
+    Failed,
+}
+
+impl Class {
+    /// The paper's numeric target encoding: `+1` good, `-1` failed.
+    #[must_use]
+    pub fn target(self) -> f64 {
+        match self {
+            Class::Good => 1.0,
+            Class::Failed => -1.0,
+        }
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Class::Good => "good",
+            Class::Failed => "failed",
+        })
+    }
+}
+
+/// A labelled classification sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSample {
+    /// Feature vector.
+    pub features: Vec<f64>,
+    /// Ground-truth class.
+    pub class: Class,
+}
+
+impl ClassSample {
+    /// Create a sample.
+    #[must_use]
+    pub fn new(features: Vec<f64>, class: Class) -> Self {
+        ClassSample { features, class }
+    }
+}
+
+/// A regression sample: feature vector plus a real-valued target (a health
+/// degree in `[-1, +1]` in the paper's usage).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegSample {
+    /// Feature vector.
+    pub features: Vec<f64>,
+    /// Target value.
+    pub target: f64,
+}
+
+impl RegSample {
+    /// Create a sample.
+    #[must_use]
+    pub fn new(features: Vec<f64>, target: f64) -> Self {
+        RegSample { features, target }
+    }
+}
+
+/// Why training could not proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// The training set was empty.
+    NoSamples,
+    /// Samples disagree on dimensionality, or a feature value is NaN.
+    InvalidFeatures {
+        /// Index of the offending sample.
+        sample: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// Classification training requires both classes to be present.
+    SingleClass,
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NoSamples => f.write_str("training set is empty"),
+            TrainError::InvalidFeatures { sample, reason } => {
+                write!(f, "invalid features in sample {sample}: {reason}")
+            }
+            TrainError::SingleClass => {
+                f.write_str("training set contains only one class")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Validate a feature matrix: consistent dimensionality, finite values.
+///
+/// Returns the dimensionality.
+pub(crate) fn validate_features<'a, I>(rows: I) -> Result<usize, TrainError>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    let mut dim = None;
+    for (i, row) in rows.into_iter().enumerate() {
+        match dim {
+            None => {
+                if row.is_empty() {
+                    return Err(TrainError::InvalidFeatures {
+                        sample: i,
+                        reason: "empty feature vector".to_string(),
+                    });
+                }
+                dim = Some(row.len());
+            }
+            Some(d) if d != row.len() => {
+                return Err(TrainError::InvalidFeatures {
+                    sample: i,
+                    reason: format!("expected {d} features, got {}", row.len()),
+                });
+            }
+            _ => {}
+        }
+        if let Some(j) = row.iter().position(|v| !v.is_finite()) {
+            return Err(TrainError::InvalidFeatures {
+                sample: i,
+                reason: format!("feature {j} is not finite"),
+            });
+        }
+    }
+    dim.ok_or(TrainError::NoSamples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_targets() {
+        assert_eq!(Class::Good.target(), 1.0);
+        assert_eq!(Class::Failed.target(), -1.0);
+        assert_eq!(Class::Good.to_string(), "good");
+    }
+
+    #[test]
+    fn validate_accepts_consistent_rows() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let dim = validate_features(rows.iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(dim, 2);
+    }
+
+    #[test]
+    fn validate_rejects_dimension_mismatch() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0]];
+        let err = validate_features(rows.iter().map(Vec::as_slice)).unwrap_err();
+        assert!(matches!(err, TrainError::InvalidFeatures { sample: 1, .. }));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, f64::NAN]];
+        let err = validate_features(rows.iter().map(Vec::as_slice)).unwrap_err();
+        assert!(err.to_string().contains("not finite"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_empty_set_and_empty_rows() {
+        let rows: Vec<Vec<f64>> = vec![];
+        assert_eq!(
+            validate_features(rows.iter().map(Vec::as_slice)).unwrap_err(),
+            TrainError::NoSamples
+        );
+        let rows: Vec<Vec<f64>> = vec![vec![]];
+        assert!(validate_features(rows.iter().map(Vec::as_slice)).is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(TrainError::NoSamples.to_string(), "training set is empty");
+        assert!(TrainError::SingleClass.to_string().contains("one class"));
+    }
+}

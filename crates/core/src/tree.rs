@@ -1,0 +1,350 @@
+//! Generic tree storage shared by the classification and regression models.
+//!
+//! A [`Tree`] is an arena of nodes; leaves carry a payload `L` (class
+//! distribution or mean target). Trees are white boxes: they can print
+//! their decision rules (the paper's Figure 1) and attribute impurity
+//! decrease to features.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node within its tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root node's id.
+    pub const ROOT: NodeId = NodeId(0);
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An internal node's split: `feature < threshold` goes left.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitNode {
+    /// Feature index tested.
+    pub feature: usize,
+    /// Threshold; strictly-less goes left.
+    pub threshold: f64,
+    /// Left child (condition true).
+    pub left: NodeId,
+    /// Right child (condition false).
+    pub right: NodeId,
+}
+
+/// One node of a tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node<L> {
+    /// Leaf payload / node prediction (internal nodes keep theirs for
+    /// rule printing, exactly like the paper's Figure 1 annotates every
+    /// node with its class distribution).
+    pub prediction: L,
+    /// Total training weight that reached this node.
+    pub weight: f64,
+    /// Share of the root's weight (the percentages in Figure 1).
+    pub fraction: f64,
+    /// Scaled gain of this node's split (`fraction ×` local impurity
+    /// decrease); `0` for leaves. This is the quantity compared against
+    /// the complexity parameter during pruning.
+    pub gain: f64,
+    /// The split, or `None` for leaves.
+    pub split: Option<SplitNode>,
+}
+
+/// An immutable binary decision tree with leaf payload `L`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree<L> {
+    nodes: Vec<Node<L>>,
+    n_features: usize,
+}
+
+impl<L> Tree<L> {
+    /// Assemble a tree from an arena whose first node is the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or any child id is out of bounds.
+    #[must_use]
+    pub(crate) fn from_nodes(nodes: Vec<Node<L>>, n_features: usize) -> Self {
+        assert!(!nodes.is_empty(), "tree must have a root");
+        for node in &nodes {
+            if let Some(s) = &node.split {
+                assert!(
+                    s.left.index() < nodes.len() && s.right.index() < nodes.len(),
+                    "child id out of bounds"
+                );
+            }
+        }
+        Tree { nodes, n_features }
+    }
+
+    /// Dimensionality of the feature vectors this tree splits on.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of nodes (internal + leaves).
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    #[must_use]
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.split.is_none()).count()
+    }
+
+    /// Maximum depth (a lone root has depth 1).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        fn walk<L>(tree: &Tree<L>, id: NodeId) -> usize {
+            match &tree.node(id).split {
+                None => 1,
+                Some(s) => 1 + walk(tree, s.left).max(walk(tree, s.right)),
+            }
+        }
+        walk(self, NodeId::ROOT)
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node<L> {
+        &self.nodes[id.index()]
+    }
+
+    /// Walk from the root to the leaf covering `features`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is shorter than [`Tree::n_features`].
+    #[must_use]
+    pub fn leaf_for(&self, features: &[f64]) -> &Node<L> {
+        assert!(
+            features.len() >= self.n_features,
+            "feature vector too short: {} < {}",
+            features.len(),
+            self.n_features
+        );
+        let mut id = NodeId::ROOT;
+        loop {
+            match &self.node(id).split {
+                None => return self.node(id),
+                Some(s) => {
+                    id = if features[s.feature] < s.threshold {
+                        s.left
+                    } else {
+                        s.right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Per-feature importance: the sum of scaled split gains attributed to
+    /// each feature, normalized to sum to 1 (all zeros for a stump).
+    #[must_use]
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_features];
+        for node in &self.nodes {
+            if let Some(s) = &node.split {
+                imp[s.feature] += node.gain;
+            }
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+
+    /// Iterate over all nodes (arena order; the root is first).
+    pub fn nodes(&self) -> impl Iterator<Item = &Node<L>> {
+        self.nodes.iter()
+    }
+}
+
+impl<L: fmt::Display> Tree<L> {
+    /// Render the decision rules, one line per node, in the style of the
+    /// paper's Figure 1:
+    ///
+    /// ```text
+    /// ├─ POH < 90.0 → failed [3.0% of weight]
+    /// ```
+    ///
+    /// `feature_names` supplies the column names (falls back to `f<i>`).
+    #[must_use]
+    pub fn rules(&self, feature_names: &[String]) -> String {
+        let mut out = String::new();
+        self.render(NodeId::ROOT, "", "", feature_names, &mut out);
+        out
+    }
+
+    fn render(
+        &self,
+        id: NodeId,
+        prefix: &str,
+        condition: &str,
+        names: &[String],
+        out: &mut String,
+    ) {
+        use fmt::Write;
+        let node = self.node(id);
+        let what = if condition.is_empty() {
+            "root".to_string()
+        } else {
+            condition.to_string()
+        };
+        writeln!(
+            out,
+            "{prefix}{what} → {} [{:.1}% of weight]",
+            node.prediction,
+            node.fraction * 100.0
+        )
+        .expect("writing to String cannot fail");
+        if let Some(s) = &node.split {
+            let name = names
+                .get(s.feature)
+                .cloned()
+                .unwrap_or_else(|| format!("f{}", s.feature));
+            let child_prefix = format!("{prefix}  ");
+            self.render(
+                s.left,
+                &child_prefix,
+                &format!("{name} < {:.4}", s.threshold),
+                names,
+                out,
+            );
+            self.render(
+                s.right,
+                &child_prefix,
+                &format!("{name} ≥ {:.4}", s.threshold),
+                names,
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built stump: x0 < 5 -> "L" else "R".
+    fn stump() -> Tree<&'static str> {
+        Tree::from_nodes(
+            vec![
+                Node {
+                    prediction: "root",
+                    weight: 10.0,
+                    fraction: 1.0,
+                    gain: 0.5,
+                    split: Some(SplitNode {
+                        feature: 0,
+                        threshold: 5.0,
+                        left: NodeId(1),
+                        right: NodeId(2),
+                    }),
+                },
+                Node {
+                    prediction: "L",
+                    weight: 6.0,
+                    fraction: 0.6,
+                    gain: 0.0,
+                    split: None,
+                },
+                Node {
+                    prediction: "R",
+                    weight: 4.0,
+                    fraction: 0.4,
+                    gain: 0.0,
+                    split: None,
+                },
+            ],
+            1,
+        )
+    }
+
+    #[test]
+    fn traversal_follows_threshold() {
+        let t = stump();
+        assert_eq!(t.leaf_for(&[4.9]).prediction, "L");
+        assert_eq!(t.leaf_for(&[5.0]).prediction, "R");
+        assert_eq!(t.leaf_for(&[100.0]).prediction, "R");
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let t = stump();
+        assert_eq!(t.n_nodes(), 3);
+        assert_eq!(t.n_leaves(), 2);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.n_features(), 1);
+    }
+
+    #[test]
+    fn importance_attributes_gain() {
+        let t = stump();
+        assert_eq!(t.feature_importance(), vec![1.0]);
+    }
+
+    #[test]
+    fn rules_mention_feature_names() {
+        let t = stump();
+        let rules = t.rules(&["POH".to_string()]);
+        assert!(rules.contains("POH < 5.0000"), "{rules}");
+        assert!(rules.contains("root"), "{rules}");
+        assert!(rules.contains("60.0% of weight"), "{rules}");
+    }
+
+    #[test]
+    fn rules_fall_back_to_index_names() {
+        let t = stump();
+        let rules = t.rules(&[]);
+        assert!(rules.contains("f0 <"), "{rules}");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature vector too short")]
+    fn leaf_for_rejects_short_vector() {
+        let _ = stump().leaf_for(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "child id out of bounds")]
+    fn from_nodes_validates_children() {
+        let _ = Tree::from_nodes(
+            vec![Node {
+                prediction: "x",
+                weight: 1.0,
+                fraction: 1.0,
+                gain: 0.0,
+                split: Some(SplitNode {
+                    feature: 0,
+                    threshold: 0.0,
+                    left: NodeId(7),
+                    right: NodeId(8),
+                }),
+            }],
+            1,
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = stump();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tree<&str> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_nodes(), 3);
+        assert_eq!(back.leaf_for(&[1.0]).prediction, "L");
+    }
+}

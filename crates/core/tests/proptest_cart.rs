@@ -1,0 +1,138 @@
+//! Property-based tests of the CART invariants that the training
+//! algorithms promise: stopping rules, purity, weighting semantics.
+
+use hdd_cart::{Class, ClassSample, ClassificationTreeBuilder, RegSample, RegressionTreeBuilder};
+use proptest::prelude::*;
+
+/// A deterministic pseudo-random stream from a seed (no rand dependency
+/// needed for data synthesis inside strategies).
+fn mix(seed: u64, i: u64) -> f64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+proptest! {
+    /// Every leaf of a regression tree trained with unit weights contains
+    /// at least `min_bucket` samples (the Minbucket stopping rule).
+    #[test]
+    fn regression_leaves_respect_min_bucket(
+        seed in 0u64..500,
+        n in 30usize..200,
+        min_bucket in 1usize..12,
+    ) {
+        let samples: Vec<RegSample> = (0..n)
+            .map(|i| {
+                RegSample::new(
+                    vec![mix(seed, i as u64) * 100.0, mix(seed ^ 1, i as u64)],
+                    mix(seed ^ 2, i as u64) * 4.0 - 2.0,
+                )
+            })
+            .collect();
+        let mut builder = RegressionTreeBuilder::new();
+        builder.min_bucket(min_bucket).min_split(2).complexity(0.0);
+        let tree = builder.build(&samples).unwrap();
+        for node in tree.tree().nodes() {
+            if node.split.is_none() {
+                // Unit weights: node weight == sample count.
+                prop_assert!(
+                    node.weight + 1e-9 >= min_bucket as f64,
+                    "leaf with {} samples < min_bucket {min_bucket}",
+                    node.weight
+                );
+            }
+        }
+    }
+
+    /// Node fractions are consistent: the root has fraction 1, children of
+    /// any split partition their parent's weight.
+    #[test]
+    fn tree_weights_partition(seed in 0u64..500, n in 40usize..150) {
+        let samples: Vec<ClassSample> = (0..n)
+            .map(|i| {
+                let x = mix(seed, i as u64) * 50.0;
+                let class = if mix(seed ^ 9, i as u64) < 0.35 {
+                    Class::Failed
+                } else {
+                    Class::Good
+                };
+                ClassSample::new(vec![x], class)
+            })
+            .collect();
+        let n_failed = samples.iter().filter(|s| s.class == Class::Failed).count();
+        prop_assume!(n_failed > 0 && n_failed < samples.len());
+        let tree = ClassificationTreeBuilder::new().build(&samples).unwrap();
+        let t = tree.tree();
+        let root = t.node(hdd_cart::NodeId::ROOT);
+        prop_assert!((root.fraction - 1.0).abs() < 1e-9);
+        for node in t.nodes() {
+            if let Some(split) = &node.split {
+                let left = t.node(split.left);
+                let right = t.node(split.right);
+                prop_assert!(
+                    (left.weight + right.weight - node.weight).abs()
+                        < 1e-9 * node.weight.max(1.0),
+                    "children must partition the parent's weight"
+                );
+            }
+        }
+    }
+
+    /// Class weighting semantics: the root's weighted failed fraction
+    /// equals the requested boost fraction divided by the loss-adjusted
+    /// total, regardless of the raw class counts.
+    #[test]
+    fn boost_fraction_controls_root_distribution(
+        seed in 0u64..200,
+        boost in 0.05f64..0.95,
+        n_good in 20usize..100,
+        n_failed in 5usize..50,
+    ) {
+        let mut samples = Vec::new();
+        for i in 0..n_good {
+            samples.push(ClassSample::new(vec![mix(seed, i as u64)], Class::Good));
+        }
+        for i in 0..n_failed {
+            samples.push(ClassSample::new(
+                vec![mix(seed ^ 3, i as u64) + 10.0],
+                Class::Failed,
+            ));
+        }
+        let mut builder = ClassificationTreeBuilder::new();
+        builder
+            .failed_weight_fraction(Some(boost))
+            .false_alarm_loss(1.0)
+            .min_split(usize::MAX); // force a stump: inspect the root only
+        let tree = builder.build(&samples).unwrap();
+        let root = tree.tree().node(hdd_cart::NodeId::ROOT);
+        let frac = root.prediction.failed_fraction();
+        prop_assert!(
+            (frac - boost).abs() < 1e-9,
+            "requested boost {boost}, root failed fraction {frac}"
+        );
+    }
+
+    /// Predictions are a function of the features only: permuting the
+    /// training set does not change the trained tree's predictions.
+    #[test]
+    fn training_order_does_not_matter(seed in 0u64..200) {
+        let samples: Vec<ClassSample> = (0..80)
+            .map(|i| {
+                let x = mix(seed, i as u64) * 30.0;
+                let class = if x < 9.0 { Class::Failed } else { Class::Good };
+                ClassSample::new(vec![x, mix(seed ^ 5, i as u64)], class)
+            })
+            .collect();
+        let n_failed = samples.iter().filter(|s| s.class == Class::Failed).count();
+        prop_assume!(n_failed > 0 && n_failed < samples.len());
+        let mut reversed = samples.clone();
+        reversed.reverse();
+        let a = ClassificationTreeBuilder::new().build(&samples).unwrap();
+        let b = ClassificationTreeBuilder::new().build(&reversed).unwrap();
+        for i in 0..60 {
+            let q = vec![mix(seed ^ 7, i) * 40.0 - 5.0, mix(seed ^ 8, i)];
+            prop_assert_eq!(a.predict(&q), b.predict(&q));
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Voting-based failure detection (§V-A3 and §V-C of the paper).
+//!
+//! A single anomalous sample is weak evidence — measurement noise alone
+//! can produce one. The voting detector therefore checks, at every time
+//! point in chronological order, the last `N` consecutive samples and
+//! raises an alarm only when the votes agree: more than `N/2` classified
+//! as failed (classifier models), or a mean output below a threshold
+//! (regression / health-degree models).
+
+use hdd_ann::BpAnn;
+use hdd_cart::{AdaBoost, Class, ClassificationTree, HealthModel, RandomForest, RegressionTree};
+use hdd_smart::{Hour, SmartSeries};
+use hdd_stats::FeatureSet;
+use std::collections::VecDeque;
+
+/// Anything that scores a feature vector; negative scores vote "failed".
+///
+/// The classification tree scores `±1`, the BP ANN its `(-1, 1)` output,
+/// and the regression/health models the predicted health degree.
+pub trait SampleScorer {
+    /// Score one feature vector (negative ⇒ failing).
+    fn score(&self, features: &[f64]) -> f64;
+}
+
+impl SampleScorer for ClassificationTree {
+    fn score(&self, features: &[f64]) -> f64 {
+        match self.predict(features) {
+            Class::Good => 1.0,
+            Class::Failed => -1.0,
+        }
+    }
+}
+
+impl SampleScorer for AdaBoost {
+    fn score(&self, features: &[f64]) -> f64 {
+        self.decision_value(features)
+    }
+}
+
+impl SampleScorer for RandomForest {
+    fn score(&self, features: &[f64]) -> f64 {
+        // Vote fraction mapped to [-1, 1]: negative = majority failed.
+        1.0 - 2.0 * self.failed_vote_fraction(features)
+    }
+}
+
+impl SampleScorer for BpAnn {
+    fn score(&self, features: &[f64]) -> f64 {
+        self.predict(features)
+    }
+}
+
+impl SampleScorer for RegressionTree {
+    fn score(&self, features: &[f64]) -> f64 {
+        self.predict(features)
+    }
+}
+
+impl SampleScorer for HealthModel {
+    fn score(&self, features: &[f64]) -> f64 {
+        self.health(features)
+    }
+}
+
+/// How the last `N` scores are combined into an alarm decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VotingRule {
+    /// Alarm when more than `N/2` of the last `N` scores are negative
+    /// (the paper's rule for the CT and BP ANN classifiers).
+    Majority,
+    /// Alarm when the mean of the last `N` scores is below the threshold
+    /// (the paper's rule for the RT health-degree models, §V-C).
+    MeanBelow(f64),
+}
+
+/// The voting-based detector: a scorer, a feature extractor, a voter
+/// count `N` and a combination rule.
+///
+/// ```
+/// use hdd_eval::{Experiment, VotingDetector, VotingRule};
+/// use hdd_smart::{DatasetGenerator, FamilyProfile};
+///
+/// # fn main() -> Result<(), hdd_cart::TrainError> {
+/// let dataset = DatasetGenerator::new(FamilyProfile::w().scaled(0.01), 3).generate();
+/// let experiment = Experiment::builder().voters(5).build();
+/// let model = experiment.run_ct(&dataset)?.model;
+/// let detector =
+///     VotingDetector::new(&model, experiment.feature_set(), 5, VotingRule::Majority);
+///
+/// // Scan a failed drive's recorded window for the first alarm.
+/// let spec = dataset.failed_drives().next().expect("failed drives exist");
+/// let series = dataset.series(spec);
+/// let alarm = detector.first_alarm(&series, dataset.recorded_range(spec));
+/// # let _ = alarm;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VotingDetector<'a, S> {
+    scorer: &'a S,
+    features: &'a FeatureSet,
+    voters: usize,
+    rule: VotingRule,
+}
+
+impl<'a, S: SampleScorer> VotingDetector<'a, S> {
+    /// Create a detector with `voters` = the paper's `N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voters` is zero.
+    #[must_use]
+    pub fn new(scorer: &'a S, features: &'a FeatureSet, voters: usize, rule: VotingRule) -> Self {
+        assert!(voters >= 1, "need at least one voter");
+        VotingDetector {
+            scorer,
+            features,
+            voters,
+            rule,
+        }
+    }
+
+    /// Scan `series` chronologically over `range` and return the hour of
+    /// the first alarm, or `None` if the drive passes every time point.
+    ///
+    /// Samples whose features cannot be extracted (missing change-rate
+    /// history) do not enter the vote window.
+    #[must_use]
+    pub fn first_alarm(&self, series: &SmartSeries, range: std::ops::Range<Hour>) -> Option<Hour> {
+        let mut window: VecDeque<f64> = VecDeque::with_capacity(self.voters);
+        let samples = series.samples();
+        for (idx, sample) in samples.iter().enumerate() {
+            let hour = sample.hour;
+            if hour < range.start {
+                continue;
+            }
+            if hour >= range.end {
+                break;
+            }
+            let Some(features) = self.features.extract(series, idx) else {
+                continue;
+            };
+            if window.len() == self.voters {
+                window.pop_front();
+            }
+            window.push_back(self.scorer.score(&features));
+            if window.len() < self.voters {
+                continue;
+            }
+            let alarm = match self.rule {
+                VotingRule::Majority => {
+                    let failed_votes = window.iter().filter(|&&s| s < 0.0).count();
+                    2 * failed_votes > self.voters
+                }
+                VotingRule::MeanBelow(threshold) => {
+                    let mean = window.iter().sum::<f64>() / self.voters as f64;
+                    mean < threshold
+                }
+            };
+            if alarm {
+                return Some(hour);
+            }
+        }
+        None
+    }
+
+    /// The voter count `N`.
+    #[must_use]
+    pub fn voters(&self) -> usize {
+        self.voters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdd_smart::{Attribute, DriveClass, DriveId, SmartSample, NUM_ATTRIBUTES};
+
+    /// Scores the RawReadErrorRate value directly: negative when < 50.
+    struct ThresholdScorer;
+
+    impl SampleScorer for ThresholdScorer {
+        fn score(&self, features: &[f64]) -> f64 {
+            if features[0] < 50.0 {
+                -1.0
+            } else {
+                1.0
+            }
+        }
+    }
+
+    fn series(values: &[f32]) -> SmartSeries {
+        let samples = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| SmartSample {
+                hour: Hour(i as u32),
+                values: [v; NUM_ATTRIBUTES],
+            })
+            .collect();
+        SmartSeries::new(DriveId(0), DriveClass::Good, samples)
+    }
+
+    fn feature_set() -> FeatureSet {
+        FeatureSet::new(
+            "rrer-only",
+            vec![hdd_stats::FeatureSpec::Value(Attribute::RawReadErrorRate)],
+        )
+    }
+
+    #[test]
+    fn majority_needs_more_than_half() {
+        let fs = feature_set();
+        // Scores: good good bad bad bad -> with N=3, first alarm when the
+        // window holds [good bad bad] at index 3.
+        let s = series(&[100.0, 100.0, 10.0, 10.0, 10.0]);
+        let det = VotingDetector::new(&ThresholdScorer, &fs, 3, VotingRule::Majority);
+        assert_eq!(det.first_alarm(&s, Hour(0)..Hour(100)), Some(Hour(3)));
+    }
+
+    #[test]
+    fn single_voter_alarms_immediately() {
+        let fs = feature_set();
+        let s = series(&[100.0, 10.0, 100.0]);
+        let det = VotingDetector::new(&ThresholdScorer, &fs, 1, VotingRule::Majority);
+        assert_eq!(det.first_alarm(&s, Hour(0)..Hour(100)), Some(Hour(1)));
+    }
+
+    #[test]
+    fn transient_blip_is_suppressed_by_voting() {
+        let fs = feature_set();
+        let mut values = vec![100.0f32; 50];
+        values[20] = 10.0; // one-sample excursion
+        let s = series(&values);
+        let n1 = VotingDetector::new(&ThresholdScorer, &fs, 1, VotingRule::Majority);
+        let n5 = VotingDetector::new(&ThresholdScorer, &fs, 5, VotingRule::Majority);
+        assert!(n1.first_alarm(&s, Hour(0)..Hour(100)).is_some());
+        assert!(n5.first_alarm(&s, Hour(0)..Hour(100)).is_none());
+    }
+
+    #[test]
+    fn range_limits_scan() {
+        let fs = feature_set();
+        let s = series(&[10.0, 10.0, 10.0, 100.0, 100.0]);
+        let det = VotingDetector::new(&ThresholdScorer, &fs, 1, VotingRule::Majority);
+        assert_eq!(det.first_alarm(&s, Hour(3)..Hour(5)), None);
+        assert_eq!(det.first_alarm(&s, Hour(1)..Hour(3)), Some(Hour(1)));
+    }
+
+    #[test]
+    fn not_enough_samples_never_alarms() {
+        let fs = feature_set();
+        let s = series(&[10.0, 10.0]);
+        let det = VotingDetector::new(&ThresholdScorer, &fs, 5, VotingRule::Majority);
+        assert_eq!(det.first_alarm(&s, Hour(0)..Hour(100)), None);
+    }
+
+    #[test]
+    fn mean_below_rule() {
+        struct Identity;
+        impl SampleScorer for Identity {
+            fn score(&self, f: &[f64]) -> f64 {
+                f[0]
+            }
+        }
+        let fs = feature_set();
+        // Values drift down; mean of last 3 crosses below 0.5 once the
+        // window holds [1, 0.2, 0.1] -> mean 0.433.
+        let s = series(&[1.0, 1.0, 1.0, 0.2, 0.1, 0.0]);
+        let det = VotingDetector::new(&Identity, &fs, 3, VotingRule::MeanBelow(0.5));
+        assert_eq!(det.first_alarm(&s, Hour(0)..Hour(100)), Some(Hour(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one voter")]
+    fn zero_voters_panics() {
+        let fs = feature_set();
+        let _ = VotingDetector::new(&ThresholdScorer, &fs, 0, VotingRule::Majority);
+    }
+}

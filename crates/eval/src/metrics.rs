@@ -1,0 +1,168 @@
+//! Prediction-quality metrics: FDR, FAR and time-in-advance.
+
+use serde::{Deserialize, Serialize};
+
+/// The TIA histogram buckets of the paper's Figures 3–4, in hours
+/// (inclusive bounds).
+pub const TIA_BUCKETS: [(u32, u32); 5] =
+    [(0, 24), (25, 72), (73, 168), (169, 336), (337, u32::MAX)];
+
+/// Outcome of evaluating a model over a test population.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PredictionMetrics {
+    /// Good drives evaluated.
+    pub good_total: usize,
+    /// Good drives that raised at least one (false) alarm.
+    pub good_alarms: usize,
+    /// Failed drives evaluated.
+    pub failed_total: usize,
+    /// Failed drives detected before their failure event.
+    pub failed_detected: usize,
+    /// Time in advance (hours before failure) of each correct detection.
+    pub tia: Vec<u32>,
+}
+
+impl PredictionMetrics {
+    /// Failure detection rate: the fraction of failed drives correctly
+    /// flagged before failing. `0.0` when no failed drives were evaluated.
+    #[must_use]
+    pub fn fdr(&self) -> f64 {
+        if self.failed_total == 0 {
+            0.0
+        } else {
+            self.failed_detected as f64 / self.failed_total as f64
+        }
+    }
+
+    /// False alarm rate: the fraction of good drives incorrectly flagged.
+    /// `0.0` when no good drives were evaluated.
+    #[must_use]
+    pub fn far(&self) -> f64 {
+        if self.good_total == 0 {
+            0.0
+        } else {
+            self.good_alarms as f64 / self.good_total as f64
+        }
+    }
+
+    /// Mean hours in advance over correct detections (`0.0` when none).
+    #[must_use]
+    pub fn mean_tia(&self) -> f64 {
+        if self.tia.is_empty() {
+            0.0
+        } else {
+            self.tia.iter().map(|&t| f64::from(t)).sum::<f64>() / self.tia.len() as f64
+        }
+    }
+
+    /// Detection counts per [`TIA_BUCKETS`] bucket (Figures 3–4).
+    #[must_use]
+    pub fn tia_histogram(&self) -> [usize; TIA_BUCKETS.len()] {
+        let mut hist = [0usize; TIA_BUCKETS.len()];
+        for &t in &self.tia {
+            for (b, &(lo, hi)) in TIA_BUCKETS.iter().enumerate() {
+                if t >= lo && t <= hi {
+                    hist[b] += 1;
+                    break;
+                }
+            }
+        }
+        hist
+    }
+
+    /// Merge another evaluation's counts into this one (used to combine
+    /// per-thread partial results).
+    pub fn merge(&mut self, other: &PredictionMetrics) {
+        self.good_total += other.good_total;
+        self.good_alarms += other.good_alarms;
+        self.failed_total += other.failed_total;
+        self.failed_detected += other.failed_detected;
+        self.tia.extend_from_slice(&other.tia);
+    }
+}
+
+impl std::fmt::Display for PredictionMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FDR {:.2}% ({}/{}), FAR {:.3}% ({}/{}), mean TIA {:.1} h",
+            self.fdr() * 100.0,
+            self.failed_detected,
+            self.failed_total,
+            self.far() * 100.0,
+            self.good_alarms,
+            self.good_total,
+            self.mean_tia()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> PredictionMetrics {
+        PredictionMetrics {
+            good_total: 1000,
+            good_alarms: 5,
+            failed_total: 100,
+            failed_detected: 95,
+            tia: vec![10, 30, 100, 200, 400, 450, 500],
+        }
+    }
+
+    #[test]
+    fn rates() {
+        let m = sample_metrics();
+        assert!((m.fdr() - 0.95).abs() < 1e-12);
+        assert!((m.far() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_populations_give_zero() {
+        let m = PredictionMetrics::default();
+        assert_eq!(m.fdr(), 0.0);
+        assert_eq!(m.far(), 0.0);
+        assert_eq!(m.mean_tia(), 0.0);
+    }
+
+    #[test]
+    fn mean_tia() {
+        let m = sample_metrics();
+        let expected = (10 + 30 + 100 + 200 + 400 + 450 + 500) as f64 / 7.0;
+        assert!((m.mean_tia() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let m = sample_metrics();
+        // 10 -> b0; 30 -> b1; 100 -> b2; 200 -> b3; 400,450,500 -> b4.
+        assert_eq!(m.tia_histogram(), [1, 1, 1, 1, 3]);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let m = PredictionMetrics {
+            tia: vec![0, 24, 25, 72, 73, 168, 169, 336, 337],
+            ..Default::default()
+        };
+        assert_eq!(m.tia_histogram(), [2, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample_metrics();
+        let b = sample_metrics();
+        a.merge(&b);
+        assert_eq!(a.good_total, 2000);
+        assert_eq!(a.failed_detected, 190);
+        assert_eq!(a.tia.len(), 14);
+    }
+
+    #[test]
+    fn display_mentions_both_rates() {
+        let text = sample_metrics().to_string();
+        assert!(text.contains("FDR 95.00%"), "{text}");
+        assert!(text.contains("FAR 0.500%"), "{text}");
+    }
+}

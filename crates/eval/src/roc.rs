@@ -1,0 +1,162 @@
+//! ROC sweeps: trading FDR against FAR.
+//!
+//! Classifier models trade off by varying the voter count `N` (Figures 2
+//! and 5); the health-degree model simply sweeps its detection threshold
+//! (Figure 10) — "additional flexibility in performance adjusting".
+
+use crate::detect::{SampleScorer, VotingRule};
+use crate::metrics::PredictionMetrics;
+use crate::pipeline::Experiment;
+use crate::split::Split;
+use hdd_cart::HealthModel;
+use hdd_smart::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Voter count `N` at this point.
+    pub voters: usize,
+    /// Detection threshold (RT sweeps; `0.0` for voter sweeps).
+    pub threshold: f64,
+    /// The full metrics at this operating point.
+    pub metrics: PredictionMetrics,
+}
+
+impl RocPoint {
+    /// False alarm rate at this point.
+    #[must_use]
+    pub fn far(&self) -> f64 {
+        self.metrics.far()
+    }
+
+    /// Failure detection rate at this point.
+    #[must_use]
+    pub fn fdr(&self) -> f64 {
+        self.metrics.fdr()
+    }
+}
+
+/// Sweep the voting detector over `voter_counts` (Figures 2 and 5; the
+/// paper uses N = 1, 3, 5, 7, 9, 11, 15, 17, 27).
+#[must_use]
+pub fn sweep_voters<S: SampleScorer + Sync>(
+    experiment: &Experiment,
+    dataset: &Dataset,
+    split: &Split,
+    scorer: &S,
+    voter_counts: &[usize],
+) -> Vec<RocPoint> {
+    voter_counts
+        .iter()
+        .map(|&n| {
+            let exp = {
+                let mut b = crate::pipeline::ExperimentBuilder::from(experiment.clone());
+                b.voters(n);
+                b.build()
+            };
+            let metrics = exp.evaluate(dataset, split, scorer, VotingRule::Majority);
+            RocPoint {
+                voters: n,
+                threshold: 0.0,
+                metrics,
+            }
+        })
+        .collect()
+}
+
+/// Sweep the health-degree model's detection threshold (Figure 10; the
+/// paper sweeps −0.94 … 0.0 with N = 11).
+#[must_use]
+pub fn sweep_thresholds(
+    experiment: &Experiment,
+    dataset: &Dataset,
+    split: &Split,
+    model: &HealthModel,
+    thresholds: &[f64],
+) -> Vec<RocPoint> {
+    thresholds
+        .iter()
+        .map(|&threshold| {
+            let metrics =
+                experiment.evaluate(dataset, split, model, VotingRule::MeanBelow(threshold));
+            RocPoint {
+                voters: experiment.voters(),
+                threshold,
+                metrics,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::HealthTargets;
+    use hdd_smart::{DatasetGenerator, FamilyProfile};
+
+    fn dataset() -> Dataset {
+        DatasetGenerator::new(FamilyProfile::w().scaled(0.015), 8).generate()
+    }
+
+    #[test]
+    fn more_voters_do_not_increase_far() {
+        let ds = dataset();
+        let exp = Experiment::builder().voters(1).build();
+        let split = exp.split(&ds);
+        let outcome = exp.run_ct(&ds).unwrap();
+        let points = sweep_voters(&exp, &ds, &split, &outcome.model, &[1, 5, 11]);
+        assert_eq!(points.len(), 3);
+        // FAR must be non-increasing in N (voting suppresses blips).
+        assert!(points[0].far() >= points[1].far());
+        assert!(points[1].far() >= points[2].far());
+    }
+
+    #[test]
+    fn roc_point_accessors() {
+        let p = RocPoint {
+            voters: 11,
+            threshold: -0.2,
+            metrics: crate::metrics::PredictionMetrics {
+                good_total: 100,
+                good_alarms: 1,
+                failed_total: 10,
+                failed_detected: 9,
+                tia: vec![100],
+            },
+        };
+        assert!((p.far() - 0.01).abs() < 1e-12);
+        assert!((p.fdr() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let ds = dataset();
+        let exp = Experiment::builder().voters(1).build();
+        let split = exp.split(&ds);
+        let model = exp.run_ct(&ds).unwrap().model;
+        let a = sweep_voters(&exp, &ds, &split, &model, &[1, 7]);
+        let b = sweep_voters(&exp, &ds, &split, &model, &[1, 7]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threshold_sweep_is_monotone_in_fdr() {
+        let ds = dataset();
+        let exp = Experiment::builder().voters(3).build();
+        let split = exp.split(&ds);
+        let outcome = exp.run_rt(&ds, HealthTargets::Personalized).unwrap();
+        let points = sweep_thresholds(
+            &exp,
+            &ds,
+            &split,
+            &outcome.model,
+            &[-0.9, -0.5, -0.1, 0.2],
+        );
+        // A laxer (higher) threshold can only flag more drives.
+        for pair in points.windows(2) {
+            assert!(pair[1].fdr() >= pair[0].fdr() - 1e-12);
+            assert!(pair[1].far() >= pair[0].far() - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Train/test splitting (§V-A1 of the paper).
+//!
+//! Good drives are split **by time** — "to evaluate the model more
+//! practically, we divide the dataset into training and test sets
+//! according to time rather than randomly": the earlier 70% of the
+//! evaluation week's hours train the model, the later 30% test it.
+//! Failed drives, whose chronological order was not recorded, are split
+//! **randomly by drive** in the same 7:3 ratio.
+
+use hdd_smart::rng::DeterministicRng;
+use hdd_smart::{Dataset, DriveId, Hour, HOURS_PER_WEEK};
+use serde::{Deserialize, Serialize};
+
+/// Split configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitConfig {
+    /// Fraction of good-drive hours (and failed drives) used for training.
+    pub train_fraction: f64,
+    /// Zero-based week whose good samples are used (the paper's main
+    /// experiments use a single week).
+    pub eval_week: u32,
+    /// Seed for the random failed-drive split.
+    pub seed: u64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            train_fraction: 0.7,
+            eval_week: 0,
+            seed: 0x5117,
+        }
+    }
+}
+
+/// A concrete train/test split.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Split {
+    /// Hours whose good samples are for training.
+    pub good_train: std::ops::Range<Hour>,
+    /// Hours whose good samples are for testing.
+    pub good_test: std::ops::Range<Hour>,
+    /// Failed drives whose samples train the model.
+    pub train_failed: Vec<DriveId>,
+    /// Failed drives the model is evaluated on.
+    pub test_failed: Vec<DriveId>,
+}
+
+/// Split `dataset` per the paper's §V-A1 protocol.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is not in `(0, 1)` or the week's range is
+/// out of the observation period.
+#[must_use]
+pub fn time_split(dataset: &Dataset, config: &SplitConfig) -> Split {
+    assert!(
+        config.train_fraction > 0.0 && config.train_fraction < 1.0,
+        "train fraction must be in (0, 1)"
+    );
+    let week = Hour::week_range(config.eval_week);
+    assert!(
+        week.end.0 <= hdd_smart::time::OBSERVATION_HOURS,
+        "evaluation week outside the observation period"
+    );
+    let cut = week.start.0
+        + (f64::from(HOURS_PER_WEEK) * config.train_fraction).round() as u32;
+
+    // Random drive-level 7:3 split of the failed drives.
+    let rng = DeterministicRng::new(config.seed);
+    let mut failed: Vec<DriveId> = dataset.failed_drives().map(|s| s.id).collect();
+    // Deterministic Fisher–Yates.
+    for i in (1..failed.len()).rev() {
+        let j = (rng.uniform(i as u64, 0x5F17) * (i + 1) as f64) as usize;
+        failed.swap(i, j);
+    }
+    let n_train = (failed.len() as f64 * config.train_fraction).round() as usize;
+    let test_failed = failed.split_off(n_train.min(failed.len()));
+
+    Split {
+        good_train: week.start..Hour(cut),
+        good_test: Hour(cut)..week.end,
+        train_failed: failed,
+        test_failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdd_smart::{DatasetGenerator, FamilyProfile};
+
+    fn dataset() -> Dataset {
+        DatasetGenerator::new(FamilyProfile::w().scaled(0.02), 3).generate()
+    }
+
+    #[test]
+    fn default_split_is_70_30_of_week_zero() {
+        let split = time_split(&dataset(), &SplitConfig::default());
+        assert_eq!(split.good_train.start, Hour(0));
+        assert_eq!(split.good_train.end, Hour(118)); // round(168 * 0.7)
+        assert_eq!(split.good_test.end, Hour(168));
+    }
+
+    #[test]
+    fn failed_drives_partitioned_7_to_3() {
+        let ds = dataset();
+        let split = time_split(&ds, &SplitConfig::default());
+        let total = ds.failed_drives().count();
+        assert_eq!(split.train_failed.len() + split.test_failed.len(), total);
+        let expected_train = (total as f64 * 0.7).round() as usize;
+        assert_eq!(split.train_failed.len(), expected_train);
+        // Disjoint.
+        for id in &split.train_failed {
+            assert!(!split.test_failed.contains(id));
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let ds = dataset();
+        let a = time_split(&ds, &SplitConfig::default());
+        let b = time_split(&ds, &SplitConfig::default());
+        assert_eq!(a, b);
+        let c = time_split(
+            &ds,
+            &SplitConfig {
+                seed: 99,
+                ..SplitConfig::default()
+            },
+        );
+        assert_ne!(a.train_failed, c.train_failed);
+    }
+
+    #[test]
+    fn later_week_shifts_ranges() {
+        let split = time_split(
+            &dataset(),
+            &SplitConfig {
+                eval_week: 2,
+                ..SplitConfig::default()
+            },
+        );
+        assert_eq!(split.good_train.start, Hour(336));
+        assert_eq!(split.good_test.end, Hour(504));
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn rejects_bad_fraction() {
+        let _ = time_split(
+            &dataset(),
+            &SplitConfig {
+                train_fraction: 1.5,
+                ..SplitConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the observation period")]
+    fn rejects_out_of_range_week() {
+        let _ = time_split(
+            &dataset(),
+            &SplitConfig {
+                eval_week: 99,
+                ..SplitConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Single-drive MTTDL with failure prediction (eq. 7, Table VI).
+
+use crate::ctmc::Ctmc;
+use serde::{Deserialize, Serialize};
+
+/// A prediction model's quality, as it enters the reliability models:
+/// detection rate `k` and mean lead time (TIA).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictionQuality {
+    /// Failure detection rate `k` in `[0, 1]`.
+    pub detection_rate: f64,
+    /// Mean time-in-advance in hours; `γ = 1 / tia_hours`.
+    pub tia_hours: f64,
+}
+
+impl PredictionQuality {
+    /// Validate and build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detection_rate` is outside `[0, 1]` or `tia_hours` is
+    /// not positive.
+    #[must_use]
+    pub fn new(detection_rate: f64, tia_hours: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&detection_rate),
+            "detection rate must be in [0, 1]"
+        );
+        assert!(
+            tia_hours.is_finite() && tia_hours > 0.0,
+            "TIA must be positive"
+        );
+        PredictionQuality {
+            detection_rate,
+            tia_hours,
+        }
+    }
+
+    /// The paper's CT model operating point (Table VI): `k = 0.9549`,
+    /// `TIA = 355 h`.
+    #[must_use]
+    pub fn ct_paper() -> Self {
+        PredictionQuality::new(0.9549, 355.0)
+    }
+
+    /// The paper's RT model operating point: `k = 0.9624`, `TIA = 351 h`.
+    #[must_use]
+    pub fn rt_paper() -> Self {
+        PredictionQuality::new(0.9624, 351.0)
+    }
+
+    /// The paper's BP ANN operating point: `k = 0.9098`, `TIA = 343 h`.
+    #[must_use]
+    pub fn bp_ann_paper() -> Self {
+        PredictionQuality::new(0.9098, 343.0)
+    }
+
+    /// The rate `γ = 1/TIA` at which a predicted drive actually fails.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        1.0 / self.tia_hours
+    }
+}
+
+/// Eq. 7 (Eckart et al.): approximate MTTDL (hours) of one drive with
+/// failure prediction:
+///
+/// ```text
+/// MTTDL ≈ MTTF / (1 − k·μ/(μ+γ))
+/// ```
+///
+/// `quality = None` gives the plain MTTF.
+///
+/// # Panics
+///
+/// Panics if `mttf_hours` or `mttr_hours` is not positive.
+#[must_use]
+pub fn mttdl_single_drive(
+    mttf_hours: f64,
+    mttr_hours: f64,
+    quality: Option<PredictionQuality>,
+) -> f64 {
+    assert!(mttf_hours > 0.0 && mttr_hours > 0.0, "times must be positive");
+    match quality {
+        None => mttf_hours,
+        Some(q) => {
+            let mu = 1.0 / mttr_hours;
+            let gamma = q.gamma();
+            mttf_hours / (1.0 - q.detection_rate * mu / (mu + gamma))
+        }
+    }
+}
+
+/// The exact Markov-chain counterpart of [`mttdl_single_drive`]: states
+/// healthy → (predicted | failure), predicted → (replaced → healthy |
+/// failure). Used to validate the closed form; they agree to within the
+/// `1/λ ≫ 1/(μ+γ)` approximation the formula makes.
+#[must_use]
+pub fn mttdl_single_drive_exact(
+    mttf_hours: f64,
+    mttr_hours: f64,
+    quality: PredictionQuality,
+) -> f64 {
+    let lambda = 1.0 / mttf_hours;
+    let mu = 1.0 / mttr_hours;
+    let gamma = quality.gamma();
+    let k = quality.detection_rate;
+    // 0 = healthy, 1 = predicted, 2 = failed (absorbing).
+    let mut chain = Ctmc::new(3);
+    if k > 0.0 {
+        chain.transition(0, 1, lambda * k);
+    }
+    if k < 1.0 {
+        chain.transition(0, 2, lambda * (1.0 - k));
+    }
+    chain.transition(1, 0, mu);
+    chain.transition(1, 2, gamma);
+    chain.mean_time_to_absorption(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HOURS_PER_YEAR;
+
+    const MTTF: f64 = 1_390_000.0;
+    const MTTR: f64 = 8.0;
+
+    #[test]
+    fn no_prediction_is_plain_mttf() {
+        let years = mttdl_single_drive(MTTF, MTTR, None) / HOURS_PER_YEAR;
+        assert!((years - 158.67).abs() < 0.01, "Table VI row 1: {years}");
+    }
+
+    #[test]
+    fn table_six_ct_row() {
+        let years =
+            mttdl_single_drive(MTTF, MTTR, Some(PredictionQuality::ct_paper())) / HOURS_PER_YEAR;
+        // Paper: 2398.92 years.
+        assert!((years - 2398.92).abs() < 5.0, "{years}");
+    }
+
+    #[test]
+    fn table_six_rt_row() {
+        let years =
+            mttdl_single_drive(MTTF, MTTR, Some(PredictionQuality::rt_paper())) / HOURS_PER_YEAR;
+        // Paper: 2687.31 years.
+        assert!((years - 2687.31).abs() < 6.0, "{years}");
+    }
+
+    #[test]
+    fn table_six_bp_ann_row() {
+        let years = mttdl_single_drive(MTTF, MTTR, Some(PredictionQuality::bp_ann_paper()))
+            / HOURS_PER_YEAR;
+        // Paper: 1430.33 years.
+        assert!((years - 1430.33).abs() < 3.0, "{years}");
+    }
+
+    #[test]
+    fn exact_chain_matches_formula() {
+        let q = PredictionQuality::ct_paper();
+        let formula = mttdl_single_drive(MTTF, MTTR, Some(q));
+        let exact = mttdl_single_drive_exact(MTTF, MTTR, q);
+        let rel = (formula - exact).abs() / exact;
+        assert!(rel < 1e-3, "rel err {rel}");
+    }
+
+    #[test]
+    fn better_prediction_gives_longer_life() {
+        let low = mttdl_single_drive(MTTF, MTTR, Some(PredictionQuality::new(0.5, 300.0)));
+        let high = mttdl_single_drive(MTTF, MTTR, Some(PredictionQuality::new(0.95, 300.0)));
+        assert!(high > low * 5.0, "superlinear growth in k");
+    }
+
+    #[test]
+    fn perfect_prediction_with_instant_replacement() {
+        // k = 1, TIA huge, MTTR small: nearly no unplanned failures.
+        let q = PredictionQuality::new(1.0, 10_000.0);
+        let mttdl = mttdl_single_drive(MTTF, 1.0, Some(q));
+        assert!(mttdl > MTTF * 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "detection rate")]
+    fn rejects_bad_detection_rate() {
+        let _ = PredictionQuality::new(1.5, 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TIA")]
+    fn rejects_bad_tia() {
+        let _ = PredictionQuality::new(0.9, 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of the CTMC solver and the RAID models.
+
+use hdd_reliability::{
+    mttdl_raid6_no_prediction, mttdl_raid6_with_prediction, mttdl_single_drive,
+    mttdl_single_drive_exact, Ctmc, PredictionQuality,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// A pure birth chain's absorption time is the sum of stage means —
+    /// exact for any rates.
+    #[test]
+    fn birth_chain_matches_sum_of_means(
+        rates in prop::collection::vec(0.001f64..100.0, 1..40),
+    ) {
+        let mut chain = Ctmc::new(rates.len() + 1);
+        for (i, &r) in rates.iter().enumerate() {
+            chain.transition(i, i + 1, r);
+        }
+        let expected: f64 = rates.iter().map(|r| 1.0 / r).sum();
+        let got = chain.mean_time_to_absorption(0);
+        prop_assert!(((got - expected) / expected).abs() < 1e-9);
+    }
+
+    /// Adding a repair edge can only increase the time to absorption.
+    #[test]
+    fn repair_helps(lambda in 0.001f64..1.0, mu in 0.001f64..100.0) {
+        let mut without = Ctmc::new(3);
+        without.transition(0, 1, lambda);
+        without.transition(1, 2, lambda);
+        let mut with = Ctmc::new(3);
+        with.transition(0, 1, lambda);
+        with.transition(1, 2, lambda);
+        with.transition(1, 0, mu);
+        prop_assert!(
+            with.mean_time_to_absorption(0) >= without.mean_time_to_absorption(0)
+        );
+    }
+
+    /// The eq. 7 closed form agrees with the exact three-state chain to
+    /// within its stated approximation across the parameter space.
+    #[test]
+    fn formula_matches_exact_chain(
+        k in 0.01f64..0.999,
+        tia in 24.0f64..2000.0,
+        mttf in 1e5f64..1e7,
+    ) {
+        let q = PredictionQuality::new(k, tia);
+        let formula = mttdl_single_drive(mttf, 8.0, Some(q));
+        let exact = mttdl_single_drive_exact(mttf, 8.0, q);
+        let rel = ((formula - exact) / exact).abs();
+        // The approximation drops a term of order (1/(mu+gamma)) / (1/lambda).
+        prop_assert!(rel < 1e-2, "rel err {rel}");
+    }
+
+    /// RAID-6 MTTDL decreases monotonically with array size.
+    #[test]
+    fn raid6_mttdl_monotone_in_n(n in 4u32..200) {
+        let q = PredictionQuality::ct_paper();
+        let small = mttdl_raid6_with_prediction(1.39e6, 8.0, n, q);
+        let large = mttdl_raid6_with_prediction(1.39e6, 8.0, n + 1, q);
+        prop_assert!(large <= small * (1.0 + 1e-9));
+        // And the closed form without prediction does the same.
+        prop_assert!(
+            mttdl_raid6_no_prediction(1.39e6, 8.0, n + 1)
+                <= mttdl_raid6_no_prediction(1.39e6, 8.0, n)
+        );
+    }
+
+    /// Better prediction never hurts an array.
+    #[test]
+    fn raid6_mttdl_monotone_in_k(k in 0.0f64..0.99, n in 4u32..100) {
+        let lo = mttdl_raid6_with_prediction(
+            1.39e6, 8.0, n, PredictionQuality::new(k, 355.0),
+        );
+        let hi = mttdl_raid6_with_prediction(
+            1.39e6, 8.0, n, PredictionQuality::new((k + 0.01).min(1.0), 355.0),
+        );
+        prop_assert!(hi >= lo * (1.0 - 1e-9));
+    }
+}

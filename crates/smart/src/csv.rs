@@ -1,0 +1,211 @@
+//! CSV interchange for SMART series.
+//!
+//! Real deployments would feed the models from `smartctl` logs; this module
+//! defines a simple flat format so synthesized traces can be exported for
+//! external analysis, and externally collected traces (e.g. the public
+//! Backblaze dataset reshaped to Table II's features) can be imported.
+//!
+//! Format: a header line followed by one row per sample —
+//! `drive,failed,fail_hour,hour,<12 feature columns>`; `fail_hour` is empty
+//! for good drives.
+
+use crate::attr::{BASIC_ATTRIBUTES, NUM_ATTRIBUTES};
+use crate::drive::{DriveClass, DriveId};
+use crate::series::{SmartSample, SmartSeries};
+use crate::time::Hour;
+use std::io::{self, BufRead, Write};
+
+/// Error from CSV import.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and a reason.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Write the header line.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_header<W: Write>(mut w: W) -> io::Result<()> {
+    write!(w, "drive,failed,fail_hour,hour")?;
+    for attr in BASIC_ATTRIBUTES {
+        write!(w, ",{}", attr.mnemonic())?;
+    }
+    writeln!(w)
+}
+
+/// Append every sample of `series` as CSV rows.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_series<W: Write>(mut w: W, series: &SmartSeries) -> io::Result<()> {
+    let (failed, fail_hour) = match series.class {
+        DriveClass::Good => (0, String::new()),
+        DriveClass::Failed { fail_hour } => (1, fail_hour.0.to_string()),
+    };
+    for s in series.samples() {
+        write!(w, "{},{},{},{}", series.drive.0, failed, fail_hour, s.hour.0)?;
+        for v in s.values {
+            write!(w, ",{v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read every series from a CSV stream written by [`write_header`] +
+/// [`write_series`]. Rows of one drive must be contiguous and
+/// chronologically ordered.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Parse`] on malformed rows and [`CsvError::Io`] on
+/// read failures.
+pub fn read_series<R: BufRead>(r: R) -> Result<Vec<SmartSeries>, CsvError> {
+    let mut out: Vec<SmartSeries> = Vec::new();
+    let mut current: Option<(DriveId, DriveClass, Vec<SmartSample>)> = None;
+
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        if idx == 0 || line.is_empty() {
+            continue; // header / trailing blank
+        }
+        let parse = |reason: &str| CsvError::Parse {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 + NUM_ATTRIBUTES {
+            return Err(parse(&format!(
+                "expected {} fields, got {}",
+                4 + NUM_ATTRIBUTES,
+                fields.len()
+            )));
+        }
+        let drive = DriveId(fields[0].parse().map_err(|_| parse("bad drive id"))?);
+        let failed: u8 = fields[1].parse().map_err(|_| parse("bad failed flag"))?;
+        let class = if failed == 1 {
+            DriveClass::Failed {
+                fail_hour: Hour(fields[2].parse().map_err(|_| parse("bad fail hour"))?),
+            }
+        } else {
+            DriveClass::Good
+        };
+        let hour = Hour(fields[3].parse().map_err(|_| parse("bad hour"))?);
+        let mut values = [0.0f32; NUM_ATTRIBUTES];
+        for (i, field) in fields[4..].iter().enumerate() {
+            values[i] = field.parse().map_err(|_| parse("bad feature value"))?;
+        }
+        let sample = SmartSample { hour, values };
+
+        match &mut current {
+            Some((id, _, samples)) if *id == drive => samples.push(sample),
+            _ => {
+                if let Some((id, class, samples)) = current.take() {
+                    out.push(SmartSeries::new(id, class, samples));
+                }
+                current = Some((drive, class, vec![sample]));
+            }
+        }
+    }
+    if let Some((id, class, samples)) = current {
+        out.push(SmartSeries::new(id, class, samples));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::FamilyProfile;
+    use crate::gen::DatasetGenerator;
+
+    #[test]
+    fn round_trip_preserves_series() {
+        let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.001), 21).generate();
+        let mut buf = Vec::new();
+        write_header(&mut buf).unwrap();
+        let mut originals = Vec::new();
+        for spec in ds.drives().iter().take(4) {
+            let series = ds.series(spec);
+            write_series(&mut buf, &series).unwrap();
+            originals.push(series);
+        }
+        let parsed = read_series(buf.as_slice()).unwrap();
+        assert_eq!(parsed.len(), originals.len());
+        for (a, b) in parsed.iter().zip(&originals) {
+            assert_eq!(a.drive, b.drive);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.samples()[0].values, b.samples()[0].values);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let input = "header\n1,0,,5,1,2,3\n";
+        let err = read_series(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let mut buf = Vec::new();
+        write_header(&mut buf).unwrap();
+        let mut row = String::from("x,0,,5");
+        for _ in 0..NUM_ATTRIBUTES {
+            row.push_str(",1.0");
+        }
+        buf.extend_from_slice(row.as_bytes());
+        buf.push(b'\n');
+        assert!(read_series(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_no_series() {
+        assert!(read_series("header\n".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CsvError::Parse {
+            line: 3,
+            reason: "bad hour".to_string(),
+        };
+        assert_eq!(e.to_string(), "line 3: bad hour");
+    }
+}

@@ -1,0 +1,230 @@
+//! The fleet-level dataset: drive specs plus on-demand series synthesis.
+
+use crate::drive::{DriveId, DriveSpec};
+use crate::family::FamilyProfile;
+use crate::gen::{generate_series, generate_series_in, recorded_range};
+use crate::rng::DeterministicRng;
+use crate::series::SmartSeries;
+use crate::time::Hour;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A fleet of drives with deterministic, lazily synthesized SMART series.
+///
+/// Construct with [`DatasetGenerator::generate`](crate::DatasetGenerator).
+/// Series are synthesized on access — a `Dataset` holding the paper's full
+/// 23k-drive family "W" occupies a few megabytes, not gigabytes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    profile: FamilyProfile,
+    seed: u64,
+    specs: Vec<DriveSpec>,
+    #[serde(skip)]
+    by_id: HashMap<DriveId, usize>,
+}
+
+/// Composition summary printed as the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of good drives.
+    pub good_drives: u32,
+    /// Number of failed drives.
+    pub failed_drives: u32,
+    /// Total recorded samples of good drives.
+    pub good_samples: u64,
+    /// Total recorded samples of failed drives.
+    pub failed_samples: u64,
+}
+
+impl Dataset {
+    /// Assemble a dataset. Prefer
+    /// [`DatasetGenerator::generate`](crate::DatasetGenerator::generate).
+    #[must_use]
+    pub fn new(profile: FamilyProfile, seed: u64, specs: Vec<DriveSpec>) -> Self {
+        let by_id = specs.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        Dataset {
+            profile,
+            seed,
+            specs,
+            by_id,
+        }
+    }
+
+    /// The family profile this fleet was drawn from.
+    #[must_use]
+    pub fn profile(&self) -> &FamilyProfile {
+        &self.profile
+    }
+
+    /// The dataset seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All drives (good first, then failed, in id order).
+    #[must_use]
+    pub fn drives(&self) -> &[DriveSpec] {
+        &self.specs
+    }
+
+    /// Iterator over good drives.
+    pub fn good_drives(&self) -> impl Iterator<Item = &DriveSpec> {
+        self.specs.iter().filter(|s| !s.is_failed())
+    }
+
+    /// Iterator over failed drives.
+    pub fn failed_drives(&self) -> impl Iterator<Item = &DriveSpec> {
+        self.specs.iter().filter(|s| s.is_failed())
+    }
+
+    /// Look up a drive by id.
+    #[must_use]
+    pub fn get(&self, id: DriveId) -> Option<&DriveSpec> {
+        self.by_id.get(&id).map(|&i| &self.specs[i])
+    }
+
+    /// Synthesize the full recorded series of `spec`.
+    #[must_use]
+    pub fn series(&self, spec: &DriveSpec) -> SmartSeries {
+        generate_series(&self.profile, self.seed, spec)
+    }
+
+    /// Synthesize `spec`'s series restricted to `range`.
+    #[must_use]
+    pub fn series_in(&self, spec: &DriveSpec, range: std::ops::Range<Hour>) -> SmartSeries {
+        generate_series_in(&self.profile, self.seed, spec, range)
+    }
+
+    /// The hour range over which `spec` is recorded.
+    #[must_use]
+    pub fn recorded_range(&self, spec: &DriveSpec) -> std::ops::Range<Hour> {
+        recorded_range(spec)
+    }
+
+    /// A random subset keeping `fraction` of good and failed drives each
+    /// (the paper's Table V datasets A–D keep 10/25/50/75%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    #[must_use]
+    pub fn subsample(&self, fraction: f64, seed: u64) -> Dataset {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "subsample fraction must be in (0, 1]"
+        );
+        let rng = DeterministicRng::new(seed ^ 0xD5_A7_5A_7D);
+        let keep = |spec: &&DriveSpec| rng.uniform(u64::from(spec.id.0), 77) < fraction;
+        let specs: Vec<DriveSpec> = self
+            .good_drives()
+            .filter(keep)
+            .chain(self.failed_drives().filter(keep))
+            .cloned()
+            .collect();
+        let mut profile = self.profile.clone();
+        profile.n_good = specs.iter().filter(|s| !s.is_failed()).count() as u32;
+        profile.n_failed = specs.iter().filter(|s| s.is_failed()).count() as u32;
+        Dataset::new(profile, self.seed, specs)
+    }
+
+    /// Count drives and recorded samples (synthesizes every series; cost is
+    /// proportional to the fleet's total sample count).
+    #[must_use]
+    pub fn stats(&self) -> DatasetStats {
+        let mut stats = DatasetStats {
+            good_drives: 0,
+            failed_drives: 0,
+            good_samples: 0,
+            failed_samples: 0,
+        };
+        for spec in &self.specs {
+            let n = self.series(spec).len() as u64;
+            if spec.is_failed() {
+                stats.failed_drives += 1;
+                stats.failed_samples += n;
+            } else {
+                stats.good_drives += 1;
+                stats.good_samples += n;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::DatasetGenerator;
+
+    fn tiny() -> Dataset {
+        DatasetGenerator::new(FamilyProfile::w().scaled(0.004), 11).generate()
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let ds = tiny();
+        let spec = &ds.drives()[3];
+        assert_eq!(ds.get(spec.id), Some(spec));
+        assert_eq!(ds.get(DriveId(u32::MAX)), None);
+    }
+
+    #[test]
+    fn good_then_failed_partition() {
+        let ds = tiny();
+        let n_good = ds.good_drives().count();
+        let n_failed = ds.failed_drives().count();
+        assert_eq!(n_good + n_failed, ds.drives().len());
+        assert!(n_failed >= 1);
+    }
+
+    #[test]
+    fn subsample_keeps_roughly_fraction() {
+        let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.05), 12).generate();
+        let sub = ds.subsample(0.5, 1);
+        let total = ds.drives().len() as f64;
+        let kept = sub.drives().len() as f64;
+        assert!((kept / total - 0.5).abs() < 0.1, "kept {kept} of {total}");
+        // Profile counts updated.
+        assert_eq!(
+            sub.profile().n_good as usize,
+            sub.good_drives().count()
+        );
+    }
+
+    #[test]
+    fn subsample_is_deterministic() {
+        let ds = tiny();
+        let a = ds.subsample(0.5, 9);
+        let b = ds.subsample(0.5, 9);
+        assert_eq!(
+            a.drives().iter().map(|s| s.id).collect::<Vec<_>>(),
+            b.drives().iter().map(|s| s.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn subsample_rejects_zero() {
+        let _ = tiny().subsample(0.0, 1);
+    }
+
+    #[test]
+    fn stats_counts_match() {
+        let ds = tiny();
+        let stats = ds.stats();
+        assert_eq!(stats.good_drives, ds.profile().n_good);
+        assert_eq!(stats.failed_drives, ds.profile().n_failed);
+        assert!(stats.good_samples > u64::from(stats.good_drives) * 1200);
+        assert!(stats.failed_samples > 0);
+    }
+
+    #[test]
+    fn series_in_respects_recorded_bounds() {
+        let ds = tiny();
+        let failed = ds.failed_drives().next().unwrap();
+        let range = ds.recorded_range(failed);
+        let s = ds.series_in(failed, Hour(0)..Hour(100_000));
+        assert!(s.samples().iter().all(|x| range.contains(&x.hour)));
+    }
+}

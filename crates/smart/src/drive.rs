@@ -1,0 +1,156 @@
+//! Drive identities and per-drive static attributes.
+
+use crate::degradation::FailureMode;
+use crate::time::Hour;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque identifier of a drive within a dataset.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DriveId(pub u32);
+
+impl fmt::Display for DriveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "drive-{}", self.0)
+    }
+}
+
+/// Ground-truth class of a drive over the observation period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriveClass {
+    /// The drive survives the whole observation period.
+    Good,
+    /// The drive fails at `fail_hour` (within the observation period).
+    Failed {
+        /// Hour of the actual failure event.
+        fail_hour: Hour,
+    },
+}
+
+impl DriveClass {
+    /// `true` for failed drives.
+    #[must_use]
+    pub fn is_failed(self) -> bool {
+        matches!(self, DriveClass::Failed { .. })
+    }
+
+    /// The failure hour, if this drive fails.
+    #[must_use]
+    pub fn fail_hour(self) -> Option<Hour> {
+        match self {
+            DriveClass::Good => None,
+            DriveClass::Failed { fail_hour } => Some(fail_hour),
+        }
+    }
+}
+
+/// Static description of one drive; everything the generator needs to
+/// reproduce its SMART series deterministically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveSpec {
+    /// Dataset-unique identifier.
+    pub id: DriveId,
+    /// Ground-truth class.
+    pub class: DriveClass,
+    /// Drive age (power-on hours) at the start of the observation period.
+    /// Drives enter service at different times, so ages vary widely; the
+    /// normalized *Power On Hours* value is derived from this.
+    pub initial_age_hours: f64,
+    /// Failure mode driving the degradation signature (failed drives only;
+    /// `None` for good drives).
+    pub failure_mode: Option<FailureMode>,
+    /// Hours before the failure event at which deterioration becomes
+    /// observable. `0` for good drives. Sudden failures have a very small
+    /// window; most drives deteriorate for one to three weeks.
+    pub deterioration_hours: f64,
+    /// A small fraction of good drives run chronically close to the failed
+    /// population (e.g. remapped early-life defects). They are the
+    /// irreducible false-alarm floor that voting cannot remove.
+    pub chronic_outlier: bool,
+    /// Per-drive multiplier on raw-counter growth. Real error counters are
+    /// heavy-tailed: a few dying drives remap thousands of sectors while
+    /// most remap dozens. Trees are scale-free and do not care; min–max
+    /// scaled models (the BP ANN baseline) lose the counter feature to the
+    /// outliers — one reason the paper finds trees more robust.
+    pub counter_scale: f64,
+    /// Multiplier on the *normalized*-attribute part of the failure
+    /// signature. A fraction of media failures are "quiet": the counters
+    /// grow but the analog telemetry barely reacts, so models that cannot
+    /// exploit raw counters miss them.
+    pub analog_attenuation: f64,
+    /// Per-drive random stream; combined with the dataset seed.
+    pub stream: u64,
+}
+
+impl DriveSpec {
+    /// `true` for failed drives.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.class.is_failed()
+    }
+
+    /// The hour at which observable deterioration starts, for failed drives.
+    #[must_use]
+    pub fn deterioration_onset(&self) -> Option<Hour> {
+        let fail = self.class.fail_hour()?;
+        Some(fail - self.deterioration_hours.round() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failed_spec(fail: u32, det: f64) -> DriveSpec {
+        DriveSpec {
+            id: DriveId(1),
+            class: DriveClass::Failed {
+                fail_hour: Hour(fail),
+            },
+            initial_age_hours: 10_000.0,
+            failure_mode: Some(FailureMode::MediaDefects),
+            deterioration_hours: det,
+            chronic_outlier: false,
+            counter_scale: 1.0,
+            analog_attenuation: 1.0,
+            stream: 1,
+        }
+    }
+
+    #[test]
+    fn class_queries() {
+        assert!(!DriveClass::Good.is_failed());
+        assert_eq!(DriveClass::Good.fail_hour(), None);
+        let f = DriveClass::Failed {
+            fail_hour: Hour(100),
+        };
+        assert!(f.is_failed());
+        assert_eq!(f.fail_hour(), Some(Hour(100)));
+    }
+
+    #[test]
+    fn onset_subtracts_window() {
+        let spec = failed_spec(500, 200.0);
+        assert_eq!(spec.deterioration_onset(), Some(Hour(300)));
+    }
+
+    #[test]
+    fn onset_saturates_at_zero() {
+        let spec = failed_spec(100, 400.0);
+        assert_eq!(spec.deterioration_onset(), Some(Hour(0)));
+    }
+
+    #[test]
+    fn good_drive_has_no_onset() {
+        let mut spec = failed_spec(500, 200.0);
+        spec.class = DriveClass::Good;
+        assert_eq!(spec.deterioration_onset(), None);
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(DriveId(42).to_string(), "drive-42");
+    }
+}

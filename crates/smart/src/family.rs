@@ -1,0 +1,425 @@
+//! Per-family population profiles.
+//!
+//! A *drive family* is a (vendor, model) line. Families differ in baseline
+//! attribute distributions, noise, failure-mode mix, and fleet size; the
+//! paper evaluates on family "W" (23,224 drives) and the much smaller
+//! family "Q" (2,568 drives) and finds the CT model transfers while the BP
+//! ANN degrades. The numbers below were calibrated so the *shape* of every
+//! experiment in the paper holds; see DESIGN.md §2.
+
+use crate::attr::{Attribute, NUM_ATTRIBUTES};
+use crate::degradation::FailureMode;
+use serde::{Deserialize, Serialize};
+
+/// Generative model of one normalized attribute for a family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttrModel {
+    /// Population mean of the per-drive baseline.
+    pub base_mean: f64,
+    /// Standard deviation of the per-drive baseline around the mean.
+    pub base_std: f64,
+    /// Per-sample measurement noise standard deviation.
+    pub noise_std: f64,
+    /// Fleet-wide drift per week (negative: the whole population's value
+    /// declines week over week — workload intensification, room
+    /// temperature, firmware counters). This is what ages prediction
+    /// models (the paper's Figs. 6–9).
+    pub drift_per_week: f64,
+}
+
+impl AttrModel {
+    /// A constant attribute with tiny noise and no drift.
+    #[must_use]
+    pub fn constant(value: f64, noise_std: f64) -> Self {
+        AttrModel {
+            base_mean: value,
+            base_std: 0.0,
+            noise_std,
+            drift_per_week: 0.0,
+        }
+    }
+}
+
+/// Distribution of observable deterioration window lengths for failed
+/// drives (a mixture over how long before failure the drive's SMART
+/// telemetry starts to react).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeteriorationMix {
+    /// Fraction of failures that are *sudden*: nothing observable until a
+    /// few hours before the event (these bound the achievable FDR).
+    pub sudden: f64,
+    /// Fraction with a short window, uniform in `short_range`.
+    pub short: f64,
+    /// Fraction with a medium window, uniform in `medium_range`.
+    pub medium: f64,
+    // The remaining mass has a long window, uniform in `long_range`.
+    /// Short window bounds in hours.
+    pub short_range: (f64, f64),
+    /// Medium window bounds in hours.
+    pub medium_range: (f64, f64),
+    /// Long window bounds in hours.
+    pub long_range: (f64, f64),
+}
+
+/// A complete per-family generative profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyProfile {
+    /// Family label ("W", "Q").
+    pub name: String,
+    /// Number of good drives in the fleet.
+    pub n_good: u32,
+    /// Number of drives that fail during the observation period.
+    pub n_failed: u32,
+    /// Per-attribute baseline models (indexed by [`Attribute::index`]).
+    /// `PowerOnHours` is special-cased via `poh_decay_hours`; raw counters
+    /// use `raw_base_prob` / chronic levels below.
+    pub attrs: [AttrModel; NUM_ATTRIBUTES],
+    /// Normalized Power-On-Hours loses one point per this many hours of
+    /// age, starting from 253.
+    pub poh_decay_hours: f64,
+    /// Good drives' age (hours) at observation start: uniform range.
+    pub good_age_range: (f64, f64),
+    /// Failed drives' age at observation start: uniform range (failed
+    /// drives skew older — "long power on hours" is a failure cause in
+    /// §V-B1).
+    pub failed_age_range: (f64, f64),
+    /// Mixture over failure modes, `(mode, probability)`; probabilities
+    /// sum to 1.
+    pub mode_mix: Vec<(FailureMode, f64)>,
+    /// Scale applied to every mode signature (families react with
+    /// different intensity).
+    pub signature_scale: f64,
+    /// Deterioration level right after the onset (see
+    /// [`latent_level`](crate::degradation::latent_level)). Large values
+    /// (family "W") separate deteriorating drives cleanly from healthy
+    /// noise; small values (family "Q") produce a borderline continuum.
+    pub onset_jump: f64,
+    /// Deterioration window mixture.
+    pub deterioration: DeteriorationMix,
+    /// Convexity of the fleet-wide drift: the effective drift after `w`
+    /// weeks is `drift_per_week × w × (w / 8)^drift_accel`. `0` is linear;
+    /// `1` (the default) concentrates the drift in the later weeks, which
+    /// reproduces the paper's observation that the fixed strategy's false
+    /// alarm rate rises gently at first and "becomes very steep" after the
+    /// sixth week (§V-B3).
+    pub drift_accel: f64,
+    /// Per drive-hour probability that a good drive starts a transient
+    /// anomaly event (1–3 h long). Events look like brief deterioration
+    /// and are the source of single-sample false alarms that voting
+    /// suppresses.
+    pub event_prob: f64,
+    /// Per drive-day probability of a *degraded spell*: a 6–18 h episode
+    /// (vibration, a flaky cable, a thermal excursion) during which the
+    /// drive looks like it is deteriorating. Spells defeat small voting
+    /// windows but not large ones — they are why the false alarm rate
+    /// keeps falling all the way to N = 27 voters (Fig. 2).
+    pub spell_prob_per_day: f64,
+    /// Fraction of good drives that are chronic outliers (permanently
+    /// failed-looking telemetry) — the irreducible false-alarm floor.
+    pub chronic_prob: f64,
+    /// Latent level range of chronic outliers.
+    pub chronic_level: (f64, f64),
+    /// Probability that any individual sample is missing (collection
+    /// errors, §IV-A).
+    pub missing_prob: f64,
+    /// Probability that a good drive has a small non-zero Reallocated
+    /// Sectors raw count from early-life defects.
+    pub benign_realloc_prob: f64,
+    /// Probability that a media-defect failure is *quiet*: sectors remap
+    /// (the raw counter grows) but the analog telemetry barely reacts.
+    /// Only models that exploit the raw counters catch these drives.
+    pub quiet_media_prob: f64,
+    /// Analog-signature multiplier of quiet media failures.
+    pub quiet_media_attenuation: f64,
+}
+
+impl FamilyProfile {
+    /// The paper's family "W": 22,790 good and 434 failed drives.
+    #[must_use]
+    pub fn w() -> Self {
+        use Attribute as A;
+        let mut attrs = [AttrModel::constant(100.0, 0.5); NUM_ATTRIBUTES];
+        attrs[A::RawReadErrorRate.index()] = AttrModel {
+            base_mean: 115.0,
+            base_std: 3.5,
+            noise_std: 2.4,
+            drift_per_week: -0.85,
+        };
+        attrs[A::SpinUpTime.index()] = AttrModel {
+            base_mean: 97.0,
+            base_std: 2.5,
+            noise_std: 1.2,
+            drift_per_week: -0.3,
+        };
+        attrs[A::ReallocatedSectors.index()] = AttrModel {
+            base_mean: 100.0,
+            base_std: 1.5,
+            noise_std: 0.4,
+            drift_per_week: 0.0,
+        };
+        attrs[A::SeekErrorRate.index()] = AttrModel {
+            base_mean: 75.0,
+            base_std: 4.0,
+            noise_std: 2.6,
+            drift_per_week: -0.68,
+        };
+        // PowerOnHours is derived from drive age; only its noise is used.
+        attrs[A::PowerOnHours.index()] = AttrModel::constant(0.0, 0.1);
+        attrs[A::ReportedUncorrectable.index()] = AttrModel {
+            base_mean: 100.0,
+            base_std: 1.0,
+            noise_std: 0.4,
+            drift_per_week: 0.0,
+        };
+        attrs[A::HighFlyWrites.index()] = AttrModel {
+            base_mean: 100.0,
+            base_std: 2.0,
+            noise_std: 0.8,
+            drift_per_week: -0.3,
+        };
+        attrs[A::TemperatureCelsius.index()] = AttrModel {
+            base_mean: 65.0,
+            base_std: 3.0,
+            noise_std: 2.4,
+            drift_per_week: -1.25,
+        };
+        attrs[A::HardwareEccRecovered.index()] = AttrModel {
+            base_mean: 110.0,
+            base_std: 4.0,
+            noise_std: 1.2,
+            drift_per_week: -0.75,
+        };
+        // Current Pending Sector Count carries no class signal (the paper's
+        // statistical feature selection rejects it): near-constant
+        // normalized value and symmetric transient raw counts.
+        attrs[A::CurrentPendingSector.index()] = AttrModel::constant(100.0, 0.3);
+        attrs[A::ReallocatedSectorsRaw.index()] = AttrModel::constant(0.0, 0.0);
+        attrs[A::CurrentPendingSectorRaw.index()] = AttrModel::constant(0.0, 0.0);
+
+        FamilyProfile {
+            name: "W".to_string(),
+            n_good: 22_790,
+            n_failed: 434,
+            attrs,
+            poh_decay_hours: 250.0,
+            good_age_range: (2_000.0, 36_000.0),
+            failed_age_range: (20_000.0, 48_000.0),
+            mode_mix: vec![
+                (FailureMode::MediaDefects, 0.40),
+                (FailureMode::MechanicalWear, 0.25),
+                (FailureMode::Thermal, 0.20),
+                (FailureMode::Electronic, 0.15),
+            ],
+            signature_scale: 1.0,
+            onset_jump: crate::degradation::DEFAULT_ONSET_JUMP,
+            drift_accel: 0.8,
+            deterioration: DeteriorationMix {
+                sudden: 0.07,
+                short: 0.075,
+                medium: 0.215,
+                short_range: (6.0, 48.0),
+                medium_range: (200.0, 400.0),
+                long_range: (400.0, 472.0),
+            },
+            event_prob: 2.5e-5,
+            spell_prob_per_day: 2.2e-4,
+            chronic_prob: 1.2e-4,
+            chronic_level: (0.3, 0.6),
+            missing_prob: 0.02,
+            benign_realloc_prob: 0.18,
+            quiet_media_prob: 0.20,
+            quiet_media_attenuation: 0.0,
+        }
+    }
+
+    /// The paper's family "Q": 2,441 good and 127 failed drives.
+    ///
+    /// Q drives are noisier and fail predominantly through mechanical wear
+    /// and thermal stress ("long POH, high temperature or high seek error
+    /// rate", §V-B1), which makes prediction harder than on "W".
+    #[must_use]
+    pub fn q() -> Self {
+        use Attribute as A;
+        let mut profile = FamilyProfile::w();
+        profile.name = "Q".to_string();
+        profile.n_good = 2_441;
+        profile.n_failed = 127;
+        // Different vendor calibration and noisier telemetry.
+        profile.attrs[A::RawReadErrorRate.index()] = AttrModel {
+            base_mean: 103.0,
+            base_std: 4.5,
+            noise_std: 3.2,
+            drift_per_week: -0.8,
+        };
+        profile.attrs[A::SeekErrorRate.index()] = AttrModel {
+            base_mean: 82.0,
+            base_std: 5.5,
+            noise_std: 3.0,
+            drift_per_week: -0.8,
+        };
+        profile.attrs[A::TemperatureCelsius.index()] = AttrModel {
+            base_mean: 58.0,
+            base_std: 4.0,
+            noise_std: 3.0,
+            drift_per_week: -1.3,
+        };
+        profile.attrs[A::HardwareEccRecovered.index()] = AttrModel {
+            base_mean: 104.0,
+            base_std: 5.0,
+            noise_std: 1.8,
+            drift_per_week: -0.8,
+        };
+        profile.mode_mix = vec![
+            (FailureMode::MediaDefects, 0.18),
+            (FailureMode::MechanicalWear, 0.42),
+            (FailureMode::Thermal, 0.30),
+            (FailureMode::Electronic, 0.10),
+        ];
+        profile.signature_scale = 0.7;
+        profile.onset_jump = 0.18;
+        profile.failed_age_range = (20_000.0, 40_000.0);
+        profile.event_prob = 6.0e-5;
+        profile.spell_prob_per_day = 1.6e-3;
+        profile.chronic_prob = 6.0e-4;
+        // Q fails faster and less predictably: no truly sudden failures,
+        // but many short deterioration windows that large voting windows
+        // miss (Fig. 5: FDR falls from 100% to ~93.5% as N grows).
+        profile.deterioration = DeteriorationMix {
+            sudden: 0.0,
+            short: 0.22,
+            medium: 0.18,
+            short_range: (3.0, 24.0),
+            medium_range: (150.0, 340.0),
+            long_range: (340.0, 440.0),
+        };
+        profile.quiet_media_prob = 0.50;
+        profile
+    }
+
+    /// Scale the fleet size by `fraction` (experiments default to reduced
+    /// populations; `--scale 1.0` reproduces the paper's counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`... it may exceed 1 for
+    /// stress tests, but must be positive and finite.
+    #[must_use]
+    pub fn scaled(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction.is_finite(),
+            "scale fraction must be positive and finite"
+        );
+        self.n_good = ((f64::from(self.n_good) * fraction).round() as u32).max(1);
+        self.n_failed = ((f64::from(self.n_failed) * fraction).round() as u32).max(1);
+        self
+    }
+
+    /// Fleet size (good + failed).
+    #[must_use]
+    pub fn n_total(&self) -> u32 {
+        self.n_good + self.n_failed
+    }
+
+    /// Validate internal consistency (mode mix sums to 1, probabilities in
+    /// range). Returns a description of the first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a human-readable reason if any probability is out
+    /// of range or the mode mix does not sum to 1.
+    pub fn validate(&self) -> Result<(), String> {
+        let mix_sum: f64 = self.mode_mix.iter().map(|(_, p)| p).sum();
+        if (mix_sum - 1.0).abs() > 1e-9 {
+            return Err(format!("mode mix sums to {mix_sum}, expected 1.0"));
+        }
+        for (mode, p) in &self.mode_mix {
+            if !(0.0..=1.0).contains(p) {
+                return Err(format!("mode {mode:?} probability {p} out of range"));
+            }
+        }
+        for (name, p) in [
+            ("event_prob", self.event_prob),
+            ("spell_prob_per_day", self.spell_prob_per_day),
+            ("chronic_prob", self.chronic_prob),
+            ("missing_prob", self.missing_prob),
+            ("benign_realloc_prob", self.benign_realloc_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} out of range"));
+            }
+        }
+        let d = &self.deterioration;
+        if d.sudden + d.short + d.medium > 1.0 + 1e-9 {
+            return Err("deterioration mixture exceeds 1".to_string());
+        }
+        if self.n_failed == 0 || self.n_good == 0 {
+            return Err("fleet must contain both good and failed drives".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_one() {
+        let w = FamilyProfile::w();
+        assert_eq!(w.n_good, 22_790);
+        assert_eq!(w.n_failed, 434);
+        let q = FamilyProfile::q();
+        assert_eq!(q.n_good, 2_441);
+        assert_eq!(q.n_failed, 127);
+    }
+
+    #[test]
+    fn presets_validate() {
+        FamilyProfile::w().validate().unwrap();
+        FamilyProfile::q().validate().unwrap();
+    }
+
+    #[test]
+    fn scaled_rounds_and_keeps_minimum() {
+        let w = FamilyProfile::w().scaled(0.01);
+        assert_eq!(w.n_good, 228);
+        assert_eq!(w.n_failed, 4);
+        let tiny = FamilyProfile::w().scaled(1e-6);
+        assert_eq!(tiny.n_good, 1);
+        assert_eq!(tiny.n_failed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rejects_zero() {
+        let _ = FamilyProfile::w().scaled(0.0);
+    }
+
+    #[test]
+    fn validate_catches_bad_mix() {
+        let mut w = FamilyProfile::w();
+        w.mode_mix[0].1 = 0.9;
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_empty_fleet() {
+        let mut w = FamilyProfile::w();
+        w.n_failed = 0;
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn q_is_smaller_and_noisier() {
+        let w = FamilyProfile::w();
+        let q = FamilyProfile::q();
+        assert!(q.n_total() < w.n_total() / 5);
+        assert!(q.event_prob > w.event_prob);
+    }
+
+    #[test]
+    fn total_counts() {
+        assert_eq!(FamilyProfile::w().n_total(), 23_224);
+        assert_eq!(FamilyProfile::q().n_total(), 2_568);
+    }
+}

@@ -1,0 +1,635 @@
+//! Deterministic synthesis of SMART traces for whole fleets.
+//!
+//! The generator is *lazy*: [`DatasetGenerator::generate`] only draws the
+//! static per-drive description ([`DriveSpec`]); the actual hourly series
+//! are synthesized on demand by [`Dataset::series`](crate::Dataset::series)
+//! from a counter-based PRNG, so the same drive always produces the same
+//! samples regardless of generation order, and the full 30-million-sample
+//! population never needs to be resident.
+
+use crate::attr::{Attribute, NUM_ATTRIBUTES};
+use crate::dataset::Dataset;
+use crate::degradation::{latent_level, FailureMode};
+use crate::drive::{DriveClass, DriveId, DriveSpec};
+use crate::family::FamilyProfile;
+use crate::rng::DeterministicRng;
+use crate::series::{SmartSample, SmartSeries};
+use crate::time::{Hour, OBSERVATION_HOURS, PRE_FAILURE_HOURS};
+
+// Coordinate-space tags: every random draw is addressed by
+// `(purpose * 64 + attribute, hour)` so draws never collide.
+const TAG_BASELINE: u64 = 1;
+const TAG_NOISE: u64 = 2;
+const TAG_EVENT_START: u64 = 3;
+const TAG_EVENT_DUR: u64 = 4;
+const TAG_EVENT_MODE: u64 = 5;
+const TAG_EVENT_Z: u64 = 6;
+const TAG_JITTER: u64 = 7;
+const TAG_CPSC_BLIP: u64 = 8;
+const TAG_MISSING: u64 = 9;
+const TAG_CHRONIC: u64 = 10;
+const TAG_BENIGN_REALLOC: u64 = 11;
+const TAG_SPEC: u64 = 12;
+const TAG_NOISE_SLOW: u64 = 13;
+const TAG_SPELL: u64 = 14;
+
+fn tag(purpose: u64, attr: usize) -> u64 {
+    purpose * 64 + attr as u64
+}
+
+/// Probability per sample of a transient pending-sector blip (class-neutral
+/// noise on *Current Pending Sector Count*, which is why the paper's
+/// feature selection rejects that attribute).
+const CPSC_BLIP_PROB: f64 = 0.008;
+
+/// Weights of the slowly varying (day-scale) and fast (sample-scale)
+/// measurement-noise components. Real normalized SMART values are sluggish:
+/// most of their wobble is day-scale workload variation, not white noise.
+/// The weights satisfy `SLOW² + FAST² = 1` so the marginal noise variance
+/// stays `noise_std²`; the split matters for *change rates*, which see
+/// mostly the fast component.
+const NOISE_SLOW_WEIGHT: f64 = 0.55;
+/// See [`NOISE_SLOW_WEIGHT`].
+const NOISE_FAST_WEIGHT: f64 = 0.835;
+
+/// Hours before failure over which the terminal "plunge" acts: on top of
+/// the slow deterioration ramp, *error-rate* attributes drop sharply over
+/// the drive's last days (errors cascade as a drive dies, while mechanical
+/// parameters keep degrading smoothly). This is what gives the 6-hour
+/// change rates of the error-rate attributes their predictive signal
+/// (§IV-B).
+const PLUNGE_HOURS: f64 = 120.0;
+/// Fraction of the full signature applied by the terminal plunge.
+const PLUNGE_WEIGHT: f64 = 0.60;
+
+/// Whether the terminal plunge applies to `attr` (error-rate attributes
+/// only; see [`PLUNGE_HOURS`]).
+fn plunge_applies(attr: Attribute) -> bool {
+    matches!(
+        attr,
+        Attribute::RawReadErrorRate
+            | Attribute::HardwareEccRecovered
+            | Attribute::ReportedUncorrectable
+            | Attribute::ReallocatedSectors
+    )
+}
+
+/// Builds [`Dataset`]s from a [`FamilyProfile`] and a seed.
+#[derive(Debug, Clone)]
+pub struct DatasetGenerator {
+    profile: FamilyProfile,
+    seed: u64,
+}
+
+impl DatasetGenerator {
+    /// Create a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`FamilyProfile::validate`].
+    #[must_use]
+    pub fn new(profile: FamilyProfile, seed: u64) -> Self {
+        if let Err(reason) = profile.validate() {
+            panic!("invalid family profile: {reason}");
+        }
+        DatasetGenerator { profile, seed }
+    }
+
+    /// Draw the fleet: every drive's static description.
+    #[must_use]
+    pub fn generate(&self) -> Dataset {
+        let root = DeterministicRng::new(self.seed);
+        let n_good = self.profile.n_good;
+        let n_failed = self.profile.n_failed;
+        let mut specs = Vec::with_capacity((n_good + n_failed) as usize);
+        for i in 0..n_good {
+            specs.push(self.good_spec(&root, DriveId(i)));
+        }
+        for i in 0..n_failed {
+            specs.push(self.failed_spec(&root, DriveId(n_good + i)));
+        }
+        Dataset::new(self.profile.clone(), self.seed, specs)
+    }
+
+    fn good_spec(&self, root: &DeterministicRng, id: DriveId) -> DriveSpec {
+        let rng = root.derive(u64::from(id.0));
+        let p = &self.profile;
+        let age = rng.range(p.good_age_range.0, p.good_age_range.1, tag(TAG_SPEC, 0), 0);
+        let chronic = rng.chance(p.chronic_prob, tag(TAG_SPEC, 1), 0);
+        let failure_mode =
+            chronic.then(|| pick_mode(p, rng.uniform(tag(TAG_SPEC, 2), 0)));
+        DriveSpec {
+            id,
+            class: DriveClass::Good,
+            initial_age_hours: age,
+            failure_mode,
+            deterioration_hours: 0.0,
+            chronic_outlier: chronic,
+            counter_scale: counter_scale(&rng),
+            analog_attenuation: 1.0,
+            stream: u64::from(id.0),
+        }
+    }
+
+    fn failed_spec(&self, root: &DeterministicRng, id: DriveId) -> DriveSpec {
+        let rng = root.derive(u64::from(id.0));
+        let p = &self.profile;
+        let age = rng.range(
+            p.failed_age_range.0,
+            p.failed_age_range.1,
+            tag(TAG_SPEC, 0),
+            0,
+        );
+        let fail_hour = Hour(rng.range(24.0, f64::from(OBSERVATION_HOURS), tag(TAG_SPEC, 3), 0)
+            as u32);
+        let mode = pick_mode(p, rng.uniform(tag(TAG_SPEC, 2), 0));
+        let det = deterioration_window(p, &rng);
+        let quiet = mode == FailureMode::MediaDefects
+            && rng.chance(p.quiet_media_prob, tag(TAG_SPEC, 6), 0);
+        DriveSpec {
+            id,
+            class: DriveClass::Failed { fail_hour },
+            initial_age_hours: age,
+            failure_mode: Some(mode),
+            deterioration_hours: det,
+            chronic_outlier: false,
+            counter_scale: counter_scale(&rng),
+            analog_attenuation: if quiet { p.quiet_media_attenuation } else { 1.0 },
+            stream: u64::from(id.0),
+        }
+    }
+}
+
+/// Per-drive heavy-tailed counter-growth multiplier (lognormal, median 1).
+fn counter_scale(rng: &DeterministicRng) -> f64 {
+    (2.0 * rng.gaussian(tag(TAG_SPEC, 7), 0)).exp()
+}
+
+/// Pick a failure mode from the family's mixture given a uniform draw.
+fn pick_mode(profile: &FamilyProfile, u: f64) -> FailureMode {
+    let mut acc = 0.0;
+    for &(mode, p) in &profile.mode_mix {
+        acc += p;
+        if u < acc {
+            return mode;
+        }
+    }
+    profile
+        .mode_mix
+        .last()
+        .map(|&(mode, _)| mode)
+        .expect("validated profile has a non-empty mode mix")
+}
+
+/// Draw a deterioration window length from the family's mixture.
+fn deterioration_window(profile: &FamilyProfile, rng: &DeterministicRng) -> f64 {
+    let d = &profile.deterioration;
+    let u = rng.uniform(tag(TAG_SPEC, 4), 0);
+    let v = rng.uniform(tag(TAG_SPEC, 5), 0);
+    if u < d.sudden {
+        0.0
+    } else if u < d.sudden + d.short {
+        d.short_range.0 + v * (d.short_range.1 - d.short_range.0)
+    } else if u < d.sudden + d.short + d.medium {
+        d.medium_range.0 + v * (d.medium_range.1 - d.medium_range.0)
+    } else {
+        d.long_range.0 + v * (d.long_range.1 - d.long_range.0)
+    }
+}
+
+/// The hour range a drive's telemetry is recorded over.
+///
+/// Good drives are recorded for the whole observation period; failed
+/// drives for the [`PRE_FAILURE_HOURS`] before the failure event (clipped
+/// at the start of the observation period, matching §IV-A: drives that
+/// failed early "might lose some samples").
+#[must_use]
+pub fn recorded_range(spec: &DriveSpec) -> std::ops::Range<Hour> {
+    match spec.class {
+        DriveClass::Good => Hour(0)..Hour(OBSERVATION_HOURS),
+        DriveClass::Failed { fail_hour } => (fail_hour - PRE_FAILURE_HOURS)..fail_hour,
+    }
+}
+
+/// Synthesize a drive's full recorded series.
+#[must_use]
+pub fn generate_series(profile: &FamilyProfile, seed: u64, spec: &DriveSpec) -> SmartSeries {
+    generate_series_in(profile, seed, spec, recorded_range(spec))
+}
+
+/// Synthesize a drive's series restricted to `range` (intersected with its
+/// recorded range). Sampling dropouts appear exactly as they would in the
+/// full series.
+#[must_use]
+pub fn generate_series_in(
+    profile: &FamilyProfile,
+    seed: u64,
+    spec: &DriveSpec,
+    range: std::ops::Range<Hour>,
+) -> SmartSeries {
+    let recorded = recorded_range(spec);
+    let start = range.start.max(recorded.start);
+    let end = range.end.min(recorded.end);
+    let rng = DeterministicRng::new(seed).derive(spec.stream);
+    let baselines = drive_baselines(profile, &rng);
+    let mut samples = Vec::with_capacity(end.0.saturating_sub(start.0) as usize);
+    for t in start.0..end.0 {
+        if rng.chance(profile.missing_prob, tag(TAG_MISSING, 0), u64::from(t)) {
+            continue;
+        }
+        samples.push(SmartSample {
+            hour: Hour(t),
+            values: sample_values(profile, &rng, spec, &baselines, t),
+        });
+    }
+    SmartSeries::new(spec.id, spec.class, samples)
+}
+
+/// Per-drive attribute baselines (drawn once per drive).
+fn drive_baselines(profile: &FamilyProfile, rng: &DeterministicRng) -> [f64; NUM_ATTRIBUTES] {
+    let mut baselines = [0.0; NUM_ATTRIBUTES];
+    for (i, model) in profile.attrs.iter().enumerate() {
+        let g = rng
+            .gaussian(tag(TAG_BASELINE, i), 0)
+            .clamp(-NOISE_TRUNCATION_SIGMA, NOISE_TRUNCATION_SIGMA);
+        baselines[i] = model.base_mean + model.base_std * g;
+    }
+    baselines
+}
+
+/// The transient anomaly event active at hour `t`, if any.
+fn active_event(
+    profile: &FamilyProfile,
+    rng: &DeterministicRng,
+    t: u32,
+) -> Option<(FailureMode, f64)> {
+    for delta in 0..3u32 {
+        let Some(start) = t.checked_sub(delta) else {
+            break;
+        };
+        let h = u64::from(start);
+        if rng.chance(profile.event_prob, tag(TAG_EVENT_START, 0), h) {
+            let duration = 1 + (rng.bits(tag(TAG_EVENT_DUR, 0), h) % 3) as u32;
+            if duration > delta {
+                let mode = pick_mode(profile, rng.uniform(tag(TAG_EVENT_MODE, 0), h));
+                let z = rng.range(0.5, 1.0, tag(TAG_EVENT_Z, 0), h);
+                return Some((mode, z));
+            }
+        }
+    }
+    None
+}
+
+/// The degraded spell active at hour `t`, if any: a 6–18 h episode during
+/// which the drive mimics deterioration (see
+/// [`FamilyProfile::spell_prob_per_day`]).
+fn active_spell(
+    profile: &FamilyProfile,
+    rng: &DeterministicRng,
+    t: u32,
+) -> Option<(FailureMode, f64)> {
+    let today = t / 24;
+    for day in [today, today.saturating_sub(1)] {
+        let d = u64::from(day);
+        if !rng.chance(profile.spell_prob_per_day, tag(TAG_SPELL, 0), d) {
+            if day == 0 {
+                break;
+            }
+            continue;
+        }
+        let start = day * 24 + (rng.bits(tag(TAG_SPELL, 1), d) % 24) as u32;
+        let duration = 5 + (rng.bits(tag(TAG_SPELL, 2), d) % 11) as u32;
+        if t >= start && t < start + duration {
+            let mode = pick_mode(profile, rng.uniform(tag(TAG_SPELL, 3), d));
+            let z = rng.range(0.55, 0.9, tag(TAG_SPELL, 4), d);
+            return Some((mode, z));
+        }
+        if day == 0 {
+            break;
+        }
+    }
+    None
+}
+
+/// The persistent (non-transient) latent deterioration level of this drive
+/// at hour `t`: the failure ramp for failed drives, a constant level for
+/// chronic-outlier good drives, zero otherwise.
+fn persistent_level(
+    profile: &FamilyProfile,
+    spec: &DriveSpec,
+    rng: &DeterministicRng,
+    t: u32,
+) -> f64 {
+    match spec.class {
+        DriveClass::Failed { fail_hour } => {
+            let onset = f64::from(fail_hour.0) - spec.deterioration_hours;
+            latent_level(
+                f64::from(t) - onset,
+                spec.deterioration_hours,
+                profile.onset_jump,
+            )
+        }
+        DriveClass::Good if spec.chronic_outlier => {
+            // Drawn once per drive; constant over time.
+            rng.range(
+                profile.chronic_level.0,
+                profile.chronic_level.1,
+                tag(TAG_CHRONIC, 0),
+                0,
+            )
+        }
+        DriveClass::Good => 0.0,
+    }
+}
+
+/// Measurement noise and baselines are *truncated* gaussians: a healthy
+/// drive's normalized values wobble, but they do not wander arbitrarily
+/// far — only genuine degradation (or an anomaly event) moves a value
+/// several sigma from its baseline. Without truncation, gaussian tails
+/// would dominate the false alarm rate no matter how the thresholds are
+/// learned, which is not how real SMART telemetry behaves.
+const NOISE_TRUNCATION_SIGMA: f64 = 2.5;
+
+/// Measurement noise at hour `t` for attribute `i`: a day-scale component
+/// (linearly interpolated between per-day draws) plus white noise, each
+/// truncated at [`NOISE_TRUNCATION_SIGMA`].
+fn correlated_noise(rng: &DeterministicRng, i: usize, t: u32) -> f64 {
+    let clamp = |g: f64| g.clamp(-NOISE_TRUNCATION_SIGMA, NOISE_TRUNCATION_SIGMA);
+    let day = u64::from(t / 24);
+    let frac = f64::from(t % 24) / 24.0;
+    let slow_a = clamp(rng.gaussian(tag(TAG_NOISE_SLOW, i), day));
+    let slow_b = clamp(rng.gaussian(tag(TAG_NOISE_SLOW, i), day + 1));
+    let slow = slow_a + frac * (slow_b - slow_a);
+    let fast = clamp(rng.gaussian(tag(TAG_NOISE, i), u64::from(t)));
+    NOISE_SLOW_WEIGHT * slow + NOISE_FAST_WEIGHT * fast
+}
+
+/// The terminal-plunge level at hour `t` for a failed drive: zero until
+/// [`PLUNGE_HOURS`] before failure, then a quadratic ramp to 1.
+fn plunge_level(spec: &DriveSpec, t: u32) -> f64 {
+    let Some(fail) = spec.class.fail_hour() else {
+        return 0.0;
+    };
+    if spec.deterioration_hours <= 0.0 {
+        return 0.0; // sudden failures stay silent to the end
+    }
+    let dt = f64::from(fail.saturating_since(crate::time::Hour(t)));
+    if dt >= PLUNGE_HOURS {
+        0.0
+    } else {
+        (1.0 - dt / PLUNGE_HOURS).powi(2)
+    }
+}
+
+/// Synthesize the twelve feature values of one sample.
+fn sample_values(
+    profile: &FamilyProfile,
+    rng: &DeterministicRng,
+    spec: &DriveSpec,
+    baselines: &[f64; NUM_ATTRIBUTES],
+    t: u32,
+) -> [f32; NUM_ATTRIBUTES] {
+    let weeks = f64::from(t) / 168.0;
+    // Convex fleet drift: most of it lands in the later weeks.
+    let drift_weeks = weeks
+        * (weeks / f64::from(crate::time::OBSERVATION_WEEKS)).powf(profile.drift_accel);
+    let h = u64::from(t);
+    let event = active_event(profile, rng, t);
+    let spell = active_spell(profile, rng, t);
+    let z_raw = persistent_level(profile, spec, rng, t);
+    // Per-sample jitter keeps the deterioration ramp from being perfectly
+    // smooth without ever erasing it.
+    let jitter = (1.0 + 0.15 * rng.gaussian(tag(TAG_JITTER, 0), h)).clamp(0.75, 1.25);
+    let z = z_raw * jitter;
+    let plunge = PLUNGE_WEIGHT * plunge_level(spec, t);
+    let signature = spec.failure_mode.map(FailureMode::signature);
+    let scale = profile.signature_scale;
+
+    let mut values = [0.0f32; NUM_ATTRIBUTES];
+    for (i, model) in profile.attrs.iter().enumerate() {
+        let attr = Attribute::from_index(i).expect("index in range");
+        let value = match attr {
+            Attribute::PowerOnHours => {
+                253.0 - (spec.initial_age_hours + f64::from(t)) / profile.poh_decay_hours
+                    + model.noise_std * correlated_noise(rng, i, t)
+            }
+            Attribute::ReallocatedSectorsRaw => {
+                let benign = if rng.chance(
+                    profile.benign_realloc_prob,
+                    tag(TAG_BENIGN_REALLOC, 0),
+                    0,
+                ) {
+                    (rng.range(1.0, 30.0, tag(TAG_BENIGN_REALLOC, 1), 0)).floor()
+                } else {
+                    0.0
+                };
+                let growth = signature.as_ref().map_or(0.0, |sig| {
+                    sig.raw[i] * scale * spec.counter_scale * z_raw.powf(1.3)
+                });
+                benign + growth.floor()
+            }
+            Attribute::CurrentPendingSectorRaw => {
+                let blip = if rng.chance(CPSC_BLIP_PROB, tag(TAG_CPSC_BLIP, 0), h) {
+                    rng.range(1.0, 6.0, tag(TAG_CPSC_BLIP, 1), h).floor()
+                } else {
+                    0.0
+                };
+                let growth = signature.as_ref().map_or(0.0, |sig| {
+                    sig.raw[i] * scale * spec.counter_scale * z_raw.powf(1.3)
+                });
+                blip + growth.floor()
+            }
+            _ => {
+                let mut v = baselines[i]
+                    + model.drift_per_week * drift_weeks
+                    + model.noise_std * correlated_noise(rng, i, t);
+                if let Some(sig) = &signature {
+                    let level = if plunge_applies(attr) { z + plunge } else { z };
+                    v -= sig.normalized[i] * scale * spec.analog_attenuation * level;
+                }
+                if let Some((mode, ze)) = event {
+                    v -= mode.signature().normalized[i] * scale * ze;
+                }
+                if let Some((mode, zs)) = spell {
+                    v -= mode.signature().normalized[i] * scale * zs;
+                }
+                v
+            }
+        };
+        // Normalized SMART values are one-byte integers on real drives;
+        // quantizing matters: together with bounded noise it gives the
+        // value distribution finite support, so a training set actually
+        // covers the range healthy drives can reach.
+        values[i] = attr.clamp(value).round() as f32;
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_w() -> FamilyProfile {
+        FamilyProfile::w().scaled(0.005)
+    }
+
+    #[test]
+    fn generate_respects_counts() {
+        let profile = tiny_w();
+        let (g, f) = (profile.n_good, profile.n_failed);
+        let ds = DatasetGenerator::new(profile, 1).generate();
+        assert_eq!(ds.good_drives().count() as u32, g);
+        assert_eq!(ds.failed_drives().count() as u32, f);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetGenerator::new(tiny_w(), 7).generate();
+        let b = DatasetGenerator::new(tiny_w(), 7).generate();
+        let spec_a = a.failed_drives().next().unwrap();
+        let spec_b = b.failed_drives().next().unwrap();
+        assert_eq!(spec_a, spec_b);
+        assert_eq!(a.series(spec_a), b.series(spec_b));
+    }
+
+    #[test]
+    fn different_seeds_give_different_series() {
+        let a = DatasetGenerator::new(tiny_w(), 1).generate();
+        let b = DatasetGenerator::new(tiny_w(), 2).generate();
+        let sa = a.series(a.good_drives().next().unwrap());
+        let sb = b.series(b.good_drives().next().unwrap());
+        assert_ne!(sa.samples()[0].values, sb.samples()[0].values);
+    }
+
+    #[test]
+    fn window_generation_matches_full_series() {
+        let ds = DatasetGenerator::new(tiny_w(), 3).generate();
+        let spec = ds.good_drives().next().unwrap();
+        let full = ds.series(spec);
+        let window = generate_series_in(ds.profile(), ds.seed(), spec, Hour(100)..Hour(200));
+        assert_eq!(window.samples(), full.in_range(Hour(100)..Hour(200)));
+    }
+
+    #[test]
+    fn failed_series_ends_before_failure() {
+        let ds = DatasetGenerator::new(tiny_w(), 4).generate();
+        for spec in ds.failed_drives() {
+            let fail = spec.class.fail_hour().unwrap();
+            let series = ds.series(spec);
+            assert!(series.samples().iter().all(|s| s.hour < fail));
+            let expected_start = fail - PRE_FAILURE_HOURS;
+            assert!(series.samples().iter().all(|s| s.hour >= expected_start));
+        }
+    }
+
+    #[test]
+    fn missing_samples_thin_the_series() {
+        let ds = DatasetGenerator::new(tiny_w(), 5).generate();
+        let spec = ds.good_drives().next().unwrap();
+        let series = ds.series(spec);
+        let expected = OBSERVATION_HOURS as usize;
+        assert!(series.len() < expected, "some samples must be missing");
+        assert!(
+            series.len() > expected * 9 / 10,
+            "but only a few percent ({} of {expected} present)",
+            series.len()
+        );
+    }
+
+    #[test]
+    fn values_respect_domains() {
+        let ds = DatasetGenerator::new(tiny_w(), 6).generate();
+        for spec in ds.drives().iter().take(20) {
+            for s in ds.series(spec).samples() {
+                for attr in crate::attr::BASIC_ATTRIBUTES {
+                    let v = s.value(attr);
+                    match attr.kind() {
+                        crate::attr::AttributeKind::Normalized => {
+                            assert!((1.0..=253.0).contains(&v), "{attr}: {v}");
+                        }
+                        crate::attr::AttributeKind::RawCounter => {
+                            assert!(v >= 0.0, "{attr}: {v}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raw_counters_are_monotone_for_failed_drives() {
+        let ds = DatasetGenerator::new(tiny_w(), 8).generate();
+        for spec in ds.failed_drives() {
+            let series = ds.series(spec);
+            let mut prev = 0.0;
+            for (_, v) in series.attribute_series(Attribute::ReallocatedSectorsRaw) {
+                assert!(v >= prev, "reallocated counter decreased");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn failed_drives_deteriorate_toward_failure() {
+        // On average, the last samples of a failed drive with a real
+        // deterioration window must look worse than its first samples.
+        let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.05), 9).generate();
+        let mut early = 0.0;
+        let mut late = 0.0;
+        let mut n = 0.0;
+        for spec in ds.failed_drives() {
+            if spec.deterioration_hours < 100.0 {
+                continue;
+            }
+            let series = ds.series(spec);
+            if series.len() < 100 {
+                continue;
+            }
+            let s = series.samples();
+            early += s[0].value(Attribute::RawReadErrorRate);
+            late += s[s.len() - 1].value(Attribute::RawReadErrorRate);
+            n += 1.0;
+        }
+        assert!(n > 5.0, "need enough long-window failed drives");
+        assert!(
+            late / n < early / n - 5.0,
+            "expected deterioration: early {} late {}",
+            early / n,
+            late / n
+        );
+    }
+
+    #[test]
+    fn population_drift_moves_good_drives() {
+        let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.02), 10).generate();
+        let attr = Attribute::TemperatureCelsius;
+        let mut first = 0.0;
+        let mut last = 0.0;
+        let mut n = 0.0;
+        for spec in ds.good_drives().take(200) {
+            let series = ds.series(spec);
+            let s = series.samples();
+            first += s[0].value(attr);
+            last += s[s.len() - 1].value(attr);
+            n += 1.0;
+        }
+        let drift = (last - first) / n;
+        // TC drifts -1.25/week over 8 weeks (convex shape): about -10.
+        assert!(drift < -6.0 && drift > -14.0, "drift {drift}");
+    }
+
+    #[test]
+    fn pick_mode_covers_all_mass() {
+        let p = FamilyProfile::w();
+        assert_eq!(pick_mode(&p, 0.0), FailureMode::MediaDefects);
+        assert_eq!(pick_mode(&p, 0.9999), FailureMode::Electronic);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid family profile")]
+    fn generator_rejects_invalid_profile() {
+        let mut p = FamilyProfile::w();
+        p.mode_mix.clear();
+        let _ = DatasetGenerator::new(p, 0);
+    }
+}

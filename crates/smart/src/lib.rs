@@ -1,0 +1,58 @@
+//! SMART attribute model and synthetic data-center trace generator.
+//!
+//! The DSN'14 paper *Hard Drive Failure Prediction Using Classification and
+//! Regression Trees* evaluates its models on a proprietary data-center
+//! dataset (families "W" and "Q", 25,792 drives, hourly SMART samples over
+//! eight weeks for good drives and twenty days before failure for failed
+//! drives). That dataset is not publicly available, so this crate provides a
+//! faithful synthetic substitute:
+//!
+//! * a typed model of the twelve basic SMART features of the paper's
+//!   Table II ([`Attribute`]),
+//! * per-family population profiles ([`FamilyProfile`]) matching the paper's
+//!   Table I composition,
+//! * a failure-mode-driven degradation process ([`FailureMode`],
+//!   [`degradation`]) that makes failed drives deteriorate *gradually* over
+//!   their last days, exactly the property the paper's health-degree model
+//!   exploits,
+//! * population-wide aging drift that reproduces the model-aging phenomenon
+//!   behind the paper's Figures 6–9, and
+//! * a deterministic, seedable, lazily-evaluated generator
+//!   ([`DatasetGenerator`]) so the full 30M-sample population never has to
+//!   be materialized at once.
+//!
+//! # Example
+//!
+//! ```
+//! use hdd_smart::{DatasetGenerator, FamilyProfile};
+//!
+//! // A small deterministic population for tests and examples.
+//! let dataset = DatasetGenerator::new(FamilyProfile::w().scaled(0.01), 42).generate();
+//! assert!(dataset.good_drives().count() > 0);
+//! let drive = dataset.good_drives().next().unwrap();
+//! let series = dataset.series(drive);
+//! assert!(!series.samples().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod csv;
+pub mod dataset;
+pub mod degradation;
+pub mod drive;
+pub mod family;
+pub mod gen;
+pub mod rng;
+pub mod series;
+pub mod time;
+
+pub use attr::{Attribute, AttributeKind, BASIC_ATTRIBUTES, NUM_ATTRIBUTES};
+pub use dataset::{Dataset, DatasetStats};
+pub use degradation::FailureMode;
+pub use drive::{DriveClass, DriveId, DriveSpec};
+pub use family::FamilyProfile;
+pub use gen::DatasetGenerator;
+pub use series::{SmartSample, SmartSeries};
+pub use time::{Hour, HOURS_PER_DAY, HOURS_PER_WEEK, OBSERVATION_WEEKS, PRE_FAILURE_HOURS};

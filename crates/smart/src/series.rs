@@ -1,0 +1,180 @@
+//! SMART sample records and per-drive time series.
+
+use crate::attr::{Attribute, NUM_ATTRIBUTES};
+use crate::drive::{DriveClass, DriveId};
+use crate::time::Hour;
+use serde::{Deserialize, Serialize};
+
+/// One hourly SMART reading: the twelve basic feature values of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmartSample {
+    /// Hour the sample was collected.
+    pub hour: Hour,
+    /// Feature values indexed by [`Attribute::index`]; normalized values in
+    /// 1–253 and raw counters as non-negative counts, stored as `f32`.
+    pub values: [f32; NUM_ATTRIBUTES],
+}
+
+impl SmartSample {
+    /// Value of `attr` in this sample.
+    #[must_use]
+    pub fn value(&self, attr: Attribute) -> f64 {
+        f64::from(self.values[attr.index()])
+    }
+}
+
+/// The recorded series of one drive: hourly samples over its recorded
+/// window, possibly with gaps (missing samples).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmartSeries {
+    /// The drive this series belongs to.
+    pub drive: DriveId,
+    /// Ground-truth class of the drive.
+    pub class: DriveClass,
+    samples: Vec<SmartSample>,
+}
+
+impl SmartSeries {
+    /// Build a series from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if samples are not strictly increasing in time.
+    #[must_use]
+    pub fn new(drive: DriveId, class: DriveClass, samples: Vec<SmartSample>) -> Self {
+        assert!(
+            samples.windows(2).all(|w| w[0].hour < w[1].hour),
+            "samples must be strictly increasing in time"
+        );
+        SmartSeries {
+            drive,
+            class,
+            samples,
+        }
+    }
+
+    /// All samples, in chronological order.
+    #[must_use]
+    pub fn samples(&self) -> &[SmartSample] {
+        &self.samples
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples with `range.start <= hour < range.end`, chronological.
+    #[must_use]
+    pub fn in_range(&self, range: std::ops::Range<Hour>) -> &[SmartSample] {
+        let start = self.samples.partition_point(|s| s.hour < range.start);
+        let end = self.samples.partition_point(|s| s.hour < range.end);
+        &self.samples[start..end]
+    }
+
+    /// The most recent sample at or before `hour`, if any.
+    #[must_use]
+    pub fn latest_at(&self, hour: Hour) -> Option<&SmartSample> {
+        let idx = self.samples.partition_point(|s| s.hour <= hour);
+        idx.checked_sub(1).map(|i| &self.samples[i])
+    }
+
+    /// The value of `attr` as a `(hour, value)` time series.
+    pub fn attribute_series(&self, attr: Attribute) -> impl Iterator<Item = (Hour, f64)> + '_ {
+        self.samples.iter().map(move |s| (s.hour, s.value(attr)))
+    }
+
+    /// Hours in advance of failure for a sample at `hour`; `None` for good
+    /// drives.
+    #[must_use]
+    pub fn hours_before_failure(&self, hour: Hour) -> Option<u32> {
+        self.class.fail_hour().map(|f| f.saturating_since(hour))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(hour: u32, fill: f32) -> SmartSample {
+        SmartSample {
+            hour: Hour(hour),
+            values: [fill; NUM_ATTRIBUTES],
+        }
+    }
+
+    fn series(hours: &[u32]) -> SmartSeries {
+        SmartSeries::new(
+            DriveId(1),
+            DriveClass::Good,
+            hours.iter().map(|&h| sample(h, 1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn in_range_selects_half_open_interval() {
+        let s = series(&[0, 5, 10, 15, 20]);
+        let got: Vec<u32> = s
+            .in_range(Hour(5)..Hour(20))
+            .iter()
+            .map(|x| x.hour.0)
+            .collect();
+        assert_eq!(got, vec![5, 10, 15]);
+    }
+
+    #[test]
+    fn in_range_empty_interval() {
+        let s = series(&[0, 5, 10]);
+        assert!(s.in_range(Hour(6)..Hour(6)).is_empty());
+        assert!(s.in_range(Hour(11)..Hour(50)).is_empty());
+    }
+
+    #[test]
+    fn latest_at_finds_preceding_sample() {
+        let s = series(&[0, 5, 10]);
+        assert_eq!(s.latest_at(Hour(7)).unwrap().hour, Hour(5));
+        assert_eq!(s.latest_at(Hour(5)).unwrap().hour, Hour(5));
+        assert!(s.latest_at(Hour(0)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn constructor_rejects_unordered() {
+        let _ = series(&[5, 5]);
+    }
+
+    #[test]
+    fn hours_before_failure() {
+        let s = SmartSeries::new(
+            DriveId(2),
+            DriveClass::Failed {
+                fail_hour: Hour(100),
+            },
+            vec![sample(40, 0.0)],
+        );
+        assert_eq!(s.hours_before_failure(Hour(40)), Some(60));
+        assert_eq!(s.hours_before_failure(Hour(100)), Some(0));
+        assert_eq!(series(&[0]).hours_before_failure(Hour(0)), None);
+    }
+
+    #[test]
+    fn attribute_series_extracts_column() {
+        let s = series(&[0, 1]);
+        let vals: Vec<(Hour, f64)> = s.attribute_series(Attribute::PowerOnHours).collect();
+        assert_eq!(vals.len(), 2);
+        assert_eq!(vals[0], (Hour(0), 1.0));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(series(&[]).is_empty());
+        assert_eq!(series(&[1, 2, 3]).len(), 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Simulation time: hours since the start of the observation period.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Hours in a day.
+pub const HOURS_PER_DAY: u32 = 24;
+/// Hours in a week.
+pub const HOURS_PER_WEEK: u32 = 7 * HOURS_PER_DAY;
+/// Length of the observation period, in weeks (the paper collected good
+/// samples for 56 days).
+pub const OBSERVATION_WEEKS: u32 = 8;
+/// Total observation horizon in hours.
+pub const OBSERVATION_HOURS: u32 = OBSERVATION_WEEKS * HOURS_PER_WEEK;
+/// Failed drives are recorded for twenty days before the failure event.
+pub const PRE_FAILURE_HOURS: u32 = 20 * HOURS_PER_DAY;
+
+/// An hour offset from the start of the observation period.
+///
+/// `Hour` is the only notion of time in the simulator: good drives are
+/// sampled once per hour over [`OBSERVATION_HOURS`]; a failed drive's series
+/// covers the [`PRE_FAILURE_HOURS`] leading up to its failure hour.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Hour(pub u32);
+
+impl Hour {
+    /// The zero-based week index this hour falls in.
+    #[must_use]
+    pub fn week(self) -> u32 {
+        self.0 / HOURS_PER_WEEK
+    }
+
+    /// The zero-based day index this hour falls in.
+    #[must_use]
+    pub fn day(self) -> u32 {
+        self.0 / HOURS_PER_DAY
+    }
+
+    /// Hours elapsed since `earlier`, or zero if `earlier` is later.
+    #[must_use]
+    pub fn saturating_since(self, earlier: Hour) -> u32 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The inclusive-exclusive hour range of the given zero-based week.
+    #[must_use]
+    pub fn week_range(week: u32) -> std::ops::Range<Hour> {
+        Hour(week * HOURS_PER_WEEK)..Hour((week + 1) * HOURS_PER_WEEK)
+    }
+}
+
+impl fmt::Display for Hour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl From<u32> for Hour {
+    fn from(h: u32) -> Self {
+        Hour(h)
+    }
+}
+
+impl Add<u32> for Hour {
+    type Output = Hour;
+    fn add(self, rhs: u32) -> Hour {
+        Hour(self.0 + rhs)
+    }
+}
+
+impl Sub<u32> for Hour {
+    type Output = Hour;
+    fn sub(self, rhs: u32) -> Hour {
+        Hour(self.0.saturating_sub(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn week_indexing() {
+        assert_eq!(Hour(0).week(), 0);
+        assert_eq!(Hour(HOURS_PER_WEEK - 1).week(), 0);
+        assert_eq!(Hour(HOURS_PER_WEEK).week(), 1);
+        assert_eq!(Hour(OBSERVATION_HOURS - 1).week(), OBSERVATION_WEEKS - 1);
+    }
+
+    #[test]
+    fn day_indexing() {
+        assert_eq!(Hour(23).day(), 0);
+        assert_eq!(Hour(24).day(), 1);
+    }
+
+    #[test]
+    fn saturating_since_is_zero_when_reversed() {
+        assert_eq!(Hour(5).saturating_since(Hour(10)), 0);
+        assert_eq!(Hour(10).saturating_since(Hour(5)), 5);
+    }
+
+    #[test]
+    fn week_range_covers_week() {
+        let r = Hour::week_range(2);
+        assert_eq!(r.start, Hour(2 * HOURS_PER_WEEK));
+        assert_eq!(r.end, Hour(3 * HOURS_PER_WEEK));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Hour(5) + 3, Hour(8));
+        assert_eq!(Hour(5) - 3, Hour(2));
+        assert_eq!(Hour(2) - 5, Hour(0), "subtraction saturates");
+    }
+
+    #[test]
+    fn constants_consistent() {
+        assert_eq!(OBSERVATION_HOURS, 1344);
+        assert_eq!(PRE_FAILURE_HOURS, 480);
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Hour::from(7u32).to_string(), "h7");
+    }
+}

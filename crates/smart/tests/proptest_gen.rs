@@ -1,0 +1,104 @@
+//! Property-based tests of the trace generator: invariants that must hold
+//! for every seed and scale.
+
+use hdd_smart::{
+    Attribute, AttributeKind, DatasetGenerator, FamilyProfile, Hour, BASIC_ATTRIBUTES,
+};
+use proptest::prelude::*;
+
+fn any_family() -> impl Strategy<Value = FamilyProfile> {
+    prop_oneof![Just(FamilyProfile::w()), Just(FamilyProfile::q())]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated value stays within its attribute's domain, for any
+    /// seed and family.
+    #[test]
+    fn values_in_domain(seed in 0u64..10_000, family in any_family()) {
+        let ds = DatasetGenerator::new(family.scaled(0.002), seed).generate();
+        for spec in ds.drives().iter().take(12) {
+            let series = ds.series(spec);
+            for sample in series.samples() {
+                for attr in BASIC_ATTRIBUTES {
+                    let v = sample.value(attr);
+                    match attr.kind() {
+                        AttributeKind::Normalized => {
+                            prop_assert!((1.0..=253.0).contains(&v), "{attr}: {v}");
+                            prop_assert!(v.fract() == 0.0, "normalized values are integers");
+                        }
+                        AttributeKind::RawCounter => prop_assert!(v >= 0.0),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Window generation agrees with slicing the full series: random
+    /// access must be consistent.
+    #[test]
+    fn window_equals_slice(seed in 0u64..10_000, start in 0u32..1200, len in 1u32..144) {
+        let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.001), seed).generate();
+        let spec = &ds.drives()[0];
+        let full = ds.series(spec);
+        let window = ds.series_in(spec, Hour(start)..Hour(start + len));
+        prop_assert_eq!(window.samples(), full.in_range(Hour(start)..Hour(start + len)));
+    }
+
+    /// Raw counters never decrease over a drive's recorded life.
+    #[test]
+    fn counters_are_monotone(seed in 0u64..10_000) {
+        let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.002), seed).generate();
+        for spec in ds.failed_drives().take(6) {
+            let series = ds.series(spec);
+            let mut prev = 0.0;
+            for (_, v) in series.attribute_series(Attribute::ReallocatedSectorsRaw) {
+                prop_assert!(v + 1e-6 >= prev, "counter decreased: {prev} -> {v}");
+                prev = v;
+            }
+        }
+    }
+
+    /// Failed drives' series end strictly before their failure hour and
+    /// start no earlier than twenty days before it.
+    #[test]
+    fn failed_windows_are_bounded(seed in 0u64..10_000) {
+        let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.004), seed).generate();
+        for spec in ds.failed_drives() {
+            let fail = spec.class.fail_hour().unwrap();
+            let series = ds.series(spec);
+            for s in series.samples() {
+                prop_assert!(s.hour < fail);
+                prop_assert!(fail.saturating_since(s.hour) <= 480);
+            }
+        }
+    }
+
+    /// Subsampling keeps a subset: every kept drive exists in the parent,
+    /// with identical series.
+    #[test]
+    fn subsample_is_a_consistent_subset(
+        seed in 0u64..5_000,
+        fraction in 0.1f64..1.0,
+    ) {
+        let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.004), seed).generate();
+        let sub = ds.subsample(fraction, seed ^ 0xF00D);
+        prop_assert!(sub.drives().len() <= ds.drives().len());
+        for spec in sub.drives().iter().take(8) {
+            let parent = ds.get(spec.id).expect("drive exists in parent");
+            prop_assert_eq!(spec, parent);
+            prop_assert_eq!(sub.series(spec), ds.series(parent));
+        }
+    }
+
+    /// The population composition always matches the profile counts.
+    #[test]
+    fn composition_matches_profile(seed in 0u64..10_000, scale in 0.001f64..0.02) {
+        let profile = FamilyProfile::w().scaled(scale);
+        let (g, f) = (profile.n_good, profile.n_failed);
+        let ds = DatasetGenerator::new(profile, seed).generate();
+        prop_assert_eq!(ds.good_drives().count() as u32, g);
+        prop_assert_eq!(ds.failed_drives().count() as u32, f);
+    }
+}

@@ -1,0 +1,59 @@
+//! Two-sample z-score separation.
+//!
+//! The simplest of the three selection tests (used by Murray et al. as
+//! "z-scores"): how many standard errors apart are the means of the failed
+//! and good populations of an attribute.
+
+use crate::summary::{mean, variance};
+
+/// The two-sample z statistic `(mean_a − mean_b) / se` with
+/// `se = sqrt(var_a/n_a + var_b/n_b)`.
+///
+/// Returns `0.0` when either sample is empty or both variances vanish.
+#[must_use]
+pub fn two_sample_z(sample_a: &[f64], sample_b: &[f64]) -> f64 {
+    if sample_a.is_empty() || sample_b.is_empty() {
+        return 0.0;
+    }
+    let se2 = variance(sample_a) / sample_a.len() as f64
+        + variance(sample_b) / sample_b.len() as f64;
+    if se2 <= 0.0 {
+        return 0.0;
+    }
+    (mean(sample_a) - mean(sample_b)) / se2.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_means_give_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 2.0, 2.0];
+        let z = two_sample_z(&a, &b);
+        assert!(z.abs() < 1e-9, "z = {z}");
+    }
+
+    #[test]
+    fn separated_means_give_large_z() {
+        let a: Vec<f64> = (0..100).map(|i| 10.0 + f64::from(i % 5)).collect();
+        let b: Vec<f64> = (0..100).map(|i| 20.0 + f64::from(i % 5)).collect();
+        assert!(two_sample_z(&a, &b) < -20.0);
+        assert!(two_sample_z(&b, &a) > 20.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(two_sample_z(&[], &[1.0]), 0.0);
+        assert_eq!(two_sample_z(&[1.0], &[]), 0.0);
+        assert_eq!(two_sample_z(&[3.0, 3.0], &[3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn antisymmetric() {
+        let a = [1.0, 2.0, 5.0, 9.0];
+        let b = [4.0, 4.0, 6.0, 6.0];
+        assert!((two_sample_z(&a, &b) + two_sample_z(&b, &a)).abs() < 1e-12);
+    }
+}

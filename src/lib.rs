@@ -1,0 +1,58 @@
+//! # hddpred — hard drive failure prediction with CART
+//!
+//! A production-quality reproduction of *Li et al., "Hard Drive Failure
+//! Prediction Using Classification and Regression Trees", DSN 2014*.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`smart`] — SMART attribute model and synthetic data-center traces,
+//! * [`stats`] — non-parametric tests and statistical feature selection,
+//! * [`cart`] — the paper's contribution: CT and RT models,
+//! * [`ann`] — the BP ANN baseline,
+//! * [`eval`] — splits, voting detection, FDR/FAR/TIA metrics, model aging,
+//! * [`reliability`] — Markov MTTDL models for RAID with failure prediction.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hddpred::prelude::*;
+//!
+//! # fn main() -> Result<(), hddpred::cart::TrainError> {
+//! // A small synthetic fleet of family-"W" drives.
+//! let dataset = DatasetGenerator::new(FamilyProfile::w().scaled(0.02), 42).generate();
+//!
+//! // The evaluation pipeline: statistical features, time-based split,
+//! // classification-tree training, voting-based detection.
+//! let experiment = Experiment::builder()
+//!     .time_window_hours(168)
+//!     .voters(11)
+//!     .build();
+//! let outcome = experiment.run_ct(&dataset)?;
+//! assert!(outcome.metrics.fdr() > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hdd_ann as ann;
+pub use hdd_baselines as baselines;
+pub use hdd_cart as cart;
+pub use hdd_eval as eval;
+pub use hdd_reliability as reliability;
+pub use hdd_smart as smart;
+pub use hdd_stats as stats;
+
+/// Commonly used items, one `use` away.
+pub mod prelude {
+    pub use hdd_ann::{AnnConfig, BpAnn};
+    pub use hdd_cart::{
+        ClassificationTree, ClassificationTreeBuilder, HealthModel, RegressionTree,
+        RegressionTreeBuilder,
+    };
+    pub use hdd_eval::{Experiment, ExperimentOutcome, PredictionMetrics};
+    pub use hdd_reliability::{mttdl_raid6_no_prediction, mttdl_single_drive, PredictionQuality};
+    pub use hdd_smart::{Dataset, DatasetGenerator, FamilyProfile, Hour};
+    pub use hdd_stats::{FeatureSet, FeatureSpec};
+}

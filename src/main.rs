@@ -1,0 +1,198 @@
+//! `hddpred` — command-line drive-failure prediction.
+//!
+//! A small operational CLI over the library: synthesize traces, train a
+//! classification-tree model on a CSV of SMART series, and scan series
+//! for failing drives with voting-based detection.
+//!
+//! ```text
+//! hddpred generate --family W --scale 0.02 --seed 42 --out traces.csv
+//! hddpred train    --data traces.csv --out model.json --window 168
+//! hddpred predict  --data traces.csv --model model.json --voters 11
+//! ```
+
+use hddpred::cart::{Class, ClassSample, ClassificationTree, ClassificationTreeBuilder};
+use hddpred::eval::{SampleScorer, VotingDetector, VotingRule};
+use hddpred::smart::csv::{read_series, write_header, write_series};
+use hddpred::smart::rng::DeterministicRng;
+use hddpred::smart::{DatasetGenerator, FamilyProfile, Hour, SmartSeries};
+use hddpred::stats::FeatureSet;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => generate(&parse_flags(&args[1..])),
+        Some("train") => train(&parse_flags(&args[1..])),
+        Some("predict") => predict(&parse_flags(&args[1..])),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+hddpred — hard drive failure prediction (CART, DSN'14)
+
+USAGE:
+    hddpred generate --out <traces.csv> [--family W|Q] [--scale <f>] [--seed <n>]
+    hddpred train    --data <traces.csv> --out <model.json> [--window <hours>]
+    hddpred predict  --data <traces.csv> --model <model.json> [--voters <n>]
+";
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(key) = iter.next() {
+        if let Some(name) = key.strip_prefix("--") {
+            if let Some(value) = iter.next() {
+                flags.insert(name.to_string(), value.clone());
+            }
+        }
+    }
+    flags
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}\n{USAGE}"))
+}
+
+/// `hddpred generate`: synthesize a fleet and dump every series as CSV.
+fn generate(flags: &HashMap<String, String>) -> CliResult {
+    let out = flag(flags, "out")?;
+    let family = match flags.get("family").map(String::as_str).unwrap_or("W") {
+        "W" | "w" => FamilyProfile::w(),
+        "Q" | "q" => FamilyProfile::q(),
+        other => return Err(format!("unknown family {other} (use W or Q)").into()),
+    };
+    let scale: f64 = flags.get("scale").map_or(Ok(0.01), |s| s.parse())?;
+    let seed: u64 = flags.get("seed").map_or(Ok(42), |s| s.parse())?;
+
+    let dataset = DatasetGenerator::new(family.scaled(scale), seed).generate();
+    let mut writer = BufWriter::new(File::create(out)?);
+    write_header(&mut writer)?;
+    for spec in dataset.drives() {
+        write_series(&mut writer, &dataset.series(spec))?;
+    }
+    writer.flush()?;
+    eprintln!(
+        "wrote {} drives ({} good, {} failed) to {out}",
+        dataset.drives().len(),
+        dataset.good_drives().count(),
+        dataset.failed_drives().count()
+    );
+    Ok(())
+}
+
+/// Assemble a training set from raw series: 3 random samples per good
+/// drive plus the failed samples within the window.
+fn training_set(
+    series: &[SmartSeries],
+    features: &FeatureSet,
+    window_hours: u32,
+) -> Vec<ClassSample> {
+    let rng = DeterministicRng::new(0x007E_A1CB);
+    let mut samples = Vec::new();
+    for (d, s) in series.iter().enumerate() {
+        match s.class.fail_hour() {
+            None => {
+                for k in 0..3u64 {
+                    for attempt in 0..8u64 {
+                        let u = rng.uniform(d as u64 ^ (attempt << 32), k);
+                        let idx = (u * s.len() as f64) as usize;
+                        if let Some(f) = features.extract(s, idx) {
+                            samples.push(ClassSample::new(f, Class::Good));
+                            break;
+                        }
+                    }
+                }
+            }
+            Some(fail) => {
+                let start = fail - window_hours;
+                for idx in 0..s.len() {
+                    if s.samples()[idx].hour < start {
+                        continue;
+                    }
+                    if let Some(f) = features.extract(s, idx) {
+                        samples.push(ClassSample::new(f, Class::Failed));
+                    }
+                }
+            }
+        }
+    }
+    samples
+}
+
+/// `hddpred train`: fit a CT model on labelled series.
+fn train(flags: &HashMap<String, String>) -> CliResult {
+    let data = flag(flags, "data")?;
+    let out = flag(flags, "out")?;
+    let window: u32 = flags.get("window").map_or(Ok(168), |s| s.parse())?;
+
+    let series = read_series(BufReader::new(File::open(data)?))?;
+    let features = FeatureSet::critical13();
+    let samples = training_set(&series, &features, window);
+    eprintln!(
+        "training on {} samples from {} drives",
+        samples.len(),
+        series.len()
+    );
+    let model = ClassificationTreeBuilder::new().build(&samples)?;
+    serde_json::to_writer(BufWriter::new(File::create(out)?), &model)?;
+    eprintln!(
+        "model: {} leaves, depth {} -> {out}",
+        model.tree().n_leaves(),
+        model.tree().depth()
+    );
+    eprintln!("rules:\n{}", model.rules(&features.names()));
+    Ok(())
+}
+
+/// `hddpred predict`: scan every series and report alarms.
+fn predict(flags: &HashMap<String, String>) -> CliResult {
+    let data = flag(flags, "data")?;
+    let model_path = flag(flags, "model")?;
+    let voters: usize = flags.get("voters").map_or(Ok(11), |s| s.parse())?;
+
+    let series = read_series(BufReader::new(File::open(data)?))?;
+    let model: ClassificationTree =
+        serde_json::from_reader(BufReader::new(File::open(model_path)?))?;
+    let features = FeatureSet::critical13();
+    let detector = VotingDetector::new(&model, &features, voters, VotingRule::Majority);
+
+    let mut alarms = 0usize;
+    println!("drive,alarm_hour,last_score");
+    for s in &series {
+        let alarm = detector.first_alarm(s, Hour(0)..Hour(u32::MAX));
+        let last_score = features
+            .extract(s, s.len().saturating_sub(1))
+            .map(|f| model.score(&f));
+        if let Some(hour) = alarm {
+            alarms += 1;
+            println!(
+                "{},{},{}",
+                s.drive.0,
+                hour.0,
+                last_score.map_or_else(|| "-".to_string(), |v| format!("{v:+.0}"))
+            );
+        }
+    }
+    eprintln!("{alarms} of {} drives raised an alarm (N = {voters})", series.len());
+    Ok(())
+}

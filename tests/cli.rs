@@ -1,0 +1,94 @@
+//! End-to-end tests of the `hddpred` command-line interface: generate →
+//! train → predict on real files.
+
+use std::process::Command;
+
+fn hddpred() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hddpred"))
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hddpred-cli-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn generate_train_predict_round_trip() {
+    let dir = tempdir();
+    let traces = dir.join("traces.csv");
+    let model = dir.join("model.json");
+
+    let out = hddpred()
+        .args(["generate", "--out"])
+        .arg(&traces)
+        .args(["--scale", "0.01", "--seed", "5"])
+        .output()
+        .expect("spawn generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(traces.exists());
+
+    let out = hddpred()
+        .args(["train", "--data"])
+        .arg(&traces)
+        .arg("--out")
+        .arg(&model)
+        .output()
+        .expect("spawn train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("leaves"), "{stderr}");
+    assert!(stderr.contains("root"), "prints rules: {stderr}");
+
+    let out = hddpred()
+        .args(["predict", "--data"])
+        .arg(&traces)
+        .arg("--model")
+        .arg(&model)
+        .args(["--voters", "11"])
+        .output()
+        .expect("spawn predict");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("drive,alarm_hour"), "{stdout}");
+    // The fleet at scale 0.01 contains failed drives; a trained model
+    // must alarm on at least one of them.
+    assert!(stdout.lines().count() >= 2, "no alarms raised:\n{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_and_unknown_commands() {
+    let out = hddpred().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    let out = hddpred().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn train_requires_flags() {
+    let out = hddpred().arg("train").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data"));
+}
+
+#[test]
+fn generate_rejects_unknown_family() {
+    let dir = tempdir();
+    let out = hddpred()
+        .args(["generate", "--family", "Z", "--out"])
+        .arg(dir.join("x.csv"))
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown family"));
+    std::fs::remove_dir_all(&dir).ok();
+}

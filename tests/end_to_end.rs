@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: the full paper pipeline on a small
+//! synthetic fleet.
+
+use hddpred::cart::Class;
+use hddpred::eval::{HealthTargets, SplitConfig, UpdateStrategy};
+use hddpred::prelude::*;
+
+fn dataset() -> Dataset {
+    DatasetGenerator::new(FamilyProfile::w().scaled(0.03), 99).generate()
+}
+
+fn experiment() -> Experiment {
+    Experiment::builder().voters(5).build()
+}
+
+#[test]
+fn ct_pipeline_end_to_end() {
+    let ds = dataset();
+    let outcome = experiment().run_ct(&ds).expect("trainable");
+    // Loose paper-shaped bounds that hold across seeds at this scale.
+    assert!(outcome.metrics.fdr() > 0.7, "{}", outcome.metrics);
+    assert!(outcome.metrics.far() < 0.05, "{}", outcome.metrics);
+    assert!(outcome.metrics.mean_tia() > 100.0, "{}", outcome.metrics);
+    // The model must be a non-trivial, interpretable tree.
+    assert!(outcome.model.tree().n_leaves() >= 2);
+    let rules = outcome.model.rules(&experiment().feature_set().names());
+    assert!(rules.contains("root"), "{rules}");
+}
+
+#[test]
+fn ann_pipeline_end_to_end() {
+    let ds = dataset();
+    let exp = Experiment::builder().voters(5).time_window_hours(12).build();
+    let outcome = exp.run_ann(&ds).expect("trainable");
+    assert!(outcome.metrics.fdr() > 0.5, "{}", outcome.metrics);
+    assert!(outcome.metrics.far() < 0.05, "{}", outcome.metrics);
+}
+
+#[test]
+fn rt_health_pipeline_end_to_end() {
+    let ds = dataset();
+    let outcome = experiment()
+        .run_rt(&ds, HealthTargets::Personalized)
+        .expect("trainable");
+    assert!(outcome.metrics.failed_total > 0);
+    // Health degrees must be bounded.
+    let spec = ds.failed_drives().next().expect("failed drives exist");
+    let series = ds.series(spec);
+    for idx in 0..series.len() {
+        if let Some(features) = experiment().feature_set().extract(&series, idx) {
+            let h = outcome.model.health(&features);
+            assert!((-1.0..=1.0).contains(&h), "health {h}");
+        }
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let ds = dataset();
+    let a = experiment().run_ct(&ds).expect("trainable");
+    let b = experiment().run_ct(&ds).expect("trainable");
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.model, b.model);
+}
+
+#[test]
+fn trained_model_serializes() {
+    let ds = dataset();
+    let outcome = experiment().run_ct(&ds).expect("trainable");
+    let json = serde_json::to_string(&outcome.model).expect("serializable");
+    let restored: hddpred::cart::ClassificationTree =
+        serde_json::from_str(&json).expect("deserializable");
+    // Identical predictions after a round trip.
+    let spec = ds.failed_drives().next().expect("failed drives");
+    let series = ds.series(spec);
+    for idx in (0..series.len()).step_by(37) {
+        if let Some(f) = experiment().feature_set().extract(&series, idx) {
+            assert_eq!(outcome.model.predict(&f), restored.predict(&f));
+        }
+    }
+}
+
+#[test]
+fn voting_suppresses_false_alarms_monotonically() {
+    let ds = dataset();
+    let exp1 = Experiment::builder().voters(1).build();
+    let split = exp1.split(&ds);
+    let model = exp1.run_ct(&ds).expect("trainable").model;
+    let points = hddpred::eval::sweep_voters(&exp1, &ds, &split, &model, &[1, 5, 15]);
+    assert!(points[0].far() >= points[1].far());
+    assert!(points[1].far() >= points[2].far());
+}
+
+#[test]
+fn split_respects_week_and_ratio() {
+    let ds = dataset();
+    let split = hddpred::eval::time_split(
+        &ds,
+        &SplitConfig {
+            train_fraction: 0.7,
+            eval_week: 0,
+            seed: 1,
+        },
+    );
+    assert_eq!(split.good_train.start, Hour(0));
+    assert!(split.good_train.end < split.good_test.end);
+    let n_failed = ds.failed_drives().count();
+    assert_eq!(split.train_failed.len() + split.test_failed.len(), n_failed);
+}
+
+#[test]
+fn aging_simulation_produces_weekly_series() {
+    let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.015), 3).generate();
+    let exp = Experiment::builder().voters(5).build();
+    let builder = hddpred::cart::ClassificationTreeBuilder::new();
+    let fixed = hddpred::eval::weekly_far(&exp, &ds, UpdateStrategy::Fixed, |s| {
+        builder.build(s).expect("trainable")
+    });
+    assert_eq!(fixed.weekly.len(), 7);
+    // The fixed model's FAR at week 8 is at least its week-2 FAR (drift
+    // only accumulates).
+    let w2 = fixed.weekly[0].far;
+    let w8 = fixed.weekly[6].far;
+    assert!(w8 >= w2, "aging must not improve a fixed model: {w2} -> {w8}");
+}
+
+#[test]
+fn q_family_pipeline_runs() {
+    let ds = DatasetGenerator::new(FamilyProfile::q().scaled(0.5), 17).generate();
+    let outcome = experiment().run_ct(&ds).expect("trainable");
+    assert!(outcome.metrics.fdr() > 0.5, "{}", outcome.metrics);
+}
+
+#[test]
+fn classification_training_set_matches_protocol() {
+    let ds = dataset();
+    let exp = experiment();
+    let split = exp.split(&ds);
+    let training = exp.classification_training_set(&ds, &split);
+    let n_good_drives = ds.good_drives().count();
+    let n_good_samples = training.iter().filter(|s| s.class == Class::Good).count();
+    // Three samples per good drive (a few may be lost to gaps).
+    assert!(n_good_samples <= 3 * n_good_drives);
+    assert!(n_good_samples >= 2 * n_good_drives);
+    // All features extracted at the critical-13 dimensionality.
+    assert!(training.iter().all(|s| s.features.len() == 13));
+}

@@ -1,0 +1,136 @@
+//! Shape-regression tests: the paper's qualitative findings, asserted on
+//! small fleets so they run in CI. Magnitude checks live in
+//! EXPERIMENTS.md; these tests pin the *orderings* that must never flip.
+
+use hddpred::eval::{weekly_far, HealthTargets, UpdateStrategy, VotingRule};
+use hddpred::prelude::*;
+use hddpred::reliability::HOURS_PER_YEAR;
+
+fn fleet(scale: f64, seed: u64) -> Dataset {
+    DatasetGenerator::new(FamilyProfile::w().scaled(scale), seed).generate()
+}
+
+/// Fig. 2's headline: the CT model dominates the BP ANN on detection rate
+/// at a comparable (voted) false alarm rate.
+#[test]
+fn ct_dominates_ann_on_fdr() {
+    let ds = fleet(0.05, 5);
+    let ct = Experiment::builder()
+        .voters(11)
+        .time_window_hours(168)
+        .build()
+        .run_ct(&ds)
+        .expect("trainable");
+    let ann = Experiment::builder()
+        .voters(11)
+        .time_window_hours(12)
+        .build()
+        .run_ann(&ds)
+        .expect("trainable");
+    assert!(
+        ct.metrics.fdr() >= ann.metrics.fdr(),
+        "CT {} must beat ANN {}",
+        ct.metrics,
+        ann.metrics
+    );
+    assert!(ct.metrics.far() < 0.01, "CT voted FAR stays below 1%");
+}
+
+/// Figs. 6–9's headline: a never-updated model degrades; weekly replacing
+/// does not.
+#[test]
+fn fixed_model_ages_replacing_does_not() {
+    let ds = fleet(0.05, 5);
+    let exp = Experiment::builder().voters(11).build();
+    let builder = hddpred::cart::ClassificationTreeBuilder::new();
+    let run = |strategy| {
+        weekly_far(&exp, &ds, strategy, |s| builder.build(s).expect("trainable"))
+    };
+    let fixed = run(UpdateStrategy::Fixed);
+    let weekly = run(UpdateStrategy::Replacing { cycle_weeks: 1 });
+    let last = fixed.weekly.last().expect("seven weeks");
+    let weekly_last = weekly.weekly.last().expect("seven weeks");
+    assert!(
+        last.far > weekly_last.far * 3.0,
+        "fixed week-8 FAR ({:.3}%) must dwarf weekly replacing ({:.3}%)",
+        last.far * 100.0,
+        weekly_last.far * 100.0
+    );
+    // And the rise is late (steeper after week 6 than before week 4).
+    assert!(fixed.weekly[6].far > fixed.weekly[2].far);
+}
+
+/// Fig. 10's headline: a laxer RT threshold can only flag more.
+#[test]
+fn rt_threshold_is_a_monotone_knob() {
+    let ds = fleet(0.04, 5);
+    let exp = Experiment::builder().voters(11).build();
+    let split = exp.split(&ds);
+    let health = exp
+        .run_rt(&ds, HealthTargets::Personalized)
+        .expect("trainable");
+    let mut prev_fdr = -1.0;
+    let mut prev_far = -1.0;
+    for threshold in [-0.6, -0.3, -0.1, 0.1] {
+        let m = exp.evaluate(&ds, &split, &health.model, VotingRule::MeanBelow(threshold));
+        assert!(m.fdr() + 1e-12 >= prev_fdr, "FDR monotone in threshold");
+        assert!(m.far() + 1e-12 >= prev_far, "FAR monotone in threshold");
+        prev_fdr = m.fdr();
+        prev_far = m.far();
+    }
+}
+
+/// Table VI's headline: MTTDL ordering none < BP ANN < CT < RT, with the
+/// paper's published operating points.
+#[test]
+fn table_six_ordering() {
+    use hddpred::reliability::{mttdl_single_drive, PredictionQuality};
+    let years = |q| mttdl_single_drive(1_390_000.0, 8.0, q) / HOURS_PER_YEAR;
+    let none = years(None);
+    let ann = years(Some(PredictionQuality::bp_ann_paper()));
+    let ct = years(Some(PredictionQuality::ct_paper()));
+    let rt = years(Some(PredictionQuality::rt_paper()));
+    assert!(none < ann && ann < ct && ct < rt);
+    // Superlinear: CT's ~5% FDR edge over the ANN buys ~1.7x MTTDL.
+    assert!(ct / ann > 1.5);
+}
+
+/// Fig. 12's headline orderings at 1000 drives.
+#[test]
+fn figure_twelve_ordering() {
+    use hddpred::reliability::{
+        mttdl_raid5_with_prediction, mttdl_raid6_no_prediction, mttdl_raid6_with_prediction,
+        PredictionQuality,
+    };
+    let ct = PredictionQuality::ct_paper();
+    let sas = mttdl_raid6_no_prediction(1_990_000.0, 8.0, 1000);
+    let sata = mttdl_raid6_no_prediction(1_390_000.0, 8.0, 1000);
+    let sata_ct = mttdl_raid6_with_prediction(1_390_000.0, 8.0, 1000, ct);
+    let sata_r5_ct = mttdl_raid5_with_prediction(1_390_000.0, 8.0, 1000, ct);
+    // Prediction beats hardware quality…
+    assert!(sata_ct > sas * 100.0);
+    // …and RAID-5 + prediction lands in the no-prediction RAID-6 band.
+    assert!(sata_r5_ct > sata * 0.1 && sata_r5_ct < sas * 10.0);
+}
+
+/// §IV-B's headline: the statistical pipeline rejects the Current Pending
+/// Sector features and keeps a raw-counter change rate.
+#[test]
+fn feature_selection_shape() {
+    use hddpred::smart::Attribute;
+    use hddpred::stats::select::{select_features, SelectionConfig};
+    use hddpred::stats::FeatureSpec;
+    let ds = fleet(0.06, 7);
+    let (set, _) = select_features(&ds, &SelectionConfig::default());
+    assert!(set.features().iter().all(|f| !matches!(
+        f,
+        FeatureSpec::Value(Attribute::CurrentPendingSector | Attribute::CurrentPendingSectorRaw)
+    )));
+    assert!(set.features().iter().any(|f| matches!(
+        f,
+        FeatureSpec::ChangeRate {
+            attr: Attribute::ReallocatedSectorsRaw,
+            ..
+        }
+    )));
+}

@@ -1,0 +1,200 @@
+//! Property-based tests over the public API: invariants that must hold
+//! for arbitrary inputs, not just the scenarios we thought of.
+
+use hddpred::ann::{AnnConfig, BpAnn};
+use hddpred::cart::{
+    global_health_degree, Class, ClassSample, ClassificationTreeBuilder, RegSample,
+    RegressionTreeBuilder,
+};
+use hddpred::cart::health::evenly_spaced_indices;
+use hddpred::reliability::{mttdl_single_drive, PredictionQuality};
+use hddpred::smart::rng::DeterministicRng;
+use hddpred::stats::{rank_sum_z, reverse_arrangements_z, two_sample_z};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000.0f64..1000.0, len)
+}
+
+proptest! {
+    // ---------- statistics ----------
+
+    #[test]
+    fn rank_sum_is_antisymmetric(a in finite_vec(30), b in finite_vec(20)) {
+        let z_ab = rank_sum_z(&a, &b);
+        let z_ba = rank_sum_z(&b, &a);
+        prop_assert!((z_ab + z_ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_sum_detects_a_positive_shift(a in finite_vec(40), shift in 2001.0f64..5000.0) {
+        // Shifting every element beyond the data range must give z > 0.
+        let shifted: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        prop_assert!(rank_sum_z(&shifted, &a) > 0.0);
+        prop_assert!(two_sample_z(&shifted, &a) > 0.0);
+    }
+
+    #[test]
+    fn reverse_arrangements_of_sorted_is_extreme(mut xs in finite_vec(50)) {
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        prop_assume!(xs.len() >= 10);
+        let inc = reverse_arrangements_z(&xs);
+        let mut rev = xs.clone();
+        rev.reverse();
+        let dec = reverse_arrangements_z(&rev);
+        prop_assert!(inc < 0.0, "increasing series: z = {inc}");
+        prop_assert!(dec > 0.0, "decreasing series: z = {dec}");
+        prop_assert!((inc + dec).abs() < 1e-9, "mirror symmetry");
+    }
+
+    // ---------- CART ----------
+
+    #[test]
+    fn classification_tree_fits_separated_clusters(
+        gap in 50.0f64..500.0,
+        n in 20usize..80,
+        seed in 0u64..1000,
+    ) {
+        let rng = DeterministicRng::new(seed);
+        let mut samples = Vec::new();
+        for i in 0..n {
+            let x = rng.uniform(i as u64, 0) * 10.0;
+            samples.push(ClassSample::new(vec![x], Class::Good));
+            samples.push(ClassSample::new(vec![x + 10.0 + gap], Class::Failed));
+        }
+        let tree = ClassificationTreeBuilder::new().build(&samples).unwrap();
+        // Every training sample classified correctly: the clusters are
+        // separated by more than their spread.
+        for s in &samples {
+            prop_assert_eq!(tree.predict(&s.features), s.class);
+        }
+    }
+
+    #[test]
+    fn regression_tree_predictions_stay_in_target_range(
+        targets in prop::collection::vec(-5.0f64..5.0, 25..120),
+        seed in 0u64..1000,
+        query in -2000.0f64..2000.0,
+    ) {
+        let rng = DeterministicRng::new(seed);
+        let samples: Vec<RegSample> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| RegSample::new(vec![rng.uniform(i as u64, 1) * 100.0], t))
+            .collect();
+        let tree = RegressionTreeBuilder::new().build(&samples).unwrap();
+        let lo = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Leaf means are convex combinations of targets: bounded.
+        let y = tree.predict(&[query]);
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "{y} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn stronger_pruning_never_grows_the_tree(
+        seed in 0u64..500,
+        cp_lo in 0.0f64..0.005,
+        cp_extra in 0.001f64..0.1,
+    ) {
+        let rng = DeterministicRng::new(seed);
+        let samples: Vec<ClassSample> = (0..120)
+            .map(|i| {
+                let x = rng.gaussian(i, 0) * 10.0;
+                let class = if rng.chance(0.3, i, 1) { Class::Failed } else { Class::Good };
+                ClassSample::new(vec![x, rng.gaussian(i, 2)], class)
+            })
+            .collect();
+        let n_failed = samples.iter().filter(|s| s.class == Class::Failed).count();
+        prop_assume!(n_failed > 0 && n_failed < samples.len());
+        let mut loose = ClassificationTreeBuilder::new();
+        loose.complexity(cp_lo);
+        let mut tight = ClassificationTreeBuilder::new();
+        tight.complexity(cp_lo + cp_extra);
+        let big = loose.build(&samples).unwrap();
+        let small = tight.build(&samples).unwrap();
+        prop_assert!(small.tree().n_nodes() <= big.tree().n_nodes());
+    }
+
+    #[test]
+    fn health_degree_is_monotone_in_lead_time(
+        window in 1u32..500,
+        i in 0u32..500,
+        j in 0u32..500,
+    ) {
+        let (early, late) = (i.max(j), i.min(j));
+        let h_early = global_health_degree(early, window);
+        let h_late = global_health_degree(late, window);
+        prop_assert!(h_early >= h_late, "more lead time cannot be less healthy");
+        prop_assert!((-1.0..=0.0).contains(&h_early));
+    }
+
+    #[test]
+    fn evenly_spaced_indices_are_valid(available in 0usize..500, picks in 0usize..40) {
+        let idx = evenly_spaced_indices(available, picks);
+        prop_assert!(idx.len() <= picks.max(available.min(picks)));
+        prop_assert!(idx.iter().all(|&i| i < available.max(1)));
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        if available > 0 && picks > 0 {
+            prop_assert_eq!(idx.len(), picks.min(available));
+        }
+    }
+
+    // ---------- ANN ----------
+
+    #[test]
+    fn ann_output_is_bounded(
+        seed in 0u64..200,
+        query in prop::collection::vec(-1e6f64..1e6, 3),
+    ) {
+        let rng = DeterministicRng::new(seed);
+        let inputs: Vec<Vec<f64>> = (0..40)
+            .map(|i| (0..3).map(|j| rng.gaussian(i, j) * 10.0).collect())
+            .collect();
+        let targets: Vec<f64> = (0..40).map(|i| if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let mut config = AnnConfig::new(vec![3, 4, 1]);
+        config.max_epochs = 5;
+        config.seed = seed;
+        let ann = BpAnn::train(&config, &inputs, &targets).unwrap();
+        let y = ann.predict(&query);
+        prop_assert!((-1.0..=1.0).contains(&y), "{y}");
+    }
+
+    // ---------- reliability ----------
+
+    #[test]
+    fn mttdl_grows_with_detection_rate(
+        k1 in 0.0f64..0.99,
+        dk in 0.001f64..0.5,
+        tia in 10.0f64..1000.0,
+    ) {
+        let k2 = (k1 + dk).min(0.999);
+        prop_assume!(k2 > k1);
+        let low = mttdl_single_drive(1e6, 8.0, Some(PredictionQuality::new(k1, tia)));
+        let high = mttdl_single_drive(1e6, 8.0, Some(PredictionQuality::new(k2, tia)));
+        prop_assert!(high > low);
+    }
+
+    #[test]
+    fn mttdl_grows_with_lead_time(
+        k in 0.5f64..0.99,
+        tia1 in 10.0f64..500.0,
+        extra in 1.0f64..500.0,
+    ) {
+        // More warning time -> replacement more likely to win the race.
+        let low = mttdl_single_drive(1e6, 8.0, Some(PredictionQuality::new(k, tia1)));
+        let high = mttdl_single_drive(1e6, 8.0, Some(PredictionQuality::new(k, tia1 + extra)));
+        prop_assert!(high >= low);
+    }
+
+    // ---------- deterministic RNG ----------
+
+    #[test]
+    fn deterministic_rng_is_stable_and_in_range(seed in 0u64..10_000, a in 0u64..1000, b in 0u64..1000) {
+        let r1 = DeterministicRng::new(seed);
+        let r2 = DeterministicRng::new(seed);
+        prop_assert_eq!(r1.bits(a, b), r2.bits(a, b));
+        let u = r1.uniform(a, b);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+}
