@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod mlp;
+mod rng;
 pub mod scale;
 
 pub use mlp::{Activation, AnnConfig, AnnError, BpAnn};

@@ -1,10 +1,8 @@
 //! The multi-layer perceptron and its backpropagation trainer.
 
+use crate::rng::TrainRng;
 use crate::scale::MinMaxScaler;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use hdd_json::{JsonCodec, JsonError, Value};
 use std::fmt;
 
 /// Hidden/output unit activation.
@@ -15,7 +13,7 @@ use std::fmt;
 /// — which is exactly the behaviour the paper reports for the BP ANN on
 /// family "Q" (§V-B1). `Tanh` with Xavier initialization is provided as a
 /// modern alternative for ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Activation {
     /// Logistic sigmoid, naive `U(-0.5, 0.5)` init (the paper's baseline).
     #[default]
@@ -61,7 +59,7 @@ impl Activation {
 }
 
 /// Training configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnnConfig {
     /// Layer sizes, input first, output last (e.g. `[13, 13, 1]`).
     pub layers: Vec<usize>,
@@ -141,7 +139,7 @@ impl fmt::Display for AnnError {
 impl std::error::Error for AnnError {}
 
 /// One dense layer: `out = tanh(W · in + b)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Layer {
     /// `weights[j]` are unit `j`'s input weights.
     weights: Vec<Vec<f64>>,
@@ -149,7 +147,7 @@ struct Layer {
 }
 
 impl Layer {
-    fn new(inputs: usize, outputs: usize, rng: &mut StdRng, activation: Activation) -> Self {
+    fn new(inputs: usize, outputs: usize, rng: &mut TrainRng, activation: Activation) -> Self {
         let bound = match activation {
             // 2013-era naive init.
             Activation::Sigmoid => 0.5,
@@ -158,7 +156,7 @@ impl Layer {
         };
         Layer {
             weights: (0..outputs)
-                .map(|_| (0..inputs).map(|_| rng.random_range(-bound..bound)).collect())
+                .map(|_| (0..inputs).map(|_| rng.range(-bound, bound)).collect())
                 .collect(),
             biases: vec![0.0; outputs],
         }
@@ -174,7 +172,7 @@ impl Layer {
 }
 
 /// A trained backpropagation network with its input scaler.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BpAnn {
     layers: Vec<Layer>,
     scaler: MinMaxScaler,
@@ -226,8 +224,11 @@ impl BpAnn {
         let scaled: Vec<Vec<f64>> = inputs.iter().map(|r| scaler.transform(r)).collect();
 
         let activation = config.activation;
-        let encoded: Vec<f64> = targets.iter().map(|&t| activation.encode_target(t)).collect();
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let encoded: Vec<f64> = targets
+            .iter()
+            .map(|&t| activation.encode_target(t))
+            .collect();
+        let mut rng = TrainRng::seed_from_u64(config.seed);
         let mut layers: Vec<Layer> = config
             .layers
             .windows(2)
@@ -241,7 +242,7 @@ impl BpAnn {
         let mut final_mse = f64::INFINITY;
 
         for epoch in 0..config.max_epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             let mut sse = 0.0;
             for &i in &order {
                 // Forward pass.
@@ -339,6 +340,136 @@ impl BpAnn {
     pub fn final_mse(&self) -> f64 {
         self.final_mse
     }
+
+    /// Dimensionality of the feature vectors the network scores.
+    #[must_use]
+    pub fn n_inputs(&self) -> usize {
+        self.scaler.len()
+    }
+}
+
+impl JsonCodec for Layer {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "weights".to_string(),
+                Value::Arr(
+                    self.weights
+                        .iter()
+                        .map(|row| Value::from_f64s(row.iter().copied()))
+                        .collect(),
+                ),
+            ),
+            (
+                "biases".to_string(),
+                Value::from_f64s(self.biases.iter().copied()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let weights = value
+            .field("weights")?
+            .as_arr()
+            .ok_or_else(|| JsonError::expected("array", "weights"))?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or_else(|| JsonError::expected("array of arrays", "weights"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .ok_or_else(|| JsonError::expected("number", "weights"))
+                    })
+                    .collect::<Result<Vec<f64>, JsonError>>()
+            })
+            .collect::<Result<Vec<Vec<f64>>, JsonError>>()?;
+        let biases = value.f64_vec_field("biases")?;
+        if weights.is_empty() || weights.len() != biases.len() {
+            return Err(JsonError::new("layer weights/biases disagree"));
+        }
+        let inputs = weights[0].len();
+        if inputs == 0 || weights.iter().any(|row| row.len() != inputs) {
+            return Err(JsonError::new("layer weight rows disagree on length"));
+        }
+        Ok(Layer { weights, biases })
+    }
+}
+
+impl JsonCodec for BpAnn {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            (
+                "activation".to_string(),
+                Value::Str(
+                    match self.activation {
+                        Activation::Sigmoid => "sigmoid",
+                        Activation::Tanh => "tanh",
+                    }
+                    .to_string(),
+                ),
+            ),
+            (
+                "trained_epochs".to_string(),
+                Value::Num(self.trained_epochs as f64),
+            ),
+            ("scaler".to_string(), self.scaler.to_json()),
+            (
+                "layers".to_string(),
+                Value::Arr(self.layers.iter().map(JsonCodec::to_json).collect()),
+            ),
+        ];
+        // An untrained network (max_epochs = 0) has an infinite MSE, which
+        // JSON cannot carry; omit the field and restore the sentinel on load.
+        if self.final_mse.is_finite() {
+            fields.push(("final_mse".to_string(), Value::Num(self.final_mse)));
+        }
+        Value::Obj(fields)
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let activation = match value.str_field("activation")? {
+            "sigmoid" => Activation::Sigmoid,
+            "tanh" => Activation::Tanh,
+            other => {
+                return Err(JsonError::new(format!("unknown activation `{other}`")));
+            }
+        };
+        let scaler = MinMaxScaler::from_json(value.field("scaler")?)?;
+        let layers = value
+            .field("layers")?
+            .as_arr()
+            .ok_or_else(|| JsonError::expected("array", "layers"))?
+            .iter()
+            .map(Layer::from_json)
+            .collect::<Result<Vec<Layer>, JsonError>>()?;
+        if layers.is_empty() {
+            return Err(JsonError::new("network has no layers"));
+        }
+        // Layer widths must chain: scaler → hidden layers → single output.
+        let mut width = scaler.len();
+        for (i, layer) in layers.iter().enumerate() {
+            if layer.weights[0].len() != width {
+                return Err(JsonError::new(format!("layer {i} input width mismatch")));
+            }
+            width = layer.biases.len();
+        }
+        if width != 1 {
+            return Err(JsonError::new("output layer must have one unit"));
+        }
+        Ok(BpAnn {
+            layers,
+            scaler,
+            activation,
+            trained_epochs: value.usize_field("trained_epochs")?,
+            final_mse: match value.get("final_mse") {
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| JsonError::expected("number", "final_mse"))?,
+                None => f64::INFINITY,
+            },
+        })
+    }
 }
 
 /// Borrow `v[l]` immutably and `v[l+1]` mutably.
@@ -405,8 +536,7 @@ mod tests {
             BpAnn::train(&config, &[], &[]).unwrap_err(),
             AnnError::NoSamples
         );
-        let err =
-            BpAnn::train(&config, &[vec![1.0, 2.0]], &[1.0, -1.0]).unwrap_err();
+        let err = BpAnn::train(&config, &[vec![1.0, 2.0]], &[1.0, -1.0]).unwrap_err();
         assert!(matches!(err, AnnError::Invalid(_)), "{err}");
         let err = BpAnn::train(&config, &[vec![1.0]], &[1.0]).unwrap_err();
         assert!(err.to_string().contains("features"), "{err}");
@@ -439,6 +569,42 @@ mod tests {
     #[should_panic(expected = "at least input and output")]
     fn config_rejects_single_layer() {
         let _ = AnnConfig::new(vec![3]);
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        let (inputs, targets) = linear_problem(80);
+        let mut config = AnnConfig::new(vec![2, 5, 1]);
+        config.max_epochs = 50;
+        let ann = BpAnn::train(&config, &inputs, &targets).unwrap();
+        let text = hdd_json::to_string(&ann.to_json());
+        let back = BpAnn::from_json(&hdd_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ann);
+        for i in 0..30 {
+            let q = [f64::from(i), f64::from(i % 5)];
+            assert_eq!(back.predict(&q).to_bits(), ann.predict(&q).to_bits());
+        }
+        assert_eq!(back.n_inputs(), 2);
+    }
+
+    #[test]
+    fn json_decode_rejects_inconsistent_layers() {
+        let (inputs, targets) = linear_problem(40);
+        let config = AnnConfig::new(vec![2, 3, 1]);
+        let ann = BpAnn::train(&config, &inputs, &targets).unwrap();
+        let text = hdd_json::to_string(&ann.to_json());
+        // Prepend a bogus 3-input layer: widths no longer chain.
+        let broken = text.replacen(
+            "\"layers\":[",
+            "\"layers\":[{\"weights\":[[1,2,3]],\"biases\":[0]},",
+            1,
+        );
+        let doc = hdd_json::parse(&broken).unwrap();
+        assert!(BpAnn::from_json(&doc).is_err());
+        // Unknown activation name.
+        let bad = text.replace("sigmoid", "relu");
+        let doc = hdd_json::parse(&bad).unwrap();
+        assert!(BpAnn::from_json(&doc).is_err());
     }
 
     #[test]

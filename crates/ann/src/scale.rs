@@ -5,13 +5,37 @@
 //! scaler maps each feature's training range to `[-1, 1]` and is stored
 //! inside the trained model so detection applies the identical transform.
 
-use serde::{Deserialize, Serialize};
+use hdd_json::{JsonCodec, JsonError, Value};
 
 /// Per-feature min–max scaler to `[-1, 1]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinMaxScaler {
     mins: Vec<f64>,
     maxs: Vec<f64>,
+}
+
+impl JsonCodec for MinMaxScaler {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "mins".to_string(),
+                Value::from_f64s(self.mins.iter().copied()),
+            ),
+            (
+                "maxs".to_string(),
+                Value::from_f64s(self.maxs.iter().copied()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let mins = value.f64_vec_field("mins")?;
+        let maxs = value.f64_vec_field("maxs")?;
+        if mins.is_empty() || mins.len() != maxs.len() {
+            return Err(JsonError::new("scaler mins/maxs disagree"));
+        }
+        Ok(MinMaxScaler { mins, maxs })
+    }
 }
 
 impl MinMaxScaler {

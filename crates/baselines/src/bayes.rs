@@ -5,16 +5,76 @@
 //! method on the Quantum dataset.
 
 use hdd_cart::{Class, ClassSample, TrainError};
-use hdd_eval::SampleScorer;
-use serde::{Deserialize, Serialize};
+use hdd_eval::Predictor;
+use hdd_json::{JsonCodec, JsonError, Value};
 
 /// Per-class Gaussian naive Bayes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NaiveBayes {
     log_prior_good: f64,
     log_prior_failed: f64,
     good: Vec<(f64, f64)>,   // (mean, variance) per feature
     failed: Vec<(f64, f64)>, // (mean, variance) per feature
+}
+
+fn moments_to_json(moments: &[(f64, f64)]) -> (Value, Value) {
+    (
+        Value::from_f64s(moments.iter().map(|&(m, _)| m)),
+        Value::from_f64s(moments.iter().map(|&(_, v)| v)),
+    )
+}
+
+fn moments_from_json(
+    value: &Value,
+    means_key: &str,
+    vars_key: &str,
+) -> Result<Vec<(f64, f64)>, JsonError> {
+    let means = value.f64_vec_field(means_key)?;
+    let vars = value.f64_vec_field(vars_key)?;
+    if means.is_empty() || means.len() != vars.len() {
+        return Err(JsonError::new(format!(
+            "`{means_key}`/`{vars_key}` lengths disagree"
+        )));
+    }
+    if vars.iter().any(|&v| v <= 0.0) {
+        return Err(JsonError::new(format!("`{vars_key}` must be positive")));
+    }
+    Ok(means.into_iter().zip(vars).collect())
+}
+
+impl JsonCodec for NaiveBayes {
+    fn to_json(&self) -> Value {
+        let (good_means, good_vars) = moments_to_json(&self.good);
+        let (failed_means, failed_vars) = moments_to_json(&self.failed);
+        Value::Obj(vec![
+            (
+                "log_prior_good".to_string(),
+                Value::Num(self.log_prior_good),
+            ),
+            (
+                "log_prior_failed".to_string(),
+                Value::Num(self.log_prior_failed),
+            ),
+            ("good_means".to_string(), good_means),
+            ("good_vars".to_string(), good_vars),
+            ("failed_means".to_string(), failed_means),
+            ("failed_vars".to_string(), failed_vars),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let good = moments_from_json(value, "good_means", "good_vars")?;
+        let failed = moments_from_json(value, "failed_means", "failed_vars")?;
+        if good.len() != failed.len() {
+            return Err(JsonError::new("class moment lengths disagree"));
+        }
+        Ok(NaiveBayes {
+            log_prior_good: value.f64_field("log_prior_good")?,
+            log_prior_failed: value.f64_field("log_prior_failed")?,
+            good,
+            failed,
+        })
+    }
 }
 
 fn moments(rows: &[&[f64]], dim: usize) -> Vec<(f64, f64)> {
@@ -99,7 +159,11 @@ impl NaiveBayes {
     }
 }
 
-impl SampleScorer for NaiveBayes {
+impl Predictor for NaiveBayes {
+    fn n_features(&self) -> usize {
+        self.good.len()
+    }
+
     fn score(&self, features: &[f64]) -> f64 {
         // Squash the log-odds into (-1, 1) for the voting detector.
         (self.log_odds_good(features) / 4.0).tanh()
@@ -133,10 +197,7 @@ mod tests {
     fn log_odds_sign_matches_prediction() {
         let nb = NaiveBayes::train(&gaussianish(40)).unwrap();
         for q in [[100.0, 50.0], [60.0, 20.0], [80.0, 35.0]] {
-            assert_eq!(
-                nb.predict(&q) == Class::Failed,
-                nb.log_odds_good(&q) < 0.0
-            );
+            assert_eq!(nb.predict(&q) == Class::Failed, nb.log_odds_good(&q) < 0.0);
         }
     }
 
@@ -171,6 +232,27 @@ mod tests {
             NaiveBayes::train(&one_class).unwrap_err(),
             TrainError::SingleClass
         );
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        let nb = NaiveBayes::train(&gaussianish(60)).unwrap();
+        let text = hdd_json::to_string(&nb.to_json());
+        let back = NaiveBayes::from_json(&hdd_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, nb);
+        assert_eq!(back.n_features(), 2);
+        for q in [[100.0, 50.0], [60.0, 20.0], [80.0, 35.0], [0.0, -7.5]] {
+            assert_eq!(back.score(&q).to_bits(), nb.score(&q).to_bits(), "{q:?}");
+        }
+
+        // Mismatched moment lengths are rejected.
+        let broken = text.replacen("\"good_means\":[", "\"good_means\":[0,", 1);
+        assert!(NaiveBayes::from_json(&hdd_json::parse(&broken).unwrap()).is_err());
+        // Non-positive variances are rejected.
+        let broken = text
+            .replacen("\"good_vars\":[", "\"good_vars\":[0,", 1)
+            .replacen("\"good_means\":[", "\"good_means\":[0,", 1);
+        assert!(NaiveBayes::from_json(&hdd_json::parse(&broken).unwrap()).is_err());
     }
 
     #[test]

@@ -18,8 +18,10 @@
 //! * [`Mahalanobis`] — Wang et al.'s anomaly detector: distance from a
 //!   baseline Mahalanobis space built on good-drive data only.
 //!
-//! All four implement [`hdd_eval::SampleScorer`], so they plug directly
-//! into the voting detector and the `Experiment` evaluation harness.
+//! All four implement [`hdd_eval::Predictor`], so they plug directly into
+//! the voting detector and the `Experiment` evaluation harness, and
+//! [`hdd_json::JsonCodec`], so they persist through the same JSON
+//! machinery as the compiled tree models.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -5,17 +5,59 @@
 //! distance from the baseline exceeds a threshold. §II reports ~67%
 //! detection at zero FAR for the mRMR/FMMEA-filtered variant.
 
-use hdd_eval::SampleScorer;
-use serde::{Deserialize, Serialize};
+use hdd_eval::Predictor;
+use hdd_json::{JsonCodec, JsonError, Value};
 
 /// Mahalanobis-distance anomaly detector with a fitted baseline space.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mahalanobis {
     mean: Vec<f64>,
     /// Inverse covariance (precision) matrix, row-major.
     precision: Vec<f64>,
     dim: usize,
     threshold: f64,
+}
+
+impl JsonCodec for Mahalanobis {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "mean".to_string(),
+                Value::from_f64s(self.mean.iter().copied()),
+            ),
+            (
+                "precision".to_string(),
+                Value::from_f64s(self.precision.iter().copied()),
+            ),
+            ("threshold".to_string(), Value::Num(self.threshold)),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let mean = value.f64_vec_field("mean")?;
+        let precision = value.f64_vec_field("precision")?;
+        let threshold = value.f64_field("threshold")?;
+        let dim = mean.len();
+        if dim == 0 {
+            return Err(JsonError::new("mahalanobis space has no features"));
+        }
+        if precision.len() != dim * dim {
+            return Err(JsonError::new(format!(
+                "precision matrix has {} entries, expected {}",
+                precision.len(),
+                dim * dim
+            )));
+        }
+        if threshold.is_nan() || threshold <= 0.0 {
+            return Err(JsonError::new("threshold must be positive"));
+        }
+        Ok(Mahalanobis {
+            mean,
+            precision,
+            dim,
+            threshold,
+        })
+    }
 }
 
 impl Mahalanobis {
@@ -102,7 +144,11 @@ impl Mahalanobis {
     }
 }
 
-impl SampleScorer for Mahalanobis {
+impl Predictor for Mahalanobis {
+    fn n_features(&self) -> usize {
+        self.dim
+    }
+
     fn score(&self, features: &[f64]) -> f64 {
         // Positive while inside the baseline space, negative beyond it.
         ((self.threshold - self.distance(features)) / self.threshold).clamp(-1.0, 1.0)
@@ -124,11 +170,7 @@ fn invert(matrix: &[f64], dim: usize) -> Vec<f64> {
     for col in 0..dim {
         // Partial pivot.
         let pivot_row = (col..dim)
-            .max_by(|&r1, &r2| {
-                a[r1 * dim + col]
-                    .abs()
-                    .total_cmp(&a[r2 * dim + col].abs())
-            })
+            .max_by(|&r1, &r2| a[r1 * dim + col].abs().total_cmp(&a[r2 * dim + col].abs()))
             .expect("non-empty range");
         assert!(
             a[pivot_row * dim + col].abs() > 1e-12,
@@ -230,5 +272,24 @@ mod tests {
     fn rejects_underdetermined_fit() {
         let rows = vec![vec![1.0, 2.0, 3.0]; 3];
         let _ = Mahalanobis::fit(&rows, 3.0);
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        let m = Mahalanobis::fit(&baseline(), 3.0);
+        let text = hdd_json::to_string(&m.to_json());
+        let back = Mahalanobis::from_json(&hdd_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.n_features(), 2);
+        for q in [[10.0, 20.0], [100.0, 20.0], [16.0, 15.2]] {
+            assert_eq!(back.score(&q).to_bits(), m.score(&q).to_bits(), "{q:?}");
+        }
+
+        // A precision matrix that is not dim x dim is rejected.
+        let broken = text.replacen("\"precision\":[", "\"precision\":[0,", 1);
+        assert!(Mahalanobis::from_json(&hdd_json::parse(&broken).unwrap()).is_err());
+        // Non-positive thresholds are rejected.
+        let broken = text.replacen("\"threshold\":3", "\"threshold\":0", 1);
+        assert!(Mahalanobis::from_json(&hdd_json::parse(&broken).unwrap()).is_err());
     }
 }

@@ -9,13 +9,30 @@
 //! what the rank-sum statistic of the window against the reference would
 //! conclude at the matching significance level.
 
-use hdd_eval::SampleScorer;
-use serde::{Deserialize, Serialize};
+use hdd_eval::Predictor;
+use hdd_json::{JsonCodec, JsonError, Value};
 
 /// OR-ed single-variate quantile test against a good-population reference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantileDetector {
     cutoffs: Vec<f64>,
+}
+
+impl JsonCodec for QuantileDetector {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![(
+            "cutoffs".to_string(),
+            Value::from_f64s(self.cutoffs.iter().copied()),
+        )])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let cutoffs = value.f64_vec_field("cutoffs")?;
+        if cutoffs.is_empty() {
+            return Err(JsonError::new("quantile detector has no features"));
+        }
+        Ok(QuantileDetector { cutoffs })
+    }
 }
 
 impl QuantileDetector {
@@ -66,7 +83,11 @@ impl QuantileDetector {
     }
 }
 
-impl SampleScorer for QuantileDetector {
+impl Predictor for QuantileDetector {
+    fn n_features(&self) -> usize {
+        self.cutoffs.len()
+    }
+
     fn score(&self, features: &[f64]) -> f64 {
         if self.is_anomalous(features) {
             -1.0
@@ -122,5 +143,20 @@ mod tests {
         let det = QuantileDetector::fit(&reference(), 0.05);
         assert_eq!(det.score(&[90.0]), 1.0);
         assert_eq!(det.score(&[0.0]), -1.0);
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        let det = QuantileDetector::fit(&reference(), 0.05);
+        let text = hdd_json::to_string(&det.to_json());
+        let back = QuantileDetector::from_json(&hdd_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, det);
+        assert_eq!(back.n_features(), 1);
+        for q in [[90.0], [0.0], [4.5]] {
+            assert_eq!(back.score(&q).to_bits(), det.score(&q).to_bits());
+        }
+        assert!(
+            QuantileDetector::from_json(&hdd_json::parse(r#"{"cutoffs":[]}"#).unwrap()).is_err()
+        );
     }
 }

@@ -7,14 +7,31 @@
 //! failures. We reproduce that behaviour by placing each threshold a
 //! safety margin below the *entire* good training population's minimum.
 
-use hdd_eval::SampleScorer;
-use serde::{Deserialize, Serialize};
+use hdd_eval::Predictor;
+use hdd_json::{JsonCodec, JsonError, Value};
 
 /// Per-feature static thresholds: a sample trips when any feature falls
 /// below its threshold.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdModel {
     thresholds: Vec<f64>,
+}
+
+impl JsonCodec for ThresholdModel {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![(
+            "thresholds".to_string(),
+            Value::from_f64s(self.thresholds.iter().copied()),
+        )])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let thresholds = value.f64_vec_field("thresholds")?;
+        if thresholds.is_empty() {
+            return Err(JsonError::new("threshold model has no features"));
+        }
+        Ok(ThresholdModel { thresholds })
+    }
 }
 
 impl ThresholdModel {
@@ -69,7 +86,11 @@ impl ThresholdModel {
     }
 }
 
-impl SampleScorer for ThresholdModel {
+impl Predictor for ThresholdModel {
+    fn n_features(&self) -> usize {
+        self.thresholds.len()
+    }
+
     fn score(&self, features: &[f64]) -> f64 {
         if self.trips(features) {
             -1.0
@@ -124,5 +145,20 @@ mod tests {
     #[should_panic(expected = "need good samples")]
     fn rejects_empty() {
         let _ = ThresholdModel::fit(&[], 0.5);
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        let model = ThresholdModel::fit(&good(), 0.5);
+        let text = hdd_json::to_string(&model.to_json());
+        let back = ThresholdModel::from_json(&hdd_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, model);
+        assert_eq!(back.n_features(), 2);
+        for q in [[100.0, 52.0], [0.0, 0.0], [99.0, 49.0]] {
+            assert_eq!(back.score(&q).to_bits(), model.score(&q).to_bits());
+        }
+        assert!(
+            ThresholdModel::from_json(&hdd_json::parse(r#"{"thresholds":[]}"#).unwrap()).is_err()
+        );
     }
 }

@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the BP ANN baseline: per-epoch training
-//! cost and prediction latency.
+//! Micro-benchmarks for the BP ANN baseline: per-epoch training cost and
+//! prediction latency.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hdd_ann::{AnnConfig, BpAnn};
+use hdd_bench::timing::bench;
 use hdd_smart::rng::DeterministicRng;
 use std::hint::black_box;
 
@@ -15,38 +15,39 @@ fn data(n: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
                 .collect()
         })
         .collect();
-    let targets: Vec<f64> = (0..n).map(|i| if i % 5 == 0 { -1.0 } else { 1.0 }).collect();
+    let targets: Vec<f64> = (0..n)
+        .map(|i| if i % 5 == 0 { -1.0 } else { 1.0 })
+        .collect();
     (inputs, targets)
 }
 
-fn bench_training_epochs(c: &mut Criterion) {
+fn bench_training_epochs() {
     let (inputs, targets) = data(5_000, 13);
-    let mut group = c.benchmark_group("ann_train");
-    group.sample_size(10);
     for &epochs in &[10usize, 50] {
-        group.throughput(Throughput::Elements((epochs * inputs.len()) as u64));
-        group.bench_function(format!("5000x13_{epochs}epochs"), |b| {
-            b.iter(|| {
+        bench(
+            &format!("ann_train/5000x13_{epochs}epochs"),
+            (epochs * inputs.len()) as u64,
+            || {
                 let mut config = AnnConfig::new(vec![13, 13, 1]);
                 config.max_epochs = epochs;
                 config.target_mse = 0.0;
-                BpAnn::train(&config, black_box(&inputs), black_box(&targets))
-                    .expect("trainable")
-            });
-        });
+                BpAnn::train(&config, black_box(&inputs), black_box(&targets)).expect("trainable")
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_prediction(c: &mut Criterion) {
+fn bench_prediction() {
     let (inputs, targets) = data(2_000, 13);
     let mut config = AnnConfig::new(vec![13, 13, 1]);
     config.max_epochs = 20;
     let ann = BpAnn::train(&config, &inputs, &targets).expect("trainable");
-    c.bench_function("ann_predict/single_sample", |b| {
-        b.iter(|| ann.predict(black_box(&inputs[42])));
+    bench("ann_predict/single_sample", 1, || {
+        ann.predict(black_box(&inputs[42]))
     });
 }
 
-criterion_group!(benches, bench_training_epochs, bench_prediction);
-criterion_main!(benches);
+fn main() {
+    bench_training_epochs();
+    bench_prediction();
+}

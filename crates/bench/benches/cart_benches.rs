@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks for the CART core: training throughput and
+//! Micro-benchmarks for the CART core: training throughput and
 //! prediction latency on realistic training-set shapes.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hdd_bench::timing::bench;
 use hdd_cart::{Class, ClassSample, ClassificationTreeBuilder, RegSample, RegressionTreeBuilder};
 use hdd_smart::rng::DeterministicRng;
 use std::hint::black_box;
@@ -38,89 +38,61 @@ fn reg_samples(n: usize, dim: usize) -> Vec<RegSample> {
         .collect()
 }
 
-fn bench_classification_training(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ct_train");
-    group.sample_size(10);
+fn bench_classification_training() {
     for &n in &[1_000usize, 10_000, 50_000] {
         let samples = class_samples(n, 13);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_function(format!("{n}x13"), |b| {
-            b.iter(|| {
-                ClassificationTreeBuilder::new()
-                    .build(black_box(&samples))
-                    .expect("trainable")
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_regression_training(c: &mut Criterion) {
-    let samples = reg_samples(10_000, 13);
-    let mut group = c.benchmark_group("rt_train");
-    group.sample_size(10);
-    group.bench_function("10000x13", |b| {
-        b.iter(|| {
-            RegressionTreeBuilder::new()
+        bench(&format!("ct_train/{n}x13"), n as u64, || {
+            ClassificationTreeBuilder::new()
                 .build(black_box(&samples))
                 .expect("trainable")
         });
-    });
-    group.finish();
+    }
 }
 
-fn bench_prediction(c: &mut Criterion) {
+fn bench_regression_training() {
+    let samples = reg_samples(10_000, 13);
+    bench("rt_train/10000x13", 10_000, || {
+        RegressionTreeBuilder::new()
+            .build(black_box(&samples))
+            .expect("trainable")
+    });
+}
+
+fn bench_prediction() {
     let samples = class_samples(20_000, 13);
     let tree = ClassificationTreeBuilder::new()
         .build(&samples)
         .expect("trainable");
-    let mut group = c.benchmark_group("ct_predict");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("single_sample", |b| {
-        let features = &samples[17].features;
-        b.iter(|| tree.predict(black_box(features)));
+    let features = &samples[17].features;
+    bench("ct_predict/single_sample", 1, || {
+        tree.predict(black_box(features))
     });
-    group.throughput(Throughput::Elements(samples.len() as u64));
-    group.bench_function("20000_samples", |b| {
-        b.iter_batched(
-            || (),
-            |()| {
-                let mut failed = 0u32;
-                for s in &samples {
-                    if tree.predict(&s.features) == Class::Failed {
-                        failed += 1;
-                    }
-                }
-                failed
-            },
-            BatchSize::SmallInput,
-        );
+    bench("ct_predict/20000_samples", samples.len() as u64, || {
+        let mut failed = 0u32;
+        for s in &samples {
+            if tree.predict(&s.features) == Class::Failed {
+                failed += 1;
+            }
+        }
+        failed
     });
-    group.finish();
 }
 
-fn bench_pruning_sensitivity(c: &mut Criterion) {
+fn bench_pruning_sensitivity() {
     // Ablation bench: training cost vs complexity parameter.
     let samples = class_samples(10_000, 13);
-    let mut group = c.benchmark_group("ct_train_by_cp");
-    group.sample_size(10);
     for &cp in &[0.0f64, 0.001, 0.01] {
-        group.bench_function(format!("cp_{cp}"), |b| {
-            b.iter(|| {
-                let mut builder = ClassificationTreeBuilder::new();
-                builder.complexity(cp);
-                builder.build(black_box(&samples)).expect("trainable")
-            });
+        bench(&format!("ct_train_by_cp/cp_{cp}"), 0, || {
+            let mut builder = ClassificationTreeBuilder::new();
+            builder.complexity(cp);
+            builder.build(black_box(&samples)).expect("trainable")
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_classification_training,
-    bench_regression_training,
-    bench_prediction,
-    bench_pruning_sensitivity
-);
-criterion_main!(benches);
+fn main() {
+    bench_classification_training();
+    bench_regression_training();
+    bench_prediction();
+    bench_pruning_sensitivity();
+}

@@ -1,0 +1,94 @@
+//! The compile/serve split's headline number: per-sample `predict` on the
+//! training-time arena forest vs `CompactForest::predict_batch` on the
+//! compiled flat form, 100 trees × 10 000 samples.
+//!
+//! The arena path is what serving looked like before the compile step:
+//! per-member feature gathering and pointer-style node chasing for every
+//! sample. The batch path walks each flat tree over the whole feature
+//! matrix in turn (trees stay hot in cache) and must win by at least 2x.
+
+use hdd_bench::timing::bench;
+use hdd_cart::{Class, ClassSample, FeatureMatrix, RandomForestBuilder};
+use hdd_smart::rng::DeterministicRng;
+use std::hint::black_box;
+
+const N_TREES: usize = 100;
+const N_SAMPLES: usize = 10_000;
+const DIM: usize = 13;
+
+fn class_samples(n: usize) -> Vec<ClassSample> {
+    let rng = DeterministicRng::new(11);
+    (0..n)
+        .map(|i| {
+            let failed = i % 4 == 0;
+            let features: Vec<f64> = (0..DIM)
+                .map(|j| {
+                    let base = rng.gaussian(i as u64, j as u64) * 5.0 + 100.0;
+                    if failed && j < 4 {
+                        base - 30.0 * rng.uniform(i as u64, (j + 64) as u64)
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            ClassSample::new(features, if failed { Class::Failed } else { Class::Good })
+        })
+        .collect()
+}
+
+fn main() {
+    let training = class_samples(2_000);
+    let mut builder = RandomForestBuilder::new();
+    builder.n_trees(N_TREES);
+    let forest = builder.build(&training).expect("trainable");
+    let compiled = forest.compile();
+
+    let queries = class_samples(N_SAMPLES);
+    let matrix = FeatureMatrix::from_rows(queries.iter().map(|s| s.features.as_slice()));
+    let mut out = vec![0.0; N_SAMPLES];
+
+    // Same answers on all three paths before timing them.
+    compiled.predict_batch(&matrix, &mut out);
+    for (s, &batch) in queries.iter().zip(&out) {
+        assert_eq!(compiled.score(&s.features).to_bits(), batch.to_bits());
+        assert_eq!(forest.predict(&s.features) == Class::Failed, batch < 0.0);
+    }
+
+    let arena = bench(
+        &format!("compact/{N_TREES}trees_{N_SAMPLES}x{DIM}_arena_per_sample"),
+        N_SAMPLES as u64,
+        || {
+            let mut failed = 0u32;
+            for s in &queries {
+                failed += u32::from(forest.predict(black_box(&s.features)) == Class::Failed);
+            }
+            failed
+        },
+    );
+    bench(
+        &format!("compact/{N_TREES}trees_{N_SAMPLES}x{DIM}_compiled_per_sample"),
+        N_SAMPLES as u64,
+        || {
+            let mut acc = 0.0;
+            for s in &queries {
+                acc += compiled.score(black_box(&s.features));
+            }
+            acc
+        },
+    );
+    let batch = bench(
+        &format!("compact/{N_TREES}trees_{N_SAMPLES}x{DIM}_batch"),
+        N_SAMPLES as u64,
+        || {
+            compiled.predict_batch(black_box(&matrix), &mut out);
+            out[N_SAMPLES - 1]
+        },
+    );
+
+    let speedup = arena.as_secs_f64() / batch.as_secs_f64();
+    println!("batch speedup over per-sample arena predict: {speedup:.2}x");
+    assert!(
+        speedup >= 2.0,
+        "batched compiled inference must be at least 2x per-sample arena predict, got {speedup:.2}x"
+    );
+}

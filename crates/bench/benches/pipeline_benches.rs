@@ -1,93 +1,77 @@
-//! Criterion benchmarks for the substrate and pipeline: trace generation
+//! Benchmarks for the substrate and pipeline: trace generation
 //! throughput, statistical tests, feature extraction, voting detection,
 //! and the CTMC reliability solver.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hdd_bench::timing::bench;
 use hdd_eval::{Experiment, VotingDetector, VotingRule};
 use hdd_reliability::{mttdl_raid6_with_prediction, PredictionQuality};
 use hdd_smart::{DatasetGenerator, FamilyProfile};
 use hdd_stats::{rank_sum_z, reverse_arrangements_z, FeatureSet};
 use std::hint::black_box;
 
-fn bench_generation(c: &mut Criterion) {
+fn bench_generation() {
     let dataset = DatasetGenerator::new(FamilyProfile::w().scaled(0.01), 1).generate();
     let spec = dataset.good_drives().next().expect("non-empty fleet");
     let samples = dataset.series(spec).len() as u64;
-    let mut group = c.benchmark_group("generator");
-    group.throughput(Throughput::Elements(samples));
-    group.bench_function("one_drive_8_weeks", |b| {
-        b.iter(|| dataset.series(black_box(spec)));
+    bench("generator/one_drive_8_weeks", samples, || {
+        dataset.series(black_box(spec))
     });
-    group.finish();
 }
 
-fn bench_stat_tests(c: &mut Criterion) {
+fn bench_stat_tests() {
     let a: Vec<f64> = (0..2_000).map(|i| f64::from(i % 97)).collect();
-    let b_: Vec<f64> = (0..2_000).map(|i| f64::from(i % 89) + 3.0).collect();
-    c.bench_function("rank_sum_z/2000v2000", |b| {
-        b.iter(|| rank_sum_z(black_box(&a), black_box(&b_)));
+    let b: Vec<f64> = (0..2_000).map(|i| f64::from(i % 89) + 3.0).collect();
+    bench("rank_sum_z/2000v2000", 0, || {
+        rank_sum_z(black_box(&a), black_box(&b))
     });
     let series: Vec<f64> = (0..480).map(|i| f64::from((i * 37) % 101)).collect();
-    c.bench_function("reverse_arrangements_z/480", |b| {
-        b.iter(|| reverse_arrangements_z(black_box(&series)));
+    bench("reverse_arrangements_z/480", 0, || {
+        reverse_arrangements_z(black_box(&series))
     });
 }
 
-fn bench_feature_extraction(c: &mut Criterion) {
+fn bench_feature_extraction() {
     let dataset = DatasetGenerator::new(FamilyProfile::w().scaled(0.01), 2).generate();
     let spec = dataset.good_drives().next().expect("non-empty fleet");
     let series = dataset.series(spec);
     let set = FeatureSet::critical13();
-    c.bench_function("extract_critical13/one_sample", |b| {
-        b.iter(|| set.extract(black_box(&series), black_box(500)));
+    bench("extract_critical13/one_sample", 0, || {
+        set.extract(black_box(&series), black_box(500))
     });
 }
 
-fn bench_detection_scan(c: &mut Criterion) {
+fn bench_detection_scan() {
     let dataset = DatasetGenerator::new(FamilyProfile::w().scaled(0.02), 3).generate();
-    let experiment = Experiment::builder().voters(11).build();
+    let experiment = Experiment::builder()
+        .voters(11)
+        .build()
+        .expect("valid configuration");
     let outcome = experiment.run_ct(&dataset).expect("trainable");
+    let model = outcome.model.compile();
     let spec = dataset.good_drives().next().expect("non-empty fleet");
     let series = dataset.series(spec);
     let range = dataset.recorded_range(spec);
-    let detector = VotingDetector::new(
-        &outcome.model,
-        experiment.feature_set(),
-        11,
-        VotingRule::Majority,
+    let detector = VotingDetector::new(&model, experiment.feature_set(), 11, VotingRule::Majority);
+    bench(
+        "detection/scan_8_week_series_n11",
+        series.len() as u64,
+        || detector.first_alarm(black_box(&series), range.clone()),
     );
-    let mut group = c.benchmark_group("detection");
-    group.throughput(Throughput::Elements(series.len() as u64));
-    group.bench_function("scan_8_week_series_n11", |b| {
-        b.iter(|| detector.first_alarm(black_box(&series), range.clone()));
-    });
-    group.finish();
 }
 
-fn bench_ctmc(c: &mut Criterion) {
+fn bench_ctmc() {
     let quality = PredictionQuality::ct_paper();
-    let mut group = c.benchmark_group("ctmc_raid6");
     for &n in &[100u32, 1000, 2500] {
-        group.bench_function(format!("{n}_drives"), |b| {
-            b.iter(|| {
-                mttdl_raid6_with_prediction(
-                    black_box(1_390_000.0),
-                    black_box(8.0),
-                    n,
-                    quality,
-                )
-            });
+        bench(&format!("ctmc_raid6/{n}_drives"), 0, || {
+            mttdl_raid6_with_prediction(black_box(1_390_000.0), black_box(8.0), n, quality)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_generation,
-    bench_stat_tests,
-    bench_feature_extraction,
-    bench_detection_scan,
-    bench_ctmc
-);
-criterion_main!(benches);
+fn main() {
+    bench_generation();
+    bench_stat_tests();
+    bench_feature_extraction();
+    bench_detection_scan();
+    bench_ctmc();
+}

@@ -36,9 +36,14 @@ fn main() {
             .voters(11)
             .ct_builder(builder)
             .build()
+            .expect("valid configuration")
     };
 
-    run("paper defaults (boost 0.2, loss 10)", &base(ClassificationTreeBuilder::new()), &dataset);
+    run(
+        "paper defaults (boost 0.2, loss 10)",
+        &base(ClassificationTreeBuilder::new()),
+        &dataset,
+    );
 
     let mut b = ClassificationTreeBuilder::new();
     b.failed_weight_fraction(None);
@@ -46,7 +51,11 @@ fn main() {
 
     let mut b = ClassificationTreeBuilder::new();
     b.false_alarm_loss(1.0);
-    run("symmetric loss (FA cost = miss cost)", &base(b.clone()), &dataset);
+    run(
+        "symmetric loss (FA cost = miss cost)",
+        &base(b.clone()),
+        &dataset,
+    );
 
     let mut b = ClassificationTreeBuilder::new();
     b.complexity(0.0);
@@ -70,7 +79,12 @@ fn main() {
             Ok(outcome) => {
                 let ccp = outcome.model.pruned_cost_complexity(1e-5);
                 let split = exp.split(&dataset);
-                let m = exp.evaluate(&dataset, &split, &ccp, hdd_eval::VotingRule::Majority);
+                let m = exp.evaluate(
+                    &dataset,
+                    &split,
+                    &ccp.compile(),
+                    hdd_eval::VotingRule::Majority,
+                );
                 println!(
                     "{:<36} FAR {:>8}  FDR {:>8}  TIA {:>7.1} h  ({} leaves)",
                     "cost-complexity pruning (a=1e-5)",
@@ -105,7 +119,8 @@ fn main() {
         .feature_set(values_only)
         .time_window_hours(168)
         .voters(11)
-        .build();
+        .build()
+        .expect("valid configuration");
     run("no change-rate features", &exp, &dataset);
 
     // Single strongest attribute only (interpretability floor).
@@ -120,7 +135,8 @@ fn main() {
         .feature_set(rrer_only)
         .time_window_hours(168)
         .voters(11)
-        .build();
+        .build()
+        .expect("valid configuration");
     run("RRER + POH only", &exp, &dataset);
 
     println!();

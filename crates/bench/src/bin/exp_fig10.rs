@@ -20,10 +20,18 @@ fn main() {
         .run_rt(&dataset, HealthTargets::Personalized)
         .expect("trainable");
     println!("health-degree model (personalized windows):");
-    println!("{:>10} {:>10} {:>10} {:>10}", "threshold", "FAR", "FDR", "TIA (h)");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "threshold", "FAR", "FDR", "TIA (h)"
+    );
     let health_thresholds = [-0.5, -0.37, -0.3, -0.2, -0.1, -0.02, 0.0];
-    for p in sweep_thresholds(&experiment, &dataset, &split, &health.model, &health_thresholds)
-    {
+    for p in sweep_thresholds(
+        &experiment,
+        &dataset,
+        &split,
+        &health.model,
+        &health_thresholds,
+    ) {
         println!(
             "{:>10.2} {:>10} {:>10} {:>10.1}",
             p.threshold,
@@ -38,11 +46,18 @@ fn main() {
         .expect("trainable");
     println!();
     println!("classifier control (±1 targets):");
-    println!("{:>10} {:>10} {:>10} {:>10}", "threshold", "FAR", "FDR", "TIA (h)");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "threshold", "FAR", "FDR", "TIA (h)"
+    );
     let control_thresholds = [-0.94, -0.86, -0.6, -0.4, -0.2, -0.05, 0.0];
-    for p in
-        sweep_thresholds(&experiment, &dataset, &split, &control.model, &control_thresholds)
-    {
+    for p in sweep_thresholds(
+        &experiment,
+        &dataset,
+        &split,
+        &control.model,
+        &control_thresholds,
+    ) {
         println!(
             "{:>10.2} {:>10} {:>10} {:>10.1}",
             p.threshold,

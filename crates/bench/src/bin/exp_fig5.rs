@@ -16,7 +16,7 @@ fn main() {
     let ct = ct_exp.run_ct(&dataset).expect("trainable");
     println!("CT model:");
     println!("{:>4} {:>10} {:>10} {:>10}", "N", "FAR", "FDR", "TIA (h)");
-    for p in sweep_voters(&ct_exp, &dataset, &split, &ct.model, &VOTERS) {
+    for p in sweep_voters(&ct_exp, &dataset, &split, &ct.model.compile(), &VOTERS) {
         println!(
             "{:>4} {:>10} {:>10} {:>10.1}",
             p.voters,

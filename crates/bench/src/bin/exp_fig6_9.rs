@@ -21,7 +21,7 @@ fn run_ct(dataset: &Dataset, figure: &str, family: &str) {
     for strategy in STRATEGIES {
         let builder = hdd_cart::ClassificationTreeBuilder::new();
         let outcome = weekly_far(&experiment, dataset, strategy, |samples| {
-            builder.build(samples).expect("trainable")
+            builder.build(samples).expect("trainable").compile()
         });
         let fars: Vec<String> = outcome
             .weekly
@@ -33,15 +33,16 @@ fn run_ct(dataset: &Dataset, figure: &str, family: &str) {
 }
 
 fn run_ann(dataset: &Dataset, figure: &str, family: &str) {
-    section(&format!("{figure}: FAR of BP ANN with updating on {family}"));
+    section(&format!(
+        "{figure}: FAR of BP ANN with updating on {family}"
+    ));
     let experiment = ann_experiment(11);
     println!("{:<20} FAR% for weeks 2..8", "strategy");
     for strategy in STRATEGIES {
         let outcome = weekly_far(&experiment, dataset, strategy, |samples| {
             let inputs: Vec<Vec<f64>> = samples.iter().map(|s| s.features.clone()).collect();
             let targets: Vec<f64> = samples.iter().map(|s| s.class.target()).collect();
-            let config =
-                hdd_ann::AnnConfig::for_input_dim(experiment.feature_set().len());
+            let config = hdd_ann::AnnConfig::for_input_dim(experiment.feature_set().len());
             hdd_ann::BpAnn::train(&config, &inputs, &targets).expect("trainable")
         });
         let fars: Vec<String> = outcome

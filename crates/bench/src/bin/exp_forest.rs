@@ -31,7 +31,7 @@ fn main() {
         let exp = {
             let mut b = hdd_eval::ExperimentBuilder::from(experiment.clone());
             b.forest_builder(forest_builder);
-            b.build()
+            b.build().expect("valid configuration")
         };
         let forest = exp.run_forest(&dataset).expect("trainable");
         println!(
@@ -70,7 +70,11 @@ struct ForestAtThreshold<'a> {
     threshold: f64,
 }
 
-impl hdd_eval::SampleScorer for ForestAtThreshold<'_> {
+impl hdd_eval::Predictor for ForestAtThreshold<'_> {
+    fn n_features(&self) -> usize {
+        self.forest.n_features()
+    }
+
     fn score(&self, features: &[f64]) -> f64 {
         self.threshold - self.forest.failed_vote_fraction(features)
     }

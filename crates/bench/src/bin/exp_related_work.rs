@@ -66,7 +66,11 @@ fn main() {
 
     // 6. The paper's CT model.
     let ct = experiment.run_ct(&dataset).expect("trainable");
-    report("CT (this paper)", &ct.metrics, "paper: 95.5% FDR @ 0.09% FAR");
+    report(
+        "CT (this paper)",
+        &ct.metrics,
+        "paper: 95.5% FDR @ 0.09% FAR",
+    );
 
     // 7. AdaBoost ([11]: no significant improvement, much more expensive).
     let t0 = std::time::Instant::now();
@@ -81,7 +85,7 @@ fn main() {
         .build(&training)
         .expect("trainable");
     let single_train = t0.elapsed();
-    let m = experiment.evaluate(&dataset, &split, &boosted, VotingRule::Majority);
+    let m = experiment.evaluate(&dataset, &split, &boosted.compile(), VotingRule::Majority);
     report(
         "AdaBoost (30 rounds)",
         &m,

@@ -17,7 +17,10 @@ fn main() {
     let q = options.dataset_q();
     let q_stats = q.stats();
 
-    println!("{:<8} {:<8} {:>8} {:>10} {:>12}", "Family", "Class", "Disks", "Period", "Samples");
+    println!(
+        "{:<8} {:<8} {:>8} {:>10} {:>12}",
+        "Family", "Class", "Disks", "Period", "Samples"
+    );
     println!(
         "{:<8} {:<8} {:>8} {:>10} {:>12}",
         "W", "Good", w_stats.good_drives, "56 days", w_stats.good_samples

@@ -29,7 +29,8 @@ fn main() {
             .feature_set(set.clone())
             .time_window_hours(12)
             .voters(1)
-            .build();
+            .build()
+            .expect("valid configuration");
         let ann = experiment.run_ann(&dataset).expect("trainable");
         println!(
             "{:<8} {:<14} {:>9} {:>9} {:>12.1}",
@@ -45,7 +46,8 @@ fn main() {
             .feature_set(set.clone())
             .time_window_hours(12)
             .voters(1)
-            .build();
+            .build()
+            .expect("valid configuration");
         let ct = experiment.run_ct(&dataset).expect("trainable");
         println!(
             "{:<8} {:<14} {:>9} {:>9} {:>12.1}",
@@ -58,7 +60,15 @@ fn main() {
     }
 
     println!();
-    compare("Paper (BP ANN, 13 features)", "FAR 0.20, FDR 90.98", "see above");
-    compare("Paper (CT, 13 features)", "FAR 0.56, FDR 95.49", "see above");
+    compare(
+        "Paper (BP ANN, 13 features)",
+        "FAR 0.20, FDR 90.98",
+        "see above",
+    );
+    compare(
+        "Paper (CT, 13 features)",
+        "FAR 0.56, FDR 95.49",
+        "see above",
+    );
     println!("shape to check: the 13-feature set gives each model its best FDR/FAR balance");
 }

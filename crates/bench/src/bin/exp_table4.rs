@@ -27,7 +27,8 @@ fn main() {
         let experiment = Experiment::builder()
             .time_window_hours(window)
             .voters(1)
-            .build();
+            .build()
+            .expect("valid configuration");
         let outcome = experiment.run_ct(&dataset).expect("trainable");
         println!(
             "{:<12} {:>9} {:>9} {:>12.1}   {}",

@@ -2,7 +2,7 @@
 //! (eq. 7 with the paper's constants), plus the same computation with the
 //! operating points *measured* by our own pipeline.
 
-use hdd_bench::{compare, ct_experiment, ann_experiment, section, Options};
+use hdd_bench::{ann_experiment, compare, ct_experiment, section, Options};
 use hdd_eval::HealthTargets;
 use hdd_reliability::{mttdl_single_drive, PredictionQuality, HOURS_PER_YEAR};
 
@@ -17,7 +17,10 @@ fn main() {
     let options = Options::from_args();
     section("Table VI: impact of failure prediction on MTTDL (paper constants)");
     println!("MTTF = 1,390,000 h, MTTR = 8 h");
-    println!("{:<16} {:>16} {:>12}", "Model", "MTTDL (years)", "% increase");
+    println!(
+        "{:<16} {:>16} {:>12}",
+        "Model", "MTTDL (years)", "% increase"
+    );
     let baseline = years(None);
     let rows = [
         ("No prediction", None),
@@ -35,7 +38,11 @@ fn main() {
         );
     }
     println!();
-    compare("No prediction", "158.67 years", &format!("{:.2}", years(None)));
+    compare(
+        "No prediction",
+        "158.67 years",
+        &format!("{:.2}", years(None)),
+    );
     compare(
         "CT",
         "2398.92 years (+1411.8%)",

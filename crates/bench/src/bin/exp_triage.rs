@@ -29,7 +29,7 @@ fn main() {
             let outcome = simulate_triage(
                 &dataset,
                 experiment.feature_set(),
-                &model,
+                &model.compile(),
                 &TriageConfig {
                     capacity_per_day: capacity,
                     warning_threshold: 0.2,

@@ -31,7 +31,16 @@ fn main() {
 
     let mut failures = Vec::new();
     let started = std::time::Instant::now();
-    for name in EXPERIMENTS.iter().chain(["exp_fig12", "exp_ablations", "exp_forest", "exp_related_work", "exp_triage"].iter()) {
+    for name in EXPERIMENTS.iter().chain(
+        [
+            "exp_fig12",
+            "exp_ablations",
+            "exp_forest",
+            "exp_related_work",
+            "exp_triage",
+        ]
+        .iter(),
+    ) {
         let path = exe_dir.join(name);
         eprintln!("[run_all] {name} ...");
         let status = Command::new(&path)

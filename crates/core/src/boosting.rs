@@ -8,11 +8,11 @@
 //! experiment binary).
 
 use crate::classifier::{ClassificationTree, ClassificationTreeBuilder};
+use crate::compact::{CompactForest, CompactTree};
 use crate::sample::{Class, ClassSample, TrainError};
-use serde::{Deserialize, Serialize};
 
 /// Configures and trains [`AdaBoost`] ensembles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaBoostBuilder {
     rounds: usize,
     weak_depth: usize,
@@ -121,14 +121,14 @@ impl AdaBoostBuilder {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct BoostMember {
     alpha: f64,
     tree: ClassificationTree,
 }
 
 /// A trained AdaBoost ensemble.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaBoost {
     members: Vec<BoostMember>,
 }
@@ -166,6 +166,22 @@ impl AdaBoost {
             Class::Good
         }
     }
+
+    /// Compile to the flat serving form. Each weak learner votes its leaf
+    /// class target with weight `αᵢ`; the member order and the `Σ α`
+    /// divisor match [`decision_value`](AdaBoost::decision_value), so the
+    /// compiled score is bit-identical to it.
+    #[must_use]
+    pub fn compile(&self) -> CompactForest {
+        let n_features = self.members[0].tree.tree().n_features();
+        let trees: Vec<CompactTree> = self
+            .members
+            .iter()
+            .map(|m| CompactTree::from_arena(m.tree.tree(), None, |leaf| leaf.class.target()))
+            .collect();
+        let weights: Vec<f64> = self.members.iter().map(|m| m.alpha).collect();
+        CompactForest::new(trees, weights, false, n_features)
+    }
 }
 
 #[cfg(test)]
@@ -178,7 +194,11 @@ mod tests {
             .map(|i| {
                 let x = (i % 17) as f64;
                 let y = ((i * 7) % 19) as f64;
-                let class = if x + y < 16.0 { Class::Failed } else { Class::Good };
+                let class = if x + y < 16.0 {
+                    Class::Failed
+                } else {
+                    Class::Good
+                };
                 ClassSample::new(vec![x, y], class)
             })
             .collect()
@@ -196,13 +216,14 @@ mod tests {
             .min_split(2)
             .min_bucket(1);
         let stump = stump_builder.build(&samples).unwrap();
-        let ensemble = AdaBoostBuilder::new().rounds(40).weak_depth(1).build(&samples).unwrap();
+        let ensemble = AdaBoostBuilder::new()
+            .rounds(40)
+            .weak_depth(1)
+            .build(&samples)
+            .unwrap();
 
         let accuracy = |f: &dyn Fn(&[f64]) -> Class| {
-            samples
-                .iter()
-                .filter(|s| f(&s.features) == s.class)
-                .count() as f64
+            samples.iter().filter(|s| f(&s.features) == s.class).count() as f64
                 / samples.len() as f64
         };
         let stump_acc = accuracy(&|x| stump.predict(x));
@@ -259,14 +280,15 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let samples = diagonal(100);
-        let ensemble = AdaBoostBuilder::new().rounds(5).build(&samples).unwrap();
-        let json = serde_json::to_string(&ensemble).unwrap();
-        let back: AdaBoost = serde_json::from_str(&json).unwrap();
-        assert_eq!(
-            back.predict(&samples[0].features),
-            ensemble.predict(&samples[0].features)
-        );
+    fn compiled_ensemble_matches_decision_value_exactly() {
+        let samples = diagonal(150);
+        let ensemble = AdaBoostBuilder::new().rounds(12).build(&samples).unwrap();
+        let compiled = ensemble.compile();
+        assert_eq!(compiled.n_trees(), ensemble.n_rounds());
+        for s in &samples {
+            let compiled_score = compiled.score(&s.features);
+            let reference = ensemble.decision_value(&s.features);
+            assert_eq!(compiled_score.to_bits(), reference.to_bits());
+        }
     }
 }

@@ -3,13 +3,12 @@
 use crate::sample::{validate_features, Class, ClassSample, TrainError};
 use crate::split::{best_classification_split, FeatureMatrix, SplitCriterion};
 use crate::tree::{Node, NodeId, SplitNode, Tree};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Leaf payload of a classification tree: the majority class and the
 /// weighted class distribution (the fractions annotated on every node of
 /// the paper's Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassLeaf {
     /// Majority (weighted) class.
     pub class: Class,
@@ -43,7 +42,7 @@ impl fmt::Display for ClassLeaf {
 /// Defaults are the paper's settings (§V-A2/§V-A3): `Minsplit = 20`,
 /// `Minbucket = 7`, `CP = 0.001`, failed samples re-weighted to 20% of the
 /// total, false alarms costed 10× misses.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassificationTreeBuilder {
     min_split: usize,
     min_bucket: usize,
@@ -215,7 +214,7 @@ impl ClassificationTreeBuilder {
 }
 
 /// A trained classification tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassificationTree {
     tree: Tree<ClassLeaf>,
 }
@@ -413,7 +412,9 @@ mod tests {
     fn rejects_single_class() {
         let samples = vec![ClassSample::new(vec![1.0], Class::Good); 30];
         assert_eq!(
-            ClassificationTreeBuilder::new().build(&samples).unwrap_err(),
+            ClassificationTreeBuilder::new()
+                .build(&samples)
+                .unwrap_err(),
             TrainError::SingleClass
         );
     }
@@ -468,7 +469,11 @@ mod tests {
         for i in 0..60u32 {
             // Feature is independent of the class: the region is mixed.
             let x = f64::from((i / 5) % 10);
-            let class = if i % 5 < 3 { Class::Failed } else { Class::Good };
+            let class = if i % 5 < 3 {
+                Class::Failed
+            } else {
+                Class::Good
+            };
             samples.push(ClassSample::new(vec![x], class));
         }
         let mut plain = ClassificationTreeBuilder::new();
@@ -487,7 +492,11 @@ mod tests {
         // 10% failed overall, inseparable: natural weights label good.
         let mut samples = Vec::new();
         for i in 0..100 {
-            let class = if i % 10 == 0 { Class::Failed } else { Class::Good };
+            let class = if i % 10 == 0 {
+                Class::Failed
+            } else {
+                Class::Good
+            };
             samples.push(ClassSample::new(vec![f64::from(i % 7)], class));
         }
         let mut natural = ClassificationTreeBuilder::new();
@@ -545,12 +554,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn compiles_to_matching_flat_tree() {
         let tree = ClassificationTreeBuilder::new()
             .build(&separable(30))
             .unwrap();
-        let json = serde_json::to_string(&tree).unwrap();
-        let back: ClassificationTree = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.predict(&[3.0, 0.0]), Class::Good);
+        let compiled = tree.compile();
+        assert_eq!(compiled.score(&[3.0, 0.0]), Class::Good.target());
+        assert_eq!(compiled.score(&[55.0, 1.0]), Class::Failed.target());
     }
 }

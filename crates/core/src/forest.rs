@@ -10,8 +10,8 @@
 //! failure score.
 
 use crate::classifier::{ClassificationTree, ClassificationTreeBuilder};
+use crate::compact::{CompactForest, CompactTree};
 use crate::sample::{Class, ClassSample, TrainError};
-use serde::{Deserialize, Serialize};
 
 /// Configures and trains [`RandomForest`]s.
 ///
@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(forest.predict(&[5.0, 2.5]), Class::Failed);
 /// # Ok::<(), hdd_cart::TrainError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForestBuilder {
     n_trees: usize,
     feature_fraction: f64,
@@ -106,8 +106,8 @@ impl RandomForestBuilder {
         {
             return Err(TrainError::SingleClass);
         }
-        let per_tree = ((n_features as f64 * self.feature_fraction).ceil() as usize)
-            .clamp(1, n_features);
+        let per_tree =
+            ((n_features as f64 * self.feature_fraction).ceil() as usize).clamp(1, n_features);
 
         let mut trees = Vec::with_capacity(self.n_trees);
         for t in 0..self.n_trees {
@@ -129,13 +129,16 @@ impl RandomForestBuilder {
             loop {
                 projected.clear();
                 for i in 0..samples.len() {
-                    let pick = (splitmix(tree_seed ^ salt ^ (i as u64) << 20) as usize)
-                        % samples.len();
+                    let pick =
+                        (splitmix(tree_seed ^ salt ^ (i as u64) << 20) as usize) % samples.len();
                     let src = &samples[pick];
                     let feats: Vec<f64> = chosen.iter().map(|&f| src.features[f]).collect();
                     projected.push(ClassSample::new(feats, src.class));
                 }
-                let failed = projected.iter().filter(|s| s.class == Class::Failed).count();
+                let failed = projected
+                    .iter()
+                    .filter(|s| s.class == Class::Failed)
+                    .count();
                 if failed > 0 && failed < projected.len() {
                     break;
                 }
@@ -147,21 +150,22 @@ impl RandomForestBuilder {
                 tree,
             });
         }
-        Ok(RandomForest { trees })
+        Ok(RandomForest { trees, n_features })
     }
 }
 
 /// One tree plus the feature subset it was trained on.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Member {
     features: Vec<usize>,
     tree: ClassificationTree,
 }
 
 /// A trained bagged ensemble of classification trees.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForest {
     trees: Vec<Member>,
+    n_features: usize,
 }
 
 impl RandomForest {
@@ -169,6 +173,32 @@ impl RandomForest {
     #[must_use]
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Dimensionality of the (full) feature vectors the forest votes on.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Compile to the flat serving form. Each member votes its leaf class
+    /// target with weight 1, with member-local feature indices remapped to
+    /// the global feature space, so the compiled score is
+    /// `(n_good − n_failed) / n` — the same sign as
+    /// [`predict`](RandomForest::predict) (strict-majority failed vote).
+    #[must_use]
+    pub fn compile(&self) -> CompactForest {
+        let trees: Vec<CompactTree> = self
+            .trees
+            .iter()
+            .map(|member| {
+                CompactTree::from_arena(member.tree.tree(), Some(&member.features), |leaf| {
+                    leaf.class.target()
+                })
+            })
+            .collect();
+        let weights = vec![1.0; trees.len()];
+        CompactForest::new(trees, weights, false, self.n_features)
     }
 
     /// The fraction of trees voting *failed* for this sample, in `[0, 1]`.
@@ -281,10 +311,21 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn compiled_forest_matches_vote_fraction() {
         let forest = RandomForestBuilder::new().build(&separable(30)).unwrap();
-        let json = serde_json::to_string(&forest).unwrap();
-        let back: RandomForest = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.predict(&[5.0, 0.0, 1.0]), forest.predict(&[5.0, 0.0, 1.0]));
+        assert_eq!(forest.n_features(), 3);
+        let compiled = forest.compile();
+        assert_eq!(compiled.n_trees(), forest.n_trees());
+        for q in [
+            [5.0, 0.0, 1.0],
+            [70.0, 1.0, 10.0],
+            [30.0, 0.5, 30.0],
+            [0.0, 0.0, 0.0],
+        ] {
+            let score = compiled.score(&q);
+            let vote = forest.failed_vote_fraction(&q);
+            assert!((score - (1.0 - 2.0 * vote)).abs() < 1e-12, "{q:?}");
+            assert_eq!(score < 0.0, forest.predict(&q) == Class::Failed, "{q:?}");
+        }
     }
 }

@@ -9,7 +9,6 @@
 //! linearly to `-1` at the failure event.
 
 use crate::regressor::RegressionTree;
-use serde::{Deserialize, Serialize};
 
 /// The health degree of a failed-drive sample `hours_before_failure` hours
 /// before the failure event, with a *global* deterioration window of
@@ -71,7 +70,7 @@ pub fn evenly_spaced_indices(available: usize, picks: usize) -> Vec<usize> {
 /// A regression tree plus a detection threshold: drives whose predicted
 /// health degree falls below the threshold are flagged, and flagged drives
 /// can be ranked by urgency.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HealthModel {
     tree: RegressionTree,
     threshold: f64,

@@ -42,6 +42,7 @@
 
 pub mod boosting;
 pub mod classifier;
+pub mod compact;
 pub mod forest;
 pub mod health;
 pub mod prune;
@@ -50,12 +51,13 @@ pub mod sample;
 pub mod split;
 pub mod tree;
 
-pub use classifier::{ClassificationTree, ClassificationTreeBuilder};
 pub use boosting::{AdaBoost, AdaBoostBuilder};
+pub use classifier::{ClassificationTree, ClassificationTreeBuilder};
+pub use compact::{CompactForest, CompactTree};
 pub use forest::{RandomForest, RandomForestBuilder};
-pub use split::SplitCriterion;
 pub use health::{global_health_degree, personalized_health_degree, HealthModel};
 pub use prune::cost_complexity_prune;
 pub use regressor::{RegressionTree, RegressionTreeBuilder};
 pub use sample::{Class, ClassSample, RegSample, TrainError};
+pub use split::{FeatureMatrix, SplitCriterion};
 pub use tree::{NodeId, Tree};

@@ -15,12 +15,7 @@ pub(crate) fn prune<L: Clone>(tree: &Tree<L>, cp: f64) -> Tree<L> {
     Tree::from_nodes(nodes, tree.n_features())
 }
 
-fn copy_pruned<L: Clone>(
-    tree: &Tree<L>,
-    id: NodeId,
-    cp: f64,
-    out: &mut Vec<Node<L>>,
-) -> NodeId {
+fn copy_pruned<L: Clone>(tree: &Tree<L>, id: NodeId, cp: f64, out: &mut Vec<Node<L>>) -> NodeId {
     let node = tree.node(id);
     let new_id = NodeId(out.len() as u32);
     out.push(Node {
@@ -172,7 +167,10 @@ mod tests {
             left: NodeId(3),
             right: NodeId(4),
         });
-        Tree::from_nodes(vec![root, leaf(1, 6.0), inner, leaf(3, 2.0), leaf(4, 2.0)], 2)
+        Tree::from_nodes(
+            vec![root, leaf(1, 6.0), inner, leaf(3, 2.0), leaf(4, 2.0)],
+            2,
+        )
     }
 
     #[test]
@@ -199,8 +197,8 @@ mod tests {
 
     mod cost_complexity {
         use super::super::*;
-        use crate::sample::{Class, ClassSample};
         use crate::classifier::ClassificationTreeBuilder;
+        use crate::sample::{Class, ClassSample};
 
         fn noisy_tree() -> crate::classifier::ClassificationTree {
             // Separable core plus label noise: the full tree overfits.
@@ -208,13 +206,20 @@ mod tests {
                 .map(|i| {
                     let x = (i % 40) as f64;
                     let noise = i % 17 == 0;
-                    let class = if (x < 20.0) ^ noise { Class::Failed } else { Class::Good };
+                    let class = if (x < 20.0) ^ noise {
+                        Class::Failed
+                    } else {
+                        Class::Good
+                    };
                     ClassSample::new(vec![x, (i % 7) as f64], class)
                 })
                 .collect();
             let mut b = ClassificationTreeBuilder::new();
-            b.complexity(0.0).min_split(2).min_bucket(1)
-                .failed_weight_fraction(None).false_alarm_loss(1.0);
+            b.complexity(0.0)
+                .min_split(2)
+                .min_bucket(1)
+                .failed_weight_fraction(None)
+                .false_alarm_loss(1.0);
             b.build(&samples).unwrap()
         }
 

@@ -4,11 +4,10 @@ use crate::classifier::partition;
 use crate::sample::{validate_features, RegSample, TrainError};
 use crate::split::{best_regression_split, FeatureMatrix};
 use crate::tree::{Node, NodeId, SplitNode, Tree};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Leaf payload of a regression tree: the weighted mean target at the node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegLeaf {
     /// Weighted mean of the target variable.
     pub mean: f64,
@@ -24,7 +23,7 @@ impl fmt::Display for RegLeaf {
 ///
 /// Split conditions and the pruning parameter default to the same values
 /// as the classification tree, as in §V-C of the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegressionTreeBuilder {
     min_split: usize,
     min_bucket: usize,
@@ -130,7 +129,7 @@ impl RegressionTreeBuilder {
 
 /// A trained regression tree predicting a real-valued target (the health
 /// degree in the paper's usage).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegressionTree {
     tree: Tree<RegLeaf>,
 }
@@ -208,8 +207,7 @@ fn grow(
             continue;
         }
         let range = &indices[start..end];
-        let Some(split) = best_regression_split(matrix, range, targets, weights, min_bucket)
-        else {
+        let Some(split) = best_regression_split(matrix, range, targets, weights, min_bucket) else {
             continue;
         };
         let mid = partition(&mut indices[start..end], |i| {
@@ -237,7 +235,11 @@ fn grow(
             right: right_id,
         });
         // Relative sum-of-squares reduction, comparable against CP.
-        node.gain = if root_sq > 0.0 { split.gain / root_sq } else { 0.0 };
+        node.gain = if root_sq > 0.0 {
+            split.gain / root_sq
+        } else {
+            0.0
+        };
         stack.push((left_id, start, mid, depth + 1));
         stack.push((right_id, mid, end, depth + 1));
     }
@@ -261,7 +263,9 @@ mod tests {
 
     #[test]
     fn fits_a_step_function() {
-        let tree = RegressionTreeBuilder::new().build(&step_function(200)).unwrap();
+        let tree = RegressionTreeBuilder::new()
+            .build(&step_function(200))
+            .unwrap();
         assert!((tree.predict(&[5.0, 0.0]) - (-1.0)).abs() < 1e-9);
         assert!((tree.predict(&[30.0, 0.0]) - 1.0).abs() < 1e-9);
     }
@@ -363,10 +367,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let tree = RegressionTreeBuilder::new().build(&step_function(100)).unwrap();
-        let json = serde_json::to_string(&tree).unwrap();
-        let back: RegressionTree = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.predict(&[5.0, 0.0]), tree.predict(&[5.0, 0.0]));
+    fn compiles_to_matching_flat_tree() {
+        let tree = RegressionTreeBuilder::new()
+            .build(&step_function(100))
+            .unwrap();
+        let compiled = tree.compile();
+        for q in [[5.0, 0.0], [30.0, 0.0], [17.5, 2.0]] {
+            assert_eq!(compiled.score(&q).to_bits(), tree.predict(&q).to_bits());
+        }
     }
 }

@@ -1,10 +1,9 @@
 //! Training samples and validation.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Binary drive condition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Class {
     /// Healthy drive (target value `+1` in the paper).
     Good,
@@ -33,7 +32,7 @@ impl fmt::Display for Class {
 }
 
 /// A labelled classification sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassSample {
     /// Feature vector.
     pub features: Vec<f64>,
@@ -51,7 +50,7 @@ impl ClassSample {
 
 /// A regression sample: feature vector plus a real-valued target (a health
 /// degree in `[-1, +1]` in the paper's usage).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegSample {
     /// Feature vector.
     pub features: Vec<f64>,
@@ -90,9 +89,7 @@ impl fmt::Display for TrainError {
             TrainError::InvalidFeatures { sample, reason } => {
                 write!(f, "invalid features in sample {sample}: {reason}")
             }
-            TrainError::SingleClass => {
-                f.write_str("training set contains only one class")
-            }
+            TrainError::SingleClass => f.write_str("training set contains only one class"),
         }
     }
 }

@@ -7,7 +7,6 @@
 //! regression. `Minbucket` is enforced on raw sample counts, as in rpart.
 
 use crate::sample::Class;
-use serde::{Deserialize, Serialize};
 
 /// The impurity measure used to score classification splits.
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// default — is provided for ablations. Both are concave in the class
 /// probability, so both produce non-negative gains; they occasionally
 /// prefer different thresholds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SplitCriterion {
     /// Entropy-based information gain (the paper's choice).
     #[default]
@@ -97,6 +96,11 @@ impl FeatureMatrix {
     #[must_use]
     pub fn row(&self, row: usize) -> &[f64] {
         &self.data[row * self.n_features..(row + 1) * self.n_features]
+    }
+
+    /// Iterate over rows as feature slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.n_features.max(1))
     }
 }
 
@@ -305,8 +309,15 @@ mod tests {
         let m = matrix(&[&[1.0], &[2.0], &[10.0], &[11.0]]);
         let classes = [Class::Good, Class::Good, Class::Failed, Class::Failed];
         let weights = [1.0; 4];
-        let s =
-            best_classification_split(&m, &[0, 1, 2, 3], &classes, &weights, 1, SplitCriterion::InformationGain).unwrap();
+        let s = best_classification_split(
+            &m,
+            &[0, 1, 2, 3],
+            &classes,
+            &weights,
+            1,
+            SplitCriterion::InformationGain,
+        )
+        .unwrap();
         assert_eq!(s.feature, 0);
         assert!(s.threshold > 2.0 && s.threshold <= 10.0);
         assert!((s.gain - 1.0).abs() < 1e-12, "full gain for a pure split");
@@ -317,9 +328,15 @@ mod tests {
         let m = matrix(&[&[1.0], &[2.0], &[10.0], &[11.0]]);
         let classes = [Class::Good, Class::Good, Class::Failed, Class::Failed];
         let weights = [1.0; 4];
-        assert!(
-            best_classification_split(&m, &[0, 1, 2, 3], &classes, &weights, 3, SplitCriterion::InformationGain).is_none()
-        );
+        assert!(best_classification_split(
+            &m,
+            &[0, 1, 2, 3],
+            &classes,
+            &weights,
+            3,
+            SplitCriterion::InformationGain
+        )
+        .is_none());
     }
 
     #[test]
@@ -327,7 +344,15 @@ mod tests {
         let m = matrix(&[&[1.0], &[2.0]]);
         let classes = [Class::Good, Class::Good];
         let weights = [1.0; 2];
-        assert!(best_classification_split(&m, &[0, 1], &classes, &weights, 1, SplitCriterion::InformationGain).is_none());
+        assert!(best_classification_split(
+            &m,
+            &[0, 1],
+            &classes,
+            &weights,
+            1,
+            SplitCriterion::InformationGain
+        )
+        .is_none());
     }
 
     #[test]
@@ -335,22 +360,32 @@ mod tests {
         let m = matrix(&[&[5.0], &[5.0], &[5.0], &[5.0]]);
         let classes = [Class::Good, Class::Failed, Class::Good, Class::Failed];
         let weights = [1.0; 4];
-        assert!(best_classification_split(&m, &[0, 1, 2, 3], &classes, &weights, 1, SplitCriterion::InformationGain).is_none());
+        assert!(best_classification_split(
+            &m,
+            &[0, 1, 2, 3],
+            &classes,
+            &weights,
+            1,
+            SplitCriterion::InformationGain
+        )
+        .is_none());
     }
 
     #[test]
     fn classification_split_picks_most_informative_feature() {
         // Feature 0 is noise; feature 1 separates.
-        let m = matrix(&[
-            &[5.0, 1.0],
-            &[1.0, 2.0],
-            &[5.0, 10.0],
-            &[1.0, 11.0],
-        ]);
+        let m = matrix(&[&[5.0, 1.0], &[1.0, 2.0], &[5.0, 10.0], &[1.0, 11.0]]);
         let classes = [Class::Good, Class::Good, Class::Failed, Class::Failed];
         let weights = [1.0; 4];
-        let s =
-            best_classification_split(&m, &[0, 1, 2, 3], &classes, &weights, 1, SplitCriterion::InformationGain).unwrap();
+        let s = best_classification_split(
+            &m,
+            &[0, 1, 2, 3],
+            &classes,
+            &weights,
+            1,
+            SplitCriterion::InformationGain,
+        )
+        .unwrap();
         assert_eq!(s.feature, 1);
     }
 
@@ -359,14 +394,7 @@ mod tests {
         // Six points; class boundary is ambiguous between features, but
         // up-weighting the failed samples makes isolating them on feature
         // 0 the dominant gain.
-        let m = matrix(&[
-            &[1.0],
-            &[2.0],
-            &[3.0],
-            &[10.0],
-            &[11.0],
-            &[12.0],
-        ]);
+        let m = matrix(&[&[1.0], &[2.0], &[3.0], &[10.0], &[11.0], &[12.0]]);
         let classes = [
             Class::Good,
             Class::Good,
@@ -429,7 +457,12 @@ mod tests {
         let classes = [Class::Good, Class::Good, Class::Failed, Class::Failed];
         let weights = [1.0; 4];
         let s = best_classification_split(
-            &m, &[0, 1, 2, 3], &classes, &weights, 1, SplitCriterion::Gini,
+            &m,
+            &[0, 1, 2, 3],
+            &classes,
+            &weights,
+            1,
+            SplitCriterion::Gini,
         )
         .unwrap();
         assert!(s.threshold > 2.0 && s.threshold <= 10.0);

@@ -5,11 +5,10 @@
 //! their decision rules (the paper's Figure 1) and attribute impurity
 //! decrease to features.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node within its tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -22,7 +21,7 @@ impl NodeId {
 }
 
 /// An internal node's split: `feature < threshold` goes left.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SplitNode {
     /// Feature index tested.
     pub feature: usize,
@@ -35,7 +34,7 @@ pub struct SplitNode {
 }
 
 /// One node of a tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node<L> {
     /// Leaf payload / node prediction (internal nodes keep theirs for
     /// rule printing, exactly like the paper's Figure 1 annotates every
@@ -54,7 +53,7 @@ pub struct Node<L> {
 }
 
 /// An immutable binary decision tree with leaf payload `L`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tree<L> {
     nodes: Vec<Node<L>>,
     n_features: usize,
@@ -340,11 +339,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn clone_preserves_structure() {
         let t = stump();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Tree<&str> = serde_json::from_str(&json).unwrap();
+        let back = t.clone();
         assert_eq!(back.n_nodes(), 3);
         assert_eq!(back.leaf_for(&[1.0]).prediction, "L");
+        assert_eq!(back, t);
     }
 }

@@ -1,11 +1,11 @@
-//! Property-based tests of the CART invariants that the training
+//! Property-style tests of the CART invariants that the training
 //! algorithms promise: stopping rules, purity, weighting semantics.
+//! Cases are generated from a deterministic seeded stream so failures
+//! reproduce exactly (print the loop seed to replay one).
 
 use hdd_cart::{Class, ClassSample, ClassificationTreeBuilder, RegSample, RegressionTreeBuilder};
-use proptest::prelude::*;
 
-/// A deterministic pseudo-random stream from a seed (no rand dependency
-/// needed for data synthesis inside strategies).
+/// A deterministic pseudo-random stream from a seed.
 fn mix(seed: u64, i: u64) -> f64 {
     let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -13,15 +13,18 @@ fn mix(seed: u64, i: u64) -> f64 {
     ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
 }
 
-proptest! {
-    /// Every leaf of a regression tree trained with unit weights contains
-    /// at least `min_bucket` samples (the Minbucket stopping rule).
-    #[test]
-    fn regression_leaves_respect_min_bucket(
-        seed in 0u64..500,
-        n in 30usize..200,
-        min_bucket in 1usize..12,
-    ) {
+/// Derive an integer parameter in `[lo, hi)` from the case seed.
+fn pick(seed: u64, salt: u64, lo: usize, hi: usize) -> usize {
+    lo + (mix(seed, salt) * (hi - lo) as f64) as usize
+}
+
+/// Every leaf of a regression tree trained with unit weights contains
+/// at least `min_bucket` samples (the Minbucket stopping rule).
+#[test]
+fn regression_leaves_respect_min_bucket() {
+    for seed in 0u64..40 {
+        let n = pick(seed, 100, 30, 200);
+        let min_bucket = pick(seed, 101, 1, 12);
         let samples: Vec<RegSample> = (0..n)
             .map(|i| {
                 RegSample::new(
@@ -36,19 +39,22 @@ proptest! {
         for node in tree.tree().nodes() {
             if node.split.is_none() {
                 // Unit weights: node weight == sample count.
-                prop_assert!(
+                assert!(
                     node.weight + 1e-9 >= min_bucket as f64,
-                    "leaf with {} samples < min_bucket {min_bucket}",
+                    "seed {seed}: leaf with {} samples < min_bucket {min_bucket}",
                     node.weight
                 );
             }
         }
     }
+}
 
-    /// Node fractions are consistent: the root has fraction 1, children of
-    /// any split partition their parent's weight.
-    #[test]
-    fn tree_weights_partition(seed in 0u64..500, n in 40usize..150) {
+/// Node fractions are consistent: the root has fraction 1, children of
+/// any split partition their parent's weight.
+#[test]
+fn tree_weights_partition() {
+    for seed in 0u64..60 {
+        let n = pick(seed, 200, 40, 150);
         let samples: Vec<ClassSample> = (0..n)
             .map(|i| {
                 let x = mix(seed, i as u64) * 50.0;
@@ -61,34 +67,35 @@ proptest! {
             })
             .collect();
         let n_failed = samples.iter().filter(|s| s.class == Class::Failed).count();
-        prop_assume!(n_failed > 0 && n_failed < samples.len());
+        if n_failed == 0 || n_failed == samples.len() {
+            continue;
+        }
         let tree = ClassificationTreeBuilder::new().build(&samples).unwrap();
         let t = tree.tree();
         let root = t.node(hdd_cart::NodeId::ROOT);
-        prop_assert!((root.fraction - 1.0).abs() < 1e-9);
+        assert!((root.fraction - 1.0).abs() < 1e-9, "seed {seed}");
         for node in t.nodes() {
             if let Some(split) = &node.split {
                 let left = t.node(split.left);
                 let right = t.node(split.right);
-                prop_assert!(
-                    (left.weight + right.weight - node.weight).abs()
-                        < 1e-9 * node.weight.max(1.0),
-                    "children must partition the parent's weight"
+                assert!(
+                    (left.weight + right.weight - node.weight).abs() < 1e-9 * node.weight.max(1.0),
+                    "seed {seed}: children must partition the parent's weight"
                 );
             }
         }
     }
+}
 
-    /// Class weighting semantics: the root's weighted failed fraction
-    /// equals the requested boost fraction divided by the loss-adjusted
-    /// total, regardless of the raw class counts.
-    #[test]
-    fn boost_fraction_controls_root_distribution(
-        seed in 0u64..200,
-        boost in 0.05f64..0.95,
-        n_good in 20usize..100,
-        n_failed in 5usize..50,
-    ) {
+/// Class weighting semantics: the root's weighted failed fraction
+/// equals the requested boost fraction divided by the loss-adjusted
+/// total, regardless of the raw class counts.
+#[test]
+fn boost_fraction_controls_root_distribution() {
+    for seed in 0u64..60 {
+        let boost = 0.05 + 0.9 * mix(seed, 300);
+        let n_good = pick(seed, 301, 20, 100);
+        let n_failed = pick(seed, 302, 5, 50);
         let mut samples = Vec::new();
         for i in 0..n_good {
             samples.push(ClassSample::new(vec![mix(seed, i as u64)], Class::Good));
@@ -107,16 +114,18 @@ proptest! {
         let tree = builder.build(&samples).unwrap();
         let root = tree.tree().node(hdd_cart::NodeId::ROOT);
         let frac = root.prediction.failed_fraction();
-        prop_assert!(
+        assert!(
             (frac - boost).abs() < 1e-9,
-            "requested boost {boost}, root failed fraction {frac}"
+            "seed {seed}: requested boost {boost}, root failed fraction {frac}"
         );
     }
+}
 
-    /// Predictions are a function of the features only: permuting the
-    /// training set does not change the trained tree's predictions.
-    #[test]
-    fn training_order_does_not_matter(seed in 0u64..200) {
+/// Predictions are a function of the features only: permuting the
+/// training set does not change the trained tree's predictions.
+#[test]
+fn training_order_does_not_matter() {
+    for seed in 0u64..40 {
         let samples: Vec<ClassSample> = (0..80)
             .map(|i| {
                 let x = mix(seed, i as u64) * 30.0;
@@ -125,14 +134,62 @@ proptest! {
             })
             .collect();
         let n_failed = samples.iter().filter(|s| s.class == Class::Failed).count();
-        prop_assume!(n_failed > 0 && n_failed < samples.len());
+        if n_failed == 0 || n_failed == samples.len() {
+            continue;
+        }
         let mut reversed = samples.clone();
         reversed.reverse();
         let a = ClassificationTreeBuilder::new().build(&samples).unwrap();
         let b = ClassificationTreeBuilder::new().build(&reversed).unwrap();
         for i in 0..60 {
             let q = vec![mix(seed ^ 7, i) * 40.0 - 5.0, mix(seed ^ 8, i)];
-            prop_assert_eq!(a.predict(&q), b.predict(&q));
+            assert_eq!(a.predict(&q), b.predict(&q), "seed {seed}");
+        }
+    }
+}
+
+/// Compiled flat trees agree with their arena sources on every query, for
+/// every model family, across many random training sets.
+#[test]
+fn compiled_trees_match_arena_trees() {
+    for seed in 0u64..25 {
+        let n = pick(seed, 400, 60, 200);
+        let samples: Vec<ClassSample> = (0..n)
+            .map(|i| {
+                let x = mix(seed, i as u64) * 40.0;
+                let y = mix(seed ^ 11, i as u64) * 10.0;
+                let class = if x + y < 22.0 {
+                    Class::Failed
+                } else {
+                    Class::Good
+                };
+                ClassSample::new(vec![x, y], class)
+            })
+            .collect();
+        let n_failed = samples.iter().filter(|s| s.class == Class::Failed).count();
+        if n_failed == 0 || n_failed == samples.len() {
+            continue;
+        }
+        let tree = ClassificationTreeBuilder::new().build(&samples).unwrap();
+        let compiled = tree.compile();
+        let reg_samples: Vec<RegSample> = samples
+            .iter()
+            .map(|s| RegSample::new(s.features.clone(), s.class.target()))
+            .collect();
+        let reg = RegressionTreeBuilder::new().build(&reg_samples).unwrap();
+        let reg_compiled = reg.compile();
+        for i in 0..80 {
+            let q = vec![mix(seed ^ 13, i) * 50.0 - 5.0, mix(seed ^ 17, i) * 12.0];
+            assert_eq!(
+                compiled.score(&q),
+                tree.predict(&q).target(),
+                "seed {seed}: classification parity"
+            );
+            assert_eq!(
+                reg_compiled.score(&q).to_bits(),
+                reg.predict(&q).to_bits(),
+                "seed {seed}: regression parity"
+            );
         }
     }
 }

@@ -7,14 +7,14 @@
 //! updating strategies and shows that weekly *replacing* — retraining on
 //! only the most recent week — keeps the false alarm rate flat.
 
-use crate::detect::{SampleScorer, VotingRule};
+use crate::detect::VotingRule;
+use crate::model::Predictor;
 use crate::pipeline::Experiment;
 use hdd_cart::ClassSample;
 use hdd_smart::{Dataset, Hour, OBSERVATION_WEEKS};
-use serde::{Deserialize, Serialize};
 
 /// How (and whether) the model is refreshed as weeks pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UpdateStrategy {
     /// Train once on week 1 and never update.
     Fixed,
@@ -70,7 +70,7 @@ impl UpdateStrategy {
 }
 
 /// FAR/FDR of one simulated deployment week.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeekPoint {
     /// 1-based week index as in the paper's figures (2–8).
     pub week: u32,
@@ -81,7 +81,7 @@ pub struct WeekPoint {
 }
 
 /// The weekly series of one strategy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AgingOutcome {
     /// The simulated strategy.
     pub strategy: UpdateStrategy,
@@ -92,26 +92,27 @@ pub struct AgingOutcome {
 /// Simulate the long-term use of a prediction model over the eight-week
 /// horizon under `strategy`.
 ///
-/// `train` builds a model from a classification training set; it is
-/// invoked once per retraining cycle. The failed-drive train/test split is
-/// fixed across the whole horizon (failed samples carry no chronology in
-/// the dataset, §V-B3).
+/// `train` builds a serving-form model ([`Predictor`]) from a
+/// classification training set; it is invoked once per retraining cycle
+/// (train, then [`compile`](crate::model::Compile::compile)). The
+/// failed-drive train/test split is fixed across the whole horizon
+/// (failed samples carry no chronology in the dataset, §V-B3).
 #[must_use]
-pub fn weekly_far<S, F>(
+pub fn weekly_far<P, F>(
     experiment: &Experiment,
     dataset: &Dataset,
     strategy: UpdateStrategy,
     train: F,
 ) -> AgingOutcome
 where
-    S: SampleScorer + Sync,
-    F: Fn(&[ClassSample]) -> S,
+    P: Predictor,
+    F: Fn(&[ClassSample]) -> P,
 {
     let split = experiment.split(dataset);
     let failed_samples = experiment.failed_training_samples(dataset, &split.train_failed);
 
     let mut weekly = Vec::new();
-    let mut cached: Option<(std::ops::Range<u32>, S)> = None;
+    let mut cached: Option<(std::ops::Range<u32>, P)> = None;
     for test_week in 1..OBSERVATION_WEEKS {
         let train_weeks = strategy.training_weeks(test_week);
         let model = match &cached {
@@ -202,10 +203,13 @@ mod tests {
     #[test]
     fn simulation_produces_seven_weeks() {
         let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.01), 4).generate();
-        let exp = Experiment::builder().voters(3).build();
+        let exp = Experiment::builder()
+            .voters(3)
+            .build()
+            .expect("valid test configuration");
         let builder = ClassificationTreeBuilder::new();
         let outcome = weekly_far(&exp, &ds, UpdateStrategy::Fixed, |samples| {
-            builder.build(samples).expect("trainable")
+            builder.build(samples).expect("trainable").compile()
         });
         assert_eq!(outcome.weekly.len(), 7);
         assert_eq!(outcome.weekly[0].week, 2);

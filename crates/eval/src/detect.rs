@@ -6,61 +6,17 @@
 //! raises an alarm only when the votes agree: more than `N/2` classified
 //! as failed (classifier models), or a mean output below a threshold
 //! (regression / health-degree models).
+//!
+//! The detector works against the [`Predictor`] serving interface, so one
+//! implementation covers every model family. Scoring is batched: a
+//! drive's extractable samples are packed into one [`FeatureMatrix`] and
+//! scored with a single [`Predictor::predict_batch`] call before the vote
+//! windows are swept.
 
-use hdd_ann::BpAnn;
-use hdd_cart::{AdaBoost, Class, ClassificationTree, HealthModel, RandomForest, RegressionTree};
+use crate::model::Predictor;
+use hdd_cart::FeatureMatrix;
 use hdd_smart::{Hour, SmartSeries};
 use hdd_stats::FeatureSet;
-use std::collections::VecDeque;
-
-/// Anything that scores a feature vector; negative scores vote "failed".
-///
-/// The classification tree scores `±1`, the BP ANN its `(-1, 1)` output,
-/// and the regression/health models the predicted health degree.
-pub trait SampleScorer {
-    /// Score one feature vector (negative ⇒ failing).
-    fn score(&self, features: &[f64]) -> f64;
-}
-
-impl SampleScorer for ClassificationTree {
-    fn score(&self, features: &[f64]) -> f64 {
-        match self.predict(features) {
-            Class::Good => 1.0,
-            Class::Failed => -1.0,
-        }
-    }
-}
-
-impl SampleScorer for AdaBoost {
-    fn score(&self, features: &[f64]) -> f64 {
-        self.decision_value(features)
-    }
-}
-
-impl SampleScorer for RandomForest {
-    fn score(&self, features: &[f64]) -> f64 {
-        // Vote fraction mapped to [-1, 1]: negative = majority failed.
-        1.0 - 2.0 * self.failed_vote_fraction(features)
-    }
-}
-
-impl SampleScorer for BpAnn {
-    fn score(&self, features: &[f64]) -> f64 {
-        self.predict(features)
-    }
-}
-
-impl SampleScorer for RegressionTree {
-    fn score(&self, features: &[f64]) -> f64 {
-        self.predict(features)
-    }
-}
-
-impl SampleScorer for HealthModel {
-    fn score(&self, features: &[f64]) -> f64 {
-        self.health(features)
-    }
-}
 
 /// How the last `N` scores are combined into an alarm decision.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,17 +29,17 @@ pub enum VotingRule {
     MeanBelow(f64),
 }
 
-/// The voting-based detector: a scorer, a feature extractor, a voter
+/// The voting-based detector: a predictor, a feature extractor, a voter
 /// count `N` and a combination rule.
 ///
 /// ```
-/// use hdd_eval::{Experiment, VotingDetector, VotingRule};
+/// use hdd_eval::{Compile, VotingDetector, VotingRule, Experiment};
 /// use hdd_smart::{DatasetGenerator, FamilyProfile};
 ///
-/// # fn main() -> Result<(), hdd_cart::TrainError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let dataset = DatasetGenerator::new(FamilyProfile::w().scaled(0.01), 3).generate();
-/// let experiment = Experiment::builder().voters(5).build();
-/// let model = experiment.run_ct(&dataset)?.model;
+/// let experiment = Experiment::builder().voters(5).build()?;
+/// let model = experiment.run_ct(&dataset)?.model.compile();
 /// let detector =
 ///     VotingDetector::new(&model, experiment.feature_set(), 5, VotingRule::Majority);
 ///
@@ -96,24 +52,29 @@ pub enum VotingRule {
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct VotingDetector<'a, S> {
-    scorer: &'a S,
+pub struct VotingDetector<'a, P> {
+    predictor: &'a P,
     features: &'a FeatureSet,
     voters: usize,
     rule: VotingRule,
 }
 
-impl<'a, S: SampleScorer> VotingDetector<'a, S> {
+impl<'a, P: Predictor> VotingDetector<'a, P> {
     /// Create a detector with `voters` = the paper's `N`.
     ///
     /// # Panics
     ///
     /// Panics if `voters` is zero.
     #[must_use]
-    pub fn new(scorer: &'a S, features: &'a FeatureSet, voters: usize, rule: VotingRule) -> Self {
+    pub fn new(
+        predictor: &'a P,
+        features: &'a FeatureSet,
+        voters: usize,
+        rule: VotingRule,
+    ) -> Self {
         assert!(voters >= 1, "need at least one voter");
         VotingDetector {
-            scorer,
+            predictor,
             features,
             voters,
             rule,
@@ -127,9 +88,9 @@ impl<'a, S: SampleScorer> VotingDetector<'a, S> {
     /// history) do not enter the vote window.
     #[must_use]
     pub fn first_alarm(&self, series: &SmartSeries, range: std::ops::Range<Hour>) -> Option<Hour> {
-        let mut window: VecDeque<f64> = VecDeque::with_capacity(self.voters);
-        let samples = series.samples();
-        for (idx, sample) in samples.iter().enumerate() {
+        let mut hours: Vec<Hour> = Vec::new();
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for (idx, sample) in series.samples().iter().enumerate() {
             let hour = sample.hour;
             if hour < range.start {
                 continue;
@@ -137,28 +98,46 @@ impl<'a, S: SampleScorer> VotingDetector<'a, S> {
             if hour >= range.end {
                 break;
             }
-            let Some(features) = self.features.extract(series, idx) else {
-                continue;
-            };
-            if window.len() == self.voters {
-                window.pop_front();
+            if let Some(features) = self.features.extract(series, idx) {
+                hours.push(hour);
+                rows.push(features);
             }
-            window.push_back(self.scorer.score(&features));
-            if window.len() < self.voters {
-                continue;
-            }
-            let alarm = match self.rule {
-                VotingRule::Majority => {
-                    let failed_votes = window.iter().filter(|&&s| s < 0.0).count();
-                    2 * failed_votes > self.voters
+        }
+        // The window never fills: the drive cannot alarm. Checked before
+        // building the matrix so an empty scan stays trivially cheap.
+        if rows.len() < self.voters {
+            return None;
+        }
+
+        let matrix = FeatureMatrix::from_rows(rows.iter().map(Vec::as_slice));
+        let mut scores = vec![0.0; rows.len()];
+        self.predictor.predict_batch(&matrix, &mut scores);
+
+        match self.rule {
+            VotingRule::Majority => {
+                // Slide the window with an incremental negative-vote count.
+                let mut failed_votes = scores[..self.voters].iter().filter(|&&s| s < 0.0).count();
+                for end in self.voters - 1..scores.len() {
+                    if end >= self.voters {
+                        failed_votes += usize::from(scores[end] < 0.0);
+                        failed_votes -= usize::from(scores[end - self.voters] < 0.0);
+                    }
+                    if 2 * failed_votes > self.voters {
+                        return Some(hours[end]);
+                    }
                 }
-                VotingRule::MeanBelow(threshold) => {
+            }
+            VotingRule::MeanBelow(threshold) => {
+                // Sum each window afresh, oldest sample first — the same
+                // order the incremental detector accumulated in, so the
+                // means (and therefore the alarms) are bit-identical.
+                for end in self.voters - 1..scores.len() {
+                    let window = &scores[end + 1 - self.voters..=end];
                     let mean = window.iter().sum::<f64>() / self.voters as f64;
-                    mean < threshold
+                    if mean < threshold {
+                        return Some(hours[end]);
+                    }
                 }
-            };
-            if alarm {
-                return Some(hour);
             }
         }
         None
@@ -179,7 +158,11 @@ mod tests {
     /// Scores the RawReadErrorRate value directly: negative when < 50.
     struct ThresholdScorer;
 
-    impl SampleScorer for ThresholdScorer {
+    impl Predictor for ThresholdScorer {
+        fn n_features(&self) -> usize {
+            1
+        }
+
         fn score(&self, features: &[f64]) -> f64 {
             if features[0] < 50.0 {
                 -1.0
@@ -258,7 +241,10 @@ mod tests {
     #[test]
     fn mean_below_rule() {
         struct Identity;
-        impl SampleScorer for Identity {
+        impl Predictor for Identity {
+            fn n_features(&self) -> usize {
+                1
+            }
             fn score(&self, f: &[f64]) -> f64 {
                 f[0]
             }
@@ -269,6 +255,52 @@ mod tests {
         let s = series(&[1.0, 1.0, 1.0, 0.2, 0.1, 0.0]);
         let det = VotingDetector::new(&Identity, &fs, 3, VotingRule::MeanBelow(0.5));
         assert_eq!(det.first_alarm(&s, Hour(0)..Hour(100)), Some(Hour(4)));
+    }
+
+    #[test]
+    fn alarm_hour_matches_a_per_sample_rescan() {
+        // The batch sweep must agree with a naive one-at-a-time window
+        // walk for both rules and several voter counts.
+        let fs = feature_set();
+        let values: Vec<f32> = (0..60)
+            .map(|i| if (i * 7) % 13 < 5 { 10.0 } else { 100.0 })
+            .collect();
+        let s = series(&values);
+        for voters in [1, 2, 3, 5, 8] {
+            for rule in [VotingRule::Majority, VotingRule::MeanBelow(0.0)] {
+                let det = VotingDetector::new(&ThresholdScorer, &fs, voters, rule);
+                let got = det.first_alarm(&s, Hour(0)..Hour(1000));
+                let want = naive_first_alarm(&s, &fs, voters, rule);
+                assert_eq!(got, want, "voters={voters} rule={rule:?}");
+            }
+        }
+    }
+
+    fn naive_first_alarm(
+        series: &SmartSeries,
+        fs: &FeatureSet,
+        voters: usize,
+        rule: VotingRule,
+    ) -> Option<Hour> {
+        let mut window: Vec<f64> = Vec::new();
+        for (idx, sample) in series.samples().iter().enumerate() {
+            let Some(features) = fs.extract(series, idx) else {
+                continue;
+            };
+            window.push(ThresholdScorer.score(&features));
+            if window.len() < voters {
+                continue;
+            }
+            let tail = &window[window.len() - voters..];
+            let alarm = match rule {
+                VotingRule::Majority => 2 * tail.iter().filter(|&&v| v < 0.0).count() > voters,
+                VotingRule::MeanBelow(t) => tail.iter().sum::<f64>() / (voters as f64) < t,
+            };
+            if alarm {
+                return Some(sample.hour);
+            }
+        }
+        None
     }
 
     #[test]

@@ -26,15 +26,17 @@
 pub mod aging;
 pub mod detect;
 pub mod metrics;
+pub mod model;
 pub mod pipeline;
 pub mod roc;
 pub mod split;
 pub mod triage;
 
 pub use aging::{weekly_far, AgingOutcome, UpdateStrategy};
-pub use detect::{SampleScorer, VotingDetector, VotingRule};
+pub use detect::{VotingDetector, VotingRule};
 pub use metrics::{PredictionMetrics, TIA_BUCKETS};
-pub use pipeline::{Experiment, ExperimentBuilder, ExperimentOutcome, HealthTargets};
+pub use model::{Compile, ModelError, Predictor, SavedModel, TrainableModel};
+pub use pipeline::{ConfigError, Experiment, ExperimentBuilder, ExperimentOutcome, HealthTargets};
 pub use roc::{sweep_thresholds, sweep_voters, RocPoint};
 pub use split::{time_split, Split, SplitConfig};
 pub use triage::{simulate_triage, TriageConfig, TriageOutcome, WarningOrder};

@@ -1,14 +1,12 @@
 //! Prediction-quality metrics: FDR, FAR and time-in-advance.
 
-use serde::{Deserialize, Serialize};
-
 /// The TIA histogram buckets of the paper's Figures 3–4, in hours
 /// (inclusive bounds).
 pub const TIA_BUCKETS: [(u32, u32); 5] =
     [(0, 24), (25, 72), (73, 168), (169, 336), (337, u32::MAX)];
 
 /// Outcome of evaluating a model over a test population.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PredictionMetrics {
     /// Good drives evaluated.
     pub good_total: usize,

@@ -4,20 +4,28 @@
 //! (§V-A1): statistical features, three random training samples per good
 //! drive from the time-based training range, failed samples from the last
 //! `n` hours before failure, voting-based detection, FDR/FAR/TIA metrics.
+//!
+//! Model families plug in through the [`TrainableModel`] trait: the
+//! generic [`Experiment::run`] trains whatever builder it is handed,
+//! compiles the result to its serving form and evaluates it — the
+//! `run_ct` / `run_forest` / `run_ann` entry points are thin wrappers
+//! over it.
 
-use crate::detect::{SampleScorer, VotingDetector, VotingRule};
+use crate::detect::{VotingDetector, VotingRule};
 use crate::metrics::PredictionMetrics;
+use crate::model::{Compile, Predictor, TrainableModel};
 use crate::split::{time_split, Split, SplitConfig};
 use hdd_ann::{AnnConfig, AnnError, BpAnn};
-use hdd_cart::{
-    global_health_degree, personalized_health_degree, Class, ClassSample,
-    ClassificationTree, ClassificationTreeBuilder, HealthModel, RandomForest,
-    RandomForestBuilder, RegSample, RegressionTreeBuilder, TrainError,
-};
 use hdd_cart::health::evenly_spaced_indices;
+use hdd_cart::{
+    global_health_degree, personalized_health_degree, Class, ClassSample, ClassificationTree,
+    ClassificationTreeBuilder, HealthModel, RandomForest, RandomForestBuilder, RegSample,
+    RegressionTreeBuilder, TrainError,
+};
 use hdd_smart::rng::DeterministicRng;
 use hdd_smart::{Dataset, DriveSpec, Hour, SmartSeries};
 use hdd_stats::FeatureSet;
+use std::fmt;
 
 /// How regression-tree targets are assigned (§III-B, §V-C).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +52,36 @@ pub struct ExperimentOutcome<M> {
     pub metrics: PredictionMetrics,
 }
 
+/// Why an experiment configuration is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `voters` must be at least 1.
+    ZeroVoters,
+    /// `time_window_hours` must be positive.
+    ZeroTimeWindow,
+    /// `good_samples_per_drive` must be at least 1.
+    ZeroGoodSamples,
+    /// `rt_samples_per_failed` must be at least 1.
+    ZeroRtSamples,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroVoters => write!(f, "voters must be at least 1"),
+            ConfigError::ZeroTimeWindow => write!(f, "time window must be positive"),
+            ConfigError::ZeroGoodSamples => {
+                write!(f, "good samples per drive must be at least 1")
+            }
+            ConfigError::ZeroRtSamples => {
+                write!(f, "RT samples per failed drive must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Experiment configuration; create with [`Experiment::builder`].
 #[derive(Debug, Clone)]
 pub struct Experiment {
@@ -62,7 +100,9 @@ pub struct Experiment {
     seed: u64,
 }
 
-/// Builder for [`Experiment`].
+/// Builder for [`Experiment`]. Setters record values as given;
+/// [`ExperimentBuilder::build`] validates them and reports the first
+/// problem as a [`ConfigError`].
 #[derive(Debug, Clone)]
 pub struct ExperimentBuilder {
     experiment: Experiment,
@@ -101,21 +141,18 @@ impl ExperimentBuilder {
     /// The failed-sample time window `n` in hours (default 168 — the
     /// paper's best CT window, Table IV; the BP ANN uses 12).
     pub fn time_window_hours(&mut self, hours: u32) -> &mut Self {
-        assert!(hours > 0, "time window must be positive");
         self.experiment.time_window_hours = hours;
         self
     }
 
     /// The number of voters `N` (default 11).
     pub fn voters(&mut self, n: usize) -> &mut Self {
-        assert!(n >= 1, "need at least one voter");
         self.experiment.voters = n;
         self
     }
 
     /// Random good training samples per good drive (default 3, §V-A1).
     pub fn good_samples_per_drive(&mut self, n: usize) -> &mut Self {
-        assert!(n >= 1, "need at least one sample per good drive");
         self.experiment.good_samples_per_drive = n;
         self
     }
@@ -160,7 +197,6 @@ impl ExperimentBuilder {
     /// Evenly spaced failed samples per drive for RT training
     /// (default 12, §V-C).
     pub fn rt_samples_per_failed(&mut self, n: usize) -> &mut Self {
-        assert!(n >= 1);
         self.experiment.rt_samples_per_failed = n;
         self
     }
@@ -171,10 +207,27 @@ impl ExperimentBuilder {
         self
     }
 
-    /// Finish.
-    #[must_use]
-    pub fn build(&self) -> Experiment {
-        self.experiment.clone()
+    /// Validate the configuration and finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] when a count that must be
+    /// positive is zero.
+    pub fn build(&self) -> Result<Experiment, ConfigError> {
+        let e = &self.experiment;
+        if e.voters < 1 {
+            return Err(ConfigError::ZeroVoters);
+        }
+        if e.time_window_hours == 0 {
+            return Err(ConfigError::ZeroTimeWindow);
+        }
+        if e.good_samples_per_drive < 1 {
+            return Err(ConfigError::ZeroGoodSamples);
+        }
+        if e.rt_samples_per_failed < 1 {
+            return Err(ConfigError::ZeroRtSamples);
+        }
+        Ok(e.clone())
     }
 }
 
@@ -245,6 +298,26 @@ impl Experiment {
         samples
     }
 
+    /// Train any [`TrainableModel`] on the paper's protocol and evaluate
+    /// its compiled form under the family's voting rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trainer's error when the training set is degenerate
+    /// (e.g. a fleet with no failed training drives).
+    pub fn run<T: TrainableModel>(
+        &self,
+        dataset: &Dataset,
+        trainer: &T,
+    ) -> Result<ExperimentOutcome<T::Model>, T::Error> {
+        let split = self.split(dataset);
+        let training = self.classification_training_set(dataset, &split);
+        let model = trainer.train(&training)?;
+        let compiled = model.compile();
+        let metrics = self.evaluate(dataset, &split, &compiled, trainer.rule());
+        Ok(ExperimentOutcome { model, metrics })
+    }
+
     /// Train and evaluate the paper's CT model.
     ///
     /// # Errors
@@ -255,11 +328,7 @@ impl Experiment {
         &self,
         dataset: &Dataset,
     ) -> Result<ExperimentOutcome<ClassificationTree>, TrainError> {
-        let split = self.split(dataset);
-        let training = self.classification_training_set(dataset, &split);
-        let model = self.ct_builder.build(&training)?;
-        let metrics = self.evaluate(dataset, &split, &model, VotingRule::Majority);
-        Ok(ExperimentOutcome { model, metrics })
+        self.run(dataset, &self.ct_builder)
     }
 
     /// Train and evaluate a random forest (the paper's §VII future work)
@@ -272,11 +341,7 @@ impl Experiment {
         &self,
         dataset: &Dataset,
     ) -> Result<ExperimentOutcome<RandomForest>, TrainError> {
-        let split = self.split(dataset);
-        let training = self.classification_training_set(dataset, &split);
-        let model = self.forest_builder.build(&training)?;
-        let metrics = self.evaluate(dataset, &split, &model, VotingRule::Majority);
-        Ok(ExperimentOutcome { model, metrics })
+        self.run(dataset, &self.forest_builder)
     }
 
     /// Train and evaluate the BP ANN baseline.
@@ -285,17 +350,11 @@ impl Experiment {
     ///
     /// Returns [`AnnError`] when the training data is degenerate.
     pub fn run_ann(&self, dataset: &Dataset) -> Result<ExperimentOutcome<BpAnn>, AnnError> {
-        let split = self.split(dataset);
-        let training = self.classification_training_set(dataset, &split);
-        let inputs: Vec<Vec<f64>> = training.iter().map(|s| s.features.clone()).collect();
-        let targets: Vec<f64> = training.iter().map(|s| s.class.target()).collect();
         let config = self
             .ann_config
             .clone()
             .unwrap_or_else(|| AnnConfig::for_input_dim(self.feature_set.len()));
-        let model = BpAnn::train(&config, &inputs, &targets)?;
-        let metrics = self.evaluate(dataset, &split, &model, VotingRule::Majority);
-        Ok(ExperimentOutcome { model, metrics })
+        self.run(dataset, &config)
     }
 
     /// Train and evaluate a regression-tree health-degree model (§V-C).
@@ -319,7 +378,8 @@ impl Experiment {
             HealthTargets::Personalized => {
                 let ct = self
                     .ct_builder
-                    .build(&self.classification_training_set(dataset, &split))?;
+                    .build(&self.classification_training_set(dataset, &split))?
+                    .compile();
                 let detector =
                     VotingDetector::new(&ct, &self.feature_set, self.voters, VotingRule::Majority);
                 split
@@ -362,9 +422,8 @@ impl Experiment {
                 .expect("split ids come from dataset");
             let fail = spec.class.fail_hour().expect("failed drive");
             let series = dataset.series(spec);
-            let in_window: Vec<(Vec<f64>, Hour)> = self
-                .window_features(spec, &series, window)
-                .collect();
+            let in_window: Vec<(Vec<f64>, Hour)> =
+                self.window_features(spec, &series, window).collect();
             for k in evenly_spaced_indices(in_window.len(), self.rt_samples_per_failed) {
                 let (features, hour) = &in_window[k];
                 let before = fail.saturating_since(*hour);
@@ -381,38 +440,45 @@ impl Experiment {
 
         let tree = self.rt_builder.build(&samples)?;
         let model = HealthModel::new(tree, self.rt_threshold);
+        let compiled = model.compile();
         let metrics = self.evaluate(
             dataset,
             &split,
-            &model,
+            &compiled,
             VotingRule::MeanBelow(self.rt_threshold),
         );
         Ok(ExperimentOutcome { model, metrics })
     }
 
-    /// Evaluate `scorer` on the split's test population: every good drive
-    /// over the test hours, every test failed drive over its recorded
-    /// window.
+    /// Evaluate `predictor` on the split's test population: every good
+    /// drive over the test hours, every test failed drive over its
+    /// recorded window.
     #[must_use]
-    pub fn evaluate<S: SampleScorer + Sync>(
+    pub fn evaluate<P: Predictor>(
         &self,
         dataset: &Dataset,
         split: &Split,
-        scorer: &S,
+        predictor: &P,
         rule: VotingRule,
     ) -> PredictionMetrics {
-        self.evaluate_in(dataset, split.good_test.clone(), &split.test_failed, scorer, rule)
+        self.evaluate_in(
+            dataset,
+            split.good_test.clone(),
+            &split.test_failed,
+            predictor,
+            rule,
+        )
     }
 
     /// Evaluate with an explicit good-drive test range and failed-drive
     /// list (the model-aging simulations test later weeks; Figs. 6–9).
     #[must_use]
-    pub fn evaluate_in<S: SampleScorer + Sync>(
+    pub fn evaluate_in<P: Predictor>(
         &self,
         dataset: &Dataset,
         good_range: std::ops::Range<Hour>,
         test_failed: &[hdd_smart::DriveId],
-        scorer: &S,
+        predictor: &P,
         rule: VotingRule,
     ) -> PredictionMetrics {
         let lookback = self.feature_set.max_lookback_hours();
@@ -431,7 +497,7 @@ impl Experiment {
                 handles.push(scope.spawn(move || {
                     let mut m = PredictionMetrics::default();
                     let detector =
-                        VotingDetector::new(scorer, &self.feature_set, self.voters, rule);
+                        VotingDetector::new(predictor, &self.feature_set, self.voters, rule);
                     for spec in part {
                         if spec.is_failed() {
                             if !test_failed.contains(&spec.id) {
@@ -447,10 +513,8 @@ impl Experiment {
                                 m.tia.push(fail.saturating_since(alarm));
                             }
                         } else {
-                            let series = dataset.series_in(
-                                spec,
-                                (good_range.start - 2 * lookback)..good_range.end,
-                            );
+                            let series = dataset
+                                .series_in(spec, (good_range.start - 2 * lookback)..good_range.end);
                             m.good_total += 1;
                             if detector.first_alarm(&series, good_range.clone()).is_some() {
                                 m.good_alarms += 1;
@@ -504,12 +568,9 @@ impl Experiment {
             for k in 0..self.good_samples_per_drive {
                 // A handful of retries skips samples with unlucky gaps.
                 for attempt in 0..8u64 {
-                    let u = rng.uniform(
-                        u64::from(spec.id.0) ^ (attempt << 32),
-                        k as u64 ^ 0x600D,
-                    );
-                    let idx = eligible.start
-                        + (u * (eligible.end - eligible.start) as f64) as usize;
+                    let u = rng.uniform(u64::from(spec.id.0) ^ (attempt << 32), k as u64 ^ 0x600D);
+                    let idx =
+                        eligible.start + (u * (eligible.end - eligible.start) as f64) as usize;
                     if let Some(features) = self.feature_set.extract(&series, idx) {
                         out.push((features, series.samples()[idx].hour));
                         break;
@@ -565,7 +626,10 @@ mod tests {
     }
 
     fn experiment() -> Experiment {
-        Experiment::builder().voters(3).build()
+        Experiment::builder()
+            .voters(3)
+            .build()
+            .expect("valid test configuration")
     }
 
     #[test]
@@ -601,9 +665,20 @@ mod tests {
     }
 
     #[test]
+    fn generic_run_matches_family_wrapper() {
+        let ds = dataset();
+        let exp = experiment();
+        let wrapper = exp.run_ct(&ds).unwrap();
+        let generic = exp.run(&ds, &ClassificationTreeBuilder::new()).unwrap();
+        assert_eq!(wrapper.metrics, generic.metrics);
+    }
+
+    #[test]
     fn rt_health_pipeline_runs() {
         let ds = dataset();
-        let outcome = experiment().run_rt(&ds, HealthTargets::Personalized).unwrap();
+        let outcome = experiment()
+            .run_rt(&ds, HealthTargets::Personalized)
+            .unwrap();
         assert!(outcome.metrics.failed_total > 0);
         assert!(outcome.metrics.fdr() > 0.3, "{}", outcome.metrics);
     }
@@ -627,6 +702,37 @@ mod tests {
         let a = exp.run_ct(&ds).unwrap();
         let b = exp.run_ct(&ds).unwrap();
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn invalid_configurations_are_typed_errors() {
+        assert_eq!(
+            Experiment::builder().voters(0).build().unwrap_err(),
+            ConfigError::ZeroVoters
+        );
+        assert_eq!(
+            Experiment::builder()
+                .time_window_hours(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroTimeWindow
+        );
+        assert_eq!(
+            Experiment::builder()
+                .good_samples_per_drive(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroGoodSamples
+        );
+        assert_eq!(
+            Experiment::builder()
+                .rt_samples_per_failed(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroRtSamples
+        );
+        let err = Experiment::builder().voters(0).build().unwrap_err();
+        assert!(err.to_string().contains("voters"), "{err}");
     }
 
     #[test]

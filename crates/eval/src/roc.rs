@@ -4,16 +4,16 @@
 //! and 5); the health-degree model simply sweeps its detection threshold
 //! (Figure 10) — "additional flexibility in performance adjusting".
 
-use crate::detect::{SampleScorer, VotingRule};
+use crate::detect::VotingRule;
 use crate::metrics::PredictionMetrics;
+use crate::model::Predictor;
 use crate::pipeline::Experiment;
 use crate::split::Split;
 use hdd_cart::HealthModel;
 use hdd_smart::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// One operating point of a ROC curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RocPoint {
     /// Voter count `N` at this point.
     pub voters: usize,
@@ -39,12 +39,16 @@ impl RocPoint {
 
 /// Sweep the voting detector over `voter_counts` (Figures 2 and 5; the
 /// paper uses N = 1, 3, 5, 7, 9, 11, 15, 17, 27).
+///
+/// # Panics
+///
+/// Panics if a voter count is zero.
 #[must_use]
-pub fn sweep_voters<S: SampleScorer + Sync>(
+pub fn sweep_voters<P: Predictor>(
     experiment: &Experiment,
     dataset: &Dataset,
     split: &Split,
-    scorer: &S,
+    predictor: &P,
     voter_counts: &[usize],
 ) -> Vec<RocPoint> {
     voter_counts
@@ -53,9 +57,9 @@ pub fn sweep_voters<S: SampleScorer + Sync>(
             let exp = {
                 let mut b = crate::pipeline::ExperimentBuilder::from(experiment.clone());
                 b.voters(n);
-                b.build()
+                b.build().expect("voter counts must be at least 1")
             };
-            let metrics = exp.evaluate(dataset, split, scorer, VotingRule::Majority);
+            let metrics = exp.evaluate(dataset, split, predictor, VotingRule::Majority);
             RocPoint {
                 voters: n,
                 threshold: 0.0,
@@ -75,11 +79,14 @@ pub fn sweep_thresholds(
     model: &HealthModel,
     thresholds: &[f64],
 ) -> Vec<RocPoint> {
+    // The threshold only enters through the voting rule; the compiled
+    // scores are the same at every point, so compile once.
+    let compiled = model.compile();
     thresholds
         .iter()
         .map(|&threshold| {
             let metrics =
-                experiment.evaluate(dataset, split, model, VotingRule::MeanBelow(threshold));
+                experiment.evaluate(dataset, split, &compiled, VotingRule::MeanBelow(threshold));
             RocPoint {
                 voters: experiment.voters(),
                 threshold,
@@ -102,10 +109,13 @@ mod tests {
     #[test]
     fn more_voters_do_not_increase_far() {
         let ds = dataset();
-        let exp = Experiment::builder().voters(1).build();
+        let exp = Experiment::builder()
+            .voters(1)
+            .build()
+            .expect("valid test configuration");
         let split = exp.split(&ds);
-        let outcome = exp.run_ct(&ds).unwrap();
-        let points = sweep_voters(&exp, &ds, &split, &outcome.model, &[1, 5, 11]);
+        let model = exp.run_ct(&ds).unwrap().model.compile();
+        let points = sweep_voters(&exp, &ds, &split, &model, &[1, 5, 11]);
         assert_eq!(points.len(), 3);
         // FAR must be non-increasing in N (voting suppresses blips).
         assert!(points[0].far() >= points[1].far());
@@ -132,9 +142,12 @@ mod tests {
     #[test]
     fn sweep_is_deterministic() {
         let ds = dataset();
-        let exp = Experiment::builder().voters(1).build();
+        let exp = Experiment::builder()
+            .voters(1)
+            .build()
+            .expect("valid test configuration");
         let split = exp.split(&ds);
-        let model = exp.run_ct(&ds).unwrap().model;
+        let model = exp.run_ct(&ds).unwrap().model.compile();
         let a = sweep_voters(&exp, &ds, &split, &model, &[1, 7]);
         let b = sweep_voters(&exp, &ds, &split, &model, &[1, 7]);
         assert_eq!(a, b);
@@ -143,16 +156,13 @@ mod tests {
     #[test]
     fn threshold_sweep_is_monotone_in_fdr() {
         let ds = dataset();
-        let exp = Experiment::builder().voters(3).build();
+        let exp = Experiment::builder()
+            .voters(3)
+            .build()
+            .expect("valid test configuration");
         let split = exp.split(&ds);
         let outcome = exp.run_rt(&ds, HealthTargets::Personalized).unwrap();
-        let points = sweep_thresholds(
-            &exp,
-            &ds,
-            &split,
-            &outcome.model,
-            &[-0.9, -0.5, -0.1, 0.2],
-        );
+        let points = sweep_thresholds(&exp, &ds, &split, &outcome.model, &[-0.9, -0.5, -0.1, 0.2]);
         // A laxer (higher) threshold can only flag more drives.
         for pair in points.windows(2) {
             assert!(pair[1].fdr() >= pair[0].fdr() - 1e-12);

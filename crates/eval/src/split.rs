@@ -9,10 +9,9 @@
 
 use hdd_smart::rng::DeterministicRng;
 use hdd_smart::{Dataset, DriveId, Hour, HOURS_PER_WEEK};
-use serde::{Deserialize, Serialize};
 
 /// Split configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SplitConfig {
     /// Fraction of good-drive hours (and failed drives) used for training.
     pub train_fraction: f64,
@@ -34,7 +33,7 @@ impl Default for SplitConfig {
 }
 
 /// A concrete train/test split.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Split {
     /// Hours whose good samples are for training.
     pub good_train: std::ops::Range<Hour>,
@@ -63,8 +62,7 @@ pub fn time_split(dataset: &Dataset, config: &SplitConfig) -> Split {
         week.end.0 <= hdd_smart::time::OBSERVATION_HOURS,
         "evaluation week outside the observation period"
     );
-    let cut = week.start.0
-        + (f64::from(HOURS_PER_WEEK) * config.train_fraction).round() as u32;
+    let cut = week.start.0 + (f64::from(HOURS_PER_WEEK) * config.train_fraction).round() as u32;
 
     // Random drive-level 7:3 split of the failed drives.
     let rng = DeterministicRng::new(config.seed);

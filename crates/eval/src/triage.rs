@@ -9,14 +9,13 @@
 //! capacity, and the processing order decides which failing drives get
 //! their data migrated before they die.
 
-use crate::detect::SampleScorer;
+use crate::model::Predictor;
 use hdd_smart::{Dataset, DriveId, Hour, OBSERVATION_WEEKS};
 use hdd_stats::FeatureSet;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Queue discipline for flagged drives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WarningOrder {
     /// First flagged, first processed (what a binary classifier supports).
     Fifo,
@@ -25,7 +24,7 @@ pub enum WarningOrder {
 }
 
 /// Configuration of the triage simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TriageConfig {
     /// Drives the maintenance crew can back up / swap per day.
     pub capacity_per_day: usize,
@@ -36,7 +35,7 @@ pub struct TriageConfig {
 }
 
 /// Outcome of a triage simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TriageOutcome {
     /// Failing drives processed before their failure hour (data saved).
     pub preempted: usize,
@@ -61,7 +60,7 @@ impl TriageOutcome {
     }
 }
 
-/// Simulate `OBSERVATION_WEEKS` of daily triage with `scorer` flagging
+/// Simulate `OBSERVATION_WEEKS` of daily triage with `predictor` flagging
 /// drives.
 ///
 /// Every day each still-live drive's most recent sample is scored; drives
@@ -70,10 +69,10 @@ impl TriageOutcome {
 /// order. A failing drive processed before its failure hour counts as
 /// *preempted*; one that fails first is *lost in queue*.
 #[must_use]
-pub fn simulate_triage<S: SampleScorer>(
+pub fn simulate_triage<P: Predictor>(
     dataset: &Dataset,
     features: &FeatureSet,
-    scorer: &S,
+    predictor: &P,
     config: &TriageConfig,
 ) -> TriageOutcome {
     let mut outcome = TriageOutcome::default();
@@ -100,11 +99,15 @@ pub fn simulate_triage<S: SampleScorer>(
                     break;
                 }
                 if let Some(f) = features.extract(&series, i) {
-                    total += scorer.score(&f);
+                    total += predictor.score(&f);
                     n += 1;
                 }
             }
-            scores.push(if n >= 6 { Some(total / f64::from(n)) } else { None });
+            scores.push(if n >= 6 {
+                Some(total / f64::from(n))
+            } else {
+                None
+            });
         }
         daily_scores.insert(spec.id, scores);
         state.insert(spec.id, DriveState::Live);
@@ -188,7 +191,10 @@ mod tests {
 
     fn setup() -> (Dataset, Experiment) {
         let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.02), 31).generate();
-        let exp = Experiment::builder().voters(5).build();
+        let exp = Experiment::builder()
+            .voters(5)
+            .build()
+            .expect("valid test configuration");
         (ds, exp)
     }
 
@@ -198,7 +204,8 @@ mod tests {
         let model = exp
             .run_rt(&ds, HealthTargets::Personalized)
             .expect("trainable")
-            .model;
+            .model
+            .compile();
         let config = TriageConfig {
             capacity_per_day: 3,
             warning_threshold: -0.1,
@@ -215,7 +222,8 @@ mod tests {
         let model = exp
             .run_rt(&ds, HealthTargets::Personalized)
             .expect("trainable")
-            .model;
+            .model
+            .compile();
         // A tight crew: one drive per day forces real triage decisions.
         let run = |order| {
             simulate_triage(
@@ -246,7 +254,8 @@ mod tests {
         let model = exp
             .run_rt(&ds, HealthTargets::Personalized)
             .expect("trainable")
-            .model;
+            .model
+            .compile();
         let outcome = simulate_triage(
             &ds,
             exp.feature_set(),
@@ -260,8 +269,7 @@ mod tests {
         // With unlimited capacity, drives can only be lost if flagged on
         // the very day they fail (scored at end of day) or never flagged.
         assert!(
-            outcome.preempted
-                >= outcome.lost_in_queue.saturating_sub(outcome.preempted / 4),
+            outcome.preempted >= outcome.lost_in_queue.saturating_sub(outcome.preempted / 4),
             "{outcome:?}"
         );
         assert!(outcome.save_rate() > 0.5, "{outcome:?}");

@@ -1,0 +1,619 @@
+//! Dependency-free JSON for model persistence.
+//!
+//! The serving layer needs to save and load compiled models without
+//! pulling a serialization framework into an offline build. This crate
+//! provides the minimum: a [`Value`] tree, a strict parser, a compact
+//! writer, and the [`JsonCodec`] trait model types implement.
+//!
+//! Numbers round-trip exactly: the writer emits the shortest decimal
+//! representation that parses back to the identical `f64` (Rust's
+//! `Display` guarantee), so a saved model predicts bit-identically after
+//! a load.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON document node.
+///
+/// Objects preserve insertion order (they are association lists, not
+/// hash maps); model payloads are small enough that linear field lookup
+/// is irrelevant next to file I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (ordered key → value pairs).
+    Obj(Vec<(String, Value)>),
+}
+
+/// Why parsing or decoding failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// An error with the given message.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into() }
+    }
+
+    /// A "missing field" decode error.
+    #[must_use]
+    pub fn missing(field: &str) -> Self {
+        JsonError::new(format!("missing field `{field}`"))
+    }
+
+    /// An "unexpected type/value" decode error.
+    #[must_use]
+    pub fn expected(what: &str, field: &str) -> Self {
+        JsonError::new(format!("expected {what} at `{field}`"))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Types that convert to and from a JSON [`Value`].
+pub trait JsonCodec: Sized {
+    /// Encode `self`.
+    fn to_json(&self) -> Value;
+
+    /// Decode from a parsed document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when `value` does not have the expected
+    /// shape.
+    fn from_json(value: &Value) -> Result<Self, JsonError>;
+}
+
+impl Value {
+    /// Object field by name (`None` for non-objects or absent keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A required object field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when absent.
+    pub fn field(&self, key: &str) -> Result<&Value, JsonError> {
+        self.get(key).ok_or_else(|| JsonError::missing(key))
+    }
+
+    /// The number, if this is one.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if exactly representable.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Decode a required numeric field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when absent or not a number.
+    pub fn f64_field(&self, key: &str) -> Result<f64, JsonError> {
+        self.field(key)?
+            .as_f64()
+            .ok_or_else(|| JsonError::expected("number", key))
+    }
+
+    /// Decode a required integer field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when absent or not a non-negative integer.
+    pub fn usize_field(&self, key: &str) -> Result<usize, JsonError> {
+        self.field(key)?
+            .as_usize()
+            .ok_or_else(|| JsonError::expected("non-negative integer", key))
+    }
+
+    /// Decode a required string field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when absent or not a string.
+    pub fn str_field(&self, key: &str) -> Result<&str, JsonError> {
+        self.field(key)?
+            .as_str()
+            .ok_or_else(|| JsonError::expected("string", key))
+    }
+
+    /// Decode a required array field of numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when absent or any element is not a number.
+    pub fn f64_vec_field(&self, key: &str) -> Result<Vec<f64>, JsonError> {
+        self.field(key)?
+            .as_arr()
+            .ok_or_else(|| JsonError::expected("array", key))?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| JsonError::expected("number", key)))
+            .collect()
+    }
+
+    /// Decode a required array field of non-negative integers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when absent or any element is not an integer.
+    pub fn usize_vec_field(&self, key: &str) -> Result<Vec<usize>, JsonError> {
+        self.field(key)?
+            .as_arr()
+            .ok_or_else(|| JsonError::expected("array", key))?
+            .iter()
+            .map(|v| {
+                v.as_usize()
+                    .ok_or_else(|| JsonError::expected("integer", key))
+            })
+            .collect()
+    }
+
+    /// Build an array value from numbers.
+    #[must_use]
+    pub fn from_f64s<I: IntoIterator<Item = f64>>(items: I) -> Value {
+        Value::Arr(items.into_iter().map(Value::Num).collect())
+    }
+
+    /// Build an array value from integers.
+    #[must_use]
+    pub fn from_usizes<I: IntoIterator<Item = usize>>(items: I) -> Value {
+        Value::Arr(items.into_iter().map(|n| Value::Num(n as f64)).collect())
+    }
+}
+
+// ---------------------------------------------------------------- writer
+
+/// Serialize a value to compact JSON.
+///
+/// # Panics
+///
+/// Panics on non-finite numbers: model parameters are validated finite at
+/// training time, so a NaN here is a logic error, not an input error.
+#[must_use]
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => {
+            assert!(n.is_finite(), "JSON cannot represent non-finite numbers");
+            // Rust's Display for f64 is the shortest exact round-trip form.
+            out.push_str(&n.to_string());
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser
+
+/// Parse a JSON document.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed input or trailing garbage.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::new(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+/// Nesting depth cap: protects the recursive parser from stack overflow
+/// on adversarial input.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::new("document nests too deeply"));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(JsonError::new(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid keyword at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number bytes"))?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| JsonError::new(format!("invalid number `{text}`")))?;
+        if !n.is_finite() {
+            return Err(JsonError::new(format!("number out of range `{text}`")));
+        }
+        Ok(Value::Num(n))
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| JsonError::new("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError::new("invalid \\u escape"))?;
+                            // Surrogates are not expected in model files;
+                            // map unpaired ones to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(JsonError::new("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| JsonError::new("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected , or ] at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected , or }} at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-1.5", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(to_string(&v), text);
+        }
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact() {
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.2250738585072014e-308,
+            std::f64::consts::PI,
+        ] {
+            let v = Value::Num(x);
+            let back = parse(&to_string(&v)).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a":[1,2,{"b":"x"}],"c":null,"d":{"e":true}}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(to_string(&v), text);
+        assert_eq!(v.field("d").unwrap().get("e"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::Str("a\"b\\c\nd\te\u{1}".to_string());
+        let text = to_string(&v);
+        assert_eq!(parse(&text).unwrap(), v);
+        let unicode = parse(r#""éA""#).unwrap();
+        assert_eq!(unicode.as_str(), Some("éA"));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] , \"b\" : 3 } ").unwrap();
+        assert_eq!(v.usize_vec_field("a").unwrap(), vec![1, 2]);
+        assert_eq!(v.usize_field("b").unwrap(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "[1]]",
+            "nul",
+            "1e999",
+        ] {
+            assert!(parse(text).is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn field_accessors_and_errors() {
+        let v = parse(r#"{"n":3.5,"i":7,"s":"x","xs":[1.5,2.5]}"#).unwrap();
+        assert_eq!(v.f64_field("n").unwrap(), 3.5);
+        assert_eq!(v.usize_field("i").unwrap(), 7);
+        assert_eq!(v.str_field("s").unwrap(), "x");
+        assert_eq!(v.f64_vec_field("xs").unwrap(), vec![1.5, 2.5]);
+        assert!(v.usize_field("n").is_err(), "3.5 is not an integer");
+        assert!(v.field("absent").is_err());
+        let err = v.field("absent").unwrap_err();
+        assert!(err.to_string().contains("absent"), "{err}");
+    }
+
+    #[test]
+    fn negative_numbers_are_not_usize() {
+        let v = parse("-4").unwrap();
+        assert_eq!(v.as_usize(), None);
+        assert_eq!(v.as_f64(), Some(-4.0));
+    }
+}

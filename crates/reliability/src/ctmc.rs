@@ -186,7 +186,10 @@ mod tests {
         let t1_coeff = mu / (l1 + mu);
         let expected = ((1.0 / l0) + 1.0 / (l1 + mu)) / (1.0 - t1_coeff);
         let got = c.mean_time_to_absorption(0);
-        assert!((got - expected).abs() / expected < 1e-12, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() / expected < 1e-12,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]

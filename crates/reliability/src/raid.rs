@@ -30,7 +30,10 @@ use crate::single::PredictionQuality;
 #[must_use]
 pub fn mttdl_raid6_no_prediction(mttf_hours: f64, mttr_hours: f64, n_drives: u32) -> f64 {
     assert!(n_drives >= 3, "RAID-6 needs at least three drives");
-    assert!(mttf_hours > 0.0 && mttr_hours > 0.0, "times must be positive");
+    assert!(
+        mttf_hours > 0.0 && mttr_hours > 0.0,
+        "times must be positive"
+    );
     let n = f64::from(n_drives);
     mttf_hours.powi(3) / (n * (n - 1.0) * (n - 2.0) * mttr_hours * mttr_hours)
 }
@@ -43,7 +46,10 @@ pub fn mttdl_raid6_no_prediction(mttf_hours: f64, mttr_hours: f64, n_drives: u32
 #[must_use]
 pub fn mttdl_raid5_no_prediction(mttf_hours: f64, mttr_hours: f64, n_drives: u32) -> f64 {
     assert!(n_drives >= 2, "RAID-5 needs at least two drives");
-    assert!(mttf_hours > 0.0 && mttr_hours > 0.0, "times must be positive");
+    assert!(
+        mttf_hours > 0.0 && mttr_hours > 0.0,
+        "times must be positive"
+    );
     let n = f64::from(n_drives);
     mttf_hours * mttf_hours / (n * (n - 1.0) * mttr_hours)
 }
@@ -108,7 +114,11 @@ pub fn mttdl_raid_with_prediction(
                 // A predicted drive is preemptively replaced…
                 chain.transition(from, s(f, i - 1), i as f64 * mu);
                 // …or dies before the replacement finishes.
-                let to = if f + 1 < levels { s(f + 1, i - 1) } else { loss };
+                let to = if f + 1 < levels {
+                    s(f + 1, i - 1)
+                } else {
+                    loss
+                };
                 chain.transition(from, to, i as f64 * gamma);
             }
             if f > 0 {
@@ -223,12 +233,8 @@ mod tests {
 
     #[test]
     fn perfect_prediction_is_the_upper_bound() {
-        let better = mttdl_raid6_with_prediction(
-            SATA_MTTF,
-            MTTR,
-            100,
-            PredictionQuality::new(0.999, 355.0),
-        );
+        let better =
+            mttdl_raid6_with_prediction(SATA_MTTF, MTTR, 100, PredictionQuality::new(0.999, 355.0));
         let worse = mttdl_raid6_with_prediction(SATA_MTTF, MTTR, 100, ct());
         assert!(better > worse);
     }

@@ -1,11 +1,10 @@
 //! Single-drive MTTDL with failure prediction (eq. 7, Table VI).
 
 use crate::ctmc::Ctmc;
-use serde::{Deserialize, Serialize};
 
 /// A prediction model's quality, as it enters the reliability models:
 /// detection rate `k` and mean lead time (TIA).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictionQuality {
     /// Failure detection rate `k` in `[0, 1]`.
     pub detection_rate: f64,
@@ -80,7 +79,10 @@ pub fn mttdl_single_drive(
     mttr_hours: f64,
     quality: Option<PredictionQuality>,
 ) -> f64 {
-    assert!(mttf_hours > 0.0 && mttr_hours > 0.0, "times must be positive");
+    assert!(
+        mttf_hours > 0.0 && mttr_hours > 0.0,
+        "times must be positive"
+    );
     match quality {
         None => mttf_hours,
         Some(q) => {

@@ -1,30 +1,53 @@
-//! Property-based tests of the CTMC solver and the RAID models.
+//! Property-style tests of the CTMC solver and the RAID models. Cases
+//! come from a deterministic seeded stream so failures reproduce exactly
+//! (the assertion message names the loop seed to replay).
 
 use hdd_reliability::{
     mttdl_raid6_no_prediction, mttdl_raid6_with_prediction, mttdl_single_drive,
     mttdl_single_drive_exact, Ctmc, PredictionQuality,
 };
-use proptest::prelude::*;
 
-proptest! {
-    /// A pure birth chain's absorption time is the sum of stage means —
-    /// exact for any rates.
-    #[test]
-    fn birth_chain_matches_sum_of_means(
-        rates in prop::collection::vec(0.001f64..100.0, 1..40),
-    ) {
+/// A deterministic pseudo-random value in `[0, 1)` from a seed.
+fn mix(seed: u64, i: u64) -> f64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Derive a float parameter in `[lo, hi)` from the case seed.
+fn pick_f(seed: u64, salt: u64, lo: f64, hi: f64) -> f64 {
+    lo + mix(seed, salt) * (hi - lo)
+}
+
+/// A pure birth chain's absorption time is the sum of stage means —
+/// exact for any rates.
+#[test]
+fn birth_chain_matches_sum_of_means() {
+    for seed in 0u64..50 {
+        let n = 1 + (mix(seed, 1) * 39.0) as usize;
+        let rates: Vec<f64> = (0..n)
+            .map(|i| pick_f(seed ^ 0x1B, i as u64, 0.001, 100.0))
+            .collect();
         let mut chain = Ctmc::new(rates.len() + 1);
         for (i, &r) in rates.iter().enumerate() {
             chain.transition(i, i + 1, r);
         }
         let expected: f64 = rates.iter().map(|r| 1.0 / r).sum();
         let got = chain.mean_time_to_absorption(0);
-        prop_assert!(((got - expected) / expected).abs() < 1e-9);
+        assert!(
+            ((got - expected) / expected).abs() < 1e-9,
+            "seed {seed}: {got} vs {expected}"
+        );
     }
+}
 
-    /// Adding a repair edge can only increase the time to absorption.
-    #[test]
-    fn repair_helps(lambda in 0.001f64..1.0, mu in 0.001f64..100.0) {
+/// Adding a repair edge can only increase the time to absorption.
+#[test]
+fn repair_helps() {
+    for seed in 0u64..100 {
+        let lambda = pick_f(seed, 2, 0.001, 1.0);
+        let mu = pick_f(seed, 3, 0.001, 100.0);
         let mut without = Ctmc::new(3);
         without.transition(0, 1, lambda);
         without.transition(1, 2, lambda);
@@ -32,50 +55,60 @@ proptest! {
         with.transition(0, 1, lambda);
         with.transition(1, 2, lambda);
         with.transition(1, 0, mu);
-        prop_assert!(
-            with.mean_time_to_absorption(0) >= without.mean_time_to_absorption(0)
+        assert!(
+            with.mean_time_to_absorption(0) >= without.mean_time_to_absorption(0),
+            "seed {seed}"
         );
     }
+}
 
-    /// The eq. 7 closed form agrees with the exact three-state chain to
-    /// within its stated approximation across the parameter space.
-    #[test]
-    fn formula_matches_exact_chain(
-        k in 0.01f64..0.999,
-        tia in 24.0f64..2000.0,
-        mttf in 1e5f64..1e7,
-    ) {
+/// The eq. 7 closed form agrees with the exact three-state chain to
+/// within its stated approximation across the parameter space.
+#[test]
+fn formula_matches_exact_chain() {
+    for seed in 0u64..200 {
+        let k = pick_f(seed, 4, 0.01, 0.999);
+        let tia = pick_f(seed, 5, 24.0, 2000.0);
+        let mttf = pick_f(seed, 6, 1e5, 1e7);
         let q = PredictionQuality::new(k, tia);
         let formula = mttdl_single_drive(mttf, 8.0, Some(q));
         let exact = mttdl_single_drive_exact(mttf, 8.0, q);
         let rel = ((formula - exact) / exact).abs();
         // The approximation drops a term of order (1/(mu+gamma)) / (1/lambda).
-        prop_assert!(rel < 1e-2, "rel err {rel}");
+        assert!(rel < 1e-2, "seed {seed}: rel err {rel}");
     }
+}
 
-    /// RAID-6 MTTDL decreases monotonically with array size.
-    #[test]
-    fn raid6_mttdl_monotone_in_n(n in 4u32..200) {
-        let q = PredictionQuality::ct_paper();
+/// RAID-6 MTTDL decreases monotonically with array size.
+#[test]
+fn raid6_mttdl_monotone_in_n() {
+    let q = PredictionQuality::ct_paper();
+    for n in 4u32..200 {
         let small = mttdl_raid6_with_prediction(1.39e6, 8.0, n, q);
         let large = mttdl_raid6_with_prediction(1.39e6, 8.0, n + 1, q);
-        prop_assert!(large <= small * (1.0 + 1e-9));
+        assert!(large <= small * (1.0 + 1e-9), "n = {n}");
         // And the closed form without prediction does the same.
-        prop_assert!(
+        assert!(
             mttdl_raid6_no_prediction(1.39e6, 8.0, n + 1)
-                <= mttdl_raid6_no_prediction(1.39e6, 8.0, n)
+                <= mttdl_raid6_no_prediction(1.39e6, 8.0, n),
+            "n = {n}"
         );
     }
+}
 
-    /// Better prediction never hurts an array.
-    #[test]
-    fn raid6_mttdl_monotone_in_k(k in 0.0f64..0.99, n in 4u32..100) {
-        let lo = mttdl_raid6_with_prediction(
-            1.39e6, 8.0, n, PredictionQuality::new(k, 355.0),
-        );
+/// Better prediction never hurts an array.
+#[test]
+fn raid6_mttdl_monotone_in_k() {
+    for seed in 0u64..100 {
+        let k = pick_f(seed, 7, 0.0, 0.99);
+        let n = 4 + (mix(seed, 8) * 96.0) as u32;
+        let lo = mttdl_raid6_with_prediction(1.39e6, 8.0, n, PredictionQuality::new(k, 355.0));
         let hi = mttdl_raid6_with_prediction(
-            1.39e6, 8.0, n, PredictionQuality::new((k + 0.01).min(1.0), 355.0),
+            1.39e6,
+            8.0,
+            n,
+            PredictionQuality::new((k + 0.01).min(1.0), 355.0),
         );
-        prop_assert!(hi >= lo * (1.0 - 1e-9));
+        assert!(hi >= lo * (1.0 - 1e-9), "seed {seed}");
     }
 }

@@ -7,7 +7,6 @@
 //! Count* and *Current Pending Sector Count* because those raw counters are
 //! more sensitive than their saturating normalized forms.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of basic features (Table II rows).
@@ -17,7 +16,7 @@ pub const NUM_ATTRIBUTES: usize = 12;
 ///
 /// The discriminants match the `ID #` column of Table II (1-based in the
 /// paper; stored 0-based here for direct indexing into sample vectors).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(usize)]
 pub enum Attribute {
     /// Normalized *Raw Read Error Rate* (SMART 1).
@@ -47,7 +46,7 @@ pub enum Attribute {
 }
 
 /// Whether a feature is a 1–253 normalized value or a raw counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttributeKind {
     /// One-byte normalized value in 1–253; lower means less healthy.
     Normalized,

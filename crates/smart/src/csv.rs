@@ -77,7 +77,11 @@ pub fn write_series<W: Write>(mut w: W, series: &SmartSeries) -> io::Result<()> 
         DriveClass::Failed { fail_hour } => (1, fail_hour.0.to_string()),
     };
     for s in series.samples() {
-        write!(w, "{},{},{},{}", series.drive.0, failed, fail_hour, s.hour.0)?;
+        write!(
+            w,
+            "{},{},{},{}",
+            series.drive.0, failed, fail_hour, s.hour.0
+        )?;
         for v in s.values {
             write!(w, ",{v}")?;
         }

@@ -6,7 +6,6 @@ use crate::gen::{generate_series, generate_series_in, recorded_range};
 use crate::rng::DeterministicRng;
 use crate::series::SmartSeries;
 use crate::time::Hour;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A fleet of drives with deterministic, lazily synthesized SMART series.
@@ -14,17 +13,16 @@ use std::collections::HashMap;
 /// Construct with [`DatasetGenerator::generate`](crate::DatasetGenerator).
 /// Series are synthesized on access — a `Dataset` holding the paper's full
 /// 23k-drive family "W" occupies a few megabytes, not gigabytes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     profile: FamilyProfile,
     seed: u64,
     specs: Vec<DriveSpec>,
-    #[serde(skip)]
     by_id: HashMap<DriveId, usize>,
 }
 
 /// Composition summary printed as the paper's Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DatasetStats {
     /// Number of good drives.
     pub good_drives: u32,
@@ -186,10 +184,7 @@ mod tests {
         let kept = sub.drives().len() as f64;
         assert!((kept / total - 0.5).abs() < 0.1, "kept {kept} of {total}");
         // Profile counts updated.
-        assert_eq!(
-            sub.profile().n_good as usize,
-            sub.good_drives().count()
-        );
+        assert_eq!(sub.profile().n_good as usize, sub.good_drives().count());
     }
 
     #[test]

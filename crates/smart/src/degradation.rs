@@ -9,14 +9,13 @@
 //! *signature* mapping `z` to shifts of individual attributes.
 
 use crate::attr::{Attribute, NUM_ATTRIBUTES};
-use serde::{Deserialize, Serialize};
 
 /// The dominant physical cause of a drive failure.
 ///
 /// The mode determines *which* attributes react during deterioration, which
 /// is what makes the classification tree's rules interpretable ("Q drives
 /// fail with high seek error rate", §V-B1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailureMode {
     /// Growing media defects: sectors get remapped, read errors climb.
     MediaDefects,
@@ -43,7 +42,7 @@ pub const ALL_FAILURE_MODES: [FailureMode; 4] = [
 /// Normalized attributes are shifted *down* by `normalized[i] * z`;
 /// raw counters are increased by `raw[i] * z^1.3` (monotonically, the way
 /// real error counters only ever grow).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModeSignature {
     /// Downward shift of each normalized attribute at `z = 1`.
     pub normalized: [f64; NUM_ATTRIBUTES],
@@ -188,8 +187,7 @@ mod tests {
     fn every_mode_touches_some_attribute() {
         for mode in ALL_FAILURE_MODES {
             let sig = mode.signature();
-            let total: f64 =
-                sig.normalized.iter().sum::<f64>() + sig.raw.iter().sum::<f64>();
+            let total: f64 = sig.normalized.iter().sum::<f64>() + sig.raw.iter().sum::<f64>();
             assert!(total > 0.0, "{mode:?} has an empty signature");
         }
     }
@@ -207,10 +205,7 @@ mod tests {
             for (i, &g) in sig.raw.iter().enumerate() {
                 if g > 0.0 {
                     let attr = Attribute::from_index(i).unwrap();
-                    assert!(
-                        attr.higher_is_worse(),
-                        "{mode:?} grows non-counter {attr}"
-                    );
+                    assert!(attr.higher_is_worse(), "{mode:?} grows non-counter {attr}");
                 }
             }
         }

@@ -2,13 +2,10 @@
 
 use crate::degradation::FailureMode;
 use crate::time::Hour;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Opaque identifier of a drive within a dataset.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DriveId(pub u32);
 
 impl fmt::Display for DriveId {
@@ -18,7 +15,7 @@ impl fmt::Display for DriveId {
 }
 
 /// Ground-truth class of a drive over the observation period.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DriveClass {
     /// The drive survives the whole observation period.
     Good,
@@ -48,7 +45,7 @@ impl DriveClass {
 
 /// Static description of one drive; everything the generator needs to
 /// reproduce its SMART series deterministically.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriveSpec {
     /// Dataset-unique identifier.
     pub id: DriveId,

@@ -9,10 +9,9 @@
 
 use crate::attr::{Attribute, NUM_ATTRIBUTES};
 use crate::degradation::FailureMode;
-use serde::{Deserialize, Serialize};
 
 /// Generative model of one normalized attribute for a family.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttrModel {
     /// Population mean of the per-drive baseline.
     pub base_mean: f64,
@@ -43,7 +42,7 @@ impl AttrModel {
 /// Distribution of observable deterioration window lengths for failed
 /// drives (a mixture over how long before failure the drive's SMART
 /// telemetry starts to react).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeteriorationMix {
     /// Fraction of failures that are *sudden*: nothing observable until a
     /// few hours before the event (these bound the achievable FDR).
@@ -62,7 +61,7 @@ pub struct DeteriorationMix {
 }
 
 /// A complete per-family generative profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FamilyProfile {
     /// Family label ("W", "Q").
     pub name: String,

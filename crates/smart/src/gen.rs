@@ -116,8 +116,7 @@ impl DatasetGenerator {
         let p = &self.profile;
         let age = rng.range(p.good_age_range.0, p.good_age_range.1, tag(TAG_SPEC, 0), 0);
         let chronic = rng.chance(p.chronic_prob, tag(TAG_SPEC, 1), 0);
-        let failure_mode =
-            chronic.then(|| pick_mode(p, rng.uniform(tag(TAG_SPEC, 2), 0)));
+        let failure_mode = chronic.then(|| pick_mode(p, rng.uniform(tag(TAG_SPEC, 2), 0)));
         DriveSpec {
             id,
             class: DriveClass::Good,
@@ -140,8 +139,8 @@ impl DatasetGenerator {
             tag(TAG_SPEC, 0),
             0,
         );
-        let fail_hour = Hour(rng.range(24.0, f64::from(OBSERVATION_HOURS), tag(TAG_SPEC, 3), 0)
-            as u32);
+        let fail_hour =
+            Hour(rng.range(24.0, f64::from(OBSERVATION_HOURS), tag(TAG_SPEC, 3), 0) as u32);
         let mode = pick_mode(p, rng.uniform(tag(TAG_SPEC, 2), 0));
         let det = deterioration_window(p, &rng);
         let quiet = mode == FailureMode::MediaDefects
@@ -154,7 +153,11 @@ impl DatasetGenerator {
             deterioration_hours: det,
             chronic_outlier: false,
             counter_scale: counter_scale(&rng),
-            analog_attenuation: if quiet { p.quiet_media_attenuation } else { 1.0 },
+            analog_attenuation: if quiet {
+                p.quiet_media_attenuation
+            } else {
+                1.0
+            },
             stream: u64::from(id.0),
         }
     }
@@ -391,8 +394,8 @@ fn sample_values(
 ) -> [f32; NUM_ATTRIBUTES] {
     let weeks = f64::from(t) / 168.0;
     // Convex fleet drift: most of it lands in the later weeks.
-    let drift_weeks = weeks
-        * (weeks / f64::from(crate::time::OBSERVATION_WEEKS)).powf(profile.drift_accel);
+    let drift_weeks =
+        weeks * (weeks / f64::from(crate::time::OBSERVATION_WEEKS)).powf(profile.drift_accel);
     let h = u64::from(t);
     let event = active_event(profile, rng, t);
     let spell = active_spell(profile, rng, t);
@@ -414,15 +417,12 @@ fn sample_values(
                     + model.noise_std * correlated_noise(rng, i, t)
             }
             Attribute::ReallocatedSectorsRaw => {
-                let benign = if rng.chance(
-                    profile.benign_realloc_prob,
-                    tag(TAG_BENIGN_REALLOC, 0),
-                    0,
-                ) {
-                    (rng.range(1.0, 30.0, tag(TAG_BENIGN_REALLOC, 1), 0)).floor()
-                } else {
-                    0.0
-                };
+                let benign =
+                    if rng.chance(profile.benign_realloc_prob, tag(TAG_BENIGN_REALLOC, 0), 0) {
+                        (rng.range(1.0, 30.0, tag(TAG_BENIGN_REALLOC, 1), 0)).floor()
+                    } else {
+                        0.0
+                    };
                 let growth = signature.as_ref().map_or(0.0, |sig| {
                     sig.raw[i] * scale * spec.counter_scale * z_raw.powf(1.3)
                 });

@@ -6,14 +6,12 @@
 //! every random quantity from a counter-based hash (SplitMix64) of
 //! `(dataset seed, drive id, stream, hour)` instead of a sequential stream.
 
-use serde::{Deserialize, Serialize};
-
 /// A counter-based deterministic random source.
 ///
 /// `DeterministicRng` is a keyed SplitMix64 finalizer: each draw hashes the
 /// key together with the caller-supplied coordinates, so values are stable
 /// under any generation order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeterministicRng {
     key: u64,
 }

@@ -3,10 +3,9 @@
 use crate::attr::{Attribute, NUM_ATTRIBUTES};
 use crate::drive::{DriveClass, DriveId};
 use crate::time::Hour;
-use serde::{Deserialize, Serialize};
 
 /// One hourly SMART reading: the twelve basic feature values of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmartSample {
     /// Hour the sample was collected.
     pub hour: Hour,
@@ -25,7 +24,7 @@ impl SmartSample {
 
 /// The recorded series of one drive: hourly samples over its recorded
 /// window, possibly with gaps (missing samples).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmartSeries {
     /// The drive this series belongs to.
     pub drive: DriveId,

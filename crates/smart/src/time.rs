@@ -1,6 +1,5 @@
 //! Simulation time: hours since the start of the observation period.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Sub};
 
@@ -21,9 +20,7 @@ pub const PRE_FAILURE_HOURS: u32 = 20 * HOURS_PER_DAY;
 /// `Hour` is the only notion of time in the simulator: good drives are
 /// sampled once per hour over [`OBSERVATION_HOURS`]; a failed drive's series
 /// covers the [`PRE_FAILURE_HOURS`] leading up to its failure hour.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Hour(pub u32);
 
 impl Hour {

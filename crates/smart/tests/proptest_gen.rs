@@ -1,23 +1,40 @@
-//! Property-based tests of the trace generator: invariants that must hold
-//! for every seed and scale.
+//! Property-style tests of the trace generator: invariants that must hold
+//! for every seed and scale. Cases come from a deterministic seeded
+//! stream so failures reproduce exactly (the assertion message names the
+//! loop seed to replay).
 
 use hdd_smart::{
     Attribute, AttributeKind, DatasetGenerator, FamilyProfile, Hour, BASIC_ATTRIBUTES,
 };
-use proptest::prelude::*;
 
-fn any_family() -> impl Strategy<Value = FamilyProfile> {
-    prop_oneof![Just(FamilyProfile::w()), Just(FamilyProfile::q())]
+/// A deterministic pseudo-random value in `[0, 1)` from a seed.
+fn mix(seed: u64, i: u64) -> f64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Derive an integer parameter in `[lo, hi)` from the case seed.
+fn pick(seed: u64, salt: u64, lo: u64, hi: u64) -> u64 {
+    lo + (mix(seed, salt) * (hi - lo) as f64) as u64
+}
 
-    /// Every generated value stays within its attribute's domain, for any
-    /// seed and family.
-    #[test]
-    fn values_in_domain(seed in 0u64..10_000, family in any_family()) {
-        let ds = DatasetGenerator::new(family.scaled(0.002), seed).generate();
+fn family(seed: u64, salt: u64) -> FamilyProfile {
+    if mix(seed, salt) < 0.5 {
+        FamilyProfile::w()
+    } else {
+        FamilyProfile::q()
+    }
+}
+
+/// Every generated value stays within its attribute's domain, for any
+/// seed and family.
+#[test]
+fn values_in_domain() {
+    for case in 0u64..16 {
+        let seed = pick(case, 1, 0, 10_000);
+        let ds = DatasetGenerator::new(family(case, 2).scaled(0.002), seed).generate();
         for spec in ds.drives().iter().take(12) {
             let series = ds.series(spec);
             for sample in series.samples() {
@@ -25,80 +42,103 @@ proptest! {
                     let v = sample.value(attr);
                     match attr.kind() {
                         AttributeKind::Normalized => {
-                            prop_assert!((1.0..=253.0).contains(&v), "{attr}: {v}");
-                            prop_assert!(v.fract() == 0.0, "normalized values are integers");
+                            assert!((1.0..=253.0).contains(&v), "seed {seed} {attr}: {v}");
+                            assert!(v.fract() == 0.0, "normalized values are integers");
                         }
-                        AttributeKind::RawCounter => prop_assert!(v >= 0.0),
+                        AttributeKind::RawCounter => assert!(v >= 0.0, "seed {seed}"),
                     }
                 }
             }
         }
     }
+}
 
-    /// Window generation agrees with slicing the full series: random
-    /// access must be consistent.
-    #[test]
-    fn window_equals_slice(seed in 0u64..10_000, start in 0u32..1200, len in 1u32..144) {
+/// Window generation agrees with slicing the full series: random access
+/// must be consistent.
+#[test]
+fn window_equals_slice() {
+    for case in 0u64..16 {
+        let seed = pick(case, 3, 0, 10_000);
+        let start = pick(case, 4, 0, 1200) as u32;
+        let len = pick(case, 5, 1, 144) as u32;
         let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.001), seed).generate();
         let spec = &ds.drives()[0];
         let full = ds.series(spec);
         let window = ds.series_in(spec, Hour(start)..Hour(start + len));
-        prop_assert_eq!(window.samples(), full.in_range(Hour(start)..Hour(start + len)));
+        assert_eq!(
+            window.samples(),
+            full.in_range(Hour(start)..Hour(start + len)),
+            "seed {seed} start {start} len {len}"
+        );
     }
+}
 
-    /// Raw counters never decrease over a drive's recorded life.
-    #[test]
-    fn counters_are_monotone(seed in 0u64..10_000) {
+/// Raw counters never decrease over a drive's recorded life.
+#[test]
+fn counters_are_monotone() {
+    for case in 0u64..16 {
+        let seed = pick(case, 6, 0, 10_000);
         let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.002), seed).generate();
         for spec in ds.failed_drives().take(6) {
             let series = ds.series(spec);
             let mut prev = 0.0;
             for (_, v) in series.attribute_series(Attribute::ReallocatedSectorsRaw) {
-                prop_assert!(v + 1e-6 >= prev, "counter decreased: {prev} -> {v}");
+                assert!(
+                    v + 1e-6 >= prev,
+                    "seed {seed}: counter decreased: {prev} -> {v}"
+                );
                 prev = v;
             }
         }
     }
+}
 
-    /// Failed drives' series end strictly before their failure hour and
-    /// start no earlier than twenty days before it.
-    #[test]
-    fn failed_windows_are_bounded(seed in 0u64..10_000) {
+/// Failed drives' series end strictly before their failure hour and
+/// start no earlier than twenty days before it.
+#[test]
+fn failed_windows_are_bounded() {
+    for case in 0u64..16 {
+        let seed = pick(case, 7, 0, 10_000);
         let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.004), seed).generate();
         for spec in ds.failed_drives() {
             let fail = spec.class.fail_hour().unwrap();
             let series = ds.series(spec);
             for s in series.samples() {
-                prop_assert!(s.hour < fail);
-                prop_assert!(fail.saturating_since(s.hour) <= 480);
+                assert!(s.hour < fail, "seed {seed}");
+                assert!(fail.saturating_since(s.hour) <= 480, "seed {seed}");
             }
         }
     }
+}
 
-    /// Subsampling keeps a subset: every kept drive exists in the parent,
-    /// with identical series.
-    #[test]
-    fn subsample_is_a_consistent_subset(
-        seed in 0u64..5_000,
-        fraction in 0.1f64..1.0,
-    ) {
+/// Subsampling keeps a subset: every kept drive exists in the parent,
+/// with identical series.
+#[test]
+fn subsample_is_a_consistent_subset() {
+    for case in 0u64..16 {
+        let seed = pick(case, 8, 0, 5_000);
+        let fraction = 0.1 + mix(case, 9) * 0.9;
         let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.004), seed).generate();
         let sub = ds.subsample(fraction, seed ^ 0xF00D);
-        prop_assert!(sub.drives().len() <= ds.drives().len());
+        assert!(sub.drives().len() <= ds.drives().len(), "seed {seed}");
         for spec in sub.drives().iter().take(8) {
             let parent = ds.get(spec.id).expect("drive exists in parent");
-            prop_assert_eq!(spec, parent);
-            prop_assert_eq!(sub.series(spec), ds.series(parent));
+            assert_eq!(spec, parent, "seed {seed}");
+            assert_eq!(sub.series(spec), ds.series(parent), "seed {seed}");
         }
     }
+}
 
-    /// The population composition always matches the profile counts.
-    #[test]
-    fn composition_matches_profile(seed in 0u64..10_000, scale in 0.001f64..0.02) {
+/// The population composition always matches the profile counts.
+#[test]
+fn composition_matches_profile() {
+    for case in 0u64..16 {
+        let seed = pick(case, 10, 0, 10_000);
+        let scale = 0.001 + mix(case, 11) * 0.019;
         let profile = FamilyProfile::w().scaled(scale);
         let (g, f) = (profile.n_good, profile.n_failed);
         let ds = DatasetGenerator::new(profile, seed).generate();
-        prop_assert_eq!(ds.good_drives().count() as u32, g);
-        prop_assert_eq!(ds.failed_drives().count() as u32, f);
+        assert_eq!(ds.good_drives().count() as u32, g, "seed {seed}");
+        assert_eq!(ds.failed_drives().count() as u32, f, "seed {seed}");
     }
 }

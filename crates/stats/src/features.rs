@@ -8,11 +8,10 @@
 
 use crate::change_rate::change_rate_at;
 use hdd_smart::{Attribute, SmartSeries, BASIC_ATTRIBUTES};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One model input.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FeatureSpec {
     /// The attribute's current value.
     Value(Attribute),
@@ -63,7 +62,7 @@ impl fmt::Display for FeatureSpec {
 }
 
 /// An ordered set of features defining a model's input vector.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeatureSet {
     name: String,
     features: Vec<FeatureSpec>,
@@ -94,7 +93,10 @@ impl FeatureSet {
     pub fn basic12() -> Self {
         FeatureSet::new(
             "basic-12",
-            BASIC_ATTRIBUTES.iter().map(|&a| FeatureSpec::Value(a)).collect(),
+            BASIC_ATTRIBUTES
+                .iter()
+                .map(|&a| FeatureSpec::Value(a))
+                .collect(),
         )
     }
 
@@ -120,12 +122,14 @@ impl FeatureSet {
         use Attribute as A;
         let mut features: Vec<FeatureSpec> = BASIC_ATTRIBUTES
             .iter()
-            .filter(|a| {
-                !matches!(a, A::CurrentPendingSector | A::CurrentPendingSectorRaw)
-            })
+            .filter(|a| !matches!(a, A::CurrentPendingSector | A::CurrentPendingSectorRaw))
             .map(|&a| FeatureSpec::Value(a))
             .collect();
-        for attr in [A::RawReadErrorRate, A::HardwareEccRecovered, A::ReallocatedSectorsRaw] {
+        for attr in [
+            A::RawReadErrorRate,
+            A::HardwareEccRecovered,
+            A::ReallocatedSectorsRaw,
+        ] {
             features.push(FeatureSpec::ChangeRate {
                 attr,
                 interval_hours: 6,
@@ -246,7 +250,15 @@ mod tests {
         let n = FeatureSet::critical13()
             .features()
             .iter()
-            .filter(|f| matches!(f, FeatureSpec::ChangeRate { interval_hours: 6, .. }))
+            .filter(|f| {
+                matches!(
+                    f,
+                    FeatureSpec::ChangeRate {
+                        interval_hours: 6,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(n, 3);
     }

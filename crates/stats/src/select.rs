@@ -11,10 +11,9 @@ use crate::revarr::reverse_arrangements_z;
 use crate::zscore::two_sample_z;
 use hdd_smart::rng::DeterministicRng;
 use hdd_smart::{Attribute, Dataset, SmartSeries, BASIC_ATTRIBUTES};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the selection pipeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectionConfig {
     /// Samples within this many hours before failure form the failed
     /// population.
@@ -49,7 +48,7 @@ impl Default for SelectionConfig {
 }
 
 /// The three statistics and the verdict for one candidate feature.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureScore {
     /// The candidate.
     pub feature: FeatureSpec,
@@ -155,7 +154,12 @@ struct Populations {
 
 impl Populations {
     fn collect(dataset: &Dataset, config: &SelectionConfig) -> Self {
-        let lookback = 2 * config.change_rate_intervals.iter().copied().max().unwrap_or(6);
+        let lookback = 2 * config
+            .change_rate_intervals
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(6);
         let mut failed_series = Vec::new();
         let mut failed_indices = Vec::new();
         for spec in dataset.failed_drives() {
@@ -331,8 +335,7 @@ mod tests {
     fn scores_cover_all_candidates() {
         let config = SelectionConfig::default();
         let (_, scores) = select_features(&dataset(), &config);
-        let expected =
-            BASIC_ATTRIBUTES.len() * (1 + config.change_rate_intervals.len());
+        let expected = BASIC_ATTRIBUTES.len() * (1 + config.change_rate_intervals.len());
         assert_eq!(scores.len(), expected);
     }
 

@@ -15,8 +15,8 @@ pub fn two_sample_z(sample_a: &[f64], sample_b: &[f64]) -> f64 {
     if sample_a.is_empty() || sample_b.is_empty() {
         return 0.0;
     }
-    let se2 = variance(sample_a) / sample_a.len() as f64
-        + variance(sample_b) / sample_b.len() as f64;
+    let se2 =
+        variance(sample_a) / sample_a.len() as f64 + variance(sample_b) / sample_b.len() as f64;
     if se2 <= 0.0 {
         return 0.0;
     }

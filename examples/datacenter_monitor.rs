@@ -11,7 +11,10 @@ use hddpred::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = DatasetGenerator::new(FamilyProfile::w().scaled(0.05), 7).generate();
-    let experiment = Experiment::builder().voters(11).rt_threshold(-0.2).build();
+    let experiment = Experiment::builder()
+        .voters(11)
+        .rt_threshold(-0.2)
+        .build()?;
 
     // Train the health-degree model: a CT model first determines each
     // failed training drive's personalized deterioration window, then the

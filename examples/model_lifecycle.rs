@@ -14,7 +14,10 @@ use hddpred::prelude::*;
 
 fn main() {
     let dataset = DatasetGenerator::new(FamilyProfile::w().scaled(0.08), 11).generate();
-    let experiment = Experiment::builder().voters(11).build();
+    let experiment = Experiment::builder()
+        .voters(11)
+        .build()
+        .expect("valid configuration");
     let builder = ClassificationTreeBuilder::new();
 
     println!("weekly false alarm rate (%) of a CT model, weeks 2-8:");
@@ -30,7 +33,7 @@ fn main() {
     let mut week8_weekly = 0.0;
     for strategy in strategies {
         let outcome = weekly_far(&experiment, &dataset, strategy, |samples| {
-            builder.build(samples).expect("trainable")
+            builder.build(samples).expect("trainable").compile()
         });
         let row: Vec<String> = outcome
             .weekly

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let experiment = Experiment::builder()
         .time_window_hours(168)
         .voters(11)
-        .build();
+        .build()?;
 
     // 3. Train the classification tree and evaluate.
     let outcome = experiment.run_ct(&dataset)?;
@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Trees are white boxes: print the learned rules (Figure 1 style).
-    println!("\nlearned rules:\n{}", outcome.model.rules(&experiment.feature_set().names()));
+    println!(
+        "\nlearned rules:\n{}",
+        outcome.model.rules(&experiment.feature_set().names())
+    );
 
     // 5. Classify a fresh sample.
     let spec = dataset.failed_drives().next().expect("has failed drives");
@@ -48,5 +51,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             outcome.model.predict(&features)
         );
     }
+
+    // 6. Compile to the flat serving form and persist it as JSON — the
+    //    same format `hddpred train --out model.json` writes.
+    let saved = SavedModel::from(outcome.model.compile());
+    let json = hddpred::hdd_json::to_string(&saved.to_json());
+    let restored = SavedModel::from_json(&hddpred::hdd_json::parse(&json)?)?;
+    println!(
+        "\nsaved model: {} bytes of JSON ({} features), reloads bit-identically",
+        json.len(),
+        restored.n_features()
+    );
     Ok(())
 }

@@ -23,7 +23,10 @@ fn main() {
     let plain = mttdl_single_drive(SATA_MTTF, MTTR, None) / HOURS_PER_YEAR;
     let with_ct = mttdl_single_drive(SATA_MTTF, MTTR, Some(ct)) / HOURS_PER_YEAR;
     println!("  without prediction: {plain:>10.0} years MTTDL");
-    println!("  with the CT model:  {with_ct:>10.0} years MTTDL ({:.0}x)", with_ct / plain);
+    println!(
+        "  with the CT model:  {with_ct:>10.0} years MTTDL ({:.0}x)",
+        with_ct / plain
+    );
 
     println!("\nplanning a 1000-drive pool:");
     let n = 1000;

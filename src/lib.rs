@@ -17,7 +17,7 @@
 //! ```
 //! use hddpred::prelude::*;
 //!
-//! # fn main() -> Result<(), hddpred::cart::TrainError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A small synthetic fleet of family-"W" drives.
 //! let dataset = DatasetGenerator::new(FamilyProfile::w().scaled(0.02), 42).generate();
 //!
@@ -26,9 +26,14 @@
 //! let experiment = Experiment::builder()
 //!     .time_window_hours(168)
 //!     .voters(11)
-//!     .build();
+//!     .build()?;
 //! let outcome = experiment.run_ct(&dataset)?;
 //! assert!(outcome.metrics.fdr() > 0.5);
+//!
+//! // Compile the trained tree to its flat serving form and persist it.
+//! let model = SavedModel::from(outcome.model.compile());
+//! let text = hdd_json::to_string(&model.to_json());
+//! assert_eq!(SavedModel::from_json(&hdd_json::parse(&text)?)?, model);
 //! # Ok(())
 //! # }
 //! ```
@@ -40,6 +45,7 @@ pub use hdd_ann as ann;
 pub use hdd_baselines as baselines;
 pub use hdd_cart as cart;
 pub use hdd_eval as eval;
+pub use hdd_json;
 pub use hdd_reliability as reliability;
 pub use hdd_smart as smart;
 pub use hdd_stats as stats;
@@ -48,10 +54,14 @@ pub use hdd_stats as stats;
 pub mod prelude {
     pub use hdd_ann::{AnnConfig, BpAnn};
     pub use hdd_cart::{
-        ClassificationTree, ClassificationTreeBuilder, HealthModel, RegressionTree,
+        ClassificationTree, ClassificationTreeBuilder, CompactForest, HealthModel, RegressionTree,
         RegressionTreeBuilder,
     };
-    pub use hdd_eval::{Experiment, ExperimentOutcome, PredictionMetrics};
+    pub use hdd_eval::{
+        Compile, Experiment, ExperimentOutcome, ModelError, PredictionMetrics, Predictor,
+        SavedModel, TrainableModel,
+    };
+    pub use hdd_json::JsonCodec;
     pub use hdd_reliability::{mttdl_raid6_no_prediction, mttdl_single_drive, PredictionQuality};
     pub use hdd_smart::{Dataset, DatasetGenerator, FamilyProfile, Hour};
     pub use hdd_stats::{FeatureSet, FeatureSpec};

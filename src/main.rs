@@ -7,11 +7,15 @@
 //! ```text
 //! hddpred generate --family W --scale 0.02 --seed 42 --out traces.csv
 //! hddpred train    --data traces.csv --out model.json --window 168
-//! hddpred predict  --data traces.csv --model model.json --voters 11
+//! hddpred detect   --data traces.csv --model model.json --voters 11
 //! ```
+//!
+//! `train` compiles the fitted tree to its flat serving form and writes it
+//! as a versioned JSON model file; `detect` reloads the file (checking the
+//! feature-count header against the feature set) and scans every series.
 
-use hddpred::cart::{Class, ClassSample, ClassificationTree, ClassificationTreeBuilder};
-use hddpred::eval::{SampleScorer, VotingDetector, VotingRule};
+use hddpred::cart::{Class, ClassSample, ClassificationTreeBuilder};
+use hddpred::eval::{Predictor, SavedModel, VotingDetector, VotingRule};
 use hddpred::smart::csv::{read_series, write_header, write_series};
 use hddpred::smart::rng::DeterministicRng;
 use hddpred::smart::{DatasetGenerator, FamilyProfile, Hour, SmartSeries};
@@ -19,6 +23,7 @@ use hddpred::stats::FeatureSet;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -26,7 +31,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => generate(&parse_flags(&args[1..])),
         Some("train") => train(&parse_flags(&args[1..])),
-        Some("predict") => predict(&parse_flags(&args[1..])),
+        // `predict` is the historical name for `detect`.
+        Some("detect" | "predict") => detect(&parse_flags(&args[1..])),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -48,7 +54,7 @@ hddpred — hard drive failure prediction (CART, DSN'14)
 USAGE:
     hddpred generate --out <traces.csv> [--family W|Q] [--scale <f>] [--seed <n>]
     hddpred train    --data <traces.csv> --out <model.json> [--window <hours>]
-    hddpred predict  --data <traces.csv> --model <model.json> [--voters <n>]
+    hddpred detect   --data <traces.csv> --model <model.json> [--voters <n>]
 ";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
@@ -139,7 +145,8 @@ fn training_set(
     samples
 }
 
-/// `hddpred train`: fit a CT model on labelled series.
+/// `hddpred train`: fit a CT model on labelled series, compile it and
+/// write the versioned model file.
 fn train(flags: &HashMap<String, String>) -> CliResult {
     let data = flag(flags, "data")?;
     let out = flag(flags, "out")?;
@@ -154,7 +161,7 @@ fn train(flags: &HashMap<String, String>) -> CliResult {
         series.len()
     );
     let model = ClassificationTreeBuilder::new().build(&samples)?;
-    serde_json::to_writer(BufWriter::new(File::create(out)?), &model)?;
+    SavedModel::from(model.compile()).save(Path::new(out))?;
     eprintln!(
         "model: {} leaves, depth {} -> {out}",
         model.tree().n_leaves(),
@@ -164,16 +171,18 @@ fn train(flags: &HashMap<String, String>) -> CliResult {
     Ok(())
 }
 
-/// `hddpred predict`: scan every series and report alarms.
-fn predict(flags: &HashMap<String, String>) -> CliResult {
+/// `hddpred detect`: reload a model file and scan every series for alarms.
+fn detect(flags: &HashMap<String, String>) -> CliResult {
     let data = flag(flags, "data")?;
     let model_path = flag(flags, "model")?;
     let voters: usize = flags.get("voters").map_or(Ok(11), |s| s.parse())?;
+    if voters == 0 {
+        return Err("--voters must be at least 1".into());
+    }
 
     let series = read_series(BufReader::new(File::open(data)?))?;
-    let model: ClassificationTree =
-        serde_json::from_reader(BufReader::new(File::open(model_path)?))?;
     let features = FeatureSet::critical13();
+    let model = SavedModel::load_expecting(Path::new(model_path), features.len())?;
     let detector = VotingDetector::new(&model, &features, voters, VotingRule::Majority);
 
     let mut alarms = 0usize;
@@ -193,6 +202,9 @@ fn predict(flags: &HashMap<String, String>) -> CliResult {
             );
         }
     }
-    eprintln!("{alarms} of {} drives raised an alarm (N = {voters})", series.len());
+    eprintln!(
+        "{alarms} of {} drives raised an alarm (N = {voters})",
+        series.len()
+    );
     Ok(())
 }

@@ -29,7 +29,11 @@ fn generate_train_predict_round_trip() {
         .args(["--scale", "0.01", "--seed", "5"])
         .output()
         .expect("spawn generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(traces.exists());
 
     let out = hddpred()
@@ -39,7 +43,11 @@ fn generate_train_predict_round_trip() {
         .arg(&model)
         .output()
         .expect("spawn train");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("leaves"), "{stderr}");
     assert!(stderr.contains("root"), "prints rules: {stderr}");
@@ -52,7 +60,11 @@ fn generate_train_predict_round_trip() {
         .args(["--voters", "11"])
         .output()
         .expect("spawn predict");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.starts_with("drive,alarm_hour"), "{stdout}");
     // The fleet at scale 0.01 contains failed drives; a trained model
@@ -78,6 +90,107 @@ fn train_requires_flags() {
     let out = hddpred().arg("train").output().expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--data"));
+}
+
+#[test]
+fn detect_round_trips_a_saved_model() {
+    let dir = tempdir();
+    let traces = dir.join("traces.csv");
+    let model = dir.join("model.json");
+
+    let out = hddpred()
+        .args(["generate", "--out"])
+        .arg(&traces)
+        .args(["--scale", "0.01", "--seed", "11"])
+        .output()
+        .expect("spawn generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = hddpred()
+        .args(["train", "--data"])
+        .arg(&traces)
+        .arg("--out")
+        .arg(&model)
+        .output()
+        .expect("spawn train");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The model file is the versioned envelope.
+    let text = std::fs::read_to_string(&model).expect("model file written");
+    assert!(text.contains("\"format_version\":1"), "{text}");
+    assert!(text.contains("\"kind\":\"compact-forest\""), "{text}");
+    assert!(text.contains("\"n_features\":13"), "{text}");
+
+    let out = hddpred()
+        .args(["detect", "--data"])
+        .arg(&traces)
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .expect("spawn detect");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("drive,alarm_hour"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn detect_rejects_feature_count_mismatch() {
+    let dir = tempdir();
+    let traces = dir.join("traces.csv");
+    let model = dir.join("narrow.json");
+
+    let out = hddpred()
+        .args(["generate", "--out"])
+        .arg(&traces)
+        .args(["--scale", "0.01", "--seed", "7"])
+        .output()
+        .expect("spawn generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A syntactically valid model trained on 2 features, not 13: a stump
+    // that splits feature 0 at 0.5 into -1/+1 leaves.
+    std::fs::write(
+        &model,
+        concat!(
+            r#"{"format_version":1,"kind":"compact-forest","n_features":2,"#,
+            r#""model":{"n_features":2,"clamp":false,"weights":[1],"trees":["#,
+            r#"{"feature":[0,0,0],"threshold":[0.5,0,0],"left":[1,4294967295,4294967295],"#,
+            r#""right":[2,4294967295,4294967295],"payload":[0,-1,1]}]}}"#,
+        ),
+    )
+    .expect("write narrow model");
+
+    let out = hddpred()
+        .args(["detect", "--data"])
+        .arg(&traces)
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .expect("spawn detect");
+    assert!(!out.status.success(), "mismatched model must be refused");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("feature count mismatch"), "{stderr}");
+    assert!(stderr.contains("13") && stderr.contains('2'), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -10,7 +10,10 @@ fn dataset() -> Dataset {
 }
 
 fn experiment() -> Experiment {
-    Experiment::builder().voters(5).build()
+    Experiment::builder()
+        .voters(5)
+        .build()
+        .expect("valid configuration")
 }
 
 #[test]
@@ -30,7 +33,11 @@ fn ct_pipeline_end_to_end() {
 #[test]
 fn ann_pipeline_end_to_end() {
     let ds = dataset();
-    let exp = Experiment::builder().voters(5).time_window_hours(12).build();
+    let exp = Experiment::builder()
+        .voters(5)
+        .time_window_hours(12)
+        .build()
+        .expect("valid configuration");
     let outcome = exp.run_ann(&ds).expect("trainable");
     assert!(outcome.metrics.fdr() > 0.5, "{}", outcome.metrics);
     assert!(outcome.metrics.far() < 0.05, "{}", outcome.metrics);
@@ -64,18 +71,38 @@ fn whole_pipeline_is_deterministic() {
 }
 
 #[test]
+fn compiled_model_matches_the_arena_tree() {
+    let ds = dataset();
+    let outcome = experiment().run_ct(&ds).expect("trainable");
+    let compiled = outcome.model.compile();
+    let spec = ds.failed_drives().next().expect("failed drives");
+    let series = ds.series(spec);
+    for idx in 0..series.len() {
+        if let Some(f) = experiment().feature_set().extract(&series, idx) {
+            let want: f64 = match outcome.model.predict(&f) {
+                Class::Failed => -1.0,
+                Class::Good => 1.0,
+            };
+            assert_eq!(compiled.score(&f).to_bits(), want.to_bits());
+        }
+    }
+}
+
+#[test]
 fn trained_model_serializes() {
     let ds = dataset();
     let outcome = experiment().run_ct(&ds).expect("trainable");
-    let json = serde_json::to_string(&outcome.model).expect("serializable");
-    let restored: hddpred::cart::ClassificationTree =
-        serde_json::from_str(&json).expect("deserializable");
+    let saved = SavedModel::from(outcome.model.compile());
+    let json = hddpred::hdd_json::to_string(&saved.to_json());
+    let parsed = hddpred::hdd_json::parse(&json).expect("well-formed model JSON");
+    let restored = SavedModel::from_json(&parsed).expect("decodable");
+    assert_eq!(restored, saved);
     // Identical predictions after a round trip.
     let spec = ds.failed_drives().next().expect("failed drives");
     let series = ds.series(spec);
     for idx in (0..series.len()).step_by(37) {
         if let Some(f) = experiment().feature_set().extract(&series, idx) {
-            assert_eq!(outcome.model.predict(&f), restored.predict(&f));
+            assert_eq!(restored.score(&f).to_bits(), saved.score(&f).to_bits());
         }
     }
 }
@@ -83,9 +110,12 @@ fn trained_model_serializes() {
 #[test]
 fn voting_suppresses_false_alarms_monotonically() {
     let ds = dataset();
-    let exp1 = Experiment::builder().voters(1).build();
+    let exp1 = Experiment::builder()
+        .voters(1)
+        .build()
+        .expect("valid configuration");
     let split = exp1.split(&ds);
-    let model = exp1.run_ct(&ds).expect("trainable").model;
+    let model = exp1.run_ct(&ds).expect("trainable").model.compile();
     let points = hddpred::eval::sweep_voters(&exp1, &ds, &split, &model, &[1, 5, 15]);
     assert!(points[0].far() >= points[1].far());
     assert!(points[1].far() >= points[2].far());
@@ -111,17 +141,23 @@ fn split_respects_week_and_ratio() {
 #[test]
 fn aging_simulation_produces_weekly_series() {
     let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.015), 3).generate();
-    let exp = Experiment::builder().voters(5).build();
+    let exp = Experiment::builder()
+        .voters(5)
+        .build()
+        .expect("valid configuration");
     let builder = hddpred::cart::ClassificationTreeBuilder::new();
     let fixed = hddpred::eval::weekly_far(&exp, &ds, UpdateStrategy::Fixed, |s| {
-        builder.build(s).expect("trainable")
+        builder.build(s).expect("trainable").compile()
     });
     assert_eq!(fixed.weekly.len(), 7);
     // The fixed model's FAR at week 8 is at least its week-2 FAR (drift
     // only accumulates).
     let w2 = fixed.weekly[0].far;
     let w8 = fixed.weekly[6].far;
-    assert!(w8 >= w2, "aging must not improve a fixed model: {w2} -> {w8}");
+    assert!(
+        w8 >= w2,
+        "aging must not improve a fixed model: {w2} -> {w8}"
+    );
 }
 
 #[test]

@@ -19,12 +19,14 @@ fn ct_dominates_ann_on_fdr() {
         .voters(11)
         .time_window_hours(168)
         .build()
+        .expect("valid configuration")
         .run_ct(&ds)
         .expect("trainable");
     let ann = Experiment::builder()
         .voters(11)
         .time_window_hours(12)
         .build()
+        .expect("valid configuration")
         .run_ann(&ds)
         .expect("trainable");
     assert!(
@@ -41,10 +43,15 @@ fn ct_dominates_ann_on_fdr() {
 #[test]
 fn fixed_model_ages_replacing_does_not() {
     let ds = fleet(0.05, 5);
-    let exp = Experiment::builder().voters(11).build();
+    let exp = Experiment::builder()
+        .voters(11)
+        .build()
+        .expect("valid configuration");
     let builder = hddpred::cart::ClassificationTreeBuilder::new();
     let run = |strategy| {
-        weekly_far(&exp, &ds, strategy, |s| builder.build(s).expect("trainable"))
+        weekly_far(&exp, &ds, strategy, |s| {
+            builder.build(s).expect("trainable").compile()
+        })
     };
     let fixed = run(UpdateStrategy::Fixed);
     let weekly = run(UpdateStrategy::Replacing { cycle_weeks: 1 });
@@ -64,15 +71,19 @@ fn fixed_model_ages_replacing_does_not() {
 #[test]
 fn rt_threshold_is_a_monotone_knob() {
     let ds = fleet(0.04, 5);
-    let exp = Experiment::builder().voters(11).build();
+    let exp = Experiment::builder()
+        .voters(11)
+        .build()
+        .expect("valid configuration");
     let split = exp.split(&ds);
     let health = exp
         .run_rt(&ds, HealthTargets::Personalized)
         .expect("trainable");
+    let compiled = health.model.compile();
     let mut prev_fdr = -1.0;
     let mut prev_far = -1.0;
     for threshold in [-0.6, -0.3, -0.1, 0.1] {
-        let m = exp.evaluate(&ds, &split, &health.model, VotingRule::MeanBelow(threshold));
+        let m = exp.evaluate(&ds, &split, &compiled, VotingRule::MeanBelow(threshold));
         assert!(m.fdr() + 1e-12 >= prev_fdr, "FDR monotone in threshold");
         assert!(m.far() + 1e-12 >= prev_far, "FAR monotone in threshold");
         prev_fdr = m.fdr();

@@ -1,61 +1,94 @@
-//! Property-based tests over the public API: invariants that must hold
-//! for arbitrary inputs, not just the scenarios we thought of.
+//! Property-style tests over the public API: invariants that must hold
+//! across many generated inputs, not just the scenarios we thought of.
+//! Cases come from a deterministic seeded stream so a failure reproduces
+//! exactly (the assertion message names the loop seed to replay).
 
 use hddpred::ann::{AnnConfig, BpAnn};
+use hddpred::cart::health::evenly_spaced_indices;
 use hddpred::cart::{
     global_health_degree, Class, ClassSample, ClassificationTreeBuilder, RegSample,
     RegressionTreeBuilder,
 };
-use hddpred::cart::health::evenly_spaced_indices;
 use hddpred::reliability::{mttdl_single_drive, PredictionQuality};
 use hddpred::smart::rng::DeterministicRng;
 use hddpred::stats::{rank_sum_z, reverse_arrangements_z, two_sample_z};
-use proptest::prelude::*;
 
-fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1000.0f64..1000.0, len)
+/// A deterministic pseudo-random value in `[0, 1)` from a seed.
+fn mix(seed: u64, i: u64) -> f64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
 }
 
-proptest! {
-    // ---------- statistics ----------
+/// Derive an integer parameter in `[lo, hi)` from the case seed.
+fn pick(seed: u64, salt: u64, lo: usize, hi: usize) -> usize {
+    lo + (mix(seed, salt) * (hi - lo) as f64) as usize
+}
 
-    #[test]
-    fn rank_sum_is_antisymmetric(a in finite_vec(30), b in finite_vec(20)) {
+/// Derive a float parameter in `[lo, hi)` from the case seed.
+fn pick_f(seed: u64, salt: u64, lo: f64, hi: f64) -> f64 {
+    lo + mix(seed, salt) * (hi - lo)
+}
+
+/// A vector of `len` values in `[-1000, 1000)`.
+fn finite_vec(seed: u64, salt: u64, len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| pick_f(seed ^ (salt << 17), i as u64, -1000.0, 1000.0))
+        .collect()
+}
+
+// ---------- statistics ----------
+
+#[test]
+fn rank_sum_is_antisymmetric() {
+    for seed in 0u64..60 {
+        let a = finite_vec(seed, 1, 30);
+        let b = finite_vec(seed, 2, 20);
         let z_ab = rank_sum_z(&a, &b);
         let z_ba = rank_sum_z(&b, &a);
-        prop_assert!((z_ab + z_ba).abs() < 1e-9);
+        assert!((z_ab + z_ba).abs() < 1e-9, "seed {seed}: {z_ab} vs {z_ba}");
     }
+}
 
-    #[test]
-    fn rank_sum_detects_a_positive_shift(a in finite_vec(40), shift in 2001.0f64..5000.0) {
+#[test]
+fn rank_sum_detects_a_positive_shift() {
+    for seed in 0u64..60 {
+        let a = finite_vec(seed, 3, 40);
         // Shifting every element beyond the data range must give z > 0.
+        let shift = pick_f(seed, 4, 2001.0, 5000.0);
         let shifted: Vec<f64> = a.iter().map(|x| x + shift).collect();
-        prop_assert!(rank_sum_z(&shifted, &a) > 0.0);
-        prop_assert!(two_sample_z(&shifted, &a) > 0.0);
+        assert!(rank_sum_z(&shifted, &a) > 0.0, "seed {seed}");
+        assert!(two_sample_z(&shifted, &a) > 0.0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn reverse_arrangements_of_sorted_is_extreme(mut xs in finite_vec(50)) {
+#[test]
+fn reverse_arrangements_of_sorted_is_extreme() {
+    for seed in 0u64..60 {
+        let mut xs = finite_vec(seed, 5, 50);
         xs.sort_by(f64::total_cmp);
         xs.dedup();
-        prop_assume!(xs.len() >= 10);
+        if xs.len() < 10 {
+            continue;
+        }
         let inc = reverse_arrangements_z(&xs);
         let mut rev = xs.clone();
         rev.reverse();
         let dec = reverse_arrangements_z(&rev);
-        prop_assert!(inc < 0.0, "increasing series: z = {inc}");
-        prop_assert!(dec > 0.0, "decreasing series: z = {dec}");
-        prop_assert!((inc + dec).abs() < 1e-9, "mirror symmetry");
+        assert!(inc < 0.0, "seed {seed}: increasing series z = {inc}");
+        assert!(dec > 0.0, "seed {seed}: decreasing series z = {dec}");
+        assert!((inc + dec).abs() < 1e-9, "seed {seed}: mirror symmetry");
     }
+}
 
-    // ---------- CART ----------
+// ---------- CART ----------
 
-    #[test]
-    fn classification_tree_fits_separated_clusters(
-        gap in 50.0f64..500.0,
-        n in 20usize..80,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn classification_tree_fits_separated_clusters() {
+    for seed in 0u64..40 {
+        let gap = pick_f(seed, 6, 50.0, 500.0);
+        let n = pick(seed, 7, 20, 80);
         let rng = DeterministicRng::new(seed);
         let mut samples = Vec::new();
         for i in 0..n {
@@ -67,16 +100,19 @@ proptest! {
         // Every training sample classified correctly: the clusters are
         // separated by more than their spread.
         for s in &samples {
-            prop_assert_eq!(tree.predict(&s.features), s.class);
+            assert_eq!(tree.predict(&s.features), s.class, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn regression_tree_predictions_stay_in_target_range(
-        targets in prop::collection::vec(-5.0f64..5.0, 25..120),
-        seed in 0u64..1000,
-        query in -2000.0f64..2000.0,
-    ) {
+#[test]
+fn regression_tree_predictions_stay_in_target_range() {
+    for seed in 0u64..40 {
+        let n = pick(seed, 8, 25, 120);
+        let targets: Vec<f64> = (0..n)
+            .map(|i| pick_f(seed ^ 0xA5, i as u64, -5.0, 5.0))
+            .collect();
+        let query = pick_f(seed, 9, -2000.0, 2000.0);
         let rng = DeterministicRng::new(seed);
         let samples: Vec<RegSample> = targets
             .iter()
@@ -88,113 +124,146 @@ proptest! {
         let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         // Leaf means are convex combinations of targets: bounded.
         let y = tree.predict(&[query]);
-        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "{y} outside [{lo}, {hi}]");
+        assert!(
+            y >= lo - 1e-9 && y <= hi + 1e-9,
+            "seed {seed}: {y} outside [{lo}, {hi}]"
+        );
     }
+}
 
-    #[test]
-    fn stronger_pruning_never_grows_the_tree(
-        seed in 0u64..500,
-        cp_lo in 0.0f64..0.005,
-        cp_extra in 0.001f64..0.1,
-    ) {
+#[test]
+fn stronger_pruning_never_grows_the_tree() {
+    for seed in 0u64..40 {
+        let cp_lo = pick_f(seed, 10, 0.0, 0.005);
+        let cp_extra = pick_f(seed, 11, 0.001, 0.1);
         let rng = DeterministicRng::new(seed);
         let samples: Vec<ClassSample> = (0..120)
             .map(|i| {
                 let x = rng.gaussian(i, 0) * 10.0;
-                let class = if rng.chance(0.3, i, 1) { Class::Failed } else { Class::Good };
+                let class = if rng.chance(0.3, i, 1) {
+                    Class::Failed
+                } else {
+                    Class::Good
+                };
                 ClassSample::new(vec![x, rng.gaussian(i, 2)], class)
             })
             .collect();
         let n_failed = samples.iter().filter(|s| s.class == Class::Failed).count();
-        prop_assume!(n_failed > 0 && n_failed < samples.len());
+        if n_failed == 0 || n_failed == samples.len() {
+            continue;
+        }
         let mut loose = ClassificationTreeBuilder::new();
         loose.complexity(cp_lo);
         let mut tight = ClassificationTreeBuilder::new();
         tight.complexity(cp_lo + cp_extra);
         let big = loose.build(&samples).unwrap();
         let small = tight.build(&samples).unwrap();
-        prop_assert!(small.tree().n_nodes() <= big.tree().n_nodes());
+        assert!(
+            small.tree().n_nodes() <= big.tree().n_nodes(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn health_degree_is_monotone_in_lead_time(
-        window in 1u32..500,
-        i in 0u32..500,
-        j in 0u32..500,
-    ) {
+#[test]
+fn health_degree_is_monotone_in_lead_time() {
+    for seed in 0u64..200 {
+        let window = pick(seed, 12, 1, 500) as u32;
+        let i = pick(seed, 13, 0, 500) as u32;
+        let j = pick(seed, 14, 0, 500) as u32;
         let (early, late) = (i.max(j), i.min(j));
         let h_early = global_health_degree(early, window);
         let h_late = global_health_degree(late, window);
-        prop_assert!(h_early >= h_late, "more lead time cannot be less healthy");
-        prop_assert!((-1.0..=0.0).contains(&h_early));
+        assert!(
+            h_early >= h_late,
+            "seed {seed}: more lead time cannot be less healthy"
+        );
+        assert!((-1.0..=0.0).contains(&h_early), "seed {seed}");
     }
+}
 
-    #[test]
-    fn evenly_spaced_indices_are_valid(available in 0usize..500, picks in 0usize..40) {
+#[test]
+fn evenly_spaced_indices_are_valid() {
+    for seed in 0u64..300 {
+        let available = pick(seed, 15, 0, 500);
+        let picks = pick(seed, 16, 0, 40);
         let idx = evenly_spaced_indices(available, picks);
-        prop_assert!(idx.len() <= picks.max(available.min(picks)));
-        prop_assert!(idx.iter().all(|&i| i < available.max(1)));
-        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert!(idx.len() <= picks.max(available.min(picks)), "seed {seed}");
+        assert!(idx.iter().all(|&i| i < available.max(1)), "seed {seed}");
+        assert!(
+            idx.windows(2).all(|w| w[0] < w[1]),
+            "seed {seed}: strictly increasing"
+        );
         if available > 0 && picks > 0 {
-            prop_assert_eq!(idx.len(), picks.min(available));
+            assert_eq!(idx.len(), picks.min(available), "seed {seed}");
         }
     }
+}
 
-    // ---------- ANN ----------
+// ---------- ANN ----------
 
-    #[test]
-    fn ann_output_is_bounded(
-        seed in 0u64..200,
-        query in prop::collection::vec(-1e6f64..1e6, 3),
-    ) {
+#[test]
+fn ann_output_is_bounded() {
+    for seed in 0u64..15 {
+        let query: Vec<f64> = (0..3).map(|j| pick_f(seed ^ 0x77, j, -1e6, 1e6)).collect();
         let rng = DeterministicRng::new(seed);
         let inputs: Vec<Vec<f64>> = (0..40)
             .map(|i| (0..3).map(|j| rng.gaussian(i, j) * 10.0).collect())
             .collect();
-        let targets: Vec<f64> = (0..40).map(|i| if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let targets: Vec<f64> = (0..40)
+            .map(|i| if i % 3 == 0 { -1.0 } else { 1.0 })
+            .collect();
         let mut config = AnnConfig::new(vec![3, 4, 1]);
         config.max_epochs = 5;
         config.seed = seed;
         let ann = BpAnn::train(&config, &inputs, &targets).unwrap();
         let y = ann.predict(&query);
-        prop_assert!((-1.0..=1.0).contains(&y), "{y}");
+        assert!((-1.0..=1.0).contains(&y), "seed {seed}: {y}");
     }
+}
 
-    // ---------- reliability ----------
+// ---------- reliability ----------
 
-    #[test]
-    fn mttdl_grows_with_detection_rate(
-        k1 in 0.0f64..0.99,
-        dk in 0.001f64..0.5,
-        tia in 10.0f64..1000.0,
-    ) {
+#[test]
+fn mttdl_grows_with_detection_rate() {
+    for seed in 0u64..200 {
+        let k1 = pick_f(seed, 17, 0.0, 0.99);
+        let dk = pick_f(seed, 18, 0.001, 0.5);
+        let tia = pick_f(seed, 19, 10.0, 1000.0);
         let k2 = (k1 + dk).min(0.999);
-        prop_assume!(k2 > k1);
+        if k2 <= k1 {
+            continue;
+        }
         let low = mttdl_single_drive(1e6, 8.0, Some(PredictionQuality::new(k1, tia)));
         let high = mttdl_single_drive(1e6, 8.0, Some(PredictionQuality::new(k2, tia)));
-        prop_assert!(high > low);
+        assert!(high > low, "seed {seed}");
     }
+}
 
-    #[test]
-    fn mttdl_grows_with_lead_time(
-        k in 0.5f64..0.99,
-        tia1 in 10.0f64..500.0,
-        extra in 1.0f64..500.0,
-    ) {
+#[test]
+fn mttdl_grows_with_lead_time() {
+    for seed in 0u64..200 {
+        let k = pick_f(seed, 20, 0.5, 0.99);
+        let tia1 = pick_f(seed, 21, 10.0, 500.0);
+        let extra = pick_f(seed, 22, 1.0, 500.0);
         // More warning time -> replacement more likely to win the race.
         let low = mttdl_single_drive(1e6, 8.0, Some(PredictionQuality::new(k, tia1)));
         let high = mttdl_single_drive(1e6, 8.0, Some(PredictionQuality::new(k, tia1 + extra)));
-        prop_assert!(high >= low);
+        assert!(high >= low, "seed {seed}");
     }
+}
 
-    // ---------- deterministic RNG ----------
+// ---------- deterministic RNG ----------
 
-    #[test]
-    fn deterministic_rng_is_stable_and_in_range(seed in 0u64..10_000, a in 0u64..1000, b in 0u64..1000) {
+#[test]
+fn deterministic_rng_is_stable_and_in_range() {
+    for seed in 0u64..300 {
+        let a = pick(seed, 23, 0, 1000) as u64;
+        let b = pick(seed, 24, 0, 1000) as u64;
         let r1 = DeterministicRng::new(seed);
         let r2 = DeterministicRng::new(seed);
-        prop_assert_eq!(r1.bits(a, b), r2.bits(a, b));
+        assert_eq!(r1.bits(a, b), r2.bits(a, b), "seed {seed}");
         let u = r1.uniform(a, b);
-        prop_assert!((0.0..1.0).contains(&u));
+        assert!((0.0..1.0).contains(&u), "seed {seed}: {u}");
     }
 }
