@@ -1,0 +1,182 @@
+//! Wall-clock evidence for the fork-join training layer.
+//!
+//! Two claims are measured and checked:
+//!
+//! 1. **Speedup** — training a random forest on 8 threads must beat the
+//!    serial build by ≥ 2× wall clock (asserted only when the machine
+//!    actually has ≥ 4 hardware threads; a single-core box can only
+//!    record the numbers).
+//! 2. **Parity** — the 8-thread forest must be bit-identical to the
+//!    serial one, and the presorted split search must return exactly the
+//!    legacy sort-per-node result. These are asserted unconditionally.
+//!
+//! Results land in `BENCH_parallel.json` (op, n_threads, wall_ms,
+//! speedup) at the workspace root. Pass `--smoke` for a
+//! seconds-not-minutes run (CI): smaller shapes, parity still asserted,
+//! the speedup floor skipped because thread overhead dominates tiny
+//! trees.
+
+use hdd_bench::report::Report;
+use hdd_bench::section;
+use hdd_bench::timing::{best_of, time_per_iter};
+use hdd_cart::split::{best_classification_split, PresortedColumns, SplitCriterion};
+use hdd_cart::{Class, ClassSample, FeatureMatrix, RandomForestBuilder};
+use hdd_par::{hardware_threads, ThreadPool};
+use hdd_smart::rng::DeterministicRng;
+use std::hint::black_box;
+use std::path::Path;
+
+/// A two-class problem with quantized features (plenty of ties — the
+/// hard case for split-search parity) and a few informative dimensions.
+fn class_samples(n: usize, dim: usize) -> Vec<ClassSample> {
+    let rng = DeterministicRng::new(41);
+    (0..n)
+        .map(|i| {
+            let failed = i % 5 == 0;
+            let features: Vec<f64> = (0..dim)
+                .map(|j| {
+                    let base = (rng.gaussian(i as u64, j as u64) * 8.0).round() + 100.0;
+                    if failed && j < 3 {
+                        base - (40.0 * rng.uniform(i as u64, (j + 100) as u64)).round()
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            ClassSample::new(features, if failed { Class::Failed } else { Class::Good })
+        })
+        .collect()
+}
+
+fn bench_forest_training(report: &mut Report, smoke: bool) {
+    section("forest training: serial vs 8 threads");
+    let (n, n_trees, runs) = if smoke { (800, 8, 2) } else { (6_000, 24, 3) };
+    let samples = class_samples(n, 13);
+
+    let mut serial_builder = RandomForestBuilder::new();
+    serial_builder.n_trees(n_trees).threads(Some(1));
+    let mut parallel_builder = RandomForestBuilder::new();
+    parallel_builder.n_trees(n_trees).threads(Some(8));
+
+    let (serial_time, serial_forest) =
+        best_of(runs, || serial_builder.build(black_box(&samples)).unwrap());
+    let (parallel_time, parallel_forest) = best_of(runs, || {
+        parallel_builder.build(black_box(&samples)).unwrap()
+    });
+
+    assert_eq!(
+        serial_forest, parallel_forest,
+        "8-thread forest must be bit-identical to the serial forest"
+    );
+
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
+    println!(
+        "forest_train {n}x13, {n_trees} trees: serial {:.1} ms, 8 threads {:.1} ms ({speedup:.2}x)",
+        serial_time.as_secs_f64() * 1e3,
+        parallel_time.as_secs_f64() * 1e3,
+    );
+    report.push("forest_train", 1, serial_time.as_secs_f64() * 1e3, 1.0);
+    report.push(
+        "forest_train",
+        8,
+        parallel_time.as_secs_f64() * 1e3,
+        speedup,
+    );
+
+    if smoke {
+        println!("smoke mode: speedup floor not asserted (shapes too small)");
+    } else if hardware_threads() < 4 {
+        println!(
+            "only {} hardware thread(s): speedup floor not asserted",
+            hardware_threads()
+        );
+    } else {
+        assert!(
+            speedup >= 2.0,
+            "8-thread forest training must be >= 2x serial, got {speedup:.2}x"
+        );
+    }
+}
+
+fn bench_presorted_split_search(report: &mut Report, smoke: bool) {
+    section("root split search: sort-per-node vs presorted index");
+    let n = if smoke { 2_000 } else { 20_000 };
+    let samples = class_samples(n, 13);
+    let matrix = FeatureMatrix::from_rows(samples.iter().map(|s| s.features.as_slice()));
+    let classes: Vec<Class> = samples.iter().map(|s| s.class).collect();
+    let weights = vec![1.0; samples.len()];
+    let indices: Vec<u32> = (0..n as u32).collect();
+
+    let presorted = PresortedColumns::new(&matrix);
+    let legacy = best_classification_split(
+        &matrix,
+        &indices,
+        &classes,
+        &weights,
+        7,
+        SplitCriterion::InformationGain,
+    );
+    let indexed = presorted.best_classification_split(
+        &matrix,
+        &indices,
+        &classes,
+        &weights,
+        7,
+        SplitCriterion::InformationGain,
+        ThreadPool::serial(),
+    );
+    assert_eq!(
+        legacy, indexed,
+        "presorted search must return the legacy SplitSpec"
+    );
+
+    let legacy_time = time_per_iter(|| {
+        best_classification_split(
+            black_box(&matrix),
+            &indices,
+            &classes,
+            &weights,
+            7,
+            SplitCriterion::InformationGain,
+        )
+    });
+    let presorted_time = time_per_iter(|| {
+        presorted.best_classification_split(
+            black_box(&matrix),
+            &indices,
+            &classes,
+            &weights,
+            7,
+            SplitCriterion::InformationGain,
+            ThreadPool::serial(),
+        )
+    });
+
+    let speedup = legacy_time.as_secs_f64() / presorted_time.as_secs_f64();
+    println!(
+        "split_search {n}x13: sort-per-node {:.2} ms, presorted {:.2} ms ({speedup:.2}x)",
+        legacy_time.as_secs_f64() * 1e3,
+        presorted_time.as_secs_f64() * 1e3,
+    );
+    report.push(
+        "split_search_sort_per_node",
+        1,
+        legacy_time.as_secs_f64() * 1e3,
+        1.0,
+    );
+    report.push(
+        "split_search_presorted",
+        1,
+        presorted_time.as_secs_f64() * 1e3,
+        speedup,
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut report = Report::new();
+    bench_forest_training(&mut report, smoke);
+    bench_presorted_split_search(&mut report, smoke);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
+    report.write(&path).expect("write BENCH_parallel.json");
+}

@@ -2,7 +2,11 @@
 //! experiment binaries (skipping none). Output is the raw material for
 //! EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p hdd-bench --bin run_all -- --scale 0.25`
+//! Usage:
+//! `cargo run --release -p hdd-bench --bin run_all -- --scale 0.25 --threads 8`
+//!
+//! All options (`--scale`, `--seed`, `--threads`) are forwarded verbatim
+//! to every experiment binary.
 
 use std::process::Command;
 
@@ -22,6 +26,9 @@ const EXPERIMENTS: [&str; 12] = [
 ];
 
 fn main() {
+    // Validate the shared options up front (and fail fast on typos)
+    // before spending minutes inside the first experiment.
+    let _ = hdd_bench::Options::from_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let exe_dir = std::env::current_exe()
         .expect("current exe path")

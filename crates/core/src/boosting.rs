@@ -10,12 +10,14 @@
 use crate::classifier::{ClassificationTree, ClassificationTreeBuilder};
 use crate::compact::{CompactForest, CompactTree};
 use crate::sample::{Class, ClassSample, TrainError};
+use hdd_par::ThreadPool;
 
 /// Configures and trains [`AdaBoost`] ensembles.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdaBoostBuilder {
     rounds: usize,
     weak_depth: usize,
+    threads: Option<usize>,
 }
 
 impl Default for AdaBoostBuilder {
@@ -23,6 +25,7 @@ impl Default for AdaBoostBuilder {
         AdaBoostBuilder {
             rounds: 30,
             weak_depth: 2,
+            threads: None,
         }
     }
 }
@@ -57,6 +60,22 @@ impl AdaBoostBuilder {
         self
     }
 
+    /// Worker threads (`None` — the default — uses the process-wide
+    /// resolution). Boosting rounds are inherently sequential (each
+    /// re-weights from the last), so the pool accelerates the inside of
+    /// a round: the weak learner's split search and the per-sample
+    /// prediction pass. The trained ensemble is bit-identical for every
+    /// setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is `Some(0)`.
+    pub fn threads(&mut self, n: Option<usize>) -> &mut Self {
+        assert!(n != Some(0), "thread count must be at least 1");
+        self.threads = n;
+        self
+    }
+
     /// Train an ensemble (discrete AdaBoost).
     ///
     /// # Errors
@@ -70,6 +89,9 @@ impl AdaBoostBuilder {
             return Err(TrainError::SingleClass);
         }
 
+        let pool = self
+            .threads
+            .map_or_else(ThreadPool::global, ThreadPool::new);
         let mut weak_builder = ClassificationTreeBuilder::new();
         weak_builder
             .max_depth(Some(self.weak_depth + 1)) // depth counts the root
@@ -77,15 +99,15 @@ impl AdaBoostBuilder {
             .min_bucket(1)
             .complexity(0.0)
             .failed_weight_fraction(None)
-            .false_alarm_loss(1.0);
+            .false_alarm_loss(1.0)
+            .threads(Some(pool.n_threads()));
 
         let mut weights = vec![1.0 / n as f64; n];
         let mut members = Vec::new();
         for _ in 0..self.rounds {
             let tree = weak_builder.build_weighted(samples, &weights)?;
             // Weighted training error.
-            let predictions: Vec<Class> =
-                samples.iter().map(|s| tree.predict(&s.features)).collect();
+            let predictions: Vec<Class> = pool.parallel_map(samples, |s| tree.predict(&s.features));
             let err: f64 = weights
                 .iter()
                 .zip(samples.iter().zip(&predictions))
@@ -277,6 +299,20 @@ mod tests {
         let a = AdaBoostBuilder::new().build(&samples).unwrap();
         let b = AdaBoostBuilder::new().build(&samples).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let samples = diagonal(150);
+        let mut serial = AdaBoostBuilder::new();
+        serial.threads(Some(1));
+        let mut parallel = AdaBoostBuilder::new();
+        parallel.threads(Some(4));
+        assert_eq!(
+            serial.build(&samples).unwrap(),
+            parallel.build(&samples).unwrap(),
+            "ensemble must not depend on thread count"
+        );
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! The Classification Tree model (Algorithm 1 of the paper).
 
 use crate::sample::{validate_features, Class, ClassSample, TrainError};
-use crate::split::{best_classification_split, FeatureMatrix, SplitCriterion};
+use crate::split::{best_classification_split, FeatureMatrix, PresortedColumns, SplitCriterion};
 use crate::tree::{Node, NodeId, SplitNode, Tree};
+use hdd_par::ThreadPool;
 use std::fmt;
+
+/// Nodes at least this fraction (1/N) of the training set use the
+/// presorted-column search; smaller nodes fall back to the legacy
+/// sort-per-node search, whose O(n log n) beats an O(total rows)
+/// bitmask filter once the node is a sliver of the data. Both searches
+/// return bit-identical splits, so the cutoff only affects speed.
+pub(crate) const PRESORT_NODE_FRACTION: usize = 8;
 
 /// Leaf payload of a classification tree: the majority class and the
 /// weighted class distribution (the fractions annotated on every node of
@@ -51,6 +59,7 @@ pub struct ClassificationTreeBuilder {
     false_alarm_loss: f64,
     max_depth: Option<usize>,
     criterion: SplitCriterion,
+    threads: Option<usize>,
 }
 
 impl Default for ClassificationTreeBuilder {
@@ -63,6 +72,7 @@ impl Default for ClassificationTreeBuilder {
             false_alarm_loss: 10.0,
             max_depth: None,
             criterion: SplitCriterion::InformationGain,
+            threads: None,
         }
     }
 }
@@ -131,6 +141,25 @@ impl ClassificationTreeBuilder {
         self
     }
 
+    /// Worker threads for the split search (`None` — the default — uses
+    /// the process-wide resolution: `--threads` / `HDDPRED_THREADS` /
+    /// hardware). Trained trees are bit-identical for every setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is `Some(0)`.
+    pub fn threads(&mut self, n: Option<usize>) -> &mut Self {
+        assert!(n != Some(0), "thread count must be at least 1");
+        self.threads = n;
+        self
+    }
+
+    /// The pool this builder trains with.
+    pub(crate) fn pool(&self) -> ThreadPool {
+        self.threads
+            .map_or_else(ThreadPool::global, ThreadPool::new)
+    }
+
     /// Train a tree on `samples` (Algorithm 1).
     ///
     /// # Errors
@@ -184,6 +213,7 @@ impl ClassificationTreeBuilder {
             self.max_depth,
             n_features,
             self.criterion,
+            self.pool(),
         );
         let tree = crate::prune::prune(&tree, self.complexity);
         Ok(ClassificationTree { tree })
@@ -269,6 +299,13 @@ impl ClassificationTree {
 }
 
 /// Grow a full classification tree (stack-based, like Algorithm 1).
+///
+/// The split search runs on `pool`: the per-feature argsorts are
+/// computed once up front ([`PresortedColumns`]) and large nodes recover
+/// their feature order by bitmask-filtering that index, while small
+/// nodes use the legacy sort-per-node search — the two are bit-identical
+/// (see [`crate::split`]), so the grown tree does not depend on the
+/// strategy or the thread count.
 #[allow(clippy::too_many_arguments)]
 fn grow(
     matrix: &FeatureMatrix,
@@ -279,7 +316,10 @@ fn grow(
     max_depth: Option<usize>,
     n_features: usize,
     criterion: SplitCriterion,
+    pool: ThreadPool,
 ) -> Tree<ClassLeaf> {
+    let presorted = PresortedColumns::with_pool(matrix, pool);
+    let presort_cutoff = matrix.n_rows() / PRESORT_NODE_FRACTION;
     let mut indices: Vec<u32> = (0..matrix.n_rows() as u32).collect();
     let root_weight: f64 = weights.iter().sum();
     let mut nodes: Vec<Node<ClassLeaf>> = Vec::new();
@@ -324,9 +364,14 @@ fn grow(
         {
             continue; // leaf
         }
-        let Some(split) =
+        let split = if range.len() >= presort_cutoff {
+            presorted.best_classification_split(
+                matrix, range, classes, weights, min_bucket, criterion, pool,
+            )
+        } else {
             best_classification_split(matrix, range, classes, weights, min_bucket, criterion)
-        else {
+        };
+        let Some(split) = split else {
             continue;
         };
 

@@ -2,16 +2,26 @@
 //! other statistical and machine learning methods, such as random forest,
 //! to boost the prediction performance").
 //!
-//! A bagged ensemble of classification trees: each tree trains on a
-//! bootstrap resample of the training set and considers only a random
-//! subset of the features at each... no — for simplicity and determinism
-//! each tree here gets a random feature *subset* and a bootstrap sample;
-//! prediction is by majority vote, and the vote fraction is a usable
-//! failure score.
+//! A bagged ensemble of classification trees. Unlike Breiman's original
+//! formulation (which re-draws a feature subset at every *node*), each
+//! tree here draws one deterministic feature subset — a Fisher–Yates
+//! prefix of `ceil(feature_fraction · n_features)` features, seeded per
+//! tree — and keeps it for its whole depth. Each tree also trains on a
+//! bootstrap resample of the training set, re-drawn until both classes
+//! are present. Prediction is by majority vote, and the fraction of
+//! trees voting *failed* is a usable failure score. The per-tree
+//! fixed-subset rule trades a little decorrelation for reproducibility:
+//! the whole ensemble is a pure function of `(samples, seed)`.
+//!
+//! Trees are independent given their seeds, so training fans out across
+//! the [`hdd_par::ThreadPool`] — members are merged in tree order, and
+//! each member trains with a serial split search when the outer pool is
+//! parallel, keeping the forest bit-identical at any thread count.
 
 use crate::classifier::{ClassificationTree, ClassificationTreeBuilder};
 use crate::compact::{CompactForest, CompactTree};
 use crate::sample::{Class, ClassSample, TrainError};
+use hdd_par::ThreadPool;
 
 /// Configures and trains [`RandomForest`]s.
 ///
@@ -35,6 +45,7 @@ pub struct RandomForestBuilder {
     feature_fraction: f64,
     base: ClassificationTreeBuilder,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl Default for RandomForestBuilder {
@@ -44,6 +55,7 @@ impl Default for RandomForestBuilder {
             feature_fraction: 0.6,
             base: ClassificationTreeBuilder::new(),
             seed: 0xF0_4E57,
+            threads: None,
         }
     }
 }
@@ -92,6 +104,19 @@ impl RandomForestBuilder {
         self
     }
 
+    /// Worker threads for per-tree training (`None` — the default — uses
+    /// the process-wide resolution). The trained forest is bit-identical
+    /// for every setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is `Some(0)`.
+    pub fn threads(&mut self, n: Option<usize>) -> &mut Self {
+        assert!(n != Some(0), "thread count must be at least 1");
+        self.threads = n;
+        self
+    }
+
     /// Train a forest.
     ///
     /// # Errors
@@ -109,8 +134,17 @@ impl RandomForestBuilder {
         let per_tree =
             ((n_features as f64 * self.feature_fraction).ceil() as usize).clamp(1, n_features);
 
-        let mut trees = Vec::with_capacity(self.n_trees);
-        for t in 0..self.n_trees {
+        let pool = self
+            .threads
+            .map_or_else(ThreadPool::global, ThreadPool::new);
+        // Each tree is a pure function of its seed, so the pool can fan out
+        // across trees; the inner split search goes serial when the outer
+        // pool is parallel to avoid oversubscribing the machine.
+        let mut base = self.base.clone();
+        if pool.is_parallel() {
+            base.threads(Some(1));
+        }
+        let members = pool.parallel_map_range(self.n_trees, |t| {
             let tree_seed = splitmix(self.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
             // Random feature subset (deterministic Fisher–Yates prefix).
             let mut features: Vec<usize> = (0..n_features).collect();
@@ -144,12 +178,15 @@ impl RandomForestBuilder {
                 }
                 salt += 1;
             }
-            let tree = self.base.build(&projected)?;
-            trees.push(Member {
+            let tree = base.build(&projected)?;
+            Ok(Member {
                 features: chosen,
                 tree,
-            });
-        }
+            })
+        });
+        let trees = members
+            .into_iter()
+            .collect::<Result<Vec<_>, TrainError>>()?;
         Ok(RandomForest { trees, n_features })
     }
 }
@@ -283,6 +320,26 @@ mod tests {
         other.seed(1234);
         let c = other.build(&samples).unwrap();
         assert_ne!(a, c, "different seed, different forest");
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let samples = separable(40);
+        let mut serial = RandomForestBuilder::new();
+        serial.threads(Some(1));
+        let mut parallel = RandomForestBuilder::new();
+        parallel.threads(Some(4));
+        assert_eq!(
+            serial.build(&samples).unwrap(),
+            parallel.build(&samples).unwrap(),
+            "forest must not depend on thread count"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_threads() {
+        let _ = RandomForestBuilder::new().threads(Some(0));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The Regression Tree model (Algorithm 2 of the paper).
 
-use crate::classifier::partition;
+use crate::classifier::{partition, PRESORT_NODE_FRACTION};
 use crate::sample::{validate_features, RegSample, TrainError};
-use crate::split::{best_regression_split, FeatureMatrix};
+use crate::split::{best_regression_split, FeatureMatrix, PresortedColumns};
 use crate::tree::{Node, NodeId, SplitNode, Tree};
+use hdd_par::ThreadPool;
 use std::fmt;
 
 /// Leaf payload of a regression tree: the weighted mean target at the node.
@@ -29,6 +30,7 @@ pub struct RegressionTreeBuilder {
     min_bucket: usize,
     complexity: f64,
     max_depth: Option<usize>,
+    threads: Option<usize>,
 }
 
 impl Default for RegressionTreeBuilder {
@@ -38,6 +40,7 @@ impl Default for RegressionTreeBuilder {
             min_bucket: 7,
             complexity: 0.001,
             max_depth: None,
+            threads: None,
         }
     }
 }
@@ -71,6 +74,19 @@ impl RegressionTreeBuilder {
     /// Optional hard depth cap (ablation aid; not in the paper).
     pub fn max_depth(&mut self, depth: Option<usize>) -> &mut Self {
         self.max_depth = depth;
+        self
+    }
+
+    /// Worker threads for the split search (`None` — the default — uses
+    /// the process-wide resolution). Trained trees are bit-identical for
+    /// every setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is `Some(0)`.
+    pub fn threads(&mut self, n: Option<usize>) -> &mut Self {
+        assert!(n != Some(0), "thread count must be at least 1");
+        self.threads = n;
         self
     }
 
@@ -113,6 +129,9 @@ impl RegressionTreeBuilder {
         }
         let targets: Vec<f64> = samples.iter().map(|s| s.target).collect();
         let matrix = FeatureMatrix::from_rows(samples.iter().map(|s| s.features.as_slice()));
+        let pool = self
+            .threads
+            .map_or_else(ThreadPool::global, ThreadPool::new);
         let tree = grow(
             &matrix,
             &targets,
@@ -121,6 +140,7 @@ impl RegressionTreeBuilder {
             self.min_bucket,
             self.max_depth,
             n_features,
+            pool,
         );
         let tree = crate::prune::prune(&tree, self.complexity);
         Ok(RegressionTree { tree })
@@ -164,7 +184,11 @@ impl RegressionTree {
     }
 }
 
-/// Grow a full regression tree (stack-based, like Algorithm 2).
+/// Grow a full regression tree (stack-based, like Algorithm 2). Split
+/// search strategy and parallelism as in the classification grower:
+/// presorted columns for large nodes, legacy sort for slivers, both
+/// bit-identical at any thread count.
+#[allow(clippy::too_many_arguments)]
 fn grow(
     matrix: &FeatureMatrix,
     targets: &[f64],
@@ -173,7 +197,10 @@ fn grow(
     min_bucket: usize,
     max_depth: Option<usize>,
     n_features: usize,
+    pool: ThreadPool,
 ) -> Tree<RegLeaf> {
+    let presorted = PresortedColumns::with_pool(matrix, pool);
+    let presort_cutoff = matrix.n_rows() / PRESORT_NODE_FRACTION;
     let mut indices: Vec<u32> = (0..matrix.n_rows() as u32).collect();
     let root_weight: f64 = weights.iter().sum();
 
@@ -207,7 +234,12 @@ fn grow(
             continue;
         }
         let range = &indices[start..end];
-        let Some(split) = best_regression_split(matrix, range, targets, weights, min_bucket) else {
+        let split = if range.len() >= presort_cutoff {
+            presorted.best_regression_split(matrix, range, targets, weights, min_bucket, pool)
+        } else {
+            best_regression_split(matrix, range, targets, weights, min_bucket)
+        };
+        let Some(split) = split else {
             continue;
         };
         let mid = partition(&mut indices[start..end], |i| {

@@ -1,12 +1,30 @@
 //! Split search: the inner loop of CART training.
 //!
-//! For every candidate feature the search sorts the node's samples, sweeps
-//! all thresholds between distinct consecutive values, and scores each by
-//! the splitting function — weighted information gain (eqs. 1–3) for
-//! classification, within-node sum-of-squares reduction (eq. 4) for
-//! regression. `Minbucket` is enforced on raw sample counts, as in rpart.
+//! For every candidate feature the search walks the node's samples in
+//! feature order, sweeps all thresholds between distinct consecutive
+//! values, and scores each by the splitting function — weighted
+//! information gain (eqs. 1–3) for classification, within-node
+//! sum-of-squares reduction (eq. 4) for regression. `Minbucket` is
+//! enforced on raw sample counts, as in rpart.
+//!
+//! Two interchangeable search strategies produce bit-identical
+//! [`SplitSpec`]s (both feed the same per-feature threshold sweep, so
+//! every floating-point accumulation happens in the same order):
+//!
+//! * [`best_classification_split`] / [`best_regression_split`] — the
+//!   legacy sort-per-node search: copy the node's indices and sort them
+//!   per feature, O(n log n) per feature per node;
+//! * [`PresortedColumns`] — the rpart/XGBoost-style presorted-column
+//!   index: one argsort per feature at the tree root, filtered by a node
+//!   membership bitmask during descent, with the per-feature sweeps
+//!   fanned out across a [`ThreadPool`].
 
 use crate::sample::Class;
+use hdd_par::ThreadPool;
+
+/// A split must beat this gain to be accepted at all (guards against
+/// floating-point noise producing spurious zero-gain splits).
+const MIN_GAIN: f64 = 1e-12;
 
 /// The impurity measure used to score classification splits.
 ///
@@ -161,42 +179,88 @@ pub fn best_classification_split(
     let mut best: Option<SplitSpec> = None;
     let mut order: Vec<u32> = indices.to_vec();
     for feature in 0..matrix.n_features() {
+        // Restart from the node's (ascending) order before every sort so
+        // ties resolve to ascending row id for each feature — the
+        // canonical order the presorted index produces. Chaining sorts
+        // would leak the previous feature's order into this one's ties.
+        order.copy_from_slice(indices);
         order.sort_by(|&a, &b| {
             matrix
                 .value(a as usize, feature)
                 .total_cmp(&matrix.value(b as usize, feature))
         });
-        let mut left = (0.0, 0.0);
-        for (pos, &i) in order.iter().enumerate() {
-            let idx = i as usize;
-            match classes[idx] {
-                Class::Good => left.0 += weights[idx],
-                Class::Failed => left.1 += weights[idx],
-            }
-            let n_left = pos + 1;
-            let n_right = order.len() - n_left;
-            if n_left < min_bucket || n_right < min_bucket {
-                continue;
-            }
-            let v = matrix.value(idx, feature);
-            let v_next = matrix.value(order[pos + 1] as usize, feature);
-            if v == v_next {
-                continue; // can't separate equal values
-            }
-            let right = (totals.0 - left.0, totals.1 - left.1);
-            let w_left = left.0 + left.1;
-            let w_right = right.0 + right.1;
-            let children_info = (w_left * criterion.impurity(left.0, left.1)
-                + w_right * criterion.impurity(right.0, right.1))
-                / total_w;
-            let gain = parent_info - children_info;
-            if gain > best.as_ref().map_or(1e-12, |b| b.gain) {
-                best = Some(SplitSpec {
-                    feature,
-                    threshold: midpoint(v, v_next),
-                    gain,
-                });
-            }
+        let floor = best.as_ref().map_or(MIN_GAIN, |b| b.gain);
+        let candidate = sweep_classification_feature(
+            matrix,
+            &order,
+            feature,
+            classes,
+            weights,
+            totals,
+            parent_info,
+            total_w,
+            min_bucket,
+            criterion,
+            floor,
+        );
+        if let Some(candidate) = candidate {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// Sweep every threshold of one feature over samples already in feature
+/// order; return the best candidate whose gain strictly exceeds `floor`
+/// (earlier thresholds win ties, exactly like the legacy loop).
+///
+/// Both search strategies call this, so their floating-point
+/// accumulations — and therefore the chosen splits — are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn sweep_classification_feature(
+    matrix: &FeatureMatrix,
+    order: &[u32],
+    feature: usize,
+    classes: &[Class],
+    weights: &[f64],
+    totals: (f64, f64),
+    parent_info: f64,
+    total_w: f64,
+    min_bucket: usize,
+    criterion: SplitCriterion,
+    floor: f64,
+) -> Option<SplitSpec> {
+    let mut best: Option<SplitSpec> = None;
+    let mut left = (0.0, 0.0);
+    for (pos, &i) in order.iter().enumerate() {
+        let idx = i as usize;
+        match classes[idx] {
+            Class::Good => left.0 += weights[idx],
+            Class::Failed => left.1 += weights[idx],
+        }
+        let n_left = pos + 1;
+        let n_right = order.len() - n_left;
+        if n_left < min_bucket || n_right < min_bucket {
+            continue;
+        }
+        let v = matrix.value(idx, feature);
+        let v_next = matrix.value(order[pos + 1] as usize, feature);
+        if v == v_next {
+            continue; // can't separate equal values
+        }
+        let right = (totals.0 - left.0, totals.1 - left.1);
+        let w_left = left.0 + left.1;
+        let w_right = right.0 + right.1;
+        let children_info = (w_left * criterion.impurity(left.0, left.1)
+            + w_right * criterion.impurity(right.0, right.1))
+            / total_w;
+        let gain = parent_info - children_info;
+        if gain > best.as_ref().map_or(floor, |b| b.gain) {
+            best = Some(SplitSpec {
+                feature,
+                threshold: midpoint(v, v_next),
+                gain,
+            });
         }
     }
     best
@@ -229,38 +293,311 @@ pub fn best_regression_split(
     let mut best: Option<SplitSpec> = None;
     let mut order: Vec<u32> = indices.to_vec();
     for feature in 0..matrix.n_features() {
+        // Same canonical tie order as the classification search above.
+        order.copy_from_slice(indices);
         order.sort_by(|&a, &b| {
             matrix
                 .value(a as usize, feature)
                 .total_cmp(&matrix.value(b as usize, feature))
         });
-        let (mut lw, mut lwy, mut lwy2) = (0.0, 0.0, 0.0);
-        for (pos, &i) in order.iter().enumerate() {
+        let floor = best.as_ref().map_or(MIN_GAIN, |b| b.gain);
+        let candidate = sweep_regression_feature(
+            matrix,
+            &order,
+            feature,
+            targets,
+            weights,
+            (sw, swy, swy2),
+            parent_sq,
+            min_bucket,
+            floor,
+        );
+        if let Some(candidate) = candidate {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// The regression analogue of [`sweep_classification_feature`]: sweep one
+/// feature's thresholds over samples already in feature order, comparing
+/// against `floor` with strict inequality.
+#[allow(clippy::too_many_arguments)]
+fn sweep_regression_feature(
+    matrix: &FeatureMatrix,
+    order: &[u32],
+    feature: usize,
+    targets: &[f64],
+    weights: &[f64],
+    parent_moments: (f64, f64, f64),
+    parent_sq: f64,
+    min_bucket: usize,
+    floor: f64,
+) -> Option<SplitSpec> {
+    let (sw, swy, swy2) = parent_moments;
+    let mut best: Option<SplitSpec> = None;
+    let (mut lw, mut lwy, mut lwy2) = (0.0, 0.0, 0.0);
+    for (pos, &i) in order.iter().enumerate() {
+        let idx = i as usize;
+        let (w, y) = (weights[idx], targets[idx]);
+        lw += w;
+        lwy += w * y;
+        lwy2 += w * y * y;
+        let n_left = pos + 1;
+        let n_right = order.len() - n_left;
+        if n_left < min_bucket || n_right < min_bucket {
+            continue;
+        }
+        let v = matrix.value(idx, feature);
+        let v_next = matrix.value(order[pos + 1] as usize, feature);
+        if v == v_next {
+            continue;
+        }
+        let left_sq = sq_from_moments(lw, lwy, lwy2);
+        let right_sq = sq_from_moments(sw - lw, swy - lwy, swy2 - lwy2);
+        let gain = parent_sq - left_sq - right_sq;
+        if gain > best.as_ref().map_or(floor, |b| b.gain) {
+            best = Some(SplitSpec {
+                feature,
+                threshold: midpoint(v, v_next),
+                gain,
+            });
+        }
+    }
+    best
+}
+
+/// The presorted-column split index: one argsort per feature, computed
+/// once at the tree root and reused at every node of the descent.
+///
+/// The classic CART inner loop re-sorts the node's samples for every
+/// feature at every node — O(n log n) per feature per node. Presorting
+/// (as in rpart and the GBDT systems' "exact greedy" mode) moves all of
+/// the sorting to the root: during descent a node's feature order is
+/// recovered by filtering the global order through a membership bitmask,
+/// an O(total rows) scan with no comparisons. The per-feature threshold
+/// sweeps are independent, so they fan out across a [`ThreadPool`];
+/// per-feature results are merged in feature order with the same
+/// strict-greater comparison the serial loop uses, which keeps the chosen
+/// split bit-identical for every thread count.
+///
+/// Ties are broken toward lower row indices. Node index sets must be
+/// passed in ascending order (tree growth maintains this invariant via
+/// its stable partition), which makes the filtered order equal — sample
+/// by sample — to what the legacy search's stable sort produces, so both
+/// strategies accumulate in the same order and return the same
+/// [`SplitSpec`] down to the last bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PresortedColumns {
+    /// `n_features` stripes of `n_rows` row ids, each sorted by the
+    /// feature's value (ties by row id).
+    order: Vec<u32>,
+    n_rows: usize,
+    n_features: usize,
+}
+
+impl PresortedColumns {
+    /// Build the index serially.
+    #[must_use]
+    pub fn new(matrix: &FeatureMatrix) -> Self {
+        Self::with_pool(matrix, ThreadPool::serial())
+    }
+
+    /// Build the index with the per-feature argsorts fanned out across
+    /// `pool`.
+    #[must_use]
+    pub fn with_pool(matrix: &FeatureMatrix, pool: ThreadPool) -> Self {
+        let n_rows = matrix.n_rows();
+        let n_features = matrix.n_features();
+        let columns = pool.parallel_map_range(n_features, |feature| {
+            let mut order: Vec<u32> = (0..n_rows as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                matrix
+                    .value(a as usize, feature)
+                    .total_cmp(&matrix.value(b as usize, feature))
+                    .then(a.cmp(&b))
+            });
+            order
+        });
+        PresortedColumns {
+            order: columns.concat(),
+            n_rows,
+            n_features,
+        }
+    }
+
+    /// Number of rows the index covers.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns the index covers.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// All row ids sorted by `feature`'s value (ties by row id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of bounds.
+    #[must_use]
+    pub fn feature_order(&self, feature: usize) -> &[u32] {
+        &self.order[feature * self.n_rows..(feature + 1) * self.n_rows]
+    }
+
+    /// Find the best classification split of the node containing
+    /// `indices` (ascending row ids) — same contract and same result as
+    /// [`best_classification_split`], without the per-node sorts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` does not match the dimensions this index was
+    /// built from.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn best_classification_split(
+        &self,
+        matrix: &FeatureMatrix,
+        indices: &[u32],
+        classes: &[Class],
+        weights: &[f64],
+        min_bucket: usize,
+        criterion: SplitCriterion,
+        pool: ThreadPool,
+    ) -> Option<SplitSpec> {
+        self.check_node(matrix, indices);
+        let mut totals = (0.0, 0.0); // (good, failed)
+        for &i in indices {
+            match classes[i as usize] {
+                Class::Good => totals.0 += weights[i as usize],
+                Class::Failed => totals.1 += weights[i as usize],
+            }
+        }
+        let parent_info = criterion.impurity(totals.0, totals.1);
+        if parent_info == 0.0 {
+            return None;
+        }
+        let total_w = totals.0 + totals.1;
+
+        let mask = self.membership_mask(indices);
+        let mask = &mask;
+        let per_feature = pool.parallel_map_range(self.n_features, |feature| {
+            let order = self.node_order(feature, mask, indices.len());
+            sweep_classification_feature(
+                matrix,
+                &order,
+                feature,
+                classes,
+                weights,
+                totals,
+                parent_info,
+                total_w,
+                min_bucket,
+                criterion,
+                MIN_GAIN,
+            )
+        });
+        merge_feature_candidates(per_feature)
+    }
+
+    /// Find the best regression split of the node containing `indices`
+    /// (ascending row ids) — same contract and same result as
+    /// [`best_regression_split`], without the per-node sorts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` does not match the dimensions this index was
+    /// built from.
+    #[must_use]
+    pub fn best_regression_split(
+        &self,
+        matrix: &FeatureMatrix,
+        indices: &[u32],
+        targets: &[f64],
+        weights: &[f64],
+        min_bucket: usize,
+        pool: ThreadPool,
+    ) -> Option<SplitSpec> {
+        self.check_node(matrix, indices);
+        let (mut sw, mut swy, mut swy2) = (0.0, 0.0, 0.0);
+        for &i in indices {
             let idx = i as usize;
             let (w, y) = (weights[idx], targets[idx]);
-            lw += w;
-            lwy += w * y;
-            lwy2 += w * y * y;
-            let n_left = pos + 1;
-            let n_right = order.len() - n_left;
-            if n_left < min_bucket || n_right < min_bucket {
-                continue;
-            }
-            let v = matrix.value(idx, feature);
-            let v_next = matrix.value(order[pos + 1] as usize, feature);
-            if v == v_next {
-                continue;
-            }
-            let left_sq = sq_from_moments(lw, lwy, lwy2);
-            let right_sq = sq_from_moments(sw - lw, swy - lwy, swy2 - lwy2);
-            let gain = parent_sq - left_sq - right_sq;
-            if gain > best.as_ref().map_or(1e-12, |b| b.gain) {
-                best = Some(SplitSpec {
-                    feature,
-                    threshold: midpoint(v, v_next),
-                    gain,
-                });
-            }
+            sw += w;
+            swy += w * y;
+            swy2 += w * y * y;
+        }
+        let parent_sq = sq_from_moments(sw, swy, swy2);
+        if parent_sq <= 0.0 {
+            return None;
+        }
+
+        let mask = self.membership_mask(indices);
+        let mask = &mask;
+        let per_feature = pool.parallel_map_range(self.n_features, |feature| {
+            let order = self.node_order(feature, mask, indices.len());
+            sweep_regression_feature(
+                matrix,
+                &order,
+                feature,
+                targets,
+                weights,
+                (sw, swy, swy2),
+                parent_sq,
+                min_bucket,
+                MIN_GAIN,
+            )
+        });
+        merge_feature_candidates(per_feature)
+    }
+
+    /// The node membership bitmask over all rows.
+    fn membership_mask(&self, indices: &[u32]) -> Vec<bool> {
+        let mut mask = vec![false; self.n_rows];
+        for &i in indices {
+            mask[i as usize] = true;
+        }
+        mask
+    }
+
+    /// One feature's presorted order filtered down to the node's members.
+    fn node_order(&self, feature: usize, mask: &[bool], n_node: usize) -> Vec<u32> {
+        let mut order = Vec::with_capacity(n_node);
+        order.extend(
+            self.feature_order(feature)
+                .iter()
+                .copied()
+                .filter(|&i| mask[i as usize]),
+        );
+        order
+    }
+
+    fn check_node(&self, matrix: &FeatureMatrix, indices: &[u32]) {
+        assert_eq!(matrix.n_rows(), self.n_rows, "matrix/index row mismatch");
+        assert_eq!(
+            matrix.n_features(),
+            self.n_features,
+            "matrix/index feature mismatch"
+        );
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "node indices must be strictly ascending for bit-exact parity"
+        );
+    }
+}
+
+/// Merge per-feature winners in feature order with the serial loop's
+/// strict-greater comparison (earlier features win ties).
+fn merge_feature_candidates<I: IntoIterator<Item = Option<SplitSpec>>>(
+    candidates: I,
+) -> Option<SplitSpec> {
+    let mut best: Option<SplitSpec> = None;
+    for candidate in candidates.into_iter().flatten() {
+        if candidate.gain > best.as_ref().map_or(MIN_GAIN, |b| b.gain) {
+            best = Some(candidate);
         }
     }
     best
@@ -466,6 +803,79 @@ mod tests {
         )
         .unwrap();
         assert!(s.threshold > 2.0 && s.threshold <= 10.0);
+    }
+
+    #[test]
+    fn presorted_matches_legacy_classification() {
+        // Quantized values force ties; feature 2 is constant.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![f64::from((i * 7) % 5), f64::from((i * 3) % 11), 4.0])
+            .collect();
+        let m = FeatureMatrix::from_rows(rows.iter().map(Vec::as_slice));
+        let classes: Vec<Class> = (0..40)
+            .map(|i| {
+                if (i * 13) % 3 == 0 {
+                    Class::Failed
+                } else {
+                    Class::Good
+                }
+            })
+            .collect();
+        let weights: Vec<f64> = (0..40).map(|i| 1.0 + f64::from(i % 4) * 0.25).collect();
+        let indices: Vec<u32> = (0..40).collect();
+        let presorted = PresortedColumns::new(&m);
+        for criterion in [SplitCriterion::InformationGain, SplitCriterion::Gini] {
+            for min_bucket in [1, 3, 7] {
+                let legacy = best_classification_split(
+                    &m, &indices, &classes, &weights, min_bucket, criterion,
+                );
+                for threads in [1, 4] {
+                    let got = presorted.best_classification_split(
+                        &m,
+                        &indices,
+                        &classes,
+                        &weights,
+                        min_bucket,
+                        criterion,
+                        ThreadPool::new(threads),
+                    );
+                    assert_eq!(got, legacy, "criterion={criterion:?} mb={min_bucket}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn presorted_matches_legacy_on_sub_node() {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![f64::from((i * 5) % 9), f64::from(i % 2)])
+            .collect();
+        let m = FeatureMatrix::from_rows(rows.iter().map(Vec::as_slice));
+        let targets: Vec<f64> = (0..30).map(|i| f64::from((i * 11) % 7) - 3.0).collect();
+        let weights = vec![1.0; 30];
+        // An ascending sub-node, as tree descent produces.
+        let indices: Vec<u32> = (0..30).filter(|i| i % 3 != 1).collect();
+        let presorted = PresortedColumns::new(&m);
+        let legacy = best_regression_split(&m, &indices, &targets, &weights, 2);
+        let got = presorted.best_regression_split(
+            &m,
+            &indices,
+            &targets,
+            &weights,
+            2,
+            ThreadPool::new(3),
+        );
+        assert_eq!(got, legacy);
+        assert!(got.is_some(), "this node should be splittable");
+    }
+
+    #[test]
+    fn presorted_orders_are_sorted_with_index_tiebreak() {
+        let m = matrix(&[&[2.0], &[1.0], &[2.0], &[1.0]]);
+        let presorted = PresortedColumns::new(&m);
+        assert_eq!(presorted.n_rows(), 4);
+        assert_eq!(presorted.n_features(), 1);
+        assert_eq!(presorted.feature_order(0), &[1, 3, 0, 2]);
     }
 
     #[test]

@@ -97,6 +97,11 @@ pub struct AgingOutcome {
 /// (train, then [`compile`](crate::model::Compile::compile)). The
 /// failed-drive train/test split is fixed across the whole horizon
 /// (failed samples carry no chronology in the dataset, §V-B3).
+///
+/// Each retraining cycle's model is a pure function of its training
+/// weeks, so the distinct cycles train concurrently on the experiment's
+/// thread pool before the weeks are evaluated in order — the outcome is
+/// bit-identical to the serial train-as-you-go schedule.
 #[must_use]
 pub fn weekly_far<P, F>(
     experiment: &Experiment,
@@ -105,36 +110,44 @@ pub fn weekly_far<P, F>(
     train: F,
 ) -> AgingOutcome
 where
-    P: Predictor,
-    F: Fn(&[ClassSample]) -> P,
+    P: Predictor + Send,
+    F: Fn(&[ClassSample]) -> P + Sync,
 {
     let split = experiment.split(dataset);
     let failed_samples = experiment.failed_training_samples(dataset, &split.train_failed);
 
+    // Distinct retraining cycles, in first-use order (the weekly ranges
+    // are monotone, so this matches exactly the cycles the serial
+    // cached loop would have trained).
+    let mut cycles: Vec<std::ops::Range<u32>> = Vec::new();
+    for test_week in 1..OBSERVATION_WEEKS {
+        let weeks = strategy.training_weeks(test_week);
+        if !cycles.contains(&weeks) {
+            cycles.push(weeks);
+        }
+    }
+    let models = experiment.pool().parallel_map(&cycles, |weeks| {
+        let mut samples = failed_samples.clone();
+        for week in weeks.clone() {
+            for (features, _) in experiment.good_features_in(dataset, Hour::week_range(week)) {
+                samples.push(ClassSample::new(features, hdd_cart::Class::Good));
+            }
+        }
+        train(&samples)
+    });
+
     let mut weekly = Vec::new();
-    let mut cached: Option<(std::ops::Range<u32>, P)> = None;
     for test_week in 1..OBSERVATION_WEEKS {
         let train_weeks = strategy.training_weeks(test_week);
-        let model = match &cached {
-            Some((weeks, model)) if *weeks == train_weeks => model,
-            _ => {
-                let mut samples = failed_samples.clone();
-                for week in train_weeks.clone() {
-                    for (features, _) in
-                        experiment.good_features_in(dataset, Hour::week_range(week))
-                    {
-                        samples.push(ClassSample::new(features, hdd_cart::Class::Good));
-                    }
-                }
-                cached = Some((train_weeks.clone(), train(&samples)));
-                &cached.as_ref().expect("just set").1
-            }
-        };
+        let cycle = cycles
+            .iter()
+            .position(|c| *c == train_weeks)
+            .expect("every weekly range was collected above");
         let metrics = experiment.evaluate_in(
             dataset,
             Hour::week_range(test_week),
             &split.test_failed,
-            model,
+            &models[cycle],
             VotingRule::Majority,
         );
         weekly.push(WeekPoint {

@@ -22,6 +22,7 @@ use hdd_cart::{
     ClassificationTreeBuilder, HealthModel, RandomForest, RandomForestBuilder, RegSample,
     RegressionTreeBuilder, TrainError,
 };
+use hdd_par::ThreadPool;
 use hdd_smart::rng::DeterministicRng;
 use hdd_smart::{Dataset, DriveSpec, Hour, SmartSeries};
 use hdd_stats::FeatureSet;
@@ -63,6 +64,8 @@ pub enum ConfigError {
     ZeroGoodSamples,
     /// `rt_samples_per_failed` must be at least 1.
     ZeroRtSamples,
+    /// `threads`, when given explicitly, must be at least 1.
+    ZeroThreads,
 }
 
 impl fmt::Display for ConfigError {
@@ -76,6 +79,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroRtSamples => {
                 write!(f, "RT samples per failed drive must be at least 1")
             }
+            ConfigError::ZeroThreads => write!(f, "threads must be at least 1"),
         }
     }
 }
@@ -98,6 +102,7 @@ pub struct Experiment {
     rt_samples_per_failed: usize,
     fallback_window_hours: u32,
     seed: u64,
+    threads: Option<usize>,
 }
 
 /// Builder for [`Experiment`]. Setters record values as given;
@@ -125,6 +130,7 @@ impl Default for ExperimentBuilder {
                 rt_samples_per_failed: 12,
                 fallback_window_hours: 24,
                 seed: 0xCA27,
+                threads: None,
             },
         }
     }
@@ -207,6 +213,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Worker threads for evaluation (`None` — the default — uses the
+    /// process-wide resolution: `HDDPRED_THREADS`, else the hardware
+    /// count). Metrics are bit-identical for every setting; per-drive
+    /// results are merged in drive order.
+    pub fn threads(&mut self, n: Option<usize>) -> &mut Self {
+        self.experiment.threads = n;
+        self
+    }
+
     /// Validate the configuration and finish.
     ///
     /// # Errors
@@ -226,6 +241,9 @@ impl ExperimentBuilder {
         }
         if e.rt_samples_per_failed < 1 {
             return Err(ConfigError::ZeroRtSamples);
+        }
+        if e.threads == Some(0) {
+            return Err(ConfigError::ZeroThreads);
         }
         Ok(e.clone())
     }
@@ -254,6 +272,13 @@ impl Experiment {
     #[must_use]
     pub fn voters(&self) -> usize {
         self.voters
+    }
+
+    /// The thread pool this experiment evaluates on.
+    #[must_use]
+    pub fn pool(&self) -> ThreadPool {
+        self.threads
+            .map_or_else(ThreadPool::global, ThreadPool::new)
     }
 
     /// Compute the train/test split for `dataset`.
@@ -472,6 +497,10 @@ impl Experiment {
 
     /// Evaluate with an explicit good-drive test range and failed-drive
     /// list (the model-aging simulations test later weeks; Figs. 6–9).
+    ///
+    /// Drives fan out across the experiment's [`ThreadPool`] in
+    /// contiguous chunks; partial metrics are merged in drive order, so
+    /// the result is bit-identical for every thread count.
     #[must_use]
     pub fn evaluate_in<P: Predictor>(
         &self,
@@ -483,50 +512,32 @@ impl Experiment {
     ) -> PredictionMetrics {
         let lookback = self.feature_set.max_lookback_hours();
         let drives = dataset.drives();
-        let n_threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
-            .clamp(1, 16);
-        let chunk = drives.len().div_ceil(n_threads);
-        let mut partials: Vec<PredictionMetrics> = Vec::new();
-
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for part in drives.chunks(chunk.max(1)) {
-                let good_range = good_range.clone();
-                handles.push(scope.spawn(move || {
-                    let mut m = PredictionMetrics::default();
-                    let detector =
-                        VotingDetector::new(predictor, &self.feature_set, self.voters, rule);
-                    for spec in part {
-                        if spec.is_failed() {
-                            if !test_failed.contains(&spec.id) {
-                                continue;
-                            }
-                            let fail = spec.class.fail_hour().expect("failed drive");
-                            let series = dataset.series(spec);
-                            m.failed_total += 1;
-                            if let Some(alarm) =
-                                detector.first_alarm(&series, dataset.recorded_range(spec))
-                            {
-                                m.failed_detected += 1;
-                                m.tia.push(fail.saturating_since(alarm));
-                            }
-                        } else {
-                            let series = dataset
-                                .series_in(spec, (good_range.start - 2 * lookback)..good_range.end);
-                            m.good_total += 1;
-                            if detector.first_alarm(&series, good_range.clone()).is_some() {
-                                m.good_alarms += 1;
-                            }
-                        }
+        let partials = self.pool().parallel_for_chunks(drives, |part| {
+            let mut m = PredictionMetrics::default();
+            let detector = VotingDetector::new(predictor, &self.feature_set, self.voters, rule);
+            for spec in part {
+                if spec.is_failed() {
+                    if !test_failed.contains(&spec.id) {
+                        continue;
                     }
-                    m
-                }));
+                    let fail = spec.class.fail_hour().expect("failed drive");
+                    let series = dataset.series(spec);
+                    m.failed_total += 1;
+                    if let Some(alarm) = detector.first_alarm(&series, dataset.recorded_range(spec))
+                    {
+                        m.failed_detected += 1;
+                        m.tia.push(fail.saturating_since(alarm));
+                    }
+                } else {
+                    let series =
+                        dataset.series_in(spec, (good_range.start - 2 * lookback)..good_range.end);
+                    m.good_total += 1;
+                    if detector.first_alarm(&series, good_range.clone()).is_some() {
+                        m.good_alarms += 1;
+                    }
+                }
             }
-            for handle in handles {
-                partials.push(handle.join().expect("evaluation thread panicked"));
-            }
+            m
         });
 
         let mut metrics = PredictionMetrics::default();
@@ -731,8 +742,31 @@ mod tests {
                 .unwrap_err(),
             ConfigError::ZeroRtSamples
         );
+        assert_eq!(
+            Experiment::builder().threads(Some(0)).build().unwrap_err(),
+            ConfigError::ZeroThreads
+        );
         let err = Experiment::builder().voters(0).build().unwrap_err();
         assert!(err.to_string().contains("voters"), "{err}");
+    }
+
+    #[test]
+    fn evaluation_is_bit_identical_across_thread_counts() {
+        let ds = dataset();
+        let serial = Experiment::builder()
+            .voters(3)
+            .threads(Some(1))
+            .build()
+            .unwrap();
+        let parallel = Experiment::builder()
+            .voters(3)
+            .threads(Some(4))
+            .build()
+            .unwrap();
+        assert_eq!(
+            serial.run_ct(&ds).unwrap().metrics,
+            parallel.run_ct(&ds).unwrap().metrics
+        );
     }
 
     #[test]

@@ -40,6 +40,11 @@ impl RocPoint {
 /// Sweep the voting detector over `voter_counts` (Figures 2 and 5; the
 /// paper uses N = 1, 3, 5, 7, 9, 11, 15, 17, 27).
 ///
+/// Operating points are independent, so they fan out across the
+/// experiment's thread pool (each point then evaluates serially to keep
+/// the machine from oversubscribing); points come back in input order
+/// and are bit-identical to a serial sweep.
+///
 /// # Panics
 ///
 /// Panics if a voter count is zero.
@@ -51,26 +56,28 @@ pub fn sweep_voters<P: Predictor>(
     predictor: &P,
     voter_counts: &[usize],
 ) -> Vec<RocPoint> {
-    voter_counts
-        .iter()
-        .map(|&n| {
-            let exp = {
-                let mut b = crate::pipeline::ExperimentBuilder::from(experiment.clone());
-                b.voters(n);
-                b.build().expect("voter counts must be at least 1")
-            };
-            let metrics = exp.evaluate(dataset, split, predictor, VotingRule::Majority);
-            RocPoint {
-                voters: n,
-                threshold: 0.0,
-                metrics,
+    let pool = experiment.pool();
+    pool.parallel_map(voter_counts, |&n| {
+        let exp = {
+            let mut b = crate::pipeline::ExperimentBuilder::from(experiment.clone());
+            b.voters(n);
+            if pool.is_parallel() {
+                b.threads(Some(1));
             }
-        })
-        .collect()
+            b.build().expect("voter counts must be at least 1")
+        };
+        let metrics = exp.evaluate(dataset, split, predictor, VotingRule::Majority);
+        RocPoint {
+            voters: n,
+            threshold: 0.0,
+            metrics,
+        }
+    })
 }
 
 /// Sweep the health-degree model's detection threshold (Figure 10; the
-/// paper sweeps −0.94 … 0.0 with N = 11).
+/// paper sweeps −0.94 … 0.0 with N = 11). Points fan out across the
+/// experiment's thread pool like [`sweep_voters`].
 #[must_use]
 pub fn sweep_thresholds(
     experiment: &Experiment,
@@ -82,18 +89,23 @@ pub fn sweep_thresholds(
     // The threshold only enters through the voting rule; the compiled
     // scores are the same at every point, so compile once.
     let compiled = model.compile();
-    thresholds
-        .iter()
-        .map(|&threshold| {
-            let metrics =
-                experiment.evaluate(dataset, split, &compiled, VotingRule::MeanBelow(threshold));
-            RocPoint {
-                voters: experiment.voters(),
-                threshold,
-                metrics,
-            }
-        })
-        .collect()
+    let pool = experiment.pool();
+    let point_exp = {
+        let mut b = crate::pipeline::ExperimentBuilder::from(experiment.clone());
+        if pool.is_parallel() {
+            b.threads(Some(1));
+        }
+        b.build().expect("the source experiment was valid")
+    };
+    pool.parallel_map(thresholds, |&threshold| {
+        let metrics =
+            point_exp.evaluate(dataset, split, &compiled, VotingRule::MeanBelow(threshold));
+        RocPoint {
+            voters: experiment.voters(),
+            threshold,
+            metrics,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,363 @@
+//! Deterministic fork-join parallelism on `std::thread::scope`.
+//!
+//! Training and evaluation decompose into independent units — features of
+//! a split search, trees of a forest, drives of a test population — whose
+//! per-unit work is pure. This crate runs those units across a bounded
+//! number of scoped worker threads and **always merges results in
+//! submission order**, so the output of every parallel call is
+//! bit-identical to the serial loop it replaces. With one thread, the
+//! combinators do not spawn at all: they run the plain serial iterator,
+//! so `threads = 1` *is* the old code path, not an emulation of it.
+//!
+//! # Thread-count resolution
+//!
+//! [`resolve_threads`] picks the worker count from, in order:
+//!
+//! 1. an explicit caller value (a `--threads` CLI flag),
+//! 2. the process-wide override set by [`configure_threads`],
+//! 3. the `HDDPRED_THREADS` environment variable (ignored unless it
+//!    parses to an integer ≥ 1),
+//! 4. [`std::thread::available_parallelism`] (clamped to
+//!    [`MAX_THREADS`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hdd_par::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.parallel_map(&[1u64, 2, 3, 4, 5], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]); // submission order
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Hard cap on resolved worker counts: fork-join gains flatten well
+/// before this, and a runaway environment value must not fork-bomb.
+pub const MAX_THREADS: usize = 64;
+
+/// Environment variable consulted by [`resolve_threads`].
+pub const THREADS_ENV_VAR: &str = "HDDPRED_THREADS";
+
+/// Process-wide thread-count override; `0` means "not set".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide default thread count (what a `--threads` CLI
+/// flag plumbs through). Takes precedence over `HDDPRED_THREADS` and
+/// hardware detection; explicit per-call values still win.
+///
+/// # Panics
+///
+/// Panics if `n` is zero — callers validate user input first and report
+/// their own error (the CLI rejects `--threads 0` before calling this).
+pub fn configure_threads(n: usize) {
+    assert!(n >= 1, "thread count must be at least 1");
+    CONFIGURED.store(n.min(MAX_THREADS), Ordering::Relaxed);
+}
+
+/// The process-wide override, if [`configure_threads`] has been called.
+#[must_use]
+pub fn configured_threads() -> Option<usize> {
+    match CONFIGURED.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Worker count from the `HDDPRED_THREADS` environment variable, when it
+/// parses to an integer ≥ 1 (anything else is ignored, not an error —
+/// a bad environment must not take the pipeline down).
+#[must_use]
+pub fn env_threads() -> Option<usize> {
+    std::env::var(THREADS_ENV_VAR)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .map(|n| n.min(MAX_THREADS))
+}
+
+/// Number of hardware threads, clamped to `[1, MAX_THREADS]`.
+#[must_use]
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, MAX_THREADS)
+}
+
+/// Resolve a worker count: `explicit` > [`configure_threads`] >
+/// `HDDPRED_THREADS` > hardware. Always returns at least 1.
+///
+/// # Panics
+///
+/// Panics if `explicit` is `Some(0)`; validate CLI input before calling.
+#[must_use]
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        assert!(n >= 1, "thread count must be at least 1");
+        return n.min(MAX_THREADS);
+    }
+    configured_threads()
+        .or_else(env_threads)
+        .unwrap_or_else(hardware_threads)
+}
+
+/// A scoped fork-join pool: a worker count plus the discipline that every
+/// parallel call joins all of its workers before returning and merges
+/// their results in submission order.
+///
+/// The pool is trivially copyable — workers are scoped threads spawned
+/// per call, so no state outlives a call and non-`'static` borrows (the
+/// training matrix, the dataset) flow into workers without `Arc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    n_threads: usize,
+}
+
+impl Default for ThreadPool {
+    /// The globally resolved pool ([`resolve_threads`] with no explicit
+    /// value).
+    fn default() -> Self {
+        ThreadPool::global()
+    }
+}
+
+impl ThreadPool {
+    /// A pool with exactly `n_threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads` is zero.
+    #[must_use]
+    pub fn new(n_threads: usize) -> Self {
+        assert!(n_threads >= 1, "thread count must be at least 1");
+        ThreadPool {
+            n_threads: n_threads.min(MAX_THREADS),
+        }
+    }
+
+    /// The single-threaded pool: every combinator runs the plain serial
+    /// loop, spawning nothing.
+    #[must_use]
+    pub fn serial() -> Self {
+        ThreadPool { n_threads: 1 }
+    }
+
+    /// The pool resolved from the process-wide configuration
+    /// (override / environment / hardware).
+    #[must_use]
+    pub fn global() -> Self {
+        ThreadPool {
+            n_threads: resolve_threads(None),
+        }
+    }
+
+    /// Worker count.
+    #[must_use]
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Whether this pool actually forks (more than one worker).
+    #[must_use]
+    pub fn is_parallel(&self) -> bool {
+        self.n_threads > 1
+    }
+
+    /// Map `f` over `items`, returning results in item order.
+    ///
+    /// Items are dealt to workers in contiguous chunks; each worker's
+    /// results are concatenated back in submission order, so the output
+    /// is identical to `items.iter().map(f).collect()` whenever `f` is a
+    /// pure function of its item.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the scope joins all workers first).
+    pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if !self.is_parallel() || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(self.n_threads);
+        let f = &f;
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(self.n_threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// Map `f` over the index range `0..n`, returning results in index
+    /// order — the fan-out shape of per-feature and per-tree work.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f`.
+    pub fn parallel_map_range<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if !self.is_parallel() || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunk = n.div_ceil(self.n_threads);
+        let f = &f;
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(self.n_threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    scope.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// Split `items` into at most `n_threads` contiguous chunks, apply
+    /// `f` to each whole chunk, and return the per-chunk results in chunk
+    /// order — the reduce-friendly shape (per-chunk accumulators merged
+    /// by the caller in a fixed order keep floating-point sums stable
+    /// for a given thread count).
+    ///
+    /// With one worker this is a single `f(items)` call.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f`.
+    pub fn parallel_for_chunks<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        if !self.is_parallel() || items.len() == 1 {
+            return vec![f(items)];
+        }
+        let chunk = items.len().div_ceil(self.n_threads);
+        let f = &f;
+        let mut results: Vec<R> = Vec::with_capacity(self.n_threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || f(part)))
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_submission_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(pool.parallel_map(&items, |&x| x * 3 + 1), expect);
+        }
+    }
+
+    #[test]
+    fn map_range_matches_serial() {
+        let expect: Vec<usize> = (0..57).map(|i| i * i).collect();
+        for threads in [1, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(pool.parallel_map_range(57, |i| i * i), expect);
+        }
+    }
+
+    #[test]
+    fn chunk_results_arrive_in_chunk_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let pool = ThreadPool::new(4);
+        let sums = pool.parallel_for_chunks(&items, |part| part.iter().sum::<u32>());
+        assert_eq!(sums.len(), 4);
+        assert_eq!(sums.iter().sum::<u32>(), items.iter().sum::<u32>());
+        // Chunks are contiguous and ordered: first chunk holds 0..25.
+        assert_eq!(sums[0], (0..25).sum::<u32>());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let pool = ThreadPool::new(8);
+        assert_eq!(pool.parallel_map(&[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(pool.parallel_map(&[7u8], |&x| x + 1), vec![8]);
+        assert_eq!(
+            pool.parallel_for_chunks(&[] as &[u8], |c| c.len()),
+            Vec::<usize>::new()
+        );
+        assert_eq!(pool.parallel_map_range(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn serial_pool_never_forks() {
+        // Observable via thread ids: every call runs on this thread.
+        let here = std::thread::current().id();
+        let ids = ThreadPool::serial().parallel_map(&[1, 2, 3], |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == here));
+    }
+
+    #[test]
+    fn parallel_pool_runs_off_thread() {
+        let here = std::thread::current().id();
+        let items: Vec<u32> = (0..64).collect();
+        let ids = ThreadPool::new(4).parallel_map(&items, |_| std::thread::current().id());
+        assert!(ids.iter().any(|&id| id != here));
+    }
+
+    #[test]
+    fn resolution_precedence() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(10_000)), MAX_THREADS);
+        assert!(resolve_threads(None) >= 1);
+        configure_threads(2);
+        assert_eq!(configured_threads(), Some(2));
+        assert_eq!(resolve_threads(None), 2);
+        assert_eq!(resolve_threads(Some(5)), 5, "explicit beats configured");
+        configure_threads(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_panics() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn pool_constructors() {
+        assert_eq!(ThreadPool::serial().n_threads(), 1);
+        assert!(!ThreadPool::serial().is_parallel());
+        assert!(ThreadPool::new(2).is_parallel());
+        assert!(ThreadPool::global().n_threads() >= 1);
+        assert_eq!(ThreadPool::new(1_000_000).n_threads(), MAX_THREADS);
+    }
+}

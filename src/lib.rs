@@ -10,7 +10,9 @@
 //! * [`cart`] — the paper's contribution: CT and RT models,
 //! * [`ann`] — the BP ANN baseline,
 //! * [`eval`] — splits, voting detection, FDR/FAR/TIA metrics, model aging,
-//! * [`reliability`] — Markov MTTDL models for RAID with failure prediction.
+//! * [`reliability`] — Markov MTTDL models for RAID with failure prediction,
+//! * [`par`] — the deterministic fork-join layer every crate trains and
+//!   evaluates on (results are bit-identical at any thread count).
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@ pub use hdd_baselines as baselines;
 pub use hdd_cart as cart;
 pub use hdd_eval as eval;
 pub use hdd_json;
+pub use hdd_par as par;
 pub use hdd_reliability as reliability;
 pub use hdd_smart as smart;
 pub use hdd_stats as stats;

@@ -53,8 +53,11 @@ hddpred — hard drive failure prediction (CART, DSN'14)
 
 USAGE:
     hddpred generate --out <traces.csv> [--family W|Q] [--scale <f>] [--seed <n>]
-    hddpred train    --data <traces.csv> --out <model.json> [--window <hours>]
-    hddpred detect   --data <traces.csv> --model <model.json> [--voters <n>]
+    hddpred train    --data <traces.csv> --out <model.json> [--window <hours>] [--threads <n>]
+    hddpred detect   --data <traces.csv> --model <model.json> [--voters <n>] [--threads <n>]
+
+`--threads` sets the worker-thread count (default: HDDPRED_THREADS, else
+the hardware count). Results are bit-identical at any setting.
 ";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
@@ -77,6 +80,20 @@ fn flag<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, S
         .get(name)
         .map(String::as_str)
         .ok_or_else(|| format!("missing required flag --{name}\n{USAGE}"))
+}
+
+/// Apply the shared `--threads` flag as the process-wide worker count.
+fn apply_threads(flags: &HashMap<String, String>) -> CliResult {
+    if let Some(raw) = flags.get("threads") {
+        let threads: usize = raw
+            .parse()
+            .map_err(|_| format!("--threads needs an integer, got `{raw}`"))?;
+        if threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        hddpred::par::configure_threads(threads);
+    }
+    Ok(())
 }
 
 /// `hddpred generate`: synthesize a fleet and dump every series as CSV.
@@ -151,6 +168,7 @@ fn train(flags: &HashMap<String, String>) -> CliResult {
     let data = flag(flags, "data")?;
     let out = flag(flags, "out")?;
     let window: u32 = flags.get("window").map_or(Ok(168), |s| s.parse())?;
+    apply_threads(flags)?;
 
     let series = read_series(BufReader::new(File::open(data)?))?;
     let features = FeatureSet::critical13();
@@ -179,19 +197,27 @@ fn detect(flags: &HashMap<String, String>) -> CliResult {
     if voters == 0 {
         return Err("--voters must be at least 1".into());
     }
+    apply_threads(flags)?;
 
     let series = read_series(BufReader::new(File::open(data)?))?;
     let features = FeatureSet::critical13();
     let model = SavedModel::load_expecting(Path::new(model_path), features.len())?;
     let detector = VotingDetector::new(&model, &features, voters, VotingRule::Majority);
 
-    let mut alarms = 0usize;
-    println!("drive,alarm_hour,last_score");
-    for s in &series {
+    // Scan drives on the worker pool; results come back in drive order,
+    // so the output is identical to a serial scan.
+    let pool = hddpred::par::ThreadPool::global();
+    let scans = pool.parallel_map(&series, |s| {
         let alarm = detector.first_alarm(s, Hour(0)..Hour(u32::MAX));
         let last_score = features
             .extract(s, s.len().saturating_sub(1))
             .map(|f| model.score(&f));
+        (alarm, last_score)
+    });
+
+    let mut alarms = 0usize;
+    println!("drive,alarm_hour,last_score");
+    for (s, (alarm, last_score)) in series.iter().zip(scans) {
         if let Some(hour) = alarm {
             alarms += 1;
             println!(
