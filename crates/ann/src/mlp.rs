@@ -88,7 +88,7 @@ impl AnnConfig {
         assert!(layers.len() >= 2, "need at least input and output layers");
         assert!(layers.iter().all(|&n| n > 0), "layers must be non-empty");
         assert_eq!(
-            *layers.last().expect("non-empty"),
+            layers[layers.len() - 1],
             1,
             "this baseline is a single-output regressor/classifier"
         );

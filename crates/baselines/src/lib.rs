@@ -24,6 +24,7 @@
 //! machinery as the compiled tree models.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub mod bayes;

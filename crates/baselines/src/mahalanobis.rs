@@ -169,9 +169,11 @@ fn invert(matrix: &[f64], dim: usize) -> Vec<f64> {
     }
     for col in 0..dim {
         // Partial pivot.
+        // `col..dim` is non-empty inside the loop; `col` is a safe
+        // stand-in if it ever were not.
         let pivot_row = (col..dim)
             .max_by(|&r1, &r2| a[r1 * dim + col].abs().total_cmp(&a[r2 * dim + col].abs()))
-            .expect("non-empty range");
+            .unwrap_or(col);
         assert!(
             a[pivot_row * dim + col].abs() > 1e-12,
             "singular covariance matrix"

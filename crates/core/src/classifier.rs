@@ -400,6 +400,9 @@ fn grow(
             threshold: split.threshold,
             left: left_id,
             right: right_id,
+            // Missing-value policy: NaN follows the heavier child.
+            nan_left: left_leaf.w_good + left_leaf.w_failed
+                >= right_leaf.w_good + right_leaf.w_failed,
         });
         // Scaled gain: local information gain × the node's weight share,
         // the quantity the complexity parameter is compared against.

@@ -38,6 +38,9 @@ struct Node {
     left: u32,
     right: u32,
     feature: u16,
+    /// Missing-value routing: NaN goes to the majority-weight child
+    /// recorded at training time (see [`crate::tree::SplitNode`]).
+    nan_left: bool,
 }
 
 /// A flat decision tree over 32-byte nodes.
@@ -75,6 +78,7 @@ impl CompactTree {
                         left: s.left.0,
                         right: s.right.0,
                         feature: global as u16,
+                        nan_left: s.nan_left,
                     }
                 }
                 None => Node {
@@ -83,6 +87,7 @@ impl CompactTree {
                     left: LEAF,
                     right: LEAF,
                     feature: 0,
+                    nan_left: false,
                 },
             });
         }
@@ -103,7 +108,17 @@ impl CompactTree {
             if node.left == LEAF {
                 return node.payload;
             }
-            let next = if features[node.feature as usize] < node.threshold {
+            let v = features[node.feature as usize];
+            // NaN comparisons are false, so `v < threshold` would silently
+            // send every missing value right; route NaN explicitly to the
+            // majority direction instead, exactly like the arena walker.
+            let next = if v.is_nan() {
+                if node.nan_left {
+                    node.left
+                } else {
+                    node.right
+                }
+            } else if v < node.threshold {
                 node.left
             } else {
                 node.right
@@ -174,6 +189,10 @@ impl JsonCodec for CompactTree {
                 "payload".to_string(),
                 Value::from_f64s(self.nodes.iter().map(|n| n.payload)),
             ),
+            (
+                "nan".to_string(),
+                Value::from_usizes(self.nodes.iter().map(|n| usize::from(n.nan_left))),
+            ),
         ])
     }
 
@@ -194,10 +213,25 @@ impl JsonCodec for CompactTree {
         let left = link("left")?;
         let right = link("right")?;
         let payload = value.f64_vec_field("payload")?;
+        let nan_left = value
+            .usize_vec_field("nan")?
+            .into_iter()
+            .map(|v| match v {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(JsonError::expected("0 or 1", "nan")),
+            })
+            .collect::<Result<Vec<bool>, JsonError>>()?;
         let n = payload.len();
-        if [feature.len(), threshold.len(), left.len(), right.len()]
-            .iter()
-            .any(|&len| len != n)
+        if [
+            feature.len(),
+            threshold.len(),
+            left.len(),
+            right.len(),
+            nan_left.len(),
+        ]
+        .iter()
+        .any(|&len| len != n)
         {
             return Err(JsonError::new("tree arrays disagree on length"));
         }
@@ -208,6 +242,7 @@ impl JsonCodec for CompactTree {
                 left: left[i],
                 right: right[i],
                 feature: feature[i],
+                nan_left: nan_left[i],
             })
             .collect();
         Ok(CompactTree { nodes })
@@ -502,6 +537,32 @@ mod tests {
             let s = compiled.score(&q);
             assert!((-1.0..=1.0).contains(&s));
             assert_eq!(s.to_bits(), model.health(&q).to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_routing_matches_arena_walker_bit_for_bit() {
+        let tree = ClassificationTreeBuilder::new()
+            .build(&class_samples(300))
+            .unwrap();
+        let compiled = tree.compile();
+        // Poke NaN into each coordinate in turn, and both at once: the
+        // compiled walker and the arena walker must agree exactly.
+        for q in grid(2) {
+            for mask in 1..4usize {
+                let mut probe = q.clone();
+                if mask & 1 != 0 {
+                    probe[0] = f64::NAN;
+                }
+                if mask & 2 != 0 {
+                    probe[1] = f64::NAN;
+                }
+                assert_eq!(
+                    compiled.score(&probe).to_bits(),
+                    tree.predict(&probe).target().to_bits(),
+                    "{probe:?}"
+                );
+            }
         }
     }
 

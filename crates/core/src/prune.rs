@@ -36,6 +36,7 @@ fn copy_pruned<L: Clone>(tree: &Tree<L>, id: NodeId, cp: f64, out: &mut Vec<Node
                 threshold: split.threshold,
                 left,
                 right,
+                nan_left: split.nan_left,
             });
         }
     }
@@ -128,6 +129,7 @@ fn collapse(tree: &Tree<ClassLeaf>, target: NodeId) -> Tree<ClassLeaf> {
                     threshold: split.threshold,
                     left,
                     right,
+                    nan_left: split.nan_left,
                 });
             }
         }
@@ -158,6 +160,7 @@ mod tests {
             threshold: 1.0,
             left: NodeId(1),
             right: NodeId(2),
+            nan_left: true,
         });
         let mut inner = leaf(2, 4.0);
         inner.gain = 0.01;
@@ -166,6 +169,7 @@ mod tests {
             threshold: 5.0,
             left: NodeId(3),
             right: NodeId(4),
+            nan_left: false,
         });
         Tree::from_nodes(
             vec![root, leaf(1, 6.0), inner, leaf(3, 2.0), leaf(4, 2.0)],

@@ -249,8 +249,13 @@ fn grow(
 
         let left_id = NodeId(nodes.len() as u32);
         let right_id = NodeId(nodes.len() as u32 + 1);
-        for range in [&indices[start..mid], &indices[mid..end]] {
+        let mut child_weights = [0.0f64; 2];
+        for (slot, range) in [&indices[start..mid], &indices[mid..end]]
+            .into_iter()
+            .enumerate()
+        {
             let (mean, _, sw) = node_stats(range);
+            child_weights[slot] = sw;
             nodes.push(Node {
                 prediction: RegLeaf { mean },
                 weight: sw,
@@ -265,6 +270,8 @@ fn grow(
             threshold: split.threshold,
             left: left_id,
             right: right_id,
+            // Missing-value policy: NaN follows the heavier child.
+            nan_left: child_weights[0] >= child_weights[1],
         });
         // Relative sum-of-squares reduction, comparable against CP.
         node.gain = if root_sq > 0.0 {

@@ -31,6 +31,12 @@ pub struct SplitNode {
     pub left: NodeId,
     /// Right child (condition false).
     pub right: NodeId,
+    /// Missing-value routing: a NaN feature value cannot be compared
+    /// against the threshold, so it follows the *majority direction* —
+    /// the child that received more training weight (ties go left).
+    /// Recorded at training time; both the arena walker and the compiled
+    /// [`crate::CompactTree`] honor it identically.
+    pub nan_left: bool,
 }
 
 /// One node of a tree.
@@ -137,7 +143,16 @@ impl<L> Tree<L> {
             match &self.node(id).split {
                 None => return self.node(id),
                 Some(s) => {
-                    id = if features[s.feature] < s.threshold {
+                    let v = features[s.feature];
+                    id = if v.is_nan() {
+                        // Missing-value policy: route to the majority
+                        // direction recorded at training time.
+                        if s.nan_left {
+                            s.left
+                        } else {
+                            s.right
+                        }
+                    } else if v < s.threshold {
                         s.left
                     } else {
                         s.right
@@ -203,13 +218,13 @@ impl<L: fmt::Display> Tree<L> {
         } else {
             condition.to_string()
         };
-        writeln!(
+        // Writing to a String cannot fail; ignore the Infallible error.
+        let _ = writeln!(
             out,
             "{prefix}{what} → {} [{:.1}% of weight]",
             node.prediction,
             node.fraction * 100.0
-        )
-        .expect("writing to String cannot fail");
+        );
         if let Some(s) = &node.split {
             let name = names
                 .get(s.feature)
@@ -252,6 +267,7 @@ mod tests {
                         threshold: 5.0,
                         left: NodeId(1),
                         right: NodeId(2),
+                        nan_left: true,
                     }),
                 },
                 Node {
@@ -279,6 +295,19 @@ mod tests {
         assert_eq!(t.leaf_for(&[4.9]).prediction, "L");
         assert_eq!(t.leaf_for(&[5.0]).prediction, "R");
         assert_eq!(t.leaf_for(&[100.0]).prediction, "R");
+    }
+
+    #[test]
+    fn nan_routes_to_majority_direction() {
+        let t = stump(); // nan_left: true (left child is heavier)
+        assert_eq!(t.leaf_for(&[f64::NAN]).prediction, "L");
+
+        let mut nodes: Vec<Node<&'static str>> = t.nodes().cloned().collect();
+        if let Some(s) = &mut nodes[0].split {
+            s.nan_left = false;
+        }
+        let flipped = Tree::from_nodes(nodes, 1);
+        assert_eq!(flipped.leaf_for(&[f64::NAN]).prediction, "R");
     }
 
     #[test]
@@ -332,6 +361,7 @@ mod tests {
                     threshold: 0.0,
                     left: NodeId(7),
                     right: NodeId(8),
+                    nan_left: true,
                 }),
             }],
             1,

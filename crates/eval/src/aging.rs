@@ -139,10 +139,11 @@ where
     let mut weekly = Vec::new();
     for test_week in 1..OBSERVATION_WEEKS {
         let train_weeks = strategy.training_weeks(test_week);
-        let cycle = cycles
-            .iter()
-            .position(|c| *c == train_weeks)
-            .expect("every weekly range was collected above");
+        // Every weekly range was collected above; skip the week rather
+        // than die if that invariant ever breaks.
+        let Some(cycle) = cycles.iter().position(|c| *c == train_weeks) else {
+            continue;
+        };
         let metrics = experiment.evaluate_in(
             dataset,
             Hour::week_range(test_week),

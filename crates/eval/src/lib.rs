@@ -21,6 +21,7 @@
 //!   health-degree ordering buys an operations team (§III-B).
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub mod aging;

@@ -191,7 +191,20 @@ impl TrainableModel for AnnConfig {
 }
 
 /// Model-file format version; bumped on incompatible layout changes.
-pub const MODEL_FORMAT_VERSION: usize = 1;
+///
+/// Version 2 added the checksummed container (a header line with
+/// per-block CRC-32s in front of the envelope) and the `nan` routing
+/// array inside compact trees; version-1 files are rejected with
+/// [`ModelError::UnsupportedVersion`].
+pub const MODEL_FORMAT_VERSION: usize = 2;
+
+/// Magic string opening the checksummed container's header line.
+const MODEL_MAGIC: &str = "hddpred-model";
+
+/// Payload bytes covered by each CRC-32 in the container header. Small
+/// blocks keep the "corrupt at byte …" diagnostics tight without
+/// noticeably growing the header.
+const CRC_BLOCK_BYTES: usize = 256;
 
 /// Why saving or loading a model failed.
 #[derive(Debug)]
@@ -212,6 +225,14 @@ pub enum ModelError {
         /// Features the saved model was trained on.
         found: usize,
     },
+    /// The file's bytes contradict its recorded checksums or container
+    /// layout — on-disk corruption, naming the failing byte offset.
+    Corrupt {
+        /// Byte offset (from the start of the file) of the failure.
+        offset: usize,
+        /// What was wrong there.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -227,6 +248,9 @@ impl fmt::Display for ModelError {
                 f,
                 "feature count mismatch: pipeline extracts {expected} features, model was trained on {found}"
             ),
+            ModelError::Corrupt { offset, detail } => {
+                write!(f, "model file corrupt at byte {offset}: {detail}")
+            }
         }
     }
 }
@@ -254,7 +278,7 @@ impl From<JsonError> for ModelError {
 }
 
 /// Wrap a model payload in the versioned envelope every model file uses:
-/// `{"format_version": 1, "kind": ..., "n_features": ..., "model": ...}`.
+/// `{"format_version": 2, "kind": ..., "n_features": ..., "model": ...}`.
 #[must_use]
 pub fn envelope(kind: &str, n_features: usize, payload: Value) -> Value {
     Value::Obj(vec![
@@ -364,24 +388,128 @@ impl SavedModel {
         }
     }
 
-    /// Write the model to a JSON file.
+    /// Write the model to a checksummed model file, crash-safely.
+    ///
+    /// The file is two lines: a header
+    /// `{"magic":"hddpred-model","block":256,"payload_bytes":…,"crc32":[…]}`
+    /// with one CRC-32 per 256-byte payload block, then the envelope
+    /// JSON. The write is atomic: the document goes to a `.tmp` sibling
+    /// first, is flushed to disk (`fsync`), and only then renamed over
+    /// `path` — an interrupted save never clobbers a previous valid
+    /// model, readers only ever see a complete old or new file.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::Io`] when the file cannot be written.
     pub fn save(&self, path: &Path) -> Result<(), ModelError> {
-        std::fs::write(path, hdd_json::to_string(&self.to_json()))?;
+        let payload = hdd_json::to_string(&self.to_json());
+        let header = Value::Obj(vec![
+            ("magic".to_string(), Value::Str(MODEL_MAGIC.to_string())),
+            ("block".to_string(), Value::Num(CRC_BLOCK_BYTES as f64)),
+            (
+                "payload_bytes".to_string(),
+                Value::Num(payload.len() as f64),
+            ),
+            (
+                "crc32".to_string(),
+                Value::from_usizes(
+                    payload
+                        .as_bytes()
+                        .chunks(CRC_BLOCK_BYTES)
+                        .map(|chunk| hdd_json::crc32(chunk) as usize),
+                ),
+            ),
+        ]);
+        let mut document = hdd_json::to_string(&header);
+        document.push('\n');
+        document.push_str(&payload);
+
+        let tmp = tmp_sibling(path);
+        {
+            use std::io::Write as _;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(document.as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Best effort: persist the rename itself (directory metadata).
+        if let Some(dir) = path.parent() {
+            if let Ok(dir) = std::fs::File::open(dir) {
+                let _ = dir.sync_all();
+            }
+        }
         Ok(())
     }
 
-    /// Read a model from a JSON file.
+    /// Read a model from a checksummed model file written by
+    /// [`SavedModel::save`], verifying every payload block's CRC-32
+    /// before parsing.
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError`] on I/O, parse, version or shape problems.
+    /// Returns [`ModelError::Corrupt`] (naming the failing byte offset)
+    /// when the bytes contradict the recorded checksums or container
+    /// layout, [`ModelError::UnsupportedVersion`] for pre-checksum
+    /// version-1 files, and [`ModelError`] on I/O, parse, version or
+    /// shape problems.
     pub fn load(path: &Path) -> Result<Self, ModelError> {
-        let text = std::fs::read_to_string(path)?;
-        SavedModel::from_json(&hdd_json::parse(&text)?)
+        let bytes = std::fs::read(path)?;
+        let text = std::str::from_utf8(&bytes).map_err(|e| ModelError::Corrupt {
+            offset: e.valid_up_to(),
+            detail: "invalid UTF-8".to_string(),
+        })?;
+        let Some((header_line, payload)) = text.split_once('\n') else {
+            // Single-line files are the unchecksummed v1 layout (or junk).
+            return Err(legacy_or_corrupt(text));
+        };
+        let corrupt_header = |detail: String| ModelError::Corrupt { offset: 0, detail };
+        let header = hdd_json::parse(header_line)
+            .map_err(|e| corrupt_header(format!("unreadable header: {e}")))?;
+        match header.str_field("magic") {
+            Ok(MODEL_MAGIC) => {}
+            _ => return Err(legacy_or_corrupt(header_line)),
+        }
+        let block = header
+            .usize_field("block")
+            .map_err(|e| corrupt_header(e.to_string()))?;
+        if block != CRC_BLOCK_BYTES {
+            return Err(corrupt_header(format!(
+                "checksum block size {block}, expected {CRC_BLOCK_BYTES}"
+            )));
+        }
+        let recorded_len = header
+            .usize_field("payload_bytes")
+            .map_err(|e| corrupt_header(e.to_string()))?;
+        let payload_offset = header_line.len() + 1;
+        if recorded_len != payload.len() {
+            return Err(ModelError::Corrupt {
+                offset: payload_offset,
+                detail: format!(
+                    "payload is {} bytes, header says {recorded_len}",
+                    payload.len()
+                ),
+            });
+        }
+        let recorded = header
+            .usize_vec_field("crc32")
+            .map_err(|e| corrupt_header(e.to_string()))?;
+        let chunks = payload.as_bytes().chunks(CRC_BLOCK_BYTES);
+        if recorded.len() != chunks.len() {
+            return Err(corrupt_header(format!(
+                "{} checksums for {} payload blocks",
+                recorded.len(),
+                chunks.len()
+            )));
+        }
+        for (i, chunk) in chunks.enumerate() {
+            if hdd_json::crc32(chunk) as usize != recorded[i] {
+                return Err(ModelError::Corrupt {
+                    offset: payload_offset + i * CRC_BLOCK_BYTES,
+                    detail: format!("checksum mismatch in the {}-byte block there", chunk.len()),
+                });
+            }
+        }
+        SavedModel::from_json(&hdd_json::parse(payload)?)
     }
 
     /// Read a model and verify it scores `expected` features.
@@ -394,6 +522,32 @@ impl SavedModel {
         let model = SavedModel::load(path)?;
         model.expect_features(expected)?;
         Ok(model)
+    }
+}
+
+/// The temp-file path a save writes before renaming: `<name>.tmp` in the
+/// same directory, so the rename never crosses a filesystem boundary.
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(std::ffi::OsStr::to_os_string)
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Classify a file that is not a v2 container: a parseable envelope with
+/// a `format_version` header is a legacy (pre-checksum) model file;
+/// anything else is corruption.
+fn legacy_or_corrupt(text: &str) -> ModelError {
+    if let Ok(doc) = hdd_json::parse(text) {
+        if let Ok(version) = doc.usize_field("format_version") {
+            return ModelError::UnsupportedVersion(version);
+        }
+    }
+    ModelError::Corrupt {
+        offset: 0,
+        detail: "not a model file (missing container header)".to_string(),
     }
 }
 
@@ -542,7 +696,7 @@ mod tests {
             .unwrap();
         let text = hdd_json::to_string(&SavedModel::from(tree.compile()).to_json());
 
-        let wrong_version = text.replacen("\"format_version\":1", "\"format_version\":99", 1);
+        let wrong_version = text.replacen("\"format_version\":2", "\"format_version\":99", 1);
         let err = SavedModel::from_json(&hdd_json::parse(&wrong_version).unwrap()).unwrap_err();
         assert!(matches!(err, ModelError::UnsupportedVersion(99)), "{err}");
 
@@ -553,6 +707,121 @@ mod tests {
         let wrong_header = text.replacen("\"n_features\":2", "\"n_features\":7", 1);
         let err = SavedModel::from_json(&hdd_json::parse(&wrong_header).unwrap()).unwrap_err();
         assert!(matches!(err, ModelError::Json(_)), "{err}");
+    }
+
+    /// A small model, its container bytes, and a scratch directory.
+    fn saved_file(name: &str) -> (SavedModel, std::path::PathBuf) {
+        let tree = ClassificationTreeBuilder::new()
+            .train(&class_samples(80))
+            .unwrap();
+        let model = SavedModel::from(tree.compile());
+        let dir = std::env::temp_dir().join("hdd-eval-model-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        model.save(&path).unwrap();
+        (model, path)
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected_at_load() {
+        let (_, path) = saved_file("bitflip.json");
+        let clean = std::fs::read(&path).unwrap();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bytes = clean.clone();
+                bytes[byte] ^= 1 << bit;
+                std::fs::write(&path, &bytes).unwrap();
+                assert!(
+                    SavedModel::load(&path).is_err(),
+                    "flip of byte {byte} bit {bit} was accepted"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_error_names_the_failing_offset() {
+        // A model big enough to span several checksum blocks: label
+        // noise forces the tree to grow many splits.
+        let noisy: Vec<ClassSample> = (0..2000)
+            .map(|i| {
+                let x = (i % 67) as f64;
+                let y = ((i * 13) % 29) as f64;
+                let flip = i % 7 == 0;
+                let class = if (x < 30.0) ^ flip {
+                    Class::Failed
+                } else {
+                    Class::Good
+                };
+                ClassSample::new(vec![x, y], class)
+            })
+            .collect();
+        let mut builder = ClassificationTreeBuilder::new();
+        builder.complexity(0.0).min_split(4).min_bucket(2);
+        let tree = builder.train(&noisy).unwrap();
+        let model = SavedModel::from(tree.compile());
+        let dir = std::env::temp_dir().join("hdd-eval-model-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("offset.json");
+        model.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        // Corrupt a payload byte well past the first checksum block.
+        let victim = header_end + 1 + CRC_BLOCK_BYTES + 10;
+        assert!(victim < bytes.len(), "model file too small for this test");
+        bytes[victim] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = SavedModel::load(&path).unwrap_err();
+        match err {
+            ModelError::Corrupt { offset, .. } => {
+                assert_eq!(offset, header_end + 1 + CRC_BLOCK_BYTES);
+                assert!(err.to_string().contains(&offset.to_string()), "{err}");
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_are_rejected_with_their_version() {
+        let (model, path) = saved_file("legacy.json");
+        // A v1 file was the bare envelope, unchecksummed, single line.
+        let v1 = hdd_json::to_string(&model.to_json()).replacen(
+            "\"format_version\":2",
+            "\"format_version\":1",
+            1,
+        );
+        std::fs::write(&path, v1).unwrap();
+        let err = SavedModel::load(&path).unwrap_err();
+        assert!(matches!(err, ModelError::UnsupportedVersion(1)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interrupted_save_never_clobbers_the_previous_model() {
+        let (model, path) = saved_file("interrupted.json");
+        // Simulate a crash mid-save: a half-written temp file exists but
+        // the rename never happened. The destination must stay valid.
+        let tmp = super::tmp_sibling(&path);
+        std::fs::write(&tmp, b"{\"torn\": tru").unwrap();
+        assert_eq!(SavedModel::load(&path).unwrap(), model);
+        // And a subsequent save must succeed over the stale temp file.
+        model.save(&path).unwrap();
+        assert_eq!(SavedModel::load(&path).unwrap(), model);
+        assert!(!tmp.exists(), "save must consume its temp file");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt_not_a_panic() {
+        let (_, path) = saved_file("truncated.json");
+        let bytes = std::fs::read(&path).unwrap();
+        for keep in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..keep]).unwrap();
+            assert!(SavedModel::load(&path).is_err(), "kept {keep} bytes");
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -314,7 +314,11 @@ impl Experiment {
     ) -> Vec<ClassSample> {
         let mut samples = Vec::new();
         for id in train_failed {
-            let spec = dataset.get(*id).expect("split ids come from dataset");
+            // Split ids come from the dataset; skip rather than die if a
+            // caller hands a foreign split.
+            let Some(spec) = dataset.get(*id) else {
+                continue;
+            };
             let series = dataset.series(spec);
             for (features, _) in self.failed_window_features(spec, &series) {
                 samples.push(ClassSample::new(features, Class::Failed));
@@ -410,14 +414,16 @@ impl Experiment {
                 split
                     .train_failed
                     .iter()
-                    .map(|id| {
-                        let spec = dataset.get(*id).expect("split ids come from dataset");
-                        let fail = spec.class.fail_hour().expect("failed drive");
+                    .filter_map(|id| {
+                        // Skip ids the dataset cannot resolve to a
+                        // failed drive instead of dying mid-training.
+                        let spec = dataset.get(*id)?;
+                        let fail = spec.class.fail_hour()?;
                         let series = dataset.series(spec);
                         let tia = detector
                             .first_alarm(&series, dataset.recorded_range(spec))
                             .map(|alarm| fail.saturating_since(alarm));
-                        (id.0, tia.unwrap_or(self.fallback_window_hours).max(1))
+                        Some((id.0, tia.unwrap_or(self.fallback_window_hours).max(1)))
                     })
                     .collect()
             }
@@ -442,10 +448,12 @@ impl Experiment {
             samples.push(RegSample::new(features, 1.0));
         }
         for &(id, window) in &windows {
-            let spec = dataset
-                .get(hdd_smart::DriveId(id))
-                .expect("split ids come from dataset");
-            let fail = spec.class.fail_hour().expect("failed drive");
+            let Some(spec) = dataset.get(hdd_smart::DriveId(id)) else {
+                continue;
+            };
+            let Some(fail) = spec.class.fail_hour() else {
+                continue;
+            };
             let series = dataset.series(spec);
             let in_window: Vec<(Vec<f64>, Hour)> =
                 self.window_features(spec, &series, window).collect();
@@ -520,7 +528,9 @@ impl Experiment {
                     if !test_failed.contains(&spec.id) {
                         continue;
                     }
-                    let fail = spec.class.fail_hour().expect("failed drive");
+                    let Some(fail) = spec.class.fail_hour() else {
+                        continue;
+                    };
                     let series = dataset.series(spec);
                     m.failed_total += 1;
                     if let Some(alarm) = detector.first_alarm(&series, dataset.recorded_range(spec))
@@ -610,12 +620,11 @@ impl Experiment {
         series: &'a SmartSeries,
         window_hours: u32,
     ) -> impl Iterator<Item = (Vec<f64>, Hour)> + 'a {
-        let fail = spec
-            .class
-            .fail_hour()
-            .expect("window features need a failed drive");
-        let start = fail - window_hours;
+        // Good drives have no failure window: the iterator is empty
+        // instead of panicking when a caller mixes the classes up.
+        let fail = spec.class.fail_hour();
         (0..series.len()).filter_map(move |idx| {
+            let start = fail? - window_hours;
             let hour = series.samples()[idx].hour;
             if hour < start {
                 return None;

@@ -43,11 +43,8 @@ impl RocPoint {
 /// Operating points are independent, so they fan out across the
 /// experiment's thread pool (each point then evaluates serially to keep
 /// the machine from oversubscribing); points come back in input order
-/// and are bit-identical to a serial sweep.
-///
-/// # Panics
-///
-/// Panics if a voter count is zero.
+/// and are bit-identical to a serial sweep. A voter count of zero falls
+/// back to the source experiment's voter count.
 #[must_use]
 pub fn sweep_voters<P: Predictor>(
     experiment: &Experiment,
@@ -64,7 +61,10 @@ pub fn sweep_voters<P: Predictor>(
             if pool.is_parallel() {
                 b.threads(Some(1));
             }
-            b.build().expect("voter counts must be at least 1")
+            // A zero voter count cannot rebuild; fall back to the
+            // source experiment (its voter count) instead of panicking
+            // inside a worker thread.
+            b.build().unwrap_or_else(|_| experiment.clone())
         };
         let metrics = exp.evaluate(dataset, split, predictor, VotingRule::Majority);
         RocPoint {
@@ -95,7 +95,9 @@ pub fn sweep_thresholds(
         if pool.is_parallel() {
             b.threads(Some(1));
         }
-        b.build().expect("the source experiment was valid")
+        // Rebuilding a valid experiment with fewer threads cannot fail;
+        // degrade to the source experiment if it somehow does.
+        b.build().unwrap_or_else(|_| experiment.clone())
     };
     pool.parallel_map(thresholds, |&threshold| {
         let metrics =

@@ -142,7 +142,10 @@ pub fn simulate_triage<P: Predictor>(
             }
         }
         for (id, _, _) in queued.drain(..config.capacity_per_day.min(queued.len())) {
-            let spec = dataset.get(id).expect("queued drives exist");
+            // Queued ids come from this dataset; skip ghosts.
+            let Some(spec) = dataset.get(id) else {
+                continue;
+            };
             let processed_hour = day * 24 + 23;
             let saved = match spec.class.fail_hour() {
                 Some(fail) if fail.0 <= processed_hour => false, // died while queued

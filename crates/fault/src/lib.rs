@@ -1,0 +1,461 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Real SMART telemetry arrives with gaps, glitches and malformed
+//! records; model files on disk rot, get truncated by crashes, or lose
+//! bits to bad sectors. This crate corrupts healthy inputs *on purpose*
+//! so the rest of the workspace can prove it degrades gracefully:
+//!
+//! * [`FaultInjector::corrupt_csv`] damages a SMART CSV stream with one
+//!   of the [`FaultClass`] corruptions — NaN and out-of-range feature
+//!   values, truncated and garbage rows, dropped samples, duplicated and
+//!   out-of-order timestamps — and returns an [`InjectionReport`] with
+//!   the *exact* per-class counts, so ingestion-side quarantine counters
+//!   can be checked for equality, not just plausibility.
+//! * [`FaultInjector::flip_bit`] flips a single pseudo-random bit in a
+//!   byte buffer (a serialized model file), returning the offset and bit
+//!   so tests can assert the loader rejects precisely that corruption.
+//!
+//! Everything is seeded and dependency-free: the same `(seed, input,
+//! class, rate)` always produces the same corrupted output, byte for
+//! byte, so chaos-test failures replay exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+/// A SMART CSV row has `drive,failed,fail_hour,hour` plus the twelve
+/// feature columns of the paper's Table II.
+const ROW_FIELDS: usize = 16;
+
+/// Index of the first feature column within a row.
+const FIRST_FEATURE: usize = 4;
+
+/// One class of injected corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Replace a feature value with `NaN` (parses as a float, but is not
+    /// a usable measurement).
+    NanValue,
+    /// Replace a feature value with an absurd out-of-range magnitude.
+    OutOfRangeValue,
+    /// Cut a row off mid-line, as a crashed writer or torn read would.
+    TruncatedRow,
+    /// Replace a whole row with unparseable garbage bytes.
+    GarbageRow,
+    /// Silently drop a sample, leaving a gap in the series.
+    DroppedRow,
+    /// Duplicate a sample, producing two rows with the same timestamp.
+    DuplicatedTimestamp,
+    /// Swap two adjacent same-drive rows, producing exactly one
+    /// out-of-order timestamp per swap.
+    OutOfOrderTimestamp,
+}
+
+impl FaultClass {
+    /// Every CSV-stream fault class, in a fixed order — the corpus chaos
+    /// suites iterate over.
+    pub const CSV_CORPUS: [FaultClass; 7] = [
+        FaultClass::NanValue,
+        FaultClass::OutOfRangeValue,
+        FaultClass::TruncatedRow,
+        FaultClass::GarbageRow,
+        FaultClass::DroppedRow,
+        FaultClass::DuplicatedTimestamp,
+        FaultClass::OutOfOrderTimestamp,
+    ];
+
+    /// A stable human-readable label (for logs and test diagnostics).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::NanValue => "nan-value",
+            FaultClass::OutOfRangeValue => "out-of-range-value",
+            FaultClass::TruncatedRow => "truncated-row",
+            FaultClass::GarbageRow => "garbage-row",
+            FaultClass::DroppedRow => "dropped-row",
+            FaultClass::DuplicatedTimestamp => "duplicated-timestamp",
+            FaultClass::OutOfOrderTimestamp => "out-of-order-timestamp",
+        }
+    }
+}
+
+/// Exact counts of what [`FaultInjector::corrupt_csv`] injected.
+///
+/// Chaos tests assert ingestion-side quarantine counters *equal* these —
+/// the injector never lets two corruptions land on the same row, so the
+/// counts are unambiguous.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionReport {
+    /// Rows whose feature value was replaced with `NaN`.
+    pub nan_rows: usize,
+    /// Rows whose feature value was replaced with an out-of-range number.
+    pub out_of_range_rows: usize,
+    /// Rows cut off mid-line.
+    pub truncated_rows: usize,
+    /// Rows replaced with unparseable garbage.
+    pub garbage_rows: usize,
+    /// Rows silently removed.
+    pub dropped_rows: usize,
+    /// Extra rows inserted with a timestamp already present.
+    pub duplicated_rows: usize,
+    /// Adjacent same-drive row pairs swapped (one timestamp descent each).
+    pub swapped_pairs: usize,
+}
+
+impl InjectionReport {
+    /// Total number of injected corruptions across all classes.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.nan_rows
+            + self.out_of_range_rows
+            + self.truncated_rows
+            + self.garbage_rows
+            + self.dropped_rows
+            + self.duplicated_rows
+            + self.swapped_pairs
+    }
+}
+
+/// Location of a single injected bit flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Byte offset of the flipped bit.
+    pub offset: usize,
+    /// Bit index within that byte (0 = least significant).
+    pub bit: u8,
+}
+
+/// A seeded, deterministic corruption source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInjector {
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// An injector whose output is a pure function of `seed` and its
+    /// inputs.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { seed }
+    }
+
+    /// Corrupt roughly `rate` of the data rows of a SMART CSV stream
+    /// with faults of `class` (at least one row, if any row is eligible).
+    ///
+    /// The header line is never touched, no two corruptions land on the
+    /// same row, and the returned [`InjectionReport`] counts exactly what
+    /// was injected. `rate` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn corrupt_csv(
+        &self,
+        text: &str,
+        class: FaultClass,
+        rate: f64,
+    ) -> (String, InjectionReport) {
+        let mut rng =
+            SplitMix64::new(self.seed ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut report = InjectionReport::default();
+        if lines.len() <= 1 {
+            return (rejoin(&lines), report);
+        }
+        // Data rows are lines 1.. (0 is the header).
+        let data = 1..lines.len();
+        let n_rows = data.len();
+        let quota = ((n_rows as f64 * rate.clamp(0.0, 1.0)) as usize).max(1);
+
+        match class {
+            FaultClass::NanValue => {
+                for idx in pick(&mut rng, data, quota) {
+                    if replace_feature(&mut lines[idx], &mut rng, "NaN") {
+                        report.nan_rows += 1;
+                    }
+                }
+            }
+            FaultClass::OutOfRangeValue => {
+                for idx in pick(&mut rng, data, quota) {
+                    if replace_feature(&mut lines[idx], &mut rng, "9e12") {
+                        report.out_of_range_rows += 1;
+                    }
+                }
+            }
+            FaultClass::TruncatedRow => {
+                for idx in pick(&mut rng, data, quota) {
+                    let line = &mut lines[idx];
+                    line.truncate(line.len() / 2);
+                    // A half-row must not still look like a full row.
+                    if line.split(',').count() == ROW_FIELDS {
+                        line.truncate(line.find(',').unwrap_or(1));
+                    }
+                    report.truncated_rows += 1;
+                }
+            }
+            FaultClass::GarbageRow => {
+                for idx in pick(&mut rng, data, quota) {
+                    lines[idx] = format!("%%garbage#{:016x}%%", rng.next());
+                    report.garbage_rows += 1;
+                }
+            }
+            FaultClass::DroppedRow => {
+                let mut victims = pick(&mut rng, data, quota);
+                victims.sort_unstable_by(|a, b| b.cmp(a));
+                for idx in victims {
+                    lines.remove(idx);
+                    report.dropped_rows += 1;
+                }
+            }
+            FaultClass::DuplicatedTimestamp => {
+                let mut victims = pick(&mut rng, data, quota);
+                victims.sort_unstable_by(|a, b| b.cmp(a));
+                for idx in victims {
+                    let copy = lines[idx].clone();
+                    lines.insert(idx + 1, copy);
+                    report.duplicated_rows += 1;
+                }
+            }
+            FaultClass::OutOfOrderTimestamp => {
+                report.swapped_pairs = swap_adjacent(&mut lines, &mut rng, quota);
+            }
+        }
+        (rejoin(&lines), report)
+    }
+
+    /// Flip one pseudo-random bit of `bytes` in place; `salt` varies the
+    /// choice so one injector can produce many distinct flips.
+    ///
+    /// Returns `None` when `bytes` is empty.
+    pub fn flip_bit(&self, bytes: &mut [u8], salt: u64) -> Option<BitFlip> {
+        if bytes.is_empty() {
+            return None;
+        }
+        let mut rng = SplitMix64::new(self.seed ^ salt.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let offset = (rng.next() % bytes.len() as u64) as usize;
+        let bit = (rng.next() % 8) as u8;
+        bytes[offset] ^= 1 << bit;
+        Some(BitFlip { offset, bit })
+    }
+}
+
+/// Join lines back into newline-terminated text.
+fn rejoin(lines: &[String]) -> String {
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Pick `quota` distinct indices from `range` via a seeded partial
+/// Fisher–Yates shuffle. The result is unordered.
+fn pick(rng: &mut SplitMix64, range: std::ops::Range<usize>, quota: usize) -> Vec<usize> {
+    let mut indices: Vec<usize> = range.collect();
+    let quota = quota.min(indices.len());
+    for i in 0..quota {
+        let j = i + (rng.next() % (indices.len() - i) as u64) as usize;
+        indices.swap(i, j);
+    }
+    indices.truncate(quota);
+    indices
+}
+
+/// Replace one feature field of a CSV row with `value`. Returns `false`
+/// (and leaves the row alone) when the row does not have the expected
+/// field count.
+fn replace_feature(line: &mut String, rng: &mut SplitMix64, value: &str) -> bool {
+    let mut fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != ROW_FIELDS {
+        return false;
+    }
+    let slot = FIRST_FEATURE + (rng.next() % (ROW_FIELDS - FIRST_FEATURE) as u64) as usize;
+    fields[slot] = value;
+    *line = fields.join(",");
+    true
+}
+
+/// Swap up to `quota` adjacent same-drive row pairs, keeping swaps at
+/// least two rows apart so each produces exactly one timestamp descent.
+/// Returns the number of pairs actually swapped.
+fn swap_adjacent(lines: &mut [String], rng: &mut SplitMix64, quota: usize) -> usize {
+    let drive_of = |line: &String| line.split(',').next().map(str::to_string);
+    // Candidate positions i where rows i and i+1 share a drive.
+    let mut candidates: Vec<usize> = (1..lines.len().saturating_sub(1))
+        .filter(|&i| {
+            let a = drive_of(&lines[i]);
+            a.is_some() && a == drive_of(&lines[i + 1])
+        })
+        .collect();
+    // Shuffle, then greedily accept non-adjacent positions.
+    for i in (1..candidates.len()).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        candidates.swap(i, j);
+    }
+    let mut accepted: Vec<usize> = Vec::new();
+    for &i in &candidates {
+        if accepted.len() >= quota {
+            break;
+        }
+        if accepted.iter().all(|&a| a.abs_diff(i) > 2) {
+            accepted.push(i);
+        }
+    }
+    for &i in &accepted {
+        lines.swap(i, i + 1);
+    }
+    accepted.len()
+}
+
+/// SplitMix64: tiny, seedable, dependency-free PRNG (public-domain
+/// constants from Steele, Lea & Flood).
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clean synthetic CSV: 3 drives × 20 hourly rows.
+    fn clean_csv() -> String {
+        let mut out = String::from("drive,failed,fail_hour,hour,a,b,c,d,e,f,g,h,i,j,k,l\n");
+        for drive in 0..3 {
+            for hour in 0..20 {
+                out.push_str(&format!("{drive},0,,{hour}"));
+                for f in 0..12 {
+                    out.push_str(&format!(",{}", (drive + hour + f) % 7 + 1));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let csv = clean_csv();
+        for class in FaultClass::CSV_CORPUS {
+            let (a, ra) = FaultInjector::new(7).corrupt_csv(&csv, class, 0.1);
+            let (b, rb) = FaultInjector::new(7).corrupt_csv(&csv, class, 0.1);
+            assert_eq!(a, b, "{class:?}");
+            assert_eq!(ra, rb);
+            let (c, _) = FaultInjector::new(8).corrupt_csv(&csv, class, 0.1);
+            assert_ne!(a, c, "different seeds must differ for {class:?}");
+        }
+    }
+
+    #[test]
+    fn reports_count_exactly_what_changed() {
+        let csv = clean_csv();
+        let inj = FaultInjector::new(42);
+
+        let (out, r) = inj.corrupt_csv(&csv, FaultClass::NanValue, 0.1);
+        assert_eq!(r.nan_rows, 6, "10% of 60 rows");
+        assert_eq!(out.matches("NaN").count(), 6);
+
+        let (out, r) = inj.corrupt_csv(&csv, FaultClass::OutOfRangeValue, 0.1);
+        assert_eq!(r.out_of_range_rows, 6);
+        assert_eq!(out.matches("9e12").count(), 6);
+
+        let (out, r) = inj.corrupt_csv(&csv, FaultClass::DroppedRow, 0.05);
+        assert_eq!(r.dropped_rows, 3);
+        assert_eq!(out.lines().count(), 1 + 60 - 3);
+
+        let (out, r) = inj.corrupt_csv(&csv, FaultClass::DuplicatedTimestamp, 0.05);
+        assert_eq!(r.duplicated_rows, 3);
+        assert_eq!(out.lines().count(), 1 + 60 + 3);
+
+        let (out, r) = inj.corrupt_csv(&csv, FaultClass::GarbageRow, 0.1);
+        assert_eq!(r.garbage_rows, 6);
+        assert_eq!(out.matches("%%garbage").count(), 6);
+    }
+
+    #[test]
+    fn swaps_produce_exactly_one_descent_each() {
+        let csv = clean_csv();
+        let (out, r) =
+            FaultInjector::new(3).corrupt_csv(&csv, FaultClass::OutOfOrderTimestamp, 0.1);
+        assert!(r.swapped_pairs >= 1);
+        // Count hour descents per drive in the corrupted stream.
+        let mut descents = 0;
+        let mut last: Option<(String, i64)> = None;
+        for line in out.lines().skip(1) {
+            let mut it = line.split(',');
+            let drive = it.next().map(str::to_string).unwrap();
+            let hour: i64 = it.nth(2).unwrap().parse().unwrap();
+            if let Some((d, h)) = &last {
+                if *d == drive && hour < *h {
+                    descents += 1;
+                }
+            }
+            last = Some((drive, hour));
+        }
+        assert_eq!(descents, r.swapped_pairs);
+    }
+
+    #[test]
+    fn truncated_rows_no_longer_have_full_field_count() {
+        let csv = clean_csv();
+        let (out, r) = FaultInjector::new(9).corrupt_csv(&csv, FaultClass::TruncatedRow, 0.1);
+        assert_eq!(r.truncated_rows, 6);
+        let short = out
+            .lines()
+            .skip(1)
+            .filter(|l| l.split(',').count() != 16)
+            .count();
+        assert_eq!(short, 6);
+    }
+
+    #[test]
+    fn at_least_one_row_is_hit_even_at_tiny_rates() {
+        let csv = clean_csv();
+        let (_, r) = FaultInjector::new(1).corrupt_csv(&csv, FaultClass::NanValue, 1e-9);
+        assert_eq!(r.nan_rows, 1);
+    }
+
+    #[test]
+    fn header_is_never_touched() {
+        let csv = clean_csv();
+        let header = csv.lines().next().unwrap().to_string();
+        for class in FaultClass::CSV_CORPUS {
+            for seed in 0..10 {
+                let (out, _) = FaultInjector::new(seed).corrupt_csv(&csv, class, 0.5);
+                assert_eq!(out.lines().next().unwrap(), header, "{class:?}/{seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let original: Vec<u8> = (0..255).collect();
+        for salt in 0..50 {
+            let mut bytes = original.clone();
+            let flip = FaultInjector::new(5).flip_bit(&mut bytes, salt).unwrap();
+            let diff: Vec<usize> = (0..bytes.len())
+                .filter(|&i| bytes[i] != original[i])
+                .collect();
+            assert_eq!(diff, vec![flip.offset]);
+            assert_eq!(bytes[flip.offset] ^ original[flip.offset], 1 << flip.bit);
+        }
+        assert!(FaultInjector::new(5).flip_bit(&mut [], 0).is_none());
+    }
+
+    #[test]
+    fn empty_and_header_only_inputs_are_left_alone() {
+        let inj = FaultInjector::new(0);
+        let (out, r) = inj.corrupt_csv("header\n", FaultClass::DroppedRow, 0.5);
+        assert_eq!(out, "header\n");
+        assert_eq!(r.total(), 0);
+    }
+}

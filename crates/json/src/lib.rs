@@ -12,6 +12,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::fmt;
 
@@ -296,6 +297,26 @@ fn write_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+// -------------------------------------------------------------- checksum
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of `bytes`.
+///
+/// Bitwise, table-free: model files are small and checksumming is a
+/// vanishing fraction of save/load time, so clarity wins over a lookup
+/// table. Used by the persistence layer to detect on-disk corruption.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
 // ---------------------------------------------------------------- parser
 
 /// Parse a JSON document.
@@ -451,7 +472,9 @@ impl Parser<'_> {
                     // bytes are valid UTF-8).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| JsonError::new("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("peeked non-empty");
+                    let Some(c) = rest.chars().next() else {
+                        return Err(JsonError::new("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -516,6 +539,31 @@ impl Parser<'_> {
                         self.pos
                     )))
                 }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod crc_tests {
+    use super::crc32;
+
+    #[test]
+    fn matches_the_ieee_check_value() {
+        // The standard CRC-32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"hddpred model payload".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "byte {byte} bit {bit}");
             }
         }
     }

@@ -32,8 +32,63 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A worker panic, contained and surfaced as a value.
+///
+/// Every combinator wraps its per-chunk work in
+/// [`std::panic::catch_unwind`], so a panicking closure never tears down
+/// a worker thread mid-scope: the scope joins normally, no other chunk is
+/// poisoned, and the panic arrives on the *submitting* thread — as this
+/// typed error from the `try_` combinators, or re-raised as a regular
+/// panic from the infallible ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the chunk (in submission order) whose closure panicked.
+    pub chunk: usize,
+    /// The panic message, when the payload was a string (the common
+    /// case); `"<non-string panic payload>"` otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked in chunk {}: {}",
+            self.chunk, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Extract a readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Merge per-chunk outcomes in submission order, keeping the first
+/// panic (deterministic: the earliest chunk wins regardless of timing).
+fn merge_chunks<R>(chunks: Vec<Result<Vec<R>, String>>) -> Result<Vec<R>, WorkerPanic> {
+    let mut out = Vec::new();
+    for (chunk, result) in chunks.into_iter().enumerate() {
+        match result {
+            Ok(mut part) => out.append(&mut part),
+            Err(message) => return Err(WorkerPanic { chunk, message }),
+        }
+    }
+    Ok(out)
+}
 
 /// Hard cap on resolved worker counts: fork-join gains flatten well
 /// before this, and a runaway environment value must not fork-bomb.
@@ -176,29 +231,59 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from `f` (the scope joins all workers first).
+    /// Re-raises a panic from `f` on the submitting thread (all workers
+    /// are joined first — no deadlock, no abandoned chunks). Use
+    /// [`ThreadPool::try_parallel_map`] to receive it as a typed error
+    /// instead.
     pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        match self.try_parallel_map(items, f) {
+            Ok(out) => out,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// [`ThreadPool::parallel_map`] with panic containment: a panic in
+    /// `f` is caught in the worker, every other chunk still completes,
+    /// and the first panicking chunk (in submission order — deterministic
+    /// regardless of thread timing) is returned as a [`WorkerPanic`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerPanic`] when `f` panicked on any item.
+    pub fn try_parallel_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, WorkerPanic>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
         if !self.is_parallel() || items.len() <= 1 {
-            return items.iter().map(f).collect();
+            let only = catch_unwind(AssertUnwindSafe(|| items.iter().map(&f).collect()))
+                .map_err(|p| panic_message(&*p));
+            return merge_chunks(vec![only]);
         }
         let chunk = items.len().div_ceil(self.n_threads);
         let f = &f;
-        let mut results: Vec<Vec<R>> = Vec::with_capacity(self.n_threads);
+        let mut results: Vec<Result<Vec<R>, String>> = Vec::with_capacity(self.n_threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk)
-                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                .map(|part| {
+                    scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| part.iter().map(f).collect::<Vec<R>>()))
+                            .map_err(|p| panic_message(&*p))
+                    })
+                })
                 .collect();
             for handle in handles {
-                results.push(handle.join().expect("worker thread panicked"));
+                results.push(handle.join().unwrap_or_else(|p| Err(panic_message(&*p))));
             }
         });
-        results.into_iter().flatten().collect()
+        merge_chunks(results)
     }
 
     /// Map `f` over the index range `0..n`, returning results in index
@@ -206,31 +291,53 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from `f`.
+    /// Re-raises a panic from `f` on the submitting thread; see
+    /// [`ThreadPool::try_parallel_map_range`] for the fallible form.
     pub fn parallel_map_range<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        match self.try_parallel_map_range(n, f) {
+            Ok(out) => out,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// [`ThreadPool::parallel_map_range`] with panic containment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerPanic`] when `f` panicked on any index.
+    pub fn try_parallel_map_range<R, F>(&self, n: usize, f: F) -> Result<Vec<R>, WorkerPanic>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
         if !self.is_parallel() || n <= 1 {
-            return (0..n).map(f).collect();
+            let only = catch_unwind(AssertUnwindSafe(|| (0..n).map(&f).collect()))
+                .map_err(|p| panic_message(&*p));
+            return merge_chunks(vec![only]);
         }
         let chunk = n.div_ceil(self.n_threads);
         let f = &f;
-        let mut results: Vec<Vec<R>> = Vec::with_capacity(self.n_threads);
+        let mut results: Vec<Result<Vec<R>, String>> = Vec::with_capacity(self.n_threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .step_by(chunk)
                 .map(|start| {
                     let end = (start + chunk).min(n);
-                    scope.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+                    scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| (start..end).map(f).collect::<Vec<R>>()))
+                            .map_err(|p| panic_message(&*p))
+                    })
                 })
                 .collect();
             for handle in handles {
-                results.push(handle.join().expect("worker thread panicked"));
+                results.push(handle.join().unwrap_or_else(|p| Err(panic_message(&*p))));
             }
         });
-        results.into_iter().flatten().collect()
+        merge_chunks(results)
     }
 
     /// Split `items` into at most `n_threads` contiguous chunks, apply
@@ -243,32 +350,57 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from `f`.
+    /// Re-raises a panic from `f` on the submitting thread; see
+    /// [`ThreadPool::try_parallel_for_chunks`] for the fallible form.
     pub fn parallel_for_chunks<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&[T]) -> R + Sync,
     {
+        match self.try_parallel_for_chunks(items, f) {
+            Ok(out) => out,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// [`ThreadPool::parallel_for_chunks`] with panic containment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerPanic`] when `f` panicked on any chunk.
+    pub fn try_parallel_for_chunks<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, WorkerPanic>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> R + Sync,
+    {
         if items.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         if !self.is_parallel() || items.len() == 1 {
-            return vec![f(items)];
+            let only =
+                catch_unwind(AssertUnwindSafe(|| vec![f(items)])).map_err(|p| panic_message(&*p));
+            return merge_chunks(vec![only]);
         }
         let chunk = items.len().div_ceil(self.n_threads);
         let f = &f;
-        let mut results: Vec<R> = Vec::with_capacity(self.n_threads);
+        let mut results: Vec<Result<Vec<R>, String>> = Vec::with_capacity(self.n_threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk)
-                .map(|part| scope.spawn(move || f(part)))
+                .map(|part| {
+                    scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| vec![f(part)]))
+                            .map_err(|p| panic_message(&*p))
+                    })
+                })
                 .collect();
             for handle in handles {
-                results.push(handle.join().expect("worker thread panicked"));
+                results.push(handle.join().unwrap_or_else(|p| Err(panic_message(&*p))));
             }
         });
-        results
+        merge_chunks(results)
     }
 }
 
@@ -359,5 +491,95 @@ mod tests {
         assert!(ThreadPool::new(2).is_parallel());
         assert!(ThreadPool::global().n_threads() >= 1);
         assert_eq!(ThreadPool::new(1_000_000).n_threads(), MAX_THREADS);
+    }
+
+    #[test]
+    fn worker_panic_becomes_typed_error() {
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let err = pool
+                .try_parallel_map(&items, |&x| {
+                    assert!(x != 63, "injected failure on 63");
+                    x * 2
+                })
+                .unwrap_err();
+            assert!(err.message.contains("injected failure"), "{err}");
+            assert!(err.to_string().contains("worker panicked"), "{err}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_call() {
+        // No poisoned state: the same pool value works fine right after
+        // a call whose closure panicked.
+        let pool = ThreadPool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let _ = pool.try_parallel_map(&items, |_| -> u32 { panic!("boom") });
+        assert_eq!(
+            pool.parallel_map(&items, |&x| x + 1),
+            (1..65).collect::<Vec<u32>>()
+        );
+    }
+
+    #[test]
+    fn first_panicking_chunk_wins_deterministically() {
+        // Chunks 1 and 3 both panic; the reported chunk must always be
+        // the earliest in submission order, regardless of thread timing.
+        let pool = ThreadPool::new(4);
+        for _ in 0..20 {
+            let err = pool
+                .try_parallel_map_range(8, |i| {
+                    if i == 3 || i == 7 {
+                        panic!("unit {i} failed");
+                    }
+                    i
+                })
+                .unwrap_err();
+            assert_eq!(err.chunk, 1, "{err}");
+            assert!(err.message.contains("unit 3"), "{err}");
+        }
+    }
+
+    #[test]
+    fn try_variants_succeed_like_their_panicking_twins() {
+        let pool = ThreadPool::new(3);
+        let items: Vec<u64> = (0..50).collect();
+        assert_eq!(
+            pool.try_parallel_map(&items, |&x| x * x).unwrap(),
+            pool.parallel_map(&items, |&x| x * x)
+        );
+        assert_eq!(
+            pool.try_parallel_map_range(50, |i| i + 1).unwrap(),
+            pool.parallel_map_range(50, |i| i + 1)
+        );
+        assert_eq!(
+            pool.try_parallel_for_chunks(&items, |c| c.len()).unwrap(),
+            pool.parallel_for_chunks(&items, |c| c.len())
+        );
+        assert_eq!(
+            pool.try_parallel_for_chunks(&[] as &[u8], |c| c.len()),
+            Ok(Vec::new())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn infallible_map_reraises_on_submitting_thread() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = ThreadPool::new(4).parallel_map(&items, |_| -> u32 { panic!("kaboom") });
+    }
+
+    #[test]
+    fn chunked_panic_is_contained_too() {
+        let items: Vec<u32> = (0..100).collect();
+        let pool = ThreadPool::new(4);
+        let err = pool
+            .try_parallel_for_chunks(&items, |part| {
+                assert!(!part.contains(&80), "chunk holding 80 dies");
+                part.len()
+            })
+            .unwrap_err();
+        assert_eq!(err.chunk, 3);
     }
 }

@@ -7,13 +7,32 @@
 //!
 //! Format: a header line followed by one row per sample —
 //! `drive,failed,fail_hour,hour,<12 feature columns>`; `fail_hour` is empty
-//! for good drives.
+//! for good drives. Rows of one drive must be contiguous, but need *not*
+//! be chronologically ordered: both readers sort each drive's samples by
+//! hour and deduplicate repeated timestamps with a last-write-wins policy
+//! (the later row in file order replaces the earlier one — re-transmitted
+//! telemetry supersedes the original).
+//!
+//! Two readers share one parser:
+//!
+//! * [`read_series`] is strict — the first malformed row aborts the
+//!   import with a [`CsvError::Parse`] naming the 1-based line.
+//! * [`read_series_quarantined`] is the fleet-ingestion path — malformed
+//!   rows, non-finite or out-of-range values, and undecodable drives are
+//!   *quarantined* (skipped and counted in a [`QuarantineReport`])
+//!   instead of aborting, up to a configurable ceiling on the quarantined
+//!   fraction ([`IngestPolicy`]).
 
 use crate::attr::{BASIC_ATTRIBUTES, NUM_ATTRIBUTES};
 use crate::drive::{DriveClass, DriveId};
 use crate::series::{SmartSample, SmartSeries};
 use crate::time::Hour;
 use std::io::{self, BufRead, Write};
+
+/// Largest plausible feature value: normalized SMART attributes live in
+/// 1–253 and raw counters are bounded by the observation horizon; a
+/// reading beyond this is sensor garbage, not a measurement.
+pub const MAX_FEATURE_VALUE: f64 = 1e9;
 
 /// Error from CSV import.
 #[derive(Debug)]
@@ -27,6 +46,16 @@ pub enum CsvError {
         /// What was wrong.
         reason: String,
     },
+    /// Quarantined rows exceeded the [`IngestPolicy`] ceiling — the
+    /// stream is too corrupt to trust what survived.
+    QuarantineLimit {
+        /// Rows quarantined.
+        quarantined: usize,
+        /// Data rows seen in total.
+        total: usize,
+        /// The configured ceiling that was exceeded.
+        max_fraction: f64,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -34,6 +63,15 @@ impl std::fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "i/o error: {e}"),
             CsvError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+            CsvError::QuarantineLimit {
+                quarantined,
+                total,
+                max_fraction,
+            } => write!(
+                f,
+                "quarantined {quarantined} of {total} rows, over the {:.1}% ceiling",
+                max_fraction * 100.0
+            ),
         }
     }
 }
@@ -42,7 +80,7 @@ impl std::error::Error for CsvError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CsvError::Io(e) => Some(e),
-            CsvError::Parse { .. } => None,
+            _ => None,
         }
     }
 }
@@ -51,6 +89,112 @@ impl From<io::Error> for CsvError {
     fn from(e: io::Error) -> Self {
         CsvError::Io(e)
     }
+}
+
+/// Limits for quarantine-based ingestion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestPolicy {
+    /// Hard ceiling on the quarantined fraction of data rows; when more
+    /// than this share of the stream is quarantined the whole import
+    /// fails with [`CsvError::QuarantineLimit`].
+    pub max_quarantine_fraction: f64,
+}
+
+impl Default for IngestPolicy {
+    /// Tolerate up to 10% quarantined rows.
+    fn default() -> Self {
+        IngestPolicy {
+            max_quarantine_fraction: 0.1,
+        }
+    }
+}
+
+/// What quarantine-based ingestion skipped, counted per category.
+///
+/// *Quarantined* rows (unparseable, unusable values, conflicting drive
+/// metadata) are dropped from the import; duplicated and out-of-order
+/// timestamps are *repaired* (dedup / sort), so they are counted here but
+/// do not count against the quarantine ceiling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Data rows encountered (everything after the header, including
+    /// rows that were later quarantined).
+    pub rows_seen: usize,
+    /// Rows that made it into a series.
+    pub rows_ingested: usize,
+    /// Rows that failed structural parsing (wrong field count, bad
+    /// numbers, invalid UTF-8, truncated lines).
+    pub parse_failures: usize,
+    /// Rows carrying a NaN or infinite feature value.
+    pub non_finite_rows: usize,
+    /// Rows with a finite feature value outside `[0, MAX_FEATURE_VALUE]`.
+    pub out_of_range_rows: usize,
+    /// Rows whose class metadata contradicted earlier rows of the same
+    /// drive (e.g. a good drive suddenly claiming a fail hour).
+    pub conflicting_rows: usize,
+    /// Extra rows repeating an already-seen timestamp; resolved
+    /// last-write-wins.
+    pub duplicate_timestamps: usize,
+    /// Rows arriving with a timestamp older than their predecessor;
+    /// repaired by sorting.
+    pub out_of_order_rows: usize,
+    /// Drives whose rows were *all* quarantined (no usable sample).
+    pub drives_quarantined: usize,
+}
+
+impl QuarantineReport {
+    /// Rows dropped from the import (repaired rows not included).
+    #[must_use]
+    pub fn quarantined_rows(&self) -> usize {
+        self.parse_failures + self.non_finite_rows + self.out_of_range_rows + self.conflicting_rows
+    }
+
+    /// Quarantined share of the data rows seen (`0.0` for empty input).
+    #[must_use]
+    pub fn quarantined_fraction(&self) -> f64 {
+        if self.rows_seen == 0 {
+            0.0
+        } else {
+            self.quarantined_rows() as f64 / self.rows_seen as f64
+        }
+    }
+
+    /// Whether anything at all was skipped or repaired.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.quarantined_rows() == 0
+            && self.duplicate_timestamps == 0
+            && self.out_of_order_rows == 0
+    }
+}
+
+impl std::fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ingested {}/{} rows ({} parse failures, {} non-finite, {} out-of-range, \
+             {} conflicting; repaired {} duplicate and {} out-of-order timestamps; \
+             {} drives quarantined)",
+            self.rows_ingested,
+            self.rows_seen,
+            self.parse_failures,
+            self.non_finite_rows,
+            self.out_of_range_rows,
+            self.conflicting_rows,
+            self.duplicate_timestamps,
+            self.out_of_order_rows,
+            self.drives_quarantined
+        )
+    }
+}
+
+/// The outcome of quarantine-based ingestion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvImport {
+    /// Series assembled from the usable rows.
+    pub series: Vec<SmartSeries>,
+    /// What was skipped or repaired along the way.
+    pub report: QuarantineReport,
 }
 
 /// Write the header line.
@@ -90,66 +234,269 @@ pub fn write_series<W: Write>(mut w: W, series: &SmartSeries) -> io::Result<()> 
     Ok(())
 }
 
+/// One successfully parsed data row.
+struct Row {
+    drive: DriveId,
+    class: DriveClass,
+    sample: SmartSample,
+}
+
+/// Why a structurally valid row is still unusable.
+enum ValueFault {
+    NonFinite,
+    OutOfRange,
+}
+
+/// Parse one data line. `Err(reason)` is a structural failure; the outer
+/// `Ok` carries a value fault when the row parsed but holds an unusable
+/// measurement.
+fn parse_row(line: &str) -> Result<(Row, Option<ValueFault>), String> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 4 + NUM_ATTRIBUTES {
+        return Err(format!(
+            "expected {} fields, got {}",
+            4 + NUM_ATTRIBUTES,
+            fields.len()
+        ));
+    }
+    let drive = DriveId(fields[0].parse().map_err(|_| "bad drive id".to_string())?);
+    let failed: u8 = fields[1]
+        .parse()
+        .map_err(|_| "bad failed flag".to_string())?;
+    let class = if failed == 1 {
+        DriveClass::Failed {
+            fail_hour: Hour(fields[2].parse().map_err(|_| "bad fail hour".to_string())?),
+        }
+    } else {
+        DriveClass::Good
+    };
+    let hour = Hour(fields[3].parse().map_err(|_| "bad hour".to_string())?);
+    let mut values = [0.0f32; NUM_ATTRIBUTES];
+    let mut fault = None;
+    for (i, field) in fields[4..].iter().enumerate() {
+        let v: f32 = field.parse().map_err(|_| "bad feature value".to_string())?;
+        if !v.is_finite() {
+            fault = Some(ValueFault::NonFinite);
+        } else if fault.is_none() && !(0.0..=MAX_FEATURE_VALUE).contains(&f64::from(v)) {
+            fault = Some(ValueFault::OutOfRange);
+        }
+        values[i] = v;
+    }
+    Ok((
+        Row {
+            drive,
+            class,
+            sample: SmartSample { hour, values },
+        },
+        fault,
+    ))
+}
+
+/// One contiguous run of rows belonging to a single drive.
+struct Run {
+    drive: DriveId,
+    class: DriveClass,
+    samples: Vec<SmartSample>,
+}
+
+impl Run {
+    /// Sort by hour, resolve duplicate timestamps last-write-wins, and
+    /// emit the series (or quarantine the drive when nothing survived).
+    fn finish(self, report: &mut QuarantineReport, out: &mut Vec<SmartSeries>) {
+        if self.samples.is_empty() {
+            report.drives_quarantined += 1;
+            return;
+        }
+        let mut samples = self.samples;
+        // Count timestamp descents before repairing the order (each
+        // adjacent inversion is one out-of-order arrival).
+        report.out_of_order_rows += samples.windows(2).filter(|w| w[1].hour < w[0].hour).count();
+        // Stable sort keeps file order within equal timestamps, so
+        // "keep the last of each group" is exactly last-write-wins.
+        samples.sort_by_key(|s| s.hour);
+        let mut deduped: Vec<SmartSample> = Vec::with_capacity(samples.len());
+        for s in samples {
+            match deduped.last_mut() {
+                Some(prev) if prev.hour == s.hour => {
+                    *prev = s;
+                    report.duplicate_timestamps += 1;
+                }
+                _ => deduped.push(s),
+            }
+        }
+        report.rows_ingested += deduped.len();
+        out.push(SmartSeries::new(self.drive, self.class, deduped));
+    }
+}
+
+/// How the shared reader reacts to bad rows.
+enum Mode {
+    /// Abort on the first problem.
+    Strict,
+    /// Skip, count, keep going.
+    Quarantine,
+}
+
+fn read_series_impl<R: BufRead>(
+    r: R,
+    mode: &Mode,
+) -> Result<(Vec<SmartSeries>, QuarantineReport), CsvError> {
+    let mut out: Vec<SmartSeries> = Vec::new();
+    let mut report = QuarantineReport::default();
+    let mut current: Option<Run> = None;
+    let mut saw_header = false;
+
+    for (idx, raw) in r.split(b'\n').enumerate() {
+        let raw = raw?;
+        let lineno = idx + 1;
+        if idx == 0 {
+            saw_header = true;
+            continue; // header
+        }
+        // Tolerate CRLF line endings and skip blank lines.
+        let raw = match raw.last() {
+            Some(b'\r') => &raw[..raw.len() - 1],
+            _ => &raw[..],
+        };
+        if raw.is_empty() {
+            continue;
+        }
+        report.rows_seen += 1;
+        let structural = std::str::from_utf8(raw)
+            .map_err(|_| "invalid UTF-8".to_string())
+            .and_then(parse_row);
+        let (row, fault) = match structural {
+            Ok(parsed) => parsed,
+            Err(reason) => match mode {
+                Mode::Strict => {
+                    return Err(CsvError::Parse {
+                        line: lineno,
+                        reason,
+                    })
+                }
+                Mode::Quarantine => {
+                    report.parse_failures += 1;
+                    continue;
+                }
+            },
+        };
+        if let Some(fault) = fault {
+            let reason = match fault {
+                ValueFault::NonFinite => "non-finite feature value",
+                ValueFault::OutOfRange => "feature value out of range",
+            };
+            match mode {
+                Mode::Strict => {
+                    return Err(CsvError::Parse {
+                        line: lineno,
+                        reason: reason.to_string(),
+                    })
+                }
+                Mode::Quarantine => {
+                    match fault {
+                        ValueFault::NonFinite => report.non_finite_rows += 1,
+                        ValueFault::OutOfRange => report.out_of_range_rows += 1,
+                    }
+                    // Keep the drive's run alive: the row still names the
+                    // drive, only its measurement is unusable.
+                    if current.as_ref().is_none_or(|run| run.drive != row.drive) {
+                        if let Some(run) = current.take() {
+                            run.finish(&mut report, &mut out);
+                        }
+                        current = Some(Run {
+                            drive: row.drive,
+                            class: row.class,
+                            samples: Vec::new(),
+                        });
+                    }
+                    continue;
+                }
+            }
+        }
+        match &mut current {
+            Some(run) if run.drive == row.drive => {
+                if run.class != row.class {
+                    match mode {
+                        Mode::Strict => {
+                            return Err(CsvError::Parse {
+                                line: lineno,
+                                reason: "row contradicts the drive's class metadata".to_string(),
+                            })
+                        }
+                        Mode::Quarantine => {
+                            report.conflicting_rows += 1;
+                            continue;
+                        }
+                    }
+                }
+                run.samples.push(row.sample);
+            }
+            _ => {
+                if let Some(run) = current.take() {
+                    run.finish(&mut report, &mut out);
+                }
+                current = Some(Run {
+                    drive: row.drive,
+                    class: row.class,
+                    samples: vec![row.sample],
+                });
+            }
+        }
+    }
+    if !saw_header {
+        return Err(CsvError::Parse {
+            line: 1,
+            reason: "empty input: missing header".to_string(),
+        });
+    }
+    if let Some(run) = current.take() {
+        run.finish(&mut report, &mut out);
+    }
+    Ok((out, report))
+}
+
 /// Read every series from a CSV stream written by [`write_header`] +
-/// [`write_series`]. Rows of one drive must be contiguous and
-/// chronologically ordered.
+/// [`write_series`]. Rows of one drive must be contiguous; within a
+/// drive, rows are sorted by hour and duplicate timestamps are resolved
+/// last-write-wins.
+///
+/// This is the strict reader: the first malformed row (bad structure,
+/// non-finite or out-of-range value, conflicting drive metadata) aborts
+/// the import. Fleet-scale ingestion should prefer
+/// [`read_series_quarantined`].
 ///
 /// # Errors
 ///
-/// Returns [`CsvError::Parse`] on malformed rows and [`CsvError::Io`] on
-/// read failures.
+/// Returns [`CsvError::Parse`] on malformed rows (with the 1-based line
+/// number) and [`CsvError::Io`] on read failures.
 pub fn read_series<R: BufRead>(r: R) -> Result<Vec<SmartSeries>, CsvError> {
-    let mut out: Vec<SmartSeries> = Vec::new();
-    let mut current: Option<(DriveId, DriveClass, Vec<SmartSample>)> = None;
+    read_series_impl(r, &Mode::Strict).map(|(series, _)| series)
+}
 
-    for (idx, line) in r.lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        if idx == 0 || line.is_empty() {
-            continue; // header / trailing blank
-        }
-        let parse = |reason: &str| CsvError::Parse {
-            line: lineno,
-            reason: reason.to_string(),
-        };
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 4 + NUM_ATTRIBUTES {
-            return Err(parse(&format!(
-                "expected {} fields, got {}",
-                4 + NUM_ATTRIBUTES,
-                fields.len()
-            )));
-        }
-        let drive = DriveId(fields[0].parse().map_err(|_| parse("bad drive id"))?);
-        let failed: u8 = fields[1].parse().map_err(|_| parse("bad failed flag"))?;
-        let class = if failed == 1 {
-            DriveClass::Failed {
-                fail_hour: Hour(fields[2].parse().map_err(|_| parse("bad fail hour"))?),
-            }
-        } else {
-            DriveClass::Good
-        };
-        let hour = Hour(fields[3].parse().map_err(|_| parse("bad hour"))?);
-        let mut values = [0.0f32; NUM_ATTRIBUTES];
-        for (i, field) in fields[4..].iter().enumerate() {
-            values[i] = field.parse().map_err(|_| parse("bad feature value"))?;
-        }
-        let sample = SmartSample { hour, values };
-
-        match &mut current {
-            Some((id, _, samples)) if *id == drive => samples.push(sample),
-            _ => {
-                if let Some((id, class, samples)) = current.take() {
-                    out.push(SmartSeries::new(id, class, samples));
-                }
-                current = Some((drive, class, vec![sample]));
-            }
-        }
+/// Read series with quarantine-based fault tolerance: malformed records
+/// and undecodable drives are skipped and counted instead of aborting
+/// the run, duplicate and out-of-order timestamps are repaired, and the
+/// [`QuarantineReport`] says exactly what happened.
+///
+/// # Errors
+///
+/// Returns [`CsvError::QuarantineLimit`] when the quarantined fraction
+/// exceeds `policy.max_quarantine_fraction` (the stream is too corrupt
+/// to trust), [`CsvError::Parse`] only for a missing header, and
+/// [`CsvError::Io`] on read failures.
+pub fn read_series_quarantined<R: BufRead>(
+    r: R,
+    policy: &IngestPolicy,
+) -> Result<CsvImport, CsvError> {
+    let (series, report) = read_series_impl(r, &Mode::Quarantine)?;
+    if report.quarantined_fraction() > policy.max_quarantine_fraction {
+        return Err(CsvError::QuarantineLimit {
+            quarantined: report.quarantined_rows(),
+            total: report.rows_seen,
+            max_fraction: policy.max_quarantine_fraction,
+        });
     }
-    if let Some((id, class, samples)) = current {
-        out.push(SmartSeries::new(id, class, samples));
-    }
-    Ok(out)
+    Ok(CsvImport { series, report })
 }
 
 #[cfg(test)]
@@ -179,6 +526,30 @@ mod tests {
         }
     }
 
+    /// A well-formed row for drive `d` at hour `h` with features
+    /// `offset+1 ..= offset+12`.
+    fn row_with(d: u32, h: u32, offset: u32) -> String {
+        let mut out = format!("{d},0,,{h}");
+        for i in 0..NUM_ATTRIBUTES as u32 {
+            out.push_str(&format!(",{}", offset + i + 1));
+        }
+        out
+    }
+
+    /// A well-formed row for drive `d` at hour `h`.
+    fn row(d: u32, h: u32) -> String {
+        row_with(d, h, 0)
+    }
+
+    fn doc(rows: &[String]) -> String {
+        let mut out = String::from("header\n");
+        for r in rows {
+            out.push_str(r);
+            out.push('\n');
+        }
+        out
+    }
+
     #[test]
     fn rejects_malformed_rows() {
         let input = "header\n1,0,,5,1,2,3\n";
@@ -205,11 +576,173 @@ mod tests {
     }
 
     #[test]
+    fn zero_byte_input_is_a_parse_error() {
+        let err = read_series("".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }), "{err}");
+        let err = read_series_quarantined("".as_bytes(), &IngestPolicy::default()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_final_line_is_a_parse_error() {
+        let full = doc(&[row(1, 0), row(1, 1)]);
+        let truncated = &full[..full.len() - 20];
+        let err = read_series(truncated.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn crlf_line_endings_are_tolerated() {
+        let input = doc(&[row(1, 0), row(1, 1)]).replace('\n', "\r\n");
+        let series = read_series(input.as_bytes()).unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].len(), 2);
+    }
+
+    #[test]
+    fn extra_and_missing_columns_name_the_line() {
+        let extra = doc(&[row(1, 0), format!("{},99", row(1, 1))]);
+        let err = read_series(extra.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 3, .. }), "{err}");
+
+        let missing = doc(&[row(1, 0), row(1, 1).rsplit_once(',').unwrap().0.to_string()]);
+        let err = read_series(missing.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_bytes_are_a_parse_error_not_a_panic() {
+        let mut buf = doc(&[row(1, 0)]).into_bytes();
+        buf.extend_from_slice(b"1,0,,1,\xff\xfe,2,3,4,5,6,7,8,9,10,11\n");
+        let err = read_series(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 3, .. }), "{err}");
+        match err {
+            CsvError::Parse { reason, .. } => assert!(reason.contains("UTF-8"), "{reason}"),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn strict_reader_sorts_and_dedups() {
+        // Out of order + a duplicated hour; last write wins.
+        let dup = row_with(1, 1, 76); // distinguishable values 77..=88
+        let input = doc(&[row(1, 2), row(1, 1), dup]);
+        let series = read_series(input.as_bytes()).unwrap();
+        assert_eq!(series.len(), 1);
+        let hours: Vec<u32> = series[0].samples().iter().map(|s| s.hour.0).collect();
+        assert_eq!(hours, vec![1, 2]);
+        // The later file row (with 77) replaced the earlier hour-1 row.
+        assert!(series[0].samples()[0].values.contains(&77.0));
+    }
+
+    #[test]
+    fn strict_reader_rejects_nan_and_out_of_range() {
+        let nan = doc(&[row(1, 0).replace(",3,", ",NaN,")]);
+        let err = read_series(nan.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }), "{err}");
+
+        let huge = doc(&[row(1, 0).replace(",3,", ",9e12,")]);
+        let err = read_series(huge.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn quarantine_skips_and_counts_instead_of_aborting() {
+        let input = doc(&[
+            row(1, 0),
+            "garbage!!".to_string(),
+            row(1, 1).replace(",3,", ",NaN,"),
+            row(1, 2).replace(",3,", ",-5,"),
+            row(1, 3),
+            row(1, 3), // duplicate timestamp
+            row(1, 2), // out of order
+            row(2, 0),
+        ]);
+        let policy = IngestPolicy {
+            max_quarantine_fraction: 0.9,
+        };
+        let import = read_series_quarantined(input.as_bytes(), &policy).unwrap();
+        let r = import.report;
+        assert_eq!(r.rows_seen, 8);
+        assert_eq!(r.parse_failures, 1);
+        assert_eq!(r.non_finite_rows, 1);
+        assert_eq!(r.out_of_range_rows, 1);
+        assert_eq!(r.duplicate_timestamps, 1);
+        assert_eq!(r.out_of_order_rows, 1);
+        assert_eq!(r.rows_ingested, 4, "hours 0, 2, 3 for drive 1 + drive 2");
+        assert_eq!(import.series.len(), 2);
+        assert_eq!(import.series[0].len(), 3);
+    }
+
+    #[test]
+    fn quarantine_ceiling_is_enforced() {
+        let input = doc(&[row(1, 0), "junk".to_string(), "junk".to_string()]);
+        let strict_policy = IngestPolicy {
+            max_quarantine_fraction: 0.5,
+        };
+        let err = read_series_quarantined(input.as_bytes(), &strict_policy).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CsvError::QuarantineLimit {
+                    quarantined: 2,
+                    total: 3,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fully_corrupt_drive_is_quarantined() {
+        // Drive 1's only row holds NaN; drive 2 is fine.
+        let input = doc(&[row(1, 0).replace(",3,", ",NaN,"), row(2, 0)]);
+        let policy = IngestPolicy {
+            max_quarantine_fraction: 0.9,
+        };
+        let import = read_series_quarantined(input.as_bytes(), &policy).unwrap();
+        assert_eq!(import.report.drives_quarantined, 1);
+        assert_eq!(import.series.len(), 1);
+        assert_eq!(import.series[0].drive, DriveId(2));
+    }
+
+    #[test]
+    fn conflicting_class_metadata_is_quarantined() {
+        let mut failed_row = row(1, 1);
+        failed_row = failed_row.replacen(",0,,", ",1,500,", 1);
+        let input = doc(&[row(1, 0), failed_row, row(1, 2)]);
+        let policy = IngestPolicy {
+            max_quarantine_fraction: 0.9,
+        };
+        let import = read_series_quarantined(input.as_bytes(), &policy).unwrap();
+        assert_eq!(import.report.conflicting_rows, 1);
+        assert_eq!(import.series.len(), 1);
+        assert_eq!(import.series[0].len(), 2);
+        assert_eq!(import.series[0].class, DriveClass::Good);
+    }
+
+    #[test]
     fn error_display_is_informative() {
         let e = CsvError::Parse {
             line: 3,
             reason: "bad hour".to_string(),
         };
         assert_eq!(e.to_string(), "line 3: bad hour");
+        let e = CsvError::QuarantineLimit {
+            quarantined: 10,
+            total: 20,
+            max_fraction: 0.25,
+        };
+        assert!(e.to_string().contains("10 of 20"), "{e}");
+        let r = QuarantineReport {
+            rows_seen: 5,
+            rows_ingested: 4,
+            parse_failures: 1,
+            ..QuarantineReport::default()
+        };
+        assert!(r.to_string().contains("4/5"), "{r}");
+        assert!(!r.is_clean());
+        assert!((r.quarantined_fraction() - 0.2).abs() < 1e-12);
     }
 }

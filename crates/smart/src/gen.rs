@@ -177,11 +177,12 @@ fn pick_mode(profile: &FamilyProfile, u: f64) -> FailureMode {
             return mode;
         }
     }
+    // A validated profile has a non-empty mode mix; degrade to the most
+    // common failure signature rather than dying on a hand-built one.
     profile
         .mode_mix
         .last()
-        .map(|&(mode, _)| mode)
-        .expect("validated profile has a non-empty mode mix")
+        .map_or(FailureMode::MediaDefects, |&(mode, _)| mode)
 }
 
 /// Draw a deterioration window length from the family's mixture.
@@ -410,7 +411,10 @@ fn sample_values(
 
     let mut values = [0.0f32; NUM_ATTRIBUTES];
     for (i, model) in profile.attrs.iter().enumerate() {
-        let attr = Attribute::from_index(i).expect("index in range");
+        // `attrs` has NUM_ATTRIBUTES entries, so every index maps.
+        let Some(attr) = Attribute::from_index(i) else {
+            continue;
+        };
         let value = match attr {
             Attribute::PowerOnHours => {
                 253.0 - (spec.initial_age_hours + f64::from(t)) / profile.poh_decay_hours

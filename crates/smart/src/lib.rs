@@ -36,6 +36,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod attr;
 pub mod csv;
@@ -49,6 +50,7 @@ pub mod series;
 pub mod time;
 
 pub use attr::{Attribute, AttributeKind, BASIC_ATTRIBUTES, NUM_ATTRIBUTES};
+pub use csv::{CsvError, CsvImport, IngestPolicy, QuarantineReport};
 pub use dataset::{Dataset, DatasetStats};
 pub use degradation::FailureMode;
 pub use drive::{DriveClass, DriveId, DriveSpec};

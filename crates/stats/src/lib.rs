@@ -14,6 +14,7 @@
 //! selection pipeline, and the three named feature sets.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub mod change_rate;

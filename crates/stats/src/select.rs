@@ -167,10 +167,11 @@ impl Populations {
             if series.len() < lookback as usize + 2 {
                 continue;
             }
-            let fail = spec
-                .class
-                .fail_hour()
-                .expect("failed drive has a failure hour");
+            // `failed_drives()` only yields drives with a fail hour;
+            // skip rather than die if a hand-built dataset lies.
+            let Some(fail) = spec.class.fail_hour() else {
+                continue;
+            };
             let window_start = fail - config.failed_window_hours;
             let first_hour = series.samples()[0].hour;
             let indices: Vec<usize> = (0..series.len())

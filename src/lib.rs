@@ -12,7 +12,9 @@
 //! * [`eval`] — splits, voting detection, FDR/FAR/TIA metrics, model aging,
 //! * [`reliability`] — Markov MTTDL models for RAID with failure prediction,
 //! * [`par`] — the deterministic fork-join layer every crate trains and
-//!   evaluates on (results are bit-identical at any thread count).
+//!   evaluates on (results are bit-identical at any thread count),
+//! * [`fault`] — deterministic, seeded fault injection for chaos-testing
+//!   the ingestion, training and serving paths.
 //!
 //! # Quickstart
 //!
@@ -41,12 +43,14 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub use hdd_ann as ann;
 pub use hdd_baselines as baselines;
 pub use hdd_cart as cart;
 pub use hdd_eval as eval;
+pub use hdd_fault as fault;
 pub use hdd_json;
 pub use hdd_par as par;
 pub use hdd_reliability as reliability;

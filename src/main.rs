@@ -11,12 +11,24 @@
 //! ```
 //!
 //! `train` compiles the fitted tree to its flat serving form and writes it
-//! as a versioned JSON model file; `detect` reloads the file (checking the
-//! feature-count header against the feature set) and scans every series.
+//! as a versioned, checksummed model file; `detect` reloads the file
+//! (verifying the checksums and the feature-count header against the
+//! feature set) and scans every series.
+//!
+//! Ingestion is quarantine-based: malformed or unusable CSV rows are
+//! skipped and counted (reported on stderr) instead of aborting the run,
+//! up to the `--max-quarantine` ceiling. Every failure class maps to its
+//! own exit code so operational wrappers can tell them apart — see
+//! `hddpred --help`.
 
-use hddpred::cart::{Class, ClassSample, ClassificationTreeBuilder};
-use hddpred::eval::{Predictor, SavedModel, VotingDetector, VotingRule};
-use hddpred::smart::csv::{read_series, write_header, write_series};
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use hddpred::cart::{Class, ClassSample, ClassificationTreeBuilder, TrainError};
+use hddpred::eval::{ModelError, Predictor, SavedModel, VotingDetector, VotingRule};
+use hddpred::smart::csv::{
+    read_series_quarantined, write_header, write_series, CsvError, IngestPolicy,
+};
 use hddpred::smart::rng::DeterministicRng;
 use hddpred::smart::{DatasetGenerator, FamilyProfile, Hour, SmartSeries};
 use hddpred::stats::FeatureSet;
@@ -37,13 +49,15 @@ fn main() -> ExitCode {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -53,14 +67,106 @@ hddpred — hard drive failure prediction (CART, DSN'14)
 
 USAGE:
     hddpred generate --out <traces.csv> [--family W|Q] [--scale <f>] [--seed <n>]
-    hddpred train    --data <traces.csv> --out <model.json> [--window <hours>] [--threads <n>]
-    hddpred detect   --data <traces.csv> --model <model.json> [--voters <n>] [--threads <n>]
+    hddpred train    --data <traces.csv> --out <model.json> [--window <hours>]
+                     [--max-quarantine <f>] [--threads <n>]
+    hddpred detect   --data <traces.csv> --model <model.json> [--voters <n>]
+                     [--max-quarantine <f>] [--threads <n>]
 
 `--threads` sets the worker-thread count (default: HDDPRED_THREADS, else
 the hardware count). Results are bit-identical at any setting.
+
+`--max-quarantine` caps the fraction of CSV rows that may be skipped as
+unusable before the import is refused outright (default: 0.1). Skipped
+and repaired rows are itemized on stderr.
+
+EXIT CODES:
+    0  success            4  unusable input data
+    2  usage error        5  model file rejected
+    3  i/o failure        6  training failed
+                          7  quarantine ceiling exceeded
 ";
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
+/// Every way a command can fail, each with its own exit code so shell
+/// wrappers and CI can react per failure class.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown command, missing or malformed flag.
+    Usage(String),
+    /// Reading or writing a file failed at the OS level.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// The input data file exists but cannot be used.
+    Data { path: String, source: CsvError },
+    /// The model file was rejected (corrupt, wrong version, wrong shape).
+    Model { path: String, source: ModelError },
+    /// Training could not produce a model from the assembled samples.
+    Train { path: String, source: TrainError },
+    /// Too much of the input stream was quarantined to trust the rest.
+    Quarantine { path: String, source: CsvError },
+}
+
+impl CliError {
+    /// The process exit code for this failure class (documented in
+    /// [`USAGE`]).
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::Data { .. } => 4,
+            CliError::Model { .. } => 5,
+            CliError::Train { .. } => 6,
+            CliError::Quarantine { .. } => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Data { path, source } => write!(f, "{path}: {source}"),
+            CliError::Model { path, source } => write!(f, "{path}: {source}"),
+            CliError::Train { path, source } => {
+                write!(f, "training on {path} failed: {source}")
+            }
+            CliError::Quarantine { path, source } => write!(f, "{path}: {source}"),
+        }
+    }
+}
+
+/// Attribute a [`CsvError`] from reading `path` to its failure class.
+fn csv_error(path: &str, source: CsvError) -> CliError {
+    let path = path.to_string();
+    match source {
+        CsvError::Io(e) => CliError::Io { path, source: e },
+        CsvError::QuarantineLimit { .. } => CliError::Quarantine { path, source },
+        CsvError::Parse { .. } => CliError::Data { path, source },
+    }
+}
+
+/// Attribute a [`ModelError`] touching `path` to its failure class
+/// (plain I/O keeps the I/O exit code; everything else means the model
+/// file itself was rejected).
+fn model_error(path: &str, source: ModelError) -> CliError {
+    let path = path.to_string();
+    match source {
+        ModelError::Io(e) => CliError::Io { path, source: e },
+        other => CliError::Model {
+            path,
+            source: other,
+        },
+    }
+}
+
+fn io_error(path: &str) -> impl Fn(std::io::Error) -> CliError + '_ {
+    move |source| CliError::Io {
+        path: path.to_string(),
+        source,
+    }
+}
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -75,45 +181,84 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     flags
 }
 
-fn flag<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+fn flag<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, CliError> {
     flags
         .get(name)
         .map(String::as_str)
-        .ok_or_else(|| format!("missing required flag --{name}\n{USAGE}"))
+        .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}\n{USAGE}")))
+}
+
+/// Parse an optional numeric flag, naming the flag on failure.
+fn num_flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+    expected: &str,
+) -> Result<T, CliError> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--{name} needs {expected}, got `{raw}`"))),
+    }
 }
 
 /// Apply the shared `--threads` flag as the process-wide worker count.
-fn apply_threads(flags: &HashMap<String, String>) -> CliResult {
-    if let Some(raw) = flags.get("threads") {
-        let threads: usize = raw
-            .parse()
-            .map_err(|_| format!("--threads needs an integer, got `{raw}`"))?;
+fn apply_threads(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    if flags.contains_key("threads") {
+        let threads: usize = num_flag(flags, "threads", 0, "an integer")?;
         if threads == 0 {
-            return Err("--threads must be at least 1".into());
+            return Err(CliError::Usage("--threads must be at least 1".to_string()));
         }
         hddpred::par::configure_threads(threads);
     }
     Ok(())
 }
 
+/// Quarantine-based CSV ingestion shared by `train` and `detect`:
+/// unusable rows are skipped and itemized on stderr, bounded by the
+/// `--max-quarantine` ceiling.
+fn load_series(path: &str, flags: &HashMap<String, String>) -> Result<Vec<SmartSeries>, CliError> {
+    let ceiling: f64 = num_flag(flags, "max-quarantine", 0.1, "a fraction in [0, 1]")?;
+    if !(0.0..=1.0).contains(&ceiling) {
+        return Err(CliError::Usage(format!(
+            "--max-quarantine must be a fraction in [0, 1], got `{ceiling}`"
+        )));
+    }
+    let file = File::open(path).map_err(io_error(path))?;
+    let policy = IngestPolicy {
+        max_quarantine_fraction: ceiling,
+    };
+    let import =
+        read_series_quarantined(BufReader::new(file), &policy).map_err(|e| csv_error(path, e))?;
+    if !import.report.is_clean() {
+        eprintln!("warning: {path}: {}", import.report);
+    }
+    Ok(import.series)
+}
+
 /// `hddpred generate`: synthesize a fleet and dump every series as CSV.
-fn generate(flags: &HashMap<String, String>) -> CliResult {
+fn generate(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let out = flag(flags, "out")?;
     let family = match flags.get("family").map(String::as_str).unwrap_or("W") {
         "W" | "w" => FamilyProfile::w(),
         "Q" | "q" => FamilyProfile::q(),
-        other => return Err(format!("unknown family {other} (use W or Q)").into()),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown family {other} (use W or Q)"
+            )))
+        }
     };
-    let scale: f64 = flags.get("scale").map_or(Ok(0.01), |s| s.parse())?;
-    let seed: u64 = flags.get("seed").map_or(Ok(42), |s| s.parse())?;
+    let scale: f64 = num_flag(flags, "scale", 0.01, "a number")?;
+    let seed: u64 = num_flag(flags, "seed", 42, "an integer")?;
 
     let dataset = DatasetGenerator::new(family.scaled(scale), seed).generate();
-    let mut writer = BufWriter::new(File::create(out)?);
-    write_header(&mut writer)?;
+    let mut writer = BufWriter::new(File::create(out).map_err(io_error(out))?);
+    write_header(&mut writer).map_err(io_error(out))?;
     for spec in dataset.drives() {
-        write_series(&mut writer, &dataset.series(spec))?;
+        write_series(&mut writer, &dataset.series(spec)).map_err(io_error(out))?;
     }
-    writer.flush()?;
+    writer.flush().map_err(io_error(out))?;
     eprintln!(
         "wrote {} drives ({} good, {} failed) to {out}",
         dataset.drives().len(),
@@ -164,13 +309,13 @@ fn training_set(
 
 /// `hddpred train`: fit a CT model on labelled series, compile it and
 /// write the versioned model file.
-fn train(flags: &HashMap<String, String>) -> CliResult {
+fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let data = flag(flags, "data")?;
     let out = flag(flags, "out")?;
-    let window: u32 = flags.get("window").map_or(Ok(168), |s| s.parse())?;
+    let window: u32 = num_flag(flags, "window", 168, "an hour count")?;
     apply_threads(flags)?;
 
-    let series = read_series(BufReader::new(File::open(data)?))?;
+    let series = load_series(data, flags)?;
     let features = FeatureSet::critical13();
     let samples = training_set(&series, &features, window);
     eprintln!(
@@ -178,8 +323,15 @@ fn train(flags: &HashMap<String, String>) -> CliResult {
         samples.len(),
         series.len()
     );
-    let model = ClassificationTreeBuilder::new().build(&samples)?;
-    SavedModel::from(model.compile()).save(Path::new(out))?;
+    let model = ClassificationTreeBuilder::new()
+        .build(&samples)
+        .map_err(|source| CliError::Train {
+            path: data.to_string(),
+            source,
+        })?;
+    SavedModel::from(model.compile())
+        .save(Path::new(out))
+        .map_err(|e| model_error(out, e))?;
     eprintln!(
         "model: {} leaves, depth {} -> {out}",
         model.tree().n_leaves(),
@@ -190,18 +342,19 @@ fn train(flags: &HashMap<String, String>) -> CliResult {
 }
 
 /// `hddpred detect`: reload a model file and scan every series for alarms.
-fn detect(flags: &HashMap<String, String>) -> CliResult {
+fn detect(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let data = flag(flags, "data")?;
     let model_path = flag(flags, "model")?;
-    let voters: usize = flags.get("voters").map_or(Ok(11), |s| s.parse())?;
+    let voters: usize = num_flag(flags, "voters", 11, "an integer")?;
     if voters == 0 {
-        return Err("--voters must be at least 1".into());
+        return Err(CliError::Usage("--voters must be at least 1".to_string()));
     }
     apply_threads(flags)?;
 
-    let series = read_series(BufReader::new(File::open(data)?))?;
+    let series = load_series(data, flags)?;
     let features = FeatureSet::critical13();
-    let model = SavedModel::load_expecting(Path::new(model_path), features.len())?;
+    let model = SavedModel::load_expecting(Path::new(model_path), features.len())
+        .map_err(|e| model_error(model_path, e))?;
     let detector = VotingDetector::new(&model, &features, voters, VotingRule::Majority);
 
     // Scan drives on the worker pool; results come back in drive order,

@@ -1,10 +1,30 @@
 //! End-to-end tests of the `hddpred` command-line interface: generate →
 //! train → predict on real files.
 
+use hddpred::cart::{Class, ClassSample, ClassificationTreeBuilder};
+use hddpred::eval::SavedModel;
 use std::process::Command;
 
 fn hddpred() -> Command {
     Command::new(env!("CARGO_BIN_EXE_hddpred"))
+}
+
+/// Write a valid saved model trained on 2 features (not the pipeline's
+/// 13) through the library's own persistence path.
+fn write_narrow_model(path: &std::path::Path) {
+    let samples: Vec<ClassSample> = (0..40)
+        .map(|i| {
+            let x = f64::from(i % 10);
+            let class = if x < 5.0 { Class::Good } else { Class::Failed };
+            ClassSample::new(vec![x, f64::from(i % 3)], class)
+        })
+        .collect();
+    let tree = ClassificationTreeBuilder::new()
+        .build(&samples)
+        .expect("trainable narrow model");
+    SavedModel::from(tree.compile())
+        .save(path)
+        .expect("save narrow model");
 }
 
 fn tempdir() -> std::path::PathBuf {
@@ -81,15 +101,35 @@ fn help_and_unknown_commands() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
 
     let out = hddpred().arg("frobnicate").output().expect("spawn");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 }
 
 #[test]
 fn train_requires_flags() {
     let out = hddpred().arg("train").output().expect("spawn");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("--data"));
+}
+
+#[test]
+fn missing_data_file_exits_with_io_code() {
+    let out = hddpred()
+        .args([
+            "train",
+            "--data",
+            "/nonexistent/traces.csv",
+            "--out",
+            "/nonexistent/model.json",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(3), "i/o failures exit 3");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("/nonexistent/traces.csv"),
+        "names the path: {stderr}"
+    );
 }
 
 #[test]
@@ -123,11 +163,15 @@ fn detect_round_trips_a_saved_model() {
         String::from_utf8_lossy(&out.stderr)
     );
 
-    // The model file is the versioned envelope.
+    // The model file is the checksummed container: a header line with
+    // the magic and per-block CRCs, then the versioned envelope payload.
     let text = std::fs::read_to_string(&model).expect("model file written");
-    assert!(text.contains("\"format_version\":1"), "{text}");
-    assert!(text.contains("\"kind\":\"compact-forest\""), "{text}");
-    assert!(text.contains("\"n_features\":13"), "{text}");
+    let (header, payload) = text.split_once('\n').expect("two-line container");
+    assert!(header.contains("\"magic\":\"hddpred-model\""), "{header}");
+    assert!(header.contains("\"crc32\":["), "{header}");
+    assert!(payload.contains("\"format_version\":2"), "{payload}");
+    assert!(payload.contains("\"kind\":\"compact-forest\""), "{payload}");
+    assert!(payload.contains("\"n_features\":13"), "{payload}");
 
     let out = hddpred()
         .args(["detect", "--data"])
@@ -165,18 +209,8 @@ fn detect_rejects_feature_count_mismatch() {
         String::from_utf8_lossy(&out.stderr)
     );
 
-    // A syntactically valid model trained on 2 features, not 13: a stump
-    // that splits feature 0 at 0.5 into -1/+1 leaves.
-    std::fs::write(
-        &model,
-        concat!(
-            r#"{"format_version":1,"kind":"compact-forest","n_features":2,"#,
-            r#""model":{"n_features":2,"clamp":false,"weights":[1],"trees":["#,
-            r#"{"feature":[0,0,0],"threshold":[0.5,0,0],"left":[1,4294967295,4294967295],"#,
-            r#""right":[2,4294967295,4294967295],"payload":[0,-1,1]}]}}"#,
-        ),
-    )
-    .expect("write narrow model");
+    // A well-formed model trained on 2 features, not 13.
+    write_narrow_model(&model);
 
     let out = hddpred()
         .args(["detect", "--data"])
@@ -185,10 +219,135 @@ fn detect_rejects_feature_count_mismatch() {
         .arg(&model)
         .output()
         .expect("spawn detect");
-    assert!(!out.status.success(), "mismatched model must be refused");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "rejected model files exit 5: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("feature count mismatch"), "{stderr}");
     assert!(stderr.contains("13") && stderr.contains('2'), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn detect_rejects_a_bit_flipped_model_file() {
+    let dir = tempdir();
+    let traces = dir.join("traces.csv");
+    let model = dir.join("flipped.json");
+
+    let out = hddpred()
+        .args(["generate", "--out"])
+        .arg(&traces)
+        .args(["--scale", "0.01", "--seed", "3"])
+        .output()
+        .expect("spawn generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    write_narrow_model(&model);
+    // Flip one payload bit; the checksummed container must refuse it.
+    let mut bytes = std::fs::read(&model).expect("read model");
+    let header_end = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("container header line");
+    let target = header_end + 1 + (bytes.len() - header_end - 1) / 2;
+    bytes[target] ^= 0x10;
+    std::fs::write(&model, &bytes).expect("write corrupted model");
+
+    let out = hddpred()
+        .args(["detect", "--data"])
+        .arg(&traces)
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .expect("spawn detect");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "corrupt model files exit 5: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt at byte"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_rows_are_quarantined_up_to_the_ceiling() {
+    let dir = tempdir();
+    let traces = dir.join("traces.csv");
+    let model = dir.join("model.json");
+
+    let out = hddpred()
+        .args(["generate", "--out"])
+        .arg(&traces)
+        .args(["--scale", "0.01", "--seed", "13"])
+        .output()
+        .expect("spawn generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Corrupt a sprinkling of data rows: garbage text every 211 lines.
+    let text = std::fs::read_to_string(&traces).expect("read traces");
+    let corrupted: Vec<String> = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            if i > 0 && i % 211 == 0 {
+                "<<garbage>>".to_string()
+            } else {
+                line.to_string()
+            }
+        })
+        .collect();
+    std::fs::write(&traces, corrupted.join("\n") + "\n").expect("write corrupted traces");
+
+    // Under the default 10% ceiling the sparse corruption is quarantined
+    // and training proceeds.
+    let out = hddpred()
+        .args(["train", "--data"])
+        .arg(&traces)
+        .arg("--out")
+        .arg(&model)
+        .output()
+        .expect("spawn train");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("parse failures"),
+        "itemizes skips: {stderr}"
+    );
+
+    // A zero ceiling refuses the same file with the quarantine exit code.
+    let out = hddpred()
+        .args(["train", "--data"])
+        .arg(&traces)
+        .arg("--out")
+        .arg(&model)
+        .args(["--max-quarantine", "0"])
+        .output()
+        .expect("spawn strict train");
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "quarantine ceiling exits 7: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -201,7 +360,7 @@ fn generate_rejects_unknown_family() {
         .arg(dir.join("x.csv"))
         .output()
         .expect("spawn");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown family"));
     std::fs::remove_dir_all(&dir).ok();
 }
