@@ -21,6 +21,7 @@ use hdd_bench::section;
 use hdd_bench::timing::{best_of, time_per_iter};
 use hdd_cart::split::{best_classification_split, PresortedColumns, SplitCriterion};
 use hdd_cart::{Class, ClassSample, FeatureMatrix, RandomForestBuilder};
+use hdd_eval::{VotingRule, VotingState};
 use hdd_par::{hardware_threads, ThreadPool};
 use hdd_smart::rng::DeterministicRng;
 use std::hint::black_box;
@@ -172,11 +173,75 @@ fn bench_presorted_split_search(report: &mut Report, smoke: bool) {
     );
 }
 
+/// Guard for the batch-detect path: the O(1) ring-buffer `VotingState`
+/// must never fall more than 10% behind the recompute-the-window sweep
+/// it replaced. Both sweeps are asserted vote-identical first, so this
+/// is purely a throughput regression fence.
+fn bench_batch_detect_sweep(report: &mut Report, smoke: bool) {
+    section("batch-detect voting sweep: recompute-per-sample vs ring buffer");
+    let (n, runs) = if smoke { (400_000, 3) } else { (4_000_000, 5) };
+    let voters = 11usize;
+    let rng = DeterministicRng::new(17);
+    let scores: Vec<f64> = (0..n).map(|i| rng.gaussian(i as u64, 0) * 50.0).collect();
+
+    // The pre-refactor shape: recount the whole window at every sample.
+    let recompute_sweep = |scores: &[f64]| -> usize {
+        let mut alarms = 0usize;
+        for i in (voters - 1)..scores.len() {
+            let negatives = scores[i + 1 - voters..=i]
+                .iter()
+                .filter(|&&s| s < 0.0)
+                .count();
+            alarms += usize::from(2 * negatives > voters);
+        }
+        alarms
+    };
+    let ring_sweep = |scores: &[f64]| -> usize {
+        let mut state = VotingState::new(voters, VotingRule::Majority);
+        scores.iter().filter(|&&s| state.push(s)).count()
+    };
+
+    let (recompute_time, recompute_alarms) = best_of(runs, || recompute_sweep(black_box(&scores)));
+    let (ring_time, ring_alarms) = best_of(runs, || ring_sweep(black_box(&scores)));
+    assert_eq!(
+        recompute_alarms, ring_alarms,
+        "ring-buffer sweep must alarm exactly like the recompute sweep"
+    );
+
+    let speedup = recompute_time.as_secs_f64() / ring_time.as_secs_f64();
+    println!(
+        "batch_detect {n} scores, N={voters}: recompute {:.2} ms, ring {:.2} ms ({speedup:.2}x)",
+        recompute_time.as_secs_f64() * 1e3,
+        ring_time.as_secs_f64() * 1e3,
+    );
+    report.push(
+        "batch_detect_recompute",
+        1,
+        recompute_time.as_secs_f64() * 1e3,
+        1.0,
+    );
+    report.push(
+        "batch_detect_ring",
+        1,
+        ring_time.as_secs_f64() * 1e3,
+        speedup,
+    );
+
+    assert!(
+        ring_time.as_secs_f64() <= recompute_time.as_secs_f64() * 1.10,
+        "VotingState sweep regressed batch-detect throughput by more than 10%: \
+         recompute {:.2} ms vs ring {:.2} ms",
+        recompute_time.as_secs_f64() * 1e3,
+        ring_time.as_secs_f64() * 1e3,
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mut report = Report::new();
     bench_forest_training(&mut report, smoke);
     bench_presorted_split_search(&mut report, smoke);
+    bench_batch_detect_sweep(&mut report, smoke);
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
     report.write(&path).expect("write BENCH_parallel.json");
 }

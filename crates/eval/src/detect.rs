@@ -15,6 +15,7 @@
 
 use crate::model::Predictor;
 use hdd_cart::FeatureMatrix;
+use hdd_json::{JsonCodec, JsonError, Value};
 use hdd_smart::{Hour, SmartSeries};
 use hdd_stats::FeatureSet;
 
@@ -27,6 +28,198 @@ pub enum VotingRule {
     /// Alarm when the mean of the last `N` scores is below the threshold
     /// (the paper's rule for the RT health-degree models, §V-C).
     MeanBelow(f64),
+}
+
+impl JsonCodec for VotingRule {
+    fn to_json(&self) -> Value {
+        match self {
+            VotingRule::Majority => Value::Obj(vec![(
+                "rule".to_string(),
+                Value::Str("majority".to_string()),
+            )]),
+            VotingRule::MeanBelow(threshold) => Value::Obj(vec![
+                ("rule".to_string(), Value::Str("mean_below".to_string())),
+                ("threshold".to_string(), Value::Num(*threshold)),
+            ]),
+        }
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        match value.str_field("rule")? {
+            "majority" => Ok(VotingRule::Majority),
+            "mean_below" => Ok(VotingRule::MeanBelow(value.f64_field("threshold")?)),
+            other => Err(JsonError::new(format!("unknown voting rule `{other}`"))),
+        }
+    }
+}
+
+/// The per-drive voting window as a persistent value: the last `N`
+/// scores in a ring buffer plus the combination rule, advanced one
+/// sample at a time with [`VotingState::push`].
+///
+/// This is the state both detection paths share. The batch
+/// [`VotingDetector`] drives one `VotingState` over a drive's scored
+/// samples; the streaming service keeps one per live drive and
+/// checkpoints it through [`JsonCodec`], so a restarted daemon resumes
+/// with *exactly* the window the killed one held.
+///
+/// `push` is O(1) for [`VotingRule::Majority`] (an incremental
+/// negative-vote count). For [`VotingRule::MeanBelow`] it re-sums the
+/// window oldest-first on every push — O(`voters`), deliberately: a
+/// running sum would accumulate different rounding than a fresh
+/// oldest-first sum, and alarm decisions must stay bit-identical to the
+/// reference sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VotingState {
+    voters: usize,
+    rule: VotingRule,
+    /// The last `min(len, voters)` scores; chronological order is
+    /// `ring[(head + k) % voters]` for `k` in `0..len` once full,
+    /// `ring[0..len]` while filling (head stays 0 until the first wrap).
+    ring: Vec<f64>,
+    /// Index of the oldest score once the ring is full.
+    head: usize,
+    /// Scores seen so far, saturating at `voters`.
+    len: usize,
+    /// How many ring scores are negative (failed votes).
+    negatives: usize,
+}
+
+impl VotingState {
+    /// An empty window for `voters` = the paper's `N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voters` is zero.
+    #[must_use]
+    pub fn new(voters: usize, rule: VotingRule) -> Self {
+        assert!(voters >= 1, "need at least one voter");
+        VotingState {
+            voters,
+            rule,
+            ring: Vec::with_capacity(voters),
+            head: 0,
+            len: 0,
+            negatives: 0,
+        }
+    }
+
+    /// The voter count `N`.
+    #[must_use]
+    pub fn voters(&self) -> usize {
+        self.voters
+    }
+
+    /// The combination rule.
+    #[must_use]
+    pub fn rule(&self) -> VotingRule {
+        self.rule
+    }
+
+    /// Scores currently in the window (`≤ voters`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no score has been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the window holds `voters` scores (a vote can pass).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.len == self.voters
+    }
+
+    /// The window's scores, oldest first.
+    #[must_use]
+    pub fn scores(&self) -> Vec<f64> {
+        (0..self.len)
+            .map(|k| {
+                if self.len == self.voters {
+                    self.ring[(self.head + k) % self.voters]
+                } else {
+                    self.ring[k]
+                }
+            })
+            .collect()
+    }
+
+    /// Advance the window by one score and return whether the vote now
+    /// alarms. Always `false` until the window is full.
+    pub fn push(&mut self, score: f64) -> bool {
+        if self.len < self.voters {
+            self.ring.push(score);
+            self.len += 1;
+            self.negatives += usize::from(score < 0.0);
+            if self.len < self.voters {
+                return false;
+            }
+        } else {
+            // `head` wraps by compare-and-reset, not `%` — this is the
+            // hot path of every batch sweep and the daemon's commit loop.
+            self.negatives -= usize::from(self.ring[self.head] < 0.0);
+            self.negatives += usize::from(score < 0.0);
+            self.ring[self.head] = score;
+            self.head += 1;
+            if self.head == self.voters {
+                self.head = 0;
+            }
+        }
+        match self.rule {
+            VotingRule::Majority => 2 * self.negatives > self.voters,
+            VotingRule::MeanBelow(threshold) => {
+                // Sum afresh, oldest first — see the type-level note on
+                // bit-identity.
+                let older = &self.ring[self.head..];
+                let newer = &self.ring[..self.head];
+                let sum: f64 = older.iter().chain(newer).sum();
+                sum / (self.voters as f64) < threshold
+            }
+        }
+    }
+}
+
+impl JsonCodec for VotingState {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![("voters".to_string(), Value::Num(self.voters as f64))];
+        if let Value::Obj(rule_fields) = self.rule.to_json() {
+            fields.extend(rule_fields);
+        }
+        fields.push(("scores".to_string(), Value::from_f64s(self.scores())));
+        Value::Obj(fields)
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let voters = value.usize_field("voters")?;
+        if voters == 0 {
+            return Err(JsonError::new("voting state needs at least one voter"));
+        }
+        let rule = VotingRule::from_json(value)?;
+        let scores = value.f64_vec_field("scores")?;
+        if scores.len() > voters {
+            return Err(JsonError::new(format!(
+                "{} scores in a {voters}-voter window",
+                scores.len()
+            )));
+        }
+        // Rebuild in chronological order: head returns to 0 and the
+        // negative count is recomputed, so the restored window behaves
+        // identically to the one that was serialized.
+        let negatives = scores.iter().filter(|&&s| s < 0.0).count();
+        let len = scores.len();
+        Ok(VotingState {
+            voters,
+            rule,
+            ring: scores,
+            head: 0,
+            len,
+            negatives,
+        })
+    }
 }
 
 /// The voting-based detector: a predictor, a feature extractor, a voter
@@ -113,31 +306,12 @@ impl<'a, P: Predictor> VotingDetector<'a, P> {
         let mut scores = vec![0.0; rows.len()];
         self.predictor.predict_batch(&matrix, &mut scores);
 
-        match self.rule {
-            VotingRule::Majority => {
-                // Slide the window with an incremental negative-vote count.
-                let mut failed_votes = scores[..self.voters].iter().filter(|&&s| s < 0.0).count();
-                for end in self.voters - 1..scores.len() {
-                    if end >= self.voters {
-                        failed_votes += usize::from(scores[end] < 0.0);
-                        failed_votes -= usize::from(scores[end - self.voters] < 0.0);
-                    }
-                    if 2 * failed_votes > self.voters {
-                        return Some(hours[end]);
-                    }
-                }
-            }
-            VotingRule::MeanBelow(threshold) => {
-                // Sum each window afresh, oldest sample first — the same
-                // order the incremental detector accumulated in, so the
-                // means (and therefore the alarms) are bit-identical.
-                for end in self.voters - 1..scores.len() {
-                    let window = &scores[end + 1 - self.voters..=end];
-                    let mean = window.iter().sum::<f64>() / self.voters as f64;
-                    if mean < threshold {
-                        return Some(hours[end]);
-                    }
-                }
+        // One shared ring buffer drives the sweep — the same state the
+        // streaming service checkpoints per drive.
+        let mut state = VotingState::new(self.voters, self.rule);
+        for (i, &score) in scores.iter().enumerate() {
+            if state.push(score) {
+                return Some(hours[i]);
             }
         }
         None
@@ -308,5 +482,134 @@ mod tests {
     fn zero_voters_panics() {
         let fs = feature_set();
         let _ = VotingDetector::new(&ThresholdScorer, &fs, 0, VotingRule::Majority);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one voter")]
+    fn zero_voter_state_panics() {
+        let _ = VotingState::new(0, VotingRule::Majority);
+    }
+
+    /// The pre-refactor batch sweep, kept verbatim as the reference the
+    /// ring buffer must match bit-for-bit: per-window alarm decisions
+    /// over a full score stream.
+    fn legacy_sweep(scores: &[f64], voters: usize, rule: VotingRule) -> Vec<bool> {
+        let mut alarms = vec![false; scores.len()];
+        if scores.len() < voters {
+            return alarms;
+        }
+        match rule {
+            VotingRule::Majority => {
+                let mut failed_votes = scores[..voters].iter().filter(|&&s| s < 0.0).count();
+                for end in voters - 1..scores.len() {
+                    if end >= voters {
+                        failed_votes += usize::from(scores[end] < 0.0);
+                        failed_votes -= usize::from(scores[end - voters] < 0.0);
+                    }
+                    alarms[end] = 2 * failed_votes > voters;
+                }
+            }
+            VotingRule::MeanBelow(threshold) => {
+                for end in voters - 1..scores.len() {
+                    let window = &scores[end + 1 - voters..=end];
+                    let mean = window.iter().sum::<f64>() / voters as f64;
+                    alarms[end] = mean < threshold;
+                }
+            }
+        }
+        alarms
+    }
+
+    /// Deterministic score stream in roughly [-1, 1] with awkward
+    /// magnitudes so MeanBelow sums are rounding-sensitive.
+    fn score_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_buffer_is_bit_identical_to_the_legacy_sweep() {
+        for seed in 0..10u64 {
+            let scores = score_stream(seed, 300);
+            for voters in [1, 2, 3, 7, 12, 48] {
+                for rule in [
+                    VotingRule::Majority,
+                    VotingRule::MeanBelow(0.0),
+                    VotingRule::MeanBelow(-0.037),
+                    VotingRule::MeanBelow(0.014),
+                ] {
+                    let want = legacy_sweep(&scores, voters, rule);
+                    let mut state = VotingState::new(voters, rule);
+                    let got: Vec<bool> = scores.iter().map(|&s| state.push(s)).collect();
+                    assert_eq!(got, want, "seed={seed} voters={voters} rule={rule:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_fills_before_it_votes() {
+        let mut state = VotingState::new(3, VotingRule::Majority);
+        assert!(state.is_empty());
+        assert!(!state.push(-1.0));
+        assert!(!state.push(-1.0), "window not full yet");
+        assert_eq!(state.len(), 2);
+        assert!(!state.is_full());
+        assert!(state.push(-1.0), "3 of 3 negative");
+        assert!(state.is_full());
+        assert!(state.push(1.0), "still 2 of 3 negative");
+        assert!(!state.push(1.0), "now 1 of 3 negative");
+        assert_eq!(state.scores(), vec![-1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn serialized_state_resumes_bit_identically() {
+        for rule in [VotingRule::Majority, VotingRule::MeanBelow(0.009)] {
+            for split in [0usize, 3, 7, 20, 41] {
+                let scores = score_stream(99, 60);
+                // Uninterrupted run.
+                let mut whole = VotingState::new(7, rule);
+                let want: Vec<bool> = scores.iter().map(|&s| whole.push(s)).collect();
+                // Run to `split`, serialize, reload, continue.
+                let mut first = VotingState::new(7, rule);
+                let mut got: Vec<bool> = scores[..split].iter().map(|&s| first.push(s)).collect();
+                let text = hdd_json::to_string(&first.to_json());
+                let mut second = VotingState::from_json(&hdd_json::parse(&text).unwrap()).unwrap();
+                got.extend(scores[split..].iter().map(|&s| second.push(s)));
+                assert_eq!(got, want, "rule={rule:?} split={split}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_json_rejects_bad_shapes() {
+        let bad_rule = hdd_json::parse(r#"{"voters":3,"rule":"plurality","scores":[]}"#).unwrap();
+        assert!(VotingState::from_json(&bad_rule).is_err());
+        let zero = hdd_json::parse(r#"{"voters":0,"rule":"majority","scores":[]}"#).unwrap();
+        assert!(VotingState::from_json(&zero).is_err());
+        let overfull =
+            hdd_json::parse(r#"{"voters":2,"rule":"majority","scores":[1,2,3]}"#).unwrap();
+        assert!(VotingState::from_json(&overfull).is_err());
+        let missing_threshold =
+            hdd_json::parse(r#"{"voters":2,"rule":"mean_below","scores":[]}"#).unwrap();
+        assert!(VotingState::from_json(&missing_threshold).is_err());
+    }
+
+    #[test]
+    fn rule_json_round_trips() {
+        for rule in [VotingRule::Majority, VotingRule::MeanBelow(-0.25)] {
+            let text = hdd_json::to_string(&rule.to_json());
+            assert_eq!(
+                VotingRule::from_json(&hdd_json::parse(&text).unwrap()).unwrap(),
+                rule
+            );
+        }
     }
 }

@@ -34,7 +34,7 @@ pub mod split;
 pub mod triage;
 
 pub use aging::{weekly_far, AgingOutcome, UpdateStrategy};
-pub use detect::{VotingDetector, VotingRule};
+pub use detect::{VotingDetector, VotingRule, VotingState};
 pub use metrics::{PredictionMetrics, TIA_BUCKETS};
 pub use model::{Compile, ModelError, Predictor, SavedModel, TrainableModel};
 pub use pipeline::{ConfigError, Experiment, ExperimentBuilder, ExperimentOutcome, HealthTargets};

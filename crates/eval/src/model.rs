@@ -24,6 +24,7 @@ use hdd_cart::health::HealthModel;
 use hdd_cart::regressor::RegressionTree;
 use hdd_cart::sample::{ClassSample, TrainError};
 use hdd_cart::{CompactForest, FeatureMatrix};
+use hdd_json::container::{self, ContainerError};
 use hdd_json::{JsonCodec, JsonError, Value};
 use std::fmt;
 use std::path::Path;
@@ -200,11 +201,6 @@ pub const MODEL_FORMAT_VERSION: usize = 2;
 
 /// Magic string opening the checksummed container's header line.
 const MODEL_MAGIC: &str = "hddpred-model";
-
-/// Payload bytes covered by each CRC-32 in the container header. Small
-/// blocks keep the "corrupt at byte …" diagnostics tight without
-/// noticeably growing the header.
-const CRC_BLOCK_BYTES: usize = 256;
 
 /// Why saving or loading a model failed.
 #[derive(Debug)]
@@ -403,41 +399,8 @@ impl SavedModel {
     /// Returns [`ModelError::Io`] when the file cannot be written.
     pub fn save(&self, path: &Path) -> Result<(), ModelError> {
         let payload = hdd_json::to_string(&self.to_json());
-        let header = Value::Obj(vec![
-            ("magic".to_string(), Value::Str(MODEL_MAGIC.to_string())),
-            ("block".to_string(), Value::Num(CRC_BLOCK_BYTES as f64)),
-            (
-                "payload_bytes".to_string(),
-                Value::Num(payload.len() as f64),
-            ),
-            (
-                "crc32".to_string(),
-                Value::from_usizes(
-                    payload
-                        .as_bytes()
-                        .chunks(CRC_BLOCK_BYTES)
-                        .map(|chunk| hdd_json::crc32(chunk) as usize),
-                ),
-            ),
-        ]);
-        let mut document = hdd_json::to_string(&header);
-        document.push('\n');
-        document.push_str(&payload);
-
-        let tmp = tmp_sibling(path);
-        {
-            use std::io::Write as _;
-            let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(document.as_bytes())?;
-            file.sync_all()?;
-        }
-        std::fs::rename(&tmp, path)?;
-        // Best effort: persist the rename itself (directory metadata).
-        if let Some(dir) = path.parent() {
-            if let Ok(dir) = std::fs::File::open(dir) {
-                let _ = dir.sync_all();
-            }
-        }
+        let document = container::seal(MODEL_MAGIC, &payload);
+        container::write_atomic(path, &document)?;
         Ok(())
     }
 
@@ -458,57 +421,17 @@ impl SavedModel {
             offset: e.valid_up_to(),
             detail: "invalid UTF-8".to_string(),
         })?;
-        let Some((header_line, payload)) = text.split_once('\n') else {
-            // Single-line files are the unchecksummed v1 layout (or junk).
-            return Err(legacy_or_corrupt(text));
-        };
-        let corrupt_header = |detail: String| ModelError::Corrupt { offset: 0, detail };
-        let header = hdd_json::parse(header_line)
-            .map_err(|e| corrupt_header(format!("unreadable header: {e}")))?;
-        match header.str_field("magic") {
-            Ok(MODEL_MAGIC) => {}
-            _ => return Err(legacy_or_corrupt(header_line)),
-        }
-        let block = header
-            .usize_field("block")
-            .map_err(|e| corrupt_header(e.to_string()))?;
-        if block != CRC_BLOCK_BYTES {
-            return Err(corrupt_header(format!(
-                "checksum block size {block}, expected {CRC_BLOCK_BYTES}"
-            )));
-        }
-        let recorded_len = header
-            .usize_field("payload_bytes")
-            .map_err(|e| corrupt_header(e.to_string()))?;
-        let payload_offset = header_line.len() + 1;
-        if recorded_len != payload.len() {
-            return Err(ModelError::Corrupt {
-                offset: payload_offset,
-                detail: format!(
-                    "payload is {} bytes, header says {recorded_len}",
-                    payload.len()
-                ),
-            });
-        }
-        let recorded = header
-            .usize_vec_field("crc32")
-            .map_err(|e| corrupt_header(e.to_string()))?;
-        let chunks = payload.as_bytes().chunks(CRC_BLOCK_BYTES);
-        if recorded.len() != chunks.len() {
-            return Err(corrupt_header(format!(
-                "{} checksums for {} payload blocks",
-                recorded.len(),
-                chunks.len()
-            )));
-        }
-        for (i, chunk) in chunks.enumerate() {
-            if hdd_json::crc32(chunk) as usize != recorded[i] {
-                return Err(ModelError::Corrupt {
-                    offset: payload_offset + i * CRC_BLOCK_BYTES,
-                    detail: format!("checksum mismatch in the {}-byte block there", chunk.len()),
-                });
+        let payload = match container::unseal(MODEL_MAGIC, text) {
+            Ok(payload) => payload,
+            // Headerless or wrong-magic files are the unchecksummed v1
+            // layout (or junk); classify from the candidate header line.
+            Err(ContainerError::NotAContainer { candidate }) => {
+                return Err(legacy_or_corrupt(&candidate))
             }
-        }
+            Err(ContainerError::Corrupt { offset, detail }) => {
+                return Err(ModelError::Corrupt { offset, detail })
+            }
+        };
         SavedModel::from_json(&hdd_json::parse(payload)?)
     }
 
@@ -523,17 +446,6 @@ impl SavedModel {
         model.expect_features(expected)?;
         Ok(model)
     }
-}
-
-/// The temp-file path a save writes before renaming: `<name>.tmp` in the
-/// same directory, so the rename never crosses a filesystem boundary.
-fn tmp_sibling(path: &Path) -> std::path::PathBuf {
-    let mut name = path
-        .file_name()
-        .map(std::ffi::OsStr::to_os_string)
-        .unwrap_or_default();
-    name.push(".tmp");
-    path.with_file_name(name)
 }
 
 /// Classify a file that is not a v2 container: a parseable envelope with
@@ -578,6 +490,7 @@ impl Predictor for SavedModel {
 mod tests {
     use super::*;
     use hdd_cart::sample::Class;
+    use hdd_json::container::{tmp_sibling, CRC_BLOCK_BYTES};
 
     fn class_samples(n: usize) -> Vec<ClassSample> {
         (0..n)
@@ -803,7 +716,7 @@ mod tests {
         let (model, path) = saved_file("interrupted.json");
         // Simulate a crash mid-save: a half-written temp file exists but
         // the rename never happened. The destination must stay valid.
-        let tmp = super::tmp_sibling(&path);
+        let tmp = tmp_sibling(&path);
         std::fs::write(&tmp, b"{\"torn\": tru").unwrap();
         assert_eq!(SavedModel::load(&path).unwrap(), model);
         // And a subsequent save must succeed over the stale temp file.

@@ -49,6 +49,15 @@ pub enum FaultClass {
     /// Swap two adjacent same-drive rows, producing exactly one
     /// out-of-order timestamp per swap.
     OutOfOrderTimestamp,
+    /// Cut the final line in half and drop its newline terminator — the
+    /// shape of an append caught mid-write. A batch reader sees one
+    /// parse failure; a streaming tailer must leave the bytes unread
+    /// until the writer finishes the line.
+    PartialTrailingLine,
+    /// Insert copies of the header line mid-stream — the shape of a feed
+    /// file freshly rotated (truncated and restarted) while a tailer has
+    /// bytes in flight.
+    MidStreamRotation,
 }
 
 impl FaultClass {
@@ -64,6 +73,14 @@ impl FaultClass {
         FaultClass::OutOfOrderTimestamp,
     ];
 
+    /// The stream-shaped fault classes: corruptions whose whole point is
+    /// the *boundary* of the byte stream (an unfinished append, a
+    /// rotation) rather than the content of a row.
+    pub const STREAM_CORPUS: [FaultClass; 2] = [
+        FaultClass::PartialTrailingLine,
+        FaultClass::MidStreamRotation,
+    ];
+
     /// A stable human-readable label (for logs and test diagnostics).
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -75,6 +92,8 @@ impl FaultClass {
             FaultClass::DroppedRow => "dropped-row",
             FaultClass::DuplicatedTimestamp => "duplicated-timestamp",
             FaultClass::OutOfOrderTimestamp => "out-of-order-timestamp",
+            FaultClass::PartialTrailingLine => "partial-trailing-line",
+            FaultClass::MidStreamRotation => "mid-stream-rotation",
         }
     }
 }
@@ -100,6 +119,10 @@ pub struct InjectionReport {
     pub duplicated_rows: usize,
     /// Adjacent same-drive row pairs swapped (one timestamp descent each).
     pub swapped_pairs: usize,
+    /// Trailing lines cut in half and left without a newline terminator.
+    pub partial_tails: usize,
+    /// Header copies inserted mid-stream (simulated rotations).
+    pub rotations: usize,
 }
 
 impl InjectionReport {
@@ -113,6 +136,8 @@ impl InjectionReport {
             + self.dropped_rows
             + self.duplicated_rows
             + self.swapped_pairs
+            + self.partial_tails
+            + self.rotations
     }
 }
 
@@ -215,6 +240,31 @@ impl FaultInjector {
             }
             FaultClass::OutOfOrderTimestamp => {
                 report.swapped_pairs = swap_adjacent(&mut lines, &mut rng, quota);
+            }
+            FaultClass::PartialTrailingLine => {
+                // Always exactly one: there is only one trailing line.
+                let last = lines.len() - 1;
+                let line = &mut lines[last];
+                line.truncate(line.len() / 2);
+                // A half-row must not still look like a full row.
+                if line.split(',').count() == ROW_FIELDS {
+                    line.truncate(line.find(',').unwrap_or(1));
+                }
+                report.partial_tails = 1;
+                // The defining trait: the writer has not finished the
+                // line, so there is no newline after it.
+                let mut out = rejoin(&lines);
+                out.pop();
+                return (out, report);
+            }
+            FaultClass::MidStreamRotation => {
+                let header = lines[0].clone();
+                let mut victims = pick(&mut rng, data, quota);
+                victims.sort_unstable_by(|a, b| b.cmp(a));
+                for idx in victims {
+                    lines.insert(idx, header.clone());
+                    report.rotations += 1;
+                }
             }
         }
         (rejoin(&lines), report)
@@ -449,6 +499,54 @@ mod tests {
             assert_eq!(bytes[flip.offset] ^ original[flip.offset], 1 << flip.bit);
         }
         assert!(FaultInjector::new(5).flip_bit(&mut [], 0).is_none());
+    }
+
+    #[test]
+    fn partial_trailing_line_is_cut_and_unterminated() {
+        let csv = clean_csv();
+        for seed in 0..10 {
+            let (out, r) =
+                FaultInjector::new(seed).corrupt_csv(&csv, FaultClass::PartialTrailingLine, 0.5);
+            assert_eq!(r.partial_tails, 1);
+            assert_eq!(r.total(), 1);
+            assert!(!out.ends_with('\n'), "no newline after an in-flight append");
+            let tail = out.lines().last().unwrap();
+            assert_ne!(
+                tail.split(',').count(),
+                16,
+                "half a row must not look whole: {tail:?}"
+            );
+            // Everything before the tail is untouched.
+            let n = out.lines().count();
+            assert_eq!(n, csv.lines().count());
+            assert!(csv.starts_with(&out[..out.rfind('\n').unwrap() + 1]));
+        }
+    }
+
+    #[test]
+    fn rotation_inserts_exact_header_copies_mid_stream() {
+        let csv = clean_csv();
+        let header = csv.lines().next().unwrap();
+        let (out, r) =
+            FaultInjector::new(21).corrupt_csv(&csv, FaultClass::MidStreamRotation, 0.05);
+        assert_eq!(r.rotations, 3, "5% of 60 rows");
+        assert_eq!(out.lines().filter(|&l| l == header).count(), 1 + 3);
+        assert_eq!(out.lines().count(), 1 + 60 + 3);
+        assert_eq!(out.lines().next().unwrap(), header);
+        // Inserted headers are mid-stream, not stacked at the top.
+        assert_ne!(out.lines().nth(1).unwrap(), header);
+    }
+
+    #[test]
+    fn stream_corpus_is_deterministic() {
+        let csv = clean_csv();
+        for class in FaultClass::STREAM_CORPUS {
+            let (a, ra) = FaultInjector::new(7).corrupt_csv(&csv, class, 0.1);
+            let (b, rb) = FaultInjector::new(7).corrupt_csv(&csv, class, 0.1);
+            assert_eq!(a, b, "{class:?}");
+            assert_eq!(ra, rb);
+            assert!(!class.label().is_empty());
+        }
     }
 
     #[test]

@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod container;
+
 use std::fmt;
 
 /// A JSON document node.

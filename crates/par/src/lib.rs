@@ -35,7 +35,9 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A worker panic, contained and surfaced as a value.
 ///
@@ -88,6 +90,169 @@ fn merge_chunks<R>(chunks: Vec<Result<Vec<R>, String>>) -> Result<Vec<R>, Worker
         }
     }
     Ok(out)
+}
+
+/// Why a cancellable call stopped before finishing its work.
+///
+/// Produced by [`CancelToken::check`]; the distinction matters to
+/// callers — a deadline overrun means "retry with the same input next
+/// tick", an explicit cancel means "this work is obsolete".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "cancelled"),
+            Interrupt::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Interrupt {}
+
+/// Why a `_cancel` combinator returned without a full result set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParError {
+    /// A worker's closure panicked (contained, earliest chunk wins).
+    Panic(WorkerPanic),
+    /// The token was cancelled before every chunk started.
+    Cancelled,
+    /// The token's deadline passed before every chunk started.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParError::Panic(p) => write!(f, "{p}"),
+            ParError::Cancelled => write!(f, "cancelled"),
+            ParError::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ParError {}
+
+impl From<WorkerPanic> for ParError {
+    fn from(p: WorkerPanic) -> Self {
+        ParError::Panic(p)
+    }
+}
+
+impl From<Interrupt> for ParError {
+    fn from(i: Interrupt) -> Self {
+        match i {
+            Interrupt::Cancelled => ParError::Cancelled,
+            Interrupt::DeadlineExceeded => ParError::DeadlineExceeded,
+        }
+    }
+}
+
+/// A chunk's failure, kept as a value until the deterministic merge.
+enum ChunkFailure {
+    Panic(String),
+    Interrupt(Interrupt),
+}
+
+/// Merge cancellable per-chunk outcomes in submission order: the
+/// earliest failing chunk wins regardless of thread timing, so the same
+/// inputs always report the same error.
+fn merge_cancellable<R>(chunks: Vec<Result<Vec<R>, ChunkFailure>>) -> Result<Vec<R>, ParError> {
+    let mut out = Vec::new();
+    for (chunk, result) in chunks.into_iter().enumerate() {
+        match result {
+            Ok(mut part) => out.append(&mut part),
+            Err(ChunkFailure::Panic(message)) => {
+                return Err(ParError::Panic(WorkerPanic { chunk, message }))
+            }
+            Err(ChunkFailure::Interrupt(i)) => return Err(i.into()),
+        }
+    }
+    Ok(out)
+}
+
+/// A cooperative cancellation handle: cloneable, checkable, optionally
+/// carrying a wall-clock deadline.
+///
+/// Workers do not get pre-empted — cancellation is observed at chunk
+/// boundaries via [`CancelToken::check`], so a caller that needs a tick
+/// budget honoured should keep its work items reasonably small (the
+/// streaming engine bounds batches with its ingest queue cap).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+#[derive(Debug, Default)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never expires on its own; only
+    /// [`CancelToken::cancel`] trips it.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that reports [`Interrupt::DeadlineExceeded`] once
+    /// `deadline` passes.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token whose deadline is `budget` from now.
+    #[must_use]
+    pub fn with_budget(budget: Duration) -> Self {
+        CancelToken::with_deadline(Instant::now() + budget)
+    }
+
+    /// Trip the token: every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The wall-clock deadline, if this token carries one.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Check for an interrupt: explicit cancellation wins over the
+    /// deadline when both apply.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Interrupt`] when the token is tripped or expired.
+    pub fn check(&self) -> Result<(), Interrupt> {
+        if self.is_cancelled() {
+            return Err(Interrupt::Cancelled);
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => Err(Interrupt::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    }
 }
 
 /// Hard cap on resolved worker counts: fork-join gains flatten well
@@ -364,6 +529,107 @@ impl ThreadPool {
         }
     }
 
+    /// [`ThreadPool::try_parallel_map`] with cooperative cancellation:
+    /// `token` is checked once before each chunk starts, so an expired
+    /// deadline or an explicit cancel stops the call at the next chunk
+    /// boundary instead of running the whole input.
+    ///
+    /// On interrupt **no partial results are returned** — the caller
+    /// retries the same input later (the streaming engine leaves the
+    /// batch queued), which keeps outputs a pure function of the input
+    /// regardless of where the interrupt landed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParError::Cancelled`] / [`ParError::DeadlineExceeded`]
+    /// when the token tripped before every chunk ran, or
+    /// [`ParError::Panic`] when `f` panicked (earliest chunk in
+    /// submission order wins, deterministically).
+    pub fn try_parallel_map_cancel<T, R, F>(
+        &self,
+        token: &CancelToken,
+        items: &[T],
+        f: F,
+    ) -> Result<Vec<R>, ParError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let run_chunk = |part: &[T]| -> Result<Vec<R>, ChunkFailure> {
+            token.check().map_err(ChunkFailure::Interrupt)?;
+            catch_unwind(AssertUnwindSafe(|| part.iter().map(&f).collect()))
+                .map_err(|p| ChunkFailure::Panic(panic_message(&*p)))
+        };
+        if !self.is_parallel() || items.len() <= 1 {
+            return merge_cancellable(vec![run_chunk(items)]);
+        }
+        let chunk = items.len().div_ceil(self.n_threads);
+        let run_chunk = &run_chunk;
+        let mut results: Vec<Result<Vec<R>, ChunkFailure>> = Vec::with_capacity(self.n_threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || run_chunk(part)))
+                .collect();
+            for handle in handles {
+                results.push(
+                    handle
+                        .join()
+                        .unwrap_or_else(|p| Err(ChunkFailure::Panic(panic_message(&*p)))),
+                );
+            }
+        });
+        merge_cancellable(results)
+    }
+
+    /// [`ThreadPool::try_parallel_map_range`] with cooperative
+    /// cancellation; see [`ThreadPool::try_parallel_map_cancel`] for the
+    /// checking and no-partial-results semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParError`] on interrupt or contained panic.
+    pub fn try_parallel_map_range_cancel<R, F>(
+        &self,
+        token: &CancelToken,
+        n: usize,
+        f: F,
+    ) -> Result<Vec<R>, ParError>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let run_range = |start: usize, end: usize| -> Result<Vec<R>, ChunkFailure> {
+            token.check().map_err(ChunkFailure::Interrupt)?;
+            catch_unwind(AssertUnwindSafe(|| (start..end).map(&f).collect()))
+                .map_err(|p| ChunkFailure::Panic(panic_message(&*p)))
+        };
+        if !self.is_parallel() || n <= 1 {
+            return merge_cancellable(vec![run_range(0, n)]);
+        }
+        let chunk = n.div_ceil(self.n_threads);
+        let run_range = &run_range;
+        let mut results: Vec<Result<Vec<R>, ChunkFailure>> = Vec::with_capacity(self.n_threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    scope.spawn(move || run_range(start, end))
+                })
+                .collect();
+            for handle in handles {
+                results.push(
+                    handle
+                        .join()
+                        .unwrap_or_else(|p| Err(ChunkFailure::Panic(panic_message(&*p)))),
+                );
+            }
+        });
+        merge_cancellable(results)
+    }
+
     /// [`ThreadPool::parallel_for_chunks`] with panic containment.
     ///
     /// # Errors
@@ -568,6 +834,123 @@ mod tests {
     fn infallible_map_reraises_on_submitting_thread() {
         let items: Vec<u32> = (0..64).collect();
         let _ = ThreadPool::new(4).parallel_map(&items, |_| -> u32 { panic!("kaboom") });
+    }
+
+    #[test]
+    fn fresh_token_lets_work_through() {
+        let pool = ThreadPool::new(4);
+        let token = CancelToken::new();
+        let items: Vec<u64> = (0..100).collect();
+        assert_eq!(
+            pool.try_parallel_map_cancel(&token, &items, |&x| x * 2)
+                .unwrap(),
+            items.iter().map(|x| x * 2).collect::<Vec<u64>>()
+        );
+        assert_eq!(
+            pool.try_parallel_map_range_cancel(&token, 10, |i| i + 1)
+                .unwrap(),
+            (1..11).collect::<Vec<usize>>()
+        );
+    }
+
+    #[test]
+    fn cancelled_token_stops_every_combinator() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(token.check(), Err(Interrupt::Cancelled));
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(
+                pool.try_parallel_map_cancel(&token, &items, |&x| x),
+                Err(ParError::Cancelled)
+            );
+            assert_eq!(
+                pool.try_parallel_map_range_cancel(&token, 100, |i| i),
+                Err(ParError::Cancelled)
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_error() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(token.check(), Err(Interrupt::DeadlineExceeded));
+        let pool = ThreadPool::new(2);
+        let items: Vec<u32> = (0..50).collect();
+        assert_eq!(
+            pool.try_parallel_map_cancel(&token, &items, |&x| x),
+            Err(ParError::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn generous_deadline_does_not_interrupt() {
+        let token = CancelToken::with_budget(Duration::from_secs(3600));
+        assert!(token.check().is_ok());
+        assert!(token.deadline().is_some());
+        let pool = ThreadPool::new(3);
+        let items: Vec<u32> = (0..200).collect();
+        assert_eq!(
+            pool.try_parallel_map_cancel(&token, &items, |&x| x + 1)
+                .unwrap(),
+            (1..201).collect::<Vec<u32>>()
+        );
+    }
+
+    #[test]
+    fn cancel_wins_over_deadline() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        token.cancel();
+        assert_eq!(token.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn clones_observe_cancellation() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn cancellable_panic_is_contained_and_deterministic() {
+        let pool = ThreadPool::new(4);
+        let token = CancelToken::new();
+        for _ in 0..10 {
+            let err = pool
+                .try_parallel_map_range_cancel(&token, 8, |i| {
+                    if i == 3 || i == 7 {
+                        panic!("unit {i} failed");
+                    }
+                    i
+                })
+                .unwrap_err();
+            match err {
+                ParError::Panic(p) => {
+                    assert_eq!(p.chunk, 1, "{p}");
+                    assert!(p.message.contains("unit 3"), "{p}");
+                }
+                other => panic!("expected Panic, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn interrupt_and_par_error_display() {
+        assert_eq!(Interrupt::Cancelled.to_string(), "cancelled");
+        assert_eq!(ParError::DeadlineExceeded.to_string(), "deadline exceeded");
+        assert_eq!(ParError::from(Interrupt::Cancelled), ParError::Cancelled);
+        assert_eq!(
+            ParError::from(Interrupt::DeadlineExceeded),
+            ParError::DeadlineExceeded
+        );
+        let p = WorkerPanic {
+            chunk: 2,
+            message: "boom".to_string(),
+        };
+        assert!(ParError::from(p).to_string().contains("chunk 2"));
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Crash-safe daemon checkpoints.
+//!
+//! A checkpoint captures everything the daemon needs to resume after
+//! `kill -9` with *byte-identical* alarm output: the serialized engine
+//! state (feed position, per-drive voting windows, counters, breaker)
+//! plus how many bytes of the alarm sink had been written when the
+//! snapshot was taken. On restart the sink is truncated back to that
+//! length and processing resumes from the checkpointed feed offset, so
+//! the replayed suffix appends exactly the alarms the killed run would
+//! have.
+//!
+//! The on-disk format reuses the CRC-checked two-line container model
+//! files use ([`hdd_json::container`]) with its own magic string, and
+//! every write goes through the same atomic temp-file + rename protocol
+//! — a crash mid-checkpoint leaves the previous valid checkpoint in
+//! place.
+
+use hdd_json::container::{self, ContainerError};
+use hdd_json::{JsonError, Value};
+use std::fmt;
+use std::path::Path;
+
+/// Magic string opening a checkpoint container's header line.
+pub const CHECKPOINT_MAGIC: &str = "hddpred-checkpoint";
+
+/// Checkpoint layout version; bumped on incompatible changes.
+pub const CHECKPOINT_FORMAT_VERSION: usize = 1;
+
+/// Why reading or writing a checkpoint failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file parsed but is not a valid checkpoint document.
+    Json(JsonError),
+    /// The file was written by an incompatible layout version.
+    UnsupportedVersion(usize),
+    /// The file's bytes contradict its checksums or container layout.
+    Corrupt {
+        /// Byte offset (from the start of the file) of the failure.
+        offset: usize,
+        /// What was wrong there.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+            CheckpointError::Json(e) => write!(f, "checkpoint: {e}"),
+            CheckpointError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported checkpoint version {v} (this build reads {CHECKPOINT_FORMAT_VERSION})"
+            ),
+            CheckpointError::Corrupt { offset, detail } => {
+                write!(f, "checkpoint corrupt at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<JsonError> for CheckpointError {
+    fn from(e: JsonError) -> Self {
+        CheckpointError::Json(e)
+    }
+}
+
+/// One resumable snapshot: the engine's serialized state plus the alarm
+/// sink length it corresponds to.
+///
+/// The engine payload is kept opaque here (the engine owns its own
+/// codec); the checkpoint layer only frames, checksums and versions it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Bytes of the alarm sink written when the snapshot was taken.
+    pub sink_bytes: u64,
+    /// The engine's serialized state.
+    pub engine: Value,
+}
+
+impl Checkpoint {
+    /// Write the checkpoint atomically (temp sibling + fsync + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let doc = Value::Obj(vec![
+            (
+                "format_version".to_string(),
+                Value::Num(CHECKPOINT_FORMAT_VERSION as f64),
+            ),
+            // u64 through an f64 JSON number: exact up to 2^53, far
+            // beyond any real sink or feed size.
+            ("sink_bytes".to_string(), Value::Num(self.sink_bytes as f64)),
+            ("engine".to_string(), self.engine.clone()),
+        ]);
+        let payload = hdd_json::to_string(&doc);
+        let document = container::seal(CHECKPOINT_MAGIC, &payload);
+        container::write_atomic(path, &document)?;
+        Ok(())
+    }
+
+    /// Read a checkpoint written by [`Checkpoint::save`], verifying every
+    /// payload block's CRC-32 before parsing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Corrupt`] (with the failing byte
+    /// offset) when the bytes contradict the recorded checksums, and
+    /// [`CheckpointError`] on I/O, parse or version problems.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        let text = std::str::from_utf8(&bytes).map_err(|e| CheckpointError::Corrupt {
+            offset: e.valid_up_to(),
+            detail: "invalid UTF-8".to_string(),
+        })?;
+        let payload = match container::unseal(CHECKPOINT_MAGIC, text) {
+            Ok(payload) => payload,
+            Err(ContainerError::NotAContainer { .. }) => {
+                return Err(CheckpointError::Corrupt {
+                    offset: 0,
+                    detail: "not a checkpoint file (missing container header)".to_string(),
+                })
+            }
+            Err(ContainerError::Corrupt { offset, detail }) => {
+                return Err(CheckpointError::Corrupt { offset, detail })
+            }
+        };
+        let doc = hdd_json::parse(payload)?;
+        let version = doc.usize_field("format_version")?;
+        if version != CHECKPOINT_FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        Ok(Checkpoint {
+            sink_bytes: doc.usize_field("sink_bytes")? as u64,
+            engine: doc.field("engine")?.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdd_json::container::tmp_sibling;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hdd-serve-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            sink_bytes: 12345,
+            engine: Value::Obj(vec![
+                ("offset".to_string(), Value::Num(678.0)),
+                ("drives".to_string(), Value::Arr(vec![Value::Num(1.0)])),
+            ]),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_a_file() {
+        let path = scratch("roundtrip.ckpt");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let path = scratch("bitflip.ckpt");
+        sample().save(&path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bytes = clean.clone();
+                bytes[byte] ^= 1 << bit;
+                std::fs::write(&path, &bytes).unwrap();
+                assert!(
+                    Checkpoint::load(&path).is_err(),
+                    "flip of byte {byte} bit {bit} was accepted"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_and_junk_are_typed_errors() {
+        let path = scratch("versioned.ckpt");
+        let doc = "{\"format_version\":99,\"sink_bytes\":0,\"engine\":{}}";
+        let sealed = container::seal(CHECKPOINT_MAGIC, doc);
+        std::fs::write(&path, sealed).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::UnsupportedVersion(99)),
+            "{err}"
+        );
+
+        std::fs::write(&path, "not a checkpoint at all").unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Corrupt { offset: 0, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("container header"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interrupted_save_never_clobbers_the_previous_checkpoint() {
+        let path = scratch("interrupted.ckpt");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        std::fs::write(tmp_sibling(&path), b"torn che").unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        ck.save(&path).unwrap();
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "save must consume its temp file"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,1098 @@
+//! The streaming detection engine: per-drive voting state over a line feed.
+//!
+//! The engine consumes feed lines *in order* and is, by construction, a
+//! pure function of the processed line prefix: every counter, voting
+//! window and breaker transition advances only when a line commits,
+//! never on tick boundaries or wall-clock time. That single invariant is
+//! what makes kill-and-restart runs byte-identical — a checkpoint is
+//! just "the state after the first `k` lines", and replaying the rest of
+//! the feed from there cannot diverge from the uninterrupted run.
+//!
+//! A batch is processed in three steps:
+//!
+//! 1. **Decide** (read-only): classify every line — quarantine kinds,
+//!    stale/conflicting drops, rotation markers — and extract feature
+//!    vectors for the accepted samples against a *preview* of each
+//!    drive's history.
+//! 2. **Score**: the feature vectors go to the worker pool under the
+//!    tick's [`CancelToken`]; on deadline or cancellation *nothing* has
+//!    been committed and the whole batch stays queued for the next tick.
+//! 3. **Commit** (in feed order): counters, breaker, histories and
+//!    voting windows advance line by line; alarms fire (or are
+//!    suppressed while degraded) exactly where a serial run would fire
+//!    them.
+//!
+//! Streaming deviates from the batch reader in one documented way: the
+//! batch reader buffers a whole drive, sorts, and resolves duplicate
+//! timestamps last-write-wins; a daemon cannot hold alarms back to wait
+//! for retransmissions, so rows at or before a drive's latest seen hour
+//! are dropped (first-write-wins) and counted as stale.
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use hdd_eval::{ModelError, Predictor, SavedModel, VotingRule, VotingState};
+use hdd_json::{JsonCodec, JsonError, Value};
+use hdd_par::{CancelToken, ParError, ThreadPool};
+use hdd_smart::csv::{is_header_line, parse_data_line, CsvRow, ValueFault};
+use hdd_smart::{DriveClass, Hour, SmartSample, SmartSeries, NUM_ATTRIBUTES};
+use hdd_stats::FeatureSet;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One tailed feed line, tagged with where it ends so the engine can
+/// checkpoint an exact resume position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedLine {
+    /// The line's text (no terminator).
+    pub text: String,
+    /// Feed offset just past this line.
+    pub end_offset: u64,
+    /// Rotation generation the offset belongs to.
+    pub generation: u64,
+}
+
+/// Sizing for an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// The paper's `N`: voting-window length per drive.
+    pub voters: usize,
+    /// How window scores combine into an alarm decision.
+    pub rule: VotingRule,
+    /// Quarantine circuit-breaker sizing.
+    pub breaker: BreakerConfig,
+}
+
+impl EngineConfig {
+    /// A majority-voting engine with `voters` = `N` and a breaker over
+    /// the last 100 rows tripping above `max_quarantine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voters` is zero (via the voting state) or the breaker
+    /// parameters are invalid.
+    #[must_use]
+    pub fn new(voters: usize, rule: VotingRule, max_quarantine: f64) -> Self {
+        EngineConfig {
+            voters,
+            rule,
+            breaker: BreakerConfig::new(100, max_quarantine),
+        }
+    }
+}
+
+/// One emitted alarm: the sink line is `drive,hour`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Alarm {
+    /// Drive that alarmed.
+    pub drive: u32,
+    /// Hour of the sample whose vote tipped the window.
+    pub hour: u32,
+}
+
+impl fmt::Display for Alarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{}", self.drive, self.hour)
+    }
+}
+
+/// Everything the daemon counts, serialized into every checkpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Data rows seen (header and blank lines excluded).
+    pub rows_seen: usize,
+    /// Rows accepted into a drive's history.
+    pub rows_accepted: usize,
+    /// Rows that failed structural parsing.
+    pub parse_failures: usize,
+    /// Rows carrying NaN or infinite values.
+    pub non_finite_rows: usize,
+    /// Rows with values outside the plausible range.
+    pub out_of_range_rows: usize,
+    /// Rows contradicting their drive's class metadata.
+    pub conflicting_rows: usize,
+    /// Rows at or before their drive's latest seen hour (late arrivals
+    /// and duplicates; streaming is first-write-wins).
+    pub stale_rows: usize,
+    /// Feed rotations observed (file shrinkage + mid-stream headers).
+    pub rotations: usize,
+    /// Queued events shed by backpressure.
+    pub dropped_events: usize,
+    /// Alarms written to the sink.
+    pub alarms_emitted: usize,
+    /// Alarm decisions suppressed while degraded.
+    pub alarms_suppressed: usize,
+    /// Successful hot model reloads.
+    pub model_reloads: usize,
+    /// Rejected model replacements (kept last-known-good).
+    pub reload_failures: usize,
+}
+
+impl ServeStats {
+    /// Rows dropped as unusable (the breaker's numerator).
+    #[must_use]
+    pub fn quarantined_rows(&self) -> usize {
+        self.parse_failures + self.non_finite_rows + self.out_of_range_rows + self.conflicting_rows
+    }
+}
+
+/// One entry of [`STAT_FIELDS`]: a stats counter's JSON key plus its
+/// shared and mutable accessors.
+type StatField = (
+    &'static str,
+    fn(&ServeStats) -> &usize,
+    fn(&mut ServeStats) -> &mut usize,
+);
+
+/// `(json key, accessor)` for every stats counter — one table drives the
+/// codec in both directions so a field can't be forgotten in one of them.
+const STAT_FIELDS: [StatField; 13] = [
+    ("rows_seen", |s| &s.rows_seen, |s| &mut s.rows_seen),
+    (
+        "rows_accepted",
+        |s| &s.rows_accepted,
+        |s| &mut s.rows_accepted,
+    ),
+    (
+        "parse_failures",
+        |s| &s.parse_failures,
+        |s| &mut s.parse_failures,
+    ),
+    (
+        "non_finite_rows",
+        |s| &s.non_finite_rows,
+        |s| &mut s.non_finite_rows,
+    ),
+    (
+        "out_of_range_rows",
+        |s| &s.out_of_range_rows,
+        |s| &mut s.out_of_range_rows,
+    ),
+    (
+        "conflicting_rows",
+        |s| &s.conflicting_rows,
+        |s| &mut s.conflicting_rows,
+    ),
+    ("stale_rows", |s| &s.stale_rows, |s| &mut s.stale_rows),
+    ("rotations", |s| &s.rotations, |s| &mut s.rotations),
+    (
+        "dropped_events",
+        |s| &s.dropped_events,
+        |s| &mut s.dropped_events,
+    ),
+    (
+        "alarms_emitted",
+        |s| &s.alarms_emitted,
+        |s| &mut s.alarms_emitted,
+    ),
+    (
+        "alarms_suppressed",
+        |s| &s.alarms_suppressed,
+        |s| &mut s.alarms_suppressed,
+    ),
+    (
+        "model_reloads",
+        |s| &s.model_reloads,
+        |s| &mut s.model_reloads,
+    ),
+    (
+        "reload_failures",
+        |s| &s.reload_failures,
+        |s| &mut s.reload_failures,
+    ),
+];
+
+impl JsonCodec for ServeStats {
+    fn to_json(&self) -> Value {
+        Value::Obj(
+            STAT_FIELDS
+                .iter()
+                .map(|(key, get, _)| ((*key).to_string(), Value::Num(*get(self) as f64)))
+                .collect(),
+        )
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let mut stats = ServeStats::default();
+        for (key, _, get_mut) in &STAT_FIELDS {
+            *get_mut(&mut stats) = value.usize_field(key)?;
+        }
+        Ok(stats)
+    }
+}
+
+/// Live state of one drive the feed has mentioned.
+#[derive(Debug, Clone, PartialEq)]
+struct DriveMonitor {
+    class: DriveClass,
+    /// Recent samples, strictly increasing in hour, pruned to the
+    /// feature set's lookback window — exactly the suffix extraction
+    /// can ever reference.
+    history: Vec<SmartSample>,
+    voting: VotingState,
+    /// Latched once an alarm was *emitted* for this drive.
+    alarmed: bool,
+}
+
+fn class_to_json(class: DriveClass) -> Vec<(String, Value)> {
+    match class {
+        DriveClass::Good => vec![("failed".to_string(), Value::Bool(false))],
+        DriveClass::Failed { fail_hour } => vec![
+            ("failed".to_string(), Value::Bool(true)),
+            ("fail_hour".to_string(), Value::Num(f64::from(fail_hour.0))),
+        ],
+    }
+}
+
+fn class_from_json(value: &Value) -> Result<DriveClass, JsonError> {
+    let failed = value
+        .field("failed")?
+        .as_bool()
+        .ok_or_else(|| JsonError::new("`failed` must be a boolean"))?;
+    if failed {
+        Ok(DriveClass::Failed {
+            fail_hour: Hour(value.usize_field("fail_hour")? as u32),
+        })
+    } else {
+        Ok(DriveClass::Good)
+    }
+}
+
+impl JsonCodec for DriveMonitor {
+    fn to_json(&self) -> Value {
+        let mut fields = class_to_json(self.class);
+        fields.push(("alarmed".to_string(), Value::Bool(self.alarmed)));
+        fields.push((
+            "history".to_string(),
+            Value::Arr(
+                self.history
+                    .iter()
+                    .map(|s| {
+                        Value::Obj(vec![
+                            ("hour".to_string(), Value::Num(f64::from(s.hour.0))),
+                            (
+                                "values".to_string(),
+                                Value::from_f64s(s.values.iter().map(|&v| f64::from(v))),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push(("voting".to_string(), self.voting.to_json()));
+        Value::Obj(fields)
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let class = class_from_json(value)?;
+        let alarmed = value
+            .field("alarmed")?
+            .as_bool()
+            .ok_or_else(|| JsonError::new("`alarmed` must be a boolean"))?;
+        let raw_history = value
+            .field("history")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new("`history` must be an array"))?;
+        let mut history = Vec::with_capacity(raw_history.len());
+        for entry in raw_history {
+            let hour = Hour(entry.usize_field("hour")? as u32);
+            let values = entry.f64_vec_field("values")?;
+            if values.len() != NUM_ATTRIBUTES {
+                return Err(JsonError::new(format!(
+                    "history sample has {} values, expected {NUM_ATTRIBUTES}",
+                    values.len()
+                )));
+            }
+            let mut sample = SmartSample {
+                hour,
+                values: [0.0; NUM_ATTRIBUTES],
+            };
+            for (slot, v) in sample.values.iter_mut().zip(&values) {
+                *slot = *v as f32;
+            }
+            history.push(sample);
+        }
+        if !history.windows(2).all(|w| w[0].hour < w[1].hour) {
+            return Err(JsonError::new(
+                "history must be strictly increasing in time",
+            ));
+        }
+        Ok(DriveMonitor {
+            class,
+            history,
+            voting: VotingState::from_json(value.field("voting")?)?,
+            alarmed,
+        })
+    }
+}
+
+/// How one feed line will be handled; computed read-only, committed in
+/// feed order.
+#[derive(Debug, Clone)]
+enum Decision {
+    /// Blank line: ignored entirely.
+    Blank,
+    /// A header line (expected at a generation's start, a rotation
+    /// marker anywhere else).
+    Header,
+    /// Structurally unparseable row.
+    ParseFailure,
+    /// Parsed row carrying an unusable measurement.
+    BadValue(ValueFault),
+    /// Row contradicting its drive's class metadata.
+    Conflicting,
+    /// Row at or before the drive's latest seen hour.
+    Stale,
+    /// Usable row; `scored` indexes into the batch's feature rows when
+    /// the sample had enough history to extract.
+    Accept { row: CsvRow, scored: Option<usize> },
+}
+
+/// What one committed batch produced.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// Alarms to append to the sink, in feed order.
+    pub alarms: Vec<Alarm>,
+    /// Breaker transitions that happened inside the batch, in order.
+    pub transitions: Vec<BreakerState>,
+}
+
+/// The streaming engine; see the module docs.
+#[derive(Debug)]
+pub struct Engine {
+    model: SavedModel,
+    features: FeatureSet,
+    config: EngineConfig,
+    drives: BTreeMap<u32, DriveMonitor>,
+    breaker: CircuitBreaker,
+    stats: ServeStats,
+    /// Feed offset just past the last committed line.
+    processed_offset: u64,
+    /// Rotation generation that offset belongs to.
+    generation: u64,
+}
+
+impl Engine {
+    /// A fresh engine serving `model` over `features`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::FeatureMismatch`] when the model does not
+    /// score the feature set's dimensionality.
+    pub fn new(
+        model: SavedModel,
+        features: FeatureSet,
+        config: EngineConfig,
+    ) -> Result<Self, ModelError> {
+        model.expect_features(features.len())?;
+        // Validate eagerly so a bad config fails at startup, not on the
+        // first row.
+        let breaker = CircuitBreaker::new(config.breaker);
+        let _ = VotingState::new(config.voters, config.rule);
+        Ok(Engine {
+            model,
+            features,
+            config,
+            drives: BTreeMap::new(),
+            breaker,
+            stats: ServeStats::default(),
+            processed_offset: 0,
+            generation: 0,
+        })
+    }
+
+    /// Feed offset just past the last committed line.
+    #[must_use]
+    pub fn processed_offset(&self) -> u64 {
+        self.processed_offset
+    }
+
+    /// Rotation generation the processed offset belongs to.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// The breaker's current state.
+    #[must_use]
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// One-line status summary for the operator log.
+    #[must_use]
+    pub fn status_line(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "state={} rows={} accepted={} quarantined={} stale={} rotations={} dropped={} \
+             alarms={} suppressed={} reloads={} reload_failures={}",
+            self.breaker.state().label(),
+            s.rows_seen,
+            s.rows_accepted,
+            s.quarantined_rows(),
+            s.stale_rows,
+            s.rotations,
+            s.dropped_events,
+            s.alarms_emitted,
+            s.alarms_suppressed,
+            s.model_reloads,
+            s.reload_failures
+        )
+    }
+
+    /// Swap in a hot-reloaded model (already validated by the loader).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::FeatureMismatch`] when the replacement does
+    /// not score the engine's feature dimensionality; the current model
+    /// keeps serving.
+    pub fn swap_model(&mut self, model: SavedModel) -> Result<(), ModelError> {
+        model.expect_features(self.features.len())?;
+        self.model = model;
+        self.stats.model_reloads += 1;
+        Ok(())
+    }
+
+    /// Count a rejected model replacement (last-known-good kept).
+    pub fn note_reload_failure(&mut self) {
+        self.stats.reload_failures += 1;
+    }
+
+    /// Count a physical feed rotation observed by the tailer.
+    pub fn note_rotation(&mut self) {
+        self.stats.rotations += 1;
+    }
+
+    /// Count events shed by queue backpressure.
+    pub fn note_drops(&mut self, n: usize) {
+        self.stats.dropped_events += n;
+    }
+
+    /// Process a batch of feed lines under the tick's cancel token.
+    ///
+    /// All-or-nothing: on `Cancelled`/`DeadlineExceeded` *no* state has
+    /// changed and the caller retries the same lines next tick; the
+    /// committed outcome is therefore independent of how lines were
+    /// grouped into batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParError::Cancelled`] / [`ParError::DeadlineExceeded`]
+    /// from the token, or [`ParError::Panic`] if the model panicked
+    /// while scoring (a bug, not an operational condition).
+    pub fn process(
+        &mut self,
+        pool: &ThreadPool,
+        token: &CancelToken,
+        lines: &[FeedLine],
+    ) -> Result<BatchOutcome, ParError> {
+        token.check().map_err(ParError::from)?;
+        let (decisions, rows) = self.decide(lines);
+        let scores = if rows.is_empty() {
+            Vec::new()
+        } else {
+            let model = &self.model;
+            pool.try_parallel_map_cancel(token, &rows, |features| model.score(features))?
+        };
+        Ok(self.commit(lines, &decisions, &scores))
+    }
+
+    /// Step 1: classify every line read-only and extract feature rows
+    /// for accepted samples against per-drive history previews.
+    fn decide(&self, lines: &[FeedLine]) -> (Vec<Decision>, Vec<Vec<f64>>) {
+        let mut decisions = Vec::with_capacity(lines.len());
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        // Drive id → (class, samples incl. rows accepted earlier in this
+        // same batch) — the commit phase will arrive at exactly this.
+        let mut previews: BTreeMap<u32, (DriveClass, Vec<SmartSample>)> = BTreeMap::new();
+        for line in lines {
+            if line.text.trim().is_empty() {
+                decisions.push(Decision::Blank);
+                continue;
+            }
+            if is_header_line(&line.text) {
+                decisions.push(Decision::Header);
+                continue;
+            }
+            let (row, fault) = match parse_data_line(&line.text) {
+                Ok(parsed) => parsed,
+                Err(_) => {
+                    decisions.push(Decision::ParseFailure);
+                    continue;
+                }
+            };
+            if let Some(fault) = fault {
+                decisions.push(Decision::BadValue(fault));
+                continue;
+            }
+            let preview = previews.entry(row.drive.0).or_insert_with(|| {
+                match self.drives.get(&row.drive.0) {
+                    Some(monitor) => (monitor.class, monitor.history.clone()),
+                    None => (row.class, Vec::new()),
+                }
+            });
+            if preview.0 != row.class {
+                decisions.push(Decision::Conflicting);
+                continue;
+            }
+            if preview.1.last().is_some_and(|s| row.sample.hour <= s.hour) {
+                decisions.push(Decision::Stale);
+                continue;
+            }
+            preview.1.push(row.sample);
+            prune_history(&mut preview.1, self.features.max_lookback_hours());
+            let series = SmartSeries::new(row.drive, row.class, preview.1.clone());
+            let scored = self
+                .features
+                .extract(&series, series.len() - 1)
+                .map(|features| {
+                    rows.push(features);
+                    rows.len() - 1
+                });
+            decisions.push(Decision::Accept { row, scored });
+        }
+        (decisions, rows)
+    }
+
+    /// Step 3: advance counters, breaker, histories and voting windows
+    /// line by line, in feed order.
+    fn commit(
+        &mut self,
+        lines: &[FeedLine],
+        decisions: &[Decision],
+        scores: &[f64],
+    ) -> BatchOutcome {
+        let mut outcome = BatchOutcome::default();
+        for (line, decision) in lines.iter().zip(decisions) {
+            // Where this line starts: the previous line's end, or byte
+            // zero right after a rotation.
+            let line_start = if line.generation == self.generation {
+                self.processed_offset
+            } else {
+                0
+            };
+            self.processed_offset = line.end_offset;
+            self.generation = line.generation;
+            match decision {
+                Decision::Blank => {}
+                Decision::Header => {
+                    // The header at a generation's start is expected; one
+                    // appearing mid-stream marks a copy-truncate rotation.
+                    if line_start != 0 {
+                        self.stats.rotations += 1;
+                    }
+                }
+                Decision::ParseFailure => {
+                    self.stats.rows_seen += 1;
+                    self.stats.parse_failures += 1;
+                    self.record_breaker(true, &mut outcome);
+                }
+                Decision::BadValue(fault) => {
+                    self.stats.rows_seen += 1;
+                    match fault {
+                        ValueFault::NonFinite => self.stats.non_finite_rows += 1,
+                        ValueFault::OutOfRange => self.stats.out_of_range_rows += 1,
+                    }
+                    self.record_breaker(true, &mut outcome);
+                }
+                Decision::Conflicting => {
+                    self.stats.rows_seen += 1;
+                    self.stats.conflicting_rows += 1;
+                    self.record_breaker(true, &mut outcome);
+                }
+                Decision::Stale => {
+                    self.stats.rows_seen += 1;
+                    self.stats.stale_rows += 1;
+                    // Stale rows parsed fine — ordering jitter is not
+                    // corruption, so the breaker sees a clean row.
+                    self.record_breaker(false, &mut outcome);
+                }
+                Decision::Accept { row, scored } => {
+                    self.stats.rows_seen += 1;
+                    self.stats.rows_accepted += 1;
+                    self.record_breaker(false, &mut outcome);
+                    let monitor = self
+                        .drives
+                        .entry(row.drive.0)
+                        .or_insert_with(|| DriveMonitor {
+                            class: row.class,
+                            history: Vec::new(),
+                            voting: VotingState::new(self.config.voters, self.config.rule),
+                            alarmed: false,
+                        });
+                    monitor.history.push(row.sample);
+                    prune_history(&mut monitor.history, self.features.max_lookback_hours());
+                    if let Some(idx) = scored {
+                        let alarm_vote = monitor.voting.push(scores[*idx]);
+                        if alarm_vote && !monitor.alarmed {
+                            if self.breaker.suppressing() {
+                                self.stats.alarms_suppressed += 1;
+                            } else {
+                                monitor.alarmed = true;
+                                self.stats.alarms_emitted += 1;
+                                outcome.alarms.push(Alarm {
+                                    drive: row.drive.0,
+                                    hour: row.sample.hour.0,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    fn record_breaker(&mut self, quarantined: bool, outcome: &mut BatchOutcome) {
+        if let Some(state) = self.breaker.record(quarantined) {
+            outcome.transitions.push(state);
+        }
+    }
+
+    /// Serialize everything a checkpoint needs to resume this engine.
+    #[must_use]
+    pub fn state_to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "offset".to_string(),
+                Value::Num(self.processed_offset as f64),
+            ),
+            ("generation".to_string(), Value::Num(self.generation as f64)),
+            ("stats".to_string(), self.stats.to_json()),
+            ("breaker".to_string(), self.breaker.to_json()),
+            (
+                "drives".to_string(),
+                Value::Arr(
+                    self.drives
+                        .iter()
+                        .map(|(id, monitor)| {
+                            let mut fields =
+                                vec![("drive".to_string(), Value::Num(f64::from(*id)))];
+                            if let Value::Obj(monitor_fields) = monitor.to_json() {
+                                fields.extend(monitor_fields);
+                            }
+                            Value::Obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Restore state serialized by [`Engine::state_to_json`], replacing
+    /// whatever this engine held.
+    ///
+    /// The model and feature set are *not* part of the state — the
+    /// caller loads the (possibly newer) model file separately; restored
+    /// drives keep their checkpointed voting windows even if the
+    /// configured voter count changed in between.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when the document does not describe a valid
+    /// engine state.
+    pub fn restore_state(&mut self, value: &Value) -> Result<(), JsonError> {
+        let offset = value.usize_field("offset")? as u64;
+        let generation = value.usize_field("generation")? as u64;
+        let stats = ServeStats::from_json(value.field("stats")?)?;
+        let breaker = CircuitBreaker::from_json(value.field("breaker")?)?;
+        let raw_drives = value
+            .field("drives")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new("`drives` must be an array"))?;
+        let mut drives = BTreeMap::new();
+        for entry in raw_drives {
+            let id = entry.usize_field("drive")? as u32;
+            if drives.insert(id, DriveMonitor::from_json(entry)?).is_some() {
+                return Err(JsonError::new(format!("drive {id} appears twice")));
+            }
+        }
+        self.processed_offset = offset;
+        self.generation = generation;
+        self.stats = stats;
+        self.breaker = breaker;
+        self.drives = drives;
+        Ok(())
+    }
+}
+
+/// Drop samples too old for any feature lookback from `newest`: a sample
+/// is kept iff `hour + lookback >= newest.hour`, exactly the
+/// `change_rate_at` search bound, so extraction over the pruned history
+/// is bit-identical to extraction over the full series.
+fn prune_history(history: &mut Vec<SmartSample>, lookback: u32) {
+    if let Some(newest) = history.last().map(|s| s.hour.0) {
+        history.retain(|s| s.hour.0 + lookback >= newest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdd_cart::classifier::ClassificationTreeBuilder;
+    use hdd_cart::sample::{Class, ClassSample};
+    use hdd_eval::VotingDetector;
+    use hdd_smart::csv::{write_header, write_series};
+    use hdd_smart::rng::DeterministicRng;
+    use hdd_smart::{DatasetGenerator, FamilyProfile};
+
+    const VOTERS: usize = 11;
+
+    fn fleet() -> Vec<SmartSeries> {
+        let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.004), 99).generate();
+        ds.drives().iter().map(|spec| ds.series(spec)).collect()
+    }
+
+    /// Train a small CT on the fleet, mirroring the CLI's training set.
+    fn model(series: &[SmartSeries], features: &FeatureSet) -> SavedModel {
+        let rng = DeterministicRng::new(0x5EED);
+        let mut samples = Vec::new();
+        for (d, s) in series.iter().enumerate() {
+            match s.class.fail_hour() {
+                None => {
+                    for k in 0..3u64 {
+                        let u = rng.uniform(d as u64, k);
+                        let idx = (u * s.len() as f64) as usize;
+                        if let Some(f) = features.extract(s, idx) {
+                            samples.push(ClassSample::new(f, Class::Good));
+                        }
+                    }
+                }
+                Some(fail) => {
+                    for idx in 0..s.len() {
+                        if s.samples()[idx].hour.0 + 168 < fail.0 {
+                            continue;
+                        }
+                        if let Some(f) = features.extract(s, idx) {
+                            samples.push(ClassSample::new(f, Class::Failed));
+                        }
+                    }
+                }
+            }
+        }
+        let tree = ClassificationTreeBuilder::new().build(&samples).unwrap();
+        SavedModel::from(tree.compile())
+    }
+
+    /// CSV-encode a fleet and split it into tagged feed lines.
+    fn feed_lines(series: &[SmartSeries]) -> Vec<FeedLine> {
+        let mut buf = Vec::new();
+        write_header(&mut buf).unwrap();
+        for s in series {
+            write_series(&mut buf, s).unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = Vec::new();
+        let mut offset = 0u64;
+        for line in text.lines() {
+            offset += line.len() as u64 + 1;
+            lines.push(FeedLine {
+                text: line.to_string(),
+                end_offset: offset,
+                generation: 0,
+            });
+        }
+        lines
+    }
+
+    fn engine(model: SavedModel, features: &FeatureSet) -> Engine {
+        Engine::new(
+            model,
+            features.clone(),
+            EngineConfig::new(VOTERS, VotingRule::Majority, 0.1),
+        )
+        .unwrap()
+    }
+
+    /// Run lines through an engine in batches of `batch`, concatenating
+    /// the emitted alarms.
+    fn run(engine: &mut Engine, lines: &[FeedLine], batch: usize) -> Vec<Alarm> {
+        let pool = ThreadPool::global();
+        let token = CancelToken::new();
+        let mut alarms = Vec::new();
+        for chunk in lines.chunks(batch.max(1)) {
+            alarms.extend(engine.process(&pool, &token, chunk).unwrap().alarms);
+        }
+        alarms
+    }
+
+    #[test]
+    fn streaming_matches_batch_detection() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = model(&series, &features);
+        let lines = feed_lines(&series);
+
+        let mut eng = engine(model.clone(), &features);
+        let streamed = run(&mut eng, &lines, 37);
+
+        let detector = VotingDetector::new(&model, &features, VOTERS, VotingRule::Majority);
+        let mut expected = Vec::new();
+        for s in &series {
+            if let Some(hour) = detector.first_alarm(s, Hour(0)..Hour(u32::MAX)) {
+                expected.push(Alarm {
+                    drive: s.drive.0,
+                    hour: hour.0,
+                });
+            }
+        }
+        assert!(!expected.is_empty(), "fleet must produce reference alarms");
+        assert_eq!(streamed, expected);
+        assert_eq!(eng.stats().rows_seen, eng.stats().rows_accepted);
+    }
+
+    #[test]
+    fn batch_size_cannot_change_the_outcome() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = model(&series, &features);
+        let lines = feed_lines(&series);
+        let reference = run(&mut engine(model.clone(), &features), &lines, usize::MAX);
+        for batch in [1, 3, 64] {
+            let mut eng = engine(model.clone(), &features);
+            assert_eq!(run(&mut eng, &lines, batch), reference, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_split_resumes_bit_identically() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = model(&series, &features);
+        let lines = feed_lines(&series);
+
+        let mut reference_engine = engine(model.clone(), &features);
+        let reference = run(&mut reference_engine, &lines, 64);
+        let reference_state = hdd_json::to_string(&reference_engine.state_to_json());
+
+        for split in [0, 1, 17, lines.len() / 2, lines.len() - 1] {
+            let mut first = engine(model.clone(), &features);
+            let mut alarms = run(&mut first, &lines[..split], 64);
+            let snapshot = first.state_to_json();
+            // Serialize through text, like a real checkpoint file.
+            let restored = hdd_json::parse(&hdd_json::to_string(&snapshot)).unwrap();
+            let mut second = engine(model.clone(), &features);
+            second.restore_state(&restored).unwrap();
+            alarms.extend(run(&mut second, &lines[split..], 64));
+            assert_eq!(alarms, reference, "split at line {split}");
+            assert_eq!(
+                hdd_json::to_string(&second.state_to_json()),
+                reference_state,
+                "state after split at line {split}"
+            );
+        }
+    }
+
+    /// An engine whose rule alarms on any full window, so alarm flow can
+    /// be tested without caring what the model outputs.
+    fn always_alarm_engine(features: &FeatureSet, model: SavedModel) -> Engine {
+        Engine::new(
+            model,
+            features.clone(),
+            EngineConfig {
+                voters: 3,
+                rule: VotingRule::MeanBelow(f64::MAX),
+                breaker: BreakerConfig {
+                    window: 4,
+                    max_fraction: 0.25,
+                    // Long enough that degraded mode covers the first
+                    // alarm votes below.
+                    cooldown: 16,
+                },
+            },
+        )
+        .unwrap()
+    }
+
+    /// A well-formed good-drive row.
+    fn data_row(drive: u32, hour: u32) -> String {
+        let mut out = format!("{drive},0,,{hour}");
+        for i in 0..NUM_ATTRIBUTES {
+            out.push_str(&format!(",{}", i + 1));
+        }
+        out
+    }
+
+    fn tagged(lines: &[String]) -> Vec<FeedLine> {
+        let mut offset = 0u64;
+        lines
+            .iter()
+            .map(|text| {
+                offset += text.len() as u64 + 1;
+                FeedLine {
+                    text: text.clone(),
+                    end_offset: offset,
+                    generation: 0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn degraded_mode_suppresses_alarms_and_recovers() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = model(&series, &features);
+        let mut eng = always_alarm_engine(&features, model);
+        let pool = ThreadPool::global();
+        let token = CancelToken::new();
+
+        // Trip the breaker (4-row window, 0.25 ceiling, cooldown 16).
+        let garbage: Vec<String> = (0..4).map(|i| format!("garbage-{i}")).collect();
+        let outcome = eng.process(&pool, &token, &tagged(&garbage)).unwrap();
+        assert_eq!(outcome.transitions.len(), 1);
+        assert!(eng.breaker_state() != BreakerState::Healthy);
+
+        // Drive 7 would alarm at hour 8 (3 scored samples from hour 6);
+        // while degraded the decision is suppressed and counted.
+        let rows: Vec<String> = (0..=8).map(|h| data_row(7, h)).collect();
+        let outcome = eng.process(&pool, &token, &tagged(&rows)).unwrap();
+        assert!(outcome.alarms.is_empty(), "degraded mode must suppress");
+        assert!(eng.stats().alarms_suppressed >= 1);
+
+        // A long clean stretch exhausts the cooldown (half-open at hour
+        // 15) and the probation (healthy at hour 19); the drive was
+        // never latched, so the first vote after suppression ends fires
+        // for real, exactly once.
+        let more: Vec<String> = (9..40).map(|h| data_row(7, h)).collect();
+        let outcome = eng.process(&pool, &token, &tagged(&more)).unwrap();
+        assert_eq!(eng.breaker_state(), BreakerState::Healthy);
+        assert_eq!(
+            outcome.alarms,
+            vec![Alarm { drive: 7, hour: 15 }],
+            "first vote after recovery fires once"
+        );
+        assert_eq!(eng.stats().alarms_emitted, 1);
+        assert_eq!(eng.stats().alarms_suppressed, 7);
+    }
+
+    #[test]
+    fn stale_and_conflicting_rows_are_dropped_and_counted() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = model(&series, &features);
+        let mut eng = engine(model, &features);
+        let pool = ThreadPool::global();
+        let token = CancelToken::new();
+
+        let mut failed_row = data_row(5, 3);
+        failed_row = failed_row.replacen(",0,,", ",1,500,", 1);
+        let lines = vec![
+            data_row(5, 1),
+            data_row(5, 2),
+            data_row(5, 2), // duplicate hour: stale
+            data_row(5, 1), // late arrival: stale
+            failed_row,     // class conflict
+            data_row(5, 3),
+        ];
+        let outcome = eng.process(&pool, &token, &tagged(&lines)).unwrap();
+        assert!(outcome.alarms.is_empty());
+        let stats = eng.stats();
+        assert_eq!(stats.rows_seen, 6);
+        assert_eq!(stats.rows_accepted, 3);
+        assert_eq!(stats.stale_rows, 2);
+        assert_eq!(stats.conflicting_rows, 1);
+    }
+
+    #[test]
+    fn mid_stream_headers_count_as_rotations() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = model(&series, &features);
+        let mut eng = engine(model, &features);
+        let pool = ThreadPool::global();
+        let token = CancelToken::new();
+
+        let mut buf = Vec::new();
+        write_header(&mut buf).unwrap();
+        let header = String::from_utf8(buf).unwrap().trim_end().to_string();
+        let lines = vec![
+            header.clone(), // expected at start: not a rotation
+            data_row(1, 1),
+            header.clone(), // mid-stream: rotation marker
+            data_row(1, 2),
+            String::new(), // blank: ignored
+        ];
+        eng.process(&pool, &token, &tagged(&lines)).unwrap();
+        let stats = eng.stats();
+        assert_eq!(stats.rotations, 1);
+        assert_eq!(stats.rows_seen, 2);
+        eng.note_rotation();
+        assert_eq!(eng.stats().rotations, 2);
+    }
+
+    #[test]
+    fn cancelled_batch_commits_nothing() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = model(&series, &features);
+        let mut eng = engine(model, &features);
+        let pool = ThreadPool::global();
+
+        let lines = tagged(&(0..20).map(|h| data_row(9, h)).collect::<Vec<_>>());
+        let token = CancelToken::new();
+        token.cancel();
+        let err = eng.process(&pool, &token, &lines).unwrap_err();
+        assert!(matches!(err, ParError::Cancelled), "{err}");
+        assert_eq!(eng.stats(), ServeStats::default(), "nothing committed");
+        assert_eq!(eng.processed_offset(), 0);
+
+        // The identical retry under a fresh token commits normally.
+        let retried = eng.process(&pool, &CancelToken::new(), &lines).unwrap();
+        let _ = retried;
+        assert_eq!(eng.stats().rows_seen, 20);
+    }
+
+    #[test]
+    fn swap_model_enforces_the_feature_contract() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let m = model(&series, &features);
+        let mut eng = engine(m.clone(), &features);
+
+        // A 2-feature model cannot replace a 13-feature one.
+        let narrow_samples: Vec<ClassSample> = (0..100)
+            .map(|i| {
+                let x = (i % 13) as f64;
+                let class = if x < 6.0 { Class::Failed } else { Class::Good };
+                ClassSample::new(vec![x, 1.0], class)
+            })
+            .collect();
+        let narrow = ClassificationTreeBuilder::new()
+            .build(&narrow_samples)
+            .unwrap();
+        let err = eng
+            .swap_model(SavedModel::from(narrow.compile()))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::FeatureMismatch { .. }), "{err}");
+        eng.note_reload_failure();
+        assert_eq!(eng.stats().reload_failures, 1);
+        assert_eq!(eng.stats().model_reloads, 0);
+
+        eng.swap_model(m).unwrap();
+        assert_eq!(eng.stats().model_reloads, 1);
+    }
+
+    #[test]
+    fn restore_rejects_malformed_state() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = model(&series, &features);
+        let mut eng = engine(model, &features);
+        let good = hdd_json::to_string(&eng.state_to_json());
+        for bad in [
+            good.replacen("\"offset\"", "\"offzet\"", 1),
+            good.replacen("\"drives\":[]", "\"drives\":7", 1),
+        ] {
+            assert!(
+                eng.restore_state(&hdd_json::parse(&bad).unwrap()).is_err(),
+                "{bad}"
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Resilient streaming detection service.
+//!
+//! This crate turns the batch voting detector into a long-running
+//! daemon: it tails an append-only SMART CSV feed, keeps per-drive
+//! voting windows, and appends alarms to a line-oriented sink — while
+//! surviving the things long-running processes actually meet:
+//!
+//! - **`kill -9`**: [`Checkpoint`] snapshots the engine (feed position,
+//!   voting windows, counters, breaker) through the CRC-checked
+//!   container with atomic rename; a restart replays the feed suffix
+//!   and produces a byte-identical alarm sink.
+//! - **Bad model pushes**: [`ModelWatcher`] validates every replacement
+//!   through the checksummed model loader; a corrupt or mismatched file
+//!   is rejected and the last-known-good model keeps serving.
+//! - **Slow ticks**: scoring runs under a [`hdd_par::CancelToken`] time
+//!   budget; an over-budget batch commits *nothing* and is retried, so
+//!   deadlines never change what gets alarmed, only when.
+//! - **Feed trouble**: transient I/O errors retry with deterministic
+//!   capped exponential [`Backoff`]; a flood of unusable rows trips the
+//!   quarantine [`CircuitBreaker`] into a degraded mode that suppresses
+//!   alarms until the feed heals.
+//! - **Overload**: the ingest [`BoundedQueue`] sheds oldest-first and
+//!   counts every drop.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod checkpoint;
+pub mod engine;
+pub mod queue;
+pub mod reload;
+pub mod retry;
+pub mod tailer;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_FORMAT_VERSION, CHECKPOINT_MAGIC};
+pub use engine::{Alarm, BatchOutcome, Engine, EngineConfig, FeedLine, ServeStats};
+pub use queue::BoundedQueue;
+pub use reload::ModelWatcher;
+pub use retry::Backoff;
+pub use tailer::{FeedTailer, TailEvent, MAX_LINE_BYTES};

@@ -1,0 +1,155 @@
+//! A bounded FIFO with drop-oldest backpressure.
+//!
+//! The streaming service must never grow without bound when the feed
+//! outpaces the engine. The queue enforces a hard capacity: pushing into
+//! a full queue evicts the *oldest* entry (newest data is the most
+//! operationally relevant) and counts the eviction, so the status output
+//! can report exactly how much was shed.
+//!
+//! The serve loop itself avoids drops entirely by never tailing more
+//! lines than [`BoundedQueue::free`] — the feed file is durable, so
+//! unread lines are simply picked up next tick. The eviction path is the
+//! safety valve for callers without that luxury.
+
+use std::collections::VecDeque;
+
+/// A FIFO holding at most `capacity` items; see the module docs.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// The hard capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Slots still free before pushes start evicting.
+    #[must_use]
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Total items evicted by pushes into a full queue.
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Append `item`; when full, evict and return the oldest entry
+    /// (counted in [`BoundedQueue::dropped`]).
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let evicted = if self.items.len() == self.capacity {
+            self.dropped += 1;
+            self.items.pop_front()
+        } else {
+            None
+        };
+        self.items.push_back(item);
+        evicted
+    }
+
+    /// The queued items oldest-first as one slice (reorders the internal
+    /// buffer if it has wrapped).
+    pub fn make_contiguous(&mut self) -> &[T] {
+        self.items.make_contiguous()
+    }
+
+    /// Discard the `n` oldest items (after processing them via
+    /// [`BoundedQueue::make_contiguous`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the queue length.
+    pub fn discard(&mut self, n: usize) {
+        assert!(n <= self.items.len(), "cannot discard more than is queued");
+        self.items.drain(..n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..3 {
+            assert!(q.push(i).is_none());
+        }
+        assert_eq!(q.make_contiguous(), &[0, 1, 2]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.free(), 1);
+    }
+
+    #[test]
+    fn full_queue_evicts_oldest_and_counts() {
+        let mut q = BoundedQueue::new(3);
+        for i in 0..3 {
+            q.push(i);
+        }
+        assert_eq!(q.push(3), Some(0));
+        assert_eq!(q.push(4), Some(1));
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.make_contiguous(), &[2, 3, 4]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn discard_removes_the_oldest() {
+        let mut q = BoundedQueue::new(5);
+        for i in 0..5 {
+            q.push(i);
+        }
+        q.discard(2);
+        assert_eq!(q.make_contiguous(), &[2, 3, 4]);
+        q.discard(3);
+        assert!(q.is_empty());
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "discard")]
+    fn over_discard_is_rejected() {
+        let mut q = BoundedQueue::new(2);
+        q.push(1);
+        q.discard(2);
+    }
+}

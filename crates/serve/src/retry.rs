@@ -1,0 +1,108 @@
+//! Deterministic retry backoff for transient feed I/O failures.
+//!
+//! The daemon never dies on a flaky filesystem: a failed feed read is
+//! retried with capped exponential backoff. The schedule is a pure
+//! function of the consecutive-failure count — no jitter — so two
+//! daemons replaying the same failure history wait exactly the same
+//! amounts, keeping fault-injection runs reproducible.
+
+use std::time::Duration;
+
+/// Capped exponential backoff: `base * 2^k` after the `k`-th consecutive
+/// failure, saturating at `cap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    failures: u32,
+}
+
+impl Backoff {
+    /// A fresh schedule growing from `base` to at most `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero or `cap < base`.
+    #[must_use]
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        assert!(!base.is_zero(), "backoff base must be positive");
+        assert!(cap >= base, "backoff cap must be at least the base");
+        Backoff {
+            base,
+            cap,
+            failures: 0,
+        }
+    }
+
+    /// Consecutive failures recorded since the last success.
+    #[must_use]
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// Record a failure and return how long to wait before retrying.
+    pub fn next_delay(&mut self) -> Duration {
+        // 2^k with the shift clamped so the arithmetic can't overflow;
+        // the cap takes over long before the clamp matters.
+        let exp = self.failures.min(32);
+        let delay = self
+            .base
+            .checked_mul(1u32 << exp.min(31))
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        self.failures = self.failures.saturating_add(1);
+        delay
+    }
+
+    /// Record a success: the next failure starts over at `base`.
+    pub fn reset(&mut self) {
+        self.failures = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_the_cap() {
+        let mut b = Backoff::new(Duration::from_millis(50), Duration::from_secs(2));
+        let delays: Vec<u64> = (0..8).map(|_| b.next_delay().as_millis() as u64).collect();
+        assert_eq!(delays, vec![50, 100, 200, 400, 800, 1600, 2000, 2000]);
+        assert_eq!(b.failures(), 8);
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(1));
+        let _ = b.next_delay();
+        let _ = b.next_delay();
+        b.reset();
+        assert_eq!(b.failures(), 0);
+        assert_eq!(b.next_delay(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let run = || {
+            let mut b = Backoff::new(Duration::from_millis(7), Duration::from_millis(500));
+            (0..20).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn huge_failure_counts_saturate_at_the_cap() {
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_secs(3));
+        for _ in 0..100 {
+            let _ = b.next_delay();
+        }
+        assert_eq!(b.next_delay(), Duration::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn cap_below_base_is_rejected() {
+        let _ = Backoff::new(Duration::from_secs(1), Duration::from_millis(1));
+    }
+}

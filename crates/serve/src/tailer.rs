@@ -1,0 +1,253 @@
+//! Incremental tailing of an append-only CSV feed.
+//!
+//! The feed is a plain file that a collector appends SMART rows to. The
+//! tailer remembers a byte offset and, on every poll, reads only the
+//! *complete* lines appended since — a partial trailing line (an append
+//! caught mid-write) is left in the file untouched and picked up once
+//! its newline arrives, so an in-flight write is never misread as a
+//! corrupt row.
+//!
+//! Rotation is detected by shrinkage: when the file is suddenly shorter
+//! than the saved offset, a rotation event is emitted, the generation
+//! counter bumps and reading restarts at byte zero. (A rotation that
+//! leaves the file *longer* than the offset is indistinguishable from an
+//! append at this layer; the engine additionally treats a mid-stream
+//! header line as a rotation marker, which covers the common
+//! copy-truncate pattern that rewrites the header.)
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::PathBuf;
+
+/// Upper bound on bytes read per requested line; a "line" longer than
+/// this without a newline is consumed anyway (and will quarantine as a
+/// parse failure) so a garbage flood cannot stall the tailer.
+pub const MAX_LINE_BYTES: u64 = 4096;
+
+/// What a poll observed, in feed order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailEvent {
+    /// One complete line (newline stripped, CR tolerated), ending at
+    /// byte `end_offset` of the current feed generation.
+    Line {
+        /// The line's text without its terminator.
+        text: String,
+        /// Feed offset just past this line's newline.
+        end_offset: u64,
+    },
+    /// The feed shrank under us: it was rotated or truncated. Reading
+    /// restarts at byte zero of the new generation.
+    Rotation,
+}
+
+/// The feed cursor: path, byte offset, rotation generation.
+#[derive(Debug, Clone)]
+pub struct FeedTailer {
+    path: PathBuf,
+    offset: u64,
+    generation: u64,
+}
+
+impl FeedTailer {
+    /// Tail `path` from the beginning.
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FeedTailer::resume(path, 0, 0)
+    }
+
+    /// Tail `path` from a checkpointed position.
+    #[must_use]
+    pub fn resume(path: impl Into<PathBuf>, offset: u64, generation: u64) -> Self {
+        FeedTailer {
+            path: path.into(),
+            offset,
+            generation,
+        }
+    }
+
+    /// Byte offset of the next unread byte.
+    #[must_use]
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// How many rotations have been observed.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Read up to `max_lines` complete lines appended since the last
+    /// poll. A feed file that does not exist yet is simply "no data";
+    /// every other I/O failure propagates (the serve loop retries with
+    /// backoff).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than a missing feed file.
+    pub fn poll(&mut self, max_lines: usize) -> io::Result<Vec<TailEvent>> {
+        let mut events = Vec::new();
+        if max_lines == 0 {
+            return Ok(events);
+        }
+        let mut file = match File::open(&self.path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(events),
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            self.offset = 0;
+            self.generation += 1;
+            events.push(TailEvent::Rotation);
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let budget = (max_lines as u64).saturating_mul(MAX_LINE_BYTES);
+        let mut buf = Vec::new();
+        file.take(budget).read_to_end(&mut buf)?;
+
+        let mut start = 0usize;
+        while events.len() < max_lines {
+            match buf[start..].iter().position(|&b| b == b'\n') {
+                Some(rel) => {
+                    let line = &buf[start..start + rel];
+                    let line = match line.last() {
+                        Some(b'\r') => &line[..line.len() - 1],
+                        _ => line,
+                    };
+                    self.offset += (rel + 1) as u64;
+                    events.push(TailEvent::Line {
+                        // Lossy is fine: undecodable bytes become U+FFFD
+                        // deterministically and the row quarantines as a
+                        // parse failure, exactly like the batch reader.
+                        text: String::from_utf8_lossy(line).into_owned(),
+                        end_offset: self.offset,
+                    });
+                    start += rel + 1;
+                }
+                None => {
+                    // No newline in what's left. If we filled the whole
+                    // read budget, this "line" is pathologically long:
+                    // consume it as-is rather than stall forever.
+                    let rest = &buf[start..];
+                    if start == 0 && rest.len() as u64 >= budget {
+                        self.offset += rest.len() as u64;
+                        events.push(TailEvent::Line {
+                            text: String::from_utf8_lossy(rest).into_owned(),
+                            end_offset: self.offset,
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::io::Write;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hdd-serve-tailer-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        fs::remove_file(&path).ok();
+        path
+    }
+
+    fn lines(events: &[TailEvent]) -> Vec<&str> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                TailEvent::Line { text, .. } => Some(text.as_str()),
+                TailEvent::Rotation => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn missing_feed_is_no_data() {
+        let mut t = FeedTailer::new(scratch("missing.csv"));
+        assert!(t.poll(16).unwrap().is_empty());
+        assert_eq!(t.offset(), 0);
+    }
+
+    #[test]
+    fn partial_trailing_line_waits_for_its_newline() {
+        let path = scratch("partial.csv");
+        fs::write(&path, "header\n1,0,,5,1,2").unwrap();
+        let mut t = FeedTailer::new(&path);
+        let events = t.poll(16).unwrap();
+        assert_eq!(lines(&events), vec!["header"]);
+        let resting = t.offset();
+
+        // Complete the line plus one more; both arrive, offsets advance.
+        let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, ",3\n2,0,,6,9\n").unwrap();
+        drop(f);
+        let events = t.poll(16).unwrap();
+        assert_eq!(lines(&events), vec!["1,0,,5,1,2,3", "2,0,,6,9"]);
+        assert!(t.offset() > resting);
+        assert!(t.poll(16).unwrap().is_empty(), "nothing left");
+    }
+
+    #[test]
+    fn max_lines_bounds_each_poll() {
+        let path = scratch("bounded.csv");
+        fs::write(&path, "a\nb\nc\nd\n").unwrap();
+        let mut t = FeedTailer::new(&path);
+        assert_eq!(lines(&t.poll(3).unwrap()), vec!["a", "b", "c"]);
+        assert_eq!(lines(&t.poll(3).unwrap()), vec!["d"]);
+    }
+
+    #[test]
+    fn shrinkage_is_a_rotation() {
+        let path = scratch("rotate.csv");
+        fs::write(&path, "header\n1,old\n2,old\n").unwrap();
+        let mut t = FeedTailer::new(&path);
+        assert_eq!(t.poll(16).unwrap().len(), 3);
+        assert_eq!(t.generation(), 0);
+
+        fs::write(&path, "header\n1,new\n").unwrap();
+        let events = t.poll(16).unwrap();
+        assert_eq!(events[0], TailEvent::Rotation);
+        assert_eq!(lines(&events), vec!["header", "1,new"]);
+        assert_eq!(t.generation(), 1);
+    }
+
+    #[test]
+    fn crlf_is_stripped() {
+        let path = scratch("crlf.csv");
+        fs::write(&path, "a\r\nb\r\n").unwrap();
+        let mut t = FeedTailer::new(&path);
+        assert_eq!(lines(&t.poll(16).unwrap()), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn overlong_line_cannot_stall_the_tailer() {
+        let path = scratch("overlong.csv");
+        let garbage = "x".repeat(2 * MAX_LINE_BYTES as usize);
+        fs::write(&path, &garbage).unwrap();
+        let mut t = FeedTailer::new(&path);
+        let first = t.poll(1).unwrap();
+        assert_eq!(first.len(), 1, "budget-filling junk is consumed");
+        let second = t.poll(1).unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(t.offset(), garbage.len() as u64);
+    }
+
+    #[test]
+    fn undecodable_bytes_become_a_deterministic_line() {
+        let path = scratch("nonutf8.csv");
+        fs::write(&path, b"ok\n\xff\xfe,1\n").unwrap();
+        let mut t = FeedTailer::new(&path);
+        let events = t.poll(16).unwrap();
+        assert_eq!(events.len(), 2);
+        let run_again = FeedTailer::new(&path).poll(16).unwrap();
+        assert_eq!(events, run_again, "lossy decoding is deterministic");
+    }
+}

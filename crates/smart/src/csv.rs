@@ -235,22 +235,48 @@ pub fn write_series<W: Write>(mut w: W, series: &SmartSeries) -> io::Result<()> 
 }
 
 /// One successfully parsed data row.
-struct Row {
-    drive: DriveId,
-    class: DriveClass,
-    sample: SmartSample,
+///
+/// Public because the streaming service parses its feed line by line
+/// with [`parse_data_line`] instead of going through the whole-file
+/// readers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvRow {
+    /// The drive the row belongs to.
+    pub drive: DriveId,
+    /// The drive's class metadata as this row states it.
+    pub class: DriveClass,
+    /// The measurement itself.
+    pub sample: SmartSample,
 }
 
 /// Why a structurally valid row is still unusable.
-enum ValueFault {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueFault {
+    /// A feature value parsed but is NaN or infinite.
     NonFinite,
+    /// A finite feature value outside `[0, MAX_FEATURE_VALUE]`.
     OutOfRange,
 }
 
-/// Parse one data line. `Err(reason)` is a structural failure; the outer
-/// `Ok` carries a value fault when the row parsed but holds an unusable
-/// measurement.
-fn parse_row(line: &str) -> Result<(Row, Option<ValueFault>), String> {
+/// Whether a line is (a copy of) the CSV header — its first field is the
+/// literal column name `drive` rather than a drive id. The streaming
+/// tailer treats a mid-stream header as a rotation marker.
+#[must_use]
+pub fn is_header_line(line: &str) -> bool {
+    matches!(line.split(',').next(), Some("drive"))
+}
+
+/// Parse one data line — the unit both the whole-file readers and the
+/// streaming service are built on.
+///
+/// The outer `Ok` carries a [`ValueFault`] when the row parsed but holds
+/// an unusable measurement.
+///
+/// # Errors
+///
+/// `Err(reason)` is a structural failure: wrong field count or a field
+/// that does not parse.
+pub fn parse_data_line(line: &str) -> Result<(CsvRow, Option<ValueFault>), String> {
     let fields: Vec<&str> = line.split(',').collect();
     if fields.len() != 4 + NUM_ATTRIBUTES {
         return Err(format!(
@@ -283,7 +309,7 @@ fn parse_row(line: &str) -> Result<(Row, Option<ValueFault>), String> {
         values[i] = v;
     }
     Ok((
-        Row {
+        CsvRow {
             drive,
             class,
             sample: SmartSample { hour, values },
@@ -364,7 +390,7 @@ fn read_series_impl<R: BufRead>(
         report.rows_seen += 1;
         let structural = std::str::from_utf8(raw)
             .map_err(|_| "invalid UTF-8".to_string())
-            .and_then(parse_row);
+            .and_then(parse_data_line);
         let (row, fault) = match structural {
             Ok(parsed) => parsed,
             Err(reason) => match mode {
@@ -720,6 +746,32 @@ mod tests {
         assert_eq!(import.series.len(), 1);
         assert_eq!(import.series[0].len(), 2);
         assert_eq!(import.series[0].class, DriveClass::Good);
+    }
+
+    #[test]
+    fn parse_data_line_is_usable_standalone() {
+        let (parsed, fault) = parse_data_line(&row(3, 7)).unwrap();
+        assert_eq!(parsed.drive, DriveId(3));
+        assert_eq!(parsed.class, DriveClass::Good);
+        assert_eq!(parsed.sample.hour, Hour(7));
+        assert_eq!(parsed.sample.values[0], 1.0);
+        assert!(fault.is_none());
+
+        let (_, fault) = parse_data_line(&row(3, 7).replace(",3,", ",NaN,")).unwrap();
+        assert_eq!(fault, Some(ValueFault::NonFinite));
+        let (_, fault) = parse_data_line(&row(3, 7).replace(",3,", ",-2,")).unwrap();
+        assert_eq!(fault, Some(ValueFault::OutOfRange));
+        assert!(parse_data_line("1,2,3").is_err());
+    }
+
+    #[test]
+    fn header_lines_are_recognized() {
+        let mut buf = Vec::new();
+        write_header(&mut buf).unwrap();
+        let header = String::from_utf8(buf).unwrap();
+        assert!(is_header_line(header.trim_end()));
+        assert!(!is_header_line(&row(1, 0)));
+        assert!(!is_header_line(""));
     }
 
     #[test]

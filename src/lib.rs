@@ -14,7 +14,10 @@
 //! * [`par`] — the deterministic fork-join layer every crate trains and
 //!   evaluates on (results are bit-identical at any thread count),
 //! * [`fault`] — deterministic, seeded fault injection for chaos-testing
-//!   the ingestion, training and serving paths.
+//!   the ingestion, training and serving paths,
+//! * [`serve`] — the resilient streaming detection service: feed
+//!   tailing, checkpointed voting state, hot model reload, degraded
+//!   modes.
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@ pub use hdd_fault as fault;
 pub use hdd_json;
 pub use hdd_par as par;
 pub use hdd_reliability as reliability;
+pub use hdd_serve as serve;
 pub use hdd_smart as smart;
 pub use hdd_stats as stats;
 

@@ -26,6 +26,11 @@
 
 use hddpred::cart::{Class, ClassSample, ClassificationTreeBuilder, TrainError};
 use hddpred::eval::{ModelError, Predictor, SavedModel, VotingDetector, VotingRule};
+use hddpred::par::{CancelToken, ParError};
+use hddpred::serve::{
+    Backoff, BoundedQueue, Checkpoint, CheckpointError, Engine, EngineConfig, FeedLine, FeedTailer,
+    ModelWatcher, TailEvent,
+};
 use hddpred::smart::csv::{
     read_series_quarantined, write_header, write_series, CsvError, IngestPolicy,
 };
@@ -34,9 +39,10 @@ use hddpred::smart::{DatasetGenerator, FamilyProfile, Hour, SmartSeries};
 use hddpred::stats::FeatureSet;
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write as _};
+use std::io::{BufReader, BufWriter, Seek as _, SeekFrom, Write as _};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +51,7 @@ fn main() -> ExitCode {
         Some("train") => train(&parse_flags(&args[1..])),
         // `predict` is the historical name for `detect`.
         Some("detect" | "predict") => detect(&parse_flags(&args[1..])),
+        Some("serve") => serve(&parse_flags(&args[1..])),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -71,16 +78,32 @@ USAGE:
                      [--max-quarantine <f>] [--threads <n>]
     hddpred detect   --data <traces.csv> --model <model.json> [--voters <n>]
                      [--max-quarantine <f>] [--threads <n>]
+    hddpred serve    --feed <feed.csv> --model <model.json> --out <alarms.csv>
+                     [--checkpoint <file>] [--model-watch] [--voters <n>]
+                     [--threshold <f>] [--tick-budget-ms <n>] [--poll-ms <n>]
+                     [--queue <n>] [--max-quarantine <f>] [--exit-on-idle <n>]
+                     [--threads <n>]
 
 `--threads` sets the worker-thread count (default: HDDPRED_THREADS, else
 the hardware count). Results are bit-identical at any setting.
 
 `--max-quarantine` caps the fraction of CSV rows that may be skipped as
-unusable before the import is refused outright (default: 0.1). Skipped
-and repaired rows are itemized on stderr.
+unusable. For `train`/`detect` exceeding it refuses the import outright
+(default: 0.1); for `serve` it is the quarantine circuit-breaker ceiling
+over the last 100 rows — exceeding it degrades the daemon (alarms
+suppressed and counted) until the feed heals.
+
+`serve` tails `--feed` for appended SMART rows and appends `drive,hour`
+alarm lines to `--out`. With `--checkpoint` it snapshots its state after
+every batch and resumes after a crash with a byte-identical alarm file;
+with `--model-watch` it hot-reloads `--model` when the file changes,
+keeping the last-known-good model if the replacement is rejected.
+`--exit-on-idle <n>` exits cleanly after `n` idle polls (0 = run
+forever); `--threshold <f>` switches voting from majority to
+mean-below-threshold.
 
 EXIT CODES:
-    0  success            4  unusable input data
+    0  success            4  unusable input data    8  serve failure
     2  usage error        5  model file rejected
     3  i/o failure        6  training failed
                           7  quarantine ceiling exceeded
@@ -105,6 +128,9 @@ enum CliError {
     Train { path: String, source: TrainError },
     /// Too much of the input stream was quarantined to trust the rest.
     Quarantine { path: String, source: CsvError },
+    /// The streaming service could not start or had to stop: corrupt
+    /// checkpoint, inconsistent alarm sink, or a scoring worker panic.
+    Serve(String),
 }
 
 impl CliError {
@@ -118,6 +144,7 @@ impl CliError {
             CliError::Model { .. } => 5,
             CliError::Train { .. } => 6,
             CliError::Quarantine { .. } => 7,
+            CliError::Serve(_) => 8,
         }
     }
 }
@@ -133,7 +160,21 @@ impl std::fmt::Display for CliError {
                 write!(f, "training on {path} failed: {source}")
             }
             CliError::Quarantine { path, source } => write!(f, "{path}: {source}"),
+            CliError::Serve(msg) => write!(f, "{msg}"),
         }
+    }
+}
+
+/// Attribute a [`CheckpointError`] touching `path` to its failure class
+/// (plain I/O keeps the I/O exit code; a corrupt or incompatible
+/// checkpoint is a serve failure).
+fn checkpoint_error(path: &str, source: CheckpointError) -> CliError {
+    match source {
+        CheckpointError::Io(e) => CliError::Io {
+            path: path.to_string(),
+            source: e,
+        },
+        other => CliError::Serve(format!("{path}: {other}")),
     }
 }
 
@@ -170,12 +211,17 @@ fn io_error(path: &str) -> impl Fn(std::io::Error) -> CliError + '_ {
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
-    let mut iter = args.iter();
+    let mut iter = args.iter().peekable();
     while let Some(key) = iter.next() {
         if let Some(name) = key.strip_prefix("--") {
-            if let Some(value) = iter.next() {
-                flags.insert(name.to_string(), value.clone());
-            }
+            // A flag followed by another flag (or by nothing) is a
+            // boolean switch and gets an empty value; anything else is
+            // the flag's value.
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().cloned().unwrap_or_default(),
+                _ => String::new(),
+            };
+            flags.insert(name.to_string(), value);
         }
     }
     flags
@@ -386,4 +432,222 @@ fn detect(flags: &HashMap<String, String>) -> Result<(), CliError> {
         series.len()
     );
     Ok(())
+}
+
+/// Most feed lines one `Engine::process` call handles; bounds how much
+/// work is at stake when a tick budget expires (a cancelled sub-batch
+/// commits nothing and is retried).
+const SUB_BATCH_LINES: usize = 256;
+
+/// `hddpred serve`: tail an append-only SMART feed and stream voting
+/// alarms to a sink file, surviving crashes, bad model pushes, slow
+/// ticks and corrupt feeds (see [`USAGE`]).
+fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let feed = flag(flags, "feed")?;
+    let model_path = flag(flags, "model")?;
+    let out = flag(flags, "out")?;
+    let voters: usize = num_flag(flags, "voters", 11, "an integer")?;
+    if voters == 0 {
+        return Err(CliError::Usage("--voters must be at least 1".to_string()));
+    }
+    let tick_budget: u64 = num_flag(flags, "tick-budget-ms", 50, "milliseconds")?;
+    let poll = Duration::from_millis(num_flag(flags, "poll-ms", 200, "milliseconds")?);
+    let queue_cap: usize = num_flag(flags, "queue", 1024, "an integer")?;
+    if queue_cap == 0 {
+        return Err(CliError::Usage("--queue must be at least 1".to_string()));
+    }
+    let ceiling: f64 = num_flag(flags, "max-quarantine", 0.1, "a fraction in [0, 1]")?;
+    if !(0.0..=1.0).contains(&ceiling) {
+        return Err(CliError::Usage(format!(
+            "--max-quarantine must be a fraction in [0, 1], got `{ceiling}`"
+        )));
+    }
+    let exit_on_idle: usize = num_flag(flags, "exit-on-idle", 0, "an integer")?;
+    apply_threads(flags)?;
+
+    let features = FeatureSet::critical13();
+    let model = SavedModel::load_expecting(Path::new(model_path), features.len())
+        .map_err(|e| model_error(model_path, e))?;
+    let rule = if flags.contains_key("threshold") {
+        VotingRule::MeanBelow(num_flag(flags, "threshold", 0.0, "a number")?)
+    } else {
+        VotingRule::Majority
+    };
+    let mut engine = Engine::new(
+        model,
+        features.clone(),
+        EngineConfig::new(voters, rule, ceiling),
+    )
+    .map_err(|e| model_error(model_path, e))?;
+
+    // Resume from a checkpoint when one exists (a missing file is a
+    // fresh start, not an error).
+    let ckpt_path = flags.get("checkpoint").filter(|p| !p.is_empty());
+    let mut sink_bytes: u64 = 0;
+    if let Some(path) = ckpt_path {
+        match Checkpoint::load(Path::new(path)) {
+            Ok(ck) => {
+                engine.restore_state(&ck.engine).map_err(|e| {
+                    CliError::Serve(format!("{path}: checkpoint engine state: {e}"))
+                })?;
+                sink_bytes = ck.sink_bytes;
+                eprintln!("resumed from {path}: {}", engine.status_line());
+            }
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(checkpoint_error(path, e)),
+        }
+    }
+
+    // Roll the alarm sink back to the checkpointed length (or to empty
+    // for a fresh start); replay re-emits everything past it, which is
+    // what makes a killed run's output byte-identical.
+    let mut sink = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(out)
+        .map_err(io_error(out))?;
+    let sink_len = sink.metadata().map_err(io_error(out))?.len();
+    if sink_len < sink_bytes {
+        return Err(CliError::Serve(format!(
+            "{out}: alarm sink is {sink_len} bytes but the checkpoint recorded {sink_bytes}; \
+             refusing to resume against the wrong sink"
+        )));
+    }
+    sink.set_len(sink_bytes).map_err(io_error(out))?;
+    sink.seek(SeekFrom::Start(sink_bytes))
+        .map_err(io_error(out))?;
+
+    let mut watcher = flags
+        .contains_key("model-watch")
+        .then(|| ModelWatcher::new(model_path, features.len()));
+    let mut tailer = FeedTailer::resume(feed, engine.processed_offset(), engine.generation());
+    let mut queue: BoundedQueue<FeedLine> = BoundedQueue::new(queue_cap);
+    let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(5));
+    let pool = hddpred::par::ThreadPool::global();
+    let mut idle_polls = 0usize;
+    eprintln!("serving {feed} -> {out} ({})", engine.status_line());
+
+    loop {
+        // Hot model reload: a changed file is validated through the
+        // checksummed loader; rejects keep the last-known-good model.
+        if let Some(w) = watcher.as_mut() {
+            match w.poll() {
+                None => {}
+                Some(Ok(m)) => match engine.swap_model(m) {
+                    Ok(()) => eprintln!("model reloaded from {model_path}"),
+                    Err(e) => {
+                        engine.note_reload_failure();
+                        eprintln!("model reload rejected (keeping last-known-good): {e}");
+                    }
+                },
+                Some(Err(e)) => {
+                    engine.note_reload_failure();
+                    eprintln!("model reload rejected (keeping last-known-good): {e}");
+                }
+            }
+        }
+
+        // Tail the feed, reading only what the queue can hold:
+        // backpressure applies at the (durable) file rather than by
+        // shedding queued rows.
+        let mut read_lines = 0usize;
+        match tailer.poll(queue.free()) {
+            Ok(events) => {
+                backoff.reset();
+                for event in events {
+                    match event {
+                        TailEvent::Rotation => engine.note_rotation(),
+                        TailEvent::Line { text, end_offset } => {
+                            read_lines += 1;
+                            let line = FeedLine {
+                                text,
+                                end_offset,
+                                generation: tailer.generation(),
+                            };
+                            if queue.push(line).is_some() {
+                                engine.note_drops(1);
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                let delay = backoff.next_delay();
+                eprintln!(
+                    "feed read failed ({e}); retrying in {}ms",
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+                continue;
+            }
+        }
+
+        // Process the queue in sub-batches under this tick's time
+        // budget. An over-budget sub-batch commits nothing and stays
+        // queued for the next tick, so deadlines never change what gets
+        // alarmed — only when. The first sub-batch of a tick runs
+        // without the deadline so a too-small budget degrades to
+        // one-sub-batch-per-tick instead of livelocking.
+        let mut progressed = false;
+        let token = CancelToken::with_budget(Duration::from_millis(tick_budget));
+        while !queue.is_empty() {
+            let n = queue.len().min(SUB_BATCH_LINES);
+            let outcome = {
+                let batch = &queue.make_contiguous()[..n];
+                let result = if progressed {
+                    engine.process(&pool, &token, batch)
+                } else {
+                    engine.process(&pool, &CancelToken::new(), batch)
+                };
+                match result {
+                    Ok(outcome) => outcome,
+                    Err(ParError::Cancelled | ParError::DeadlineExceeded) => break,
+                    Err(e) => return Err(CliError::Serve(format!("scoring failed: {e}"))),
+                }
+            };
+            queue.discard(n);
+            progressed = true;
+            let mut bytes = Vec::new();
+            for alarm in &outcome.alarms {
+                bytes.extend_from_slice(alarm.to_string().as_bytes());
+                bytes.push(b'\n');
+            }
+            if !bytes.is_empty() {
+                sink.write_all(&bytes).map_err(io_error(out))?;
+                sink.flush().map_err(io_error(out))?;
+                sink_bytes += bytes.len() as u64;
+            }
+            for state in outcome.transitions {
+                eprintln!("breaker: {} ({})", state.label(), engine.status_line());
+            }
+        }
+
+        // Snapshot after every committed batch: sink first, checkpoint
+        // second, so a crash in between merely replays the tail.
+        if progressed {
+            if let Some(path) = ckpt_path {
+                Checkpoint {
+                    sink_bytes,
+                    engine: engine.state_to_json(),
+                }
+                .save(Path::new(path))
+                .map_err(|e| checkpoint_error(path, e))?;
+            }
+        }
+
+        if read_lines == 0 && queue.is_empty() {
+            idle_polls += 1;
+            if exit_on_idle > 0 && idle_polls >= exit_on_idle {
+                eprintln!(
+                    "idle for {idle_polls} polls; exiting ({})",
+                    engine.status_line()
+                );
+                return Ok(());
+            }
+            std::thread::sleep(poll);
+        } else {
+            idle_polls = 0;
+        }
+    }
 }

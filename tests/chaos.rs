@@ -197,7 +197,7 @@ fn chaos_class(class: FaultClass, rate: f64, check: impl Fn(&QuarantineReport, &
         assert_eq!(report.conflicting_rows, 0, "{class:?}/{seed}");
         assert_eq!(
             report.rows_seen,
-            CLEAN_ROWS - injected.dropped_rows + injected.duplicated_rows,
+            CLEAN_ROWS - injected.dropped_rows + injected.duplicated_rows + injected.rotations,
             "{class:?}/{seed}"
         );
 
@@ -276,6 +276,30 @@ fn chaos_out_of_order_timestamps() {
         assert!(injected.swapped_pairs > 0);
         assert_eq!(report.out_of_order_rows, injected.swapped_pairs);
         assert_eq!(report.quarantined_rows(), 0);
+    });
+}
+
+#[test]
+fn chaos_partial_trailing_lines() {
+    // A feed caught mid-append: the batch reader quarantines exactly the
+    // one half-written row at the end of the file.
+    chaos_class(FaultClass::PartialTrailingLine, 0.05, |report, injected| {
+        assert_eq!(injected.partial_tails, 1);
+        assert_eq!(report.parse_failures, injected.partial_tails);
+        assert_eq!(report.non_finite_rows, 0);
+        assert_eq!(report.out_of_range_rows, 0);
+    });
+}
+
+#[test]
+fn chaos_mid_stream_rotations() {
+    // Header copies mid-stream: each is one unparseable row to the batch
+    // reader, nothing more — the surrounding drive runs stay intact.
+    chaos_class(FaultClass::MidStreamRotation, 0.05, |report, injected| {
+        assert!(injected.rotations > 0);
+        assert_eq!(report.parse_failures, injected.rotations);
+        assert_eq!(report.non_finite_rows, 0);
+        assert_eq!(report.duplicate_timestamps, 0);
     });
 }
 

@@ -1,0 +1,278 @@
+//! Chaos tests for `hddpred serve`: the daemon is killed with SIGKILL at
+//! seeded cut points and restarted from its checkpoint, and the alarm
+//! sink must come out byte-identical to an uninterrupted run; a
+//! bit-flipped replacement model must be rejected while serving
+//! continues on the last-known-good model.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn hddpred() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hddpred"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hddpred-serve-chaos-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Generate a fleet and train a model on it, exactly as an operator
+/// would, returning the feed and model paths.
+fn setup(dir: &Path) -> (PathBuf, PathBuf) {
+    let feed = dir.join("feed.csv");
+    let model = dir.join("model.json");
+    let out = hddpred()
+        .args(["generate", "--out"])
+        .arg(&feed)
+        .args(["--scale", "0.01", "--seed", "5"])
+        .output()
+        .expect("spawn generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = hddpred()
+        .args(["train", "--data"])
+        .arg(&feed)
+        .arg("--out")
+        .arg(&model)
+        .output()
+        .expect("spawn train");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (feed, model)
+}
+
+/// Run `serve` to completion over a static feed (exits after a few idle
+/// polls) and return the alarm sink's bytes.
+fn serve_to_completion(feed: &Path, model: &Path, sink: &Path, ckpt: Option<&Path>) -> Vec<u8> {
+    let mut cmd = hddpred();
+    cmd.arg("serve")
+        .arg("--feed")
+        .arg(feed)
+        .arg("--model")
+        .arg(model)
+        .arg("--out")
+        .arg(sink)
+        .args(["--exit-on-idle", "5", "--poll-ms", "2"]);
+    if let Some(ckpt) = ckpt {
+        cmd.arg("--checkpoint").arg(ckpt);
+    }
+    let out = cmd.output().expect("spawn serve");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read(sink).expect("read alarm sink")
+}
+
+/// Spawn a long-running `serve` daemon (never exits on idle).
+fn spawn_daemon(feed: &Path, model: &Path, sink: &Path, ckpt: &Path, extra: &[&str]) -> Child {
+    let stderr = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(sink.with_extension("stderr"))
+        .expect("open stderr log");
+    hddpred()
+        .arg("serve")
+        .arg("--feed")
+        .arg(feed)
+        .arg("--model")
+        .arg(model)
+        .arg("--out")
+        .arg(sink)
+        .arg("--checkpoint")
+        .arg(ckpt)
+        .args(["--poll-ms", "10"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::from(stderr))
+        .spawn()
+        .expect("spawn serve daemon")
+}
+
+/// Wait until `path` contains `needle` (the daemon's stderr is polled,
+/// not piped, so the daemon can keep running while we look).
+fn wait_for(path: &Path, needle: &str, timeout: Duration) -> String {
+    let start = Instant::now();
+    loop {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        if text.contains(needle) {
+            return text;
+        }
+        assert!(
+            start.elapsed() < timeout,
+            "timed out waiting for `{needle}` in {}:\n{text}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn kill_restart_at_20_cut_points_is_byte_identical() {
+    let dir = tempdir("killrestart");
+    let (feed, model) = setup(&dir);
+
+    // The uninterrupted reference: one clean run, no checkpoint.
+    let reference = serve_to_completion(&feed, &model, &dir.join("ref.csv"), None);
+    assert!(
+        !reference.is_empty(),
+        "the fleet must raise reference alarms"
+    );
+
+    // The victim: SIGKILL at 20 seeded cut points, each restart resuming
+    // from the checkpoint. Cuts land anywhere from daemon startup to
+    // mid-batch to post-completion idling.
+    let sink = dir.join("alarms.csv");
+    let ckpt = dir.join("serve.ckpt");
+    for seed in 0..20u64 {
+        let mut child = spawn_daemon(&feed, &model, &sink, &ckpt, &[]);
+        let cut = Duration::from_millis(5 + (seed * 7919) % 40);
+        std::thread::sleep(cut);
+        child.kill().expect("SIGKILL the daemon");
+        child.wait().expect("reap the daemon");
+    }
+
+    // Final restart runs to completion; the sink must match the
+    // uninterrupted run byte for byte.
+    let survived = serve_to_completion(&feed, &model, &sink, Some(&ckpt));
+    assert_eq!(
+        survived, reference,
+        "alarm sink diverged after 20 kill/restart cycles"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hot_reload_rejects_bit_flip_and_keeps_serving() {
+    let dir = tempdir("hotreload");
+    let (feed, model) = setup(&dir);
+    let sink = dir.join("alarms.csv");
+    let ckpt = dir.join("serve.ckpt");
+    let stderr_log = sink.with_extension("stderr");
+
+    let mut child = spawn_daemon(&feed, &model, &sink, &ckpt, &["--model-watch"]);
+    wait_for(&stderr_log, "serving", Duration::from_secs(30));
+
+    // Push a bit-flipped replacement model. Rewrite until the file's
+    // (mtime, len) fingerprint actually moves so the watcher must see it.
+    let clean = std::fs::read(&model).expect("read model");
+    let mut flipped = clean.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x08;
+    let fingerprint = |p: &Path| {
+        let meta = std::fs::metadata(p).expect("stat model");
+        (meta.modified().expect("mtime"), meta.len())
+    };
+    let before = fingerprint(&model);
+    for _ in 0..100 {
+        std::fs::write(&model, &flipped).expect("write flipped model");
+        if fingerprint(&model) != before {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let text = wait_for(
+        &stderr_log,
+        "model reload rejected",
+        Duration::from_secs(30),
+    );
+    assert!(text.contains("last-known-good"), "{text}");
+
+    // The daemon survived the bad push and is still processing: its
+    // checkpoint keeps advancing as new rows arrive on the feed.
+    assert!(
+        child.try_wait().expect("poll daemon").is_none(),
+        "daemon died"
+    );
+    let ckpt_before = std::fs::read(&ckpt).ok();
+    let mut extra = String::new();
+    for hour in 0..30 {
+        extra.push_str(&format!("99999,0,,{hour}"));
+        for v in 0..hddpred::smart::NUM_ATTRIBUTES {
+            extra.push_str(&format!(",{}", v + 1));
+        }
+        extra.push('\n');
+    }
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&feed)
+        .expect("append to feed");
+    f.write_all(extra.as_bytes()).expect("append rows");
+    drop(f);
+    let start = Instant::now();
+    loop {
+        if std::fs::read(&ckpt).ok() != ckpt_before {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "checkpoint never advanced after the bad model push"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // A valid model push is picked up and swapped in.
+    let rejected = fingerprint(&model);
+    for _ in 0..100 {
+        std::fs::write(&model, &clean).expect("restore model");
+        if fingerprint(&model) != rejected {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    wait_for(&stderr_log, "model reloaded", Duration::from_secs(30));
+
+    child.kill().expect("stop daemon");
+    child.wait().expect("reap daemon");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_exit_codes_are_typed() {
+    let dir = tempdir("exitcodes");
+
+    // Missing required flags: usage error, exit 2.
+    let out = hddpred().arg("serve").output().expect("spawn serve");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--feed"));
+
+    // A corrupt checkpoint is a serve failure, exit 8.
+    let (feed, model) = setup(&dir);
+    let ckpt = dir.join("corrupt.ckpt");
+    std::fs::write(&ckpt, "definitely not a checkpoint").expect("write junk");
+    let out = hddpred()
+        .arg("serve")
+        .arg("--feed")
+        .arg(&feed)
+        .arg("--model")
+        .arg(&model)
+        .arg("--out")
+        .arg(dir.join("alarms.csv"))
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .args(["--exit-on-idle", "1"])
+        .output()
+        .expect("spawn serve");
+    assert_eq!(
+        out.status.code(),
+        Some(8),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("checkpoint"));
+    std::fs::remove_dir_all(&dir).ok();
+}
