@@ -11,7 +11,8 @@
 //!    legacy sort-per-node result. These are asserted unconditionally.
 //!
 //! Results land in `BENCH_parallel.json` (op, n_threads, wall_ms,
-//! speedup) at the workspace root. Pass `--smoke` for a
+//! speedup, plus chunk_size / n_drives on the training rows) at the
+//! workspace root. Pass `--smoke` for a
 //! seconds-not-minutes run (CI): smaller shapes, parity still asserted,
 //! the speedup floor skipped because thread overhead dominates tiny
 //! trees.
@@ -76,12 +77,26 @@ fn bench_forest_training(report: &mut Report, smoke: bool) {
         serial_time.as_secs_f64() * 1e3,
         parallel_time.as_secs_f64() * 1e3,
     );
-    report.push("forest_train", 1, serial_time.as_secs_f64() * 1e3, 1.0);
-    report.push(
+    // The problem shape goes into the artifact so the 8-thread speedup
+    // can be diagnosed from BENCH_parallel.json alone: `chunk_size` is
+    // the per-worker tree chunk the fork-join layer dealt, `n_drives`
+    // the training-set size.
+    report.push_with(
+        "forest_train",
+        1,
+        serial_time.as_secs_f64() * 1e3,
+        1.0,
+        &[("chunk_size", n_trees as f64), ("n_drives", n as f64)],
+    );
+    report.push_with(
         "forest_train",
         8,
         parallel_time.as_secs_f64() * 1e3,
         speedup,
+        &[
+            ("chunk_size", n_trees.div_ceil(8) as f64),
+            ("n_drives", n as f64),
+        ],
     );
 
     if smoke {

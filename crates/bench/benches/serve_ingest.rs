@@ -1,0 +1,207 @@
+//! Sustained-ingest benchmark for the sharded serve topology.
+//!
+//! Builds a 4-shard [`ServeTopology`] over two on-disk feeds, streams a
+//! fleet of drives emitting hourly SMART samples through the real
+//! tailer → router → shard → merge path, and measures what the paper's
+//! deployment story needs: how many drives one box can track and how
+//! long a tick takes at that scale.
+//!
+//! The full run tracks 1,000,000 drives (three hourly waves, 3M rows);
+//! `--smoke` drops to 50,000 drives so CI can prove the harness and the
+//! artifact schema in seconds. Results land in `BENCH_serve.json` at
+//! the workspace root: one `serve_ingest` row with `tracked_drives`,
+//! `rows_ingested`, `rows_per_sec` and `p99_tick_ms` columns (CI fails
+//! if the file or the p99 column is missing).
+
+use hdd_bench::report::Report;
+use hdd_bench::section;
+use hdd_cart::classifier::ClassificationTreeBuilder;
+use hdd_cart::sample::{Class, ClassSample};
+use hdd_eval::{SavedModel, VotingRule};
+use hdd_par::{hardware_threads, CancelToken, ThreadPool};
+use hdd_serve::{EngineConfig, MultiFeedIngest, ServeTopology};
+use hdd_smart::rng::DeterministicRng;
+use hdd_smart::{DatasetGenerator, FamilyProfile, NUM_ATTRIBUTES};
+use hdd_stats::FeatureSet;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const SHARDS: usize = 4;
+const FEEDS: usize = 2;
+const WAVES: u32 = 3;
+const QUEUE_CAP: usize = 16_384;
+
+/// Train a small classification tree on a generated fleet — the same
+/// samples-from-series recipe the CLI trainer uses, so the served model
+/// has realistic depth.
+fn model(features: &FeatureSet) -> SavedModel {
+    let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.004), 99).generate();
+    let rng = DeterministicRng::new(0x5EED);
+    let mut samples = Vec::new();
+    for (d, spec) in ds.drives().iter().enumerate() {
+        let s = ds.series(spec);
+        match s.class.fail_hour() {
+            None => {
+                for k in 0..3u64 {
+                    let u = rng.uniform(d as u64, k);
+                    let idx = (u * s.len() as f64) as usize;
+                    if let Some(f) = features.extract(&s, idx) {
+                        samples.push(ClassSample::new(f, Class::Good));
+                    }
+                }
+            }
+            Some(fail) => {
+                for idx in 0..s.len() {
+                    if s.samples()[idx].hour.0 + 168 < fail.0 {
+                        continue;
+                    }
+                    if let Some(f) = features.extract(&s, idx) {
+                        samples.push(ClassSample::new(f, Class::Failed));
+                    }
+                }
+            }
+        }
+    }
+    let tree = ClassificationTreeBuilder::new()
+        .build(&samples)
+        .expect("train bench model");
+    SavedModel::from(tree.compile())
+}
+
+/// Write `n_drives` drives × [`WAVES`] hourly samples as two feed files,
+/// drives split by id parity (the multi-feed contract), hour-major like
+/// a live fleet: every drive reports hour 0, then hour 1, …
+fn write_feeds(dir: &Path, n_drives: u32) -> Vec<PathBuf> {
+    let paths = vec![dir.join("feed-even.csv"), dir.join("feed-odd.csv")];
+    let mut writers: Vec<BufWriter<std::fs::File>> = paths
+        .iter()
+        .map(|p| BufWriter::new(std::fs::File::create(p).expect("create feed")))
+        .collect();
+    for w in &mut writers {
+        hdd_smart::csv::write_header(w).expect("write header");
+    }
+    let mut row = String::with_capacity(96);
+    for hour in 0..WAVES {
+        for id in 0..n_drives {
+            row.clear();
+            row.push_str(&format!("{id},0,,{hour}"));
+            for j in 0..NUM_ATTRIBUTES {
+                // Deterministic per-drive variation, always in range.
+                let v = 1 + ((u64::from(id) >> j) & 7);
+                row.push_str(&format!(",{v}"));
+            }
+            row.push('\n');
+            writers[(id % 2) as usize]
+                .write_all(row.as_bytes())
+                .expect("write row");
+        }
+    }
+    for mut w in writers {
+        w.flush().expect("flush feed");
+    }
+    paths
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_drives: u32 = if smoke { 50_000 } else { 1_000_000 };
+    let dir = std::env::temp_dir().join(format!("hddpred-serve-ingest-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+
+    section(&format!(
+        "sustained ingest: {n_drives} drives x {WAVES} hourly rows, {SHARDS} shards, {FEEDS} feeds"
+    ));
+    let features = FeatureSet::critical13();
+    let model = std::sync::Arc::new(model(&features));
+    let t = Instant::now();
+    let paths = write_feeds(&dir, n_drives);
+    println!("feeds written in {:.1} s", t.elapsed().as_secs_f64());
+
+    let mut topology = ServeTopology::new(
+        &model,
+        &features,
+        EngineConfig::new(11, VotingRule::Majority, 0.1),
+        SHARDS,
+        FEEDS,
+        QUEUE_CAP,
+    )
+    .expect("build topology");
+    let mut ingest = MultiFeedIngest::new(&paths, topology.router());
+    let pool = ThreadPool::global();
+
+    let mut tick_ms: Vec<f64> = Vec::new();
+    let mut alarms = 0usize;
+    let start = Instant::now();
+    loop {
+        let polled = ingest.poll(topology.free());
+        assert!(polled.errors.is_empty(), "feed reads must not fail");
+        assert_eq!(
+            topology.enqueue(polled.routed),
+            0,
+            "budgeted polls cannot overflow"
+        );
+        let t = Instant::now();
+        let tick = topology
+            .tick(
+                &pool,
+                &CancelToken::new(),
+                &ingest.cursors(),
+                ingest.watermark(),
+            )
+            .expect("tick");
+        tick_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        alarms += tick.alarms.len();
+        if polled.lines_read == 0 && !topology.has_queued() {
+            break;
+        }
+    }
+    alarms += topology.flush_pending().len();
+    let wall = start.elapsed();
+
+    let stats = topology.stats();
+    let rows = stats.rows_seen;
+    let tracked = topology.tracked_drives();
+    assert_eq!(tracked, n_drives as usize, "every drive must be tracked");
+    assert_eq!(
+        rows,
+        (n_drives as usize) * WAVES as usize,
+        "every row must be seen"
+    );
+    assert_eq!(stats.quarantined_rows(), 0, "the feeds are clean");
+    if !smoke {
+        assert!(tracked >= 1_000_000, "the full run must track >= 1M drives");
+    }
+
+    let rate = rows as f64 / wall.as_secs_f64();
+    tick_ms.sort_unstable_by(f64::total_cmp);
+    let p99_idx = ((tick_ms.len() - 1) as f64 * 0.99).ceil() as usize;
+    let p99 = tick_ms[p99_idx];
+    println!(
+        "{tracked} drives tracked, {rows} rows in {:.2} s ({:.0} rows/s), \
+         {} ticks, p99 tick {p99:.2} ms, {alarms} alarms",
+        wall.as_secs_f64(),
+        rate,
+        tick_ms.len(),
+    );
+
+    let mut report = Report::new();
+    report.push_with(
+        "serve_ingest",
+        hardware_threads(),
+        wall.as_secs_f64() * 1e3,
+        1.0,
+        &[
+            ("shards", SHARDS as f64),
+            ("feeds", FEEDS as f64),
+            ("tracked_drives", tracked as f64),
+            ("rows_ingested", rows as f64),
+            ("rows_per_sec", rate),
+            ("p99_tick_ms", p99),
+        ],
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    report.write(&path).expect("write BENCH_serve.json");
+    std::fs::remove_dir_all(&dir).ok();
+}

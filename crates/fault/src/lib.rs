@@ -58,6 +58,14 @@ pub enum FaultClass {
     /// file freshly rotated (truncated and restarted) while a tailer has
     /// bytes in flight.
     MidStreamRotation,
+    /// Injectively remap every drive id so all of them land on shard 0
+    /// of a 4-shard topology — the worst-case routing skew a hash
+    /// partition can meet, with valid and still-distinct ids.
+    ShardSkewedIds,
+    /// Re-append a copy of the trailing data rows — a retransmitting
+    /// collector flooding one feed with rows the daemon already
+    /// committed (a burst of stale duplicates).
+    HotFeedBurst,
 }
 
 impl FaultClass {
@@ -81,6 +89,12 @@ impl FaultClass {
         FaultClass::MidStreamRotation,
     ];
 
+    /// The topology-shaped fault classes: pathologies that only matter
+    /// once drives are partitioned across shards and feeds — routing
+    /// skew and per-feed retransmission floods.
+    pub const TOPOLOGY_CORPUS: [FaultClass; 2] =
+        [FaultClass::ShardSkewedIds, FaultClass::HotFeedBurst];
+
     /// A stable human-readable label (for logs and test diagnostics).
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -94,6 +108,8 @@ impl FaultClass {
             FaultClass::OutOfOrderTimestamp => "out-of-order-timestamp",
             FaultClass::PartialTrailingLine => "partial-trailing-line",
             FaultClass::MidStreamRotation => "mid-stream-rotation",
+            FaultClass::ShardSkewedIds => "shard-skewed-ids",
+            FaultClass::HotFeedBurst => "hot-feed-burst",
         }
     }
 }
@@ -123,6 +139,10 @@ pub struct InjectionReport {
     pub partial_tails: usize,
     /// Header copies inserted mid-stream (simulated rotations).
     pub rotations: usize,
+    /// Rows whose drive id was remapped onto the hot shard.
+    pub skewed_rows: usize,
+    /// Stale duplicate rows re-appended as a retransmission burst.
+    pub burst_rows: usize,
 }
 
 impl InjectionReport {
@@ -138,6 +158,8 @@ impl InjectionReport {
             + self.swapped_pairs
             + self.partial_tails
             + self.rotations
+            + self.skewed_rows
+            + self.burst_rows
     }
 }
 
@@ -265,6 +287,43 @@ impl FaultInjector {
                     lines.insert(idx, header.clone());
                     report.rotations += 1;
                 }
+            }
+            FaultClass::ShardSkewedIds => {
+                // Assign each distinct drive the next id that hashes to
+                // shard 0 of 4 (matching the serving router's SplitMix64
+                // partition): every row stays valid, ids stay distinct,
+                // but one shard receives the entire fleet. `rate` does
+                // not apply — skew is all-or-nothing by nature.
+                let mut remap: std::collections::HashMap<String, u64> =
+                    std::collections::HashMap::new();
+                let mut candidate = 0u64;
+                for idx in data {
+                    let line = &mut lines[idx];
+                    let mut fields: Vec<&str> = line.split(',').collect();
+                    if fields.len() != ROW_FIELDS {
+                        continue;
+                    }
+                    let id = *remap.entry(fields[0].to_string()).or_insert_with(|| loop {
+                        let c = candidate;
+                        candidate += 1;
+                        if SplitMix64::new(c).next().is_multiple_of(4) {
+                            break c;
+                        }
+                    });
+                    let id = id.to_string();
+                    fields[0] = &id;
+                    *line = fields.join(",");
+                    report.skewed_rows += 1;
+                }
+            }
+            FaultClass::HotFeedBurst => {
+                // Re-append a copy of the trailing `quota` data rows; a
+                // first-write-wins streaming reader must drop every one
+                // of them as stale, counted, with no alarm impact.
+                let start = lines.len() - quota.min(n_rows);
+                let burst: Vec<String> = lines[start..].to_vec();
+                report.burst_rows = burst.len();
+                lines.extend(burst);
             }
         }
         (rejoin(&lines), report)
@@ -541,6 +600,55 @@ mod tests {
     fn stream_corpus_is_deterministic() {
         let csv = clean_csv();
         for class in FaultClass::STREAM_CORPUS {
+            let (a, ra) = FaultInjector::new(7).corrupt_csv(&csv, class, 0.1);
+            let (b, rb) = FaultInjector::new(7).corrupt_csv(&csv, class, 0.1);
+            assert_eq!(a, b, "{class:?}");
+            assert_eq!(ra, rb);
+            assert!(!class.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn skewed_ids_all_land_on_one_shard_and_stay_distinct() {
+        let csv = clean_csv();
+        let (out, r) = FaultInjector::new(11).corrupt_csv(&csv, FaultClass::ShardSkewedIds, 1.0);
+        assert_eq!(r.skewed_rows, 60, "every data row is remapped");
+        let mut per_original: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, line) in out.lines().skip(1).enumerate() {
+            let id: u64 = line.split(',').next().unwrap().parse().unwrap();
+            assert_eq!(
+                SplitMix64::new(id).next() % 4,
+                0,
+                "id {id} must hash to shard 0 of 4"
+            );
+            per_original.entry(id).or_default().push(i);
+        }
+        // 3 original drives → 3 distinct remapped ids, 20 rows each.
+        assert_eq!(per_original.len(), 3);
+        assert!(per_original.values().all(|rows| rows.len() == 20));
+        // Only the drive column changed.
+        for (a, b) in csv.lines().zip(out.lines()).skip(1) {
+            assert_eq!(a.split_once(',').unwrap().1, b.split_once(',').unwrap().1);
+        }
+    }
+
+    #[test]
+    fn hot_feed_burst_re_appends_the_tail_verbatim() {
+        let csv = clean_csv();
+        let (out, r) = FaultInjector::new(4).corrupt_csv(&csv, FaultClass::HotFeedBurst, 0.1);
+        assert_eq!(r.burst_rows, 6, "10% of 60 rows");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1 + 60 + 6);
+        let original: Vec<&str> = csv.lines().collect();
+        assert_eq!(&lines[..61], &original[..], "prefix untouched");
+        assert_eq!(&lines[61..], &original[55..], "burst copies the tail");
+    }
+
+    #[test]
+    fn topology_corpus_is_deterministic() {
+        let csv = clean_csv();
+        for class in FaultClass::TOPOLOGY_CORPUS {
             let (a, ra) = FaultInjector::new(7).corrupt_csv(&csv, class, 0.1);
             let (b, rb) = FaultInjector::new(7).corrupt_csv(&csv, class, 0.1);
             assert_eq!(a, b, "{class:?}");

@@ -630,6 +630,67 @@ impl ThreadPool {
         merge_cancellable(results)
     }
 
+    /// Apply `f` to every item through an **exclusive** reference, one
+    /// item per task, returning per-item results in submission order —
+    /// the fan-out shape of stateful workers that each own a disjoint
+    /// slice of state (the serve topology's engine shards).
+    ///
+    /// Unlike the read-only combinators, `f` may mutate its item; the
+    /// items are split with `chunks_mut`, so no two workers ever alias.
+    /// A panicking item is contained exactly like
+    /// [`ThreadPool::try_parallel_map`]: every other item still runs, the
+    /// scope joins normally, and the earliest panicking chunk (in
+    /// submission order) is reported. Mutations made by `f` before a
+    /// panic are kept — callers that need all-or-nothing semantics must
+    /// make `f` itself transactional, as the engine shards do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerPanic`] when `f` panicked on any item.
+    pub fn try_parallel_map_mut<T, R, F>(
+        &self,
+        items: &mut [T],
+        f: F,
+    ) -> Result<Vec<R>, WorkerPanic>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        if !self.is_parallel() || items.len() <= 1 {
+            let only = catch_unwind(AssertUnwindSafe(|| {
+                items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect()
+            }))
+            .map_err(|p| panic_message(&*p));
+            return merge_chunks(vec![only]);
+        }
+        let chunk = items.len().div_ceil(self.n_threads);
+        let f = &f;
+        let mut results: Vec<Result<Vec<R>, String>> = Vec::with_capacity(self.n_threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(chunk_idx, part)| {
+                    let base = chunk_idx * chunk;
+                    scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            part.iter_mut()
+                                .enumerate()
+                                .map(|(i, t)| f(base + i, t))
+                                .collect::<Vec<R>>()
+                        }))
+                        .map_err(|p| panic_message(&*p))
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.push(handle.join().unwrap_or_else(|p| Err(panic_message(&*p))));
+            }
+        });
+        merge_chunks(results)
+    }
+
     /// [`ThreadPool::parallel_for_chunks`] with panic containment.
     ///
     /// # Errors
@@ -964,5 +1025,40 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(err.chunk, 3);
+    }
+
+    #[test]
+    fn map_mut_mutates_in_place_and_matches_serial() {
+        let mut parallel_items: Vec<u64> = (0..97).collect();
+        let mut serial_items = parallel_items.clone();
+        let step = |i: usize, v: &mut u64| {
+            *v = v.wrapping_mul(31).wrapping_add(i as u64);
+            *v % 7
+        };
+        let got = ThreadPool::new(4)
+            .try_parallel_map_mut(&mut parallel_items, step)
+            .unwrap();
+        let want = ThreadPool::serial()
+            .try_parallel_map_mut(&mut serial_items, step)
+            .unwrap();
+        assert_eq!(got, want, "results must be submission-ordered");
+        assert_eq!(parallel_items, serial_items, "mutations must agree");
+    }
+
+    #[test]
+    fn map_mut_panic_is_contained_and_earliest_wins() {
+        let mut items: Vec<u32> = (0..16).collect();
+        let err = ThreadPool::new(4)
+            .try_parallel_map_mut(&mut items, |_, v| {
+                assert!(*v != 6 && *v != 13, "unit {v} dies");
+                *v += 100;
+                *v
+            })
+            .unwrap_err();
+        assert_eq!(err.chunk, 1, "{err}");
+        assert!(err.message.contains("unit 6"), "{err}");
+        // Chunks without a panicking unit still ran to completion.
+        assert_eq!(items[0], 100);
+        assert_eq!(items[11], 111);
     }
 }

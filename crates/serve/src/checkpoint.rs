@@ -1,19 +1,18 @@
 //! Crash-safe daemon checkpoints.
 //!
-//! A checkpoint captures everything the daemon needs to resume after
-//! `kill -9` with *byte-identical* alarm output: the serialized engine
-//! state (feed position, per-drive voting windows, counters, breaker)
-//! plus how many bytes of the alarm sink had been written when the
-//! snapshot was taken. On restart the sink is truncated back to that
-//! length and processing resumes from the checkpointed feed offset, so
-//! the replayed suffix appends exactly the alarms the killed run would
-//! have.
+//! A sharded topology checkpoints into a **directory**: one
+//! `shard-<k>.ckpt` per shard (its voting state, counters, breaker,
+//! feed cursors and unmerged alarms) plus one `topology.ckpt` (the
+//! merge state: low-water mark, early-flushed seqs, sink length). The
+//! save order is always sink → `topology.ckpt` → dirty shard files;
+//! combined with seq-keyed replay filtering, a crash between any two
+//! writes merely replays a feed suffix and produces byte-identical
+//! alarm output (see DESIGN.md §8 for the resume protocol).
 //!
-//! The on-disk format reuses the CRC-checked two-line container model
-//! files use ([`hdd_json::container`]) with its own magic string, and
-//! every write goes through the same atomic temp-file + rename protocol
-//! — a crash mid-checkpoint leaves the previous valid checkpoint in
-//! place.
+//! Each file reuses the CRC-checked two-line container model files use
+//! ([`hdd_json::container`]) with its own magic string, and every write
+//! goes through the same atomic temp-file + rename protocol — a crash
+//! mid-checkpoint leaves the previous valid file in place.
 
 use hdd_json::container::{self, ContainerError};
 use hdd_json::{JsonError, Value};
@@ -24,7 +23,35 @@ use std::path::Path;
 pub const CHECKPOINT_MAGIC: &str = "hddpred-checkpoint";
 
 /// Checkpoint layout version; bumped on incompatible changes.
-pub const CHECKPOINT_FORMAT_VERSION: usize = 1;
+/// Version 2: sharded layout (`kind` + opaque payload); version-1
+/// single-engine files are refused with a typed error.
+pub const CHECKPOINT_FORMAT_VERSION: usize = 2;
+
+/// Which topology component a checkpoint file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// One shard's engine state.
+    Shard,
+    /// The topology's merge state.
+    Topology,
+}
+
+impl CheckpointKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            CheckpointKind::Shard => "shard",
+            CheckpointKind::Topology => "topology",
+        }
+    }
+
+    fn parse(raw: &str) -> Option<Self> {
+        match raw {
+            "shard" => Some(CheckpointKind::Shard),
+            "topology" => Some(CheckpointKind::Topology),
+            _ => None,
+        }
+    }
+}
 
 /// Why reading or writing a checkpoint failed.
 #[derive(Debug)]
@@ -42,6 +69,9 @@ pub enum CheckpointError {
         /// What was wrong there.
         detail: String,
     },
+    /// The checkpoint is valid but does not fit this topology (wrong
+    /// kind, shard count or feed count).
+    Incompatible(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -55,6 +85,9 @@ impl fmt::Display for CheckpointError {
             ),
             CheckpointError::Corrupt { offset, detail } => {
                 write!(f, "checkpoint corrupt at byte {offset}: {detail}")
+            }
+            CheckpointError::Incompatible(detail) => {
+                write!(f, "checkpoint does not fit this topology: {detail}")
             }
         }
     }
@@ -82,17 +115,17 @@ impl From<JsonError> for CheckpointError {
     }
 }
 
-/// One resumable snapshot: the engine's serialized state plus the alarm
-/// sink length it corresponds to.
+/// One resumable snapshot of one topology component.
 ///
-/// The engine payload is kept opaque here (the engine owns its own
-/// codec); the checkpoint layer only frames, checksums and versions it.
+/// The payload is kept opaque here (shards and the merge stage own
+/// their codecs); the checkpoint layer only frames, checksums, kinds
+/// and versions it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
-    /// Bytes of the alarm sink written when the snapshot was taken.
-    pub sink_bytes: u64,
-    /// The engine's serialized state.
-    pub engine: Value,
+    /// Which component this file holds.
+    pub kind: CheckpointKind,
+    /// The component's serialized state.
+    pub payload: Value,
 }
 
 impl Checkpoint {
@@ -107,10 +140,11 @@ impl Checkpoint {
                 "format_version".to_string(),
                 Value::Num(CHECKPOINT_FORMAT_VERSION as f64),
             ),
-            // u64 through an f64 JSON number: exact up to 2^53, far
-            // beyond any real sink or feed size.
-            ("sink_bytes".to_string(), Value::Num(self.sink_bytes as f64)),
-            ("engine".to_string(), self.engine.clone()),
+            (
+                "kind".to_string(),
+                Value::Str(self.kind.as_str().to_string()),
+            ),
+            ("payload".to_string(), self.payload.clone()),
         ]);
         let payload = hdd_json::to_string(&doc);
         let document = container::seal(CHECKPOINT_MAGIC, &payload);
@@ -149,10 +183,38 @@ impl Checkpoint {
         if version != CHECKPOINT_FORMAT_VERSION {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
+        let raw_kind = doc
+            .field("kind")?
+            .as_str()
+            .ok_or_else(|| JsonError::new("`kind` must be a string"))?
+            .to_string();
+        let kind = CheckpointKind::parse(&raw_kind).ok_or_else(|| {
+            CheckpointError::Incompatible(format!("unknown checkpoint kind `{raw_kind}`"))
+        })?;
         Ok(Checkpoint {
-            sink_bytes: doc.usize_field("sink_bytes")? as u64,
-            engine: doc.field("engine")?.clone(),
+            kind,
+            payload: doc.field("payload")?.clone(),
         })
+    }
+
+    /// [`Checkpoint::load`], additionally refusing a file of the wrong
+    /// kind (e.g. a shard file where `topology.ckpt` should be).
+    ///
+    /// # Errors
+    ///
+    /// As [`Checkpoint::load`], plus [`CheckpointError::Incompatible`]
+    /// on a kind mismatch.
+    pub fn load_expecting(path: &Path, kind: CheckpointKind) -> Result<Self, CheckpointError> {
+        let ck = Checkpoint::load(path)?;
+        if ck.kind != kind {
+            return Err(CheckpointError::Incompatible(format!(
+                "{}: expected a {} checkpoint, found {}",
+                path.display(),
+                kind.as_str(),
+                ck.kind.as_str()
+            )));
+        }
+        Ok(ck)
     }
 }
 
@@ -170,9 +232,9 @@ mod tests {
 
     fn sample() -> Checkpoint {
         Checkpoint {
-            sink_bytes: 12345,
-            engine: Value::Obj(vec![
-                ("offset".to_string(), Value::Num(678.0)),
+            kind: CheckpointKind::Shard,
+            payload: Value::Obj(vec![
+                ("cursors".to_string(), Value::Arr(vec![Value::Num(678.0)])),
                 ("drives".to_string(), Value::Arr(vec![Value::Num(1.0)])),
             ]),
         }
@@ -207,16 +269,23 @@ mod tests {
     }
 
     #[test]
-    fn version_and_junk_are_typed_errors() {
+    fn version_kind_and_junk_are_typed_errors() {
         let path = scratch("versioned.ckpt");
-        let doc = "{\"format_version\":99,\"sink_bytes\":0,\"engine\":{}}";
+        // A version-1 (pre-sharding) checkpoint is refused, not misread.
+        let doc = "{\"format_version\":1,\"sink_bytes\":0,\"engine\":{}}";
         let sealed = container::seal(CHECKPOINT_MAGIC, doc);
         std::fs::write(&path, sealed).unwrap();
         let err = Checkpoint::load(&path).unwrap_err();
         assert!(
-            matches!(err, CheckpointError::UnsupportedVersion(99)),
+            matches!(err, CheckpointError::UnsupportedVersion(1)),
             "{err}"
         );
+
+        let doc = "{\"format_version\":2,\"kind\":\"sharf\",\"payload\":{}}";
+        let sealed = container::seal(CHECKPOINT_MAGIC, doc);
+        std::fs::write(&path, sealed).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Incompatible(_)), "{err}");
 
         std::fs::write(&path, "not a checkpoint at all").unwrap();
         let err = Checkpoint::load(&path).unwrap_err();
@@ -225,6 +294,16 @@ mod tests {
             "{err}"
         );
         assert!(err.to_string().contains("container header"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_expecting_refuses_a_kind_mismatch() {
+        let path = scratch("kind.ckpt");
+        sample().save(&path).unwrap();
+        assert!(Checkpoint::load_expecting(&path, CheckpointKind::Shard).is_ok());
+        let err = Checkpoint::load_expecting(&path, CheckpointKind::Topology).unwrap_err();
+        assert!(matches!(err, CheckpointError::Incompatible(_)), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,26 +1,37 @@
-//! The streaming detection engine: per-drive voting state over a line feed.
+//! One detection shard: per-drive voting state over its routed lines.
 //!
-//! The engine consumes feed lines *in order* and is, by construction, a
-//! pure function of the processed line prefix: every counter, voting
-//! window and breaker transition advances only when a line commits,
-//! never on tick boundaries or wall-clock time. That single invariant is
-//! what makes kill-and-restart runs byte-identical — a checkpoint is
-//! just "the state after the first `k` lines", and replaying the rest of
-//! the feed from there cannot diverge from the uninterrupted run.
+//! An [`EngineShard`] consumes the [`RoutedLine`]s the ingest layer
+//! assigned to it *in routing order* and is, by construction, a pure
+//! function of that committed line prefix: every counter, voting window
+//! and breaker transition advances only when a line commits, never on
+//! tick boundaries or wall-clock time. That single invariant is what
+//! makes kill-and-restart runs byte-identical — a shard checkpoint is
+//! just "the state after the first `k` lines routed here", and
+//! replaying the rest of the feeds from there cannot diverge from the
+//! uninterrupted run.
+//!
+//! Replay is keyed by sequence number: a shard's per-feed
+//! [`FeedCursor`]s record the next unprocessed line index of each feed,
+//! and a replayed line whose index is below the cursor is skipped with
+//! **zero** state effect — it must not touch counters, the breaker
+//! window, or voting, or a resumed run would diverge from an
+//! uninterrupted one.
 //!
 //! A batch is processed in three steps:
 //!
-//! 1. **Decide** (read-only): classify every line — quarantine kinds,
-//!    stale/conflicting drops, rotation markers — and extract feature
+//! 1. **Decide** (read-only): classify every line — replay skips,
+//!    quarantine kinds, stale/conflicting drops — and extract feature
 //!    vectors for the accepted samples against a *preview* of each
 //!    drive's history.
 //! 2. **Score**: the feature vectors go to the worker pool under the
 //!    tick's [`CancelToken`]; on deadline or cancellation *nothing* has
 //!    been committed and the whole batch stays queued for the next tick.
-//! 3. **Commit** (in feed order): counters, breaker, histories and
-//!    voting windows advance line by line; alarms fire (or are
-//!    suppressed while degraded) exactly where a serial run would fire
-//!    them.
+//! 3. **Commit** (in routing order): counters, breaker, histories,
+//!    voting windows and feed cursors advance line by line; alarms are
+//!    produced (or suppressed while degraded) exactly where a serial
+//!    run would produce them, tagged with their line's seq and buffered
+//!    in the shard's *unmerged* list until the topology merge emits
+//!    them in global seq order.
 //!
 //! Streaming deviates from the batch reader in one documented way: the
 //! batch reader buffers a whole drive, sorts, and resolves duplicate
@@ -29,28 +40,19 @@
 //! are dropped (first-write-wins) and counted as stale.
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::ingest::{FeedCursor, RoutedLine};
+use crate::monitor::{prune_history, Decision, DriveMonitor};
+use crate::stats::ShardStats;
 use hdd_eval::{ModelError, Predictor, SavedModel, VotingRule, VotingState};
 use hdd_json::{JsonCodec, JsonError, Value};
 use hdd_par::{CancelToken, ParError, ThreadPool};
-use hdd_smart::csv::{is_header_line, parse_data_line, CsvRow, ValueFault};
-use hdd_smart::{DriveClass, Hour, SmartSample, SmartSeries, NUM_ATTRIBUTES};
-use hdd_stats::FeatureSet;
+use hdd_smart::csv::{parse_data_line, ValueFault};
+use hdd_smart::{DriveClass, SmartSeries};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
-/// One tailed feed line, tagged with where it ends so the engine can
-/// checkpoint an exact resume position.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FeedLine {
-    /// The line's text (no terminator).
-    pub text: String,
-    /// Feed offset just past this line.
-    pub end_offset: u64,
-    /// Rotation generation the offset belongs to.
-    pub generation: u64,
-}
-
-/// Sizing for an [`Engine`].
+/// Sizing for an [`EngineShard`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// The paper's `N`: voting-window length per drive.
@@ -79,7 +81,7 @@ impl EngineConfig {
     }
 }
 
-/// One emitted alarm: the sink line is `drive,hour`.
+/// One produced alarm: the sink line is `drive,hour`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Alarm {
     /// Drive that alarmed.
@@ -94,327 +96,120 @@ impl fmt::Display for Alarm {
     }
 }
 
-/// Everything the daemon counts, serialized into every checkpoint.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServeStats {
-    /// Data rows seen (header and blank lines excluded).
-    pub rows_seen: usize,
-    /// Rows accepted into a drive's history.
-    pub rows_accepted: usize,
-    /// Rows that failed structural parsing.
-    pub parse_failures: usize,
-    /// Rows carrying NaN or infinite values.
-    pub non_finite_rows: usize,
-    /// Rows with values outside the plausible range.
-    pub out_of_range_rows: usize,
-    /// Rows contradicting their drive's class metadata.
-    pub conflicting_rows: usize,
-    /// Rows at or before their drive's latest seen hour (late arrivals
-    /// and duplicates; streaming is first-write-wins).
-    pub stale_rows: usize,
-    /// Feed rotations observed (file shrinkage + mid-stream headers).
-    pub rotations: usize,
-    /// Queued events shed by backpressure.
-    pub dropped_events: usize,
-    /// Alarms written to the sink.
-    pub alarms_emitted: usize,
-    /// Alarm decisions suppressed while degraded.
-    pub alarms_suppressed: usize,
-    /// Successful hot model reloads.
-    pub model_reloads: usize,
-    /// Rejected model replacements (kept last-known-good).
-    pub reload_failures: usize,
+/// An alarm tagged with the seq of the line that raised it — the merge
+/// stage's global order key (seqs are unique, one line raises at most
+/// one alarm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqAlarm {
+    /// Seq of the committed line whose vote tipped the window.
+    pub seq: u64,
+    /// The alarm itself.
+    pub alarm: Alarm,
 }
 
-impl ServeStats {
-    /// Rows dropped as unusable (the breaker's numerator).
-    #[must_use]
-    pub fn quarantined_rows(&self) -> usize {
-        self.parse_failures + self.non_finite_rows + self.out_of_range_rows + self.conflicting_rows
-    }
-}
-
-/// One entry of [`STAT_FIELDS`]: a stats counter's JSON key plus its
-/// shared and mutable accessors.
-type StatField = (
-    &'static str,
-    fn(&ServeStats) -> &usize,
-    fn(&mut ServeStats) -> &mut usize,
-);
-
-/// `(json key, accessor)` for every stats counter — one table drives the
-/// codec in both directions so a field can't be forgotten in one of them.
-const STAT_FIELDS: [StatField; 13] = [
-    ("rows_seen", |s| &s.rows_seen, |s| &mut s.rows_seen),
-    (
-        "rows_accepted",
-        |s| &s.rows_accepted,
-        |s| &mut s.rows_accepted,
-    ),
-    (
-        "parse_failures",
-        |s| &s.parse_failures,
-        |s| &mut s.parse_failures,
-    ),
-    (
-        "non_finite_rows",
-        |s| &s.non_finite_rows,
-        |s| &mut s.non_finite_rows,
-    ),
-    (
-        "out_of_range_rows",
-        |s| &s.out_of_range_rows,
-        |s| &mut s.out_of_range_rows,
-    ),
-    (
-        "conflicting_rows",
-        |s| &s.conflicting_rows,
-        |s| &mut s.conflicting_rows,
-    ),
-    ("stale_rows", |s| &s.stale_rows, |s| &mut s.stale_rows),
-    ("rotations", |s| &s.rotations, |s| &mut s.rotations),
-    (
-        "dropped_events",
-        |s| &s.dropped_events,
-        |s| &mut s.dropped_events,
-    ),
-    (
-        "alarms_emitted",
-        |s| &s.alarms_emitted,
-        |s| &mut s.alarms_emitted,
-    ),
-    (
-        "alarms_suppressed",
-        |s| &s.alarms_suppressed,
-        |s| &mut s.alarms_suppressed,
-    ),
-    (
-        "model_reloads",
-        |s| &s.model_reloads,
-        |s| &mut s.model_reloads,
-    ),
-    (
-        "reload_failures",
-        |s| &s.reload_failures,
-        |s| &mut s.reload_failures,
-    ),
-];
-
-impl JsonCodec for ServeStats {
+impl JsonCodec for SeqAlarm {
     fn to_json(&self) -> Value {
-        Value::Obj(
-            STAT_FIELDS
-                .iter()
-                .map(|(key, get, _)| ((*key).to_string(), Value::Num(*get(self) as f64)))
-                .collect(),
-        )
+        Value::Obj(vec![
+            ("seq".to_string(), Value::Num(self.seq as f64)),
+            ("drive".to_string(), Value::Num(f64::from(self.alarm.drive))),
+            ("hour".to_string(), Value::Num(f64::from(self.alarm.hour))),
+        ])
     }
 
     fn from_json(value: &Value) -> Result<Self, JsonError> {
-        let mut stats = ServeStats::default();
-        for (key, _, get_mut) in &STAT_FIELDS {
-            *get_mut(&mut stats) = value.usize_field(key)?;
-        }
-        Ok(stats)
-    }
-}
-
-/// Live state of one drive the feed has mentioned.
-#[derive(Debug, Clone, PartialEq)]
-struct DriveMonitor {
-    class: DriveClass,
-    /// Recent samples, strictly increasing in hour, pruned to the
-    /// feature set's lookback window — exactly the suffix extraction
-    /// can ever reference.
-    history: Vec<SmartSample>,
-    voting: VotingState,
-    /// Latched once an alarm was *emitted* for this drive.
-    alarmed: bool,
-}
-
-fn class_to_json(class: DriveClass) -> Vec<(String, Value)> {
-    match class {
-        DriveClass::Good => vec![("failed".to_string(), Value::Bool(false))],
-        DriveClass::Failed { fail_hour } => vec![
-            ("failed".to_string(), Value::Bool(true)),
-            ("fail_hour".to_string(), Value::Num(f64::from(fail_hour.0))),
-        ],
-    }
-}
-
-fn class_from_json(value: &Value) -> Result<DriveClass, JsonError> {
-    let failed = value
-        .field("failed")?
-        .as_bool()
-        .ok_or_else(|| JsonError::new("`failed` must be a boolean"))?;
-    if failed {
-        Ok(DriveClass::Failed {
-            fail_hour: Hour(value.usize_field("fail_hour")? as u32),
-        })
-    } else {
-        Ok(DriveClass::Good)
-    }
-}
-
-impl JsonCodec for DriveMonitor {
-    fn to_json(&self) -> Value {
-        let mut fields = class_to_json(self.class);
-        fields.push(("alarmed".to_string(), Value::Bool(self.alarmed)));
-        fields.push((
-            "history".to_string(),
-            Value::Arr(
-                self.history
-                    .iter()
-                    .map(|s| {
-                        Value::Obj(vec![
-                            ("hour".to_string(), Value::Num(f64::from(s.hour.0))),
-                            (
-                                "values".to_string(),
-                                Value::from_f64s(s.values.iter().map(|&v| f64::from(v))),
-                            ),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ));
-        fields.push(("voting".to_string(), self.voting.to_json()));
-        Value::Obj(fields)
-    }
-
-    fn from_json(value: &Value) -> Result<Self, JsonError> {
-        let class = class_from_json(value)?;
-        let alarmed = value
-            .field("alarmed")?
-            .as_bool()
-            .ok_or_else(|| JsonError::new("`alarmed` must be a boolean"))?;
-        let raw_history = value
-            .field("history")?
-            .as_arr()
-            .ok_or_else(|| JsonError::new("`history` must be an array"))?;
-        let mut history = Vec::with_capacity(raw_history.len());
-        for entry in raw_history {
-            let hour = Hour(entry.usize_field("hour")? as u32);
-            let values = entry.f64_vec_field("values")?;
-            if values.len() != NUM_ATTRIBUTES {
-                return Err(JsonError::new(format!(
-                    "history sample has {} values, expected {NUM_ATTRIBUTES}",
-                    values.len()
-                )));
-            }
-            let mut sample = SmartSample {
-                hour,
-                values: [0.0; NUM_ATTRIBUTES],
-            };
-            for (slot, v) in sample.values.iter_mut().zip(&values) {
-                *slot = *v as f32;
-            }
-            history.push(sample);
-        }
-        if !history.windows(2).all(|w| w[0].hour < w[1].hour) {
-            return Err(JsonError::new(
-                "history must be strictly increasing in time",
-            ));
-        }
-        Ok(DriveMonitor {
-            class,
-            history,
-            voting: VotingState::from_json(value.field("voting")?)?,
-            alarmed,
+        Ok(SeqAlarm {
+            seq: value.usize_field("seq")? as u64,
+            alarm: Alarm {
+                drive: value.usize_field("drive")? as u32,
+                hour: value.usize_field("hour")? as u32,
+            },
         })
     }
-}
-
-/// How one feed line will be handled; computed read-only, committed in
-/// feed order.
-#[derive(Debug, Clone)]
-enum Decision {
-    /// Blank line: ignored entirely.
-    Blank,
-    /// A header line (expected at a generation's start, a rotation
-    /// marker anywhere else).
-    Header,
-    /// Structurally unparseable row.
-    ParseFailure,
-    /// Parsed row carrying an unusable measurement.
-    BadValue(ValueFault),
-    /// Row contradicting its drive's class metadata.
-    Conflicting,
-    /// Row at or before the drive's latest seen hour.
-    Stale,
-    /// Usable row; `scored` indexes into the batch's feature rows when
-    /// the sample had enough history to extract.
-    Accept { row: CsvRow, scored: Option<usize> },
 }
 
 /// What one committed batch produced.
 #[derive(Debug, Clone, Default)]
 pub struct BatchOutcome {
-    /// Alarms to append to the sink, in feed order.
-    pub alarms: Vec<Alarm>,
+    /// Alarms produced by this batch, in routing order (also appended
+    /// to the shard's unmerged list).
+    pub alarms: Vec<SeqAlarm>,
     /// Breaker transitions that happened inside the batch, in order.
     pub transitions: Vec<BreakerState>,
+    /// Lines skipped because a cursor showed them already committed
+    /// before a crash (zero state effect; an operational counter, not
+    /// part of the checkpointed stream state).
+    pub replayed: usize,
 }
 
-/// The streaming engine; see the module docs.
+/// One detection shard; see the module docs.
 #[derive(Debug)]
-pub struct Engine {
-    model: SavedModel,
-    features: FeatureSet,
+pub struct EngineShard {
+    model: Arc<SavedModel>,
+    features: hdd_stats::FeatureSet,
     config: EngineConfig,
+    n_feeds: usize,
     drives: BTreeMap<u32, DriveMonitor>,
     breaker: CircuitBreaker,
-    stats: ServeStats,
-    /// Feed offset just past the last committed line.
-    processed_offset: u64,
-    /// Rotation generation that offset belongs to.
-    generation: u64,
+    stats: ShardStats,
+    /// Per-feed replay cursors; see [`FeedCursor`].
+    cursors: Vec<FeedCursor>,
+    /// Alarms produced but not yet emitted by the topology merge.
+    unmerged: Vec<SeqAlarm>,
 }
 
-impl Engine {
-    /// A fresh engine serving `model` over `features`.
+impl EngineShard {
+    /// A fresh shard serving `model` over `features`, consuming lines
+    /// routed from `n_feeds` feeds.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::FeatureMismatch`] when the model does not
     /// score the feature set's dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_feeds` is zero.
     pub fn new(
-        model: SavedModel,
-        features: FeatureSet,
+        model: Arc<SavedModel>,
+        features: hdd_stats::FeatureSet,
         config: EngineConfig,
+        n_feeds: usize,
     ) -> Result<Self, ModelError> {
+        assert!(n_feeds >= 1, "at least one feed is required");
         model.expect_features(features.len())?;
         // Validate eagerly so a bad config fails at startup, not on the
         // first row.
         let breaker = CircuitBreaker::new(config.breaker);
         let _ = VotingState::new(config.voters, config.rule);
-        Ok(Engine {
+        Ok(EngineShard {
             model,
             features,
             config,
+            n_feeds,
             drives: BTreeMap::new(),
             breaker,
-            stats: ServeStats::default(),
-            processed_offset: 0,
-            generation: 0,
+            stats: ShardStats::default(),
+            cursors: vec![FeedCursor::default(); n_feeds],
+            unmerged: Vec::new(),
         })
     }
 
-    /// Feed offset just past the last committed line.
+    /// The per-feed replay cursors.
     #[must_use]
-    pub fn processed_offset(&self) -> u64 {
-        self.processed_offset
-    }
-
-    /// Rotation generation the processed offset belongs to.
-    #[must_use]
-    pub fn generation(&self) -> u64 {
-        self.generation
+    pub fn cursors(&self) -> &[FeedCursor] {
+        &self.cursors
     }
 
     /// The counters so far.
     #[must_use]
-    pub fn stats(&self) -> ServeStats {
+    pub fn stats(&self) -> ShardStats {
         self.stats
+    }
+
+    /// Drives this shard is tracking.
+    #[must_use]
+    pub fn tracked_drives(&self) -> usize {
+        self.drives.len()
     }
 
     /// The breaker's current state.
@@ -423,25 +218,42 @@ impl Engine {
         self.breaker.state()
     }
 
-    /// One-line status summary for the operator log.
+    /// Alarms produced but not yet emitted by the merge stage.
     #[must_use]
-    pub fn status_line(&self) -> String {
-        let s = &self.stats;
-        format!(
-            "state={} rows={} accepted={} quarantined={} stale={} rotations={} dropped={} \
-             alarms={} suppressed={} reloads={} reload_failures={}",
-            self.breaker.state().label(),
-            s.rows_seen,
-            s.rows_accepted,
-            s.quarantined_rows(),
-            s.stale_rows,
-            s.rotations,
-            s.dropped_events,
-            s.alarms_emitted,
-            s.alarms_suppressed,
-            s.model_reloads,
-            s.reload_failures
-        )
+    pub fn unmerged(&self) -> &[SeqAlarm] {
+        &self.unmerged
+    }
+
+    /// Remove (and return) unmerged alarms selected by `take`; the
+    /// topology calls this when the merge emits below a watermark or
+    /// flushes on idle.
+    pub fn drain_unmerged(&mut self, mut take: impl FnMut(&SeqAlarm) -> bool) -> Vec<SeqAlarm> {
+        let mut taken = Vec::new();
+        self.unmerged.retain(|a| {
+            if take(a) {
+                taken.push(*a);
+                false
+            } else {
+                true
+            }
+        });
+        taken
+    }
+
+    /// Adopt the ingest's cursor snapshot, per feed, wherever it is
+    /// ahead of this shard's own cursor. Only valid once this shard's
+    /// queue has fully drained: every line routed here below the
+    /// snapshot has then committed, so the snapshot position is safe to
+    /// claim. Returns whether anything moved.
+    pub fn adopt_cursors(&mut self, snapshot: &[FeedCursor]) -> bool {
+        let mut moved = false;
+        for (own, snap) in self.cursors.iter_mut().zip(snapshot) {
+            if snap.position_key() > own.position_key() {
+                *own = *snap;
+                moved = true;
+            }
+        }
+        moved
     }
 
     /// Swap in a hot-reloaded model (already validated by the loader).
@@ -449,31 +261,15 @@ impl Engine {
     /// # Errors
     ///
     /// Returns [`ModelError::FeatureMismatch`] when the replacement does
-    /// not score the engine's feature dimensionality; the current model
+    /// not score the shard's feature dimensionality; the current model
     /// keeps serving.
-    pub fn swap_model(&mut self, model: SavedModel) -> Result<(), ModelError> {
+    pub fn swap_model(&mut self, model: Arc<SavedModel>) -> Result<(), ModelError> {
         model.expect_features(self.features.len())?;
         self.model = model;
-        self.stats.model_reloads += 1;
         Ok(())
     }
 
-    /// Count a rejected model replacement (last-known-good kept).
-    pub fn note_reload_failure(&mut self) {
-        self.stats.reload_failures += 1;
-    }
-
-    /// Count a physical feed rotation observed by the tailer.
-    pub fn note_rotation(&mut self) {
-        self.stats.rotations += 1;
-    }
-
-    /// Count events shed by queue backpressure.
-    pub fn note_drops(&mut self, n: usize) {
-        self.stats.dropped_events += n;
-    }
-
-    /// Process a batch of feed lines under the tick's cancel token.
+    /// Process a batch of routed lines under the tick's cancel token.
     ///
     /// All-or-nothing: on `Cancelled`/`DeadlineExceeded` *no* state has
     /// changed and the caller retries the same lines next tick; the
@@ -489,7 +285,7 @@ impl Engine {
         &mut self,
         pool: &ThreadPool,
         token: &CancelToken,
-        lines: &[FeedLine],
+        lines: &[RoutedLine],
     ) -> Result<BatchOutcome, ParError> {
         token.check().map_err(ParError::from)?;
         let (decisions, rows) = self.decide(lines);
@@ -502,21 +298,29 @@ impl Engine {
         Ok(self.commit(lines, &decisions, &scores))
     }
 
+    /// Split a seq into `(feed index, line index)`.
+    fn feed_of(&self, seq: u64) -> (usize, u64) {
+        let n = self.n_feeds as u64;
+        ((seq % n) as usize, seq / n)
+    }
+
     /// Step 1: classify every line read-only and extract feature rows
     /// for accepted samples against per-drive history previews.
-    fn decide(&self, lines: &[FeedLine]) -> (Vec<Decision>, Vec<Vec<f64>>) {
+    fn decide(&self, lines: &[RoutedLine]) -> (Vec<Decision>, Vec<Vec<f64>>) {
         let mut decisions = Vec::with_capacity(lines.len());
         let mut rows: Vec<Vec<f64>> = Vec::new();
         // Drive id → (class, samples incl. rows accepted earlier in this
         // same batch) — the commit phase will arrive at exactly this.
-        let mut previews: BTreeMap<u32, (DriveClass, Vec<SmartSample>)> = BTreeMap::new();
+        let mut previews: BTreeMap<u32, (DriveClass, Vec<hdd_smart::SmartSample>)> =
+            BTreeMap::new();
         for line in lines {
-            if line.text.trim().is_empty() {
-                decisions.push(Decision::Blank);
+            let (feed, index) = self.feed_of(line.seq);
+            if index < self.cursors[feed].next_line {
+                decisions.push(Decision::Replayed);
                 continue;
             }
-            if is_header_line(&line.text) {
-                decisions.push(Decision::Header);
+            if line.text.trim().is_empty() {
+                decisions.push(Decision::Blank);
                 continue;
             }
             let (row, fault) = match parse_data_line(&line.text) {
@@ -559,34 +363,29 @@ impl Engine {
         (decisions, rows)
     }
 
-    /// Step 3: advance counters, breaker, histories and voting windows
-    /// line by line, in feed order.
+    /// Step 3: advance counters, breaker, histories, voting windows and
+    /// cursors line by line, in routing order.
     fn commit(
         &mut self,
-        lines: &[FeedLine],
+        lines: &[RoutedLine],
         decisions: &[Decision],
         scores: &[f64],
     ) -> BatchOutcome {
         let mut outcome = BatchOutcome::default();
         for (line, decision) in lines.iter().zip(decisions) {
-            // Where this line starts: the previous line's end, or byte
-            // zero right after a rotation.
-            let line_start = if line.generation == self.generation {
-                self.processed_offset
-            } else {
-                0
+            if matches!(decision, Decision::Replayed) {
+                outcome.replayed += 1;
+                continue;
+            }
+            let (feed, index) = self.feed_of(line.seq);
+            self.cursors[feed] = FeedCursor {
+                next_line: index + 1,
+                offset: line.end_offset,
+                generation: line.generation,
             };
-            self.processed_offset = line.end_offset;
-            self.generation = line.generation;
             match decision {
+                Decision::Replayed => unreachable!("handled above"),
                 Decision::Blank => {}
-                Decision::Header => {
-                    // The header at a generation's start is expected; one
-                    // appearing mid-stream marks a copy-truncate rotation.
-                    if line_start != 0 {
-                        self.stats.rotations += 1;
-                    }
-                }
                 Decision::ParseFailure => {
                     self.stats.rows_seen += 1;
                     self.stats.parse_failures += 1;
@@ -635,10 +434,15 @@ impl Engine {
                             } else {
                                 monitor.alarmed = true;
                                 self.stats.alarms_emitted += 1;
-                                outcome.alarms.push(Alarm {
-                                    drive: row.drive.0,
-                                    hour: row.sample.hour.0,
-                                });
+                                let alarm = SeqAlarm {
+                                    seq: line.seq,
+                                    alarm: Alarm {
+                                        drive: row.drive.0,
+                                        hour: row.sample.hour.0,
+                                    },
+                                };
+                                self.unmerged.push(alarm);
+                                outcome.alarms.push(alarm);
                             }
                         }
                     }
@@ -654,17 +458,20 @@ impl Engine {
         }
     }
 
-    /// Serialize everything a checkpoint needs to resume this engine.
+    /// Serialize everything a checkpoint needs to resume this shard.
     #[must_use]
     pub fn state_to_json(&self) -> Value {
         Value::Obj(vec![
             (
-                "offset".to_string(),
-                Value::Num(self.processed_offset as f64),
+                "cursors".to_string(),
+                Value::Arr(self.cursors.iter().map(JsonCodec::to_json).collect()),
             ),
-            ("generation".to_string(), Value::Num(self.generation as f64)),
             ("stats".to_string(), self.stats.to_json()),
             ("breaker".to_string(), self.breaker.to_json()),
+            (
+                "unmerged".to_string(),
+                Value::Arr(self.unmerged.iter().map(JsonCodec::to_json).collect()),
+            ),
             (
                 "drives".to_string(),
                 Value::Arr(
@@ -684,8 +491,8 @@ impl Engine {
         ])
     }
 
-    /// Restore state serialized by [`Engine::state_to_json`], replacing
-    /// whatever this engine held.
+    /// Restore state serialized by [`EngineShard::state_to_json`],
+    /// replacing whatever this shard held.
     ///
     /// The model and feature set are *not* part of the state — the
     /// caller loads the (possibly newer) model file separately; restored
@@ -695,12 +502,32 @@ impl Engine {
     /// # Errors
     ///
     /// Returns [`JsonError`] when the document does not describe a valid
-    /// engine state.
+    /// shard state for this shard's feed count.
     pub fn restore_state(&mut self, value: &Value) -> Result<(), JsonError> {
-        let offset = value.usize_field("offset")? as u64;
-        let generation = value.usize_field("generation")? as u64;
-        let stats = ServeStats::from_json(value.field("stats")?)?;
+        let raw_cursors = value
+            .field("cursors")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new("`cursors` must be an array"))?;
+        if raw_cursors.len() != self.n_feeds {
+            return Err(JsonError::new(format!(
+                "checkpoint has {} feed cursors, this topology tails {}",
+                raw_cursors.len(),
+                self.n_feeds
+            )));
+        }
+        let cursors = raw_cursors
+            .iter()
+            .map(FeedCursor::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let stats = ShardStats::from_json(value.field("stats")?)?;
         let breaker = CircuitBreaker::from_json(value.field("breaker")?)?;
+        let unmerged = value
+            .field("unmerged")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new("`unmerged` must be an array"))?
+            .iter()
+            .map(SeqAlarm::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
         let raw_drives = value
             .field("drives")?
             .as_arr()
@@ -712,44 +539,35 @@ impl Engine {
                 return Err(JsonError::new(format!("drive {id} appears twice")));
             }
         }
-        self.processed_offset = offset;
-        self.generation = generation;
+        self.cursors = cursors;
         self.stats = stats;
         self.breaker = breaker;
+        self.unmerged = unmerged;
         self.drives = drives;
         Ok(())
     }
 }
 
-/// Drop samples too old for any feature lookback from `newest`: a sample
-/// is kept iff `hour + lookback >= newest.hour`, exactly the
-/// `change_rate_at` search bound, so extraction over the pruned history
-/// is bit-identical to extraction over the full series.
-fn prune_history(history: &mut Vec<SmartSample>, lookback: u32) {
-    if let Some(newest) = history.last().map(|s| s.hour.0) {
-        history.retain(|s| s.hour.0 + lookback >= newest);
-    }
-}
-
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use hdd_cart::classifier::ClassificationTreeBuilder;
     use hdd_cart::sample::{Class, ClassSample};
     use hdd_eval::VotingDetector;
     use hdd_smart::csv::{write_header, write_series};
     use hdd_smart::rng::DeterministicRng;
-    use hdd_smart::{DatasetGenerator, FamilyProfile};
+    use hdd_smart::{DatasetGenerator, FamilyProfile, Hour, NUM_ATTRIBUTES};
+    use hdd_stats::FeatureSet;
 
     const VOTERS: usize = 11;
 
-    fn fleet() -> Vec<SmartSeries> {
+    pub(crate) fn fleet() -> Vec<SmartSeries> {
         let ds = DatasetGenerator::new(FamilyProfile::w().scaled(0.004), 99).generate();
         ds.drives().iter().map(|spec| ds.series(spec)).collect()
     }
 
     /// Train a small CT on the fleet, mirroring the CLI's training set.
-    fn model(series: &[SmartSeries], features: &FeatureSet) -> SavedModel {
+    pub(crate) fn model(series: &[SmartSeries], features: &FeatureSet) -> SavedModel {
         let rng = DeterministicRng::new(0x5EED);
         let mut samples = Vec::new();
         for (d, s) in series.iter().enumerate() {
@@ -779,44 +597,67 @@ mod tests {
         SavedModel::from(tree.compile())
     }
 
-    /// CSV-encode a fleet and split it into tagged feed lines.
-    fn feed_lines(series: &[SmartSeries]) -> Vec<FeedLine> {
+    /// CSV-encode a fleet and split it into single-feed routed lines.
+    pub(crate) fn feed_lines(series: &[SmartSeries]) -> Vec<RoutedLine> {
         let mut buf = Vec::new();
         write_header(&mut buf).unwrap();
         for s in series {
             write_series(&mut buf, s).unwrap();
         }
         let text = String::from_utf8(buf).unwrap();
-        let mut lines = Vec::new();
-        let mut offset = 0u64;
-        for line in text.lines() {
-            offset += line.len() as u64 + 1;
-            lines.push(FeedLine {
-                text: line.to_string(),
-                end_offset: offset,
-                generation: 0,
-            });
-        }
-        lines
+        routed(
+            &text
+                .lines()
+                .filter(|l| !hdd_smart::csv::is_header_line(l))
+                .map(str::to_string)
+                .collect::<Vec<_>>(),
+        )
     }
 
-    fn engine(model: SavedModel, features: &FeatureSet) -> Engine {
-        Engine::new(
-            model,
+    fn shard(model: SavedModel, features: &FeatureSet) -> EngineShard {
+        EngineShard::new(
+            Arc::new(model),
             features.clone(),
             EngineConfig::new(VOTERS, VotingRule::Majority, 0.1),
+            1,
         )
         .unwrap()
     }
 
-    /// Run lines through an engine in batches of `batch`, concatenating
-    /// the emitted alarms.
-    fn run(engine: &mut Engine, lines: &[FeedLine], batch: usize) -> Vec<Alarm> {
+    /// Tag plain text lines as a single feed's routed lines: seq = line
+    /// index, offsets cumulative.
+    pub(crate) fn routed(lines: &[String]) -> Vec<RoutedLine> {
+        let mut offset = 0u64;
+        lines
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                offset += text.len() as u64 + 1;
+                RoutedLine {
+                    seq: i as u64,
+                    text: text.clone(),
+                    end_offset: offset,
+                    generation: 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Run lines through a shard in batches of `batch`, concatenating
+    /// the produced alarms.
+    fn run(shard: &mut EngineShard, lines: &[RoutedLine], batch: usize) -> Vec<Alarm> {
         let pool = ThreadPool::global();
         let token = CancelToken::new();
         let mut alarms = Vec::new();
         for chunk in lines.chunks(batch.max(1)) {
-            alarms.extend(engine.process(&pool, &token, chunk).unwrap().alarms);
+            alarms.extend(
+                shard
+                    .process(&pool, &token, chunk)
+                    .unwrap()
+                    .alarms
+                    .iter()
+                    .map(|a| a.alarm),
+            );
         }
         alarms
     }
@@ -828,7 +669,7 @@ mod tests {
         let model = model(&series, &features);
         let lines = feed_lines(&series);
 
-        let mut eng = engine(model.clone(), &features);
+        let mut eng = shard(model.clone(), &features);
         let streamed = run(&mut eng, &lines, 37);
 
         let detector = VotingDetector::new(&model, &features, VOTERS, VotingRule::Majority);
@@ -844,6 +685,7 @@ mod tests {
         assert!(!expected.is_empty(), "fleet must produce reference alarms");
         assert_eq!(streamed, expected);
         assert_eq!(eng.stats().rows_seen, eng.stats().rows_accepted);
+        assert_eq!(eng.unmerged().len(), expected.len(), "alarms buffered");
     }
 
     #[test]
@@ -852,9 +694,9 @@ mod tests {
         let series = fleet();
         let model = model(&series, &features);
         let lines = feed_lines(&series);
-        let reference = run(&mut engine(model.clone(), &features), &lines, usize::MAX);
+        let reference = run(&mut shard(model.clone(), &features), &lines, usize::MAX);
         for batch in [1, 3, 64] {
-            let mut eng = engine(model.clone(), &features);
+            let mut eng = shard(model.clone(), &features);
             assert_eq!(run(&mut eng, &lines, batch), reference, "batch={batch}");
         }
     }
@@ -866,17 +708,17 @@ mod tests {
         let model = model(&series, &features);
         let lines = feed_lines(&series);
 
-        let mut reference_engine = engine(model.clone(), &features);
-        let reference = run(&mut reference_engine, &lines, 64);
-        let reference_state = hdd_json::to_string(&reference_engine.state_to_json());
+        let mut reference_shard = shard(model.clone(), &features);
+        let reference = run(&mut reference_shard, &lines, 64);
+        let reference_state = hdd_json::to_string(&reference_shard.state_to_json());
 
         for split in [0, 1, 17, lines.len() / 2, lines.len() - 1] {
-            let mut first = engine(model.clone(), &features);
+            let mut first = shard(model.clone(), &features);
             let mut alarms = run(&mut first, &lines[..split], 64);
             let snapshot = first.state_to_json();
             // Serialize through text, like a real checkpoint file.
             let restored = hdd_json::parse(&hdd_json::to_string(&snapshot)).unwrap();
-            let mut second = engine(model.clone(), &features);
+            let mut second = shard(model.clone(), &features);
             second.restore_state(&restored).unwrap();
             alarms.extend(run(&mut second, &lines[split..], 64));
             assert_eq!(alarms, reference, "split at line {split}");
@@ -888,11 +730,75 @@ mod tests {
         }
     }
 
-    /// An engine whose rule alarms on any full window, so alarm flow can
+    #[test]
+    fn replayed_lines_have_zero_state_effect() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = model(&series, &features);
+        let lines = feed_lines(&series);
+        let pool = ThreadPool::global();
+        let token = CancelToken::new();
+
+        let mut reference_shard = shard(model.clone(), &features);
+        run(&mut reference_shard, &lines, 64);
+        let reference_state = hdd_json::to_string(&reference_shard.state_to_json());
+
+        // Replay the whole feed with a stale prefix: the first half is
+        // fed twice, exactly what a crash-resume with an old ingest
+        // cursor does.
+        let mut eng = shard(model.clone(), &features);
+        run(&mut eng, &lines[..lines.len() / 2], 64);
+        let mut replay = lines[..lines.len() / 2].to_vec();
+        replay.extend_from_slice(&lines);
+        let mut replayed = 0usize;
+        for chunk in replay.chunks(64) {
+            replayed += eng.process(&pool, &token, chunk).unwrap().replayed;
+        }
+        assert_eq!(replayed, lines.len(), "the stale prefix is skipped");
+        assert_eq!(
+            hdd_json::to_string(&eng.state_to_json()),
+            reference_state,
+            "replay must not disturb counters, breaker or voting"
+        );
+    }
+
+    #[test]
+    fn adopt_cursors_is_monotone() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = model(&series, &features);
+        let mut eng = EngineShard::new(
+            Arc::new(model),
+            features.clone(),
+            EngineConfig::new(VOTERS, VotingRule::Majority, 0.1),
+            2,
+        )
+        .unwrap();
+        let ahead = [
+            FeedCursor {
+                next_line: 5,
+                offset: 500,
+                generation: 0,
+            },
+            FeedCursor {
+                next_line: 2,
+                offset: 120,
+                generation: 1,
+            },
+        ];
+        assert!(eng.adopt_cursors(&ahead));
+        assert_eq!(eng.cursors(), &ahead);
+        // A stale snapshot moves nothing.
+        let behind = [FeedCursor::default(), FeedCursor::default()];
+        assert!(!eng.adopt_cursors(&behind));
+        assert_eq!(eng.cursors(), &ahead);
+    }
+
+    /// A shard whose rule alarms on any full window, so alarm flow can
     /// be tested without caring what the model outputs.
-    fn always_alarm_engine(features: &FeatureSet, model: SavedModel) -> Engine {
-        Engine::new(
-            model,
+    fn always_alarm_shard(features: &FeatureSet, model: SavedModel) -> EngineShard {
+        EngineShard::new(
+            Arc::new(model),
             features.clone(),
             EngineConfig {
                 voters: 3,
@@ -905,12 +811,13 @@ mod tests {
                     cooldown: 16,
                 },
             },
+            1,
         )
         .unwrap()
     }
 
     /// A well-formed good-drive row.
-    fn data_row(drive: u32, hour: u32) -> String {
+    pub(crate) fn data_row(drive: u32, hour: u32) -> String {
         let mut out = format!("{drive},0,,{hour}");
         for i in 0..NUM_ATTRIBUTES {
             out.push_str(&format!(",{}", i + 1));
@@ -918,40 +825,29 @@ mod tests {
         out
     }
 
-    fn tagged(lines: &[String]) -> Vec<FeedLine> {
-        let mut offset = 0u64;
-        lines
-            .iter()
-            .map(|text| {
-                offset += text.len() as u64 + 1;
-                FeedLine {
-                    text: text.clone(),
-                    end_offset: offset,
-                    generation: 0,
-                }
-            })
-            .collect()
-    }
-
     #[test]
     fn degraded_mode_suppresses_alarms_and_recovers() {
         let features = FeatureSet::critical13();
         let series = fleet();
         let model = model(&series, &features);
-        let mut eng = always_alarm_engine(&features, model);
+        let mut eng = always_alarm_shard(&features, model);
         let pool = ThreadPool::global();
         let token = CancelToken::new();
 
         // Trip the breaker (4-row window, 0.25 ceiling, cooldown 16).
         let garbage: Vec<String> = (0..4).map(|i| format!("garbage-{i}")).collect();
-        let outcome = eng.process(&pool, &token, &tagged(&garbage)).unwrap();
+        let outcome = eng.process(&pool, &token, &routed(&garbage)).unwrap();
         assert_eq!(outcome.transitions.len(), 1);
         assert!(eng.breaker_state() != BreakerState::Healthy);
 
         // Drive 7 would alarm at hour 8 (3 scored samples from hour 6);
-        // while degraded the decision is suppressed and counted.
-        let rows: Vec<String> = (0..=8).map(|h| data_row(7, h)).collect();
-        let outcome = eng.process(&pool, &token, &tagged(&rows)).unwrap();
+        // while degraded the decision is suppressed and counted. Seqs
+        // continue after the garbage batch.
+        let mut all: Vec<String> = garbage.clone();
+        all.extend((0..=8).map(|h| data_row(7, h)));
+        let outcome = eng
+            .process(&pool, &token, &routed(&all)[garbage.len()..])
+            .unwrap();
         assert!(outcome.alarms.is_empty(), "degraded mode must suppress");
         assert!(eng.stats().alarms_suppressed >= 1);
 
@@ -959,11 +855,12 @@ mod tests {
         // 15) and the probation (healthy at hour 19); the drive was
         // never latched, so the first vote after suppression ends fires
         // for real, exactly once.
-        let more: Vec<String> = (9..40).map(|h| data_row(7, h)).collect();
-        let outcome = eng.process(&pool, &token, &tagged(&more)).unwrap();
+        all.extend((9..40).map(|h| data_row(7, h)));
+        let start = all.len() - 31;
+        let outcome = eng.process(&pool, &token, &routed(&all)[start..]).unwrap();
         assert_eq!(eng.breaker_state(), BreakerState::Healthy);
         assert_eq!(
-            outcome.alarms,
+            outcome.alarms.iter().map(|a| a.alarm).collect::<Vec<_>>(),
             vec![Alarm { drive: 7, hour: 15 }],
             "first vote after recovery fires once"
         );
@@ -976,7 +873,7 @@ mod tests {
         let features = FeatureSet::critical13();
         let series = fleet();
         let model = model(&series, &features);
-        let mut eng = engine(model, &features);
+        let mut eng = shard(model, &features);
         let pool = ThreadPool::global();
         let token = CancelToken::new();
 
@@ -990,7 +887,7 @@ mod tests {
             failed_row,     // class conflict
             data_row(5, 3),
         ];
-        let outcome = eng.process(&pool, &token, &tagged(&lines)).unwrap();
+        let outcome = eng.process(&pool, &token, &routed(&lines)).unwrap();
         assert!(outcome.alarms.is_empty());
         let stats = eng.stats();
         assert_eq!(stats.rows_seen, 6);
@@ -1000,52 +897,26 @@ mod tests {
     }
 
     #[test]
-    fn mid_stream_headers_count_as_rotations() {
-        let features = FeatureSet::critical13();
-        let series = fleet();
-        let model = model(&series, &features);
-        let mut eng = engine(model, &features);
-        let pool = ThreadPool::global();
-        let token = CancelToken::new();
-
-        let mut buf = Vec::new();
-        write_header(&mut buf).unwrap();
-        let header = String::from_utf8(buf).unwrap().trim_end().to_string();
-        let lines = vec![
-            header.clone(), // expected at start: not a rotation
-            data_row(1, 1),
-            header.clone(), // mid-stream: rotation marker
-            data_row(1, 2),
-            String::new(), // blank: ignored
-        ];
-        eng.process(&pool, &token, &tagged(&lines)).unwrap();
-        let stats = eng.stats();
-        assert_eq!(stats.rotations, 1);
-        assert_eq!(stats.rows_seen, 2);
-        eng.note_rotation();
-        assert_eq!(eng.stats().rotations, 2);
-    }
-
-    #[test]
     fn cancelled_batch_commits_nothing() {
         let features = FeatureSet::critical13();
         let series = fleet();
         let model = model(&series, &features);
-        let mut eng = engine(model, &features);
+        let mut eng = shard(model, &features);
         let pool = ThreadPool::global();
 
-        let lines = tagged(&(0..20).map(|h| data_row(9, h)).collect::<Vec<_>>());
+        let lines = routed(&(0..20).map(|h| data_row(9, h)).collect::<Vec<_>>());
         let token = CancelToken::new();
         token.cancel();
         let err = eng.process(&pool, &token, &lines).unwrap_err();
         assert!(matches!(err, ParError::Cancelled), "{err}");
-        assert_eq!(eng.stats(), ServeStats::default(), "nothing committed");
-        assert_eq!(eng.processed_offset(), 0);
+        assert_eq!(eng.stats(), ShardStats::default(), "nothing committed");
+        assert_eq!(eng.cursors()[0], FeedCursor::default());
 
         // The identical retry under a fresh token commits normally.
         let retried = eng.process(&pool, &CancelToken::new(), &lines).unwrap();
         let _ = retried;
         assert_eq!(eng.stats().rows_seen, 20);
+        assert_eq!(eng.cursors()[0].next_line, 20);
     }
 
     #[test]
@@ -1053,7 +924,7 @@ mod tests {
         let features = FeatureSet::critical13();
         let series = fleet();
         let m = model(&series, &features);
-        let mut eng = engine(m.clone(), &features);
+        let mut eng = shard(m.clone(), &features);
 
         // A 2-feature model cannot replace a 13-feature one.
         let narrow_samples: Vec<ClassSample> = (0..100)
@@ -1067,15 +938,10 @@ mod tests {
             .build(&narrow_samples)
             .unwrap();
         let err = eng
-            .swap_model(SavedModel::from(narrow.compile()))
+            .swap_model(Arc::new(SavedModel::from(narrow.compile())))
             .unwrap_err();
         assert!(matches!(err, ModelError::FeatureMismatch { .. }), "{err}");
-        eng.note_reload_failure();
-        assert_eq!(eng.stats().reload_failures, 1);
-        assert_eq!(eng.stats().model_reloads, 0);
-
-        eng.swap_model(m).unwrap();
-        assert_eq!(eng.stats().model_reloads, 1);
+        eng.swap_model(Arc::new(m)).unwrap();
     }
 
     #[test]
@@ -1083,11 +949,17 @@ mod tests {
         let features = FeatureSet::critical13();
         let series = fleet();
         let model = model(&series, &features);
-        let mut eng = engine(model, &features);
+        let mut eng = shard(model, &features);
         let good = hdd_json::to_string(&eng.state_to_json());
         for bad in [
-            good.replacen("\"offset\"", "\"offzet\"", 1),
+            good.replacen("\"cursors\"", "\"cursers\"", 1),
             good.replacen("\"drives\":[]", "\"drives\":7", 1),
+            // Wrong feed count: one cursor expected, two given.
+            good.replacen(
+                "\"cursors\":[",
+                "\"cursors\":[{\"next_line\":0,\"offset\":0,\"generation\":0},",
+                1,
+            ),
         ] {
             assert!(
                 eng.restore_state(&hdd_json::parse(&bad).unwrap()).is_err(),

@@ -1,0 +1,371 @@
+//! Multi-feed ingest: tail several CSV feeds, route lines to shards.
+//!
+//! Every routed line gets a **sequence number** that is a pure function
+//! of feed content: line number `c` of feed `f` (counting only routed
+//! lines — headers and blanks are consumed here) gets
+//! `seq = c * n_feeds + f`. Seqs are what make the topology
+//! deterministic end to end: shards skip already-committed lines on
+//! replay by comparing `c` against their per-feed cursors, and the merge
+//! stage orders alarms across shards by the seq of the line that raised
+//! them, so the alarm sink does not depend on shard count or on how
+//! polls interleaved the feeds.
+//!
+//! The seq construction also yields an exact ingest **watermark**: with
+//! `routed[f]` lines routed from feed `f`, every seq below
+//! `min_f(routed[f] * n_feeds + f)` has been assigned, and the seq at
+//! that bound has not — the merge stage never emits an alarm a
+//! slower feed could still undercut (see [`crate::merge`] for the idle
+//! flush that handles permanently shorter feeds).
+//!
+//! Header and blank lines are consumed at this layer rather than routed:
+//! they carry no drive id, so no shard owns them, and a shard's byte
+//! offsets are non-contiguous anyway. A header at byte zero of a
+//! generation is the expected file header; one appearing mid-stream
+//! marks a copy-truncate rotation, reported (like tailer-detected
+//! shrinkage) in [`PollOutcome::rotations`].
+
+use crate::router::ShardRouter;
+use crate::tailer::{FeedTailer, TailEvent};
+use hdd_json::{JsonCodec, JsonError, Value};
+use hdd_smart::csv::is_header_line;
+use std::path::PathBuf;
+
+/// One feed line routed to its owning shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedLine {
+    /// Global order key: `line_index * n_feeds + feed_index`.
+    pub seq: u64,
+    /// The line's text (no terminator).
+    pub text: String,
+    /// Feed offset just past this line.
+    pub end_offset: u64,
+    /// Rotation generation the offset belongs to.
+    pub generation: u64,
+}
+
+/// A resumable position in one feed: the next routed-line index plus the
+/// byte position it corresponds to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedCursor {
+    /// Index of the next routed line of this feed (its seq is
+    /// `next_line * n_feeds + feed_index`).
+    pub next_line: u64,
+    /// Byte offset tailing resumes at.
+    pub offset: u64,
+    /// Rotation generation the offset belongs to.
+    pub generation: u64,
+}
+
+impl FeedCursor {
+    /// Total order matching feed progress: later positions compare
+    /// greater. `next_line` is monotone across rotations, so it leads.
+    #[must_use]
+    pub fn position_key(&self) -> (u64, u64, u64) {
+        (self.next_line, self.generation, self.offset)
+    }
+}
+
+impl JsonCodec for FeedCursor {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("next_line".to_string(), Value::Num(self.next_line as f64)),
+            ("offset".to_string(), Value::Num(self.offset as f64)),
+            ("generation".to_string(), Value::Num(self.generation as f64)),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(FeedCursor {
+            next_line: value.usize_field("next_line")? as u64,
+            offset: value.usize_field("offset")? as u64,
+            generation: value.usize_field("generation")? as u64,
+        })
+    }
+}
+
+/// What one ingest poll produced.
+#[derive(Debug, Default)]
+pub struct PollOutcome {
+    /// Routed lines grouped by owning shard (`routed[k]` → shard `k`),
+    /// in routing order.
+    pub routed: Vec<Vec<RoutedLine>>,
+    /// Data lines routed this poll (headers and blanks excluded).
+    pub lines_read: usize,
+    /// Rotations observed this poll (file shrinkage + mid-stream
+    /// headers).
+    pub rotations: usize,
+    /// Feeds whose poll failed, with the error; the other feeds still
+    /// made progress and the failed ones retry next poll.
+    pub errors: Vec<(usize, std::io::Error)>,
+}
+
+/// Tails `n_feeds` append-only CSV feeds and routes complete lines to
+/// their owning shards; see the module docs.
+#[derive(Debug)]
+pub struct MultiFeedIngest {
+    tailers: Vec<FeedTailer>,
+    /// Per feed: index of the next routed line.
+    routed: Vec<u64>,
+    /// Per feed: byte position just past the last consumed line, used to
+    /// tell a file-start header from a mid-stream (rotation) header.
+    pos: Vec<u64>,
+    router: ShardRouter,
+}
+
+impl MultiFeedIngest {
+    /// Tail `paths` from the beginning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty.
+    #[must_use]
+    pub fn new(paths: &[PathBuf], router: ShardRouter) -> Self {
+        let cursors = vec![FeedCursor::default(); paths.len()];
+        MultiFeedIngest::resume(paths, router, &cursors)
+    }
+
+    /// Tail `paths` from per-feed cursors (one per path, typically the
+    /// minimum over shard checkpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty or `cursors` has a different length.
+    #[must_use]
+    pub fn resume(paths: &[PathBuf], router: ShardRouter, cursors: &[FeedCursor]) -> Self {
+        assert!(!paths.is_empty(), "at least one feed is required");
+        assert_eq!(paths.len(), cursors.len(), "one cursor per feed");
+        MultiFeedIngest {
+            tailers: paths
+                .iter()
+                .zip(cursors)
+                .map(|(p, c)| FeedTailer::resume(p, c.offset, c.generation))
+                .collect(),
+            routed: cursors.iter().map(|c| c.next_line).collect(),
+            pos: cursors.iter().map(|c| c.offset).collect(),
+            router,
+        }
+    }
+
+    /// How many feeds are being tailed.
+    #[must_use]
+    pub fn n_feeds(&self) -> usize {
+        self.tailers.len()
+    }
+
+    /// The current per-feed positions — the snapshot shards adopt once
+    /// their queue drains.
+    #[must_use]
+    pub fn cursors(&self) -> Vec<FeedCursor> {
+        self.tailers
+            .iter()
+            .zip(&self.routed)
+            .map(|(t, &next_line)| FeedCursor {
+                next_line,
+                offset: t.offset(),
+                generation: t.generation(),
+            })
+            .collect()
+    }
+
+    /// The exact assignment frontier: every seq below it has been
+    /// routed, the seq at it has not.
+    #[must_use]
+    pub fn watermark(&self) -> u64 {
+        let n = self.tailers.len() as u64;
+        self.routed
+            .iter()
+            .enumerate()
+            .map(|(f, &c)| c * n + f as u64)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Poll every feed in order, routing at most `budget` data lines in
+    /// total (callers pass the minimum free shard-queue capacity, so no
+    /// shard can overflow no matter how routing lands).
+    pub fn poll(&mut self, budget: usize) -> PollOutcome {
+        let n_feeds = self.tailers.len() as u64;
+        let mut out = PollOutcome {
+            routed: (0..self.router.n_shards()).map(|_| Vec::new()).collect(),
+            ..PollOutcome::default()
+        };
+        let mut remaining = budget;
+        for f in 0..self.tailers.len() {
+            if remaining == 0 {
+                break;
+            }
+            let events = match self.tailers[f].poll(remaining) {
+                Ok(events) => events,
+                Err(e) => {
+                    out.errors.push((f, e));
+                    continue;
+                }
+            };
+            for event in events {
+                match event {
+                    TailEvent::Rotation => {
+                        out.rotations += 1;
+                        self.pos[f] = 0;
+                    }
+                    TailEvent::Line { text, end_offset } => {
+                        let line_start = self.pos[f];
+                        self.pos[f] = end_offset;
+                        if text.trim().is_empty() {
+                            continue;
+                        }
+                        if is_header_line(&text) {
+                            // Expected at a generation's start; a header
+                            // mid-stream marks a copy-truncate rotation.
+                            if line_start != 0 {
+                                out.rotations += 1;
+                            }
+                            continue;
+                        }
+                        let seq = self.routed[f] * n_feeds + f as u64;
+                        self.routed[f] += 1;
+                        remaining -= 1;
+                        out.lines_read += 1;
+                        let shard = self.router.shard_of_line(&text);
+                        out.routed[shard].push(RoutedLine {
+                            seq,
+                            text,
+                            end_offset,
+                            generation: self.tailers[f].generation(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hdd-serve-ingest-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(tag);
+        fs::remove_file(&path).ok();
+        path
+    }
+
+    fn header() -> String {
+        let mut buf = Vec::new();
+        hdd_smart::csv::write_header(&mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn seqs_interleave_feeds_deterministically() {
+        let a = scratch("interleave-a.csv");
+        let b = scratch("interleave-b.csv");
+        fs::write(&a, "1,x\n2,x\n3,x\n").unwrap();
+        fs::write(&b, "4,y\n5,y\n").unwrap();
+        let mut ingest = MultiFeedIngest::new(&[a.clone(), b.clone()], ShardRouter::new(1));
+        let out = ingest.poll(64);
+        assert!(out.errors.is_empty());
+        assert_eq!(out.lines_read, 5);
+        let seqs: Vec<(u64, String)> = out.routed[0]
+            .iter()
+            .map(|l| (l.seq, l.text.clone()))
+            .collect();
+        // Feed 0 line c → seq 2c; feed 1 line c → seq 2c+1.
+        assert_eq!(
+            seqs,
+            vec![
+                (0, "1,x".to_string()),
+                (2, "2,x".to_string()),
+                (4, "3,x".to_string()),
+                (1, "4,y".to_string()),
+                (3, "5,y".to_string()),
+            ]
+        );
+        // Watermark: feed 1 routed 2 lines, so seq 2*2+1 = 5 is the
+        // first unassigned seq on the slower feed.
+        assert_eq!(ingest.watermark(), 5);
+    }
+
+    #[test]
+    fn headers_and_blanks_are_consumed_not_routed() {
+        let a = scratch("headers.csv");
+        fs::write(&a, format!("{}7,z\n\n8,z\n", header())).unwrap();
+        let mut ingest = MultiFeedIngest::new(std::slice::from_ref(&a), ShardRouter::new(1));
+        let out = ingest.poll(64);
+        assert_eq!(out.lines_read, 2);
+        assert_eq!(out.rotations, 0, "the file-start header is expected");
+        let texts: Vec<&str> = out.routed[0].iter().map(|l| l.text.as_str()).collect();
+        assert_eq!(texts, vec!["7,z", "8,z"]);
+    }
+
+    #[test]
+    fn mid_stream_header_counts_as_rotation() {
+        let a = scratch("midheader.csv");
+        fs::write(&a, format!("{h}9,z\n{h}10,z\n", h = header())).unwrap();
+        let mut ingest = MultiFeedIngest::new(std::slice::from_ref(&a), ShardRouter::new(1));
+        let out = ingest.poll(64);
+        assert_eq!(out.rotations, 1);
+        assert_eq!(out.lines_read, 2);
+    }
+
+    #[test]
+    fn resume_from_cursor_skips_consumed_prefix() {
+        let a = scratch("resume.csv");
+        fs::write(&a, "1,x\n2,x\n3,x\n").unwrap();
+        let mut first = MultiFeedIngest::new(std::slice::from_ref(&a), ShardRouter::new(1));
+        let out = first.poll(2);
+        assert_eq!(out.lines_read, 2);
+        let cursors = first.cursors();
+        assert_eq!(cursors[0].next_line, 2);
+
+        let mut resumed =
+            MultiFeedIngest::resume(std::slice::from_ref(&a), ShardRouter::new(1), &cursors);
+        let out = resumed.poll(64);
+        assert_eq!(out.lines_read, 1);
+        assert_eq!(out.routed[0][0].seq, 2);
+        assert_eq!(out.routed[0][0].text, "3,x");
+    }
+
+    #[test]
+    fn budget_caps_total_lines_across_feeds() {
+        let a = scratch("budget-a.csv");
+        let b = scratch("budget-b.csv");
+        fs::write(&a, "1,x\n2,x\n3,x\n").unwrap();
+        fs::write(&b, "4,y\n5,y\n").unwrap();
+        let mut ingest = MultiFeedIngest::new(&[a.clone(), b.clone()], ShardRouter::new(2));
+        let out = ingest.poll(3);
+        assert_eq!(out.lines_read, 3);
+        let total: usize = out.routed.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+        // The rest arrives on the next poll.
+        let out = ingest.poll(64);
+        assert_eq!(out.lines_read, 2);
+    }
+
+    #[test]
+    fn missing_feed_is_no_data_not_an_error() {
+        let missing = scratch("never-written.csv");
+        let mut ingest = MultiFeedIngest::new(&[missing], ShardRouter::new(1));
+        let out = ingest.poll(16);
+        assert!(out.errors.is_empty());
+        assert_eq!(out.lines_read, 0);
+    }
+
+    #[test]
+    fn cursor_codec_round_trips() {
+        let c = FeedCursor {
+            next_line: 7,
+            offset: 123,
+            generation: 2,
+        };
+        let text = hdd_json::to_string(&c.to_json());
+        assert_eq!(
+            FeedCursor::from_json(&hdd_json::parse(&text).unwrap()).unwrap(),
+            c
+        );
+        assert!(c.position_key() > FeedCursor::default().position_key());
+    }
+}

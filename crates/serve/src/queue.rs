@@ -80,6 +80,11 @@ impl<T> BoundedQueue<T> {
         evicted
     }
 
+    /// The queued items oldest-first, without reordering the buffer.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
     /// The queued items oldest-first as one slice (reorders the internal
     /// buffer if it has wrapped).
     pub fn make_contiguous(&mut self) -> &[T] {

@@ -7,9 +7,16 @@
 //! it can touch the serving path. On rejection the watcher reports the
 //! error and the engine keeps scoring with the previous model; a later
 //! valid replacement is picked up normally.
+//!
+//! One watcher serves the whole topology: the file is stat'd and loaded
+//! once per change, the accept/last-known-good decision is made once,
+//! and every shard receives a clone of the same [`Arc`]'d model — shard
+//! counts cannot multiply reload I/O or, worse, let shards disagree
+//! about which model generation they score with.
 
 use hdd_eval::{ModelError, SavedModel};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::SystemTime;
 
 /// A model file's change-detection fingerprint.
@@ -44,22 +51,20 @@ impl ModelWatcher {
     }
 
     /// Check for a change. `None` means unchanged; `Some(Ok(model))` is
-    /// a validated replacement ready to swap in; `Some(Err(_))` is a
-    /// changed file that failed validation — the caller keeps its
-    /// current model (last-known-good) and should log the error.
+    /// a validated replacement ready to hand to every shard;
+    /// `Some(Err(_))` is a changed file that failed validation — the
+    /// caller keeps its current model (last-known-good) and should log
+    /// the error.
     ///
     /// A failed load still advances the fingerprint, so one bad
     /// replacement is reported once, not on every poll.
-    pub fn poll(&mut self) -> Option<Result<SavedModel, ModelError>> {
+    pub fn poll(&mut self) -> Option<Result<Arc<SavedModel>, ModelError>> {
         let now = stamp(&self.path)?;
         if Some(now) == self.last {
             return None;
         }
         self.last = Some(now);
-        Some(SavedModel::load_expecting(
-            &self.path,
-            self.expected_features,
-        ))
+        Some(SavedModel::load_expecting(&self.path, self.expected_features).map(Arc::new))
     }
 }
 
@@ -123,7 +128,7 @@ mod tests {
         // Rewrite the same document; the mtime moves the fingerprint.
         overwrite(&path, &std::fs::read(&path).unwrap(), before);
         match w.poll() {
-            Some(Ok(loaded)) => assert_eq!(loaded, m),
+            Some(Ok(loaded)) => assert_eq!(*loaded, m),
             other => panic!("expected a loaded model, got {other:?}"),
         }
         std::fs::remove_file(&path).ok();

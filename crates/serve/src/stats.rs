@@ -1,0 +1,163 @@
+//! Per-shard row counters.
+//!
+//! [`ShardStats`] holds only the counters that advance when a *committed
+//! line* advances shard state — they are part of the checkpointed,
+//! replay-exact shard state, so a killed-and-resumed shard reports the
+//! same numbers as an uninterrupted one. Daemon-level operational
+//! counters (rotations, queue drops, model reloads, replayed lines) are
+//! deliberately *not* here: they describe the process, not the stream,
+//! and live as plain counters in the serve loop.
+
+use hdd_json::{JsonCodec, JsonError, Value};
+
+/// Row-level counters for one shard, serialized into its checkpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Data rows seen (header and blank lines excluded).
+    pub rows_seen: usize,
+    /// Rows accepted into a drive's history.
+    pub rows_accepted: usize,
+    /// Rows that failed structural parsing.
+    pub parse_failures: usize,
+    /// Rows carrying NaN or infinite values.
+    pub non_finite_rows: usize,
+    /// Rows with values outside the plausible range.
+    pub out_of_range_rows: usize,
+    /// Rows contradicting their drive's class metadata.
+    pub conflicting_rows: usize,
+    /// Rows at or before their drive's latest seen hour (late arrivals
+    /// and duplicates; streaming is first-write-wins).
+    pub stale_rows: usize,
+    /// Alarms this shard produced (before the topology merge).
+    pub alarms_emitted: usize,
+    /// Alarm decisions suppressed while degraded.
+    pub alarms_suppressed: usize,
+}
+
+impl ShardStats {
+    /// Rows dropped as unusable (the breaker's numerator).
+    #[must_use]
+    pub fn quarantined_rows(&self) -> usize {
+        self.parse_failures + self.non_finite_rows + self.out_of_range_rows + self.conflicting_rows
+    }
+
+    /// Element-wise sum, for topology-wide status reporting.
+    #[must_use]
+    pub fn merged(&self, other: &ShardStats) -> ShardStats {
+        let mut out = *self;
+        for (_, get, get_mut) in &STAT_FIELDS {
+            *get_mut(&mut out) += *get(other);
+        }
+        out
+    }
+}
+
+/// Shared accessor type for one [`STAT_FIELDS`] entry.
+type StatGet = fn(&ShardStats) -> &usize;
+/// Mutable accessor type for one [`STAT_FIELDS`] entry.
+type StatGetMut = fn(&mut ShardStats) -> &mut usize;
+
+/// One entry of [`STAT_FIELDS`]: a stats counter's JSON key plus its
+/// shared and mutable accessors.
+type StatField = (&'static str, StatGet, StatGetMut);
+
+/// `(json key, accessor)` for every stats counter — one table drives the
+/// codec in both directions so a field can't be forgotten in one of them.
+const STAT_FIELDS: [StatField; 9] = [
+    ("rows_seen", |s| &s.rows_seen, |s| &mut s.rows_seen),
+    (
+        "rows_accepted",
+        |s| &s.rows_accepted,
+        |s| &mut s.rows_accepted,
+    ),
+    (
+        "parse_failures",
+        |s| &s.parse_failures,
+        |s| &mut s.parse_failures,
+    ),
+    (
+        "non_finite_rows",
+        |s| &s.non_finite_rows,
+        |s| &mut s.non_finite_rows,
+    ),
+    (
+        "out_of_range_rows",
+        |s| &s.out_of_range_rows,
+        |s| &mut s.out_of_range_rows,
+    ),
+    (
+        "conflicting_rows",
+        |s| &s.conflicting_rows,
+        |s| &mut s.conflicting_rows,
+    ),
+    ("stale_rows", |s| &s.stale_rows, |s| &mut s.stale_rows),
+    (
+        "alarms_emitted",
+        |s| &s.alarms_emitted,
+        |s| &mut s.alarms_emitted,
+    ),
+    (
+        "alarms_suppressed",
+        |s| &s.alarms_suppressed,
+        |s| &mut s.alarms_suppressed,
+    ),
+];
+
+impl JsonCodec for ShardStats {
+    fn to_json(&self) -> Value {
+        Value::Obj(
+            STAT_FIELDS
+                .iter()
+                .map(|(key, get, _)| ((*key).to_string(), Value::Num(*get(self) as f64)))
+                .collect(),
+        )
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let mut stats = ShardStats::default();
+        for (key, _, get_mut) in &STAT_FIELDS {
+            *get_mut(&mut stats) = value.usize_field(key)?;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips_every_field() {
+        let mut stats = ShardStats::default();
+        for (i, (_, _, get_mut)) in STAT_FIELDS.iter().enumerate() {
+            *get_mut(&mut stats) = i + 1;
+        }
+        let back = ShardStats::from_json(&stats.to_json()).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let doc = ShardStats::default().to_json();
+        let text = hdd_json::to_string(&doc).replacen("\"stale_rows\"", "\"stole_rows\"", 1);
+        assert!(ShardStats::from_json(&hdd_json::parse(&text).unwrap()).is_err());
+    }
+
+    #[test]
+    fn merged_sums_element_wise() {
+        let a = ShardStats {
+            rows_seen: 3,
+            stale_rows: 1,
+            ..ShardStats::default()
+        };
+        let b = ShardStats {
+            rows_seen: 4,
+            alarms_emitted: 2,
+            ..ShardStats::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.rows_seen, 7);
+        assert_eq!(m.stale_rows, 1);
+        assert_eq!(m.alarms_emitted, 2);
+    }
+}

@@ -1,0 +1,996 @@
+//! The sharded serving topology: queues, tick fan-out, deterministic
+//! alarm merge, and the checkpoint directory protocol.
+//!
+//! A [`ServeTopology`] owns `n_shards` [`EngineShard`]s, each behind a
+//! bounded queue of [`RoutedLine`]s. One *tick* fans the shards out
+//! across the worker pool (each shard drains its queue in sub-batches),
+//! then runs the merge stage: every buffered alarm whose seq is below
+//! the topology **watermark** — the minimum of the ingest watermark and
+//! the smallest seq still queued anywhere — is emitted in seq order.
+//! Because routing, seqs and per-shard state are all pure functions of
+//! feed content, the emitted byte stream is identical at any shard
+//! count and any poll/tick interleaving (see DESIGN.md §8; the one
+//! caveat is quarantine suppression, which is per-shard by design).
+//!
+//! Checkpoints live in a **directory**: `topology.ckpt` holds the merge
+//! state (plus the shard/feed counts it was written for), and
+//! `shard-<k>.ckpt` holds shard `k`'s engine state. The save order —
+//! sink first, then `topology.ckpt`, then dirty shard files — is what
+//! makes a crash between any two writes recoverable: a shard file can
+//! only ever be *behind* the merge state, so replayed lines regenerate
+//! alarms that [`MergeState::already_emitted`] then filters out.
+//!
+//! Inside a tick the pool is spent on whichever axis has the
+//! parallelism: with one shard the engine scores its batches on the
+//! full pool; with several, shards run concurrently and each scores
+//! serially.
+
+use crate::breaker::BreakerState;
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointKind};
+use crate::engine::{EngineConfig, EngineShard, SeqAlarm};
+use crate::ingest::{FeedCursor, RoutedLine};
+use crate::merge::MergeState;
+use crate::queue::BoundedQueue;
+use crate::router::ShardRouter;
+use hdd_eval::{ModelError, SavedModel};
+use hdd_json::{JsonCodec, Value};
+use hdd_par::{CancelToken, ParError, ThreadPool};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Lines committed per engine call inside a tick, so deadline checks
+/// happen at a useful granularity.
+pub const SUB_BATCH_LINES: usize = 256;
+
+/// One shard plus its inbound queue.
+#[derive(Debug)]
+struct ShardSlot {
+    engine: EngineShard,
+    queue: BoundedQueue<RoutedLine>,
+    /// Whether the engine changed since its checkpoint file was written.
+    dirty: bool,
+}
+
+/// What one shard's fan-out slice of a tick produced.
+#[derive(Debug, Default)]
+struct SlotTickResult {
+    processed: usize,
+    replayed: usize,
+    transitions: Vec<BreakerState>,
+    /// A scoring panic (a bug); deadline/cancel just leave lines queued.
+    fatal: Option<ParError>,
+}
+
+/// What one topology tick produced.
+#[derive(Debug, Default)]
+pub struct TickOutcome {
+    /// Whether any line committed or any alarm was emitted (the serve
+    /// loop's idle test).
+    pub progressed: bool,
+    /// Alarms released by the merge stage this tick, in seq order —
+    /// append these to the sink *before* checkpointing.
+    pub alarms: Vec<SeqAlarm>,
+    /// Breaker transitions, tagged with the shard they happened on.
+    pub transitions: Vec<(usize, BreakerState)>,
+    /// Already-committed lines skipped during crash replay (operational
+    /// counter; zero state effect).
+    pub replayed: usize,
+}
+
+/// The path of the merge-state checkpoint inside `dir`.
+#[must_use]
+pub fn topology_path(dir: &Path) -> PathBuf {
+    dir.join("topology.ckpt")
+}
+
+/// The path of shard `k`'s checkpoint inside `dir`.
+#[must_use]
+pub fn shard_path(dir: &Path, k: usize) -> PathBuf {
+    dir.join(format!("shard-{k}.ckpt"))
+}
+
+/// `n_shards` engine shards behind bounded queues, with a deterministic
+/// merge stage; see the module docs.
+#[derive(Debug)]
+pub struct ServeTopology {
+    slots: Vec<ShardSlot>,
+    router: ShardRouter,
+    merge: MergeState,
+    n_feeds: usize,
+}
+
+impl ServeTopology {
+    /// A fresh topology of `n_shards` shards over `n_feeds` feeds, each
+    /// shard buffering at most `queue_capacity` routed lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::FeatureMismatch`] when the model does not
+    /// score the feature set's dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is not a power of two, `n_feeds` is zero, or
+    /// `queue_capacity` is zero (the CLI validates all three as usage
+    /// errors first).
+    pub fn new(
+        model: &Arc<SavedModel>,
+        features: &hdd_stats::FeatureSet,
+        config: EngineConfig,
+        n_shards: usize,
+        n_feeds: usize,
+        queue_capacity: usize,
+    ) -> Result<Self, ModelError> {
+        let router = ShardRouter::new(n_shards);
+        let mut slots = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            slots.push(ShardSlot {
+                engine: EngineShard::new(Arc::clone(model), features.clone(), config, n_feeds)?,
+                queue: BoundedQueue::new(queue_capacity),
+                dirty: false,
+            });
+        }
+        Ok(ServeTopology {
+            slots,
+            router,
+            merge: MergeState::new(),
+            n_feeds,
+        })
+    }
+
+    /// The router partitioning drive ids across these shards — build the
+    /// ingest with exactly this one.
+    #[must_use]
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// How many shards this topology runs.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// How many feeds this topology consumes.
+    #[must_use]
+    pub fn n_feeds(&self) -> usize {
+        self.n_feeds
+    }
+
+    /// The merge stage's durable state (low-water mark, early-flushed
+    /// seqs, checkpointed sink length).
+    #[must_use]
+    pub fn merge_state(&self) -> &MergeState {
+        &self.merge
+    }
+
+    /// The smallest free queue capacity across shards — the safe ingest
+    /// poll budget: however routing lands, no queue can overflow.
+    #[must_use]
+    pub fn free(&self) -> usize {
+        self.slots.iter().map(|s| s.queue.free()).min().unwrap_or(0)
+    }
+
+    /// Lines queued across all shards.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.slots.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Whether any shard still has queued lines.
+    #[must_use]
+    pub fn has_queued(&self) -> bool {
+        self.slots.iter().any(|s| !s.queue.is_empty())
+    }
+
+    /// Lines evicted from full queues since startup (zero as long as the
+    /// caller polls within [`ServeTopology::free`]).
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.slots.iter().map(|s| s.queue.dropped()).sum()
+    }
+
+    /// Merged counters across all shards.
+    #[must_use]
+    pub fn stats(&self) -> crate::stats::ShardStats {
+        let mut out = crate::stats::ShardStats::default();
+        for slot in &self.slots {
+            out = out.merged(&slot.engine.stats());
+        }
+        out
+    }
+
+    /// Per-shard counters, shard order — the monitoring view that makes
+    /// load skew visible (the merged roll-up is [`ServeTopology::stats`]).
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<crate::stats::ShardStats> {
+        self.slots.iter().map(|s| s.engine.stats()).collect()
+    }
+
+    /// Drives tracked across all shards (drive ids never cross shards,
+    /// so this is an exact count).
+    #[must_use]
+    pub fn tracked_drives(&self) -> usize {
+        self.slots.iter().map(|s| s.engine.tracked_drives()).sum()
+    }
+
+    /// Per-shard breaker states, shard order.
+    #[must_use]
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.slots
+            .iter()
+            .map(|s| s.engine.breaker_state())
+            .collect()
+    }
+
+    /// Enqueue one ingest poll's routing (`routed[k]` → shard `k`);
+    /// returns how many lines were evicted (zero when the poll budget
+    /// came from [`ServeTopology::free`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routed` does not have one bucket per shard.
+    pub fn enqueue(&mut self, routed: Vec<Vec<RoutedLine>>) -> usize {
+        assert_eq!(routed.len(), self.slots.len(), "one bucket per shard");
+        let before: usize = self.dropped();
+        for (slot, lines) in self.slots.iter_mut().zip(routed) {
+            for line in lines {
+                slot.queue.push(line);
+            }
+        }
+        self.dropped() - before
+    }
+
+    /// Run one tick: fan the shards out over `pool`, then emit every
+    /// alarm the watermark has cleared, in seq order.
+    ///
+    /// `ingest_cursors` / `ingest_watermark` are the ingest layer's
+    /// current positions ([`crate::ingest::MultiFeedIngest::cursors`] /
+    /// [`crate::ingest::MultiFeedIngest::watermark`]); shards whose
+    /// queues drained adopt the cursor snapshot so their checkpoints
+    /// track feed positions even through quiet stretches.
+    ///
+    /// Each shard commits its first sub-batch deadline-free (so a tight
+    /// tick budget degrades throughput, never liveness) and the rest
+    /// under `token`; a deadline mid-queue simply leaves the remainder
+    /// for the next tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParError::Panic`] if the model panicked while scoring
+    /// (a bug — committed state is still consistent: whole sub-batches
+    /// either committed or did not).
+    pub fn tick(
+        &mut self,
+        pool: &ThreadPool,
+        token: &CancelToken,
+        ingest_cursors: &[FeedCursor],
+        ingest_watermark: u64,
+    ) -> Result<TickOutcome, ParError> {
+        // With one shard the engine gets the whole pool for scoring;
+        // with several, the pool parallelises across shards instead.
+        let inner = if self.slots.len() > 1 {
+            ThreadPool::serial()
+        } else {
+            *pool
+        };
+        let results = pool
+            .try_parallel_map_mut(&mut self.slots, |_, slot| {
+                let mut res = SlotTickResult::default();
+                let first_batch = CancelToken::new();
+                while !slot.queue.is_empty() {
+                    let take = SUB_BATCH_LINES.min(slot.queue.len());
+                    let batch = slot.queue.make_contiguous()[..take].to_vec();
+                    let tok = if res.processed == 0 {
+                        &first_batch
+                    } else {
+                        token
+                    };
+                    match slot.engine.process(&inner, tok, &batch) {
+                        Ok(outcome) => {
+                            slot.queue.discard(take);
+                            slot.dirty = true;
+                            res.processed += take;
+                            res.replayed += outcome.replayed;
+                            res.transitions.extend(outcome.transitions);
+                        }
+                        Err(ParError::Cancelled | ParError::DeadlineExceeded) => break,
+                        Err(fatal) => {
+                            res.fatal = Some(fatal);
+                            break;
+                        }
+                    }
+                }
+                res
+            })
+            .map_err(ParError::from)?;
+
+        let mut outcome = TickOutcome::default();
+        for (shard, res) in results.into_iter().enumerate() {
+            if let Some(fatal) = res.fatal {
+                return Err(fatal);
+            }
+            outcome.progressed |= res.processed > 0;
+            outcome.replayed += res.replayed;
+            outcome
+                .transitions
+                .extend(res.transitions.into_iter().map(|t| (shard, t)));
+        }
+
+        // Drained shards may claim the ingest's feed positions: every
+        // line routed to them before the snapshot has now committed.
+        for slot in &mut self.slots {
+            if slot.queue.is_empty() && slot.engine.adopt_cursors(ingest_cursors) {
+                slot.dirty = true;
+            }
+        }
+
+        // The merge watermark: no shard can still produce a smaller seq.
+        let queued_min = self
+            .slots
+            .iter()
+            .flat_map(|s| s.queue.iter().map(|l| l.seq))
+            .min();
+        let watermark = queued_min.map_or(ingest_watermark, |q| q.min(ingest_watermark));
+        outcome.alarms = self.emit(|a| a.seq < watermark);
+        self.merge.advance(watermark);
+        outcome.progressed |= !outcome.alarms.is_empty();
+        Ok(outcome)
+    }
+
+    /// Drain alarms selected by `take` from every shard, drop the ones
+    /// the merge already emitted, and return the rest in seq order.
+    fn emit(&mut self, take: impl Fn(&SeqAlarm) -> bool) -> Vec<SeqAlarm> {
+        let mut emitted = Vec::new();
+        for slot in &mut self.slots {
+            let drained = slot
+                .engine
+                .drain_unmerged(|a| take(a) || self.merge.already_emitted(a.seq));
+            if !drained.is_empty() {
+                slot.dirty = true;
+            }
+            emitted.extend(
+                drained
+                    .into_iter()
+                    .filter(|a| !self.merge.already_emitted(a.seq)),
+            );
+        }
+        emitted.sort_unstable_by_key(|a| a.seq);
+        emitted
+    }
+
+    /// Flush every buffered alarm regardless of the watermark, in seq
+    /// order, recording their seqs so neither a resume nor a late-growing
+    /// feed can re-emit them. Call only when the feeds are idle and
+    /// [`ServeTopology::has_queued`] is false — with feeds of unequal
+    /// length the watermark stalls at the shortest feed forever, and
+    /// this is the escape hatch.
+    pub fn flush_pending(&mut self) -> Vec<SeqAlarm> {
+        let flushed = self.emit(|_| true);
+        self.merge.record_ahead(flushed.iter().map(|a| a.seq));
+        flushed
+    }
+
+    /// Record the alarm-sink length the next checkpoint corresponds to;
+    /// call after appending and flushing sink bytes, before
+    /// [`ServeTopology::save_checkpoints`].
+    pub fn note_sink_bytes(&mut self, bytes: u64) {
+        self.merge.sink_bytes = bytes;
+    }
+
+    /// Swap a hot-reloaded model into every shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::FeatureMismatch`] when the replacement does
+    /// not score the configured feature dimensionality; no shard is
+    /// changed and the current model keeps serving everywhere.
+    pub fn swap_model(&mut self, model: &Arc<SavedModel>) -> Result<(), ModelError> {
+        // The contract is identical for every shard, so validate on the
+        // first and the rest cannot fail halfway.
+        for slot in &mut self.slots {
+            slot.engine.swap_model(Arc::clone(model))?;
+        }
+        Ok(())
+    }
+
+    /// Write the checkpoint directory: `topology.ckpt` first, then every
+    /// dirty `shard-<k>.ckpt`. The caller must have appended and flushed
+    /// sink bytes (and [`ServeTopology::note_sink_bytes`]) beforehand —
+    /// sink → topology → shards is the order the resume protocol relies
+    /// on (a shard file may lag the merge state, never lead it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when a file cannot be written.
+    pub fn save_checkpoints(&mut self, dir: &Path) -> Result<(), CheckpointError> {
+        std::fs::create_dir_all(dir)?;
+        let payload = Value::Obj(vec![
+            ("n_shards".to_string(), Value::Num(self.slots.len() as f64)),
+            ("n_feeds".to_string(), Value::Num(self.n_feeds as f64)),
+            ("merge".to_string(), self.merge.to_json()),
+        ]);
+        Checkpoint {
+            kind: CheckpointKind::Topology,
+            payload,
+        }
+        .save(&topology_path(dir))?;
+        for (k, slot) in self.slots.iter_mut().enumerate() {
+            if !slot.dirty {
+                continue;
+            }
+            Checkpoint {
+                kind: CheckpointKind::Shard,
+                payload: slot.engine.state_to_json(),
+            }
+            .save(&shard_path(dir, k))?;
+            slot.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Restore state from a checkpoint directory written by
+    /// [`ServeTopology::save_checkpoints`]. Returns whether a checkpoint
+    /// was found (`false` means a fresh start: the directory holds no
+    /// topology state).
+    ///
+    /// A missing `shard-<k>.ckpt` restores shard `k` fresh — its lines
+    /// replay from the feed start and the merge filter drops what was
+    /// already emitted. Shard files *without* a `topology.ckpt` are
+    /// refused: the merge state is what makes replay exactly-once, so
+    /// resuming without it could duplicate sink lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Incompatible`] when the directory was
+    /// written for a different shard or feed count (sharding changes
+    /// need a fresh checkpoint directory), and [`CheckpointError`] for
+    /// corrupt, unreadable or wrong-kind files.
+    pub fn resume(&mut self, dir: &Path) -> Result<bool, CheckpointError> {
+        let topo = topology_path(dir);
+        if !topo.exists() {
+            if let Some(orphan) = find_shard_file(dir)? {
+                return Err(CheckpointError::Incompatible(format!(
+                    "{} exists but {} does not; refusing to resume without \
+                     the merge state (move the shard files away to start fresh)",
+                    orphan.display(),
+                    topo.display()
+                )));
+            }
+            return Ok(false);
+        }
+        let ck = Checkpoint::load_expecting(&topo, CheckpointKind::Topology)?;
+        let ck_shards = ck.payload.usize_field("n_shards")?;
+        let ck_feeds = ck.payload.usize_field("n_feeds")?;
+        if ck_shards != self.slots.len() || ck_feeds != self.n_feeds {
+            return Err(CheckpointError::Incompatible(format!(
+                "checkpoint was written for {ck_shards} shard(s) over {ck_feeds} feed(s); \
+                 this topology runs {} over {}",
+                self.slots.len(),
+                self.n_feeds
+            )));
+        }
+        self.merge = MergeState::from_json(ck.payload.field("merge")?)?;
+        for (k, slot) in self.slots.iter_mut().enumerate() {
+            let path = shard_path(dir, k);
+            if !path.exists() {
+                continue;
+            }
+            let ck = Checkpoint::load_expecting(&path, CheckpointKind::Shard)?;
+            slot.engine.restore_state(&ck.payload)?;
+            // A shard file older than the merge state may hold alarms
+            // that already reached the sink; drop them now (replayed
+            // lines would only regenerate filtered duplicates).
+            let merge = &self.merge;
+            slot.engine.drain_unmerged(|a| merge.already_emitted(a.seq));
+        }
+        Ok(true)
+    }
+
+    /// The feed positions ingest must resume from: per feed, the
+    /// *earliest* position any shard's checkpoint needs — shards ahead
+    /// of it skip the replayed overlap by cursor.
+    #[must_use]
+    pub fn ingest_resume_cursors(&self) -> Vec<FeedCursor> {
+        (0..self.n_feeds)
+            .map(|f| {
+                self.slots
+                    .iter()
+                    .map(|s| s.engine.cursors()[f])
+                    .min_by_key(FeedCursor::position_key)
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
+}
+
+/// The first `shard-<k>.ckpt` in `dir`, if any (scans the directory so
+/// leftovers from a *larger* previous shard count are caught too).
+fn find_shard_file(dir: &Path) -> Result<Option<PathBuf>, CheckpointError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CheckpointError::Io(e)),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("shard-") && name.ends_with(".ckpt") {
+            return Ok(Some(path));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::tests::{data_row, feed_lines, fleet, model};
+    use crate::engine::Alarm;
+    use crate::ingest::MultiFeedIngest;
+    use hdd_eval::VotingRule;
+    use hdd_fault::{FaultClass, FaultInjector};
+    use hdd_smart::SmartSeries;
+    use hdd_stats::FeatureSet;
+    use std::fmt::Write as _;
+    use std::fs;
+
+    const VOTERS: usize = 11;
+
+    fn config() -> EngineConfig {
+        EngineConfig::new(VOTERS, VotingRule::Majority, 0.1)
+    }
+
+    fn topology(model: &Arc<SavedModel>, features: &FeatureSet, n_shards: usize) -> ServeTopology {
+        ServeTopology::new(model, features, config(), n_shards, 2, 4096).unwrap()
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hdd-serve-topology-{}-{tag}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Write the fleet as two feed files, drives split by parity (the
+    /// determinism contract: a drive's rows all live on one feed).
+    fn write_feeds(dir: &Path, series: &[SmartSeries]) -> Vec<PathBuf> {
+        let paths = vec![dir.join("feed-0.csv"), dir.join("feed-1.csv")];
+        let mut bufs = [Vec::new(), Vec::new()];
+        for buf in &mut bufs {
+            hdd_smart::csv::write_header(buf).unwrap();
+        }
+        for s in series {
+            hdd_smart::csv::write_series(&mut bufs[(s.drive.0 % 2) as usize], s).unwrap();
+        }
+        for (path, buf) in paths.iter().zip(bufs) {
+            fs::write(path, buf).unwrap();
+        }
+        paths
+    }
+
+    /// Poll and tick until the feeds and queues are drained, then flush;
+    /// returns the sink text.
+    fn drive_to_idle(topology: &mut ServeTopology, ingest: &mut MultiFeedIngest) -> String {
+        let mut sink = String::new();
+        run_until_idle(topology, ingest, &mut sink);
+        for a in topology.flush_pending() {
+            writeln!(sink, "{}", a.alarm).unwrap();
+        }
+        topology.note_sink_bytes(sink.len() as u64);
+        sink
+    }
+
+    fn run_until_idle(
+        topology: &mut ServeTopology,
+        ingest: &mut MultiFeedIngest,
+        sink: &mut String,
+    ) {
+        let pool = ThreadPool::global();
+        loop {
+            let out = ingest.poll(topology.free());
+            assert!(out.errors.is_empty());
+            assert_eq!(topology.enqueue(out.routed), 0);
+            let tick = topology
+                .tick(
+                    &pool,
+                    &CancelToken::new(),
+                    &ingest.cursors(),
+                    ingest.watermark(),
+                )
+                .unwrap();
+            for a in &tick.alarms {
+                writeln!(sink, "{}", a.alarm).unwrap();
+            }
+            topology.note_sink_bytes(sink.len() as u64);
+            if out.lines_read == 0 && !topology.has_queued() {
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_topology_matches_the_bare_engine() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = Arc::new(model(&series, &features));
+        let lines = feed_lines(&series);
+
+        // Reference: the bare shard over the same single-feed line
+        // stream (seqs are line indices, n_feeds = 1).
+        let mut reference =
+            EngineShard::new(Arc::clone(&model), features.clone(), config(), 1).unwrap();
+        let pool = ThreadPool::global();
+        reference
+            .process(&pool, &CancelToken::new(), &lines)
+            .unwrap();
+        let expected: Vec<Alarm> = reference.unmerged().iter().map(|a| a.alarm).collect();
+        assert!(!expected.is_empty());
+
+        let mut topo = ServeTopology::new(&model, &features, config(), 1, 1, lines.len()).unwrap();
+        assert_eq!(topo.enqueue(vec![lines.clone()]), 0);
+        let tick = topo
+            .tick(
+                &pool,
+                &CancelToken::new(),
+                &[FeedCursor::default()],
+                u64::MAX,
+            )
+            .unwrap();
+        assert!(tick.progressed);
+        let got: Vec<Alarm> = tick.alarms.iter().map(|a| a.alarm).collect();
+        assert_eq!(got, expected);
+        assert_eq!(topo.stats(), reference.stats());
+        assert_eq!(topo.tracked_drives(), reference.tracked_drives());
+    }
+
+    #[test]
+    fn alarm_output_is_identical_at_1_2_and_4_shards() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = Arc::new(model(&series, &features));
+        let dir = scratch_dir("shard-identity");
+        let paths = write_feeds(&dir, &series);
+
+        let mut sinks = Vec::new();
+        for n_shards in [1usize, 2, 4] {
+            let mut topo = topology(&model, &features, n_shards);
+            let mut ingest = MultiFeedIngest::new(&paths, topo.router());
+            sinks.push(drive_to_idle(&mut topo, &mut ingest));
+        }
+        assert!(!sinks[0].is_empty(), "the fleet must alarm");
+        assert_eq!(sinks[0], sinks[1], "2 shards diverged from 1");
+        assert_eq!(sinks[0], sinks[2], "4 shards diverged from 1");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_resume_mid_run_is_byte_identical() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = Arc::new(model(&series, &features));
+        let dir = scratch_dir("resume");
+        let paths = write_feeds(&dir, &series);
+
+        let mut reference_topo = topology(&model, &features, 4);
+        let mut reference_ingest = MultiFeedIngest::new(&paths, reference_topo.router());
+        let reference = drive_to_idle(&mut reference_topo, &mut reference_ingest);
+
+        // Run partially with a small poll budget, checkpoint, keep
+        // running (these post-checkpoint bytes get "lost in the crash"),
+        // then resume from the checkpoint and finish.
+        let ckpt = dir.join("ckpt");
+        let pool = ThreadPool::global();
+        let mut topo = topology(&model, &features, 4);
+        let mut ingest = MultiFeedIngest::new(&paths, topo.router());
+        let mut sink = String::new();
+        for _ in 0..5 {
+            let out = ingest.poll(97.min(topo.free()));
+            topo.enqueue(out.routed);
+            let tick = topo
+                .tick(
+                    &pool,
+                    &CancelToken::new(),
+                    &ingest.cursors(),
+                    ingest.watermark(),
+                )
+                .unwrap();
+            for a in &tick.alarms {
+                writeln!(sink, "{}", a.alarm).unwrap();
+            }
+        }
+        topo.note_sink_bytes(sink.len() as u64);
+        topo.save_checkpoints(&ckpt).unwrap();
+        let saved_sink = sink.clone();
+        // Uncheckpointed progress after the save, then the "crash".
+        for _ in 0..3 {
+            let out = ingest.poll(97.min(topo.free()));
+            topo.enqueue(out.routed);
+            let tick = topo
+                .tick(
+                    &pool,
+                    &CancelToken::new(),
+                    &ingest.cursors(),
+                    ingest.watermark(),
+                )
+                .unwrap();
+            for a in &tick.alarms {
+                writeln!(sink, "{}", a.alarm).unwrap();
+            }
+        }
+        drop(topo);
+        drop(ingest);
+
+        let mut resumed = topology(&model, &features, 4);
+        assert!(resumed.resume(&ckpt).unwrap());
+        let mut sink = saved_sink;
+        sink.truncate(resumed.merge_state().sink_bytes as usize);
+        let cursors = resumed.ingest_resume_cursors();
+        let mut ingest = MultiFeedIngest::resume(&paths, resumed.router(), &cursors);
+        run_until_idle(&mut resumed, &mut ingest, &mut sink);
+        for a in resumed.flush_pending() {
+            writeln!(sink, "{}", a.alarm).unwrap();
+        }
+        assert_eq!(sink, reference, "resumed topology diverged");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn idle_flush_survives_resume_without_duplicates() {
+        // A short feed next to a long one: the watermark stalls at the
+        // short feed, alarms flush on idle, and a resume afterwards must
+        // not re-emit them.
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = Arc::new(model(&series, &features));
+        let dir = scratch_dir("idle-flush");
+
+        // Feed 0 gets everything, feed 1 only a couple of rows.
+        let paths = vec![dir.join("long.csv"), dir.join("short.csv")];
+        let mut long = Vec::new();
+        hdd_smart::csv::write_header(&mut long).unwrap();
+        for s in &series {
+            hdd_smart::csv::write_series(&mut long, s).unwrap();
+        }
+        fs::write(&paths[0], long).unwrap();
+        fs::write(
+            &paths[1],
+            format!("{}\n{}\n", data_row(900_001, 1), data_row(900_001, 2)),
+        )
+        .unwrap();
+
+        let ckpt = dir.join("ckpt");
+        let mut topo = topology(&model, &features, 2);
+        let mut ingest = MultiFeedIngest::new(&paths, topo.router());
+        let sink = drive_to_idle(&mut topo, &mut ingest);
+        assert!(!sink.is_empty(), "idle flush must have released alarms");
+        assert!(
+            !topo.merge_state().ahead().is_empty(),
+            "flushed seqs are recorded ahead of the stalled watermark"
+        );
+        topo.save_checkpoints(&ckpt).unwrap();
+
+        let mut resumed = topology(&model, &features, 2);
+        assert!(resumed.resume(&ckpt).unwrap());
+        let cursors = resumed.ingest_resume_cursors();
+        let mut ingest = MultiFeedIngest::resume(&paths, resumed.router(), &cursors);
+        let more = drive_to_idle(&mut resumed, &mut ingest);
+        assert_eq!(more, "", "nothing new to emit, nothing re-emitted");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_or_orphaned_checkpoints() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = Arc::new(model(&series, &features));
+        let dir = scratch_dir("refuse");
+
+        let mut topo = topology(&model, &features, 2);
+        assert!(!topo.resume(&dir).unwrap(), "empty dir is a fresh start");
+        assert!(
+            !topo.resume(&dir.join("never-created")).unwrap(),
+            "missing dir is a fresh start"
+        );
+        // Commit a couple of rows so shard files get written too.
+        let lines =
+            crate::engine::tests::routed(&[data_row(1, 1), data_row(2, 1)].map(String::from));
+        let mut buckets = vec![Vec::new(); 2];
+        for line in lines {
+            buckets[topo.router().shard_of_line(&line.text)].push(line);
+        }
+        topo.enqueue(buckets);
+        topo.tick(
+            &ThreadPool::global(),
+            &CancelToken::new(),
+            &[FeedCursor::default(); 2],
+            0,
+        )
+        .unwrap();
+        topo.save_checkpoints(&dir).unwrap();
+        assert!(find_shard_file(&dir).unwrap().is_some());
+
+        // Shard-count mismatch is typed, not silently re-partitioned.
+        let mut wrong = topology(&model, &features, 4);
+        let err = wrong.resume(&dir).unwrap_err();
+        assert!(matches!(err, CheckpointError::Incompatible(_)), "{err}");
+        assert!(err.to_string().contains("2 shard"), "{err}");
+
+        // Shard files without the merge state are refused.
+        fs::remove_file(topology_path(&dir)).unwrap();
+        let mut orphan = topology(&model, &features, 2);
+        let err = orphan.resume(&dir).unwrap_err();
+        assert!(matches!(err, CheckpointError::Incompatible(_)), "{err}");
+        assert!(err.to_string().contains("topology.ckpt"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_shard_file_replays_without_duplicate_alarms() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = Arc::new(model(&series, &features));
+        let dir = scratch_dir("lost-shard");
+        let paths = write_feeds(&dir, &series);
+        let ckpt = dir.join("ckpt");
+
+        let mut topo = topology(&model, &features, 2);
+        let mut ingest = MultiFeedIngest::new(&paths, topo.router());
+        let reference = drive_to_idle(&mut topo, &mut ingest);
+        topo.save_checkpoints(&ckpt).unwrap();
+
+        // Lose one shard's file: it replays from the feed start, and the
+        // merge filter eats the regenerated alarms.
+        fs::remove_file(shard_path(&ckpt, 1)).unwrap();
+        let mut resumed = topology(&model, &features, 2);
+        assert!(resumed.resume(&ckpt).unwrap());
+        let cursors = resumed.ingest_resume_cursors();
+        assert_eq!(
+            cursors,
+            vec![FeedCursor::default(); 2],
+            "replays from the start"
+        );
+        let mut ingest = MultiFeedIngest::resume(&paths, resumed.router(), &cursors);
+        let more = drive_to_idle(&mut resumed, &mut ingest);
+        assert_eq!(
+            more, "",
+            "regenerated alarms must be filtered, got duplicates"
+        );
+        assert!(!reference.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn skewed_ids_funnel_the_whole_fleet_onto_one_shard() {
+        // The shard-skew injector remaps every drive id onto ids that
+        // hash to shard 0 of 4; the topology must keep working — one hot
+        // shard, the rest idle — rather than fail or drop rows.
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = Arc::new(model(&series, &features));
+        let dir = scratch_dir("skew");
+
+        let mut clean = Vec::new();
+        hdd_smart::csv::write_header(&mut clean).unwrap();
+        for s in &series {
+            hdd_smart::csv::write_series(&mut clean, s).unwrap();
+        }
+        let clean = String::from_utf8(clean).unwrap();
+        let (skewed, report) =
+            FaultInjector::new(7).corrupt_csv(&clean, FaultClass::ShardSkewedIds, 1.0);
+        assert!(report.skewed_rows > 0);
+        let paths = vec![dir.join("feed.csv")];
+        fs::write(&paths[0], &skewed).unwrap();
+
+        let mut topo = ServeTopology::new(&model, &features, config(), 4, 1, 4096).unwrap();
+        let mut ingest = MultiFeedIngest::new(&paths, topo.router());
+        let sink = drive_to_idle(&mut topo, &mut ingest);
+        assert!(!sink.is_empty(), "a skewed fleet still alarms");
+
+        let per_shard = topo.shard_stats();
+        assert_eq!(
+            per_shard[0].rows_seen, report.skewed_rows,
+            "the hot shard takes every row"
+        );
+        for (k, stats) in per_shard.iter().enumerate().skip(1) {
+            assert_eq!(stats.rows_seen, 0, "shard {k} should be idle under skew");
+        }
+        assert_eq!(topo.stats().quarantined_rows(), 0, "skewed rows stay valid");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_retransmission_burst_is_counted_stale_with_no_alarm_impact() {
+        // Re-appending the tail of a feed (an upstream retransmission)
+        // must be absorbed as counted stale rows: first-write-wins, zero
+        // state effect, byte-identical alarm output.
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = Arc::new(model(&series, &features));
+        let dir = scratch_dir("burst");
+        let paths = write_feeds(&dir, &series);
+
+        let mut clean_topo = topology(&model, &features, 4);
+        let mut clean_ingest = MultiFeedIngest::new(&paths, clean_topo.router());
+        let reference = drive_to_idle(&mut clean_topo, &mut clean_ingest);
+        let clean_stale = clean_topo.stats().stale_rows;
+
+        let text = fs::read_to_string(&paths[0]).unwrap();
+        let (burst, report) =
+            FaultInjector::new(7).corrupt_csv(&text, FaultClass::HotFeedBurst, 0.25);
+        assert!(report.burst_rows > 0);
+        fs::write(&paths[0], &burst).unwrap();
+
+        let mut topo = topology(&model, &features, 4);
+        let mut ingest = MultiFeedIngest::new(&paths, topo.router());
+        let sink = drive_to_idle(&mut topo, &mut ingest);
+        assert_eq!(
+            topo.stats().stale_rows,
+            clean_stale + report.burst_rows,
+            "every burst row is dropped stale, and counted"
+        );
+        assert_eq!(
+            sink, reference,
+            "stale retransmissions must not change alarms"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadline_mid_tick_leaves_the_remainder_queued() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = Arc::new(model(&series, &features));
+        let lines = feed_lines(&series);
+        let pool = ThreadPool::global();
+
+        let mut topo = ServeTopology::new(&model, &features, config(), 1, 1, lines.len()).unwrap();
+        topo.enqueue(vec![lines.clone()]);
+        let token = CancelToken::new();
+        token.cancel();
+        // First sub-batch is deadline-free: progress is guaranteed even
+        // under an expired budget.
+        let tick = topo
+            .tick(&pool, &token, &[FeedCursor::default()], 0)
+            .unwrap();
+        assert!(tick.progressed);
+        assert_eq!(
+            topo.queued(),
+            lines.len() - SUB_BATCH_LINES.min(lines.len())
+        );
+
+        // Later ticks finish the job and the total output matches an
+        // un-deadlined run.
+        let mut alarms = Vec::new();
+        loop {
+            let tick = topo
+                .tick(
+                    &pool,
+                    &CancelToken::new(),
+                    &[FeedCursor::default()],
+                    u64::MAX,
+                )
+                .unwrap();
+            alarms.extend(tick.alarms.iter().map(|a| a.alarm));
+            if !topo.has_queued() {
+                break;
+            }
+        }
+        let mut clean = ServeTopology::new(&model, &features, config(), 1, 1, lines.len()).unwrap();
+        clean.enqueue(vec![lines.clone()]);
+        let all = clean
+            .tick(
+                &pool,
+                &CancelToken::new(),
+                &[FeedCursor::default()],
+                u64::MAX,
+            )
+            .unwrap();
+        let mut expected: Vec<Alarm> = all.alarms.iter().map(|a| a.alarm).collect();
+        // The deadline-cut run emitted some alarms in the first tick.
+        let head_len = expected.len() - alarms.len();
+        expected.drain(..head_len);
+        assert_eq!(alarms, expected);
+    }
+}

@@ -26,10 +26,9 @@
 
 use hddpred::cart::{Class, ClassSample, ClassificationTreeBuilder, TrainError};
 use hddpred::eval::{ModelError, Predictor, SavedModel, VotingDetector, VotingRule};
-use hddpred::par::{CancelToken, ParError};
+use hddpred::par::CancelToken;
 use hddpred::serve::{
-    Backoff, BoundedQueue, Checkpoint, CheckpointError, Engine, EngineConfig, FeedLine, FeedTailer,
-    ModelWatcher, TailEvent,
+    Backoff, CheckpointError, EngineConfig, ModelWatcher, MultiFeedIngest, ServeTopology,
 };
 use hddpred::smart::csv::{
     read_series_quarantined, write_header, write_series, CsvError, IngestPolicy,
@@ -40,8 +39,9 @@ use hddpred::stats::FeatureSet;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Seek as _, SeekFrom, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -78,10 +78,11 @@ USAGE:
                      [--max-quarantine <f>] [--threads <n>]
     hddpred detect   --data <traces.csv> --model <model.json> [--voters <n>]
                      [--max-quarantine <f>] [--threads <n>]
-    hddpred serve    --feed <feed.csv> --model <model.json> --out <alarms.csv>
-                     [--checkpoint <file>] [--model-watch] [--voters <n>]
-                     [--threshold <f>] [--tick-budget-ms <n>] [--poll-ms <n>]
-                     [--queue <n>] [--max-quarantine <f>] [--exit-on-idle <n>]
+    hddpred serve    --feed <a.csv[,b.csv,...]> --model <model.json>
+                     --out <alarms.csv> [--shards <n>] [--checkpoint <dir>]
+                     [--model-watch] [--voters <n>] [--threshold <f>]
+                     [--tick-budget-ms <n>] [--poll-ms <n>] [--queue <n>]
+                     [--max-quarantine <f>] [--exit-on-idle <n>]
                      [--threads <n>]
 
 `--threads` sets the worker-thread count (default: HDDPRED_THREADS, else
@@ -89,15 +90,20 @@ the hardware count). Results are bit-identical at any setting.
 
 `--max-quarantine` caps the fraction of CSV rows that may be skipped as
 unusable. For `train`/`detect` exceeding it refuses the import outright
-(default: 0.1); for `serve` it is the quarantine circuit-breaker ceiling
-over the last 100 rows — exceeding it degrades the daemon (alarms
-suppressed and counted) until the feed heals.
+(default: 0.1); for `serve` it is the per-shard quarantine
+circuit-breaker ceiling over the last 100 rows — exceeding it degrades
+that shard (alarms suppressed and counted) until its feed slice heals.
 
-`serve` tails `--feed` for appended SMART rows and appends `drive,hour`
-alarm lines to `--out`. With `--checkpoint` it snapshots its state after
-every batch and resumes after a crash with a byte-identical alarm file;
-with `--model-watch` it hot-reloads `--model` when the file changes,
-keeping the last-known-good model if the replacement is rejected.
+`serve` tails one or more comma-separated `--feed` files for appended
+SMART rows and appends `drive,hour` alarm lines to `--out`. `--shards`
+partitions drives across that many detection shards (a power of two;
+default 1) ticked in parallel; the alarm output is bit-identical at any
+shard count. A drive's rows must all arrive on the same feed. With
+`--checkpoint` it snapshots into that directory (`topology.ckpt` +
+`shard-<k>.ckpt`) after every batch and resumes after a crash with a
+byte-identical alarm file; with `--model-watch` one watcher hot-reloads
+`--model` for all shards when the file changes, keeping the
+last-known-good model if the replacement is rejected.
 `--exit-on-idle <n>` exits cleanly after `n` idle polls (0 = run
 forever); `--threshold <f>` switches voting from majority to
 mean-below-threshold.
@@ -434,14 +440,38 @@ fn detect(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Most feed lines one `Engine::process` call handles; bounds how much
-/// work is at stake when a tick budget expires (a cancelled sub-batch
-/// commits nothing and is retried).
-const SUB_BATCH_LINES: usize = 256;
+/// Daemon-level operational counters — observability, not stream state,
+/// so they reset on restart and stay out of the checkpoints.
+#[derive(Debug, Default)]
+struct ServeCounters {
+    rotations: usize,
+    replayed: usize,
+    reload_failures: usize,
+}
 
-/// `hddpred serve`: tail an append-only SMART feed and stream voting
-/// alarms to a sink file, surviving crashes, bad model pushes, slow
-/// ticks and corrupt feeds (see [`USAGE`]).
+/// One status line summarizing the whole topology.
+fn serve_status(topology: &ServeTopology, counters: &ServeCounters) -> String {
+    let stats = topology.stats();
+    format!(
+        "{} shard(s), {} drives, {} rows, {} alarms, {} suppressed, \
+         {} quarantined, {} stale, {} replayed, {} rotations, {} dropped",
+        topology.n_shards(),
+        topology.tracked_drives(),
+        stats.rows_seen,
+        stats.alarms_emitted,
+        stats.alarms_suppressed,
+        stats.quarantined_rows(),
+        stats.stale_rows,
+        counters.replayed,
+        counters.rotations,
+        topology.dropped(),
+    )
+}
+
+/// `hddpred serve`: tail one or more append-only SMART feeds, partition
+/// drives across detection shards, and stream merged voting alarms to a
+/// sink file — surviving crashes, bad model pushes, slow ticks and
+/// corrupt feeds (see [`USAGE`]).
 fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let feed = flag(flags, "feed")?;
     let model_path = flag(flags, "model")?;
@@ -449,6 +479,23 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let voters: usize = num_flag(flags, "voters", 11, "an integer")?;
     if voters == 0 {
         return Err(CliError::Usage("--voters must be at least 1".to_string()));
+    }
+    let n_shards: usize = num_flag(flags, "shards", 1, "an integer")?;
+    if n_shards == 0 || !n_shards.is_power_of_two() {
+        return Err(CliError::Usage(format!(
+            "--shards must be a power of two (1, 2, 4, ...), got `{n_shards}`"
+        )));
+    }
+    let feeds: Vec<PathBuf> = feed
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(PathBuf::from)
+        .collect();
+    if feeds.is_empty() {
+        return Err(CliError::Usage(
+            "--feed needs at least one path".to_string(),
+        ));
     }
     let tick_budget: u64 = num_flag(flags, "tick-budget-ms", 50, "milliseconds")?;
     let poll = Duration::from_millis(num_flag(flags, "poll-ms", 200, "milliseconds")?);
@@ -466,41 +513,41 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     apply_threads(flags)?;
 
     let features = FeatureSet::critical13();
-    let model = SavedModel::load_expecting(Path::new(model_path), features.len())
-        .map_err(|e| model_error(model_path, e))?;
+    let model = Arc::new(
+        SavedModel::load_expecting(Path::new(model_path), features.len())
+            .map_err(|e| model_error(model_path, e))?,
+    );
     let rule = if flags.contains_key("threshold") {
         VotingRule::MeanBelow(num_flag(flags, "threshold", 0.0, "a number")?)
     } else {
         VotingRule::Majority
     };
-    let mut engine = Engine::new(
-        model,
-        features.clone(),
+    let mut topology = ServeTopology::new(
+        &model,
+        &features,
         EngineConfig::new(voters, rule, ceiling),
+        n_shards,
+        feeds.len(),
+        queue_cap,
     )
     .map_err(|e| model_error(model_path, e))?;
+    let mut counters = ServeCounters::default();
 
-    // Resume from a checkpoint when one exists (a missing file is a
-    // fresh start, not an error).
-    let ckpt_path = flags.get("checkpoint").filter(|p| !p.is_empty());
-    let mut sink_bytes: u64 = 0;
-    if let Some(path) = ckpt_path {
-        match Checkpoint::load(Path::new(path)) {
-            Ok(ck) => {
-                engine.restore_state(&ck.engine).map_err(|e| {
-                    CliError::Serve(format!("{path}: checkpoint engine state: {e}"))
-                })?;
-                sink_bytes = ck.sink_bytes;
-                eprintln!("resumed from {path}: {}", engine.status_line());
-            }
-            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(checkpoint_error(path, e)),
+    // Resume from a checkpoint directory when one holds topology state
+    // (an empty or missing directory is a fresh start, not an error).
+    let ckpt_dir = flags.get("checkpoint").filter(|p| !p.is_empty());
+    if let Some(dir) = ckpt_dir {
+        match topology.resume(Path::new(dir)) {
+            Ok(true) => eprintln!("resumed from {dir}: {}", serve_status(&topology, &counters)),
+            Ok(false) => {}
+            Err(e) => return Err(checkpoint_error(dir, e)),
         }
     }
 
     // Roll the alarm sink back to the checkpointed length (or to empty
     // for a fresh start); replay re-emits everything past it, which is
     // what makes a killed run's output byte-identical.
+    let mut sink_bytes = topology.merge_state().sink_bytes;
     let mut sink = std::fs::OpenOptions::new()
         .create(true)
         .write(true)
@@ -518,130 +565,129 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     sink.seek(SeekFrom::Start(sink_bytes))
         .map_err(io_error(out))?;
 
+    // One watcher for the whole topology: the file is validated once per
+    // change and every shard gets the same Arc'd model.
     let mut watcher = flags
         .contains_key("model-watch")
         .then(|| ModelWatcher::new(model_path, features.len()));
-    let mut tailer = FeedTailer::resume(feed, engine.processed_offset(), engine.generation());
-    let mut queue: BoundedQueue<FeedLine> = BoundedQueue::new(queue_cap);
+    let mut ingest =
+        MultiFeedIngest::resume(&feeds, topology.router(), &topology.ingest_resume_cursors());
     let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(5));
     let pool = hddpred::par::ThreadPool::global();
     let mut idle_polls = 0usize;
-    eprintln!("serving {feed} -> {out} ({})", engine.status_line());
+    eprintln!(
+        "serving {feed} -> {out} ({})",
+        serve_status(&topology, &counters)
+    );
+
+    // Append alarm lines to the sink (flushed before any checkpoint).
+    let emit = |sink: &mut std::fs::File,
+                sink_bytes: &mut u64,
+                alarms: &[hddpred::serve::SeqAlarm]|
+     -> Result<(), CliError> {
+        if alarms.is_empty() {
+            return Ok(());
+        }
+        let mut bytes = Vec::new();
+        for alarm in alarms {
+            bytes.extend_from_slice(alarm.alarm.to_string().as_bytes());
+            bytes.push(b'\n');
+        }
+        sink.write_all(&bytes).map_err(io_error(out))?;
+        sink.flush().map_err(io_error(out))?;
+        *sink_bytes += bytes.len() as u64;
+        Ok(())
+    };
 
     loop {
         // Hot model reload: a changed file is validated through the
-        // checksummed loader; rejects keep the last-known-good model.
+        // checksummed loader; rejects keep the last-known-good model
+        // serving on every shard.
         if let Some(w) = watcher.as_mut() {
             match w.poll() {
                 None => {}
-                Some(Ok(m)) => match engine.swap_model(m) {
+                Some(Ok(m)) => match topology.swap_model(&m) {
                     Ok(()) => eprintln!("model reloaded from {model_path}"),
                     Err(e) => {
-                        engine.note_reload_failure();
+                        counters.reload_failures += 1;
                         eprintln!("model reload rejected (keeping last-known-good): {e}");
                     }
                 },
                 Some(Err(e)) => {
-                    engine.note_reload_failure();
+                    counters.reload_failures += 1;
                     eprintln!("model reload rejected (keeping last-known-good): {e}");
                 }
             }
         }
 
-        // Tail the feed, reading only what the queue can hold:
-        // backpressure applies at the (durable) file rather than by
-        // shedding queued rows.
-        let mut read_lines = 0usize;
-        match tailer.poll(queue.free()) {
-            Ok(events) => {
-                backoff.reset();
-                for event in events {
-                    match event {
-                        TailEvent::Rotation => engine.note_rotation(),
-                        TailEvent::Line { text, end_offset } => {
-                            read_lines += 1;
-                            let line = FeedLine {
-                                text,
-                                end_offset,
-                                generation: tailer.generation(),
-                            };
-                            if queue.push(line).is_some() {
-                                engine.note_drops(1);
-                            }
-                        }
-                    }
-                }
-            }
-            Err(e) => {
-                let delay = backoff.next_delay();
+        // Tail the feeds, routing no more lines than every shard queue
+        // can hold: backpressure applies at the (durable) files rather
+        // than by shedding queued rows.
+        let polled = ingest.poll(topology.free());
+        if polled.errors.is_empty() {
+            backoff.reset();
+        } else {
+            let delay = backoff.next_delay();
+            for (f, e) in &polled.errors {
                 eprintln!(
-                    "feed read failed ({e}); retrying in {}ms",
+                    "feed {} read failed ({e}); retrying in {}ms",
+                    feeds[*f].display(),
                     delay.as_millis()
                 );
-                std::thread::sleep(delay);
-                continue;
             }
+            std::thread::sleep(delay);
         }
+        counters.rotations += polled.rotations;
+        let read_lines = polled.lines_read;
+        topology.enqueue(polled.routed);
 
-        // Process the queue in sub-batches under this tick's time
-        // budget. An over-budget sub-batch commits nothing and stays
-        // queued for the next tick, so deadlines never change what gets
-        // alarmed — only when. The first sub-batch of a tick runs
-        // without the deadline so a too-small budget degrades to
-        // one-sub-batch-per-tick instead of livelocking.
-        let mut progressed = false;
+        // Tick every shard under this tick's time budget. An over-budget
+        // sub-batch commits nothing and stays queued for the next tick,
+        // so deadlines never change what gets alarmed — only when; each
+        // shard's first sub-batch runs without the deadline so a
+        // too-small budget degrades throughput instead of livelocking.
         let token = CancelToken::with_budget(Duration::from_millis(tick_budget));
-        while !queue.is_empty() {
-            let n = queue.len().min(SUB_BATCH_LINES);
-            let outcome = {
-                let batch = &queue.make_contiguous()[..n];
-                let result = if progressed {
-                    engine.process(&pool, &token, batch)
-                } else {
-                    engine.process(&pool, &CancelToken::new(), batch)
-                };
-                match result {
-                    Ok(outcome) => outcome,
-                    Err(ParError::Cancelled | ParError::DeadlineExceeded) => break,
-                    Err(e) => return Err(CliError::Serve(format!("scoring failed: {e}"))),
-                }
-            };
-            queue.discard(n);
-            progressed = true;
-            let mut bytes = Vec::new();
-            for alarm in &outcome.alarms {
-                bytes.extend_from_slice(alarm.to_string().as_bytes());
-                bytes.push(b'\n');
-            }
-            if !bytes.is_empty() {
-                sink.write_all(&bytes).map_err(io_error(out))?;
-                sink.flush().map_err(io_error(out))?;
-                sink_bytes += bytes.len() as u64;
-            }
-            for state in outcome.transitions {
-                eprintln!("breaker: {} ({})", state.label(), engine.status_line());
+        let tick = topology
+            .tick(&pool, &token, &ingest.cursors(), ingest.watermark())
+            .map_err(|e| CliError::Serve(format!("scoring failed: {e}")))?;
+        counters.replayed += tick.replayed;
+        emit(&mut sink, &mut sink_bytes, &tick.alarms)?;
+        for (shard, state) in &tick.transitions {
+            eprintln!(
+                "breaker[{shard}]: {} ({})",
+                state.label(),
+                serve_status(&topology, &counters)
+            );
+        }
+
+        let mut idle = read_lines == 0 && !topology.has_queued();
+        if idle {
+            // Feeds of unequal length stall the watermark at the
+            // shortest one; flush the held-back alarms now that
+            // everything routed has committed.
+            let flushed = topology.flush_pending();
+            emit(&mut sink, &mut sink_bytes, &flushed)?;
+            idle = flushed.is_empty();
+        }
+
+        // Snapshot after every committed batch: sink first (already
+        // flushed above), topology second, dirty shards last, so a crash
+        // between any two writes merely replays a feed suffix.
+        if tick.progressed || !idle {
+            if let Some(dir) = ckpt_dir {
+                topology.note_sink_bytes(sink_bytes);
+                topology
+                    .save_checkpoints(Path::new(dir))
+                    .map_err(|e| checkpoint_error(dir, e))?;
             }
         }
 
-        // Snapshot after every committed batch: sink first, checkpoint
-        // second, so a crash in between merely replays the tail.
-        if progressed {
-            if let Some(path) = ckpt_path {
-                Checkpoint {
-                    sink_bytes,
-                    engine: engine.state_to_json(),
-                }
-                .save(Path::new(path))
-                .map_err(|e| checkpoint_error(path, e))?;
-            }
-        }
-
-        if read_lines == 0 && queue.is_empty() {
+        if idle {
             idle_polls += 1;
             if exit_on_idle > 0 && idle_polls >= exit_on_idle {
                 eprintln!(
                     "idle for {idle_polls} polls; exiting ({})",
-                    engine.status_line()
+                    serve_status(&topology, &counters)
                 );
                 return Ok(());
             }

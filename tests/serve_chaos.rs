@@ -1,8 +1,13 @@
-//! Chaos tests for `hddpred serve`: the daemon is killed with SIGKILL at
-//! seeded cut points and restarted from its checkpoint, and the alarm
-//! sink must come out byte-identical to an uninterrupted run; a
-//! bit-flipped replacement model must be rejected while serving
-//! continues on the last-known-good model.
+//! Chaos tests for the sharded `hddpred serve` topology: the daemon is
+//! killed with SIGKILL at seeded cut points and restarted from its
+//! checkpoint directory, and the alarm sink must come out byte-identical
+//! to an uninterrupted run — at every shard count. A bit-flipped
+//! replacement model must be rejected while serving continues on the
+//! last-known-good model, and the topology checkpoint protocol's
+//! refusals must surface as typed exit codes.
+//!
+//! `HDDPRED_CHAOS_SHARDS` sets the shard count the kill/restart and
+//! hot-reload tests run at (default 4); CI runs the suite at 2 and 4.
 
 #![cfg(unix)]
 
@@ -14,6 +19,11 @@ fn hddpred() -> Command {
     Command::new(env!("CARGO_BIN_EXE_hddpred"))
 }
 
+/// The shard count chaos runs at (CI sweeps 2 and 4).
+fn chaos_shards() -> String {
+    std::env::var("HDDPRED_CHAOS_SHARDS").unwrap_or_else(|_| "4".to_string())
+}
+
 fn tempdir(tag: &str) -> PathBuf {
     let dir =
         std::env::temp_dir().join(format!("hddpred-serve-chaos-{tag}-{}", std::process::id()));
@@ -23,13 +33,13 @@ fn tempdir(tag: &str) -> PathBuf {
 }
 
 /// Generate a fleet and train a model on it, exactly as an operator
-/// would, returning the feed and model paths.
+/// would, returning the fleet CSV and model paths.
 fn setup(dir: &Path) -> (PathBuf, PathBuf) {
-    let feed = dir.join("feed.csv");
+    let fleet = dir.join("fleet.csv");
     let model = dir.join("model.json");
     let out = hddpred()
         .args(["generate", "--out"])
-        .arg(&feed)
+        .arg(&fleet)
         .args(["--scale", "0.01", "--seed", "5"])
         .output()
         .expect("spawn generate");
@@ -40,7 +50,7 @@ fn setup(dir: &Path) -> (PathBuf, PathBuf) {
     );
     let out = hddpred()
         .args(["train", "--data"])
-        .arg(&feed)
+        .arg(&fleet)
         .arg("--out")
         .arg(&model)
         .output()
@@ -50,16 +60,42 @@ fn setup(dir: &Path) -> (PathBuf, PathBuf) {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    (feed, model)
+    (fleet, model)
 }
 
-/// Run `serve` to completion over a static feed (exits after a few idle
+/// Split a fleet CSV into two feed files by drive-id parity — the
+/// multi-feed contract: one drive's rows all live on one feed. Returns
+/// the comma-joined `--feed` argument.
+fn split_feeds(fleet: &Path, dir: &Path) -> String {
+    let text = std::fs::read_to_string(fleet).expect("read fleet");
+    let mut lines = text.lines();
+    let header = lines.next().expect("fleet header");
+    let mut feeds = [format!("{header}\n"), format!("{header}\n")];
+    for line in lines {
+        let id: u64 = line.split(',').next().unwrap_or("0").parse().unwrap_or(0);
+        let feed = &mut feeds[(id % 2) as usize];
+        feed.push_str(line);
+        feed.push('\n');
+    }
+    let paths = [dir.join("feed-even.csv"), dir.join("feed-odd.csv")];
+    for (path, text) in paths.iter().zip(&feeds) {
+        std::fs::write(path, text).expect("write feed");
+    }
+    format!("{},{}", paths[0].display(), paths[1].display())
+}
+
+/// Run `serve` to completion over static feeds (exits after a few idle
 /// polls) and return the alarm sink's bytes.
-fn serve_to_completion(feed: &Path, model: &Path, sink: &Path, ckpt: Option<&Path>) -> Vec<u8> {
+fn serve_to_completion(
+    feeds: &str,
+    shards: &str,
+    model: &Path,
+    sink: &Path,
+    ckpt: Option<&Path>,
+) -> Vec<u8> {
     let mut cmd = hddpred();
     cmd.arg("serve")
-        .arg("--feed")
-        .arg(feed)
+        .args(["--feed", feeds, "--shards", shards])
         .arg("--model")
         .arg(model)
         .arg("--out")
@@ -78,7 +114,14 @@ fn serve_to_completion(feed: &Path, model: &Path, sink: &Path, ckpt: Option<&Pat
 }
 
 /// Spawn a long-running `serve` daemon (never exits on idle).
-fn spawn_daemon(feed: &Path, model: &Path, sink: &Path, ckpt: &Path, extra: &[&str]) -> Child {
+fn spawn_daemon(
+    feeds: &str,
+    shards: &str,
+    model: &Path,
+    sink: &Path,
+    ckpt: &Path,
+    extra: &[&str],
+) -> Child {
     let stderr = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -86,8 +129,7 @@ fn spawn_daemon(feed: &Path, model: &Path, sink: &Path, ckpt: &Path, extra: &[&s
         .expect("open stderr log");
     hddpred()
         .arg("serve")
-        .arg("--feed")
-        .arg(feed)
+        .args(["--feed", feeds, "--shards", shards])
         .arg("--model")
         .arg(model)
         .arg("--out")
@@ -121,24 +163,45 @@ fn wait_for(path: &Path, needle: &str, timeout: Duration) -> String {
 }
 
 #[test]
+fn alarm_output_is_identical_at_1_2_and_4_shards() {
+    let dir = tempdir("shardidentity");
+    let (fleet, model) = setup(&dir);
+    let feeds = split_feeds(&fleet, &dir);
+
+    let mut sinks = Vec::new();
+    for shards in ["1", "2", "4"] {
+        let sink = dir.join(format!("alarms-{shards}.csv"));
+        sinks.push(serve_to_completion(&feeds, shards, &model, &sink, None));
+    }
+    assert!(!sinks[0].is_empty(), "the fleet must raise alarms");
+    assert_eq!(sinks[0], sinks[1], "2 shards diverged from 1");
+    assert_eq!(sinks[0], sinks[2], "4 shards diverged from 1");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn kill_restart_at_20_cut_points_is_byte_identical() {
     let dir = tempdir("killrestart");
-    let (feed, model) = setup(&dir);
+    let (fleet, model) = setup(&dir);
+    let feeds = split_feeds(&fleet, &dir);
+    let shards = chaos_shards();
 
-    // The uninterrupted reference: one clean run, no checkpoint.
-    let reference = serve_to_completion(&feed, &model, &dir.join("ref.csv"), None);
+    // The uninterrupted reference: one clean single-shard run over the
+    // same feeds — the merge contract says shard count cannot matter.
+    let reference = serve_to_completion(&feeds, "1", &model, &dir.join("ref.csv"), None);
     assert!(
         !reference.is_empty(),
         "the fleet must raise reference alarms"
     );
 
     // The victim: SIGKILL at 20 seeded cut points, each restart resuming
-    // from the checkpoint. Cuts land anywhere from daemon startup to
-    // mid-batch to post-completion idling.
+    // from the checkpoint directory. Cuts land anywhere from daemon
+    // startup to mid-tick to between the sink, topology and shard-file
+    // writes of one snapshot.
     let sink = dir.join("alarms.csv");
-    let ckpt = dir.join("serve.ckpt");
+    let ckpt = dir.join("ckpt");
     for seed in 0..20u64 {
-        let mut child = spawn_daemon(&feed, &model, &sink, &ckpt, &[]);
+        let mut child = spawn_daemon(&feeds, &shards, &model, &sink, &ckpt, &[]);
         let cut = Duration::from_millis(5 + (seed * 7919) % 40);
         std::thread::sleep(cut);
         child.kill().expect("SIGKILL the daemon");
@@ -147,10 +210,10 @@ fn kill_restart_at_20_cut_points_is_byte_identical() {
 
     // Final restart runs to completion; the sink must match the
     // uninterrupted run byte for byte.
-    let survived = serve_to_completion(&feed, &model, &sink, Some(&ckpt));
+    let survived = serve_to_completion(&feeds, &shards, &model, &sink, Some(&ckpt));
     assert_eq!(
         survived, reference,
-        "alarm sink diverged after 20 kill/restart cycles"
+        "alarm sink diverged after 20 kill/restart cycles at {shards} shard(s)"
     );
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -158,12 +221,14 @@ fn kill_restart_at_20_cut_points_is_byte_identical() {
 #[test]
 fn hot_reload_rejects_bit_flip_and_keeps_serving() {
     let dir = tempdir("hotreload");
-    let (feed, model) = setup(&dir);
+    let (fleet, model) = setup(&dir);
+    let feeds = split_feeds(&fleet, &dir);
+    let shards = chaos_shards();
     let sink = dir.join("alarms.csv");
-    let ckpt = dir.join("serve.ckpt");
+    let ckpt = dir.join("ckpt");
     let stderr_log = sink.with_extension("stderr");
 
-    let mut child = spawn_daemon(&feed, &model, &sink, &ckpt, &["--model-watch"]);
+    let mut child = spawn_daemon(&feeds, &shards, &model, &sink, &ckpt, &["--model-watch"]);
     wait_for(&stderr_log, "serving", Duration::from_secs(30));
 
     // Push a bit-flipped replacement model. Rewrite until the file's
@@ -191,13 +256,14 @@ fn hot_reload_rejects_bit_flip_and_keeps_serving() {
     );
     assert!(text.contains("last-known-good"), "{text}");
 
-    // The daemon survived the bad push and is still processing: its
-    // checkpoint keeps advancing as new rows arrive on the feed.
+    // The daemon survived the bad push and is still processing: the
+    // topology checkpoint keeps advancing as new rows arrive on a feed.
     assert!(
         child.try_wait().expect("poll daemon").is_none(),
         "daemon died"
     );
-    let ckpt_before = std::fs::read(&ckpt).ok();
+    let topo_ckpt = ckpt.join("topology.ckpt");
+    let ckpt_before = std::fs::read(&topo_ckpt).ok();
     let mut extra = String::new();
     for hour in 0..30 {
         extra.push_str(&format!("99999,0,,{hour}"));
@@ -207,15 +273,16 @@ fn hot_reload_rejects_bit_flip_and_keeps_serving() {
         extra.push('\n');
     }
     use std::io::Write as _;
+    let feed0 = feeds.split(',').next().expect("first feed").to_string();
     let mut f = std::fs::OpenOptions::new()
         .append(true)
-        .open(&feed)
+        .open(&feed0)
         .expect("append to feed");
     f.write_all(extra.as_bytes()).expect("append rows");
     drop(f);
     let start = Instant::now();
     loop {
-        if std::fs::read(&ckpt).ok() != ckpt_before {
+        if std::fs::read(&topo_ckpt).ok() != ckpt_before {
             break;
         }
         assert!(
@@ -225,7 +292,7 @@ fn hot_reload_rejects_bit_flip_and_keeps_serving() {
         std::thread::sleep(Duration::from_millis(20));
     }
 
-    // A valid model push is picked up and swapped in.
+    // A valid model push is picked up and swapped into every shard.
     let rejected = fingerprint(&model);
     for _ in 0..100 {
         std::fs::write(&model, &clean).expect("restore model");
@@ -250,14 +317,36 @@ fn serve_exit_codes_are_typed() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--feed"));
 
-    // A corrupt checkpoint is a serve failure, exit 8.
-    let (feed, model) = setup(&dir);
-    let ckpt = dir.join("corrupt.ckpt");
-    std::fs::write(&ckpt, "definitely not a checkpoint").expect("write junk");
+    // An invalid shard count is a usage error before anything is opened.
+    for shards in ["0", "3"] {
+        let out = hddpred()
+            .arg("serve")
+            .args(["--feed", "feed.csv", "--model", "model.json"])
+            .args(["--out", "alarms.csv", "--shards", shards])
+            .output()
+            .expect("spawn serve");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--shards {shards} must be refused"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("power of two"),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let (fleet, model) = setup(&dir);
+
+    // A corrupt topology checkpoint is a serve failure, exit 8.
+    let ckpt = dir.join("corrupt");
+    std::fs::create_dir_all(&ckpt).expect("create checkpoint dir");
+    std::fs::write(ckpt.join("topology.ckpt"), "definitely not a checkpoint").expect("write junk");
     let out = hddpred()
         .arg("serve")
         .arg("--feed")
-        .arg(&feed)
+        .arg(&fleet)
         .arg("--model")
         .arg(&model)
         .arg("--out")
@@ -274,5 +363,31 @@ fn serve_exit_codes_are_typed() {
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(String::from_utf8_lossy(&out.stderr).contains("checkpoint"));
+
+    // Shard files without the merge state are refused, exit 8: resuming
+    // without `topology.ckpt` could duplicate sink lines.
+    let orphan = dir.join("orphan");
+    std::fs::create_dir_all(&orphan).expect("create checkpoint dir");
+    std::fs::write(orphan.join("shard-0.ckpt"), "leftover shard state").expect("write orphan");
+    let out = hddpred()
+        .arg("serve")
+        .arg("--feed")
+        .arg(&fleet)
+        .arg("--model")
+        .arg(&model)
+        .arg("--out")
+        .arg(dir.join("alarms.csv"))
+        .arg("--checkpoint")
+        .arg(&orphan)
+        .args(["--exit-on-idle", "1"])
+        .output()
+        .expect("spawn serve");
+    assert_eq!(
+        out.status.code(),
+        Some(8),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("topology.ckpt"));
     std::fs::remove_dir_all(&dir).ok();
 }
