@@ -10,6 +10,7 @@
 use crate::classifier::{ClassificationTree, ClassificationTreeBuilder};
 use crate::compact::{CompactForest, CompactTree};
 use crate::sample::{Class, ClassSample, TrainError};
+use crate::split::{FeatureMatrix, SplitWorkspace};
 use hdd_par::ThreadPool;
 
 /// Configures and trains [`AdaBoost`] ensembles.
@@ -102,10 +103,21 @@ impl AdaBoostBuilder {
             .false_alarm_loss(1.0)
             .threads(Some(pool.n_threads()));
 
+        // The feature matrix is constant across rounds: sort its stripes
+        // once and memcpy the pristine copy back before each round instead
+        // of re-sorting every column per weak learner.
+        let classes: Vec<Class> = samples.iter().map(|s| s.class).collect();
+        let matrix = FeatureMatrix::from_rows(samples.iter().map(|s| s.features.as_slice()));
+        let mut pristine = SplitWorkspace::new();
+        pristine.reset_sorted(&matrix, pool);
+        let mut workspace = SplitWorkspace::new();
+
         let mut weights = vec![1.0 / n as f64; n];
         let mut members = Vec::new();
         for _ in 0..self.rounds {
-            let tree = weak_builder.build_weighted(samples, &weights)?;
+            workspace.load_from(&pristine);
+            let tree =
+                weak_builder.build_weighted_prepared(&classes, &weights, &mut workspace, pool)?;
             // Weighted training error.
             let predictions: Vec<Class> = pool.parallel_map(samples, |s| tree.predict(&s.features));
             let err: f64 = weights
@@ -136,7 +148,9 @@ impl AdaBoostBuilder {
         }
         if members.is_empty() {
             // Even the first weak learner was at chance; fall back to it.
-            let tree = weak_builder.build_weighted(samples, &weights)?;
+            workspace.load_from(&pristine);
+            let tree =
+                weak_builder.build_weighted_prepared(&classes, &weights, &mut workspace, pool)?;
             members.push(BoostMember { alpha: 1.0, tree });
         }
         Ok(AdaBoost { members })

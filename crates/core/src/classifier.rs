@@ -1,17 +1,10 @@
 //! The Classification Tree model (Algorithm 1 of the paper).
 
 use crate::sample::{validate_features, Class, ClassSample, TrainError};
-use crate::split::{best_classification_split, FeatureMatrix, PresortedColumns, SplitCriterion};
+use crate::split::{FeatureMatrix, SplitCriterion, SplitWorkspace};
 use crate::tree::{Node, NodeId, SplitNode, Tree};
 use hdd_par::ThreadPool;
 use std::fmt;
-
-/// Nodes at least this fraction (1/N) of the training set use the
-/// presorted-column search; smaller nodes fall back to the legacy
-/// sort-per-node search, whose O(n log n) beats an O(total rows)
-/// bitmask filter once the node is a sliver of the data. Both searches
-/// return bit-identical splits, so the cutoff only affects speed.
-pub(crate) const PRESORT_NODE_FRACTION: usize = 8;
 
 /// Leaf payload of a classification tree: the majority class and the
 /// weighted class distribution (the fractions annotated on every node of
@@ -190,30 +183,62 @@ impl ClassificationTreeBuilder {
         samples: &[ClassSample],
         weights: &[f64],
     ) -> Result<ClassificationTree, TrainError> {
-        assert_eq!(weights.len(), samples.len(), "one weight per sample");
+        validate_features(samples.iter().map(|s| s.features.as_slice()))?;
+        let classes: Vec<Class> = samples.iter().map(|s| s.class).collect();
+        let matrix = FeatureMatrix::from_rows(samples.iter().map(|s| s.features.as_slice()));
+        let pool = self.pool();
+        let mut workspace = SplitWorkspace::new();
+        workspace.reset_sorted(&matrix, pool);
+        self.build_weighted_prepared(&classes, weights, &mut workspace, pool)
+    }
+
+    /// Train from pre-assembled parts: per-row classes and a
+    /// [`SplitWorkspace`] already holding sorted (or bootstrap-derived)
+    /// stripes for the training matrix. The builder's class re-weighting
+    /// and loss settings apply. Features must already be validated finite;
+    /// the tree's dimensionality is the workspace's stripe count.
+    ///
+    /// This is the allocation-free inner path forest training drives: the
+    /// caller owns the workspace and refills it per tree.
+    pub(crate) fn build_prepared(
+        &self,
+        classes: &[Class],
+        workspace: &mut SplitWorkspace,
+        pool: ThreadPool,
+    ) -> Result<ClassificationTree, TrainError> {
+        let weights = self.sample_weights(classes);
+        self.build_weighted_prepared(classes, &weights, workspace, pool)
+    }
+
+    /// [`ClassificationTreeBuilder::build_prepared`] with explicit
+    /// per-sample weights (the boosting path).
+    pub(crate) fn build_weighted_prepared(
+        &self,
+        classes: &[Class],
+        weights: &[f64],
+        workspace: &mut SplitWorkspace,
+        pool: ThreadPool,
+    ) -> Result<ClassificationTree, TrainError> {
+        assert_eq!(weights.len(), classes.len(), "one weight per sample");
         assert!(
             weights.iter().all(|w| w.is_finite() && *w > 0.0),
             "weights must be positive and finite"
         );
-        let n_features = validate_features(samples.iter().map(|s| s.features.as_slice()))?;
-        let n_failed = samples.iter().filter(|s| s.class == Class::Failed).count();
-        if n_failed == 0 || n_failed == samples.len() {
+        let n_failed = classes.iter().filter(|c| **c == Class::Failed).count();
+        if n_failed == 0 || n_failed == classes.len() {
             return Err(TrainError::SingleClass);
         }
-
-        let classes: Vec<Class> = samples.iter().map(|s| s.class).collect();
-        let matrix = FeatureMatrix::from_rows(samples.iter().map(|s| s.features.as_slice()));
-
         let tree = grow(
-            &matrix,
-            &classes,
+            classes,
             weights,
             self.min_split,
             self.min_bucket,
             self.max_depth,
-            n_features,
+            workspace.n_features(),
             self.criterion,
-            self.pool(),
+            self.complexity,
+            pool,
+            workspace,
         );
         let tree = crate::prune::prune(&tree, self.complexity);
         Ok(ClassificationTree { tree })
@@ -300,15 +325,14 @@ impl ClassificationTree {
 
 /// Grow a full classification tree (stack-based, like Algorithm 1).
 ///
-/// The split search runs on `pool`: the per-feature argsorts are
-/// computed once up front ([`PresortedColumns`]) and large nodes recover
-/// their feature order by bitmask-filtering that index, while small
-/// nodes use the legacy sort-per-node search — the two are bit-identical
-/// (see [`crate::split`]), so the grown tree does not depend on the
-/// strategy or the thread count.
+/// The descent runs entirely on the [`SplitWorkspace`]'s presorted
+/// stripes: each node's per-feature order is a slice, each accepted split
+/// one stable partition pass — no per-node sorts, masks, or allocations.
+/// The stripe order equals what the legacy sort-per-node and
+/// membership-filter searches produce (see [`crate::split`]), so the
+/// grown tree does not depend on the strategy or the thread count.
 #[allow(clippy::too_many_arguments)]
 fn grow(
-    matrix: &FeatureMatrix,
     classes: &[Class],
     weights: &[f64],
     min_split: usize,
@@ -316,11 +340,11 @@ fn grow(
     max_depth: Option<usize>,
     n_features: usize,
     criterion: SplitCriterion,
+    complexity: f64,
     pool: ThreadPool,
+    ws: &mut SplitWorkspace,
 ) -> Tree<ClassLeaf> {
-    let presorted = PresortedColumns::with_pool(matrix, pool);
-    let presort_cutoff = matrix.n_rows() / PRESORT_NODE_FRACTION;
-    let mut indices: Vec<u32> = (0..matrix.n_rows() as u32).collect();
+    let n_rows = ws.n_rows();
     let root_weight: f64 = weights.iter().sum();
     let mut nodes: Vec<Node<ClassLeaf>> = Vec::new();
 
@@ -345,7 +369,7 @@ fn grow(
     };
 
     // Stack entries: (node id, index range, depth).
-    let root_leaf = make_leaf(&indices);
+    let root_leaf = make_leaf(ws.members(0, n_rows));
     nodes.push(Node {
         prediction: root_leaf,
         weight: root_leaf.w_good + root_leaf.w_failed,
@@ -353,10 +377,9 @@ fn grow(
         gain: 0.0,
         split: None,
     });
-    let mut stack = vec![(NodeId::ROOT, 0usize, indices.len(), 1usize)];
+    let mut stack = vec![(NodeId::ROOT, 0usize, n_rows, 1usize)];
 
     while let Some((id, start, end, depth)) = stack.pop() {
-        let range = &indices[start..end];
         if end - start < min_split
             || max_depth.is_some_and(|d| depth >= d)
             || nodes[id.0 as usize].prediction.failed_fraction() == 0.0
@@ -364,24 +387,26 @@ fn grow(
         {
             continue; // leaf
         }
-        let split = if range.len() >= presort_cutoff {
-            presorted.best_classification_split(
-                matrix, range, classes, weights, min_bucket, criterion, pool,
-            )
-        } else {
-            best_classification_split(matrix, range, classes, weights, min_bucket, criterion)
-        };
+        let split =
+            ws.best_classification_split(start, end, classes, weights, min_bucket, criterion, pool);
         let Some(split) = split else {
             continue;
         };
+        // Pre-prune: `prune` collapses any split whose scaled gain falls
+        // below the complexity parameter, looking only at the node's own
+        // gain — so a subtree under a below-`cp` split can never survive.
+        // Declining the split here grows the post-prune tree directly
+        // (bit-identical output) instead of building hundreds of nodes
+        // pruning will throw away.
+        if split.gain * nodes[id.0 as usize].fraction < complexity {
+            continue;
+        }
 
-        let mid = partition(&mut indices[start..end], |i| {
-            matrix.value(i as usize, split.feature) < split.threshold
-        }) + start;
+        let mid = ws.partition(start, end, split.feature, split.threshold);
         debug_assert!(mid > start && mid < end, "split produced an empty child");
 
-        let left_leaf = make_leaf(&indices[start..mid]);
-        let right_leaf = make_leaf(&indices[mid..end]);
+        let left_leaf = make_leaf(ws.members(start, mid));
+        let right_leaf = make_leaf(ws.members(mid, end));
         let left_id = NodeId(nodes.len() as u32);
         let right_id = NodeId(nodes.len() as u32 + 1);
         for leaf in [left_leaf, right_leaf] {
@@ -412,24 +437,6 @@ fn grow(
     }
 
     Tree::from_nodes(nodes, n_features)
-}
-
-/// Stable in-place partition; returns the number of elements satisfying
-/// `pred` (moved to the front).
-pub(crate) fn partition<F: Fn(u32) -> bool>(slice: &mut [u32], pred: F) -> usize {
-    let mut left: Vec<u32> = Vec::with_capacity(slice.len());
-    let mut right: Vec<u32> = Vec::with_capacity(slice.len());
-    for &i in slice.iter() {
-        if pred(i) {
-            left.push(i);
-        } else {
-            right.push(i);
-        }
-    }
-    let n_left = left.len();
-    slice[..n_left].copy_from_slice(&left);
-    slice[n_left..].copy_from_slice(&right);
-    n_left
 }
 
 #[cfg(test)]
@@ -591,14 +598,6 @@ mod tests {
         let a = ClassificationTreeBuilder::new().build(&samples).unwrap();
         let b = ClassificationTreeBuilder::new().build(&samples).unwrap();
         assert_eq!(a, b);
-    }
-
-    #[test]
-    fn partition_is_stable() {
-        let mut xs = vec![5, 2, 8, 1, 9, 3];
-        let n = partition(&mut xs, |v| v < 5);
-        assert_eq!(n, 3);
-        assert_eq!(xs, vec![2, 1, 3, 5, 8, 9]);
     }
 
     #[test]

@@ -21,7 +21,20 @@
 use crate::classifier::{ClassificationTree, ClassificationTreeBuilder};
 use crate::compact::{CompactForest, CompactTree};
 use crate::sample::{Class, ClassSample, TrainError};
+use crate::split::{FeatureMatrix, PresortedColumns, SplitWorkspace};
 use hdd_par::ThreadPool;
+
+/// Minimum number of training rows a forest worker task should cover.
+///
+/// The fork-join layer deals trees to workers in contiguous chunks; with
+/// small forests `ceil(n_trees / n_threads)` collapses to a few trees per
+/// task and spawn overhead dominates. Flooring the chunk so each task
+/// covers at least this many rows of training work
+/// (`min_chunk = ceil(FOREST_MIN_TASK_ROWS / n_samples)` trees) keeps the
+/// per-task compute comfortably above the fork-join cost. Chunking only
+/// changes how trees are dealt, never their content: each tree is a pure
+/// function of `(samples, seed, tree index)`.
+pub const FOREST_MIN_TASK_ROWS: usize = 16_384;
 
 /// Configures and trains [`RandomForest`]s.
 ///
@@ -140,53 +153,130 @@ impl RandomForestBuilder {
         // Each tree is a pure function of its seed, so the pool can fan out
         // across trees; the inner split search goes serial when the outer
         // pool is parallel to avoid oversubscribing the machine.
-        let mut base = self.base.clone();
-        if pool.is_parallel() {
-            base.threads(Some(1));
-        }
-        let members = pool.parallel_map_range(self.n_trees, |t| {
-            let tree_seed = splitmix(self.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
-            // Random feature subset (deterministic Fisher–Yates prefix).
-            let mut features: Vec<usize> = (0..n_features).collect();
-            for i in 0..per_tree.min(n_features - 1) {
-                let j = i + (splitmix(tree_seed ^ i as u64) as usize) % (n_features - i);
-                features.swap(i, j);
-            }
-            let mut chosen = features[..per_tree].to_vec();
-            chosen.sort_unstable();
+        let inner_pool = if pool.is_parallel() {
+            ThreadPool::serial()
+        } else {
+            self.base.pool()
+        };
 
-            // Bootstrap resample, projected onto the chosen features. Keep
-            // resampling until both classes are present (almost always the
-            // first draw).
-            let mut projected = Vec::with_capacity(samples.len());
-            let mut salt = 0u64;
-            loop {
-                projected.clear();
-                for i in 0..samples.len() {
-                    let pick =
-                        (splitmix(tree_seed ^ salt ^ (i as u64) << 20) as usize) % samples.len();
-                    let src = &samples[pick];
-                    let feats: Vec<f64> = chosen.iter().map(|&f| src.features[f]).collect();
-                    projected.push(ClassSample::new(feats, src.class));
+        let n = samples.len();
+        let classes: Vec<Class> = samples.iter().map(|s| s.class).collect();
+        let matrix = FeatureMatrix::from_rows(samples.iter().map(|s| s.features.as_slice()));
+        // The expensive part of starting a tree is sorting every feature
+        // column. Sort the *root* matrix once, share it read-only across
+        // all tree tasks, and derive each tree's bootstrap stripes from it
+        // in O(n) per feature instead of O(n log n).
+        let root = PresortedColumns::with_pool(&matrix, pool);
+
+        let tree_ids: Vec<usize> = (0..self.n_trees).collect();
+        let chunk_pool = pool.with_min_chunk(FOREST_MIN_TASK_ROWS.div_ceil(n));
+        let chunks = chunk_pool.parallel_for_chunks(&tree_ids, |ids| {
+            // Per-worker scratch, reused across the chunk's trees: the
+            // steady state allocates nothing per tree but the grown nodes.
+            let mut workspace = SplitWorkspace::new();
+            let mut features: Vec<usize> = Vec::with_capacity(n_features);
+            let mut picks: Vec<u32> = vec![0; n];
+            let mut counts: Vec<u32> = vec![0; n];
+            let mut offsets: Vec<u32> = vec![0; n];
+            let mut slots: Vec<u32> = vec![0; n];
+            let mut proj_classes: Vec<Class> = Vec::with_capacity(n);
+
+            let mut members = Vec::with_capacity(ids.len());
+            for &t in ids {
+                let tree_seed = splitmix(self.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+                // Random feature subset (deterministic Fisher–Yates prefix).
+                features.clear();
+                features.extend(0..n_features);
+                for i in 0..per_tree.min(n_features - 1) {
+                    let j = i + (splitmix(tree_seed ^ i as u64) as usize) % (n_features - i);
+                    features.swap(i, j);
                 }
-                let failed = projected
-                    .iter()
-                    .filter(|s| s.class == Class::Failed)
-                    .count();
-                if failed > 0 && failed < projected.len() {
-                    break;
+                let mut chosen = features[..per_tree].to_vec();
+                chosen.sort_unstable();
+
+                // Bootstrap resample; keep re-drawing until both classes
+                // are present (almost always the first draw).
+                let mut salt = 0u64;
+                loop {
+                    let mut n_failed = 0usize;
+                    for (i, pick) in picks.iter_mut().enumerate() {
+                        let draw = (splitmix(tree_seed ^ salt ^ ((i as u64) << 20)) as usize) % n;
+                        *pick = draw as u32;
+                        if classes[draw] == Class::Failed {
+                            n_failed += 1;
+                        }
+                    }
+                    if n_failed > 0 && n_failed < n {
+                        break;
+                    }
+                    salt += 1;
                 }
-                salt += 1;
+                proj_classes.clear();
+                proj_classes.extend(picks.iter().map(|&p| classes[p as usize]));
+
+                // Group bootstrap rows by source row (a counting sort):
+                // after the fill, source row `s` owns
+                // `slots[offsets[s]-counts[s]..offsets[s]]`, its bootstrap
+                // row ids in ascending order.
+                counts.fill(0);
+                for &p in &picks {
+                    counts[p as usize] += 1;
+                }
+                let mut acc = 0u32;
+                for (offset, &count) in offsets.iter_mut().zip(&counts) {
+                    *offset = acc;
+                    acc += count;
+                }
+                for (i, &p) in picks.iter().enumerate() {
+                    slots[offsets[p as usize] as usize] = i as u32;
+                    offsets[p as usize] += 1;
+                }
+
+                // Derive the bootstrap's sorted stripes from the shared
+                // root order: walk each chosen column in root-sorted order
+                // and expand every source row into its bootstrap
+                // duplicates. The result is value-sorted, so the split
+                // search behaves exactly as if the stripe had been sorted
+                // from scratch.
+                let (orders, fvalues) = workspace.begin_fill(n, per_tree);
+                for (local, &global) in chosen.iter().enumerate() {
+                    let ids_stripe = &mut orders[local * n..(local + 1) * n];
+                    let vals_stripe = &mut fvalues[local * n..(local + 1) * n];
+                    let mut out = 0usize;
+                    for &src in root.feature_order(global) {
+                        let count = counts[src as usize] as usize;
+                        if count == 0 {
+                            continue;
+                        }
+                        let end = offsets[src as usize] as usize;
+                        let value = matrix.value(src as usize, global);
+                        for &boot_row in &slots[end - count..end] {
+                            ids_stripe[out] = boot_row;
+                            vals_stripe[out] = value;
+                            out += 1;
+                        }
+                    }
+                    debug_assert_eq!(out, n, "stripe must cover every bootstrap row");
+                }
+
+                let tree = match self
+                    .base
+                    .build_prepared(&proj_classes, &mut workspace, inner_pool)
+                {
+                    Ok(tree) => tree,
+                    Err(e) => return Err(e),
+                };
+                members.push(Member {
+                    features: chosen,
+                    tree,
+                });
             }
-            let tree = base.build(&projected)?;
-            Ok(Member {
-                features: chosen,
-                tree,
-            })
+            Ok(members)
         });
-        let trees = members
-            .into_iter()
-            .collect::<Result<Vec<_>, TrainError>>()?;
+        let mut trees = Vec::with_capacity(self.n_trees);
+        for chunk in chunks {
+            trees.extend(chunk?);
+        }
         Ok(RandomForest { trees, n_features })
     }
 }

@@ -1,8 +1,7 @@
 //! The Regression Tree model (Algorithm 2 of the paper).
 
-use crate::classifier::{partition, PRESORT_NODE_FRACTION};
 use crate::sample::{validate_features, RegSample, TrainError};
-use crate::split::{best_regression_split, FeatureMatrix, PresortedColumns};
+use crate::split::{FeatureMatrix, SplitWorkspace};
 use crate::tree::{Node, NodeId, SplitNode, Tree};
 use hdd_par::ThreadPool;
 use std::fmt;
@@ -132,15 +131,18 @@ impl RegressionTreeBuilder {
         let pool = self
             .threads
             .map_or_else(ThreadPool::global, ThreadPool::new);
+        let mut workspace = SplitWorkspace::new();
+        workspace.reset_sorted(&matrix, pool);
         let tree = grow(
-            &matrix,
             &targets,
             weights,
             self.min_split,
             self.min_bucket,
             self.max_depth,
             n_features,
+            self.complexity,
             pool,
+            &mut workspace,
         );
         let tree = crate::prune::prune(&tree, self.complexity);
         Ok(RegressionTree { tree })
@@ -185,23 +187,22 @@ impl RegressionTree {
 }
 
 /// Grow a full regression tree (stack-based, like Algorithm 2). Split
-/// search strategy and parallelism as in the classification grower:
-/// presorted columns for large nodes, legacy sort for slivers, both
-/// bit-identical at any thread count.
+/// search strategy and parallelism as in the classification grower: the
+/// descent runs on the [`SplitWorkspace`]'s presorted stripes, which are
+/// bit-identical to the legacy sort-per-node search at any thread count.
 #[allow(clippy::too_many_arguments)]
 fn grow(
-    matrix: &FeatureMatrix,
     targets: &[f64],
     weights: &[f64],
     min_split: usize,
     min_bucket: usize,
     max_depth: Option<usize>,
     n_features: usize,
+    complexity: f64,
     pool: ThreadPool,
+    ws: &mut SplitWorkspace,
 ) -> Tree<RegLeaf> {
-    let presorted = PresortedColumns::with_pool(matrix, pool);
-    let presort_cutoff = matrix.n_rows() / PRESORT_NODE_FRACTION;
-    let mut indices: Vec<u32> = (0..matrix.n_rows() as u32).collect();
+    let n_rows = ws.n_rows();
     let root_weight: f64 = weights.iter().sum();
 
     let node_stats = |idx: &[u32]| {
@@ -219,7 +220,7 @@ fn grow(
         (mean, sq, sw)
     };
 
-    let (root_mean, root_sq, _) = node_stats(&indices);
+    let (root_mean, root_sq, _) = node_stats(ws.members(0, n_rows));
     let mut nodes = vec![Node {
         prediction: RegLeaf { mean: root_mean },
         weight: root_weight,
@@ -227,30 +228,35 @@ fn grow(
         gain: 0.0,
         split: None,
     }];
-    let mut stack = vec![(NodeId::ROOT, 0usize, indices.len(), 1usize)];
+    let mut stack = vec![(NodeId::ROOT, 0usize, n_rows, 1usize)];
 
     while let Some((id, start, end, depth)) = stack.pop() {
         if end - start < min_split || max_depth.is_some_and(|d| depth >= d) {
             continue;
         }
-        let range = &indices[start..end];
-        let split = if range.len() >= presort_cutoff {
-            presorted.best_regression_split(matrix, range, targets, weights, min_bucket, pool)
-        } else {
-            best_regression_split(matrix, range, targets, weights, min_bucket)
-        };
+        let split = ws.best_regression_split(start, end, targets, weights, min_bucket, pool);
         let Some(split) = split else {
             continue;
         };
-        let mid = partition(&mut indices[start..end], |i| {
-            matrix.value(i as usize, split.feature) < split.threshold
-        }) + start;
+        // Pre-prune: `prune` collapses any split whose relative gain falls
+        // below the complexity parameter based on that gain alone, so a
+        // below-`cp` split's subtree can never survive — decline it now
+        // and grow the post-prune tree directly (bit-identical output).
+        let scaled = if root_sq > 0.0 {
+            split.gain / root_sq
+        } else {
+            0.0
+        };
+        if scaled < complexity {
+            continue;
+        }
+        let mid = ws.partition(start, end, split.feature, split.threshold);
         debug_assert!(mid > start && mid < end);
 
         let left_id = NodeId(nodes.len() as u32);
         let right_id = NodeId(nodes.len() as u32 + 1);
         let mut child_weights = [0.0f64; 2];
-        for (slot, range) in [&indices[start..mid], &indices[mid..end]]
+        for (slot, range) in [ws.members(start, mid), ws.members(mid, end)]
             .into_iter()
             .enumerate()
         {

@@ -120,6 +120,22 @@ impl FeatureMatrix {
     pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks_exact(self.n_features.max(1))
     }
+
+    /// Build from an already row-major buffer without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `n_features`.
+    #[must_use]
+    pub fn from_vec(data: Vec<f64>, n_features: usize) -> Self {
+        assert!(n_features >= 1, "need at least one feature column");
+        assert_eq!(
+            data.len() % n_features,
+            0,
+            "buffer length must be a multiple of the feature count"
+        );
+        FeatureMatrix { data, n_features }
+    }
 }
 
 /// Gini impurity of a weighted two-class node: `2·p·(1−p)` scaled to
@@ -178,6 +194,7 @@ pub fn best_classification_split(
 
     let mut best: Option<SplitSpec> = None;
     let mut order: Vec<u32> = indices.to_vec();
+    let mut vals: Vec<f64> = vec![0.0; indices.len()];
     for feature in 0..matrix.n_features() {
         // Restart from the node's (ascending) order before every sort so
         // ties resolve to ascending row id for each feature — the
@@ -189,10 +206,13 @@ pub fn best_classification_split(
                 .value(a as usize, feature)
                 .total_cmp(&matrix.value(b as usize, feature))
         });
+        for (slot, &i) in vals.iter_mut().zip(&order) {
+            *slot = matrix.value(i as usize, feature);
+        }
         let floor = best.as_ref().map_or(MIN_GAIN, |b| b.gain);
         let candidate = sweep_classification_feature(
-            matrix,
             &order,
+            &vals,
             feature,
             classes,
             weights,
@@ -211,15 +231,17 @@ pub fn best_classification_split(
 }
 
 /// Sweep every threshold of one feature over samples already in feature
-/// order; return the best candidate whose gain strictly exceeds `floor`
+/// order (`vals[pos]` is the feature value of row `order[pos]`, so the
+/// hot loop reads values sequentially instead of gathering through the
+/// matrix); return the best candidate whose gain strictly exceeds `floor`
 /// (earlier thresholds win ties, exactly like the legacy loop).
 ///
-/// Both search strategies call this, so their floating-point
+/// All search strategies call this, so their floating-point
 /// accumulations — and therefore the chosen splits — are bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn sweep_classification_feature(
-    matrix: &FeatureMatrix,
     order: &[u32],
+    vals: &[f64],
     feature: usize,
     classes: &[Class],
     weights: &[f64],
@@ -243,8 +265,8 @@ fn sweep_classification_feature(
         if n_left < min_bucket || n_right < min_bucket {
             continue;
         }
-        let v = matrix.value(idx, feature);
-        let v_next = matrix.value(order[pos + 1] as usize, feature);
+        let v = vals[pos];
+        let v_next = vals[pos + 1];
         if v == v_next {
             continue; // can't separate equal values
         }
@@ -292,6 +314,7 @@ pub fn best_regression_split(
 
     let mut best: Option<SplitSpec> = None;
     let mut order: Vec<u32> = indices.to_vec();
+    let mut vals: Vec<f64> = vec![0.0; indices.len()];
     for feature in 0..matrix.n_features() {
         // Same canonical tie order as the classification search above.
         order.copy_from_slice(indices);
@@ -300,10 +323,13 @@ pub fn best_regression_split(
                 .value(a as usize, feature)
                 .total_cmp(&matrix.value(b as usize, feature))
         });
+        for (slot, &i) in vals.iter_mut().zip(&order) {
+            *slot = matrix.value(i as usize, feature);
+        }
         let floor = best.as_ref().map_or(MIN_GAIN, |b| b.gain);
         let candidate = sweep_regression_feature(
-            matrix,
             &order,
+            &vals,
             feature,
             targets,
             weights,
@@ -320,12 +346,13 @@ pub fn best_regression_split(
 }
 
 /// The regression analogue of [`sweep_classification_feature`]: sweep one
-/// feature's thresholds over samples already in feature order, comparing
-/// against `floor` with strict inequality.
+/// feature's thresholds over samples already in feature order (with
+/// position-aligned `vals`), comparing against `floor` with strict
+/// inequality.
 #[allow(clippy::too_many_arguments)]
 fn sweep_regression_feature(
-    matrix: &FeatureMatrix,
     order: &[u32],
+    vals: &[f64],
     feature: usize,
     targets: &[f64],
     weights: &[f64],
@@ -348,8 +375,8 @@ fn sweep_regression_feature(
         if n_left < min_bucket || n_right < min_bucket {
             continue;
         }
-        let v = matrix.value(idx, feature);
-        let v_next = matrix.value(order[pos + 1] as usize, feature);
+        let v = vals[pos];
+        let v_next = vals[pos + 1];
         if v == v_next {
             continue;
         }
@@ -486,9 +513,13 @@ impl PresortedColumns {
         let mask = &mask;
         let per_feature = pool.parallel_map_range(self.n_features, |feature| {
             let order = self.node_order(feature, mask, indices.len());
+            let vals: Vec<f64> = order
+                .iter()
+                .map(|&i| matrix.value(i as usize, feature))
+                .collect();
             sweep_classification_feature(
-                matrix,
                 &order,
+                &vals,
                 feature,
                 classes,
                 weights,
@@ -539,9 +570,13 @@ impl PresortedColumns {
         let mask = &mask;
         let per_feature = pool.parallel_map_range(self.n_features, |feature| {
             let order = self.node_order(feature, mask, indices.len());
+            let vals: Vec<f64> = order
+                .iter()
+                .map(|&i| matrix.value(i as usize, feature))
+                .collect();
             sweep_regression_feature(
-                matrix,
                 &order,
+                &vals,
                 feature,
                 targets,
                 weights,
@@ -587,6 +622,344 @@ impl PresortedColumns {
             "node indices must be strictly ascending for bit-exact parity"
         );
     }
+}
+
+/// Minimum `node_size × n_features` before a node's per-feature sweeps
+/// are fanned out across the pool: below this the work is too small to
+/// amortise spawn/join, and the serial merge is bit-identical anyway.
+const PARALLEL_SWEEP_MIN_WORK: usize = 1 << 15;
+
+/// Stripe-partitioned split-search state: the zero-allocation descent
+/// engine behind tree growth.
+///
+/// [`PresortedColumns`] recovers a node's per-feature order by filtering
+/// the root order through a membership bitmask — an O(total rows) scan
+/// per feature *per node*, plus a fresh `Vec` per sweep. This workspace
+/// keeps the presorted stripes **mutable** and maintains one invariant
+/// instead: after every split, each feature stripe is stably partitioned
+/// so that a node occupying index range `[start, end)` holds exactly its
+/// member rows, still in feature-value order (ties toward lower row id),
+/// in that range of every stripe. Recovering a node's order is then free
+/// — it *is* the slice — and a split costs one stable partition pass over
+/// the node's rows per stripe, touching nothing outside `[start, end)`.
+///
+/// Stably partitioning a sorted sequence preserves the relative order of
+/// both sides, so the slice a node sees is equal, element by element, to
+/// the membership-filtered root order [`PresortedColumns`] would produce
+/// — and therefore to the legacy sort-per-node order. All three
+/// strategies feed the same sweep kernels, so grown trees are
+/// bit-identical regardless of strategy or thread count.
+///
+/// Feature values ride along in a parallel `f64` stripe, so sweeps read
+/// values sequentially instead of gathering rows through the matrix.
+/// All buffers are reused across [`SplitWorkspace::reset_sorted`] /
+/// [`SplitWorkspace::load_from`] calls, which is what forest training
+/// leans on: one workspace per worker, reset per tree, zero steady-state
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub struct SplitWorkspace {
+    /// `n_features` stripes × `n_rows` row ids (see invariant above).
+    orders: Vec<u32>,
+    /// Feature values aligned with `orders`: `fvalues[f·n_rows + pos]` is
+    /// feature `f`'s value for row `orders[f·n_rows + pos]`.
+    fvalues: Vec<f64>,
+    /// Node member row ids in ascending order, partitioned alongside the
+    /// stripes (tree growth reads leaf statistics from here).
+    members: Vec<u32>,
+    /// Per-row routing decision of the current partition step.
+    goes_left: Vec<bool>,
+    scratch_ids: Vec<u32>,
+    scratch_vals: Vec<f64>,
+    n_rows: usize,
+    n_features: usize,
+}
+
+impl SplitWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    #[must_use]
+    pub fn new() -> Self {
+        SplitWorkspace::default()
+    }
+
+    /// Rows the workspace currently covers.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Feature stripes the workspace currently holds.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Size buffers for `n_rows × n_features` and reset `members` to
+    /// ascending row ids; stripe contents are left for the caller.
+    fn begin(&mut self, n_rows: usize, n_features: usize) {
+        self.n_rows = n_rows;
+        self.n_features = n_features;
+        self.orders.clear();
+        self.orders.resize(n_rows * n_features, 0);
+        self.fvalues.clear();
+        self.fvalues.resize(n_rows * n_features, 0.0);
+        self.members.clear();
+        self.members.extend(0..n_rows as u32);
+        self.goes_left.clear();
+        self.goes_left.resize(n_rows, false);
+        self.scratch_ids.reserve(n_rows);
+        self.scratch_vals.reserve(n_rows);
+    }
+
+    /// Reset for `matrix`: argsort every feature stripe (same comparator
+    /// as [`PresortedColumns`] — value order, ties toward lower row id),
+    /// fanned out across `pool`.
+    pub fn reset_sorted(&mut self, matrix: &FeatureMatrix, pool: ThreadPool) {
+        let n_rows = matrix.n_rows();
+        self.begin(n_rows, matrix.n_features());
+        let mut stripes: Vec<(&mut [u32], &mut [f64])> = self
+            .orders
+            .chunks_mut(n_rows.max(1))
+            .zip(self.fvalues.chunks_mut(n_rows.max(1)))
+            .collect();
+        let sorted = pool.try_parallel_map_mut(&mut stripes, |feature, (ids, vals)| {
+            for (slot, row) in ids.iter_mut().zip(0..n_rows as u32) {
+                *slot = row;
+            }
+            ids.sort_unstable_by(|&a, &b| {
+                matrix
+                    .value(a as usize, feature)
+                    .total_cmp(&matrix.value(b as usize, feature))
+                    .then(a.cmp(&b))
+            });
+            for (slot, &row) in vals.iter_mut().zip(ids.iter()) {
+                *slot = matrix.value(row as usize, feature);
+            }
+        });
+        if let Err(p) = sorted {
+            panic!("{p}");
+        }
+    }
+
+    /// Reset by copying another workspace's stripes (which must be in
+    /// their pristine root state) — a memcpy instead of a re-sort, for
+    /// callers that train repeatedly on the same matrix with different
+    /// weights (boosting rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pristine` is empty.
+    pub fn load_from(&mut self, pristine: &SplitWorkspace) {
+        assert!(pristine.n_rows > 0, "cannot load from an empty workspace");
+        self.begin(pristine.n_rows, pristine.n_features);
+        self.orders.copy_from_slice(&pristine.orders);
+        self.fvalues.copy_from_slice(&pristine.fvalues);
+    }
+
+    /// Size the workspace and hand out the raw `(row id, value)` stripe
+    /// buffers for direct filling — the forest trainer derives bootstrap
+    /// stripes from a shared root index straight into these, skipping the
+    /// per-tree argsorts entirely. Each feature `f` owns
+    /// `[f·n_rows, (f+1)·n_rows)`; rows must be written in feature-value
+    /// order with ties toward lower row id.
+    pub(crate) fn begin_fill(
+        &mut self,
+        n_rows: usize,
+        n_features: usize,
+    ) -> (&mut [u32], &mut [f64]) {
+        self.begin(n_rows, n_features);
+        (&mut self.orders, &mut self.fvalues)
+    }
+
+    /// The node's member row ids (ascending) for index range
+    /// `[start, end)`.
+    #[must_use]
+    pub fn members(&self, start: usize, end: usize) -> &[u32] {
+        &self.members[start..end]
+    }
+
+    /// One feature's `(row id, value)` stripe slice for a node range.
+    fn stripe(&self, feature: usize, start: usize, end: usize) -> (&[u32], &[f64]) {
+        let base = feature * self.n_rows;
+        (
+            &self.orders[base + start..base + end],
+            &self.fvalues[base + start..base + end],
+        )
+    }
+
+    /// Best classification split of the node occupying `[start, end)` —
+    /// same result, bit for bit, as [`best_classification_split`] over
+    /// the node's members.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn best_classification_split(
+        &self,
+        start: usize,
+        end: usize,
+        classes: &[Class],
+        weights: &[f64],
+        min_bucket: usize,
+        criterion: SplitCriterion,
+        pool: ThreadPool,
+    ) -> Option<SplitSpec> {
+        let mut totals = (0.0, 0.0); // (good, failed)
+        for &i in self.members(start, end) {
+            match classes[i as usize] {
+                Class::Good => totals.0 += weights[i as usize],
+                Class::Failed => totals.1 += weights[i as usize],
+            }
+        }
+        let parent_info = criterion.impurity(totals.0, totals.1);
+        if parent_info == 0.0 {
+            return None;
+        }
+        let total_w = totals.0 + totals.1;
+        let pool = self.sweep_pool(end - start, pool);
+        let per_feature = pool.parallel_map_range(self.n_features, |feature| {
+            let (order, vals) = self.stripe(feature, start, end);
+            sweep_classification_feature(
+                order,
+                vals,
+                feature,
+                classes,
+                weights,
+                totals,
+                parent_info,
+                total_w,
+                min_bucket,
+                criterion,
+                MIN_GAIN,
+            )
+        });
+        merge_feature_candidates(per_feature)
+    }
+
+    /// Best regression split of the node occupying `[start, end)` — same
+    /// result, bit for bit, as [`best_regression_split`] over the node's
+    /// members.
+    #[must_use]
+    pub fn best_regression_split(
+        &self,
+        start: usize,
+        end: usize,
+        targets: &[f64],
+        weights: &[f64],
+        min_bucket: usize,
+        pool: ThreadPool,
+    ) -> Option<SplitSpec> {
+        let (mut sw, mut swy, mut swy2) = (0.0, 0.0, 0.0);
+        for &i in self.members(start, end) {
+            let idx = i as usize;
+            let (w, y) = (weights[idx], targets[idx]);
+            sw += w;
+            swy += w * y;
+            swy2 += w * y * y;
+        }
+        let parent_sq = sq_from_moments(sw, swy, swy2);
+        if parent_sq <= 0.0 {
+            return None;
+        }
+        let pool = self.sweep_pool(end - start, pool);
+        let per_feature = pool.parallel_map_range(self.n_features, |feature| {
+            let (order, vals) = self.stripe(feature, start, end);
+            sweep_regression_feature(
+                order,
+                vals,
+                feature,
+                targets,
+                weights,
+                (sw, swy, swy2),
+                parent_sq,
+                min_bucket,
+                MIN_GAIN,
+            )
+        });
+        merge_feature_candidates(per_feature)
+    }
+
+    /// Drop to the serial pool for nodes too small to amortise fan-out;
+    /// the per-feature merge is deterministic either way.
+    fn sweep_pool(&self, node_size: usize, pool: ThreadPool) -> ThreadPool {
+        if node_size * self.n_features < PARALLEL_SWEEP_MIN_WORK {
+            ThreadPool::serial()
+        } else {
+            pool
+        }
+    }
+
+    /// Apply a chosen split to the node occupying `[start, end)`: stably
+    /// partition the members and every stripe so rows with
+    /// `feature < threshold` come first. Returns the index where the
+    /// right child starts.
+    pub fn partition(&mut self, start: usize, end: usize, feature: usize, threshold: f64) -> usize {
+        let base = feature * self.n_rows;
+        for pos in base + start..base + end {
+            let row = self.orders[pos] as usize;
+            self.goes_left[row] = self.fvalues[pos] < threshold;
+        }
+        let n_left = stable_partition_ids(
+            &mut self.members[start..end],
+            &self.goes_left,
+            &mut self.scratch_ids,
+        );
+        for f in 0..self.n_features {
+            let base = f * self.n_rows;
+            stable_partition_stripe(
+                &mut self.orders[base + start..base + end],
+                &mut self.fvalues[base + start..base + end],
+                &self.goes_left,
+                &mut self.scratch_ids,
+                &mut self.scratch_vals,
+            );
+        }
+        start + n_left
+    }
+}
+
+/// Stable in-place partition of row ids by a per-row mask; left rows keep
+/// their order at the front, right rows theirs at the back. Returns the
+/// left count.
+fn stable_partition_ids(ids: &mut [u32], left: &[bool], scratch: &mut Vec<u32>) -> usize {
+    scratch.clear();
+    let mut w = 0;
+    for r in 0..ids.len() {
+        let id = ids[r];
+        if left[id as usize] {
+            ids[w] = id;
+            w += 1;
+        } else {
+            scratch.push(id);
+        }
+    }
+    ids[w..].copy_from_slice(scratch);
+    w
+}
+
+/// [`stable_partition_ids`] moving the aligned value lane in lockstep.
+fn stable_partition_stripe(
+    ids: &mut [u32],
+    vals: &mut [f64],
+    left: &[bool],
+    scratch_ids: &mut Vec<u32>,
+    scratch_vals: &mut Vec<f64>,
+) -> usize {
+    scratch_ids.clear();
+    scratch_vals.clear();
+    let mut w = 0;
+    for r in 0..ids.len() {
+        let id = ids[r];
+        let v = vals[r];
+        if left[id as usize] {
+            ids[w] = id;
+            vals[w] = v;
+            w += 1;
+        } else {
+            scratch_ids.push(id);
+            scratch_vals.push(v);
+        }
+    }
+    ids[w..].copy_from_slice(scratch_ids);
+    vals[w..].copy_from_slice(scratch_vals);
+    w
 }
 
 /// Merge per-feature winners in feature order with the serial loop's
@@ -876,6 +1249,137 @@ mod tests {
         assert_eq!(presorted.n_rows(), 4);
         assert_eq!(presorted.n_features(), 1);
         assert_eq!(presorted.feature_order(0), &[1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn workspace_matches_legacy_through_a_descent() {
+        // Quantized values force ties; simulate a two-level descent and
+        // check the workspace's search + partition reproduce the legacy
+        // search on the partitioned member sets exactly.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                vec![
+                    f64::from((i * 7) % 5),
+                    f64::from((i * 3) % 11),
+                    f64::from(i % 2),
+                ]
+            })
+            .collect();
+        let m = FeatureMatrix::from_rows(rows.iter().map(Vec::as_slice));
+        let classes: Vec<Class> = (0..60)
+            .map(|i| {
+                if (i * 13) % 3 == 0 {
+                    Class::Failed
+                } else {
+                    Class::Good
+                }
+            })
+            .collect();
+        let weights: Vec<f64> = (0..60).map(|i| 1.0 + f64::from(i % 4) * 0.25).collect();
+
+        let mut ws = SplitWorkspace::new();
+        ws.reset_sorted(&m, ThreadPool::serial());
+        assert_eq!(ws.n_rows(), 60);
+        assert_eq!(ws.n_features(), 3);
+
+        let mut ranges = vec![(0usize, 60usize)];
+        let mut splits_seen = 0;
+        while let Some((start, end)) = ranges.pop() {
+            let members: Vec<u32> = ws.members(start, end).to_vec();
+            assert!(
+                members.windows(2).all(|w| w[0] < w[1]),
+                "members must stay ascending"
+            );
+            let legacy = best_classification_split(
+                &m,
+                &members,
+                &classes,
+                &weights,
+                3,
+                SplitCriterion::InformationGain,
+            );
+            for threads in [1, 4] {
+                let got = ws.best_classification_split(
+                    start,
+                    end,
+                    &classes,
+                    &weights,
+                    3,
+                    SplitCriterion::InformationGain,
+                    ThreadPool::new(threads),
+                );
+                assert_eq!(got, legacy, "range [{start}, {end})");
+            }
+            let Some(split) = legacy else { continue };
+            splits_seen += 1;
+            if splits_seen > 8 {
+                continue;
+            }
+            let mid = ws.partition(start, end, split.feature, split.threshold);
+            assert!(mid > start && mid < end);
+            for &i in ws.members(start, mid) {
+                assert!(m.value(i as usize, split.feature) < split.threshold);
+            }
+            for &i in ws.members(mid, end) {
+                assert!(m.value(i as usize, split.feature) >= split.threshold);
+            }
+            ranges.push((start, mid));
+            ranges.push((mid, end));
+        }
+        assert!(splits_seen >= 2, "descent must actually split");
+    }
+
+    #[test]
+    fn workspace_regression_matches_legacy() {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![f64::from((i * 5) % 9), f64::from(i % 4)])
+            .collect();
+        let m = FeatureMatrix::from_rows(rows.iter().map(Vec::as_slice));
+        let targets: Vec<f64> = (0..50).map(|i| f64::from((i * 11) % 7) - 3.0).collect();
+        let weights = vec![1.0; 50];
+        let mut ws = SplitWorkspace::new();
+        ws.reset_sorted(&m, ThreadPool::new(2));
+        let legacy_indices: Vec<u32> = (0..50).collect();
+        let legacy = best_regression_split(&m, &legacy_indices, &targets, &weights, 2);
+        let got = ws.best_regression_split(0, 50, &targets, &weights, 2, ThreadPool::serial());
+        assert_eq!(got, legacy);
+        let split = got.unwrap();
+        let mid = ws.partition(0, 50, split.feature, split.threshold);
+        let legacy_sub: Vec<u32> = ws.members(0, mid).to_vec();
+        assert_eq!(
+            ws.best_regression_split(0, mid, &targets, &weights, 2, ThreadPool::serial()),
+            best_regression_split(&m, &legacy_sub, &targets, &weights, 2)
+        );
+    }
+
+    #[test]
+    fn workspace_load_from_restores_pristine_stripes() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from((i * 7) % 6)]).collect();
+        let m = FeatureMatrix::from_rows(rows.iter().map(Vec::as_slice));
+        let mut pristine = SplitWorkspace::new();
+        pristine.reset_sorted(&m, ThreadPool::serial());
+        let mut ws = SplitWorkspace::new();
+        ws.load_from(&pristine);
+        let before: Vec<u32> = ws.members(0, 20).to_vec();
+        let _ = ws.partition(0, 20, 0, 3.0);
+        assert_ne!(ws.members(0, 20), before.as_slice(), "partition reorders");
+        ws.load_from(&pristine);
+        assert_eq!(ws.members(0, 20), before.as_slice());
+        assert_eq!(ws.orders, pristine.orders);
+        assert_eq!(ws.fvalues, pristine.fvalues);
+    }
+
+    #[test]
+    fn matrix_from_vec_round_trips() {
+        let m = FeatureMatrix::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the feature count")]
+    fn matrix_from_vec_rejects_ragged_buffer() {
+        let _ = FeatureMatrix::from_vec(vec![1.0, 2.0, 3.0], 2);
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub use aging::{weekly_far, AgingOutcome, UpdateStrategy};
 pub use detect::{VotingDetector, VotingRule, VotingState};
 pub use metrics::{PredictionMetrics, TIA_BUCKETS};
 pub use model::{Compile, ModelError, Predictor, SavedModel, TrainableModel};
+// Re-exported because it appears in `Predictor::predict_batch`'s
+// signature: downstream crates can name it without a hdd-cart dependency.
+pub use hdd_cart::FeatureMatrix;
 pub use pipeline::{ConfigError, Experiment, ExperimentBuilder, ExperimentOutcome, HealthTargets};
 pub use roc::{sweep_thresholds, sweep_voters, RocPoint};
 pub use split::{time_split, Split, SplitConfig};

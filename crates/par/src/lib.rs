@@ -335,6 +335,11 @@ pub fn resolve_threads(explicit: Option<usize>) -> usize {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadPool {
     n_threads: usize,
+    /// Minimum items dealt to a worker before another worker is engaged.
+    /// Defaults to 1 (chunking purely by thread count); raise it via
+    /// [`ThreadPool::with_min_chunk`] when per-item work is small enough
+    /// that spawn/join overhead would dominate an under-filled chunk.
+    min_chunk: usize,
 }
 
 impl Default for ThreadPool {
@@ -356,6 +361,7 @@ impl ThreadPool {
         assert!(n_threads >= 1, "thread count must be at least 1");
         ThreadPool {
             n_threads: n_threads.min(MAX_THREADS),
+            min_chunk: 1,
         }
     }
 
@@ -363,7 +369,10 @@ impl ThreadPool {
     /// loop, spawning nothing.
     #[must_use]
     pub fn serial() -> Self {
-        ThreadPool { n_threads: 1 }
+        ThreadPool {
+            n_threads: 1,
+            min_chunk: 1,
+        }
     }
 
     /// The pool resolved from the process-wide configuration
@@ -372,7 +381,38 @@ impl ThreadPool {
     pub fn global() -> Self {
         ThreadPool {
             n_threads: resolve_threads(None),
+            min_chunk: 1,
         }
+    }
+
+    /// The same pool with a minimum-work floor: no worker is handed fewer
+    /// than `min_chunk` items (except the final remainder chunk). With
+    /// `ceil(n / n_threads) < min_chunk`, fewer workers are engaged —
+    /// trading idle threads for chunks big enough to amortise spawn/join
+    /// overhead. Merge order is still submission order, so results remain
+    /// bit-identical to the unfloored pool; only the chunk *boundaries*
+    /// (and hence [`WorkerPanic::chunk`] indices) change.
+    ///
+    /// A `min_chunk` of 0 is treated as 1.
+    #[must_use]
+    pub fn with_min_chunk(self, min_chunk: usize) -> Self {
+        ThreadPool {
+            n_threads: self.n_threads,
+            min_chunk: min_chunk.max(1),
+        }
+    }
+
+    /// The minimum chunk size this pool deals to a worker.
+    #[must_use]
+    pub fn min_chunk(&self) -> usize {
+        self.min_chunk
+    }
+
+    /// The chunk size this pool would deal for `n` items: items split
+    /// evenly across workers, floored at [`ThreadPool::min_chunk`].
+    #[must_use]
+    pub fn chunk_size_for(&self, n: usize) -> usize {
+        n.div_ceil(self.n_threads).max(self.min_chunk)
     }
 
     /// Worker count.
@@ -431,7 +471,7 @@ impl ThreadPool {
                 .map_err(|p| panic_message(&*p));
             return merge_chunks(vec![only]);
         }
-        let chunk = items.len().div_ceil(self.n_threads);
+        let chunk = self.chunk_size_for(items.len());
         let f = &f;
         let mut results: Vec<Result<Vec<R>, String>> = Vec::with_capacity(self.n_threads);
         std::thread::scope(|scope| {
@@ -484,7 +524,7 @@ impl ThreadPool {
                 .map_err(|p| panic_message(&*p));
             return merge_chunks(vec![only]);
         }
-        let chunk = n.div_ceil(self.n_threads);
+        let chunk = self.chunk_size_for(n);
         let f = &f;
         let mut results: Vec<Result<Vec<R>, String>> = Vec::with_capacity(self.n_threads);
         std::thread::scope(|scope| {
@@ -564,7 +604,7 @@ impl ThreadPool {
         if !self.is_parallel() || items.len() <= 1 {
             return merge_cancellable(vec![run_chunk(items)]);
         }
-        let chunk = items.len().div_ceil(self.n_threads);
+        let chunk = self.chunk_size_for(items.len());
         let run_chunk = &run_chunk;
         let mut results: Vec<Result<Vec<R>, ChunkFailure>> = Vec::with_capacity(self.n_threads);
         std::thread::scope(|scope| {
@@ -608,7 +648,7 @@ impl ThreadPool {
         if !self.is_parallel() || n <= 1 {
             return merge_cancellable(vec![run_range(0, n)]);
         }
-        let chunk = n.div_ceil(self.n_threads);
+        let chunk = self.chunk_size_for(n);
         let run_range = &run_range;
         let mut results: Vec<Result<Vec<R>, ChunkFailure>> = Vec::with_capacity(self.n_threads);
         std::thread::scope(|scope| {
@@ -664,7 +704,7 @@ impl ThreadPool {
             .map_err(|p| panic_message(&*p));
             return merge_chunks(vec![only]);
         }
-        let chunk = items.len().div_ceil(self.n_threads);
+        let chunk = self.chunk_size_for(items.len());
         let f = &f;
         let mut results: Vec<Result<Vec<R>, String>> = Vec::with_capacity(self.n_threads);
         std::thread::scope(|scope| {
@@ -710,7 +750,7 @@ impl ThreadPool {
                 catch_unwind(AssertUnwindSafe(|| vec![f(items)])).map_err(|p| panic_message(&*p));
             return merge_chunks(vec![only]);
         }
-        let chunk = items.len().div_ceil(self.n_threads);
+        let chunk = self.chunk_size_for(items.len());
         let f = &f;
         let mut results: Vec<Result<Vec<R>, String>> = Vec::with_capacity(self.n_threads);
         std::thread::scope(|scope| {
@@ -818,6 +858,55 @@ mod tests {
         assert!(ThreadPool::new(2).is_parallel());
         assert!(ThreadPool::global().n_threads() >= 1);
         assert_eq!(ThreadPool::new(1_000_000).n_threads(), MAX_THREADS);
+    }
+
+    #[test]
+    fn min_chunk_floor_changes_dealing_not_results() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 7).collect();
+        let pool = ThreadPool::new(8).with_min_chunk(40);
+        assert_eq!(pool.min_chunk(), 40);
+        assert_eq!(pool.chunk_size_for(100), 40, "floor beats ceil(100/8)=13");
+        assert_eq!(pool.chunk_size_for(1000), 125, "even split above floor");
+        assert_eq!(pool.parallel_map(&items, |&x| x * 7), expect);
+        // 100 items at min_chunk 40 -> chunks of 40/40/20, not 8 of 13.
+        let sums = pool.parallel_for_chunks(&items, |part| part.len());
+        assert_eq!(sums, vec![40, 40, 20]);
+        // Zero floors are normalised, defaults stay at 1.
+        assert_eq!(ThreadPool::new(8).with_min_chunk(0).min_chunk(), 1);
+        assert_eq!(ThreadPool::new(8).min_chunk(), 1);
+        assert_eq!(ThreadPool::serial().min_chunk(), 1);
+    }
+
+    #[test]
+    fn min_chunk_floor_keeps_results_identical_across_combinators() {
+        let items: Vec<u64> = (0..333).collect();
+        let base = ThreadPool::new(4);
+        let floored = base.with_min_chunk(100);
+        assert_eq!(
+            base.parallel_map(&items, |&x| x * x),
+            floored.parallel_map(&items, |&x| x * x)
+        );
+        assert_eq!(
+            base.parallel_map_range(333, |i| i as u64 + 1),
+            floored.parallel_map_range(333, |i| i as u64 + 1)
+        );
+        let token = CancelToken::new();
+        assert_eq!(
+            base.try_parallel_map_cancel(&token, &items, |&x| x + 2),
+            floored.try_parallel_map_cancel(&token, &items, |&x| x + 2)
+        );
+        let mut a: Vec<u64> = (0..57).collect();
+        let mut b = a.clone();
+        let step = |i: usize, v: &mut u64| {
+            *v += i as u64;
+            *v
+        };
+        assert_eq!(
+            base.try_parallel_map_mut(&mut a, step),
+            floored.try_parallel_map_mut(&mut b, step)
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

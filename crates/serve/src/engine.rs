@@ -43,7 +43,7 @@ use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::ingest::{FeedCursor, RoutedLine};
 use crate::monitor::{prune_history, Decision, DriveMonitor};
 use crate::stats::ShardStats;
-use hdd_eval::{ModelError, Predictor, SavedModel, VotingRule, VotingState};
+use hdd_eval::{FeatureMatrix, ModelError, Predictor, SavedModel, VotingRule, VotingState};
 use hdd_json::{JsonCodec, JsonError, Value};
 use hdd_par::{CancelToken, ParError, ThreadPool};
 use hdd_smart::csv::{parse_data_line, ValueFault};
@@ -51,6 +51,11 @@ use hdd_smart::{DriveClass, SmartSeries};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+
+/// Rows per scoring chunk in [`EngineShard::process`]. Fixed (not derived
+/// from the thread count) so chunk contents — and therefore the exact
+/// floating-point scores — are a pure function of the batch.
+const SCORE_CHUNK_ROWS: usize = 256;
 
 /// Sizing for an [`EngineShard`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -292,8 +297,22 @@ impl EngineShard {
         let scores = if rows.is_empty() {
             Vec::new()
         } else {
+            // Score through the batched traversal kernel in fixed-size
+            // chunks: chunk boundaries depend only on the row count, each
+            // chunk's scores are bit-identical to scoring its rows alone,
+            // and the token is checked per chunk — so the outcome never
+            // depends on thread count or timing.
             let model = &self.model;
-            pool.try_parallel_map_cancel(token, &rows, |features| model.score(features))?
+            let n_chunks = rows.len().div_ceil(SCORE_CHUNK_ROWS);
+            let chunk_scores = pool.try_parallel_map_range_cancel(token, n_chunks, |c| {
+                let start = c * SCORE_CHUNK_ROWS;
+                let end = (start + SCORE_CHUNK_ROWS).min(rows.len());
+                let matrix = FeatureMatrix::from_rows(rows[start..end].iter().map(Vec::as_slice));
+                let mut out = vec![0.0; end - start];
+                model.predict_batch(&matrix, &mut out);
+                out
+            })?;
+            chunk_scores.into_iter().flatten().collect()
         };
         Ok(self.commit(lines, &decisions, &scores))
     }
