@@ -27,7 +27,6 @@
 //! # Ok::<(), hdd_ann::AnnError>(())
 //! ```
 
-#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 

@@ -1,0 +1,91 @@
+//! Standalone auditor binary for CI.
+//!
+//! ```text
+//! hdd-audit [--root <dir>] [--json <path>] [--self-test] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = Some(PathBuf::from("AUDIT.json"));
+    let mut quiet = false;
+    let mut self_test = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match iter.next() {
+                Some(path) => json_out = Some(PathBuf::from(path)),
+                None => return usage("--json needs a path"),
+            },
+            "--no-json" => json_out = None,
+            "--quiet" => quiet = true,
+            "--self-test" => self_test = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "hdd-audit — workspace determinism & panic-safety auditor\n\n\
+                     USAGE: hdd-audit [--root <dir>] [--json <path>] [--no-json] \
+                     [--self-test] [--quiet]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    if self_test {
+        return match hdd_audit::corpus::self_test() {
+            Ok(()) => {
+                eprintln!("self-test corpus: every rule fires on known-bad and stays silent on known-good");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("self-test FAILED: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    let report = match hdd_audit::run_audit(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hdd-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json_out {
+        let json_path = if path.is_absolute() {
+            path
+        } else {
+            root.join(path)
+        };
+        if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+            eprintln!("hdd-audit: {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        eprint!("{}", report.to_text());
+    }
+    if report.n_unsuppressed() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("hdd-audit: {msg} (try --help)");
+    ExitCode::from(2)
+}

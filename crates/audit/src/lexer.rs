@@ -1,0 +1,531 @@
+//! A lightweight, self-contained Rust token scanner.
+//!
+//! The auditor does not need a real parser: every rule it enforces is a
+//! *lexical* invariant (a forbidden identifier, a forbidden method call,
+//! a forbidden cast). What it *does* need — and what a naive `grep`
+//! cannot deliver — is to never mistake a rule token inside a string
+//! literal, raw string, character literal, or comment for code, and to
+//! know which regions of a file are `#[cfg(test)]`-gated. This scanner
+//! provides exactly that: a stream of code tokens with line numbers, a
+//! parallel stream of comments (suppression directives live there), and
+//! a brace-matched map of test-only regions.
+//!
+//! Handled forms: line and (nested) block comments, doc comments,
+//! cooked strings with escapes, raw strings `r"…"`/`r#"…"#` at any hash
+//! depth, byte and raw-byte strings, character literals, lifetimes
+//! (`'a` is not the start of a char literal), raw identifiers
+//! (`r#match`), and numeric literals including `0..n` range punctuation.
+
+/// One significant (non-comment, non-whitespace) token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (also raw identifiers, without `r#`).
+    Ident(String),
+    /// A numeric literal (verbatim text, including any suffix).
+    Num(String),
+    /// A cooked or raw string literal (contents are *not* scanned).
+    Str,
+    /// A character literal.
+    Char,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-indexed line number.
+    pub line: u32,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+/// A comment (line, block, or doc) with its line span and text.
+///
+/// The text excludes the comment markers themselves; for block comments
+/// it may span multiple lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-indexed first line of the comment.
+    pub line: u32,
+    /// 1-indexed last line of the comment.
+    pub end_line: u32,
+    /// Comment body without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The result of scanning one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Scanned {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Scanned {
+    /// True if any code token sits on `line`.
+    #[must_use]
+    pub fn has_code_on(&self, line: u32) -> bool {
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// The first code-token line strictly after `line`, if any.
+    #[must_use]
+    pub fn next_code_line_after(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l > line)
+    }
+}
+
+/// Scan `source` into tokens and comments.
+#[must_use]
+pub fn scan(source: &str) -> Scanned {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    macro_rules! bump {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(c);
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            i += 2;
+            while i < n && chars[i] != '\n' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: start_line,
+                text,
+            });
+            continue;
+        }
+        // Block comment, possibly nested, possibly multi-line.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut text = String::new();
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    i += 2;
+                } else {
+                    bump!(chars[i]);
+                    text.push(chars[i]);
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        // Raw strings, raw byte strings, raw identifiers: r" r#" br" br#" r#ident
+        if (c == 'r' || c == 'b') && raw_string_lookahead(&chars, i) {
+            let start_line = line;
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            j += 1; // past 'r'
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            // chars[j] == '"' guaranteed by lookahead
+            j += 1;
+            // Consume until `"` followed by `hashes` hashes.
+            while j < n {
+                if chars[j] == '"' {
+                    let mut k = 0usize;
+                    while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        j += 1 + hashes;
+                        break;
+                    }
+                }
+                bump!(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Token {
+                line: start_line,
+                tok: Tok::Str,
+            });
+            i = j;
+            continue;
+        }
+        // Raw identifier `r#ident`.
+        if c == 'r'
+            && i + 2 < n
+            && chars[i + 1] == '#'
+            && (chars[i + 2].is_alphanumeric() || chars[i + 2] == '_')
+        {
+            let start_line = line;
+            let mut j = i + 2;
+            let mut name = String::new();
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                name.push(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Token {
+                line: start_line,
+                tok: Tok::Ident(name),
+            });
+            i = j;
+            continue;
+        }
+        // Cooked string / byte string.
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            let start_line = line;
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            while j < n {
+                if chars[j] == '\\' {
+                    if j + 1 < n {
+                        bump!(chars[j + 1]);
+                    }
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                bump!(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Token {
+                line: start_line,
+                tok: Tok::Str,
+            });
+            i = j;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            // Lifetime: 'ident NOT followed by a closing quote.
+            if i + 1 < n && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_') {
+                let mut j = i + 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                if j < n && chars[j] == '\'' {
+                    // 'a' — a char literal after all.
+                    out.tokens.push(Token {
+                        line,
+                        tok: Tok::Char,
+                    });
+                    i = j + 1;
+                    continue;
+                }
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Lifetime,
+                });
+                i = j;
+                continue;
+            }
+            // Char literal, possibly escaped: '\n' '\'' '\u{1F4BE}' 'x'
+            let mut j = i + 1;
+            if j < n && chars[j] == '\\' {
+                j += 2;
+                // \u{...}
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+            } else if j < n {
+                j += 1;
+            }
+            if j < n && chars[j] == '\'' {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                line,
+                tok: Tok::Char,
+            });
+            i = j;
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start_line = line;
+            let mut j = i;
+            let mut name = String::new();
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                name.push(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Token {
+                line: start_line,
+                tok: Tok::Ident(name),
+            });
+            i = j;
+            continue;
+        }
+        // Numeric literal (incl. 0x…, suffixes, floats, exponents); stops
+        // before `..` so ranges lex as two dots.
+        if c.is_ascii_digit() {
+            let start_line = line;
+            let mut j = i;
+            let mut text = String::new();
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                text.push(chars[j]);
+                j += 1;
+            }
+            if j + 1 < n && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                text.push('.');
+                j += 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+            }
+            out.tokens.push(Token {
+                line: start_line,
+                tok: Tok::Num(text),
+            });
+            i = j;
+            continue;
+        }
+        // Single punctuation character.
+        out.tokens.push(Token {
+            line,
+            tok: Tok::Punct(c),
+        });
+        i += 1;
+    }
+    out
+}
+
+/// True when position `i` starts a raw (byte) string: `r"`, `r#…"`,
+/// `br"`, `br#…"`.
+fn raw_string_lookahead(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j >= chars.len() || chars[j] != 'r' {
+            return false;
+        }
+    }
+    if chars[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    j < chars.len() && chars[j] == '"'
+}
+
+/// Token-index ranges (inclusive start, exclusive end) of
+/// `#[cfg(test)]`-gated items and `#[test]` functions.
+///
+/// The scan recognizes an outer attribute whose tokens contain both
+/// `cfg` and `test` (so `#[cfg(all(test, feature = "x"))]` counts) or a
+/// bare `#[test]`, skips any further attributes, then swallows the item
+/// that follows: through its matching top-level `{ … }` block, or to
+/// the terminating `;` for block-less items.
+#[must_use]
+pub fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    let n = tokens.len();
+    while i < n {
+        if !is_attr_start(tokens, i) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let (attr_end, is_test) = scan_attr(tokens, i);
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes between the test attr and the item.
+        let mut j = attr_end;
+        while is_attr_start(tokens, j) {
+            let (e, _) = scan_attr(tokens, j);
+            j = e;
+        }
+        // Swallow the item: to the matching `}` of its first top-level
+        // `{`, or to the first `;` before any `{`.
+        let mut depth = 0usize;
+        let mut saw_brace = false;
+        while j < n {
+            match tokens[j].tok {
+                Tok::Punct('{') => {
+                    depth += 1;
+                    saw_brace = true;
+                }
+                Tok::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if saw_brace && depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                Tok::Punct(';') if !saw_brace => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        regions.push((attr_start, j));
+        i = j;
+    }
+    regions
+}
+
+/// True when `tokens[i..]` starts an *outer* attribute `#[…]`.
+fn is_attr_start(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct('#')))
+        && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+}
+
+/// Scan the attribute starting at `i`; return (index past `]`, whether
+/// it gates test-only code).
+fn scan_attr(tokens: &[Token], i: usize) -> (usize, bool) {
+    let mut j = i + 2; // past `#[`
+    let mut depth = 1usize;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut first_ident: Option<&str> = None;
+    while j < tokens.len() && depth > 0 {
+        match &tokens[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => depth -= 1,
+            Tok::Ident(name) => {
+                if first_ident.is_none() {
+                    first_ident = Some(name);
+                }
+                if name == "cfg" {
+                    saw_cfg = true;
+                }
+                if name == "test" {
+                    saw_test = true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let is_test = (saw_cfg && saw_test) || first_ident == Some("test");
+    (j, is_test)
+}
+
+/// Convert token-index regions to a sorted list of exempt line spans.
+#[must_use]
+pub fn test_line_spans(tokens: &[Token], regions: &[(usize, usize)]) -> Vec<(u32, u32)> {
+    regions
+        .iter()
+        .filter_map(|&(s, e)| {
+            let first = tokens.get(s)?.line;
+            let last = tokens.get(e.saturating_sub(1)).map_or(first, |t| t.line);
+            Some((first, last))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(s: &Scanned) -> Vec<&str> {
+        s.tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let s = scan(r#"let x = "Instant::now()"; // Instant::now() here too"#);
+        assert!(!idents(&s).contains(&"Instant"));
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_at_depth() {
+        let src = "let x = r##\"quote \"# inside SystemTime\"##; let y = 1;";
+        let s = scan(src);
+        assert!(!idents(&s).contains(&"SystemTime"));
+        assert!(idents(&s).contains(&"y"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let d = unwrap;");
+        assert!(idents(&s).contains(&"unwrap"));
+        assert_eq!(
+            s.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count(),
+            3
+        );
+        assert_eq!(s.tokens.iter().filter(|t| t.tok == Tok::Char).count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let s = scan("/* outer /* SystemTime */ still comment */ let a = 1;");
+        assert!(!idents(&s).contains(&"SystemTime"));
+        assert!(idents(&s).contains(&"a"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_detected() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}\nfn after() {}";
+        let s = scan(src);
+        let regions = test_regions(&s.tokens);
+        assert_eq!(regions.len(), 1);
+        let spans = test_line_spans(&s.tokens, &regions);
+        assert_eq!(spans, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_strings() {
+        let s = scan("let a = \"line\nbreak\";\nlet b = 2;");
+        let b = s
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("b".into()))
+            .map(|t| t.line);
+        assert_eq!(b, Some(3));
+    }
+}

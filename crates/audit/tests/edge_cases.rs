@@ -1,0 +1,119 @@
+//! Scanner edge cases: rule tokens that must NOT produce findings.
+//!
+//! Each case plants a token that would fire a rule if the scanner
+//! misread the context — inside string literals, raw strings, doc
+//! comments, `#[cfg(test)]` modules, or under multi-line suppression
+//! comments — and asserts silence (or, for suppressions, a counted
+//! allow instead of a failure).
+
+use hdd_audit::audit_source;
+
+fn unsuppressed(path: &str, src: &str) -> usize {
+    audit_source(path, src)
+        .iter()
+        .filter(|f| f.suppressed.is_none())
+        .count()
+}
+
+#[test]
+fn rule_tokens_inside_string_literals() {
+    let src = r#"
+fn banner() -> String {
+    let a = "Instant::now() and SystemTime are banned".to_string();
+    let b = "call .unwrap() or panic!()".to_string();
+    let c = "for x in map.iter() { v[0] as f32 }".to_string();
+    a + &b + &c
+}
+"#;
+    assert_eq!(unsuppressed("crates/serve/src/engine.rs", src), 0);
+}
+
+#[test]
+fn rule_tokens_inside_raw_strings() {
+    // Raw strings at several hash depths, including embedded quotes
+    // and hash sequences shorter than the delimiter.
+    let src = "fn corpus() -> (&'static str, &'static str, &'static str) {\n\
+        let a = r\"Instant::now()\";\n\
+        let b = r#\"o.unwrap(); \"quoted\" panic!()\"#;\n\
+        let c = r##\"edge \"# inside: SystemTime, .elapsed()\"##;\n\
+        (a, b, c)\n}\n";
+    assert_eq!(unsuppressed("crates/serve/src/engine.rs", src), 0);
+}
+
+#[test]
+fn rule_tokens_inside_doc_comments() {
+    let src = "/// Never call `Instant::now()` here; `.unwrap()` panics.\n\
+               //! Module docs: `SystemTime` is forbidden, `v[0]` panics.\n\
+               /** Block docs mentioning panic!() and todo!(). */\n\
+               fn documented() {}\n";
+    assert_eq!(unsuppressed("crates/serve/src/engine.rs", src), 0);
+}
+
+#[test]
+fn rule_tokens_inside_cfg_test_modules_are_exempt() {
+    let src = "fn live(o: Option<u32>) -> u32 { o.unwrap_or(0) }\n\
+        #[cfg(test)]\n\
+        mod tests {\n\
+            use std::time::Instant;\n\
+            #[test]\n\
+            fn t() {\n\
+                let t0 = Instant::now();\n\
+                let v = vec![1u32];\n\
+                assert_eq!(v[0], Some(1).unwrap());\n\
+                assert!(t0.elapsed().as_secs() < 5);\n\
+                panic!(\"only in tests\");\n\
+            }\n\
+        }\n";
+    assert_eq!(unsuppressed("crates/serve/src/engine.rs", src), 0);
+}
+
+#[test]
+fn cfg_test_exemption_ends_with_the_module() {
+    // The same token AFTER the test module must still fire.
+    let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n\
+               fn live(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    assert_eq!(unsuppressed("crates/serve/src/engine.rs", src), 1);
+}
+
+#[test]
+fn multi_line_suppression_comment_covers_next_code_line() {
+    let src = "fn f(v: &[f64], i: usize) -> f64 {\n\
+        /* audit:allow(R3)\n\
+           reason=\"i is clamped to v.len()-1 by the caller\n\
+           and fuzzed in proptest_cart\" */\n\
+        v[i]\n}\n";
+    let findings = audit_source("crates/serve/src/engine.rs", src);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].suppressed.is_some());
+    assert_eq!(
+        findings.iter().filter(|f| f.suppressed.is_none()).count(),
+        0
+    );
+}
+
+#[test]
+fn tests_and_benches_directories_are_exempt() {
+    let hot =
+        "fn f(o: Option<u32>) -> u32 { let t = std::time::Instant::now(); drop(t); o.unwrap() }";
+    assert_eq!(unsuppressed("crates/serve/tests/chaos.rs", hot), 0);
+    assert_eq!(unsuppressed("crates/bench/benches/serve_ingest.rs", hot), 0);
+    assert_eq!(unsuppressed("tests/serve_chaos.rs", hot), 0);
+    // …but the same text in a hot-path module fires both rules.
+    assert_eq!(unsuppressed("crates/serve/src/engine.rs", hot), 2);
+}
+
+#[test]
+fn lifetimes_do_not_open_char_literals() {
+    // A naive scanner treats `'a` as an unterminated char literal and
+    // swallows the rest of the file — hiding the real violation below.
+    let src = "fn f<'a>(x: &'a [u32], o: Option<u32>) -> u32 { x.first().copied().unwrap_or(0) }\n\
+               fn g(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    assert_eq!(unsuppressed("crates/serve/src/engine.rs", src), 1);
+}
+
+#[test]
+fn corpus_self_test_is_green() {
+    if let Err(e) = hdd_audit::corpus::self_test() {
+        panic!("{e}");
+    }
+}

@@ -23,7 +23,6 @@
 //! [`hdd_json::JsonCodec`], so they persist through the same JSON
 //! machinery as the compiled tree models.
 
-#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 

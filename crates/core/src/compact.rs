@@ -91,6 +91,7 @@ impl CompactTree {
                         payload,
                         left: s.left.0,
                         right: s.right.0,
+                        // audit:allow(R4) reason="exact: the assert above proves global <= u16::MAX"
                         feature: global as u16,
                         nan_left: s.nan_left,
                     }
@@ -241,9 +242,11 @@ impl CompactTree {
             if l == LEAF {
                 continue;
             }
+            // audit:allow(R4) reason="u32 -> usize widens on every supported target; this line *is* the bounds validation"
             if (l as usize) <= i || (r as usize) <= i || l as usize >= n || r as usize >= n {
                 return Err(JsonError::new(format!("bad child links at node {i}")));
             }
+            // audit:allow(R4) reason="u16 -> usize widens on every supported target; this line *is* the bounds validation"
             if node.feature as usize >= n_features {
                 return Err(JsonError::new(format!("feature out of range at node {i}")));
             }
@@ -257,6 +260,7 @@ impl JsonCodec for CompactTree {
         Value::Obj(vec![
             (
                 "feature".to_string(),
+                // audit:allow(R4) reason="u16 -> usize serialization widening; exact by construction"
                 Value::from_usizes(self.nodes.iter().map(|n| n.feature as usize)),
             ),
             (
@@ -265,10 +269,12 @@ impl JsonCodec for CompactTree {
             ),
             (
                 "left".to_string(),
+                // audit:allow(R4) reason="u32 -> usize serialization widening; exact on every supported target"
                 Value::from_usizes(self.nodes.iter().map(|n| n.left as usize)),
             ),
             (
                 "right".to_string(),
+                // audit:allow(R4) reason="u32 -> usize serialization widening; exact on every supported target"
                 Value::from_usizes(self.nodes.iter().map(|n| n.right as usize)),
             ),
             (
@@ -534,6 +540,7 @@ impl QuantTree {
         let mut payloads = Vec::new();
         for node in &tree.nodes {
             if node.left == LEAF {
+                // audit:allow(R4) reason="exact: payload count is bounded by node count, which fits u32 by the builder's own limits"
                 let payload_idx = payloads.len() as u32;
                 payloads.push(node.payload);
                 nodes.push(QuantNode {
@@ -687,6 +694,7 @@ fn snap_threshold(column: &[f64], threshold: f64) -> Option<f32> {
     } else {
         column[idx]
     };
+    // audit:allow(R4) reason="deliberate narrowing probe: the snap below verifies the f32 preserves every routing decision or rejects it"
     let mut rounded = threshold as f32;
     if rounded.is_infinite() {
         // |threshold| overflows f32: the nearest finite f32 is the only

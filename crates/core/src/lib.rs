@@ -37,7 +37,6 @@
 //! # Ok::<(), hdd_cart::TrainError>(())
 //! ```
 
-#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 

@@ -20,7 +20,6 @@
 //! * [`triage`] — the warning-queue simulation that quantifies what the
 //!   health-degree ordering buys an operations team (§III-B).
 
-#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 

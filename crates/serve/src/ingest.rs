@@ -194,6 +194,7 @@ impl MultiFeedIngest {
             if remaining == 0 {
                 break;
             }
+            // audit:allow(R3) reason="f ranges over 0..tailers.len(); pos and routed are sized to tailers at construction"
             let events = match self.tailers[f].poll(remaining) {
                 Ok(events) => events,
                 Err(e) => {
@@ -205,10 +206,13 @@ impl MultiFeedIngest {
                 match event {
                     TailEvent::Rotation => {
                         out.rotations += 1;
+                        // audit:allow(R3) reason="f ranges over 0..tailers.len(); pos and routed are sized to tailers at construction"
                         self.pos[f] = 0;
                     }
                     TailEvent::Line { text, end_offset } => {
+                        // audit:allow(R3) reason="f ranges over 0..tailers.len(); pos and routed are sized to tailers at construction"
                         let line_start = self.pos[f];
+                        // audit:allow(R3) reason="f ranges over 0..tailers.len(); pos and routed are sized to tailers at construction"
                         self.pos[f] = end_offset;
                         if text.trim().is_empty() {
                             continue;
@@ -221,15 +225,19 @@ impl MultiFeedIngest {
                             }
                             continue;
                         }
+                        // audit:allow(R3) reason="f ranges over 0..tailers.len(); pos and routed are sized to tailers at construction"
                         let seq = self.routed[f] * n_feeds + f as u64;
+                        // audit:allow(R3) reason="f ranges over 0..tailers.len(); pos and routed are sized to tailers at construction"
                         self.routed[f] += 1;
                         remaining -= 1;
                         out.lines_read += 1;
                         let shard = self.router.shard_of_line(&text);
+                        // audit:allow(R3) reason="shard_of_line() reduces the hash modulo n_shards; out.routed is sized to n_shards"
                         out.routed[shard].push(RoutedLine {
                             seq,
                             text,
                             end_offset,
+                            // audit:allow(R3) reason="f ranges over 0..tailers.len(); pos and routed are sized to tailers at construction"
                             generation: self.tailers[f].generation(),
                         });
                     }

@@ -32,7 +32,6 @@
 //!   counts every drop (the serve loop polls within
 //!   [`ServeTopology::free`], so it never actually drops).
 
-#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 

@@ -101,6 +101,7 @@ impl JsonCodec for DriveMonitor {
             }
             history.push(sample);
         }
+        // audit:allow(R3) reason="windows(2) yields exactly-2-element slices; w[0] and w[1] always exist"
         if !history.windows(2).all(|w| w[0].hour < w[1].hour) {
             return Err(JsonError::new(
                 "history must be strictly increasing in time",

@@ -17,9 +17,11 @@
 use hdd_eval::{ModelError, SavedModel};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+// audit:allow(R1) reason="mtime is a change-detection fingerprint only; it never enters engine state, scores, or checkpoints"
 use std::time::SystemTime;
 
 /// A model file's change-detection fingerprint.
+// audit:allow(R1) reason="mtime is a change-detection fingerprint only; it never enters engine state, scores, or checkpoints"
 type Stamp = (SystemTime, u64);
 
 fn stamp(path: &Path) -> Option<Stamp> {

@@ -6,7 +6,7 @@ use crate::gen::{generate_series, generate_series_in, recorded_range};
 use crate::rng::DeterministicRng;
 use crate::series::SmartSeries;
 use crate::time::Hour;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A fleet of drives with deterministic, lazily synthesized SMART series.
 ///
@@ -18,7 +18,7 @@ pub struct Dataset {
     profile: FamilyProfile,
     seed: u64,
     specs: Vec<DriveSpec>,
-    by_id: HashMap<DriveId, usize>,
+    by_id: BTreeMap<DriveId, usize>,
 }
 
 /// Composition summary printed as the paper's Table I.
@@ -165,6 +165,22 @@ mod tests {
         let spec = &ds.drives()[3];
         assert_eq!(ds.get(spec.id), Some(spec));
         assert_eq!(ds.get(DriveId(u32::MAX)), None);
+    }
+
+    #[test]
+    fn index_rebuild_preserves_spec_order() {
+        // Regression for the BTreeMap migration: the id index is derived
+        // state; rebuilding a dataset from the same specs must reproduce
+        // the same drive order and the same lookups regardless of any
+        // map-internal ordering.
+        let ds = tiny();
+        let rebuilt = Dataset::new(ds.profile().clone(), 11, ds.drives().to_vec());
+        let ids_a: Vec<DriveId> = ds.drives().iter().map(|s| s.id).collect();
+        let ids_b: Vec<DriveId> = rebuilt.drives().iter().map(|s| s.id).collect();
+        assert_eq!(ids_a, ids_b);
+        for spec in ds.drives() {
+            assert_eq!(rebuilt.get(spec.id), Some(spec));
+        }
     }
 
     #[test]

@@ -34,7 +34,6 @@
 //! assert!(!series.samples().is_empty());
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 

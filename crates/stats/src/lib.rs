@@ -13,7 +13,6 @@
 //! This crate implements the three tests, change-rate computation, the
 //! selection pipeline, and the three named feature sets.
 
-#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 

