@@ -124,6 +124,7 @@ const R2_SCOPE: &[&str] = &[
     "crates/eval/src/triage.rs",
     "crates/fault/src/lib.rs",
     "crates/smart/src/dataset.rs",
+    "crates/workload/src/",
 ];
 
 /// R3 scope: the serve and par hot paths.

@@ -94,6 +94,29 @@ impl FaultClass {
     pub const TOPOLOGY_CORPUS: [FaultClass; 2] =
         [FaultClass::ShardSkewedIds, FaultClass::HotFeedBurst];
 
+    /// Every fault class, in declaration order — the universe
+    /// [`FaultClass::from_label`] resolves against.
+    pub const ALL: [FaultClass; 11] = [
+        FaultClass::NanValue,
+        FaultClass::OutOfRangeValue,
+        FaultClass::TruncatedRow,
+        FaultClass::GarbageRow,
+        FaultClass::DroppedRow,
+        FaultClass::DuplicatedTimestamp,
+        FaultClass::OutOfOrderTimestamp,
+        FaultClass::PartialTrailingLine,
+        FaultClass::MidStreamRotation,
+        FaultClass::ShardSkewedIds,
+        FaultClass::HotFeedBurst,
+    ];
+
+    /// Resolve a [`FaultClass::label`] back to its class — the parse
+    /// direction scenario manifests need.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.label() == label)
+    }
+
     /// A stable human-readable label (for logs and test diagnostics).
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -343,6 +366,71 @@ impl FaultInjector {
         let bit = (rng.next() % 8) as u8;
         bytes[offset] ^= 1 << bit;
         Some(BitFlip { offset, bit })
+    }
+}
+
+/// One replayable corruption scenario: a seed, a fault class and a rate,
+/// round-trippable through a single manifest line.
+///
+/// The manifest line — `seed=<n> class=<label> rate=<f>` — is the
+/// committed artifact: because [`FaultInjector`] is a pure function of
+/// `(seed, input, class, rate)`, regenerating from a parsed manifest is
+/// byte-identical to the run that produced it, forever. Extra
+/// whitespace-separated `key=value` tokens (checksums, notes) are
+/// ignored by [`ScenarioReplay::parse`] so corpora can annotate lines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioReplay {
+    /// The injector seed.
+    pub seed: u64,
+    /// Which corruption to inject.
+    pub class: FaultClass,
+    /// Fraction of data rows to corrupt (clamped to `[0, 1]` on apply).
+    pub rate: f64,
+}
+
+impl ScenarioReplay {
+    /// Serialize to the one-line manifest form.
+    #[must_use]
+    pub fn manifest_line(&self) -> String {
+        format!(
+            "seed={} class={} rate={}",
+            self.seed,
+            self.class.label(),
+            self.rate
+        )
+    }
+
+    /// Parse a manifest line (`seed=… class=… rate=…`, any order,
+    /// unknown tokens ignored). Returns `None` when any of the three
+    /// required keys is missing or malformed.
+    #[must_use]
+    pub fn parse(line: &str) -> Option<ScenarioReplay> {
+        let mut seed = None;
+        let mut class = None;
+        let mut rate = None;
+        for token in line.split_whitespace() {
+            let Some((key, value)) = token.split_once('=') else {
+                continue;
+            };
+            match key {
+                "seed" => seed = value.parse::<u64>().ok(),
+                "class" => class = FaultClass::from_label(value),
+                "rate" => rate = value.parse::<f64>().ok(),
+                _ => {}
+            }
+        }
+        Some(ScenarioReplay {
+            seed: seed?,
+            class: class?,
+            rate: rate?,
+        })
+    }
+
+    /// Run the scenario against `text`; identical to
+    /// [`FaultInjector::corrupt_csv`] with this scenario's parameters.
+    #[must_use]
+    pub fn apply(&self, text: &str) -> (String, InjectionReport) {
+        FaultInjector::new(self.seed).corrupt_csv(text, self.class, self.rate)
     }
 }
 
@@ -667,6 +755,69 @@ mod tests {
             assert_eq!(ra, rb);
             assert!(!class.label().is_empty());
         }
+    }
+
+    /// FNV-1a 64 over `bytes` — the corpus fingerprint.
+    fn fnv64(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    #[test]
+    fn scenario_replay_round_trips_through_its_manifest_line() {
+        for class in FaultClass::ALL {
+            let replay = ScenarioReplay {
+                seed: 99,
+                class,
+                rate: 0.25,
+            };
+            let line = replay.manifest_line();
+            assert_eq!(ScenarioReplay::parse(&line), Some(replay), "{line}");
+        }
+        // Unknown tokens are ignored; missing keys are refused.
+        let with_extra = "rate=0.5 note=hello seed=3 class=garbage-row fnv=0xabc";
+        let parsed = ScenarioReplay::parse(with_extra).unwrap();
+        assert_eq!(parsed.seed, 3);
+        assert_eq!(parsed.class, FaultClass::GarbageRow);
+        assert_eq!(parsed.rate, 0.5);
+        assert!(ScenarioReplay::parse("seed=3 rate=0.5").is_none());
+        assert!(ScenarioReplay::parse("seed=x class=garbage-row rate=0.5").is_none());
+    }
+
+    #[test]
+    fn committed_replay_corpus_regenerates_byte_identically() {
+        let csv = clean_csv();
+        let corpus = include_str!("../replay_corpus.txt");
+        let mut checked = 0;
+        for line in corpus.lines() {
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let replay = ScenarioReplay::parse(line)
+                .unwrap_or_else(|| panic!("corpus line does not parse: {line}"));
+            let committed = line
+                .split_whitespace()
+                .find_map(|t| t.strip_prefix("fnv=0x"))
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| panic!("corpus line has no fnv: {line}"));
+            let (out, _) = replay.apply(&csv);
+            let (again, _) = replay.apply(&csv);
+            assert_eq!(out, again, "replay must be deterministic: {line}");
+            assert_eq!(
+                fnv64(out.as_bytes()),
+                committed,
+                "regenerated output drifted from the committed artifact; \
+                 expected line: {} fnv={:#x}",
+                replay.manifest_line(),
+                fnv64(out.as_bytes())
+            );
+            checked += 1;
+        }
+        assert!(checked >= 6, "corpus must not silently shrink");
     }
 
     #[test]

@@ -477,6 +477,7 @@ impl EngineShard {
 
     fn record_breaker(&mut self, quarantined: bool, outcome: &mut BatchOutcome) {
         if let Some(state) = self.breaker.record(quarantined) {
+            self.stats.breaker_transitions += 1;
             outcome.transitions.push(state);
         }
     }

@@ -67,6 +67,13 @@ impl<T> BoundedQueue<T> {
         self.dropped
     }
 
+    /// Reset the eviction counter to a checkpointed value — only for
+    /// restoring a saved topology, so a resumed run reports the same
+    /// cumulative loss an uninterrupted one would.
+    pub fn restore_dropped(&mut self, dropped: usize) {
+        self.dropped = dropped;
+    }
+
     /// Append `item`; when full, evict and return the oldest entry
     /// (counted in [`BoundedQueue::dropped`]).
     pub fn push(&mut self, item: T) -> Option<T> {

@@ -3,10 +3,14 @@
 //! [`ShardStats`] holds only the counters that advance when a *committed
 //! line* advances shard state — they are part of the checkpointed,
 //! replay-exact shard state, so a killed-and-resumed shard reports the
-//! same numbers as an uninterrupted one. Daemon-level operational
-//! counters (rotations, queue drops, model reloads, replayed lines) are
-//! deliberately *not* here: they describe the process, not the stream,
-//! and live as plain counters in the serve loop.
+//! same numbers as an uninterrupted one. Breaker state *transitions*
+//! qualify: the breaker advances per committed row, so the transition
+//! count is replay-exact too. Daemon-level operational counters
+//! (rotations, model reloads, replayed lines) are deliberately *not*
+//! here: they describe the process, not the stream, and live as plain
+//! counters in the serve loop. Queue drops sit in between — they are
+//! per-shard but queue-level, so the topology checkpoints them beside
+//! the merge state rather than inside the engine state.
 
 use hdd_json::{JsonCodec, JsonError, Value};
 
@@ -32,6 +36,9 @@ pub struct ShardStats {
     pub alarms_emitted: usize,
     /// Alarm decisions suppressed while degraded.
     pub alarms_suppressed: usize,
+    /// Circuit-breaker state transitions (Healthy → Degraded →
+    /// Recovering → …), counted at the committed row that caused each.
+    pub breaker_transitions: usize,
 }
 
 impl ShardStats {
@@ -63,7 +70,7 @@ type StatField = (&'static str, StatGet, StatGetMut);
 
 /// `(json key, accessor)` for every stats counter — one table drives the
 /// codec in both directions so a field can't be forgotten in one of them.
-const STAT_FIELDS: [StatField; 9] = [
+const STAT_FIELDS: [StatField; 10] = [
     ("rows_seen", |s| &s.rows_seen, |s| &mut s.rows_seen),
     (
         "rows_accepted",
@@ -100,6 +107,11 @@ const STAT_FIELDS: [StatField; 9] = [
         "alarms_suppressed",
         |s| &s.alarms_suppressed,
         |s| &mut s.alarms_suppressed,
+    ),
+    (
+        "breaker_transitions",
+        |s| &s.breaker_transitions,
+        |s| &mut s.breaker_transitions,
     ),
 ];
 

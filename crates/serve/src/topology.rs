@@ -190,6 +190,14 @@ impl ServeTopology {
         self.slots.iter().map(|s| s.queue.dropped()).sum()
     }
 
+    /// Per-shard eviction counters, shard order — the skew-diagnosis
+    /// companion to [`ServeTopology::shard_stats`]; checkpointed beside
+    /// the merge state so a resumed run reports cumulative loss.
+    #[must_use]
+    pub fn shard_dropped(&self) -> Vec<usize> {
+        self.slots.iter().map(|s| s.queue.dropped()).collect()
+    }
+
     /// Merged counters across all shards.
     #[must_use]
     pub fn stats(&self) -> crate::stats::ShardStats {
@@ -410,6 +418,10 @@ impl ServeTopology {
             ("n_shards".to_string(), Value::Num(self.slots.len() as f64)),
             ("n_feeds".to_string(), Value::Num(self.n_feeds as f64)),
             ("merge".to_string(), self.merge.to_json()),
+            (
+                "dropped".to_string(),
+                Value::from_usizes(self.shard_dropped()),
+            ),
         ]);
         Checkpoint {
             kind: CheckpointKind::Topology,
@@ -472,6 +484,17 @@ impl ServeTopology {
             )));
         }
         self.merge = MergeState::from_json(ck.payload.field("merge")?)?;
+        let dropped = ck.payload.usize_vec_field("dropped")?;
+        if dropped.len() != self.slots.len() {
+            return Err(CheckpointError::Incompatible(format!(
+                "checkpoint records {} per-shard drop counter(s) for {} shard(s)",
+                dropped.len(),
+                self.slots.len()
+            )));
+        }
+        for (slot, n) in self.slots.iter_mut().zip(dropped) {
+            slot.queue.restore_dropped(n);
+        }
         for (k, slot) in self.slots.iter_mut().enumerate() {
             let path = shard_path(dir, k);
             if !path.exists() {
@@ -825,6 +848,36 @@ mod tests {
         let err = orphan.resume(&dir).unwrap_err();
         assert!(matches!(err, CheckpointError::Incompatible(_)), "{err}");
         assert!(err.to_string().contains("topology.ckpt"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dropped_counters_are_per_shard_and_survive_resume() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = Arc::new(model(&series, &features));
+        let dir = scratch_dir("dropped");
+
+        // A two-line queue fed five lines overflows by three; the loss
+        // must be counted, checkpointed, and restored.
+        let mut topo = ServeTopology::new(&model, &features, config(), 1, 1, 2).unwrap();
+        let lines =
+            crate::engine::tests::routed(&(0..5).map(|h| data_row(3, h)).collect::<Vec<_>>());
+        assert_eq!(topo.enqueue(vec![lines]), 3);
+        assert_eq!(topo.shard_dropped(), vec![3]);
+        topo.tick(
+            &ThreadPool::global(),
+            &CancelToken::new(),
+            &[FeedCursor::default()],
+            5,
+        )
+        .unwrap();
+        topo.save_checkpoints(&dir).unwrap();
+
+        let mut resumed = ServeTopology::new(&model, &features, config(), 1, 1, 2).unwrap();
+        assert!(resumed.resume(&dir).unwrap());
+        assert_eq!(resumed.shard_dropped(), vec![3], "loss counter restored");
+        assert_eq!(resumed.dropped(), 3);
         fs::remove_dir_all(&dir).ok();
     }
 

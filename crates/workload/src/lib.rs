@@ -1,0 +1,40 @@
+//! Scenario fleet generation and the serve resilience gauntlet.
+//!
+//! Two layers, both deterministic:
+//!
+//! * [`gen`] — a streaming, constant-memory fleet generator. A
+//!   [`manifest::ScenarioManifest`] (seed + scenario + knobs) fully
+//!   determines the emitted feed bytes: the same manifest regenerates a
+//!   byte-identical fleet, which is what makes a gauntlet run a
+//!   *replayable* artifact rather than a one-off. Scenarios come in
+//!   three profiles (see [`scenario`]): `expected` is the paper's
+//!   calibrated healthy/failing mix, `stress` perturbs the transport
+//!   (bursts, rotation storms, correlated racks, shard skew) and
+//!   `adversarial` attacks the detector itself (late mimics,
+//!   near-threshold oscillators, quarantine floods).
+//! * [`gauntlet`] — drives the sharded serve topology over a generated
+//!   fleet against ground-truth labels and scores the outcome:
+//!   FDR/FAR, alarm lead time, p99 tick latency, and the degradation
+//!   counters (dropped/stale/quarantined rows, circuit-breaker
+//!   transitions). Degradation must stay *bounded*: every injected
+//!   fault is accounted for by an exact counter assertion, the alarm
+//!   sink must be byte-identical at 1, 2 and 4 shards, and alarms may
+//!   be lost only while a breaker is Degraded.
+//!
+//! The generator injects faults itself (inline, with exact counts)
+//! rather than post-processing through `hdd-fault`: the gauntlet's
+//! bounded-degradation assertions need to know *exactly* how many
+//! garbage, stale and rotation events went in, not a seeded rate.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![warn(missing_docs)]
+
+pub mod gauntlet;
+pub mod gen;
+pub mod manifest;
+pub mod scenario;
+
+pub use gauntlet::{GauntletConfig, GauntletError, ScenarioOutcome};
+pub use gen::{fleet_fingerprint, generate_fleet, FleetSummary, FleetTruth, FnvWriter};
+pub use manifest::ScenarioManifest;
+pub use scenario::{Profile, Scenario};

@@ -1,0 +1,145 @@
+//! The replayable scenario manifest.
+//!
+//! A [`ScenarioManifest`] is the *complete* input of a fleet: seed,
+//! scenario and sizing knobs. [`crate::gen::generate_fleet`] is a pure
+//! function of it, so a committed manifest regenerates byte-identical
+//! feeds forever — the gauntlet persists one per scenario next to its
+//! report, and `hddpred gauntlet --manifest <path>` replays it.
+//!
+//! The seed is serialized as a *string*: JSON numbers travel through
+//! `f64` and would silently round seeds above 2^53, breaking the
+//! byte-identity contract for exactly the seeds least likely to be
+//! noticed.
+
+use crate::scenario::Scenario;
+use hdd_json::{JsonCodec, JsonError, Value};
+
+/// Everything that determines a generated fleet, byte for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioManifest {
+    /// Root seed for every deterministic draw in the fleet.
+    pub seed: u64,
+    /// Which fleet shape to emit.
+    pub scenario: Scenario,
+    /// Fraction of the paper's family-W fleet to synthesize.
+    pub scale: f64,
+    /// How many feed files the fleet is split across.
+    pub n_feeds: usize,
+}
+
+impl ScenarioManifest {
+    /// A manifest with explicit knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive or `n_feeds` is zero — both
+    /// would make the generator meaningless rather than small.
+    #[must_use]
+    pub fn new(seed: u64, scenario: Scenario, scale: f64, n_feeds: usize) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        assert!(n_feeds >= 1, "a fleet needs at least one feed");
+        ScenarioManifest {
+            seed,
+            scenario,
+            scale,
+            n_feeds,
+        }
+    }
+}
+
+impl JsonCodec for ScenarioManifest {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "profile".to_string(),
+                Value::Str(self.scenario.profile().label().to_string()),
+            ),
+            (
+                "scenario".to_string(),
+                Value::Str(self.scenario.label().to_string()),
+            ),
+            ("seed".to_string(), Value::Str(self.seed.to_string())),
+            ("scale".to_string(), Value::Num(self.scale)),
+            ("n_feeds".to_string(), Value::Num(self.n_feeds as f64)),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let label = value.str_field("scenario")?;
+        let scenario = Scenario::from_label(label)
+            .ok_or_else(|| JsonError::new(format!("unknown scenario `{label}`")))?;
+        let profile = value.str_field("profile")?;
+        if profile != scenario.profile().label() {
+            return Err(JsonError::new(format!(
+                "scenario `{label}` belongs to profile `{}`, manifest says `{profile}`",
+                scenario.profile().label()
+            )));
+        }
+        let seed: u64 = value
+            .str_field("seed")?
+            .parse()
+            .map_err(|_| JsonError::expected("a decimal u64", "seed"))?;
+        let scale = value.f64_field("scale")?;
+        if scale <= 0.0 || scale.is_nan() {
+            return Err(JsonError::expected("a positive number", "scale"));
+        }
+        let n_feeds = value.usize_field("n_feeds")?;
+        if n_feeds == 0 {
+            return Err(JsonError::expected("a feed count of at least 1", "n_feeds"));
+        }
+        Ok(ScenarioManifest {
+            seed,
+            scenario,
+            scale,
+            n_feeds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_json() {
+        for scenario in Scenario::ALL {
+            let m = ScenarioManifest::new(u64::MAX - 3, scenario, 0.004, 2);
+            let text = hdd_json::to_string(&m.to_json());
+            let back = ScenarioManifest::from_json(&hdd_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, m, "{}", scenario.label());
+        }
+    }
+
+    #[test]
+    fn mismatched_profile_is_rejected() {
+        let mut json = ScenarioManifest::new(1, Scenario::QuarantineFlood, 0.01, 2).to_json();
+        if let Value::Obj(pairs) = &mut json {
+            for (k, v) in pairs {
+                if k == "profile" {
+                    *v = Value::Str("expected".to_string());
+                }
+            }
+        }
+        assert!(ScenarioManifest::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn bad_knobs_are_rejected() {
+        let good = ScenarioManifest::new(1, Scenario::CalibratedMix, 0.01, 2);
+        let mutate = |key: &str, v: Value| {
+            let mut json = good.to_json();
+            if let Value::Obj(pairs) = &mut json {
+                for (k, slot) in pairs {
+                    if k == key {
+                        *slot = v.clone();
+                    }
+                }
+            }
+            ScenarioManifest::from_json(&json)
+        };
+        assert!(mutate("seed", Value::Str("not-a-number".to_string())).is_err());
+        assert!(mutate("scale", Value::Num(0.0)).is_err());
+        assert!(mutate("n_feeds", Value::Num(0.0)).is_err());
+        assert!(mutate("scenario", Value::Str("bit-rot".to_string())).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! The scenario taxonomy: three profiles, eight scenarios.
+//!
+//! A [`Profile`] names an operating regime; a [`Scenario`] is one
+//! concrete fleet shape within it. Labels are stable CLI/manifest
+//! identifiers — renaming one breaks committed manifests, so treat them
+//! like a wire format.
+
+/// An operating regime the gauntlet exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// The paper's calibrated healthy/failing mix — the baseline the
+    /// detector was designed for.
+    Expected,
+    /// Transport-level pressure: bursts, correlated rack failures,
+    /// rotation storms, shard-skewed drive populations.
+    Stress,
+    /// Detector-level attacks: SMART sequences shaped to evade or
+    /// thrash the voting window, and quarantine floods aimed at the
+    /// circuit breaker.
+    Adversarial,
+}
+
+impl Profile {
+    /// Every profile, in severity order.
+    pub const ALL: [Profile; 3] = [Profile::Expected, Profile::Stress, Profile::Adversarial];
+
+    /// Stable identifier used by the CLI and manifests.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Profile::Expected => "expected",
+            Profile::Stress => "stress",
+            Profile::Adversarial => "adversarial",
+        }
+    }
+
+    /// Inverse of [`Profile::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Profile> {
+        Profile::ALL.into_iter().find(|p| p.label() == label)
+    }
+
+    /// The scenarios this profile runs, in declaration order.
+    #[must_use]
+    pub fn scenarios(self) -> &'static [Scenario] {
+        match self {
+            Profile::Expected => &[Scenario::CalibratedMix],
+            Profile::Stress => &[
+                Scenario::HotFeedBurst,
+                Scenario::RackFailures,
+                Scenario::RotationStorm,
+                Scenario::ShardSkew,
+            ],
+            Profile::Adversarial => &[
+                Scenario::LateMimic,
+                Scenario::ThresholdOscillator,
+                Scenario::QuarantineFlood,
+            ],
+        }
+    }
+}
+
+/// One concrete fleet shape; see [`crate::gen`] for what each emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// The calibrated healthy/failing mix per the paper's SMART
+    /// distributions, drives round-robined across feeds.
+    CalibratedMix,
+    /// Feed 0 re-emits the recent tail of half its drives — a hot feed
+    /// replaying rows the engine has already committed (all stale).
+    HotFeedBurst,
+    /// Every fourth rack of eight drives fails within a tight window —
+    /// correlated failures concentrating alarms in time.
+    RackFailures,
+    /// Mid-feed header lines (counted as rotations by ingest) plus a
+    /// deliberately unbalanced drive split that stalls the watermark at
+    /// the short feed.
+    RotationStorm,
+    /// Drive ids remapped so every drive routes to shard 0 at up to
+    /// four shards — the worst-case population skew.
+    ShardSkew,
+    /// Failing drives whose SMART values track healthy percentiles
+    /// until an abrupt terminal degradation window.
+    LateMimic,
+    /// Good-labelled drives oscillating between healthy and failing
+    /// twins' values, maximizing churn in the voting window.
+    ThresholdOscillator,
+    /// Bursts of unparseable rows plus duplicate re-emissions, sized to
+    /// push the quarantine circuit breaker into Degraded.
+    QuarantineFlood,
+}
+
+impl Scenario {
+    /// Every scenario, grouped by profile.
+    pub const ALL: [Scenario; 8] = [
+        Scenario::CalibratedMix,
+        Scenario::HotFeedBurst,
+        Scenario::RackFailures,
+        Scenario::RotationStorm,
+        Scenario::ShardSkew,
+        Scenario::LateMimic,
+        Scenario::ThresholdOscillator,
+        Scenario::QuarantineFlood,
+    ];
+
+    /// Stable identifier used by the CLI, manifests and bench rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::CalibratedMix => "calibrated-mix",
+            Scenario::HotFeedBurst => "hot-feed-burst",
+            Scenario::RackFailures => "rack-failures",
+            Scenario::RotationStorm => "rotation-storm",
+            Scenario::ShardSkew => "shard-skew",
+            Scenario::LateMimic => "late-mimic",
+            Scenario::ThresholdOscillator => "threshold-oscillator",
+            Scenario::QuarantineFlood => "quarantine-flood",
+        }
+    }
+
+    /// Inverse of [`Scenario::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.label() == label)
+    }
+
+    /// The profile this scenario belongs to.
+    #[must_use]
+    pub fn profile(self) -> Profile {
+        match self {
+            Scenario::CalibratedMix => Profile::Expected,
+            Scenario::HotFeedBurst
+            | Scenario::RackFailures
+            | Scenario::RotationStorm
+            | Scenario::ShardSkew => Profile::Stress,
+            Scenario::LateMimic | Scenario::ThresholdOscillator | Scenario::QuarantineFlood => {
+                Profile::Adversarial
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for p in Profile::ALL {
+            assert_eq!(Profile::from_label(p.label()), Some(p));
+        }
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::from_label(s.label()), Some(s));
+        }
+        assert_eq!(Profile::from_label("chaos"), None);
+        assert_eq!(Scenario::from_label("bit-rot"), None);
+    }
+
+    #[test]
+    fn every_scenario_is_listed_under_its_profile() {
+        for s in Scenario::ALL {
+            assert!(
+                s.profile().scenarios().contains(&s),
+                "{} missing from {}",
+                s.label(),
+                s.profile().label()
+            );
+        }
+        let total: usize = Profile::ALL.iter().map(|p| p.scenarios().len()).sum();
+        assert_eq!(total, Scenario::ALL.len());
+    }
+}

@@ -20,7 +20,11 @@
 //!   modes,
 //! * [`audit`] — the workspace's own static analyzer: a lexical scanner
 //!   that enforces the determinism and panic-safety invariants the
-//!   crates above rely on (`hddpred audit`).
+//!   crates above rely on (`hddpred audit`),
+//! * [`workload`] — deterministic scenario fleet generation (expected /
+//!   stress / adversarial profiles) and the replayable resilience
+//!   gauntlet that drives [`serve`] against ground truth
+//!   (`hddpred gauntlet`).
 //!
 //! # Quickstart
 //!
@@ -63,6 +67,7 @@ pub use hdd_reliability as reliability;
 pub use hdd_serve as serve;
 pub use hdd_smart as smart;
 pub use hdd_stats as stats;
+pub use hdd_workload as workload;
 
 /// Commonly used items, one `use` away.
 pub mod prelude {

@@ -51,6 +51,7 @@ fn main() -> ExitCode {
         // `predict` is the historical name for `detect`.
         Some("detect" | "predict") => detect(&parse_flags(&args[1..])),
         Some("serve") => serve(&parse_flags(&args[1..])),
+        Some("gauntlet") => gauntlet(&parse_flags(&args[1..])),
         Some("audit") => audit(&parse_flags(&args[1..])),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
@@ -84,6 +85,12 @@ USAGE:
                      [--tick-budget-ms <n>] [--poll-ms <n>] [--queue <n>]
                      [--max-quarantine <f>] [--exit-on-idle <n>]
                      [--threads <n>]
+    hddpred gauntlet --profile expected|stress|adversarial [--seed <n>]
+                     [--scenario <name>] [--shards <n>] [--scale <f>]
+                     [--rate <n>] [--voters <n>] [--max-quarantine <f>]
+                     [--out <BENCH_gauntlet.json>] [--work-dir <dir>]
+                     [--model <model.json>] [--manifest <path>]
+                     [--threads <n>]
     hddpred audit    [--root <dir>] [--json <path>] [--no-json] [--quiet]
 
 `--threads` sets the worker-thread count (default: HDDPRED_THREADS, else
@@ -108,6 +115,20 @@ last-known-good model if the replacement is rejected.
 `--exit-on-idle <n>` exits cleanly after `n` idle polls (0 = run
 forever); `--threshold <f>` switches voting from majority to
 mean-below-threshold.
+
+`gauntlet` generates a deterministic scenario fleet (`--profile` picks
+the scenario set, `--scenario` narrows to one) or replays one from a
+`--manifest` written by a previous run, drives the sharded serve
+engine over it against ground-truth failure labels, and merges scored
+rows (fdr, far, lead_hours, p99_tick_ms, dropped/stale/quarantined
+rows, breaker transitions) into `--out` (default
+`BENCH_gauntlet.json`). The run asserts bounded degradation — no queue
+drops, every injected fault accounted for exactly, alarms suppressed
+only while a breaker is Degraded, and byte-identical alarm sinks at
+every power-of-two shard count up to `--shards` — and fails with the
+serve exit code when any bound is violated. Per-scenario manifests are
+written into `--work-dir` so any fleet can be regenerated
+bit-for-bit.
 
 `audit` runs the workspace's own static analyzer (rules R1-R5: wall-clock
 ban, unordered-iteration ban, panic-surface ban, lossy-cast guard, crate
@@ -496,7 +517,8 @@ fn serve_status(topology: &ServeTopology, counters: &ServeCounters) -> String {
     let stats = topology.stats();
     format!(
         "{} shard(s), {} drives, {} rows, {} alarms, {} suppressed, \
-         {} quarantined, {} stale, {} replayed, {} rotations, {} dropped",
+         {} quarantined, {} stale, {} transitions, {} replayed, \
+         {} rotations, {} dropped",
         topology.n_shards(),
         topology.tracked_drives(),
         stats.rows_seen,
@@ -504,6 +526,7 @@ fn serve_status(topology: &ServeTopology, counters: &ServeCounters) -> String {
         stats.alarms_suppressed,
         stats.quarantined_rows(),
         stats.stale_rows,
+        stats.breaker_transitions,
         counters.replayed,
         counters.rotations,
         topology.dropped(),
@@ -731,6 +754,25 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
                     "idle for {idle_polls} polls; exiting ({})",
                     serve_status(&topology, &counters)
                 );
+                // Per-shard breakdown: which slice of the fleet paid
+                // for the degradation the summary line aggregates.
+                for (k, (stats, dropped)) in topology
+                    .shard_stats()
+                    .iter()
+                    .zip(topology.shard_dropped())
+                    .enumerate()
+                {
+                    eprintln!(
+                        "  shard[{k}]: {} rows, {} alarms, {} suppressed, \
+                         {} quarantined, {} stale, {} transitions, {dropped} dropped",
+                        stats.rows_seen,
+                        stats.alarms_emitted,
+                        stats.alarms_suppressed,
+                        stats.quarantined_rows(),
+                        stats.stale_rows,
+                        stats.breaker_transitions,
+                    );
+                }
                 return Ok(());
             }
             std::thread::sleep(poll);
@@ -738,4 +780,152 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
             idle_polls = 0;
         }
     }
+}
+
+/// Attribute a [`GauntletError`] to its failure class: plain I/O and
+/// model rejections keep their exit codes; everything else — a failed
+/// bounded-degradation assertion, a bad manifest — is a serve failure.
+fn gauntlet_error(source: hddpred::workload::GauntletError) -> CliError {
+    use hddpred::workload::GauntletError as E;
+    match source {
+        E::Io { path, source } => CliError::Io { path, source },
+        E::Model { path, source } => CliError::Model { path, source },
+        E::Train(source) => CliError::Train {
+            path: "<gauntlet training fleet>".to_string(),
+            source,
+        },
+        E::Manifest { path, source } => CliError::Serve(format!("{path}: {source}")),
+        E::Degraded(msg) => CliError::Serve(msg),
+    }
+}
+
+/// `hddpred gauntlet`: generate a deterministic scenario fleet (or
+/// replay a committed manifest), drive the sharded serve engine over it
+/// against ground truth, assert bounded degradation, and merge scored
+/// rows into the benchmark report (see [`USAGE`]).
+fn gauntlet(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use hddpred::workload::{gauntlet as gl, Profile, Scenario};
+
+    let seed: u64 = num_flag(flags, "seed", 42, "an integer")?;
+    let max_shards: usize = num_flag(flags, "shards", 4, "an integer")?;
+    if max_shards == 0 || !max_shards.is_power_of_two() {
+        return Err(CliError::Usage(format!(
+            "--shards must be a power of two (1, 2, 4, ...), got `{max_shards}`"
+        )));
+    }
+    let scale: f64 = num_flag(flags, "scale", 0.004, "a number")?;
+    if scale <= 0.0 || scale.is_nan() {
+        return Err(CliError::Usage(format!(
+            "--scale must be positive, got `{scale}`"
+        )));
+    }
+    let rate: usize = num_flag(flags, "rate", 512, "an integer")?;
+    if rate == 0 {
+        return Err(CliError::Usage("--rate must be at least 1".to_string()));
+    }
+    let voters: usize = num_flag(flags, "voters", 11, "an integer")?;
+    if voters == 0 {
+        return Err(CliError::Usage("--voters must be at least 1".to_string()));
+    }
+    let ceiling: f64 = num_flag(flags, "max-quarantine", 0.1, "a fraction in [0, 1]")?;
+    if !(0.0..=1.0).contains(&ceiling) {
+        return Err(CliError::Usage(format!(
+            "--max-quarantine must be a fraction in [0, 1], got `{ceiling}`"
+        )));
+    }
+    apply_threads(flags)?;
+
+    // A replayed manifest *is* the fleet definition: it overrides the
+    // seed/scale/scenario flags so the regenerated bytes match.
+    let manifest = flags
+        .get("manifest")
+        .filter(|p| !p.is_empty())
+        .map(|p| gl::load_manifest(Path::new(p)).map_err(gauntlet_error))
+        .transpose()?;
+
+    let profile = match &manifest {
+        Some(m) => m.scenario.profile(),
+        None => {
+            let label = flag(flags, "profile")?;
+            Profile::from_label(label).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown profile `{label}` (expected, stress, adversarial)"
+                ))
+            })?
+        }
+    };
+    let work_dir = flags
+        .get("work-dir")
+        .filter(|p| !p.is_empty())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("hddpred-gauntlet-{seed}")));
+    let mut config = gl::GauntletConfig::new(seed, profile, work_dir);
+    config.max_shards = max_shards;
+    config.scale = scale;
+    config.rate = rate;
+    config.voters = voters;
+    config.max_quarantine = ceiling;
+    config.model = flags
+        .get("model")
+        .filter(|p| !p.is_empty())
+        .map(PathBuf::from);
+    if manifest.is_none() {
+        if let Some(label) = flags.get("scenario").filter(|s| !s.is_empty()) {
+            let scenario = Scenario::from_label(label).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown scenario `{label}` (one of: {})",
+                    Scenario::ALL.map(Scenario::label).join(", ")
+                ))
+            })?;
+            if scenario.profile() != profile {
+                return Err(CliError::Usage(format!(
+                    "scenario `{label}` belongs to profile `{}`, not `{}`",
+                    scenario.profile().label(),
+                    profile.label()
+                )));
+            }
+            config.scenario = Some(scenario);
+        }
+    }
+
+    let outcomes = match &manifest {
+        Some(m) => {
+            config.seed = m.seed;
+            config.scale = m.scale;
+            gl::replay(&config, m)
+        }
+        None => gl::run(&config),
+    }
+    .map_err(gauntlet_error)?;
+
+    for o in &outcomes {
+        eprintln!(
+            "{} @ {} shard(s): {} rows, {} alarms, FDR {:.3}, FAR {:.4}, \
+             lead {:.1}h, p99 tick {:.2}ms, {} stale, {} quarantined, \
+             {} suppressed, {} transitions, {} dropped",
+            o.scenario.label(),
+            o.n_shards,
+            o.rows_seen,
+            o.alarms,
+            o.fdr,
+            o.far,
+            o.lead_hours,
+            o.p99_tick_ms,
+            o.stale_rows,
+            o.quarantined_rows,
+            o.alarms_suppressed,
+            o.breaker_transitions,
+            o.dropped_rows,
+        );
+    }
+
+    let out = flags
+        .get("out")
+        .filter(|p| !p.is_empty())
+        .map_or("BENCH_gauntlet.json", String::as_str);
+    let out_path = Path::new(out);
+    let mut report = hdd_bench::report::Report::load(out_path);
+    report.upsert(gl::to_report(&outcomes));
+    report.write(out_path).map_err(io_error(out))?;
+    Ok(())
 }

@@ -1,0 +1,62 @@
+//! Gauntlet determinism: the adversarial scenarios that thrash the
+//! voting window and the circuit breaker must still produce an alarm
+//! sink that is byte-identical serial vs sharded, and the false-alarm
+//! rate they induce is *reported*, never quietly asserted away.
+
+use hddpred::workload::gauntlet::{run, GauntletConfig};
+use hddpred::workload::{Profile, Scenario};
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hddpred-gauntlet-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn oscillator_alarms_are_identical_serial_vs_four_shards() {
+    let mut config = GauntletConfig::new(0xD51, Profile::Adversarial, scratch("osc"));
+    config.scenario = Some(Scenario::ThresholdOscillator);
+    config.max_shards = 4;
+    config.scale = 0.002;
+    let outcomes = run(&config).expect("gauntlet run failed");
+    let shard_counts: Vec<usize> = outcomes.iter().map(|o| o.n_shards).collect();
+    assert_eq!(shard_counts, vec![1, 2, 4]);
+
+    let serial = outcomes.iter().find(|o| o.n_shards == 1).unwrap();
+    let sharded = outcomes.iter().find(|o| o.n_shards == 4).unwrap();
+    assert_eq!(
+        serial.sink, sharded.sink,
+        "oscillator alarm sink diverges between 1 and 4 shards"
+    );
+    assert_eq!(serial.dropped_rows, 0);
+    assert_eq!(sharded.dropped_rows, 0);
+
+    // The adversarial FAR is an honest number, not a target: print it
+    // so the run records what the oscillators actually cost.
+    println!(
+        "threshold-oscillator: FAR {:.4}, FDR {:.3}, {} alarms over {} rows (serial)",
+        serial.far, serial.fdr, serial.alarms, serial.rows_seen
+    );
+}
+
+#[test]
+fn quarantine_flood_trips_the_breaker_without_forking_the_sink() {
+    let mut config = GauntletConfig::new(0xF100D, Profile::Adversarial, scratch("flood"));
+    config.scenario = Some(Scenario::QuarantineFlood);
+    config.max_shards = 2;
+    config.scale = 0.002;
+    let outcomes = run(&config).expect("gauntlet run failed");
+    assert_eq!(outcomes.len(), 2);
+    assert_eq!(outcomes[0].sink, outcomes[1].sink);
+    for o in &outcomes {
+        assert!(
+            o.breaker_transitions >= 1,
+            "flood never tripped a breaker at {} shard(s)",
+            o.n_shards
+        );
+        assert!(o.quarantined_rows > 0);
+    }
+}
