@@ -125,10 +125,15 @@ const R2_SCOPE: &[&str] = &[
     "crates/fault/src/lib.rs",
     "crates/smart/src/dataset.rs",
     "crates/workload/src/",
+    "crates/lifecycle/src/",
 ];
 
-/// R3 scope: the serve and par hot paths.
-const R3_SCOPE: &[&str] = &["crates/serve/src/", "crates/par/src/"];
+/// R3 scope: the serve, lifecycle and par hot paths.
+const R3_SCOPE: &[&str] = &[
+    "crates/serve/src/",
+    "crates/par/src/",
+    "crates/lifecycle/src/",
+];
 
 /// R4 scope: the compiled scoring kernels.
 const R4_SCOPE: &[&str] = &["crates/core/src/compact.rs"];

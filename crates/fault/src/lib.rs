@@ -65,6 +65,32 @@ pub enum FaultClass {
     /// collector flooding one feed with rows the daemon already
     /// committed (a burst of stale duplicates).
     HotFeedBurst,
+    /// Panic inside the background trainer — the lifecycle must contain
+    /// it, count it, and back off; the serving path never notices. A
+    /// process-level fault, not a byte corruption: [`corrupt_csv`] is a
+    /// documented no-op for it.
+    ///
+    /// [`corrupt_csv`]: FaultInjector::corrupt_csv
+    TrainerPanic,
+    /// Poison the training buffer with a NaN feature that slipped past
+    /// ingestion — the buffer must quarantine it, never train on it.
+    /// Process-level; [`corrupt_csv`] is a documented no-op.
+    ///
+    /// [`corrupt_csv`]: FaultInjector::corrupt_csv
+    PoisonedBuffer,
+    /// `kill -9` mid promotion protocol — recovery must land exactly the
+    /// incumbent or exactly the candidate, never a torn model.
+    /// Process-level; [`corrupt_csv`] is a documented no-op.
+    ///
+    /// [`corrupt_csv`]: FaultInjector::corrupt_csv
+    CrashDuringPromotion,
+    /// Train candidates on label-inverted samples — a genuinely worse
+    /// model the shadow gate must refuse (and, if it ever got through,
+    /// probation must roll back). Process-level; [`corrupt_csv`] is a
+    /// documented no-op.
+    ///
+    /// [`corrupt_csv`]: FaultInjector::corrupt_csv
+    RegressingCandidate,
 }
 
 impl FaultClass {
@@ -94,9 +120,21 @@ impl FaultClass {
     pub const TOPOLOGY_CORPUS: [FaultClass; 2] =
         [FaultClass::ShardSkewedIds, FaultClass::HotFeedBurst];
 
+    /// The lifecycle-shaped fault classes: process-level pathologies of
+    /// online retraining (trainer crashes, poisoned buffers, promotion
+    /// interrupted, regressing candidates). These corrupt no bytes —
+    /// [`FaultInjector::corrupt_csv`] passes them through unchanged —
+    /// the gauntlet maps them onto seeded lifecycle injections instead.
+    pub const LIFECYCLE_CORPUS: [FaultClass; 4] = [
+        FaultClass::TrainerPanic,
+        FaultClass::PoisonedBuffer,
+        FaultClass::CrashDuringPromotion,
+        FaultClass::RegressingCandidate,
+    ];
+
     /// Every fault class, in declaration order — the universe
     /// [`FaultClass::from_label`] resolves against.
-    pub const ALL: [FaultClass; 11] = [
+    pub const ALL: [FaultClass; 15] = [
         FaultClass::NanValue,
         FaultClass::OutOfRangeValue,
         FaultClass::TruncatedRow,
@@ -108,6 +146,10 @@ impl FaultClass {
         FaultClass::MidStreamRotation,
         FaultClass::ShardSkewedIds,
         FaultClass::HotFeedBurst,
+        FaultClass::TrainerPanic,
+        FaultClass::PoisonedBuffer,
+        FaultClass::CrashDuringPromotion,
+        FaultClass::RegressingCandidate,
     ];
 
     /// Resolve a [`FaultClass::label`] back to its class — the parse
@@ -132,7 +174,19 @@ impl FaultClass {
             FaultClass::MidStreamRotation => "mid-stream-rotation",
             FaultClass::ShardSkewedIds => "shard-skewed-ids",
             FaultClass::HotFeedBurst => "hot-feed-burst",
+            FaultClass::TrainerPanic => "trainer-panic",
+            FaultClass::PoisonedBuffer => "poisoned-buffer",
+            FaultClass::CrashDuringPromotion => "crash-during-promotion",
+            FaultClass::RegressingCandidate => "regressing-candidate",
         }
+    }
+
+    /// Whether this class corrupts the byte stream at all.
+    /// [`FaultClass::LIFECYCLE_CORPUS`] classes are process-level: they
+    /// are injected into the retraining lifecycle, not the feed.
+    #[must_use]
+    pub fn is_lifecycle(self) -> bool {
+        FaultClass::LIFECYCLE_CORPUS.contains(&self)
     }
 }
 
@@ -348,6 +402,16 @@ impl FaultInjector {
                 let burst: Vec<String> = lines[start..].to_vec();
                 report.burst_rows = burst.len();
                 lines.extend(burst);
+            }
+            FaultClass::TrainerPanic
+            | FaultClass::PoisonedBuffer
+            | FaultClass::CrashDuringPromotion
+            | FaultClass::RegressingCandidate => {
+                // Lifecycle faults are process-level, not byte-level: the
+                // stream passes through unchanged and nothing is counted.
+                // The gauntlet maps these onto seeded lifecycle
+                // injections (trainer panics, NaN buffer pushes, crash
+                // cut points, inverted training labels) instead.
             }
         }
         (rejoin(&lines), report)

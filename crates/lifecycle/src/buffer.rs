@@ -1,0 +1,355 @@
+//! The bounded, checkpoint-consistent training buffer.
+//!
+//! Committed [`RowEvent`]s (released by the topology merge, so their
+//! order is independent of shard count) are labelled against the
+//! paper's failure window and buffered as ready-to-train samples. Two
+//! window policies mirror §6 of the paper:
+//!
+//! - [`WindowMode::Accumulation`]: keep the *first* `capacity` usable
+//!   samples and saturate — the model is refreshed on a growing-then-
+//!   frozen history.
+//! - [`WindowMode::Replacing`]: keep the *last* `capacity` usable
+//!   samples — a sliding window that forgets old cohorts, the policy
+//!   that tracks distribution drift.
+//!
+//! Labels follow the training-set rule used everywhere else in the
+//! workspace: a failed drive's row is a `Failed` sample when its hour is
+//! within `window_hours` of the labelled failure, and is *skipped*
+//! (neither class) earlier than that; good-drive rows are `Good`
+//! samples. Rows carrying non-finite features are counted as poisoned
+//! and never reach the buffer — a poisoned feed cannot poison the
+//! candidate.
+
+use hdd_cart::sample::{Class, ClassSample};
+use hdd_json::{JsonCodec, JsonError, Value};
+use hdd_serve::RowEvent;
+use std::collections::VecDeque;
+
+/// Which §6 model-updating window the buffer keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowMode {
+    /// First-`capacity` samples, then saturate.
+    Accumulation,
+    /// Last-`capacity` samples, sliding.
+    Replacing,
+}
+
+impl WindowMode {
+    /// Stable label, used by flags and checkpoints.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WindowMode::Accumulation => "accumulation",
+            WindowMode::Replacing => "replacing",
+        }
+    }
+
+    /// Parse a [`WindowMode::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "accumulation" => Some(WindowMode::Accumulation),
+            "replacing" => Some(WindowMode::Replacing),
+            _ => None,
+        }
+    }
+}
+
+/// What [`TrainingBuffer::push`] did with an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferPush {
+    /// The row was labelled and buffered.
+    Buffered,
+    /// The row was outside the failure window (failed drive, too early)
+    /// or the accumulation window is full.
+    Skipped,
+    /// The row carried a non-finite feature and was quarantined.
+    Poisoned,
+}
+
+/// One buffered, labelled training row.
+#[derive(Debug, Clone, PartialEq)]
+struct BufferedRow {
+    features: Vec<f64>,
+    failed: bool,
+}
+
+/// The bounded training buffer; see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingBuffer {
+    mode: WindowMode,
+    capacity: usize,
+    window_hours: u32,
+    rows: VecDeque<BufferedRow>,
+    /// Non-finite rows refused at the gate (never buffered).
+    poisoned_rows: usize,
+}
+
+impl TrainingBuffer {
+    /// An empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — an un-trainable buffer is a
+    /// configuration bug, not a runtime condition.
+    #[must_use]
+    pub fn new(mode: WindowMode, capacity: usize, window_hours: u32) -> Self {
+        assert!(capacity >= 1, "the training buffer needs capacity");
+        TrainingBuffer {
+            mode,
+            capacity,
+            window_hours,
+            rows: VecDeque::new(),
+            poisoned_rows: 0,
+        }
+    }
+
+    /// Buffered samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether nothing is buffered yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Buffered `Failed`-class samples.
+    #[must_use]
+    pub fn failed_rows(&self) -> usize {
+        self.rows.iter().filter(|r| r.failed).count()
+    }
+
+    /// Rows refused for non-finite features.
+    #[must_use]
+    pub fn poisoned_rows(&self) -> usize {
+        self.poisoned_rows
+    }
+
+    /// Label and buffer one committed event.
+    pub fn push(&mut self, event: &RowEvent) -> BufferPush {
+        if !event.features.iter().all(|v| v.is_finite()) {
+            self.poisoned_rows += 1;
+            return BufferPush::Poisoned;
+        }
+        let failed = match event.fail_hour {
+            None => false,
+            // Outside the failure window a failed drive's row is neither
+            // class — the paper trains only on the pre-failure window.
+            Some(fail) if event.hour + self.window_hours < fail => return BufferPush::Skipped,
+            Some(_) => true,
+        };
+        if self.rows.len() == self.capacity {
+            match self.mode {
+                WindowMode::Accumulation => return BufferPush::Skipped,
+                WindowMode::Replacing => {
+                    self.rows.pop_front();
+                }
+            }
+        }
+        self.rows.push_back(BufferedRow {
+            features: event.features.clone(),
+            failed,
+        });
+        BufferPush::Buffered
+    }
+
+    /// The buffered rows as training samples, oldest first.
+    #[must_use]
+    pub fn samples(&self) -> Vec<ClassSample> {
+        self.rows
+            .iter()
+            .map(|r| {
+                let class = if r.failed { Class::Failed } else { Class::Good };
+                ClassSample::new(r.features.clone(), class)
+            })
+            .collect()
+    }
+
+    /// The buffered rows as *label-inverted* samples — the seeded
+    /// regressing-candidate fault: a model trained on inverted labels is
+    /// a genuinely bad candidate the shadow gate must refuse.
+    #[must_use]
+    pub fn inverted_samples(&self) -> Vec<ClassSample> {
+        self.rows
+            .iter()
+            .map(|r| {
+                let class = if r.failed { Class::Good } else { Class::Failed };
+                ClassSample::new(r.features.clone(), class)
+            })
+            .collect()
+    }
+}
+
+impl JsonCodec for TrainingBuffer {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "mode".to_string(),
+                Value::Str(self.mode.label().to_string()),
+            ),
+            ("capacity".to_string(), Value::Num(self.capacity as f64)),
+            (
+                "window_hours".to_string(),
+                Value::Num(f64::from(self.window_hours)),
+            ),
+            (
+                "poisoned_rows".to_string(),
+                Value::Num(self.poisoned_rows as f64),
+            ),
+            (
+                "rows".to_string(),
+                Value::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Value::Obj(vec![
+                                (
+                                    "features".to_string(),
+                                    Value::from_f64s(r.features.iter().copied()),
+                                ),
+                                ("failed".to_string(), Value::Bool(r.failed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let label = value.str_field("mode")?;
+        let mode = WindowMode::from_label(label)
+            .ok_or_else(|| JsonError::new(format!("unknown window mode `{label}`")))?;
+        let capacity = value.usize_field("capacity")?;
+        if capacity == 0 {
+            return Err(JsonError::expected("a capacity of at least 1", "capacity"));
+        }
+        let mut rows = VecDeque::new();
+        for raw in value
+            .field("rows")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new("`rows` must be an array"))?
+        {
+            let features = raw.f64_vec_field("features")?;
+            if !features.iter().all(|v| v.is_finite()) {
+                return Err(JsonError::new("buffered features must be finite"));
+            }
+            let failed = raw
+                .field("failed")?
+                .as_bool()
+                .ok_or_else(|| JsonError::expected("a bool", "failed"))?;
+            rows.push_back(BufferedRow { features, failed });
+        }
+        if rows.len() > capacity {
+            return Err(JsonError::new(format!(
+                "{} buffered rows exceed capacity {capacity}",
+                rows.len()
+            )));
+        }
+        Ok(TrainingBuffer {
+            mode,
+            capacity,
+            window_hours: value.usize_field("window_hours")? as u32,
+            rows,
+            poisoned_rows: value.usize_field("poisoned_rows")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(drive: u32, hour: u32, fail_hour: Option<u32>, features: Vec<f64>) -> RowEvent {
+        RowEvent {
+            seq: u64::from(drive) * 10_000 + u64::from(hour),
+            drive,
+            hour,
+            fail_hour,
+            features,
+            incumbent_score: 1.0,
+        }
+    }
+
+    #[test]
+    fn labels_follow_the_failure_window() {
+        let mut buf = TrainingBuffer::new(WindowMode::Accumulation, 16, 168);
+        assert_eq!(
+            buf.push(&event(1, 5, None, vec![1.0, 2.0])),
+            BufferPush::Buffered
+        );
+        // A failed drive's early row is neither class.
+        assert_eq!(
+            buf.push(&event(2, 10, Some(500), vec![1.0, 2.0])),
+            BufferPush::Skipped
+        );
+        // Within the window it is a Failed sample.
+        assert_eq!(
+            buf.push(&event(2, 400, Some(500), vec![3.0, 4.0])),
+            BufferPush::Buffered
+        );
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.failed_rows(), 1);
+        let samples = buf.samples();
+        assert_eq!(samples[0].class, Class::Good);
+        assert_eq!(samples[1].class, Class::Failed);
+        let inverted = buf.inverted_samples();
+        assert_eq!(inverted[0].class, Class::Failed);
+        assert_eq!(inverted[1].class, Class::Good);
+    }
+
+    #[test]
+    fn poisoned_rows_never_reach_the_buffer() {
+        let mut buf = TrainingBuffer::new(WindowMode::Replacing, 4, 168);
+        assert_eq!(
+            buf.push(&event(1, 1, None, vec![f64::NAN, 1.0])),
+            BufferPush::Poisoned
+        );
+        assert_eq!(
+            buf.push(&event(1, 2, None, vec![f64::INFINITY, 1.0])),
+            BufferPush::Poisoned
+        );
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.poisoned_rows(), 2);
+    }
+
+    #[test]
+    fn accumulation_saturates_and_replacing_slides() {
+        let mut acc = TrainingBuffer::new(WindowMode::Accumulation, 2, 168);
+        let mut rep = TrainingBuffer::new(WindowMode::Replacing, 2, 168);
+        for h in 0..4u32 {
+            let e = event(1, h, None, vec![f64::from(h)]);
+            acc.push(&e);
+            rep.push(&e);
+        }
+        assert_eq!(acc.len(), 2);
+        assert_eq!(rep.len(), 2);
+        let first = |b: &TrainingBuffer| b.samples()[0].features[0];
+        assert_eq!(first(&acc), 0.0, "accumulation keeps the head");
+        assert_eq!(first(&rep), 2.0, "replacing keeps the tail");
+    }
+
+    #[test]
+    fn codec_round_trips_and_validates() {
+        let mut buf = TrainingBuffer::new(WindowMode::Replacing, 8, 168);
+        buf.push(&event(1, 1, None, vec![1.5, -2.5]));
+        buf.push(&event(2, 400, Some(500), vec![3.0, 4.0]));
+        buf.push(&event(3, 1, None, vec![f64::NAN]));
+        let text = hdd_json::to_string(&buf.to_json());
+        let back = TrainingBuffer::from_json(&hdd_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, buf);
+
+        for bad in [
+            text.replacen("replacing", "forgetting", 1),
+            text.replacen("\"capacity\":8", "\"capacity\":1", 1),
+        ] {
+            assert!(
+                TrainingBuffer::from_json(&hdd_json::parse(&bad).unwrap()).is_err(),
+                "{bad}"
+            );
+        }
+    }
+}

@@ -1,0 +1,1211 @@
+//! The lifecycle state machine: Idle → Training → Shadow → Promoting →
+//! Probation, with rollback edges.
+//!
+//! [`LifecycleManager::consume`] is fed the committed [`RowEvent`]s each
+//! topology tick releases (already merged, so the stream is identical at
+//! any shard count) and drives everything deterministically off
+//! committed-row counts — never wall-clock time:
+//!
+//! - **Cadence**: once `retrain_rows` committed rows accumulate while
+//!   idle (times a doubling backoff after contained trainer failures), a
+//!   candidate is trained from the [`TrainingBuffer`] inside an
+//!   [`hdd_par`] panic-isolation cell. A panicking or failing trainer
+//!   increments a counter and backs off; it never touches the serving
+//!   path.
+//! - **Shadow**: the staged candidate rides along on live traffic in a
+//!   [`ShadowScorer`]; after `shadow_rows` rows the [`PromotionGate`]
+//!   either clears it (promotion is *staged*) or refuses it with
+//!   recorded reasons.
+//! - **Quiesce**: [`LifecycleManager::apply_staged`] runs only when the
+//!   caller has fully drained its feeds, so the model swap lands at a
+//!   deterministic stream position and alarm output stays byte-identical
+//!   across shard counts and `kill -9`.
+//! - **Probation**: after promotion the live alarm rate is watched
+//!   against the shadow-window baseline; a breaker trip or an alarm-rate
+//!   anomaly stages an automatic [`ModelStore::rollback`].
+//!
+//! All state (buffer, shadow windows, counters, consumed-seq filter)
+//! checkpoints into `lifecycle.ckpt`, saved between the sink and
+//! `topology.ckpt` so a crash at any point resumes without losing or
+//! double-consuming events.
+
+use crate::buffer::{TrainingBuffer, WindowMode};
+use crate::promote::{ModelStore, PromoteError, PromoteOutcome, PromotionStep, Recovery};
+use crate::shadow::{PromotionGate, ShadowScorer};
+use hdd_cart::ClassificationTreeBuilder;
+use hdd_eval::{ModelError, Predictor, SavedModel, VotingRule};
+use hdd_json::{JsonCodec, JsonError, Value};
+use hdd_par::ThreadPool;
+use hdd_serve::{Checkpoint, CheckpointError, CheckpointKind, MergeState, RowEvent};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Knobs for the online lifecycle. Every cadence is counted in
+/// committed rows, never seconds — the only exception is the optional
+/// wall-clock training budget, which is daemon-only (see field docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleConfig {
+    /// Committed rows between training attempts (backoff multiplies it).
+    pub retrain_rows: usize,
+    /// Rows a candidate must shadow-score before the gate judges it.
+    pub shadow_rows: usize,
+    /// Rows of post-promotion probation before a promotion is final.
+    pub probation_rows: usize,
+    /// The promotion gate's absolute floors.
+    pub gate: PromotionGate,
+    /// Training-window policy (paper §6).
+    pub mode: WindowMode,
+    /// Training buffer capacity, in rows.
+    pub buffer_cap: usize,
+    /// Failure-window width for labelling buffered rows, in hours.
+    pub window_hours: u32,
+    /// Retained model-history depth.
+    pub history: usize,
+    /// Probation trips when the live alarm rate exceeds the shadow
+    /// baseline by more than this (alarms per row).
+    pub max_alarm_rate_delta: f64,
+    /// Voting-window size for shadow scoring (match the live detector).
+    pub voters: usize,
+    /// Voting rule for shadow scoring (match the live detector).
+    pub rule: VotingRule,
+    /// Optional wall-clock training budget in milliseconds. **Daemon
+    /// only**: an over-budget result is discarded with backoff, which
+    /// makes candidate timing depend on the clock — leave `None`
+    /// anywhere replay determinism matters (the gauntlet always does).
+    pub train_budget_ms: Option<u64>,
+}
+
+impl LifecycleConfig {
+    /// Defaults sized for the gauntlet fleets; daemons override via
+    /// `--retrain-*` flags.
+    #[must_use]
+    pub fn new(voters: usize, rule: VotingRule) -> Self {
+        LifecycleConfig {
+            retrain_rows: 2048,
+            shadow_rows: 1024,
+            probation_rows: 1024,
+            gate: PromotionGate {
+                min_fdr: 0.5,
+                max_far: 0.05,
+                min_lead_hours: 0.0,
+            },
+            mode: WindowMode::Replacing,
+            buffer_cap: 8192,
+            window_hours: 168,
+            history: 3,
+            max_alarm_rate_delta: 0.05,
+            voters,
+            rule,
+            train_budget_ms: None,
+        }
+    }
+}
+
+/// Seeded lifecycle fault injections (gauntlet and chaos tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LifecycleFaults {
+    /// Panic inside the trainer on the n-th attempt (1-based).
+    pub trainer_panic: Option<usize>,
+    /// Poison the n-th buffered push (1-based) with a NaN feature.
+    pub poison_buffer: Option<usize>,
+    /// Simulate `kill -9` after this promotion-protocol step, then
+    /// immediately run crash recovery as a restarted process would.
+    pub crash_at_step: Option<PromotionStep>,
+    /// Train candidates on label-inverted samples — a genuinely bad
+    /// model the gate must refuse.
+    pub regressing_candidate: bool,
+}
+
+/// Where the lifecycle state machine currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Accumulating rows toward the next training attempt.
+    Idle,
+    /// A candidate is shadow-scoring live traffic.
+    Shadow,
+    /// The gate cleared; promotion applies at the next quiesce.
+    Promoting,
+    /// Promoted; the live alarm rate is under watch.
+    Probation,
+    /// Probation tripped; rollback applies at the next quiesce.
+    RollingBack,
+}
+
+impl Phase {
+    /// Stable label, used by checkpoints and status output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Idle => "idle",
+            Phase::Shadow => "shadow",
+            Phase::Promoting => "promoting",
+            Phase::Probation => "probation",
+            Phase::RollingBack => "rolling-back",
+        }
+    }
+
+    /// Parse a [`Phase::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "idle" => Some(Phase::Idle),
+            "shadow" => Some(Phase::Shadow),
+            "promoting" => Some(Phase::Promoting),
+            "probation" => Some(Phase::Probation),
+            "rolling-back" => Some(Phase::RollingBack),
+            _ => None,
+        }
+    }
+}
+
+/// Monotonic lifecycle counters, persisted in `lifecycle.ckpt`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LifecycleCounters {
+    /// Committed rows consumed (after replay dedup).
+    pub events_consumed: usize,
+    /// Rows shadow-scored by a candidate.
+    pub candidate_rows_scored: usize,
+    /// Candidates the gate refused.
+    pub gate_refusals: usize,
+    /// Candidates the gate cleared.
+    pub gate_clearances: usize,
+    /// Promotions applied.
+    pub promotions: usize,
+    /// Automatic rollbacks applied.
+    pub rollbacks: usize,
+    /// Trainer panics contained.
+    pub trainer_panics: usize,
+    /// Trainer errors (unlearnable buffer, over-budget, staging I/O).
+    pub train_failures: usize,
+}
+
+type CounterGet = fn(&LifecycleCounters) -> &usize;
+type CounterGetMut = fn(&mut LifecycleCounters) -> &mut usize;
+
+/// Table-driven codec: field name, reader, writer (same idiom as
+/// `hdd_serve::ShardStats`).
+const COUNTER_FIELDS: [(&str, CounterGet, CounterGetMut); 8] = [
+    (
+        "events_consumed",
+        |c| &c.events_consumed,
+        |c| &mut c.events_consumed,
+    ),
+    (
+        "candidate_rows_scored",
+        |c| &c.candidate_rows_scored,
+        |c| &mut c.candidate_rows_scored,
+    ),
+    (
+        "gate_refusals",
+        |c| &c.gate_refusals,
+        |c| &mut c.gate_refusals,
+    ),
+    (
+        "gate_clearances",
+        |c| &c.gate_clearances,
+        |c| &mut c.gate_clearances,
+    ),
+    ("promotions", |c| &c.promotions, |c| &mut c.promotions),
+    ("rollbacks", |c| &c.rollbacks, |c| &mut c.rollbacks),
+    (
+        "trainer_panics",
+        |c| &c.trainer_panics,
+        |c| &mut c.trainer_panics,
+    ),
+    (
+        "train_failures",
+        |c| &c.train_failures,
+        |c| &mut c.train_failures,
+    ),
+];
+
+impl JsonCodec for LifecycleCounters {
+    fn to_json(&self) -> Value {
+        Value::Obj(
+            COUNTER_FIELDS
+                .iter()
+                .map(|(name, get, _)| ((*name).to_string(), Value::Num(*get(self) as f64)))
+                .collect(),
+        )
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let mut counters = LifecycleCounters::default();
+        for (name, _, get_mut) in &COUNTER_FIELDS {
+            *get_mut(&mut counters) = value.usize_field(name)?;
+        }
+        Ok(counters)
+    }
+}
+
+/// Why a lifecycle operation failed.
+#[derive(Debug)]
+pub enum LifecycleError {
+    /// The promotion store failed.
+    Promote(PromoteError),
+    /// Loading a model failed.
+    Model(ModelError),
+    /// Reading or writing `lifecycle.ckpt` failed.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LifecycleError::Promote(e) => write!(f, "lifecycle promotion: {e}"),
+            LifecycleError::Model(e) => write!(f, "lifecycle model: {e}"),
+            LifecycleError::Checkpoint(e) => write!(f, "lifecycle checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+impl From<PromoteError> for LifecycleError {
+    fn from(e: PromoteError) -> Self {
+        LifecycleError::Promote(e)
+    }
+}
+
+impl From<ModelError> for LifecycleError {
+    fn from(e: ModelError) -> Self {
+        LifecycleError::Model(e)
+    }
+}
+
+impl From<CheckpointError> for LifecycleError {
+    fn from(e: CheckpointError) -> Self {
+        LifecycleError::Checkpoint(e)
+    }
+}
+
+/// The `lifecycle.ckpt` path inside a checkpoint directory.
+#[must_use]
+pub fn lifecycle_path(dir: &Path) -> PathBuf {
+    dir.join("lifecycle.ckpt")
+}
+
+/// The lifecycle state machine; see the module docs.
+#[derive(Debug)]
+pub struct LifecycleManager {
+    config: LifecycleConfig,
+    store: ModelStore,
+    faults: LifecycleFaults,
+    /// Replay filter over consumed event seqs (same machinery as the
+    /// alarm merge's duplicate suppression).
+    consumed: MergeState,
+    buffer: TrainingBuffer,
+    shadow: Option<ShadowScorer>,
+    candidate: Option<Arc<SavedModel>>,
+    candidate_fingerprint: Option<u64>,
+    phase: Phase,
+    counters: LifecycleCounters,
+    rows_since_train: usize,
+    backoff_mult: usize,
+    train_attempts: usize,
+    pushes: usize,
+    baseline_alarm_rate: f64,
+    probation_rows_seen: usize,
+    probation_alarms: usize,
+    rollback_target: Option<u64>,
+}
+
+impl LifecycleManager {
+    /// A fresh manager over the live model at `model_path`.
+    #[must_use]
+    pub fn new(config: LifecycleConfig, model_path: PathBuf, faults: LifecycleFaults) -> Self {
+        let store = ModelStore::new(model_path, config.history);
+        let buffer = TrainingBuffer::new(config.mode, config.buffer_cap, config.window_hours);
+        LifecycleManager {
+            config,
+            store,
+            faults,
+            consumed: MergeState::new(),
+            buffer,
+            shadow: None,
+            candidate: None,
+            candidate_fingerprint: None,
+            phase: Phase::Idle,
+            counters: LifecycleCounters::default(),
+            rows_since_train: 0,
+            backoff_mult: 1,
+            train_attempts: 0,
+            pushes: 0,
+            baseline_alarm_rate: 0.0,
+            probation_rows_seen: 0,
+            probation_alarms: 0,
+            rollback_target: None,
+        }
+    }
+
+    /// Startup path: run crash recovery on the model store, restore
+    /// `lifecycle.ckpt` when present, and reconcile the two — the
+    /// resumed phase always refers to models that actually exist on
+    /// disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LifecycleError`] when recovery or the checkpoint read
+    /// fails (a *missing* checkpoint is a clean cold start, not an
+    /// error).
+    pub fn resume(
+        config: LifecycleConfig,
+        model_path: PathBuf,
+        faults: LifecycleFaults,
+        ckpt_dir: Option<&Path>,
+    ) -> Result<(Self, Recovery), LifecycleError> {
+        let mut manager = LifecycleManager::new(config, model_path, faults);
+        let recovery = manager.store.recover()?;
+        if let Some(dir) = ckpt_dir {
+            let path = lifecycle_path(dir);
+            if path.exists() {
+                let ck = Checkpoint::load_expecting(&path, CheckpointKind::Lifecycle)?;
+                manager.restore_state(&ck.payload)?;
+                manager.reconcile()?;
+            }
+        }
+        Ok((manager, recovery))
+    }
+
+    /// Current phase.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Lifecycle counters.
+    #[must_use]
+    pub fn counters(&self) -> &LifecycleCounters {
+        &self.counters
+    }
+
+    /// The training buffer.
+    #[must_use]
+    pub fn buffer(&self) -> &TrainingBuffer {
+        &self.buffer
+    }
+
+    /// The model store (paths, history, fingerprints).
+    #[must_use]
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// Fingerprint of the current candidate (shadow through probation).
+    #[must_use]
+    pub fn candidate_fingerprint(&self) -> Option<u64> {
+        self.candidate_fingerprint
+    }
+
+    /// The in-flight shadow comparison, when a candidate is shadowing.
+    #[must_use]
+    pub fn shadow_comparison(&self) -> Option<crate::shadow::ShadowComparison> {
+        self.shadow.as_ref().map(ShadowScorer::comparison)
+    }
+
+    /// Whether a staged promotion or rollback is waiting for a quiesce.
+    #[must_use]
+    pub fn has_staged_swap(&self) -> bool {
+        matches!(self.phase, Phase::Promoting | Phase::RollingBack)
+    }
+
+    /// Feed one tick's released events plus that tick's emitted alarm
+    /// count and breaker transitions. `watermark` is the topology
+    /// merge's emitted low-water mark (`merge_state().emitted()`), which
+    /// keeps the replay filter aligned with the alarm stream. Returns
+    /// human-readable transition notes.
+    pub fn consume(
+        &mut self,
+        pool: &ThreadPool,
+        events: &[RowEvent],
+        alarms_this_tick: usize,
+        breaker_transitions: usize,
+        watermark: u64,
+    ) -> Vec<String> {
+        let mut notes = Vec::new();
+        let mut processed = Vec::new();
+        for event in events {
+            if self.consumed.already_emitted(event.seq) {
+                continue;
+            }
+            processed.push(event.seq);
+            self.counters.events_consumed += 1;
+            self.pushes += 1;
+            if self.faults.poison_buffer == Some(self.pushes) {
+                let mut poisoned = event.clone();
+                if let Some(first) = poisoned.features.first_mut() {
+                    *first = f64::NAN;
+                }
+                self.buffer.push(&poisoned);
+            } else {
+                self.buffer.push(event);
+            }
+            self.rows_since_train += 1;
+            match self.phase {
+                Phase::Shadow => {
+                    if let (Some(candidate), Some(shadow)) = (&self.candidate, &mut self.shadow) {
+                        shadow.observe(event, candidate.score(&event.features));
+                        self.counters.candidate_rows_scored += 1;
+                    }
+                }
+                Phase::Probation => self.probation_rows_seen += 1,
+                _ => {}
+            }
+        }
+        self.consumed.record_ahead(processed);
+        self.consumed.advance(watermark);
+
+        self.judge_shadow(&mut notes);
+        self.watch_probation(alarms_this_tick, breaker_transitions, &mut notes);
+        if self.phase == Phase::Idle
+            && self.rows_since_train >= self.config.retrain_rows.saturating_mul(self.backoff_mult)
+            && self.buffer.failed_rows() >= 1
+            && self.buffer.failed_rows() < self.buffer.len()
+        {
+            self.attempt_training(pool, &mut notes);
+        }
+        notes
+    }
+
+    fn judge_shadow(&mut self, notes: &mut Vec<String>) {
+        if self.phase != Phase::Shadow {
+            return;
+        }
+        let Some(shadow) = &self.shadow else { return };
+        if shadow.rows_scored() < self.config.shadow_rows {
+            return;
+        }
+        let comparison = shadow.comparison();
+        let reasons = self.config.gate.judge(&comparison);
+        if reasons.is_empty() {
+            self.counters.gate_clearances += 1;
+            self.baseline_alarm_rate = comparison.incumbent.alarm_rate;
+            self.phase = Phase::Promoting;
+            notes.push(format!(
+                "lifecycle: gate cleared candidate {:016x} (fdr {:.3} vs {:.3}, far {:.3}); promotion staged",
+                self.candidate_fingerprint.unwrap_or(0),
+                comparison.candidate.fdr,
+                comparison.incumbent.fdr,
+                comparison.candidate.far,
+            ));
+        } else {
+            self.counters.gate_refusals += 1;
+            // The candidate file stays on disk (the next staging
+            // overwrites it): deleting here would be a mid-stream disk
+            // mutation that a checkpoint replay could not reproduce.
+            self.candidate = None;
+            self.candidate_fingerprint = None;
+            self.shadow = None;
+            self.phase = Phase::Idle;
+            self.rows_since_train = 0;
+            notes.push(format!(
+                "lifecycle: gate refused candidate ({})",
+                reasons.join("; ")
+            ));
+        }
+    }
+
+    fn watch_probation(
+        &mut self,
+        alarms_this_tick: usize,
+        breaker_transitions: usize,
+        notes: &mut Vec<String>,
+    ) {
+        if self.phase != Phase::Probation {
+            return;
+        }
+        self.probation_alarms += alarms_this_tick;
+        let min_assess = (self.config.probation_rows / 4).max(1);
+        let rate = if self.probation_rows_seen == 0 {
+            0.0
+        } else {
+            self.probation_alarms as f64 / self.probation_rows_seen as f64
+        };
+        let anomalous = self.probation_rows_seen >= min_assess
+            && rate > self.baseline_alarm_rate + self.config.max_alarm_rate_delta;
+        if breaker_transitions > 0 || anomalous {
+            self.phase = Phase::RollingBack;
+            self.rollback_target = self.store.fingerprint_of(&self.store.prev_path(1)).ok();
+            notes.push(format!(
+                "lifecycle: probation tripped ({}); rollback staged",
+                if breaker_transitions > 0 {
+                    "breaker transition".to_string()
+                } else {
+                    format!(
+                        "alarm rate {rate:.4} above baseline {:.4} + {:.4}",
+                        self.baseline_alarm_rate, self.config.max_alarm_rate_delta
+                    )
+                }
+            ));
+        } else if self.probation_rows_seen >= self.config.probation_rows {
+            self.phase = Phase::Idle;
+            self.candidate_fingerprint = None;
+            self.rows_since_train = 0;
+            notes.push("lifecycle: probation passed; promotion is final".to_string());
+        }
+    }
+
+    fn attempt_training(&mut self, pool: &ThreadPool, notes: &mut Vec<String>) {
+        self.train_attempts += 1;
+        self.rows_since_train = 0;
+        let attempt = self.train_attempts;
+        let panic_now = self.faults.trainer_panic == Some(attempt);
+        let samples = if self.faults.regressing_candidate {
+            self.buffer.inverted_samples()
+        } else {
+            self.buffer.samples()
+        };
+        // Wall-clock training budget: daemon-only containment (see
+        // LifecycleConfig::train_budget_ms for the determinism caveat).
+        let started = self.config.train_budget_ms.map(|_| {
+            // audit:allow(R1) reason="budget enforcement is containment of the off-path trainer, never serve state; gauntlet and tests run with train_budget_ms=None"
+            std::time::Instant::now()
+        });
+        let trained = pool.try_parallel_map(&[()], |_| {
+            if panic_now {
+                // audit:allow(R3) reason="seeded fault injection proving trainer panics are contained by try_parallel_map"
+                panic!("injected trainer panic (attempt {attempt})");
+            }
+            ClassificationTreeBuilder::new()
+                .build(&samples)
+                .map(|tree| SavedModel::from(tree.compile()))
+        });
+        let mut fail = |counter: &mut usize, backoff: &mut usize, note: String| {
+            *counter += 1;
+            *backoff = backoff.saturating_mul(2).min(64);
+            notes.push(note);
+        };
+        match trained {
+            Err(panic) => fail(
+                &mut self.counters.trainer_panics,
+                &mut self.backoff_mult,
+                format!("lifecycle: trainer panic contained ({panic}); backing off"),
+            ),
+            Ok(mut results) => match results.pop() {
+                None | Some(Err(_)) => fail(
+                    &mut self.counters.train_failures,
+                    &mut self.backoff_mult,
+                    "lifecycle: training failed on the buffered window; backing off".to_string(),
+                ),
+                Some(Ok(model)) => {
+                    let over_budget = match (started, self.config.train_budget_ms) {
+                        // audit:allow(R1) reason="opt-in training time budget: bounds whether a candidate is produced, never which rows commit or which alarms the incumbent emits"
+                        (Some(t0), Some(budget)) => t0.elapsed().as_millis() as u64 > budget,
+                        _ => false,
+                    };
+                    if over_budget {
+                        fail(
+                            &mut self.counters.train_failures,
+                            &mut self.backoff_mult,
+                            "lifecycle: training exceeded its time budget; candidate discarded"
+                                .to_string(),
+                        );
+                    } else {
+                        match self.store.stage_candidate(&model) {
+                            Ok(fingerprint) => {
+                                self.candidate = Some(Arc::new(model));
+                                self.candidate_fingerprint = Some(fingerprint);
+                                self.shadow =
+                                    Some(ShadowScorer::new(self.config.voters, self.config.rule));
+                                self.phase = Phase::Shadow;
+                                self.backoff_mult = 1;
+                                notes.push(format!(
+                                    "lifecycle: candidate {fingerprint:016x} trained on {} rows; shadow begins",
+                                    self.buffer.len()
+                                ));
+                            }
+                            Err(e) => fail(
+                                &mut self.counters.train_failures,
+                                &mut self.backoff_mult,
+                                format!(
+                                    "lifecycle: staging the candidate failed ({e}); backing off"
+                                ),
+                            ),
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Apply a staged promotion or rollback. **Call only at a full
+    /// quiesce** (feeds drained, queues empty, events consumed, alarms
+    /// flushed): the swap then lands at a deterministic stream position.
+    /// Returns the model the caller must swap into its topology, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LifecycleError`] when the promotion store or a model
+    /// load fails; staged state is preserved so the caller may retry.
+    pub fn apply_staged(&mut self) -> Result<Option<Arc<SavedModel>>, LifecycleError> {
+        match self.phase {
+            Phase::Promoting => {
+                let outcome = self.store.promote(self.faults.crash_at_step)?;
+                if let PromoteOutcome::Stopped(_) = outcome {
+                    // The injected crash landed mid-protocol; run the
+                    // exact repair a restarted process would.
+                    self.store.recover()?;
+                }
+                let live = self.store.live_fingerprint()?;
+                let model = Arc::new(SavedModel::load(self.store.model_path())?);
+                if Some(live) == self.candidate_fingerprint {
+                    self.counters.promotions += 1;
+                    self.enter_probation();
+                } else {
+                    // The candidate rotted on disk and recovery restored
+                    // the last known good; abandon the promotion.
+                    self.reset_to_idle();
+                }
+                Ok(Some(model))
+            }
+            Phase::RollingBack => {
+                let live = self.store.live_fingerprint()?;
+                if self.rollback_target != Some(live) {
+                    self.store.rollback()?;
+                }
+                let model = Arc::new(SavedModel::load(self.store.model_path())?);
+                self.counters.rollbacks += 1;
+                self.reset_to_idle();
+                Ok(Some(model))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn enter_probation(&mut self) {
+        self.phase = Phase::Probation;
+        self.candidate = None;
+        self.shadow = None;
+        self.probation_rows_seen = 0;
+        self.probation_alarms = 0;
+    }
+
+    fn reset_to_idle(&mut self) {
+        self.phase = Phase::Idle;
+        self.candidate = None;
+        self.candidate_fingerprint = None;
+        self.shadow = None;
+        self.rollback_target = None;
+        self.rows_since_train = 0;
+        self.probation_rows_seen = 0;
+        self.probation_alarms = 0;
+    }
+
+    /// Serialize everything `lifecycle.ckpt` persists.
+    #[must_use]
+    pub fn state_to_json(&self) -> Value {
+        let mut fields = vec![
+            (
+                "phase".to_string(),
+                Value::Str(self.phase.label().to_string()),
+            ),
+            ("consumed".to_string(), self.consumed.to_json()),
+            ("buffer".to_string(), self.buffer.to_json()),
+            ("counters".to_string(), self.counters.to_json()),
+            (
+                "rows_since_train".to_string(),
+                Value::Num(self.rows_since_train as f64),
+            ),
+            (
+                "backoff_mult".to_string(),
+                Value::Num(self.backoff_mult as f64),
+            ),
+            (
+                "train_attempts".to_string(),
+                Value::Num(self.train_attempts as f64),
+            ),
+            ("pushes".to_string(), Value::Num(self.pushes as f64)),
+            (
+                "baseline_alarm_rate".to_string(),
+                Value::Num(self.baseline_alarm_rate),
+            ),
+            (
+                "probation_rows_seen".to_string(),
+                Value::Num(self.probation_rows_seen as f64),
+            ),
+            (
+                "probation_alarms".to_string(),
+                Value::Num(self.probation_alarms as f64),
+            ),
+        ];
+        if let Some(shadow) = &self.shadow {
+            fields.push(("shadow".to_string(), shadow.to_json()));
+        }
+        if let Some(fp) = self.candidate_fingerprint {
+            fields.push((
+                "candidate_fingerprint".to_string(),
+                Value::Str(format!("{fp:016x}")),
+            ));
+        }
+        if let Some(fp) = self.rollback_target {
+            fields.push((
+                "rollback_target".to_string(),
+                Value::Str(format!("{fp:016x}")),
+            ));
+        }
+        Value::Obj(fields)
+    }
+
+    /// Restore state written by [`LifecycleManager::state_to_json`].
+    /// Follow with [`LifecycleManager::resume`]-style reconciliation
+    /// before serving (resume does both).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LifecycleError::Checkpoint`] when the payload does not
+    /// decode.
+    pub fn restore_state(&mut self, value: &Value) -> Result<(), LifecycleError> {
+        let decode = |e: JsonError| LifecycleError::Checkpoint(CheckpointError::Json(e));
+        let phase_label = value.str_field("phase").map_err(decode)?;
+        let phase = Phase::from_label(phase_label).ok_or_else(|| {
+            LifecycleError::Checkpoint(CheckpointError::Incompatible(format!(
+                "unknown lifecycle phase `{phase_label}`"
+            )))
+        })?;
+        let fingerprint_field = |field: &str| -> Result<Option<u64>, LifecycleError> {
+            match value.get(field) {
+                None => Ok(None),
+                Some(v) => {
+                    let hex = v.as_str().ok_or_else(|| {
+                        decode(JsonError::expected("a fingerprint string", field))
+                    })?;
+                    Ok(Some(u64::from_str_radix(hex, 16).map_err(|_| {
+                        decode(JsonError::expected("a hex fingerprint", field))
+                    })?))
+                }
+            }
+        };
+        self.phase = phase;
+        self.consumed =
+            MergeState::from_json(value.field("consumed").map_err(decode)?).map_err(decode)?;
+        self.buffer =
+            TrainingBuffer::from_json(value.field("buffer").map_err(decode)?).map_err(decode)?;
+        self.counters = LifecycleCounters::from_json(value.field("counters").map_err(decode)?)
+            .map_err(decode)?;
+        self.rows_since_train = value.usize_field("rows_since_train").map_err(decode)?;
+        self.backoff_mult = value.usize_field("backoff_mult").map_err(decode)?.max(1);
+        self.train_attempts = value.usize_field("train_attempts").map_err(decode)?;
+        self.pushes = value.usize_field("pushes").map_err(decode)?;
+        self.baseline_alarm_rate = value.f64_field("baseline_alarm_rate").map_err(decode)?;
+        self.probation_rows_seen = value.usize_field("probation_rows_seen").map_err(decode)?;
+        self.probation_alarms = value.usize_field("probation_alarms").map_err(decode)?;
+        self.shadow = match value.get("shadow") {
+            Some(raw) => Some(ShadowScorer::from_json(raw).map_err(decode)?),
+            None => None,
+        };
+        self.candidate_fingerprint = fingerprint_field("candidate_fingerprint")?;
+        self.rollback_target = fingerprint_field("rollback_target")?;
+        self.candidate = None;
+        Ok(())
+    }
+
+    /// Re-anchor restored state to what actually exists on disk: reload
+    /// the candidate for shadow/promoting phases, detect a promotion or
+    /// rollback that completed just before the crash, and fall back to
+    /// idle when the candidate is gone or corrupt.
+    fn reconcile(&mut self) -> Result<(), LifecycleError> {
+        match self.phase {
+            Phase::Shadow | Phase::Promoting => {
+                let path = self.store.candidate_path();
+                let loaded = match self.candidate_fingerprint {
+                    Some(expected) if path.exists() => {
+                        if self.store.fingerprint_of(&path)? == expected {
+                            SavedModel::load(&path).ok().map(Arc::new)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some(model) = loaded {
+                    self.candidate = Some(model);
+                } else if self.phase == Phase::Promoting
+                    && self.candidate_fingerprint == Some(self.store.live_fingerprint()?)
+                {
+                    // Crash recovery already completed the promotion.
+                    self.counters.promotions += 1;
+                    self.enter_probation();
+                } else {
+                    self.reset_to_idle();
+                }
+            }
+            Phase::RollingBack => {
+                if self.rollback_target == Some(self.store.live_fingerprint()?) {
+                    // Crash recovery already completed the rollback.
+                    self.counters.rollbacks += 1;
+                    self.reset_to_idle();
+                }
+            }
+            Phase::Idle | Phase::Probation => {}
+        }
+        Ok(())
+    }
+
+    /// Save `lifecycle.ckpt` into `dir` (atomic; between the sink and
+    /// `topology.ckpt` in the caller's save order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LifecycleError::Checkpoint`] when the write fails.
+    pub fn save_checkpoint(&self, dir: &Path) -> Result<(), LifecycleError> {
+        std::fs::create_dir_all(dir)
+            .map_err(CheckpointError::Io)
+            .map_err(LifecycleError::Checkpoint)?;
+        Checkpoint {
+            kind: CheckpointKind::Lifecycle,
+            payload: self.state_to_json(),
+        }
+        .save(&lifecycle_path(dir))
+        .map_err(LifecycleError::Checkpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdd_cart::{Class, ClassSample};
+
+    const FAIL_HOUR: u32 = 200;
+
+    /// Separable two-feature fleet: drives 0-4 fail at hour 200 with
+    /// low feature values, drives 5-9 stay good with high ones.
+    fn event(seq: u64, drive: u32, hour: u32, incumbent_score: f64) -> RowEvent {
+        let failing = drive < 5;
+        let x = if failing {
+            f64::from(drive) + f64::from(hour % 7) * 0.1
+        } else {
+            50.0 + f64::from(drive) + f64::from(hour % 7) * 0.1
+        };
+        RowEvent {
+            seq,
+            drive,
+            hour,
+            fail_hour: failing.then_some(FAIL_HOUR),
+            features: vec![x, x * 0.5],
+            incumbent_score,
+        }
+    }
+
+    /// A stream of `rows` events, hour-major over 10 drives, starting
+    /// at `seq0`/`hour0`. `incumbent` maps `failing -> score`.
+    fn stream(seq0: u64, hour0: u32, rows: usize, incumbent: fn(bool) -> f64) -> Vec<RowEvent> {
+        (0..rows)
+            .map(|i| {
+                let drive = (i % 10) as u32;
+                let hour = hour0 + (i / 10) as u32;
+                event(seq0 + i as u64, drive, hour, incumbent(drive < 5))
+            })
+            .collect()
+    }
+
+    fn seed_model(dir: &Path) -> PathBuf {
+        let samples: Vec<ClassSample> = (0..60)
+            .map(|i| {
+                let x = f64::from(i % 30);
+                // A deliberately wrong incumbent: it believes HIGH
+                // values fail, while the fleet's truth is the opposite.
+                let class = if x >= 20.0 {
+                    Class::Failed
+                } else {
+                    Class::Good
+                };
+                ClassSample::new(vec![x, x * 0.5], class)
+            })
+            .collect();
+        let model = SavedModel::from(
+            ClassificationTreeBuilder::new()
+                .build(&samples)
+                .expect("training the incumbent fixture")
+                .compile(),
+        );
+        let path = dir.join("model.json");
+        model.save(&path).expect("saving the incumbent fixture");
+        path
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hdd-lifecycle-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("creating the temp dir");
+        dir
+    }
+
+    fn config() -> LifecycleConfig {
+        let mut config = LifecycleConfig::new(3, VotingRule::Majority);
+        config.retrain_rows = 40;
+        config.shadow_rows = 40;
+        config.probation_rows = 40;
+        config.gate.min_fdr = 0.5;
+        config.gate.max_far = 0.2;
+        config.buffer_cap = 512;
+        config
+    }
+
+    /// Stateful event feeder: 10 rows per tick, seq and hour continue
+    /// across calls so the consumed-seq filter sees fresh traffic.
+    struct Feeder {
+        seq: u64,
+        hour: u32,
+    }
+
+    impl Feeder {
+        fn new() -> Self {
+            Feeder { seq: 0, hour: 100 }
+        }
+
+        fn feed(
+            &mut self,
+            manager: &mut LifecycleManager,
+            pool: &ThreadPool,
+            ticks: usize,
+        ) -> Vec<String> {
+            let mut notes = Vec::new();
+            for _ in 0..ticks {
+                let batch = stream(self.seq, self.hour, 10, |_| 1.0);
+                self.seq += 10;
+                self.hour += 1;
+                notes.extend(manager.consume(pool, &batch, 0, 0, self.seq));
+            }
+            notes
+        }
+    }
+
+    #[test]
+    fn full_cycle_trains_shadows_promotes_and_passes_probation() {
+        let dir = tempdir("cycle");
+        let model_path = seed_model(&dir);
+        let mut manager =
+            LifecycleManager::new(config(), model_path.clone(), LifecycleFaults::default());
+        let store = ModelStore::new(model_path, 3);
+        let incumbent_fp = store.live_fingerprint().unwrap();
+        let pool = ThreadPool::serial();
+        let mut feeder = Feeder::new();
+
+        // 40 rows of cadence, then 40 rows of shadow.
+        let notes = feeder.feed(&mut manager, &pool, 8);
+        assert_eq!(manager.phase(), Phase::Promoting, "{notes:?}");
+        assert_eq!(manager.counters().gate_clearances, 1);
+        assert_eq!(manager.counters().candidate_rows_scored, 40);
+        let staged_fp = manager.candidate_fingerprint().unwrap();
+
+        let swapped = manager.apply_staged().unwrap().expect("a promoted model");
+        assert_eq!(manager.phase(), Phase::Probation);
+        assert_eq!(manager.counters().promotions, 1);
+        assert_eq!(store.live_fingerprint().unwrap(), staged_fp);
+        assert_eq!(
+            store.fingerprint_of(&store.prev_path(1)).unwrap(),
+            incumbent_fp
+        );
+        // The swapped-in model is the candidate: it detects the failing
+        // cluster the incumbent missed.
+        assert!(swapped.score(&[2.0, 1.0]) < 0.0);
+
+        // Probation passes quietly after probation_rows.
+        let notes = feeder.feed(&mut manager, &pool, 4);
+        assert_eq!(manager.phase(), Phase::Idle, "{notes:?}");
+        assert_eq!(manager.counters().rollbacks, 0);
+        assert!(notes.iter().any(|n| n.contains("probation passed")));
+    }
+
+    #[test]
+    fn trainer_panic_is_contained_and_backs_off_by_rows() {
+        let dir = tempdir("panic");
+        let model_path = seed_model(&dir);
+        let faults = LifecycleFaults {
+            trainer_panic: Some(1),
+            ..LifecycleFaults::default()
+        };
+        let mut manager = LifecycleManager::new(config(), model_path, faults);
+        let pool = ThreadPool::serial();
+        let mut feeder = Feeder::new();
+
+        feeder.feed(&mut manager, &pool, 4);
+        assert_eq!(manager.counters().trainer_panics, 1);
+        assert_eq!(manager.phase(), Phase::Idle);
+        // Backoff doubled the cadence: 40 more rows are not enough...
+        feeder.feed(&mut manager, &pool, 4);
+        assert_eq!(manager.counters().trainer_panics, 1);
+        assert_eq!(manager.phase(), Phase::Idle);
+        // ...but 80 are, and the second attempt succeeds.
+        feeder.feed(&mut manager, &pool, 4);
+        assert_eq!(manager.phase(), Phase::Shadow);
+        assert_eq!(manager.counters().trainer_panics, 1);
+    }
+
+    #[test]
+    fn regressing_candidate_is_refused_and_model_file_untouched() {
+        let dir = tempdir("refuse");
+        let model_path = seed_model(&dir);
+        let faults = LifecycleFaults {
+            regressing_candidate: true,
+            ..LifecycleFaults::default()
+        };
+        let mut manager = LifecycleManager::new(config(), model_path.clone(), faults);
+        let store = ModelStore::new(model_path, 3);
+        let incumbent_fp = store.live_fingerprint().unwrap();
+        let pool = ThreadPool::serial();
+        let mut feeder = Feeder::new();
+
+        let notes = feeder.feed(&mut manager, &pool, 10);
+        assert_eq!(manager.counters().gate_refusals, 1, "{notes:?}");
+        assert_eq!(manager.counters().promotions, 0);
+        assert_eq!(manager.phase(), Phase::Idle);
+        assert!(manager.apply_staged().unwrap().is_none());
+        assert_eq!(store.live_fingerprint().unwrap(), incumbent_fp);
+        assert!(notes.iter().any(|n| n.contains("gate refused")));
+    }
+
+    #[test]
+    fn poisoned_rows_are_quarantined_not_trained_on() {
+        let dir = tempdir("poison");
+        let model_path = seed_model(&dir);
+        let faults = LifecycleFaults {
+            poison_buffer: Some(3),
+            ..LifecycleFaults::default()
+        };
+        let mut manager = LifecycleManager::new(config(), model_path, faults);
+        let pool = ThreadPool::serial();
+        let mut feeder = Feeder::new();
+        feeder.feed(&mut manager, &pool, 2);
+        assert_eq!(manager.buffer().poisoned_rows(), 1);
+        assert_eq!(manager.buffer().len(), 19);
+    }
+
+    #[test]
+    fn alarm_rate_anomaly_rolls_back_to_the_incumbent() {
+        let dir = tempdir("rollback");
+        let model_path = seed_model(&dir);
+        let mut manager =
+            LifecycleManager::new(config(), model_path.clone(), LifecycleFaults::default());
+        let store = ModelStore::new(model_path, 3);
+        let incumbent_fp = store.live_fingerprint().unwrap();
+        let pool = ThreadPool::serial();
+        let mut feeder = Feeder::new();
+
+        feeder.feed(&mut manager, &pool, 8);
+        let promoted_fp = manager.candidate_fingerprint().unwrap();
+        manager.apply_staged().unwrap().expect("a promoted model");
+        assert_eq!(manager.phase(), Phase::Probation);
+
+        // Probation traffic with a pathological alarm flood.
+        let batch = stream(2000, 300, 10, |_| 1.0);
+        let notes = manager.consume(&pool, &batch, 9, 0, 2010);
+        assert_eq!(manager.phase(), Phase::RollingBack, "{notes:?}");
+        let swapped = manager.apply_staged().unwrap().expect("the restored model");
+        assert_eq!(manager.counters().rollbacks, 1);
+        assert_eq!(manager.phase(), Phase::Idle);
+        assert_eq!(store.live_fingerprint().unwrap(), incumbent_fp);
+        // The bad model is demoted into history, not lost.
+        assert_eq!(
+            store.fingerprint_of(&store.prev_path(1)).unwrap(),
+            promoted_fp
+        );
+        // The restored model is the (blind) incumbent again.
+        assert!(swapped.score(&[2.0, 1.0]) > 0.0);
+    }
+
+    #[test]
+    fn breaker_transition_during_probation_also_trips_rollback() {
+        let dir = tempdir("breaker");
+        let model_path = seed_model(&dir);
+        let mut manager = LifecycleManager::new(config(), model_path, LifecycleFaults::default());
+        let pool = ThreadPool::serial();
+        let mut feeder = Feeder::new();
+        feeder.feed(&mut manager, &pool, 8);
+        manager.apply_staged().unwrap();
+        let batch = stream(2000, 300, 10, |_| 1.0);
+        manager.consume(&pool, &batch, 0, 1, 2010);
+        assert_eq!(manager.phase(), Phase::RollingBack);
+    }
+
+    #[test]
+    fn injected_crash_mid_promotion_still_lands_exactly_the_candidate() {
+        for (i, step) in PromotionStep::ALL.iter().enumerate() {
+            let dir = tempdir(&format!("crash-{i}"));
+            let model_path = seed_model(&dir);
+            let faults = LifecycleFaults {
+                crash_at_step: Some(*step),
+                ..LifecycleFaults::default()
+            };
+            let mut manager = LifecycleManager::new(config(), model_path.clone(), faults);
+            let store = ModelStore::new(model_path, 3);
+            let pool = ThreadPool::serial();
+            let mut feeder = Feeder::new();
+            feeder.feed(&mut manager, &pool, 8);
+            let staged_fp = manager.candidate_fingerprint().unwrap();
+            manager.apply_staged().unwrap().expect("a promoted model");
+            assert_eq!(manager.phase(), Phase::Probation, "step {step:?}");
+            assert_eq!(manager.counters().promotions, 1);
+            assert_eq!(store.live_fingerprint().unwrap(), staged_fp);
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_replay_is_deduplicated() {
+        let dir = tempdir("ckpt");
+        let model_path = seed_model(&dir);
+        let mut manager =
+            LifecycleManager::new(config(), model_path.clone(), LifecycleFaults::default());
+        let pool = ThreadPool::serial();
+        let mut feeder = Feeder::new();
+        // Stop mid-shadow: candidate staged, window partially filled.
+        feeder.feed(&mut manager, &pool, 6);
+        assert_eq!(manager.phase(), Phase::Shadow);
+        manager.save_checkpoint(&dir).unwrap();
+
+        let (mut resumed, recovery) =
+            LifecycleManager::resume(config(), model_path, LifecycleFaults::default(), Some(&dir))
+                .unwrap();
+        assert_eq!(recovery, Recovery::Clean);
+        assert_eq!(resumed.phase(), Phase::Shadow);
+        assert_eq!(resumed.counters(), manager.counters());
+        assert_eq!(
+            resumed.candidate_fingerprint(),
+            manager.candidate_fingerprint()
+        );
+        assert!(resumed.candidate.is_some(), "candidate reloaded from disk");
+
+        // Replay the last two ticks (a crash replays a feed suffix):
+        // consumed-seq dedup must keep both managers in lockstep.
+        let mut seq = 40u64;
+        for hour in 104u32..108 {
+            let batch = stream(seq, hour, 10, |_| 1.0);
+            seq += 10;
+            if seq > 60 {
+                manager.consume(&pool, &batch, 0, 0, seq);
+            }
+            resumed.consume(&pool, &batch, 0, 0, seq);
+        }
+        assert_eq!(resumed.phase(), manager.phase());
+        assert_eq!(resumed.counters(), manager.counters());
+        assert_eq!(resumed.state_to_json(), manager.state_to_json());
+    }
+
+    #[test]
+    fn resume_after_completed_promotion_enters_probation_once() {
+        let dir = tempdir("resume-promoted");
+        let model_path = seed_model(&dir);
+        let mut manager =
+            LifecycleManager::new(config(), model_path.clone(), LifecycleFaults::default());
+        let pool = ThreadPool::serial();
+        let mut feeder = Feeder::new();
+        feeder.feed(&mut manager, &pool, 8);
+        assert_eq!(manager.phase(), Phase::Promoting);
+        let staged_fp = manager.candidate_fingerprint().unwrap();
+        // Checkpoint BEFORE the promotion applies, then promote, then
+        // "crash": the restart sees phase=Promoting but the candidate
+        // already live.
+        manager.save_checkpoint(&dir).unwrap();
+        manager.apply_staged().unwrap();
+
+        let (resumed, _) =
+            LifecycleManager::resume(config(), model_path, LifecycleFaults::default(), Some(&dir))
+                .unwrap();
+        assert_eq!(resumed.phase(), Phase::Probation);
+        assert_eq!(resumed.counters().promotions, 1);
+        // The fingerprint is kept through probation for status display.
+        assert_eq!(resumed.candidate_fingerprint(), Some(staged_fp));
+        let store = resumed.store();
+        assert_eq!(store.live_fingerprint().unwrap(), staged_fp);
+    }
+}

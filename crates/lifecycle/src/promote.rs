@@ -1,0 +1,638 @@
+//! Crash-safe two-phase model promotion with retained history.
+//!
+//! The live model file is only ever replaced through a fixed protocol
+//! whose every step is an atomic filesystem operation:
+//!
+//! 1. **Stage**: the candidate is written to `<model>.candidate` via the
+//!    checksummed atomic model writer.
+//! 2. **Marker**: `<model>.promote` is written (atomically) carrying the
+//!    candidate file's fingerprint — promotion intent is now durable.
+//! 3. **Rotate**: `<model>.prev-k` history shifts down and the live
+//!    model is renamed to `<model>.prev-1`.
+//! 4. **Rename**: the candidate is renamed over the live model path.
+//! 5. **Unmark**: the marker is removed — promotion is complete.
+//!
+//! [`ModelStore::recover`] runs at every startup and maps any crash
+//! point back to a consistent state: either the promotion completes
+//! (marker present, candidate intact) or it is abandoned and the
+//! last-known-good model keeps serving (marker present, candidate
+//! corrupt). A `kill -9` at *any* step therefore resumes with exactly
+//! the incumbent or exactly the candidate — never a torn model.
+//!
+//! [`ModelStore::rollback`] reuses the same protocol in reverse: the
+//! newest history entry is staged as a candidate and promoted, which
+//! demotes the bad model into history (where `hddpred lifecycle` can
+//! still inspect it).
+
+use hdd_eval::{ModelError, SavedModel};
+use hdd_json::{container, Value};
+use std::path::{Path, PathBuf};
+
+/// Container magic for the promotion marker file.
+const MARKER_MAGIC: &str = "hddpred-promote";
+
+/// FNV-1a 64-bit fingerprint of a byte string.
+#[must_use]
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+/// Filesystem steps of the promotion protocol, used to inject a
+/// simulated `kill -9` *after* the named step in chaos tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromotionStep {
+    /// Stop after the marker file is written.
+    AfterMarker,
+    /// Stop after history rotation (live model renamed to `.prev-1`).
+    AfterRotate,
+    /// Stop after the candidate is renamed over the live model.
+    AfterRename,
+}
+
+impl PromotionStep {
+    /// Every injectable stop point, in protocol order.
+    pub const ALL: [PromotionStep; 3] = [
+        PromotionStep::AfterMarker,
+        PromotionStep::AfterRotate,
+        PromotionStep::AfterRename,
+    ];
+}
+
+/// What [`ModelStore::promote`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromoteOutcome {
+    /// The candidate is now the live model; its fingerprint.
+    Completed {
+        /// Fingerprint of the promoted model file.
+        fingerprint: u64,
+    },
+    /// An injected stop ended the protocol mid-flight (test-only); the
+    /// store is in exactly the state a `kill -9` there would leave.
+    Stopped(PromotionStep),
+}
+
+/// What [`ModelStore::recover`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// No promotion was in flight. A staged candidate without a marker
+    /// is left untouched: promotion intent never became durable, so the
+    /// file is either a live shadow candidate (the manager's checkpoint
+    /// knows) or harmless litter the next staging overwrites.
+    Clean,
+    /// An in-flight promotion was carried to completion; the live model
+    /// is the candidate with this fingerprint.
+    Completed {
+        /// Fingerprint of the now-live model file.
+        fingerprint: u64,
+    },
+    /// The in-flight promotion was abandoned (candidate corrupt or
+    /// marker unreadable); the live model is the last known good.
+    Aborted {
+        /// Whether the live model had to be restored from history.
+        restored_from_history: bool,
+    },
+}
+
+/// Errors from the promotion store.
+#[derive(Debug)]
+pub enum PromoteError {
+    /// A filesystem step failed.
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// Loading or saving a model failed.
+    Model(ModelError),
+    /// Promotion was requested without a staged candidate.
+    NoCandidate,
+    /// Rollback was requested but no history entry exists.
+    NoHistory,
+}
+
+impl std::fmt::Display for PromoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PromoteError::Io { path, source } => {
+                write!(f, "promotion I/O failed at {}: {source}", path.display())
+            }
+            PromoteError::Model(e) => write!(f, "promotion model error: {e}"),
+            PromoteError::NoCandidate => write!(f, "no staged candidate to promote"),
+            PromoteError::NoHistory => write!(f, "no model history to roll back to"),
+        }
+    }
+}
+
+impl std::error::Error for PromoteError {}
+
+impl From<ModelError> for PromoteError {
+    fn from(e: ModelError) -> Self {
+        PromoteError::Model(e)
+    }
+}
+
+/// The live model file plus its candidate, marker, and history siblings.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    model_path: PathBuf,
+    history: usize,
+}
+
+impl ModelStore {
+    /// A store managing `model_path` with `history` retained
+    /// predecessors (clamped to at least 1 so rollback always has a
+    /// target).
+    #[must_use]
+    pub fn new(model_path: PathBuf, history: usize) -> Self {
+        ModelStore {
+            model_path,
+            history: history.max(1),
+        }
+    }
+
+    /// The live model path.
+    #[must_use]
+    pub fn model_path(&self) -> &Path {
+        &self.model_path
+    }
+
+    /// Retained history depth.
+    #[must_use]
+    pub fn history(&self) -> usize {
+        self.history
+    }
+
+    /// The staged-candidate sibling path.
+    #[must_use]
+    pub fn candidate_path(&self) -> PathBuf {
+        sibling(&self.model_path, "candidate")
+    }
+
+    /// The promotion-marker sibling path.
+    #[must_use]
+    pub fn marker_path(&self) -> PathBuf {
+        sibling(&self.model_path, "promote")
+    }
+
+    /// The `k`-th history sibling path (1 = most recent predecessor).
+    #[must_use]
+    pub fn prev_path(&self, k: usize) -> PathBuf {
+        sibling(&self.model_path, &format!("prev-{k}"))
+    }
+
+    /// History entries that exist on disk, most recent first.
+    #[must_use]
+    pub fn history_on_disk(&self) -> Vec<PathBuf> {
+        (1..=self.history)
+            .map(|k| self.prev_path(k))
+            .filter(|p| p.exists())
+            .collect()
+    }
+
+    /// Fingerprint of the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromoteError::Io`] when the file cannot be read.
+    pub fn fingerprint_of(&self, path: &Path) -> Result<u64, PromoteError> {
+        let bytes = std::fs::read(path).map_err(io_at(path))?;
+        Ok(fingerprint(&bytes))
+    }
+
+    /// Fingerprint of the live model file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromoteError::Io`] when the live model cannot be read.
+    pub fn live_fingerprint(&self) -> Result<u64, PromoteError> {
+        self.fingerprint_of(&self.model_path)
+    }
+
+    /// Write `model` to the candidate path (protocol step 1) and return
+    /// the candidate file's fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when saving or re-reading the candidate fails.
+    pub fn stage_candidate(&self, model: &SavedModel) -> Result<u64, PromoteError> {
+        let path = self.candidate_path();
+        model.save(&path)?;
+        self.fingerprint_of(&path)
+    }
+
+    /// Remove a staged candidate (gate refusal). Missing file is fine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromoteError::Io`] on any failure other than the file
+    /// already being gone.
+    pub fn drop_candidate(&self) -> Result<(), PromoteError> {
+        remove_if_present(&self.candidate_path())
+    }
+
+    /// Run protocol steps 2–5 over the already-staged candidate.
+    ///
+    /// `stop_at` injects a simulated crash after the named step; the
+    /// caller is expected to follow with [`ModelStore::recover`] exactly
+    /// as a restarted process would.
+    ///
+    /// # Errors
+    ///
+    /// [`PromoteError::NoCandidate`] when nothing is staged, otherwise
+    /// I/O errors from the individual steps.
+    pub fn promote(&self, stop_at: Option<PromotionStep>) -> Result<PromoteOutcome, PromoteError> {
+        let candidate = self.candidate_path();
+        if !candidate.exists() {
+            return Err(PromoteError::NoCandidate);
+        }
+        let fp = self.fingerprint_of(&candidate)?;
+
+        // Step 2: durable promotion intent.
+        self.write_marker(fp)?;
+        if stop_at == Some(PromotionStep::AfterMarker) {
+            return Ok(PromoteOutcome::Stopped(PromotionStep::AfterMarker));
+        }
+
+        // Step 3: shift history and demote the live model.
+        self.rotate_history()?;
+        if stop_at == Some(PromotionStep::AfterRotate) {
+            return Ok(PromoteOutcome::Stopped(PromotionStep::AfterRotate));
+        }
+
+        // Step 4: the candidate becomes the live model.
+        rename(&candidate, &self.model_path)?;
+        if stop_at == Some(PromotionStep::AfterRename) {
+            return Ok(PromoteOutcome::Stopped(PromotionStep::AfterRename));
+        }
+
+        // Step 5: promotion complete.
+        remove_if_present(&self.marker_path())?;
+        Ok(PromoteOutcome::Completed { fingerprint: fp })
+    }
+
+    /// Map any crash point back to a consistent state (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the repair steps themselves.
+    pub fn recover(&self) -> Result<Recovery, PromoteError> {
+        let marker = self.marker_path();
+        let candidate = self.candidate_path();
+        if !marker.exists() {
+            // No durable intent: a staged candidate (if any) stays put —
+            // it may be a live shadow candidate.
+            return Ok(Recovery::Clean);
+        }
+
+        let Some(expected) = self.read_marker() else {
+            // The marker itself is unreadable: promotion intent cannot be
+            // trusted, so abandon it conservatively.
+            remove_if_present(&candidate)?;
+            remove_if_present(&marker)?;
+            return self.ensure_live_model();
+        };
+
+        let candidate_ok = candidate.exists()
+            && self.fingerprint_of(&candidate)? == expected
+            && SavedModel::load(&candidate).is_ok();
+        if candidate_ok {
+            // Resume: crash landed between steps 2 and 4. If the live
+            // model is still in place the rotation may not have finished —
+            // re-rotating can double-shift history, which only ages
+            // entries early and never loses the newest one.
+            if self.model_path.exists() {
+                self.rotate_history()?;
+            }
+            rename(&candidate, &self.model_path)?;
+            remove_if_present(&marker)?;
+            return Ok(Recovery::Completed {
+                fingerprint: expected,
+            });
+        }
+
+        if !candidate.exists() && self.model_path.exists() {
+            // Step 4 completed, crash before step 5: check whether the
+            // live model IS the promoted candidate.
+            if self.live_fingerprint()? == expected {
+                remove_if_present(&marker)?;
+                return Ok(Recovery::Completed {
+                    fingerprint: expected,
+                });
+            }
+        }
+
+        // Candidate corrupt (or vanished without completing): abandon.
+        remove_if_present(&candidate)?;
+        remove_if_present(&marker)?;
+        self.ensure_live_model()
+    }
+
+    /// Stage the newest history entry and promote it, demoting the
+    /// current (bad) live model into history.
+    ///
+    /// # Errors
+    ///
+    /// [`PromoteError::NoHistory`] when no predecessor exists, or the
+    /// protocol's own errors.
+    pub fn rollback(&self) -> Result<u64, PromoteError> {
+        let prev = self.prev_path(1);
+        if !prev.exists() {
+            return Err(PromoteError::NoHistory);
+        }
+        // Validate before staging: a rollback target must itself load.
+        SavedModel::load(&prev)?;
+        let bytes = std::fs::read(&prev).map_err(io_at(&prev))?;
+        let candidate = self.candidate_path();
+        let tmp = container::tmp_sibling(&candidate);
+        std::fs::write(&tmp, &bytes).map_err(io_at(&tmp))?;
+        rename(&tmp, &candidate)?;
+        match self.promote(None)? {
+            PromoteOutcome::Completed { fingerprint } => Ok(fingerprint),
+            // Unreachable: promote(None) never stops early; treat it as a
+            // missing candidate rather than panicking.
+            PromoteOutcome::Stopped(_) => Err(PromoteError::NoCandidate),
+        }
+    }
+
+    fn write_marker(&self, fp: u64) -> Result<(), PromoteError> {
+        let payload = hdd_json::to_string(&Value::Obj(vec![(
+            "fingerprint".to_string(),
+            Value::Str(format!("{fp:016x}")),
+        )]));
+        let document = container::seal(MARKER_MAGIC, &payload);
+        let path = self.marker_path();
+        container::write_atomic(&path, &document).map_err(io_at(&path))
+    }
+
+    /// The marker's recorded fingerprint, or `None` when the marker is
+    /// unreadable or fails its checksum.
+    fn read_marker(&self) -> Option<u64> {
+        let text = std::fs::read_to_string(self.marker_path()).ok()?;
+        let payload = container::unseal(MARKER_MAGIC, &text).ok()?;
+        let value = hdd_json::parse(payload).ok()?;
+        let hex = value.str_field("fingerprint").ok()?;
+        u64::from_str_radix(hex, 16).ok()
+    }
+
+    fn rotate_history(&self) -> Result<(), PromoteError> {
+        for k in (1..self.history).rev() {
+            let from = self.prev_path(k);
+            if from.exists() {
+                rename(&from, &self.prev_path(k + 1))?;
+            }
+        }
+        if self.model_path.exists() {
+            rename(&self.model_path, &self.prev_path(1))?;
+        }
+        Ok(())
+    }
+
+    /// After an abandoned promotion, make sure a live model exists —
+    /// restoring the newest history entry when rotation already demoted
+    /// it.
+    fn ensure_live_model(&self) -> Result<Recovery, PromoteError> {
+        if self.model_path.exists() {
+            return Ok(Recovery::Aborted {
+                restored_from_history: false,
+            });
+        }
+        let prev = self.prev_path(1);
+        if prev.exists() {
+            rename(&prev, &self.model_path)?;
+            return Ok(Recovery::Aborted {
+                restored_from_history: true,
+            });
+        }
+        Err(PromoteError::Io {
+            path: self.model_path.clone(),
+            source: std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no live model and no history to restore",
+            ),
+        })
+    }
+}
+
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(std::ffi::OsStr::to_os_string)
+        .unwrap_or_default();
+    name.push(format!(".{suffix}"));
+    path.with_file_name(name)
+}
+
+fn io_at(path: &Path) -> impl Fn(std::io::Error) -> PromoteError + '_ {
+    move |source| PromoteError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+fn rename(from: &Path, to: &Path) -> Result<(), PromoteError> {
+    std::fs::rename(from, to).map_err(io_at(from))
+}
+
+fn remove_if_present(path: &Path) -> Result<(), PromoteError> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(source) => Err(PromoteError::Io {
+            path: path.to_path_buf(),
+            source,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdd_cart::{Class, ClassSample, ClassificationTreeBuilder};
+
+    fn model(shift: f64) -> SavedModel {
+        let samples: Vec<ClassSample> = (0..40)
+            .map(|i| {
+                let x = f64::from(i % 20) + shift;
+                let class = if f64::from(i % 20) < 10.0 {
+                    Class::Failed
+                } else {
+                    Class::Good
+                };
+                ClassSample::new(vec![x, x * 0.5], class)
+            })
+            .collect();
+        SavedModel::from(
+            ClassificationTreeBuilder::new()
+                .build(&samples)
+                .expect("training the fixture tree")
+                .compile(),
+        )
+    }
+
+    fn store(dir: &Path) -> ModelStore {
+        let path = dir.join("model.json");
+        model(0.0).save(&path).expect("seeding the live model");
+        ModelStore::new(path, 3)
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hdd-promote-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("creating the temp dir");
+        dir
+    }
+
+    #[test]
+    fn promote_rotates_history_and_installs_candidate() {
+        let dir = tempdir("basic");
+        let store = store(&dir);
+        let incumbent_fp = store.live_fingerprint().unwrap();
+        let staged_fp = store.stage_candidate(&model(5.0)).unwrap();
+        let outcome = store.promote(None).unwrap();
+        assert_eq!(
+            outcome,
+            PromoteOutcome::Completed {
+                fingerprint: staged_fp
+            }
+        );
+        assert_eq!(store.live_fingerprint().unwrap(), staged_fp);
+        assert_eq!(
+            store.fingerprint_of(&store.prev_path(1)).unwrap(),
+            incumbent_fp
+        );
+        assert!(!store.candidate_path().exists());
+        assert!(!store.marker_path().exists());
+        assert_eq!(store.recover().unwrap(), Recovery::Clean);
+    }
+
+    #[test]
+    fn crash_at_every_step_resumes_incumbent_or_candidate() {
+        for (i, step) in PromotionStep::ALL.iter().enumerate() {
+            let dir = tempdir(&format!("crash-{i}"));
+            let store = store(&dir);
+            let staged_fp = store.stage_candidate(&model(7.0)).unwrap();
+            assert_eq!(
+                store.promote(Some(*step)).unwrap(),
+                PromoteOutcome::Stopped(*step)
+            );
+            let recovered = store.recover().unwrap();
+            assert_eq!(
+                recovered,
+                Recovery::Completed {
+                    fingerprint: staged_fp
+                },
+                "step {step:?}"
+            );
+            assert_eq!(store.live_fingerprint().unwrap(), staged_fp);
+            assert!(!store.marker_path().exists());
+            assert!(!store.candidate_path().exists());
+        }
+    }
+
+    #[test]
+    fn markerless_candidate_is_preserved_and_not_promoted() {
+        let dir = tempdir("stale");
+        let store = store(&dir);
+        let incumbent_fp = store.live_fingerprint().unwrap();
+        let staged_fp = store.stage_candidate(&model(3.0)).unwrap();
+        assert_eq!(store.recover().unwrap(), Recovery::Clean);
+        // The incumbent keeps serving; the shadow candidate survives.
+        assert_eq!(store.live_fingerprint().unwrap(), incumbent_fp);
+        assert_eq!(
+            store.fingerprint_of(&store.candidate_path()).unwrap(),
+            staged_fp
+        );
+    }
+
+    #[test]
+    fn corrupt_candidate_falls_back_to_last_known_good() {
+        let dir = tempdir("corrupt");
+        let store = store(&dir);
+        let incumbent_fp = store.live_fingerprint().unwrap();
+        store.stage_candidate(&model(9.0)).unwrap();
+        // Crash right after the marker, then flip a bit in the candidate.
+        assert_eq!(
+            store.promote(Some(PromotionStep::AfterMarker)).unwrap(),
+            PromoteOutcome::Stopped(PromotionStep::AfterMarker)
+        );
+        let mut bytes = std::fs::read(store.candidate_path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(store.candidate_path(), &bytes).unwrap();
+        assert_eq!(
+            store.recover().unwrap(),
+            Recovery::Aborted {
+                restored_from_history: false
+            }
+        );
+        assert_eq!(store.live_fingerprint().unwrap(), incumbent_fp);
+        assert!(!store.marker_path().exists());
+        assert!(!store.candidate_path().exists());
+    }
+
+    #[test]
+    fn corrupt_candidate_after_rotation_restores_from_history() {
+        let dir = tempdir("restore");
+        let store = store(&dir);
+        let incumbent_fp = store.live_fingerprint().unwrap();
+        store.stage_candidate(&model(2.0)).unwrap();
+        assert_eq!(
+            store.promote(Some(PromotionStep::AfterRotate)).unwrap(),
+            PromoteOutcome::Stopped(PromotionStep::AfterRotate)
+        );
+        // Live model already demoted to prev-1; now the candidate rots.
+        let mut bytes = std::fs::read(store.candidate_path()).unwrap();
+        bytes[10] ^= 0x01;
+        std::fs::write(store.candidate_path(), &bytes).unwrap();
+        assert_eq!(
+            store.recover().unwrap(),
+            Recovery::Aborted {
+                restored_from_history: true
+            }
+        );
+        assert_eq!(store.live_fingerprint().unwrap(), incumbent_fp);
+    }
+
+    #[test]
+    fn rollback_demotes_the_bad_model_into_history() {
+        let dir = tempdir("rollback");
+        let store = store(&dir);
+        let good_fp = store.live_fingerprint().unwrap();
+        store.stage_candidate(&model(4.0)).unwrap();
+        let bad_fp = match store.promote(None).unwrap() {
+            PromoteOutcome::Completed { fingerprint } => fingerprint,
+            PromoteOutcome::Stopped(_) => unreachable!(),
+        };
+        let restored = store.rollback().unwrap();
+        assert_eq!(restored, good_fp);
+        assert_eq!(store.live_fingerprint().unwrap(), good_fp);
+        assert_eq!(store.fingerprint_of(&store.prev_path(1)).unwrap(), bad_fp);
+    }
+
+    #[test]
+    fn history_depth_is_bounded() {
+        let dir = tempdir("depth");
+        let store = store(&dir);
+        for round in 0..5 {
+            store
+                .stage_candidate(&model(10.0 + f64::from(round)))
+                .unwrap();
+            store.promote(None).unwrap();
+        }
+        assert_eq!(store.history_on_disk().len(), 3);
+        assert!(!store.prev_path(4).exists());
+    }
+
+    #[test]
+    fn rollback_without_history_is_refused() {
+        let dir = tempdir("nohist");
+        let store = store(&dir);
+        assert!(matches!(store.rollback(), Err(PromoteError::NoHistory)));
+    }
+}

@@ -1,0 +1,433 @@
+//! Shadow scoring: the candidate rides along on live traffic.
+//!
+//! While a candidate model is in shadow, every committed row is scored
+//! by *both* the incumbent (whose score already travelled with the
+//! [`RowEvent`]) and the candidate. Each side keeps its own per-drive
+//! voting window — the same [`VotingState`] the live detector uses — so
+//! shadow alarms are exactly the alarms each model *would* raise, but
+//! the candidate's are only recorded, never emitted.
+//!
+//! Because committed rows carry their ground-truth labels, the shadow
+//! window yields live FDR / FAR / lead-time for both sides, and the
+//! [`PromotionGate`] compares them: a candidate is promoted only when it
+//! clears the absolute floors *and* does not regress the incumbent's
+//! detection rate.
+
+use hdd_eval::{VotingRule, VotingState};
+use hdd_json::{JsonCodec, JsonError, Value};
+use hdd_serve::RowEvent;
+use std::collections::BTreeMap;
+
+/// One drive's shadow voting window for one model side.
+#[derive(Debug, Clone, PartialEq)]
+struct DriveShadow {
+    voting: VotingState,
+    alarmed: bool,
+    first_alarm: Option<u32>,
+}
+
+impl DriveShadow {
+    fn new(voters: usize, rule: VotingRule) -> Self {
+        DriveShadow {
+            voting: VotingState::new(voters, rule),
+            alarmed: false,
+            first_alarm: None,
+        }
+    }
+
+    fn observe(&mut self, hour: u32, score: f64) {
+        let vote = self.voting.push(score);
+        if vote && !self.alarmed {
+            self.alarmed = true;
+            self.first_alarm = Some(hour);
+        }
+    }
+}
+
+impl JsonCodec for DriveShadow {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("voting".to_string(), self.voting.to_json()),
+            ("alarmed".to_string(), Value::Bool(self.alarmed)),
+        ];
+        if let Some(hour) = self.first_alarm {
+            fields.push(("first_alarm".to_string(), Value::Num(f64::from(hour))));
+        }
+        Value::Obj(fields)
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let first_alarm = match value.get("first_alarm") {
+            Some(v) => Some(
+                v.as_f64()
+                    .filter(|h| h.fract() == 0.0 && *h >= 0.0)
+                    .ok_or_else(|| JsonError::expected("an hour", "first_alarm"))?
+                    as u32,
+            ),
+            None => None,
+        };
+        Ok(DriveShadow {
+            voting: VotingState::from_json(value.field("voting")?)?,
+            alarmed: value
+                .field("alarmed")?
+                .as_bool()
+                .ok_or_else(|| JsonError::expected("a bool", "alarmed"))?,
+            first_alarm,
+        })
+    }
+}
+
+/// Live quality metrics for one model side of the shadow window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadowMetrics {
+    /// Failed drives detected / failed drives seen (0 when none seen).
+    pub fdr: f64,
+    /// Good drives false-alarmed / good drives seen (0 when none seen).
+    pub far: f64,
+    /// Mean hours between first alarm and failure over detected drives.
+    pub lead_hours: f64,
+    /// Drives this side alarmed on.
+    pub alarms: usize,
+    /// Distinct drives observed.
+    pub drives: usize,
+    /// Alarmed drives per scored row — the anomaly-guard baseline.
+    pub alarm_rate: f64,
+}
+
+/// Both sides of a completed (or in-progress) shadow comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadowComparison {
+    /// The candidate's live metrics.
+    pub candidate: ShadowMetrics,
+    /// The incumbent's live metrics over the same rows.
+    pub incumbent: ShadowMetrics,
+    /// Rows scored by both sides.
+    pub rows_scored: usize,
+}
+
+/// The promotion gate's absolute floors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PromotionGate {
+    /// Minimum candidate failure-detection rate.
+    pub min_fdr: f64,
+    /// Maximum candidate false-alarm rate.
+    pub max_far: f64,
+    /// Minimum mean detection lead, in hours.
+    pub min_lead_hours: f64,
+}
+
+impl PromotionGate {
+    /// Judge a shadow comparison. Returns the reasons for refusal,
+    /// empty when the candidate clears the gate.
+    #[must_use]
+    pub fn judge(&self, cmp: &ShadowComparison) -> Vec<String> {
+        let c = &cmp.candidate;
+        let mut reasons = Vec::new();
+        if c.fdr < self.min_fdr {
+            reasons.push(format!("fdr {:.3} below floor {:.3}", c.fdr, self.min_fdr));
+        }
+        if c.far > self.max_far {
+            reasons.push(format!(
+                "far {:.3} above ceiling {:.3}",
+                c.far, self.max_far
+            ));
+        }
+        if c.lead_hours < self.min_lead_hours {
+            reasons.push(format!(
+                "lead {:.1}h below floor {:.1}h",
+                c.lead_hours, self.min_lead_hours
+            ));
+        }
+        if c.fdr < cmp.incumbent.fdr {
+            reasons.push(format!(
+                "fdr {:.3} regresses incumbent {:.3}",
+                c.fdr, cmp.incumbent.fdr
+            ));
+        }
+        reasons
+    }
+}
+
+/// The two-sided shadow window; see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowScorer {
+    voters: usize,
+    rule: VotingRule,
+    rows_scored: usize,
+    candidate: BTreeMap<u32, DriveShadow>,
+    incumbent: BTreeMap<u32, DriveShadow>,
+    /// Ground truth per drive: `Some(fail_hour)` or `None` for good.
+    labels: BTreeMap<u32, Option<u32>>,
+}
+
+impl ShadowScorer {
+    /// An empty shadow window using the live detector's voting shape.
+    #[must_use]
+    pub fn new(voters: usize, rule: VotingRule) -> Self {
+        ShadowScorer {
+            voters,
+            rule,
+            rows_scored: 0,
+            candidate: BTreeMap::new(),
+            incumbent: BTreeMap::new(),
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// Rows scored so far.
+    #[must_use]
+    pub fn rows_scored(&self) -> usize {
+        self.rows_scored
+    }
+
+    /// Feed one committed row: the incumbent score travels with the
+    /// event, the candidate score is computed by the caller.
+    pub fn observe(&mut self, event: &RowEvent, candidate_score: f64) {
+        self.labels.insert(event.drive, event.fail_hour);
+        let voters = self.voters;
+        let rule = self.rule;
+        self.candidate
+            .entry(event.drive)
+            .or_insert_with(|| DriveShadow::new(voters, rule))
+            .observe(event.hour, candidate_score);
+        self.incumbent
+            .entry(event.drive)
+            .or_insert_with(|| DriveShadow::new(voters, rule))
+            .observe(event.hour, event.incumbent_score);
+        self.rows_scored += 1;
+    }
+
+    fn side_metrics(&self, side: &BTreeMap<u32, DriveShadow>) -> ShadowMetrics {
+        let mut failed_seen = 0usize;
+        let mut good_seen = 0usize;
+        let mut detected = 0usize;
+        let mut false_alarms = 0usize;
+        let mut alarms = 0usize;
+        let mut lead_sum = 0.0;
+        for (drive, label) in &self.labels {
+            let alarmed = side.get(drive).is_some_and(|s| s.alarmed);
+            if alarmed {
+                alarms += 1;
+            }
+            match label {
+                Some(fail) => {
+                    failed_seen += 1;
+                    if alarmed {
+                        detected += 1;
+                        let first = side.get(drive).and_then(|s| s.first_alarm).unwrap_or(*fail);
+                        lead_sum += f64::from(fail.saturating_sub(first));
+                    }
+                }
+                None => {
+                    good_seen += 1;
+                    if alarmed {
+                        false_alarms += 1;
+                    }
+                }
+            }
+        }
+        let ratio = |num: usize, den: usize| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        ShadowMetrics {
+            fdr: ratio(detected, failed_seen),
+            far: ratio(false_alarms, good_seen),
+            lead_hours: if detected == 0 {
+                0.0
+            } else {
+                lead_sum / detected as f64
+            },
+            alarms,
+            drives: self.labels.len(),
+            alarm_rate: ratio(alarms, self.rows_scored),
+        }
+    }
+
+    /// Both sides' live metrics.
+    #[must_use]
+    pub fn comparison(&self) -> ShadowComparison {
+        ShadowComparison {
+            candidate: self.side_metrics(&self.candidate),
+            incumbent: self.side_metrics(&self.incumbent),
+            rows_scored: self.rows_scored,
+        }
+    }
+}
+
+fn side_to_json(side: &BTreeMap<u32, DriveShadow>) -> Value {
+    Value::Arr(
+        side.iter()
+            .map(|(drive, shadow)| {
+                Value::Obj(vec![
+                    ("drive".to_string(), Value::Num(f64::from(*drive))),
+                    ("shadow".to_string(), shadow.to_json()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn side_from_json(value: &Value, field: &str) -> Result<BTreeMap<u32, DriveShadow>, JsonError> {
+    let mut side = BTreeMap::new();
+    for raw in value
+        .field(field)?
+        .as_arr()
+        .ok_or_else(|| JsonError::expected("an array", field))?
+    {
+        let drive = raw.usize_field("drive")? as u32;
+        side.insert(drive, DriveShadow::from_json(raw.field("shadow")?)?);
+    }
+    Ok(side)
+}
+
+impl JsonCodec for ShadowScorer {
+    fn to_json(&self) -> Value {
+        let labels = Value::Arr(
+            self.labels
+                .iter()
+                .map(|(drive, label)| {
+                    let mut fields = vec![("drive".to_string(), Value::Num(f64::from(*drive)))];
+                    if let Some(fail) = label {
+                        fields.push(("fail_hour".to_string(), Value::Num(f64::from(*fail))));
+                    }
+                    Value::Obj(fields)
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("voters".to_string(), Value::Num(self.voters as f64)),
+            ("rule".to_string(), self.rule.to_json()),
+            (
+                "rows_scored".to_string(),
+                Value::Num(self.rows_scored as f64),
+            ),
+            ("candidate".to_string(), side_to_json(&self.candidate)),
+            ("incumbent".to_string(), side_to_json(&self.incumbent)),
+            ("labels".to_string(), labels),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let mut labels = BTreeMap::new();
+        for raw in value
+            .field("labels")?
+            .as_arr()
+            .ok_or_else(|| JsonError::expected("an array", "labels"))?
+        {
+            let drive = raw.usize_field("drive")? as u32;
+            let fail_hour = match raw.get("fail_hour") {
+                Some(v) => Some(
+                    v.as_f64()
+                        .filter(|h| h.fract() == 0.0 && *h >= 0.0)
+                        .ok_or_else(|| JsonError::expected("an hour", "fail_hour"))?
+                        as u32,
+                ),
+                None => None,
+            };
+            labels.insert(drive, fail_hour);
+        }
+        Ok(ShadowScorer {
+            voters: value.usize_field("voters")?,
+            rule: VotingRule::from_json(value.field("rule")?)?,
+            rows_scored: value.usize_field("rows_scored")?,
+            candidate: side_from_json(value, "candidate")?,
+            incumbent: side_from_json(value, "incumbent")?,
+            labels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(drive: u32, hour: u32, fail_hour: Option<u32>, incumbent_score: f64) -> RowEvent {
+        RowEvent {
+            seq: u64::from(drive) * 10_000 + u64::from(hour),
+            drive,
+            hour,
+            fail_hour,
+            features: vec![1.0],
+            incumbent_score,
+        }
+    }
+
+    /// Drive 1 fails at hour 100; drive 2 is good. The candidate scores
+    /// drive 1 negative (detects) and drive 2 positive (no false
+    /// alarm); the incumbent misses drive 1.
+    fn seeded_scorer() -> ShadowScorer {
+        let mut shadow = ShadowScorer::new(3, VotingRule::Majority);
+        for hour in 90..96 {
+            shadow.observe(&event(1, hour, Some(100), 1.0), -1.0);
+            shadow.observe(&event(2, hour, None, 1.0), 1.0);
+        }
+        shadow
+    }
+
+    #[test]
+    fn metrics_separate_candidate_from_incumbent() {
+        let shadow = seeded_scorer();
+        let cmp = shadow.comparison();
+        assert_eq!(cmp.rows_scored, 12);
+        assert_eq!(cmp.candidate.drives, 2);
+        assert_eq!(cmp.candidate.fdr, 1.0);
+        assert_eq!(cmp.candidate.far, 0.0);
+        assert_eq!(cmp.candidate.alarms, 1);
+        // First alarm fires once the 3-vote window fills at hour 92.
+        assert_eq!(cmp.candidate.lead_hours, 8.0);
+        assert_eq!(cmp.incumbent.fdr, 0.0);
+        assert_eq!(cmp.incumbent.alarms, 0);
+    }
+
+    #[test]
+    fn gate_passes_good_candidates_and_names_refusal_reasons() {
+        let shadow = seeded_scorer();
+        let gate = PromotionGate {
+            min_fdr: 0.9,
+            max_far: 0.05,
+            min_lead_hours: 4.0,
+        };
+        assert!(gate.judge(&shadow.comparison()).is_empty());
+
+        let strict = PromotionGate {
+            min_fdr: 0.9,
+            max_far: 0.05,
+            min_lead_hours: 50.0,
+        };
+        let reasons = strict.judge(&shadow.comparison());
+        assert_eq!(reasons.len(), 1);
+        assert!(reasons[0].contains("lead"), "{reasons:?}");
+    }
+
+    #[test]
+    fn gate_refuses_a_regressing_candidate() {
+        // Incumbent detects the failing drive, candidate does not.
+        let mut shadow = ShadowScorer::new(3, VotingRule::Majority);
+        for hour in 90..96 {
+            shadow.observe(&event(1, hour, Some(100), -1.0), 1.0);
+        }
+        let gate = PromotionGate {
+            min_fdr: 0.0,
+            max_far: 1.0,
+            min_lead_hours: 0.0,
+        };
+        let reasons = gate.judge(&shadow.comparison());
+        assert!(
+            reasons.iter().any(|r| r.contains("regresses")),
+            "{reasons:?}"
+        );
+    }
+
+    #[test]
+    fn codec_round_trips_mid_window_state() {
+        let shadow = seeded_scorer();
+        let text = hdd_json::to_string(&shadow.to_json());
+        let back = ShadowScorer::from_json(&hdd_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, shadow);
+        assert_eq!(back.comparison(), shadow.comparison());
+    }
+}

@@ -34,6 +34,9 @@ pub enum CheckpointKind {
     Shard,
     /// The topology's merge state.
     Topology,
+    /// The model lifecycle's state (training buffer, shadow scorer,
+    /// counters); saved between the sink and `topology.ckpt`.
+    Lifecycle,
 }
 
 impl CheckpointKind {
@@ -41,6 +44,7 @@ impl CheckpointKind {
         match self {
             CheckpointKind::Shard => "shard",
             CheckpointKind::Topology => "topology",
+            CheckpointKind::Lifecycle => "lifecycle",
         }
     }
 
@@ -48,6 +52,7 @@ impl CheckpointKind {
         match raw {
             "shard" => Some(CheckpointKind::Shard),
             "topology" => Some(CheckpointKind::Topology),
+            "lifecycle" => Some(CheckpointKind::Lifecycle),
             _ => None,
         }
     }

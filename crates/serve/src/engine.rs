@@ -101,6 +101,68 @@ impl fmt::Display for Alarm {
     }
 }
 
+/// One committed, accepted, *scored* row, recorded for the model
+/// lifecycle (training buffer + shadow scorer) when event recording is
+/// enabled. Events carry the row's ground-truth labels (the feed format
+/// embeds class and fail hour), the extracted feature vector the
+/// incumbent scored, and the incumbent's score — everything a candidate
+/// model needs to be trained and shadow-evaluated without re-reading
+/// feeds. Like alarms, events are tagged with the line's seq so the
+/// topology can release them in global order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowEvent {
+    /// Seq of the committed line this row arrived on.
+    pub seq: u64,
+    /// Drive the row belongs to.
+    pub drive: u32,
+    /// Hour of the sample.
+    pub hour: u32,
+    /// The drive's labelled failure hour (`None` for good drives).
+    pub fail_hour: Option<u32>,
+    /// Feature vector extracted against the drive's history.
+    pub features: Vec<f64>,
+    /// The incumbent model's score for this row.
+    pub incumbent_score: f64,
+}
+
+impl JsonCodec for RowEvent {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("seq".to_string(), Value::Num(self.seq as f64)),
+            ("drive".to_string(), Value::Num(f64::from(self.drive))),
+            ("hour".to_string(), Value::Num(f64::from(self.hour))),
+        ];
+        if let Some(fail) = self.fail_hour {
+            fields.push(("fail_hour".to_string(), Value::Num(f64::from(fail))));
+        }
+        fields.push((
+            "features".to_string(),
+            Value::from_f64s(self.features.iter().copied()),
+        ));
+        fields.push(("score".to_string(), Value::Num(self.incumbent_score)));
+        Value::Obj(fields)
+    }
+
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let fail_hour = match value.get("fail_hour") {
+            None => None,
+            Some(v) => Some(
+                v.as_usize()
+                    .ok_or_else(|| JsonError::expected("an hour", "fail_hour"))?
+                    as u32,
+            ),
+        };
+        Ok(RowEvent {
+            seq: value.usize_field("seq")? as u64,
+            drive: value.usize_field("drive")? as u32,
+            hour: value.usize_field("hour")? as u32,
+            fail_hour,
+            features: value.f64_vec_field("features")?,
+            incumbent_score: value.f64_field("score")?,
+        })
+    }
+}
+
 /// An alarm tagged with the seq of the line that raised it — the merge
 /// stage's global order key (seqs are unique, one line raises at most
 /// one alarm).
@@ -160,6 +222,10 @@ pub struct EngineShard {
     cursors: Vec<FeedCursor>,
     /// Alarms produced but not yet emitted by the topology merge.
     unmerged: Vec<SeqAlarm>,
+    /// Whether committed scored rows are recorded as [`RowEvent`]s.
+    record_events: bool,
+    /// Events recorded but not yet released by the topology merge.
+    events: Vec<RowEvent>,
 }
 
 impl EngineShard {
@@ -196,7 +262,39 @@ impl EngineShard {
             stats: ShardStats::default(),
             cursors: vec![FeedCursor::default(); n_feeds],
             unmerged: Vec::new(),
+            record_events: false,
+            events: Vec::new(),
         })
+    }
+
+    /// Turn [`RowEvent`] recording on or off. Off (the default) keeps
+    /// the commit path allocation-free for deployments without a model
+    /// lifecycle; the flag is configuration, not stream state, so it is
+    /// not checkpointed.
+    pub fn set_record_events(&mut self, on: bool) {
+        self.record_events = on;
+    }
+
+    /// Events recorded but not yet released by the merge stage.
+    #[must_use]
+    pub fn events(&self) -> &[RowEvent] {
+        &self.events
+    }
+
+    /// Remove (and return) recorded events selected by `take`; the
+    /// topology calls this with the same watermark predicate it uses for
+    /// alarms, so event release order is independent of shard count.
+    pub fn drain_events(&mut self, mut take: impl FnMut(&RowEvent) -> bool) -> Vec<RowEvent> {
+        let mut taken = Vec::new();
+        self.events.retain(|e| {
+            if take(e) {
+                taken.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        taken
     }
 
     /// The per-feed replay cursors.
@@ -315,7 +413,7 @@ impl EngineShard {
             })?;
             chunk_scores.into_iter().flatten().collect()
         };
-        Ok(self.commit(lines, &decisions, &scores))
+        Ok(self.commit(lines, &decisions, &rows, &scores))
     }
 
     /// Split a seq into `(feed index, line index)`.
@@ -390,6 +488,7 @@ impl EngineShard {
         &mut self,
         lines: &[RoutedLine],
         decisions: &[Decision],
+        rows: &[Vec<f64>],
         scores: &[f64],
     ) -> BatchOutcome {
         let mut outcome = BatchOutcome::default();
@@ -450,7 +549,19 @@ impl EngineShard {
                     prune_history(&mut monitor.history, self.features.max_lookback_hours());
                     if let Some(idx) = scored {
                         // audit:allow(R3) reason="idx was pushed while scoring this same batch; scores has one entry per scored row"
-                        let alarm_vote = monitor.voting.push(scores[*idx]);
+                        let score = scores[*idx];
+                        if self.record_events {
+                            self.events.push(RowEvent {
+                                seq: line.seq,
+                                drive: row.drive.0,
+                                hour: row.sample.hour.0,
+                                fail_hour: row.class.fail_hour().map(|h| h.0),
+                                // audit:allow(R3) reason="idx was pushed while scoring this same batch; rows has one entry per scored row"
+                                features: rows[*idx].clone(),
+                                incumbent_score: score,
+                            });
+                        }
+                        let alarm_vote = monitor.voting.push(score);
                         if alarm_vote && !monitor.alarmed {
                             if self.breaker.suppressing() {
                                 self.stats.alarms_suppressed += 1;
@@ -495,6 +606,10 @@ impl EngineShard {
             (
                 "unmerged".to_string(),
                 Value::Arr(self.unmerged.iter().map(JsonCodec::to_json).collect()),
+            ),
+            (
+                "events".to_string(),
+                Value::Arr(self.events.iter().map(JsonCodec::to_json).collect()),
             ),
             (
                 "drives".to_string(),
@@ -552,6 +667,17 @@ impl EngineShard {
             .iter()
             .map(SeqAlarm::from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        // `events` is tolerant-optional: checkpoints written before the
+        // lifecycle existed (or with recording off) simply have none.
+        let events = match value.get("events") {
+            None => Vec::new(),
+            Some(raw) => raw
+                .as_arr()
+                .ok_or_else(|| JsonError::new("`events` must be an array"))?
+                .iter()
+                .map(RowEvent::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         let raw_drives = value
             .field("drives")?
             .as_arr()
@@ -567,6 +693,7 @@ impl EngineShard {
         self.stats = stats;
         self.breaker = breaker;
         self.unmerged = unmerged;
+        self.events = events;
         self.drives = drives;
         Ok(())
     }
@@ -784,6 +911,55 @@ pub(crate) mod tests {
             reference_state,
             "replay must not disturb counters, breaker or voting"
         );
+    }
+
+    #[test]
+    fn recorded_events_carry_labels_and_survive_checkpoints() {
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = model(&series, &features);
+        let lines = feed_lines(&series);
+
+        let mut eng = shard(model.clone(), &features);
+        eng.set_record_events(true);
+        run(&mut eng, &lines, 64);
+        assert!(!eng.events().is_empty(), "scored rows must be recorded");
+        assert!(eng.events().len() <= eng.stats().rows_accepted);
+        let labels: BTreeMap<u32, Option<u32>> = series
+            .iter()
+            .map(|s| (s.drive.0, s.class.fail_hour().map(|h| h.0)))
+            .collect();
+        for e in eng.events() {
+            assert_eq!(e.features.len(), features.len());
+            assert_eq!(labels[&e.drive], e.fail_hour, "drive {}", e.drive);
+            assert!(e.incumbent_score.is_finite());
+        }
+
+        // Undrained events are checkpointed state: they round-trip
+        // through the serialized form bit for bit.
+        let snapshot = hdd_json::parse(&hdd_json::to_string(&eng.state_to_json())).unwrap();
+        let mut restored = shard(model.clone(), &features);
+        restored.restore_state(&snapshot).unwrap();
+        assert_eq!(restored.events(), eng.events());
+
+        // A pre-events checkpoint (no `events` field) still restores.
+        let legacy =
+            hdd_json::to_string(&eng.state_to_json()).replacen("\"events\":[", "\"legacy\":[", 1);
+        let mut old = shard(model.clone(), &features);
+        old.restore_state(&hdd_json::parse(&legacy).unwrap())
+            .unwrap();
+        assert!(old.events().is_empty());
+
+        // Draining below a seq removes exactly the covered prefix, and
+        // recording off keeps the commit path event-free.
+        let mid = eng.events()[eng.events().len() / 2].seq;
+        let drained = eng.drain_events(|e| e.seq < mid);
+        assert!(!drained.is_empty());
+        assert!(drained.iter().all(|e| e.seq < mid));
+        assert!(eng.events().iter().all(|e| e.seq >= mid));
+        let mut silent = shard(model, &features);
+        run(&mut silent, &lines, 64);
+        assert!(silent.events().is_empty(), "recording defaults to off");
     }
 
     #[test]

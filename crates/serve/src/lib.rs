@@ -53,7 +53,7 @@ pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use checkpoint::{
     Checkpoint, CheckpointError, CheckpointKind, CHECKPOINT_FORMAT_VERSION, CHECKPOINT_MAGIC,
 };
-pub use engine::{Alarm, BatchOutcome, EngineConfig, EngineShard, SeqAlarm};
+pub use engine::{Alarm, BatchOutcome, EngineConfig, EngineShard, RowEvent, SeqAlarm};
 pub use ingest::{FeedCursor, MultiFeedIngest, PollOutcome, RoutedLine};
 pub use merge::MergeState;
 pub use queue::BoundedQueue;

@@ -27,7 +27,7 @@
 
 use crate::breaker::BreakerState;
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointKind};
-use crate::engine::{EngineConfig, EngineShard, SeqAlarm};
+use crate::engine::{EngineConfig, EngineShard, RowEvent, SeqAlarm};
 use crate::ingest::{FeedCursor, RoutedLine};
 use crate::merge::MergeState;
 use crate::queue::BoundedQueue;
@@ -75,6 +75,11 @@ pub struct TickOutcome {
     /// Already-committed lines skipped during crash replay (operational
     /// counter; zero state effect).
     pub replayed: usize,
+    /// Row events released by the merge stage this tick, in seq order —
+    /// empty unless event recording is on. Released under the same
+    /// watermark as alarms, so the event stream a lifecycle consumer
+    /// sees is identical at any shard count.
+    pub events: Vec<RowEvent>,
 }
 
 /// The path of the merge-state checkpoint inside `dir`.
@@ -342,6 +347,7 @@ impl ServeTopology {
             .min();
         let watermark = queued_min.map_or(ingest_watermark, |q| q.min(ingest_watermark));
         outcome.alarms = self.emit(|a| a.seq < watermark);
+        outcome.events = self.release_events(|e| e.seq < watermark);
         self.merge.advance(watermark);
         outcome.progressed |= !outcome.alarms.is_empty();
         Ok(outcome)
@@ -378,6 +384,40 @@ impl ServeTopology {
         let flushed = self.emit(|_| true);
         self.merge.record_ahead(flushed.iter().map(|a| a.seq));
         flushed
+    }
+
+    /// Turn [`RowEvent`] recording on or off for every shard. Off by
+    /// default; a model lifecycle turns it on at startup.
+    pub fn set_record_events(&mut self, on: bool) {
+        for slot in &mut self.slots {
+            slot.engine.set_record_events(on);
+        }
+    }
+
+    /// Drain events selected by `take` from every shard, in seq order.
+    /// The caller (the lifecycle) is responsible for dropping events it
+    /// already consumed before a crash — replayed lines regenerate them
+    /// with the same seqs.
+    fn release_events(&mut self, take: impl Fn(&RowEvent) -> bool) -> Vec<RowEvent> {
+        let mut released = Vec::new();
+        for slot in &mut self.slots {
+            let drained = slot.engine.drain_events(&take);
+            if !drained.is_empty() {
+                slot.dirty = true;
+            }
+            released.extend(drained);
+        }
+        released.sort_unstable_by_key(|e| e.seq);
+        released
+    }
+
+    /// Flush every buffered row event regardless of the watermark, in
+    /// seq order — the event counterpart of
+    /// [`ServeTopology::flush_pending`], for the same stalled-watermark
+    /// idle case. Seq-based dedup on the consumer side keeps a later
+    /// resume from double-counting them.
+    pub fn flush_events(&mut self) -> Vec<RowEvent> {
+        self.release_events(|_| true)
     }
 
     /// Record the alarm-sink length the next checkpoint corresponds to;
@@ -687,6 +727,52 @@ mod tests {
         assert!(!sinks[0].is_empty(), "the fleet must alarm");
         assert_eq!(sinks[0], sinks[1], "2 shards diverged from 1");
         assert_eq!(sinks[0], sinks[2], "4 shards diverged from 1");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn released_events_are_identical_at_any_shard_count() {
+        // The lifecycle's input stream: watermark-gated event release
+        // must produce the same seq-ordered events no matter how drives
+        // are partitioned.
+        let features = FeatureSet::critical13();
+        let series = fleet();
+        let model = Arc::new(model(&series, &features));
+        let dir = scratch_dir("event-identity");
+        let paths = write_feeds(&dir, &series);
+        let pool = ThreadPool::global();
+
+        let mut streams = Vec::new();
+        for n_shards in [1usize, 2, 4] {
+            let mut topo = topology(&model, &features, n_shards);
+            topo.set_record_events(true);
+            let mut ingest = MultiFeedIngest::new(&paths, topo.router());
+            let mut events = Vec::new();
+            loop {
+                let out = ingest.poll(topo.free());
+                assert!(out.errors.is_empty());
+                assert_eq!(topo.enqueue(out.routed), 0);
+                let tick = topo
+                    .tick(
+                        &pool,
+                        &CancelToken::new(),
+                        &ingest.cursors(),
+                        ingest.watermark(),
+                    )
+                    .unwrap();
+                events.extend(tick.events);
+                if out.lines_read == 0 && !topo.has_queued() {
+                    break;
+                }
+            }
+            events.extend(topo.flush_events());
+            assert!(!events.is_empty(), "the fleet must produce events");
+            streams.push(events);
+        }
+        assert_eq!(streams[0], streams[1], "2 shards diverged from 1");
+        assert_eq!(streams[0], streams[2], "4 shards diverged from 1");
+        // Seq-ordered, strictly ascending (seqs are unique per line).
+        assert!(streams[0].windows(2).all(|w| w[0].seq < w[1].seq));
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -27,7 +27,12 @@ use crate::scenario::{Profile, Scenario};
 use hdd_bench::report::Report;
 use hdd_cart::{Class, ClassSample, ClassificationTreeBuilder, TrainError};
 use hdd_eval::{ModelError, SavedModel, VotingRule};
+use hdd_fault::FaultClass;
 use hdd_json::{JsonCodec as _, JsonError};
+use hdd_lifecycle::{
+    LifecycleConfig, LifecycleCounters, LifecycleError, LifecycleFaults, LifecycleManager,
+    PromotionStep,
+};
 use hdd_par::{CancelToken, ThreadPool};
 use hdd_serve::{EngineConfig, MultiFeedIngest, ServeTopology};
 use hdd_smart::rng::DeterministicRng;
@@ -48,6 +53,48 @@ const TRAIN_WINDOW_HOURS: u32 = 168;
 /// Salt separating the training fleet's seed from the scenario seed,
 /// so the model never trains on the exact fleet it is scored against.
 const TRAIN_SEED_SALT: u64 = 0x7EAC_4ED5;
+
+/// Online-retraining knobs for a gauntlet run (`None` in
+/// [`GauntletConfig::retrain`] means the model stays frozen).
+#[derive(Debug, Clone)]
+pub struct RetrainSpec {
+    /// Committed rows between training attempts.
+    pub retrain_rows: usize,
+    /// Rows a candidate must shadow-score before the gate judges it.
+    pub shadow_rows: usize,
+    /// Rows of post-promotion probation before a promotion is final.
+    pub probation_rows: usize,
+    /// Seeded lifecycle fault to inject, if any.
+    pub fault: Option<FaultClass>,
+}
+
+impl RetrainSpec {
+    /// Defaults sized so the gauntlet fleets retrain and judge at least
+    /// once well before the feeds drain.
+    #[must_use]
+    pub fn new(fault: Option<FaultClass>) -> Self {
+        RetrainSpec {
+            retrain_rows: 2048,
+            shadow_rows: 1024,
+            probation_rows: 1024,
+            fault,
+        }
+    }
+
+    fn faults(&self) -> LifecycleFaults {
+        let mut faults = LifecycleFaults::default();
+        match self.fault {
+            Some(FaultClass::TrainerPanic) => faults.trainer_panic = Some(1),
+            Some(FaultClass::PoisonedBuffer) => faults.poison_buffer = Some(1),
+            Some(FaultClass::CrashDuringPromotion) => {
+                faults.crash_at_step = Some(PromotionStep::AfterMarker);
+            }
+            Some(FaultClass::RegressingCandidate) => faults.regressing_candidate = true,
+            _ => {}
+        }
+        faults
+    }
+}
 
 /// Everything a gauntlet run needs beyond the scenario manifests.
 #[derive(Debug, Clone)]
@@ -75,6 +122,8 @@ pub struct GauntletConfig {
     pub work_dir: PathBuf,
     /// Serve an existing model file instead of training inline.
     pub model: Option<PathBuf>,
+    /// Run the online retraining lifecycle alongside scoring.
+    pub retrain: Option<RetrainSpec>,
 }
 
 impl GauntletConfig {
@@ -93,6 +142,7 @@ impl GauntletConfig {
             max_quarantine: 0.1,
             work_dir,
             model: None,
+            retrain: None,
         }
     }
 }
@@ -126,6 +176,8 @@ pub enum GauntletError {
     /// A bounded-degradation assertion failed — the serve stack
     /// degraded beyond what the scenario injected.
     Degraded(String),
+    /// The online retraining lifecycle failed outside its containment.
+    Lifecycle(LifecycleError),
 }
 
 impl fmt::Display for GauntletError {
@@ -136,11 +188,31 @@ impl fmt::Display for GauntletError {
             GauntletError::Train(source) => write!(f, "gauntlet training failed: {source}"),
             GauntletError::Manifest { path, source } => write!(f, "{path}: {source}"),
             GauntletError::Degraded(msg) => write!(f, "gauntlet assertion failed: {msg}"),
+            GauntletError::Lifecycle(source) => write!(f, "gauntlet lifecycle failed: {source}"),
         }
     }
 }
 
 impl std::error::Error for GauntletError {}
+
+/// What the online retraining lifecycle did during one run.
+#[derive(Debug, Clone)]
+pub struct LifecycleOutcome {
+    /// Lifecycle counters at the end of the run.
+    pub counters: LifecycleCounters,
+    /// Final phase label.
+    pub phase: &'static str,
+    /// Fingerprint of the live model file after the run.
+    pub live_fingerprint: u64,
+    /// Rows the buffer quarantined for non-finite features.
+    pub poisoned_rows: usize,
+    /// FDR of the frozen incumbent over this fleet (the run's own
+    /// score — promotions only apply at the final quiesce).
+    pub incumbent_fdr: f64,
+    /// FDR of the live post-run model rescored over the same fleet;
+    /// equals `incumbent_fdr` when nothing was promoted.
+    pub post_promotion_fdr: f64,
+}
 
 /// One scenario scored at one shard count.
 #[derive(Debug, Clone)]
@@ -175,6 +247,8 @@ pub struct ScenarioOutcome {
     pub alarms_suppressed: usize,
     /// Circuit-breaker state transitions across all shards.
     pub breaker_transitions: usize,
+    /// Online-retraining results when [`GauntletConfig::retrain`] is set.
+    pub lifecycle: Option<LifecycleOutcome>,
 }
 
 /// Run every scenario the config selects; see the module docs.
@@ -238,25 +312,31 @@ pub fn load_manifest(path: &Path) -> Result<ScenarioManifest, GauntletError> {
 pub fn to_report(outcomes: &[ScenarioOutcome]) -> Report {
     let mut report = Report::new();
     for o in outcomes {
-        report.push_with(
-            o.scenario.label(),
-            o.n_shards,
-            o.wall_ms,
-            1.0,
-            &[
-                ("fdr", o.fdr),
-                ("far", o.far),
-                ("lead_hours", o.lead_hours),
-                ("p99_tick_ms", o.p99_tick_ms),
-                ("alarms", o.alarms as f64),
-                ("rows_seen", o.rows_seen as f64),
-                ("stale_rows", o.stale_rows as f64),
-                ("quarantined_rows", o.quarantined_rows as f64),
-                ("dropped_rows", o.dropped_rows as f64),
-                ("alarms_suppressed", o.alarms_suppressed as f64),
-                ("breaker_transitions", o.breaker_transitions as f64),
-            ],
-        );
+        let mut metrics = vec![
+            ("fdr", o.fdr),
+            ("far", o.far),
+            ("lead_hours", o.lead_hours),
+            ("p99_tick_ms", o.p99_tick_ms),
+            ("alarms", o.alarms as f64),
+            ("rows_seen", o.rows_seen as f64),
+            ("stale_rows", o.stale_rows as f64),
+            ("quarantined_rows", o.quarantined_rows as f64),
+            ("dropped_rows", o.dropped_rows as f64),
+            ("alarms_suppressed", o.alarms_suppressed as f64),
+            ("breaker_transitions", o.breaker_transitions as f64),
+        ];
+        if let Some(lc) = &o.lifecycle {
+            metrics.extend([
+                ("incumbent_fdr", lc.incumbent_fdr),
+                ("post_promotion_fdr", lc.post_promotion_fdr),
+                ("promotions", lc.counters.promotions as f64),
+                ("rollbacks", lc.counters.rollbacks as f64),
+                ("gate_refusals", lc.counters.gate_refusals as f64),
+                ("gate_clearances", lc.counters.gate_clearances as f64),
+                ("trainer_panics", lc.counters.trainer_panics as f64),
+            ]);
+        }
+        report.push_with(o.scenario.label(), o.n_shards, o.wall_ms, 1.0, &metrics);
     }
     report
 }
@@ -401,6 +481,18 @@ fn run_manifest(
                     o.n_shards, o.alarms, first.alarms,
                 )));
             }
+            // The committed-event stream is shard-count invariant, so
+            // the whole lifecycle — training timing, candidate bytes,
+            // gate verdicts — must replay identically too.
+            if let (Some(a), Some(b)) = (&first.lifecycle, &o.lifecycle) {
+                if a.live_fingerprint != b.live_fingerprint || a.counters != b.counters {
+                    return Err(GauntletError::Degraded(format!(
+                        "{label}: lifecycle diverged across shard counts \
+                         (live model {:016x} at 1 shard vs {:016x} at {})",
+                        a.live_fingerprint, b.live_fingerprint, o.n_shards,
+                    )));
+                }
+            }
         }
     }
     Ok(outcomes)
@@ -453,6 +545,28 @@ fn drive(
     let mut tick_times = Vec::new();
     let mut transitions = 0usize;
     let mut rotations = 0usize;
+    let mut manager = match &config.retrain {
+        Some(spec) => {
+            let dir = config
+                .work_dir
+                .join(format!("lifecycle-{label}-{n_shards}"));
+            std::fs::create_dir_all(&dir).map_err(io_at(&dir))?;
+            let model_path = dir.join("model.bin");
+            model
+                .save(&model_path)
+                .map_err(|source| GauntletError::Model {
+                    path: model_path.display().to_string(),
+                    source,
+                })?;
+            let mut lc = LifecycleConfig::new(config.voters, VotingRule::Majority);
+            lc.retrain_rows = spec.retrain_rows;
+            lc.shadow_rows = spec.shadow_rows;
+            lc.probation_rows = spec.probation_rows;
+            topology.set_record_events(true);
+            Some(LifecycleManager::new(lc, model_path, spec.faults()))
+        }
+        None => None,
+    };
 
     loop {
         let budget = config.rate.min(topology.free());
@@ -478,9 +592,29 @@ fn drive(
         for alarm in &tick.alarms {
             let _ = writeln_alarm(&mut sink, &alarm.alarm.to_string());
         }
+        if let Some(manager) = manager.as_mut() {
+            let _notes = manager.consume(
+                &pool,
+                &tick.events,
+                tick.alarms.len(),
+                tick.transitions.len(),
+                topology.merge_state().emitted(),
+            );
+        }
         if polled.lines_read == 0 && !topology.has_queued() {
-            for alarm in topology.flush_pending() {
+            let flushed = topology.flush_pending();
+            for alarm in &flushed {
                 let _ = writeln_alarm(&mut sink, &alarm.alarm.to_string());
+            }
+            if let Some(manager) = manager.as_mut() {
+                let events = topology.flush_events();
+                let _notes = manager.consume(
+                    &pool,
+                    &events,
+                    flushed.len(),
+                    0,
+                    topology.merge_state().emitted(),
+                );
             }
             break;
         }
@@ -556,6 +690,50 @@ fn drive(
     }
 
     let (fdr, far, lead_hours, alarms) = score_sink(&sink, summary);
+    let lifecycle = match manager {
+        None => None,
+        Some(mut manager) => {
+            // The feeds are drained, queues empty and alarms flushed —
+            // the quiesce at which staged swaps are allowed to land.
+            while manager.has_staged_swap() {
+                if let Some(next) = manager.apply_staged().map_err(GauntletError::Lifecycle)? {
+                    topology
+                        .swap_model(&next)
+                        .map_err(|source| GauntletError::Model {
+                            path: manager.store().model_path().display().to_string(),
+                            source,
+                        })?;
+                }
+            }
+            let live_fingerprint = manager
+                .store()
+                .live_fingerprint()
+                .map_err(|e| GauntletError::Lifecycle(e.into()))?;
+            let counters = manager.counters().clone();
+            let post_promotion_fdr = if counters.promotions > 0 {
+                let promoted = Arc::new(SavedModel::load(manager.store().model_path()).map_err(
+                    |source| GauntletError::Model {
+                        path: manager.store().model_path().display().to_string(),
+                        source,
+                    },
+                )?);
+                rescore(config, &promoted, features, paths, summary)?
+            } else {
+                fdr
+            };
+            Some(LifecycleOutcome {
+                counters,
+                phase: manager.phase().label(),
+                live_fingerprint,
+                poisoned_rows: manager.buffer().poisoned_rows(),
+                incumbent_fdr: fdr,
+                post_promotion_fdr,
+            })
+        }
+    };
+    if let (Some(spec), Some(lc)) = (&config.retrain, &lifecycle) {
+        assert_lifecycle(label, manifest.scenario, spec, lc)?;
+    }
     let wall_ms = tick_times.iter().sum();
     Ok(ScenarioOutcome {
         scenario: manifest.scenario,
@@ -573,7 +751,126 @@ fn drive(
         dropped_rows: dropped,
         alarms_suppressed: stats.alarms_suppressed,
         breaker_transitions: stats.breaker_transitions,
+        lifecycle,
     })
+}
+
+/// Score the same feeds again with `model` on one shard, no lifecycle
+/// and no degradation assertions — used to measure what a freshly
+/// promoted model would have detected on the fleet the incumbent just
+/// served.
+fn rescore(
+    config: &GauntletConfig,
+    model: &Arc<SavedModel>,
+    features: &FeatureSet,
+    paths: &[PathBuf],
+    summary: &FleetSummary,
+) -> Result<f64, GauntletError> {
+    let mut topology = ServeTopology::new(
+        model,
+        features,
+        EngineConfig::new(config.voters, VotingRule::Majority, config.max_quarantine),
+        1,
+        paths.len(),
+        QUEUE_CAPACITY,
+    )
+    .map_err(|source| GauntletError::Model {
+        path: "<promoted model>".to_string(),
+        source,
+    })?;
+    let mut ingest = MultiFeedIngest::new(paths, topology.router());
+    let pool = ThreadPool::global();
+    let mut sink = String::new();
+    loop {
+        let budget = config.rate.min(topology.free());
+        let polled = ingest.poll(budget);
+        if let Some((f, source)) = polled.errors.into_iter().next() {
+            return Err(GauntletError::Io {
+                path: paths[f].display().to_string(),
+                source,
+            });
+        }
+        topology.enqueue(polled.routed);
+        let token = CancelToken::new();
+        let tick = topology
+            .tick(&pool, &token, &ingest.cursors(), ingest.watermark())
+            .map_err(|e| GauntletError::Degraded(format!("rescore failed: {e}")))?;
+        for alarm in &tick.alarms {
+            let _ = writeln_alarm(&mut sink, &alarm.alarm.to_string());
+        }
+        if polled.lines_read == 0 && !topology.has_queued() {
+            for alarm in topology.flush_pending() {
+                let _ = writeln_alarm(&mut sink, &alarm.alarm.to_string());
+            }
+            break;
+        }
+    }
+    let (fdr, _, _, _) = score_sink(&sink, summary);
+    Ok(fdr)
+}
+
+/// Scenario- and fault-specific lifecycle assertions: injected faults
+/// must land where the containment says they do, and the drift scenario
+/// must actually drive a promotion that recovers detection.
+fn assert_lifecycle(
+    label: &str,
+    scenario: Scenario,
+    spec: &RetrainSpec,
+    lc: &LifecycleOutcome,
+) -> Result<(), GauntletError> {
+    let c = &lc.counters;
+    match spec.fault {
+        Some(FaultClass::TrainerPanic) => {
+            ensure(c.trainer_panics >= 1, label, || {
+                "the seeded trainer panic never fired".to_string()
+            })?;
+        }
+        Some(FaultClass::PoisonedBuffer) => {
+            ensure(lc.poisoned_rows >= 1, label, || {
+                "the poisoned row was not quarantined by the buffer".to_string()
+            })?;
+        }
+        Some(FaultClass::RegressingCandidate) => {
+            ensure(c.promotions == 0, label, || {
+                format!(
+                    "a label-inverted candidate was promoted ({} promotion(s))",
+                    c.promotions
+                )
+            })?;
+            ensure(c.gate_refusals >= 1, label, || {
+                "the gate never judged (and refused) the regressing candidate".to_string()
+            })?;
+        }
+        Some(FaultClass::CrashDuringPromotion) => {
+            // Recovery must either complete the staged promotion (the
+            // candidate was intact on disk) or leave the incumbent —
+            // promotions only count when the live model matched the
+            // candidate afterwards, so a cleared gate must end promoted.
+            ensure(c.gate_clearances == 0 || c.promotions >= 1, label, || {
+                "crash recovery lost a cleared promotion".to_string()
+            })?;
+        }
+        _ => {}
+    }
+    if scenario == Scenario::FirmwareCohortDrift
+        && matches!(spec.fault, None | Some(FaultClass::CrashDuringPromotion))
+    {
+        ensure(c.gate_clearances >= 1 && c.promotions >= 1, label, || {
+            format!(
+                "the drifted cohort never drove a promotion \
+                 (clearances {}, promotions {}, refusals {})",
+                c.gate_clearances, c.promotions, c.gate_refusals
+            )
+        })?;
+        ensure(lc.post_promotion_fdr >= lc.incumbent_fdr, label, || {
+            format!(
+                "the promoted model did not recover detection \
+                 ({:.3} post-promotion vs {:.3} incumbent)",
+                lc.post_promotion_fdr, lc.incumbent_fdr
+            )
+        })?;
+    }
+    Ok(())
 }
 
 /// Append one `drive,hour` alarm line; writing to a `String` cannot
@@ -706,8 +1003,9 @@ mod tests {
             dropped_rows: 0,
             alarms_suppressed: 0,
             breaker_transitions: 0,
+            lifecycle: None,
         };
-        let text = hdd_json::to_string(&to_report(&[outcome]).to_json());
+        let text = hdd_json::to_string(&to_report(std::slice::from_ref(&outcome)).to_json());
         for column in [
             "\"fdr\"",
             "\"far\"",
@@ -718,5 +1016,58 @@ mod tests {
         ] {
             assert!(text.contains(column), "missing {column} in {text}");
         }
+        assert!(
+            !text.contains("incumbent_fdr"),
+            "frozen runs gained lifecycle columns"
+        );
+
+        let mut retrained = outcome;
+        retrained.lifecycle = Some(LifecycleOutcome {
+            counters: LifecycleCounters::default(),
+            phase: "probation",
+            live_fingerprint: 0xDEAD_BEEF,
+            poisoned_rows: 0,
+            incumbent_fdr: 0.4,
+            post_promotion_fdr: 0.8,
+        });
+        let text = hdd_json::to_string(&to_report(&[retrained]).to_json());
+        for column in [
+            "\"incumbent_fdr\"",
+            "\"post_promotion_fdr\"",
+            "\"promotions\"",
+            "\"rollbacks\"",
+            "\"gate_refusals\"",
+        ] {
+            assert!(text.contains(column), "missing {column} in {text}");
+        }
+    }
+
+    #[test]
+    fn lifecycle_faults_map_onto_seeded_injections() {
+        assert_eq!(
+            RetrainSpec::new(Some(FaultClass::TrainerPanic)).faults(),
+            LifecycleFaults {
+                trainer_panic: Some(1),
+                ..LifecycleFaults::default()
+            }
+        );
+        assert_eq!(
+            RetrainSpec::new(Some(FaultClass::CrashDuringPromotion)).faults(),
+            LifecycleFaults {
+                crash_at_step: Some(PromotionStep::AfterMarker),
+                ..LifecycleFaults::default()
+            }
+        );
+        assert!(
+            RetrainSpec::new(Some(FaultClass::RegressingCandidate))
+                .faults()
+                .regressing_candidate
+        );
+        // Non-lifecycle fault classes leave the lifecycle untouched.
+        assert_eq!(
+            RetrainSpec::new(Some(FaultClass::NanValue)).faults(),
+            LifecycleFaults::default()
+        );
+        assert_eq!(RetrainSpec::new(None).faults(), LifecycleFaults::default());
     }
 }

@@ -40,6 +40,14 @@ const ROTATION_EVERY_ROWS: usize = 64;
 const RACK_SIZE: usize = 8;
 /// Oscillation half-period (hours) in `threshold-oscillator`.
 const OSCILLATION_HOURS: u32 = 6;
+/// Counter inflation at the far end of the drifted firmware cohort in
+/// `firmware-cohort-drift` — raw counters grow 3× faster than the
+/// population the incumbent was trained on.
+const DRIFT_COUNTER_SCALE: f64 = 3.0;
+/// Analog-attenuation floor at the far end of the drifted cohort: the
+/// normalized-attribute half of the failure signature fades to 35 % of
+/// its trained-on amplitude.
+const DRIFT_ANALOG_FLOOR: f64 = 0.35;
 
 /// Ground truth for one generated drive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +181,7 @@ pub fn generate_fleet<W: Write>(
         Scenario::LateMimic => gen.late_mimic(feeds)?,
         Scenario::ThresholdOscillator => gen.threshold_oscillator(feeds)?,
         Scenario::QuarantineFlood => gen.quarantine_flood(feeds)?,
+        Scenario::FirmwareCohortDrift => gen.firmware_cohort_drift(feeds)?,
     }
     for feed in feeds.iter_mut() {
         feed.flush()?;
@@ -464,6 +473,40 @@ impl Generator<'_> {
         }
         Ok(())
     }
+
+    /// `adversarial/firmware-cohort-drift`: the first half of the fleet
+    /// is the calibrated population the incumbent was trained on; the
+    /// second half is a newer firmware cohort whose attribute
+    /// distributions drift linearly with cohort position — counters
+    /// inflate toward [`DRIFT_COUNTER_SCALE`], analog signals attenuate
+    /// toward [`DRIFT_ANALOG_FLOOR`] — with a small seed-keyed jitter so
+    /// no two manifests drift identically. A model frozen on the first
+    /// cohort's cut points decays on the second; one retrained on live
+    /// drifted rows recovers.
+    fn firmware_cohort_drift<W: Write>(&mut self, feeds: &mut [W]) -> io::Result<()> {
+        let ds = self.dataset();
+        let n = ds.drives().len();
+        let cohort_start = n / 2;
+        let cohort_len = (n - cohort_start).max(1);
+        for (i, spec) in ds.drives().iter().enumerate() {
+            let f = self.feed_of(i);
+            let series = if i < cohort_start {
+                ds.series(spec)
+            } else {
+                let progress = (i - cohort_start) as f64 / cohort_len as f64;
+                let jitter = (splitmix64(self.manifest.seed ^ i as u64) % 1000) as f64 / 10_000.0;
+                let drift = (progress + jitter).min(1.0);
+                let mut shifted = spec.clone();
+                shifted.counter_scale =
+                    spec.counter_scale * (1.0 + drift * (DRIFT_COUNTER_SCALE - 1.0));
+                shifted.analog_attenuation =
+                    spec.analog_attenuation * (1.0 - drift * (1.0 - DRIFT_ANALOG_FLOOR));
+                generate_series(&self.profile, self.manifest.seed, &shifted)
+            };
+            self.emit(&mut feeds[f], f, &series)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -577,6 +620,26 @@ mod tests {
         assert!(summary.truth[baseline.truth.len()..]
             .iter()
             .all(|t| t.fail_hour.is_none()));
+    }
+
+    #[test]
+    fn firmware_cohort_drift_shifts_values_not_labels() {
+        // The drift attacks the attribute distributions, not the ground
+        // truth: the fleet has the same drives with the same fail hours
+        // as the calibrated mix, but the emitted bytes differ (the
+        // drifted cohort's SMART values moved).
+        let m = tiny(Scenario::FirmwareCohortDrift);
+        let baseline_m = tiny(Scenario::CalibratedMix);
+        let mut feeds = vec![Vec::<u8>::new(), Vec::new()];
+        let drifted = generate_fleet(&m, &mut feeds).unwrap();
+        let baseline = generate_fleet(&baseline_m, &mut [Vec::<u8>::new(), Vec::new()]).unwrap();
+        assert_eq!(drifted.truth, baseline.truth);
+        assert_eq!(drifted.injected_stale, 0);
+        assert_eq!(drifted.injected_garbage, 0);
+        assert_ne!(
+            fleet_fingerprint(&m).unwrap(),
+            fleet_fingerprint(&baseline_m).unwrap()
+        );
     }
 
     #[test]

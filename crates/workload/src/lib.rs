@@ -34,7 +34,7 @@ pub mod gen;
 pub mod manifest;
 pub mod scenario;
 
-pub use gauntlet::{GauntletConfig, GauntletError, ScenarioOutcome};
+pub use gauntlet::{GauntletConfig, GauntletError, LifecycleOutcome, RetrainSpec, ScenarioOutcome};
 pub use gen::{fleet_fingerprint, generate_fleet, FleetSummary, FleetTruth, FnvWriter};
 pub use manifest::ScenarioManifest;
 pub use scenario::{Profile, Scenario};

@@ -1,4 +1,4 @@
-//! The scenario taxonomy: three profiles, eight scenarios.
+//! The scenario taxonomy: three profiles, nine scenarios.
 //!
 //! A [`Profile`] names an operating regime; a [`Scenario`] is one
 //! concrete fleet shape within it. Labels are stable CLI/manifest
@@ -55,6 +55,7 @@ impl Profile {
                 Scenario::LateMimic,
                 Scenario::ThresholdOscillator,
                 Scenario::QuarantineFlood,
+                Scenario::FirmwareCohortDrift,
             ],
         }
     }
@@ -88,11 +89,17 @@ pub enum Scenario {
     /// Bursts of unparseable rows plus duplicate re-emissions, sized to
     /// push the quarantine circuit breaker into Degraded.
     QuarantineFlood,
+    /// A late firmware cohort whose SMART attribute distributions shift
+    /// gradually away from the training population (counters inflated,
+    /// analog signals attenuated, keyed off the manifest seed): the
+    /// frozen incumbent's detection decays on the drifted cohort, and
+    /// only an online-retrained model recovers it.
+    FirmwareCohortDrift,
 }
 
 impl Scenario {
     /// Every scenario, grouped by profile.
-    pub const ALL: [Scenario; 8] = [
+    pub const ALL: [Scenario; 9] = [
         Scenario::CalibratedMix,
         Scenario::HotFeedBurst,
         Scenario::RackFailures,
@@ -101,6 +108,7 @@ impl Scenario {
         Scenario::LateMimic,
         Scenario::ThresholdOscillator,
         Scenario::QuarantineFlood,
+        Scenario::FirmwareCohortDrift,
     ];
 
     /// Stable identifier used by the CLI, manifests and bench rows.
@@ -115,6 +123,7 @@ impl Scenario {
             Scenario::LateMimic => "late-mimic",
             Scenario::ThresholdOscillator => "threshold-oscillator",
             Scenario::QuarantineFlood => "quarantine-flood",
+            Scenario::FirmwareCohortDrift => "firmware-cohort-drift",
         }
     }
 
@@ -133,9 +142,10 @@ impl Scenario {
             | Scenario::RackFailures
             | Scenario::RotationStorm
             | Scenario::ShardSkew => Profile::Stress,
-            Scenario::LateMimic | Scenario::ThresholdOscillator | Scenario::QuarantineFlood => {
-                Profile::Adversarial
-            }
+            Scenario::LateMimic
+            | Scenario::ThresholdOscillator
+            | Scenario::QuarantineFlood
+            | Scenario::FirmwareCohortDrift => Profile::Adversarial,
         }
     }
 }

@@ -18,6 +18,9 @@
 //! * [`serve`] — the resilient streaming detection service: feed
 //!   tailing, checkpointed voting state, hot model reload, degraded
 //!   modes,
+//! * [`lifecycle`] — guarded online retraining over the serve stream:
+//!   shadow-scored candidate models, atomic two-phase promotion,
+//!   automatic rollback, trainer fault containment,
 //! * [`audit`] — the workspace's own static analyzer: a lexical scanner
 //!   that enforces the determinism and panic-safety invariants the
 //!   crates above rely on (`hddpred audit`),
@@ -62,6 +65,7 @@ pub use hdd_cart as cart;
 pub use hdd_eval as eval;
 pub use hdd_fault as fault;
 pub use hdd_json;
+pub use hdd_lifecycle as lifecycle;
 pub use hdd_par as par;
 pub use hdd_reliability as reliability;
 pub use hdd_serve as serve;

@@ -25,9 +25,14 @@
 
 use hddpred::cart::{Class, ClassSample, ClassificationTreeBuilder, TrainError};
 use hddpred::eval::{ModelError, Predictor, SavedModel, VotingDetector, VotingRule};
+use hddpred::lifecycle::{
+    lifecycle_path, LifecycleConfig, LifecycleFaults, LifecycleManager, ModelStore, Recovery,
+    WindowMode,
+};
 use hddpred::par::CancelToken;
 use hddpred::serve::{
-    Backoff, CheckpointError, EngineConfig, ModelWatcher, MultiFeedIngest, ServeTopology,
+    Backoff, Checkpoint, CheckpointError, CheckpointKind, EngineConfig, ModelWatcher,
+    MultiFeedIngest, ServeTopology,
 };
 use hddpred::smart::csv::{
     read_series_quarantined, write_header, write_series, CsvError, IngestPolicy,
@@ -52,6 +57,7 @@ fn main() -> ExitCode {
         Some("detect" | "predict") => detect(&parse_flags(&args[1..])),
         Some("serve") => serve(&parse_flags(&args[1..])),
         Some("gauntlet") => gauntlet(&parse_flags(&args[1..])),
+        Some("lifecycle") => lifecycle_status(&parse_flags(&args[1..])),
         Some("audit") => audit(&parse_flags(&args[1..])),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
@@ -84,13 +90,21 @@ USAGE:
                      [--model-watch] [--voters <n>] [--threshold <f>]
                      [--tick-budget-ms <n>] [--poll-ms <n>] [--queue <n>]
                      [--max-quarantine <f>] [--exit-on-idle <n>]
-                     [--threads <n>]
+                     [--retrain-rows <n>] [--shadow-rows <n>]
+                     [--probation-rows <n>] [--min-fdr <f>] [--max-far <f>]
+                     [--min-lead <hours>] [--retrain-mode accumulation|replacing]
+                     [--buffer-cap <n>] [--retrain-window <hours>]
+                     [--retrain-history <n>] [--alarm-rate-delta <f>]
+                     [--train-budget-ms <n>] [--threads <n>]
     hddpred gauntlet --profile expected|stress|adversarial [--seed <n>]
                      [--scenario <name>] [--shards <n>] [--scale <f>]
                      [--rate <n>] [--voters <n>] [--max-quarantine <f>]
                      [--out <BENCH_gauntlet.json>] [--work-dir <dir>]
                      [--model <model.json>] [--manifest <path>]
+                     [--retrain] [--retrain-rows <n>] [--shadow-rows <n>]
+                     [--probation-rows <n>] [--lifecycle-fault <class>]
                      [--threads <n>]
+    hddpred lifecycle --model <model.json> [--checkpoint <dir>] [--history <n>]
     hddpred audit    [--root <dir>] [--json <path>] [--no-json] [--quiet]
 
 `--threads` sets the worker-thread count (default: HDDPRED_THREADS, else
@@ -116,6 +130,23 @@ last-known-good model if the replacement is rejected.
 forever); `--threshold <f>` switches voting from majority to
 mean-below-threshold.
 
+`--retrain-rows <n>` turns on guarded online retraining: every `n`
+committed rows a candidate model is trained off the hot path on the
+buffered recent window (`--buffer-cap` rows, `--retrain-mode`
+accumulation keeps the first window, replacing rolls it), shadow-scored
+for `--shadow-rows` rows alongside the incumbent (candidate alarms are
+recorded, never emitted), and promoted only when shadow FDR/FAR/lead
+clear `--min-fdr`/`--max-far`/`--min-lead` without regressing the
+incumbent. Promotion is a crash-safe two-phase rename (the model file
+is always exactly the old or the new model, never torn) that retains
+the last `--retrain-history` models; for `--probation-rows` rows after
+a promotion the live alarm rate is watched and the previous model is
+rolled back automatically if a breaker trips or the rate exceeds the
+shadow baseline by `--alarm-rate-delta`. Trainer panics are contained
+with exponential backoff; `--train-budget-ms` discards over-budget
+candidates (daemon only — it consults the wall clock). Incompatible
+with `--model-watch`: the lifecycle owns the model file.
+
 `gauntlet` generates a deterministic scenario fleet (`--profile` picks
 the scenario set, `--scenario` narrows to one) or replays one from a
 `--manifest` written by a previous run, drives the sharded serve
@@ -128,7 +159,17 @@ only while a breaker is Degraded, and byte-identical alarm sinks at
 every power-of-two shard count up to `--shards` — and fails with the
 serve exit code when any bound is violated. Per-scenario manifests are
 written into `--work-dir` so any fleet can be regenerated
-bit-for-bit.
+bit-for-bit. `--retrain` runs the online retraining lifecycle during
+the gauntlet (the whole lifecycle must replay identically at every
+shard count, and the `firmware-cohort-drift` scenario must promote a
+candidate that recovers detection); `--lifecycle-fault` injects one
+seeded lifecycle fault (trainer-panic, poisoned-buffer,
+crash-during-promotion, regressing-candidate) and asserts its
+containment.
+
+`lifecycle` inspects the online-retraining state next to a model file:
+live/candidate/history fingerprints from disk, plus the phase and
+counters from `lifecycle.ckpt` when `--checkpoint` is given.
 
 `audit` runs the workspace's own static analyzer (rules R1-R5: wall-clock
 ban, unordered-iteration ban, panic-surface ban, lossy-cast guard, crate
@@ -578,15 +619,50 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     apply_threads(flags)?;
 
     let features = FeatureSet::critical13();
-    let model = Arc::new(
-        SavedModel::load_expecting(Path::new(model_path), features.len())
-            .map_err(|e| model_error(model_path, e))?,
-    );
     let rule = if flags.contains_key("threshold") {
         VotingRule::MeanBelow(num_flag(flags, "threshold", 0.0, "a number")?)
     } else {
         VotingRule::Majority
     };
+    let ckpt_dir = flags.get("checkpoint").filter(|p| !p.is_empty());
+
+    // Lifecycle crash recovery must run before the model file is read:
+    // a promotion interrupted by the last crash may complete (or be
+    // abandoned) here, changing which bytes are the live model.
+    let mut lifecycle = match serve_lifecycle_config(flags, voters, rule)? {
+        None => None,
+        Some(lc) => {
+            let (manager, recovery) = LifecycleManager::resume(
+                lc,
+                PathBuf::from(model_path),
+                LifecycleFaults::default(),
+                ckpt_dir.map(Path::new),
+            )
+            .map_err(|e| CliError::Serve(format!("lifecycle resume failed: {e}")))?;
+            match recovery {
+                Recovery::Clean => {}
+                Recovery::Completed { fingerprint } => {
+                    eprintln!("lifecycle: completed an interrupted promotion to {fingerprint:016x}")
+                }
+                Recovery::Aborted {
+                    restored_from_history,
+                } => eprintln!(
+                    "lifecycle: abandoned an interrupted promotion{}",
+                    if restored_from_history {
+                        " (live model restored from history)"
+                    } else {
+                        ""
+                    }
+                ),
+            }
+            Some(manager)
+        }
+    };
+
+    let model = Arc::new(
+        SavedModel::load_expecting(Path::new(model_path), features.len())
+            .map_err(|e| model_error(model_path, e))?,
+    );
     let mut topology = ServeTopology::new(
         &model,
         &features,
@@ -596,11 +672,13 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         queue_cap,
     )
     .map_err(|e| model_error(model_path, e))?;
+    if lifecycle.is_some() {
+        topology.set_record_events(true);
+    }
     let mut counters = ServeCounters::default();
 
     // Resume from a checkpoint directory when one holds topology state
     // (an empty or missing directory is a fresh start, not an error).
-    let ckpt_dir = flags.get("checkpoint").filter(|p| !p.is_empty());
     if let Some(dir) = ckpt_dir {
         match topology.resume(Path::new(dir)) {
             Ok(true) => eprintln!("resumed from {dir}: {}", serve_status(&topology, &counters)),
@@ -724,6 +802,17 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
                 serve_status(&topology, &counters)
             );
         }
+        if let Some(mgr) = lifecycle.as_mut() {
+            for note in mgr.consume(
+                &pool,
+                &tick.events,
+                tick.alarms.len(),
+                tick.transitions.len(),
+                topology.merge_state().emitted(),
+            ) {
+                eprintln!("{note}");
+            }
+        }
 
         let mut idle = read_lines == 0 && !topology.has_queued();
         if idle {
@@ -733,14 +822,50 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
             let flushed = topology.flush_pending();
             emit(&mut sink, &mut sink_bytes, &flushed)?;
             idle = flushed.is_empty();
+            // The topology is fully quiesced — the only stream position
+            // at which a staged promotion or rollback may land.
+            if let Some(mgr) = lifecycle.as_mut() {
+                let events = topology.flush_events();
+                for note in mgr.consume(
+                    &pool,
+                    &events,
+                    flushed.len(),
+                    0,
+                    topology.merge_state().emitted(),
+                ) {
+                    eprintln!("{note}");
+                }
+                while mgr.has_staged_swap() {
+                    match mgr.apply_staged() {
+                        Ok(Some(next)) => {
+                            topology
+                                .swap_model(&next)
+                                .map_err(|e| model_error(model_path, e))?;
+                            idle = false;
+                            eprintln!("lifecycle: live model swapped ({})", mgr.phase().label());
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            return Err(CliError::Serve(format!("lifecycle swap failed: {e}")))
+                        }
+                    }
+                }
+            }
         }
 
         // Snapshot after every committed batch: sink first (already
-        // flushed above), topology second, dirty shards last, so a crash
-        // between any two writes merely replays a feed suffix.
+        // flushed above), lifecycle second, topology third, dirty shards
+        // last — replayed events are deduplicated by the lifecycle's
+        // consumed-seq filter, so a crash between any two writes merely
+        // replays a feed suffix.
         if tick.progressed || !idle {
             if let Some(dir) = ckpt_dir {
                 topology.note_sink_bytes(sink_bytes);
+                if let Some(mgr) = lifecycle.as_ref() {
+                    mgr.save_checkpoint(Path::new(dir)).map_err(|e| {
+                        CliError::Serve(format!("lifecycle checkpoint failed: {e}"))
+                    })?;
+                }
                 topology
                     .save_checkpoints(Path::new(dir))
                     .map_err(|e| checkpoint_error(dir, e))?;
@@ -782,6 +907,125 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     }
 }
 
+/// Parse the `--retrain-*` flag family into a lifecycle config; `None`
+/// when `--retrain-rows` is absent (retraining off).
+fn serve_lifecycle_config(
+    flags: &HashMap<String, String>,
+    voters: usize,
+    rule: VotingRule,
+) -> Result<Option<LifecycleConfig>, CliError> {
+    if !flags.contains_key("retrain-rows") {
+        return Ok(None);
+    }
+    if flags.contains_key("model-watch") {
+        return Err(CliError::Usage(
+            "--model-watch cannot be combined with --retrain-rows: \
+             the retraining lifecycle owns the model file"
+                .to_string(),
+        ));
+    }
+    let mut lc = LifecycleConfig::new(voters, rule);
+    lc.retrain_rows = num_flag(flags, "retrain-rows", lc.retrain_rows, "an integer")?;
+    if lc.retrain_rows == 0 {
+        return Err(CliError::Usage(
+            "--retrain-rows must be at least 1".to_string(),
+        ));
+    }
+    lc.shadow_rows = num_flag(flags, "shadow-rows", lc.shadow_rows, "an integer")?;
+    lc.probation_rows = num_flag(flags, "probation-rows", lc.probation_rows, "an integer")?;
+    lc.gate.min_fdr = num_flag(flags, "min-fdr", lc.gate.min_fdr, "a fraction")?;
+    lc.gate.max_far = num_flag(flags, "max-far", lc.gate.max_far, "a fraction")?;
+    lc.gate.min_lead_hours = num_flag(flags, "min-lead", lc.gate.min_lead_hours, "hours")?;
+    lc.buffer_cap = num_flag(flags, "buffer-cap", lc.buffer_cap, "an integer")?;
+    if lc.buffer_cap == 0 {
+        return Err(CliError::Usage(
+            "--buffer-cap must be at least 1".to_string(),
+        ));
+    }
+    lc.window_hours = num_flag(flags, "retrain-window", lc.window_hours, "hours")?;
+    lc.history = num_flag(flags, "retrain-history", lc.history, "an integer")?;
+    lc.max_alarm_rate_delta = num_flag(
+        flags,
+        "alarm-rate-delta",
+        lc.max_alarm_rate_delta,
+        "a fraction",
+    )?;
+    if let Some(label) = flags.get("retrain-mode").filter(|s| !s.is_empty()) {
+        lc.mode = WindowMode::from_label(label).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown --retrain-mode `{label}` (accumulation, replacing)"
+            ))
+        })?;
+    }
+    if flags.contains_key("train-budget-ms") {
+        lc.train_budget_ms = Some(num_flag(flags, "train-budget-ms", 0u64, "milliseconds")?);
+    }
+    Ok(Some(lc))
+}
+
+/// `hddpred lifecycle`: print the online-retraining state next to a
+/// model file — live/candidate/history fingerprints from disk plus the
+/// phase and counters from `lifecycle.ckpt` when `--checkpoint` is
+/// given (see [`USAGE`]).
+fn lifecycle_status(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let model_path = flag(flags, "model")?;
+    let history: usize = num_flag(flags, "history", 3, "an integer")?;
+    let store = ModelStore::new(PathBuf::from(model_path), history);
+    let fp = |path: &Path| match store.fingerprint_of(path) {
+        Ok(f) => format!("{f:016x}"),
+        Err(_) => "<unreadable>".to_string(),
+    };
+    if store.model_path().exists() {
+        println!(
+            "model      {}  {}",
+            fp(store.model_path()),
+            store.model_path().display()
+        );
+    } else {
+        println!(
+            "model      <missing>          {}",
+            store.model_path().display()
+        );
+    }
+    let candidate = store.candidate_path();
+    if candidate.exists() {
+        println!("candidate  {}  {}", fp(&candidate), candidate.display());
+    }
+    if store.marker_path().exists() {
+        println!(
+            "promotion marker present: an interrupted promotion will be \
+             repaired on the next serve start"
+        );
+    }
+    for path in store.history_on_disk() {
+        println!("history    {}  {}", fp(&path), path.display());
+    }
+    if let Some(dir) = flags.get("checkpoint").filter(|p| !p.is_empty()) {
+        let path = lifecycle_path(Path::new(dir));
+        if path.exists() {
+            let ck = Checkpoint::load_expecting(&path, CheckpointKind::Lifecycle)
+                .map_err(|e| checkpoint_error(dir, e))?;
+            let field = |name: &str| -> String {
+                ck.payload
+                    .get(name)
+                    .and_then(|v| v.as_str().map(String::from))
+                    .unwrap_or_default()
+            };
+            println!("phase      {}", field("phase"));
+            if let Some(hdd_json::Value::Obj(fields)) = ck.payload.get("counters") {
+                for (name, value) in fields {
+                    if let Some(n) = value.as_usize() {
+                        println!("{name:<24} {n}");
+                    }
+                }
+            }
+        } else {
+            println!("no lifecycle checkpoint under {dir}");
+        }
+    }
+    Ok(())
+}
+
 /// Attribute a [`GauntletError`] to its failure class: plain I/O and
 /// model rejections keep their exit codes; everything else — a failed
 /// bounded-degradation assertion, a bad manifest — is a serve failure.
@@ -796,6 +1040,7 @@ fn gauntlet_error(source: hddpred::workload::GauntletError) -> CliError {
         },
         E::Manifest { path, source } => CliError::Serve(format!("{path}: {source}")),
         E::Degraded(msg) => CliError::Serve(msg),
+        E::Lifecycle(source) => CliError::Serve(format!("lifecycle: {source}")),
     }
 }
 
@@ -869,6 +1114,32 @@ fn gauntlet(flags: &HashMap<String, String>) -> Result<(), CliError> {
         .get("model")
         .filter(|p| !p.is_empty())
         .map(PathBuf::from);
+    let lifecycle_fault = match flags.get("lifecycle-fault").filter(|s| !s.is_empty()) {
+        None => None,
+        Some(label) => {
+            let fault = hddpred::fault::FaultClass::from_label(label)
+                .ok_or_else(|| CliError::Usage(format!("unknown --lifecycle-fault `{label}`")))?;
+            if !fault.is_lifecycle() {
+                return Err(CliError::Usage(format!(
+                    "--lifecycle-fault `{label}` is not a lifecycle fault class (one of: {})",
+                    hddpred::fault::FaultClass::LIFECYCLE_CORPUS
+                        .map(hddpred::fault::FaultClass::label)
+                        .join(", ")
+                )));
+            }
+            Some(fault)
+        }
+    };
+    if flags.contains_key("retrain")
+        || flags.contains_key("retrain-rows")
+        || lifecycle_fault.is_some()
+    {
+        let mut spec = gl::RetrainSpec::new(lifecycle_fault);
+        spec.retrain_rows = num_flag(flags, "retrain-rows", spec.retrain_rows, "an integer")?;
+        spec.shadow_rows = num_flag(flags, "shadow-rows", spec.shadow_rows, "an integer")?;
+        spec.probation_rows = num_flag(flags, "probation-rows", spec.probation_rows, "an integer")?;
+        config.retrain = Some(spec);
+    }
     if manifest.is_none() {
         if let Some(label) = flags.get("scenario").filter(|s| !s.is_empty()) {
             let scenario = Scenario::from_label(label).ok_or_else(|| {
@@ -917,6 +1188,24 @@ fn gauntlet(flags: &HashMap<String, String>) -> Result<(), CliError> {
             o.breaker_transitions,
             o.dropped_rows,
         );
+        if let Some(lc) = &o.lifecycle {
+            eprintln!(
+                "  lifecycle: phase {}, live {:016x}, incumbent FDR {:.3} -> \
+                 post-promotion {:.3}, {} promotion(s), {} rollback(s), \
+                 {} refusal(s), {} clearance(s), {} trainer panic(s), \
+                 {} poisoned row(s)",
+                lc.phase,
+                lc.live_fingerprint,
+                lc.incumbent_fdr,
+                lc.post_promotion_fdr,
+                lc.counters.promotions,
+                lc.counters.rollbacks,
+                lc.counters.gate_refusals,
+                lc.counters.gate_clearances,
+                lc.counters.trainer_panics,
+                lc.poisoned_rows,
+            );
+        }
     }
 
     let out = flags

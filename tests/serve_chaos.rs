@@ -93,6 +93,18 @@ fn serve_to_completion(
     sink: &Path,
     ckpt: Option<&Path>,
 ) -> Vec<u8> {
+    serve_to_completion_with(feeds, shards, model, sink, ckpt, &[])
+}
+
+/// [`serve_to_completion`] with extra flags (e.g. `--retrain-rows`).
+fn serve_to_completion_with(
+    feeds: &str,
+    shards: &str,
+    model: &Path,
+    sink: &Path,
+    ckpt: Option<&Path>,
+    extra: &[&str],
+) -> Vec<u8> {
     let mut cmd = hddpred();
     cmd.arg("serve")
         .args(["--feed", feeds, "--shards", shards])
@@ -100,7 +112,8 @@ fn serve_to_completion(
         .arg(model)
         .arg("--out")
         .arg(sink)
-        .args(["--exit-on-idle", "5", "--poll-ms", "2"]);
+        .args(["--exit-on-idle", "5", "--poll-ms", "2"])
+        .args(extra);
     if let Some(ckpt) = ckpt {
         cmd.arg("--checkpoint").arg(ckpt);
     }
@@ -215,6 +228,76 @@ fn kill_restart_at_20_cut_points_is_byte_identical() {
         survived, reference,
         "alarm sink diverged after 20 kill/restart cycles at {shards} shard(s)"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lifecycle_kill_restart_at_20_cut_points_is_byte_identical() {
+    let dir = tempdir("lifecyclekill");
+    let (fleet, model) = setup(&dir);
+    let feeds = split_feeds(&fleet, &dir);
+    let shards = chaos_shards();
+    let retrain: &[&str] = &[
+        "--retrain-rows",
+        "512",
+        "--shadow-rows",
+        "256",
+        "--probation-rows",
+        "256",
+    ];
+
+    // The lifecycle owns (and may promote over) the model file, so the
+    // reference and the victim each get their own copy.
+    let ref_model = dir.join("ref-model.json");
+    let victim_model = dir.join("victim-model.json");
+    std::fs::copy(&model, &ref_model).expect("copy reference model");
+    std::fs::copy(&model, &victim_model).expect("copy victim model");
+
+    // The uninterrupted lifecycle-enabled reference at one shard.
+    let reference =
+        serve_to_completion_with(&feeds, "1", &ref_model, &dir.join("ref.csv"), None, retrain);
+    assert!(!reference.is_empty(), "the fleet must raise alarms");
+
+    // The victim: SIGKILL at 20 seeded cut points with retraining live,
+    // each restart resuming the sink, topology, shard AND lifecycle
+    // checkpoints. Cuts land anywhere, including between the sink write
+    // and the lifecycle.ckpt write of one snapshot.
+    let sink = dir.join("alarms.csv");
+    let ckpt = dir.join("ckpt");
+    for seed in 0..20u64 {
+        let mut child = spawn_daemon(&feeds, &shards, &victim_model, &sink, &ckpt, retrain);
+        let cut = Duration::from_millis(5 + (seed * 6007) % 40);
+        std::thread::sleep(cut);
+        child.kill().expect("SIGKILL the daemon");
+        child.wait().expect("reap the daemon");
+    }
+    let survived =
+        serve_to_completion_with(&feeds, &shards, &victim_model, &sink, Some(&ckpt), retrain);
+    assert_eq!(
+        survived, reference,
+        "alarm sink diverged after 20 lifecycle-enabled kill/restart cycles at {shards} shard(s)"
+    );
+
+    // The lifecycle state itself was checkpointed and is inspectable.
+    assert!(
+        ckpt.join("lifecycle.ckpt").exists(),
+        "lifecycle checkpoint missing"
+    );
+    let out = hddpred()
+        .arg("lifecycle")
+        .arg("--model")
+        .arg(&victim_model)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .output()
+        .expect("spawn lifecycle status");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("phase"), "{text}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
